@@ -1,0 +1,138 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Result alias using [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the query-automata workspace.
+///
+/// The library favours construction-time validation: automata constructors
+/// return `Err` for ill-formed machines (overlapping `U`/`D` sets,
+/// non-deterministic transition tables, non-slender down languages, …) so
+/// that the run engines can assume well-formed inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A parser rejected its input (regex, s-expression, MSO, XML, DTD).
+    Parse {
+        /// Which parser failed, e.g. `"regex"`, `"mso"`, `"xml"`.
+        what: &'static str,
+        /// Human-readable description with position information.
+        message: String,
+    },
+    /// An automaton definition violates a structural invariant.
+    IllFormed {
+        /// Which invariant, e.g. `"2DFA U/D overlap"`.
+        invariant: &'static str,
+        /// Details about the offending component.
+        message: String,
+    },
+    /// A run did not terminate within the configured step budget.
+    ///
+    /// The paper only considers automata that always halt; halting is
+    /// decidable but expensive, so run engines enforce a fuel bound and
+    /// report overruns explicitly instead of looping.
+    FuelExhausted {
+        /// The bound that was exceeded.
+        budget: u64,
+    },
+    /// A run reached a configuration with no applicable transition that is
+    /// not accepting (the machine "got stuck").
+    Stuck {
+        /// Description of the stuck configuration.
+        message: String,
+    },
+    /// Input data is outside the automaton's domain (wrong alphabet, rank
+    /// exceeded, …).
+    Domain {
+        /// Description of the mismatch.
+        message: String,
+    },
+    /// A validation (e.g. DTD validation) failed; carries the reason.
+    Invalid {
+        /// Description of the first violation found.
+        message: String,
+    },
+}
+
+impl Error {
+    /// Shorthand for a parse error.
+    pub fn parse(what: &'static str, message: impl Into<String>) -> Self {
+        Error::Parse {
+            what,
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for an ill-formed automaton error.
+    pub fn ill_formed(invariant: &'static str, message: impl Into<String>) -> Self {
+        Error::IllFormed {
+            invariant,
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for a domain error.
+    pub fn domain(message: impl Into<String>) -> Self {
+        Error::Domain {
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for a stuck-run error.
+    pub fn stuck(message: impl Into<String>) -> Self {
+        Error::Stuck {
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for a validation failure.
+    pub fn invalid(message: impl Into<String>) -> Self {
+        Error::Invalid {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { what, message } => write!(f, "{what} parse error: {message}"),
+            Error::IllFormed { invariant, message } => {
+                write!(f, "ill-formed automaton ({invariant}): {message}")
+            }
+            Error::FuelExhausted { budget } => {
+                write!(f, "run exceeded fuel budget of {budget} steps")
+            }
+            Error::Stuck { message } => write!(f, "run stuck: {message}"),
+            Error::Domain { message } => write!(f, "domain error: {message}"),
+            Error::Invalid { message } => write!(f, "invalid input: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::parse("regex", "unexpected `)` at offset 3");
+        assert_eq!(e.to_string(), "regex parse error: unexpected `)` at offset 3");
+        let e = Error::FuelExhausted { budget: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn helpers_build_expected_variants() {
+        assert!(matches!(Error::domain("x"), Error::Domain { .. }));
+        assert!(matches!(Error::stuck("x"), Error::Stuck { .. }));
+        assert!(matches!(Error::invalid("x"), Error::Invalid { .. }));
+        assert!(matches!(
+            Error::ill_formed("inv", "x"),
+            Error::IllFormed { .. }
+        ));
+    }
+}

@@ -1,0 +1,20 @@
+//! # qa-base
+//!
+//! Shared substrate for the `query-automata` workspace: interned symbols,
+//! alphabets, typed index vectors and the common error type.
+//!
+//! Every automaton in the workspace (string automata, two-way automata, tree
+//! automata, query automata) ranges over a finite [`Alphabet`] of interned
+//! [`Symbol`]s. Interning keeps the hot paths integer-indexed: labels on tree
+//! nodes, letters on string positions and transition-table keys are all plain
+//! `u32` newtypes.
+
+pub mod alphabet;
+pub mod error;
+pub mod idvec;
+pub mod symbol;
+
+pub use alphabet::Alphabet;
+pub use error::{Error, Result};
+pub use idvec::IdVec;
+pub use symbol::Symbol;

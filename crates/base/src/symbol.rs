@@ -1,0 +1,56 @@
+//! Interned alphabet symbols.
+
+use std::fmt;
+
+/// An interned symbol of some [`crate::Alphabet`].
+///
+/// A `Symbol` is a dense index (`0..alphabet.len()`). It is only meaningful
+/// relative to the alphabet that produced it; mixing symbols across alphabets
+/// is a logic error that the debug assertions in the automata layers try to
+/// catch early.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub(crate) u32);
+
+impl Symbol {
+    /// Create a symbol from a raw dense index.
+    ///
+    /// Prefer [`crate::Alphabet::intern`]; this constructor exists for
+    /// automaton layers that enumerate symbols positionally.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        Symbol(u32::try_from(index).expect("alphabet larger than u32::MAX"))
+    }
+
+    /// The dense index of this symbol within its alphabet.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_index() {
+        let s = Symbol::from_index(7);
+        assert_eq!(s.index(), 7);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(Symbol::from_index(1) < Symbol::from_index(2));
+    }
+
+    #[test]
+    fn debug_format_is_compact() {
+        assert_eq!(format!("{:?}", Symbol::from_index(3)), "s3");
+    }
+}

@@ -1,0 +1,48 @@
+//! E1 (Figures 1–4): the XML pipeline — parse, validate, query — scales
+//! linearly in document size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_xml_pipeline");
+    // compile the query once (compilation cost is measured separately)
+    let (doc0, dtd) = qa_xml::figures::bibliography().unwrap();
+    let sigma = doc0.alphabet.len();
+    let mut a = doc0.alphabet.clone();
+    let phi = qa_mso::parse(
+        "label(v, author) & (ex b. (label(b, book) & edge(b, v)))",
+        &mut a,
+    )
+    .unwrap();
+    let compiled = qa_mso::unranked::compile_unary(&phi, "v", sigma).unwrap();
+    let automaton = qa_xml::validate::to_automaton(&dtd).unwrap();
+
+    for k in [1usize, 4, 16, 64] {
+        let xml = qa_bench::bibliography_of_size(k);
+        group.bench_with_input(BenchmarkId::new("parse", k), &xml, |b, xml| {
+            b.iter(|| {
+                let mut al = doc0.alphabet.clone();
+                qa_xml::parser::parse_with_alphabet(xml, &mut al).unwrap()
+            })
+        });
+        let mut al = doc0.alphabet.clone();
+        let doc = qa_xml::parser::parse_with_alphabet(&xml, &mut al).unwrap();
+        group.bench_with_input(BenchmarkId::new("validate", k), &doc.tree, |b, t| {
+            b.iter(|| assert!(automaton.accepts(t)))
+        });
+        group.bench_with_input(BenchmarkId::new("query", k), &doc.tree, |b, t| {
+            b.iter(|| {
+                let sel = qa_mso::query_eval::eval_unary_unranked(&compiled, t, sigma);
+                assert_eq!(sel.len(), 3 * k);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    qa_bench::quick_criterion()
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! E5 (Theorem 6.3): query non-emptiness via the behavior-summary
+//! fixpoint. Structured (MSO-ish) automata stay fast; the reachable
+//! summary count — the EXPTIME driver — grows with the state count on
+//! adversarial (tiling-derived) machines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qa_base::Symbol;
+use qa_core::ranked::RankedQa;
+use qa_strings::StateId;
+
+fn select_all(mut qa: RankedQa) -> RankedQa {
+    for s in 0..qa.machine().num_states() {
+        for t in 0..qa.machine().alphabet_len() {
+            qa.set_selecting(StateId::from_index(s), Symbol::from_index(t), true);
+        }
+    }
+    qa
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_thm63_nonemptiness");
+
+    // structured machine: Example 4.4 (10 states)
+    let circuits = qa_bench::circuit_alphabet();
+    let ex44 = qa_core::ranked::query::example_4_4(&circuits);
+    group.bench_function("example_4_4", |b| {
+        b.iter(|| {
+            qa_decision::ranked_decisions::non_emptiness(&ex44)
+                .unwrap()
+                .is_some()
+        })
+    });
+
+    // adversarial family: tiling reductions of growing width — state count
+    // grows as |T|^width, and the fixpoint pays for it.
+    for width in [1usize, 2, 3] {
+        let inst = qa_decision::tiling::TilingInstance {
+            num_tiles: 2,
+            horizontal: vec![(0, 0), (0, 1), (1, 0), (1, 1)],
+            vertical: vec![(0, 1), (1, 1)],
+            bottom: vec![0; width],
+            top: vec![1; width],
+        };
+        let machine = qa_decision::tiling::to_tree_automaton(&inst).unwrap();
+        let states = machine.num_states();
+        let qa = select_all(RankedQa::new(machine));
+        group.bench_with_input(
+            BenchmarkId::new(format!("tiling_w{width}_q{states}"), states),
+            &qa,
+            |b, qa| {
+                b.iter(|| {
+                    qa_decision::ranked_decisions::non_emptiness(qa)
+                        .unwrap()
+                        .is_some()
+                })
+            },
+        );
+    }
+
+    // containment runs the joint fixpoint: measure on the circuit pair
+    let mut and_only = qa_core::ranked::query::example_4_4(&circuits);
+    for s in 0..and_only.machine().num_states() {
+        and_only.set_selecting(StateId::from_index(s), circuits.symbol("OR"), false);
+    }
+    group.bench_function("containment_4_4", |b| {
+        b.iter(|| {
+            qa_decision::ranked_decisions::containment(&and_only, &ex44)
+                .unwrap()
+                .is_none()
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    qa_bench::quick_criterion()
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

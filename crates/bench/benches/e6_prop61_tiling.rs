@@ -1,0 +1,45 @@
+//! E6 (Proposition 6.1): the corridor-tiling reduction — construction cost
+//! of the strategy-tree automaton and the direct game solve, vs corridor
+//! width (both exponential in width; the reduction itself is cheap per
+//! state).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn instance(width: usize) -> qa_decision::tiling::TilingInstance {
+    qa_decision::tiling::TilingInstance {
+        num_tiles: 3,
+        horizontal: (0..3).flat_map(|a| (0..3).map(move |b| (a, b))).collect(),
+        vertical: vec![(0, 1), (1, 2), (2, 2)],
+        bottom: vec![0; width],
+        top: vec![2; width],
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_prop61_tiling");
+    for width in [1usize, 2, 3] {
+        let inst = instance(width);
+        group.bench_with_input(BenchmarkId::new("solve_game", width), &inst, |b, inst| {
+            b.iter(|| qa_decision::tiling::solve_game(inst).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("build_automaton", width),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    qa_decision::tiling::to_tree_automaton(inst)
+                        .unwrap()
+                        .num_states()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    qa_bench::quick_criterion()
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

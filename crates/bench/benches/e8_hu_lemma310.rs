@@ -1,0 +1,65 @@
+//! E8 (Lemma 3.10): the Hopcroft–Ullman composition — two-pass bimachine
+//! evaluation (O(n) time, O(n) space) vs the composed two-way machine
+//! (O(1) space, more head movement). Both are linear; the bench exposes
+//! the constant-factor cost of the zig-zag recovery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qa_base::Symbol;
+use qa_strings::Dfa;
+use qa_twoway::{hopcroft_ullman, Bimachine};
+
+fn sym(i: usize) -> Symbol {
+    Symbol::from_index(i)
+}
+
+/// Bimachine with a 3-state left DFA featuring merges (exercises γ dives).
+fn sample() -> Bimachine {
+    let mut left = Dfa::new(2);
+    let s0 = left.add_state();
+    let s1 = left.add_state();
+    let s2 = left.add_state();
+    left.set_initial(s0);
+    for (i, s) in [s0, s1, s2].into_iter().enumerate() {
+        left.set_transition(s, sym(0), s0); // merge on 0
+        let rot = [s1, s2, s0][i];
+        left.set_transition(s, sym(1), rot); // rotate on 1
+    }
+    let mut right = Dfa::new(2);
+    let r0 = right.add_state();
+    let r1 = right.add_state();
+    right.set_initial(r0);
+    for s in [r0, r1] {
+        right.set_transition(s, sym(0), r1);
+        right.set_transition(s, sym(1), r0);
+    }
+    Bimachine::new(left, right, 12, |p, q, s| {
+        (p.index() * 4 + q.index() * 2 + s.index()) as u32
+    })
+    .unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_hu_lemma310");
+    let bim = sample();
+    group.bench_function("compose_construction", |b| {
+        b.iter(|| hopcroft_ullman::compose(&bim).unwrap().machine().num_states())
+    });
+    let gsqa = hopcroft_ullman::compose(&bim).unwrap();
+    for n in [32usize, 256, 2048] {
+        let w = qa_bench::random_word(n, 31 + n as u64);
+        group.bench_with_input(BenchmarkId::new("bimachine_two_pass", n), &w, |b, w| {
+            b.iter(|| bim.run(w).len())
+        });
+        group.bench_with_input(BenchmarkId::new("composed_two_way", n), &w, |b, w| {
+            b.iter(|| gsqa.run(w).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    qa_bench::quick_criterion()
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

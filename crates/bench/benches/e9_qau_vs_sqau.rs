@@ -1,0 +1,56 @@
+//! E9 (Proposition 5.10 vs Example 5.14): the sibling query. The SQAu
+//! resolves each sibling group with one stay transition (linear overall);
+//! the stay-free workaround — rescanning the left siblings of every leaf —
+//! is quadratic in the fanout. Flat trees (the Proposition 5.10 shape)
+//! make the gap visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qa_base::Symbol;
+use qa_trees::{NodeId, Tree};
+
+/// The stay-free baseline: for every 1-leaf, rescan its left siblings.
+fn per_leaf_rescan(t: &Tree, one: Symbol) -> Vec<NodeId> {
+    t.nodes()
+        .filter(|&v| {
+            t.is_leaf(v) && t.label(v) == one && {
+                match t.parent(v) {
+                    None => true,
+                    Some(p) => {
+                        let idx = t.child_index(v);
+                        t.children(p)[..idx].iter().all(|&w| t.label(w) != one)
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_qau_vs_sqau");
+    let sigma = qa_bench::binary_alphabet();
+    let sqa = qa_core::unranked::query::example_5_14(&sigma);
+    let one = sigma.symbol("1");
+    let zero = sigma.symbol("0");
+
+    for fanout in [64usize, 512, 4096] {
+        // flat tree: 0-root with alternating 0/1 children
+        let mut t = Tree::leaf(zero);
+        for i in 0..fanout {
+            t.add_child(t.root(), if i % 3 == 0 { one } else { zero });
+        }
+        group.bench_with_input(BenchmarkId::new("sqau_one_stay", fanout), &t, |b, t| {
+            b.iter(|| sqa.query(t).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("per_leaf_rescan", fanout), &t, |b, t| {
+            b.iter(|| per_leaf_rescan(t, one).len())
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    qa_bench::quick_criterion()
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

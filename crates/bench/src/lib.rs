@@ -1,0 +1,95 @@
+//! Shared workload generators for the benchmark harness.
+//!
+//! One bench target per experiment id (see DESIGN.md §5 and
+//! EXPERIMENTS.md): the paper has no measured tables, so each bench
+//! regenerates the *shape* of one of its algorithmic/complexity claims.
+
+use qa_base::{Alphabet, Symbol};
+use qa_trees::Tree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Standard Criterion settings: short, stable runs so the whole harness
+/// finishes in minutes.
+pub fn quick_criterion() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600))
+}
+
+/// A bibliography document with `k` copies of the Figure 1 entries.
+pub fn bibliography_of_size(k: usize) -> String {
+    let book = r#"<book><author>S. Abiteboul</author><author>R. Hull</author><author>V. Vianu</author><title>Foundations of Databases</title><publisher>Addison-Wesley</publisher><year>1995</year></book>"#;
+    let article = r#"<article><author>E. Codd</author><title>A Relational Model</title><journal>CACM</journal><year>1970</year></article>"#;
+    let mut s = String::from("<bibliography>");
+    for _ in 0..k {
+        s.push_str(book);
+        s.push_str(article);
+    }
+    s.push_str("</bibliography>");
+    s
+}
+
+/// The `{0,1}` alphabet shared by the string/unranked benches.
+pub fn binary_alphabet() -> Alphabet {
+    Alphabet::from_names(["0", "1"])
+}
+
+/// The circuit alphabet of Examples 4.2/5.9.
+pub fn circuit_alphabet() -> Alphabet {
+    Alphabet::from_names(["AND", "OR", "0", "1"])
+}
+
+/// A random unranked tree with `n` nodes over `{0,1}`.
+pub fn random_binary_labeled(n: usize, seed: u64) -> Tree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    qa_trees::generate::random(
+        &mut rng,
+        &[Symbol::from_index(0), Symbol::from_index(1)],
+        n,
+        None,
+    )
+}
+
+/// A random full binary circuit with ~`inner` gates.
+pub fn random_circuit(inner: usize, seed: u64) -> Tree {
+    let a = circuit_alphabet();
+    let mut rng = StdRng::seed_from_u64(seed);
+    qa_trees::generate::random_full_binary(
+        &mut rng,
+        &[a.symbol("AND"), a.symbol("OR")],
+        &[a.symbol("0"), a.symbol("1")],
+        inner,
+    )
+}
+
+/// A random word of length `n` over `{0,1}`.
+pub fn random_word(n: usize, seed: u64) -> Vec<Symbol> {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Symbol::from_index(rng.gen_range(0..2)))
+        .collect()
+}
+
+/// A chain-shaped `Nbtau` with `k` states whose witness is a `k`-node
+/// chain — the Lemma 5.2 scaling family.
+pub fn chain_nbtau(k: usize) -> qa_core::unranked::Nbtau {
+    use qa_strings::Regex;
+    let mut n = qa_core::unranked::Nbtau::new(1);
+    let states: Vec<_> = (0..k).map(|_| n.add_state()).collect();
+    n.set_final(states[k - 1], true);
+    let x = Symbol::from_index(0);
+    n.set_language(states[0], x, Regex::Epsilon.to_nfa(k))
+        .unwrap();
+    for i in 1..k {
+        n.set_language(
+            states[i],
+            x,
+            Regex::Sym(Symbol::from_index(states[i - 1].index())).to_nfa(k),
+        )
+        .unwrap();
+    }
+    n
+}

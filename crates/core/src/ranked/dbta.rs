@@ -1,0 +1,402 @@
+//! Bottom-up ranked tree automata (Definition 2.6).
+
+use std::collections::HashMap;
+
+use qa_base::Symbol;
+use qa_strings::StateId;
+use qa_trees::Tree;
+
+/// A deterministic bottom-up ranked tree automaton `(Q, Σ, δ, F)`.
+///
+/// The transition function maps `(q₁…qₙ, σ)` — the children's states and the
+/// node's label — to a state, for `n ≤ m` (the rank). Leaves use the `n = 0`
+/// case `δ(σ)`. Missing transitions reject.
+///
+/// ```
+/// use qa_base::Alphabet;
+/// use qa_core::ranked::Dbta;
+/// use qa_trees::sexpr::from_sexpr;
+/// let mut sigma = Alphabet::new();
+/// let (and, or, zero, one) = (sigma.intern("AND"), sigma.intern("OR"),
+///                             sigma.intern("0"), sigma.intern("1"));
+/// let circuit = Dbta::boolean_circuit(&sigma);
+/// let t = from_sexpr("(OR (AND 1 0) 1)", &mut sigma).unwrap();
+/// assert!(circuit.accepts(&t));
+/// let t = from_sexpr("(AND (OR 0 0) 1)", &mut sigma).unwrap();
+/// assert!(!circuit.accepts(&t));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Dbta {
+    alphabet_len: usize,
+    num_states: usize,
+    max_rank: usize,
+    /// `(children states, label) → state`.
+    delta: HashMap<(Vec<StateId>, Symbol), StateId>,
+    finals: Vec<bool>,
+}
+
+impl Dbta {
+    /// An automaton with no states/transitions (rejects everything).
+    pub fn new(alphabet_len: usize, max_rank: usize) -> Self {
+        Dbta {
+            alphabet_len,
+            num_states: 0,
+            max_rank,
+            delta: HashMap::new(),
+            finals: Vec::new(),
+        }
+    }
+
+    /// Add a fresh state.
+    pub fn add_state(&mut self) -> StateId {
+        let id = StateId::from_index(self.num_states);
+        self.num_states += 1;
+        self.finals.push(false);
+        id
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Alphabet size.
+    pub fn alphabet_len(&self) -> usize {
+        self.alphabet_len
+    }
+
+    /// Maximum rank `m`.
+    pub fn max_rank(&self) -> usize {
+        self.max_rank
+    }
+
+    /// Mark `state` final.
+    pub fn set_final(&mut self, state: StateId, is_final: bool) {
+        self.finals[state.index()] = is_final;
+    }
+
+    /// Whether `state` is final.
+    pub fn is_final(&self, state: StateId) -> bool {
+        self.finals[state.index()]
+    }
+
+    /// Define `δ(children, label) = state` (overwrites).
+    pub fn set_transition(&mut self, children: &[StateId], label: Symbol, state: StateId) {
+        debug_assert!(children.len() <= self.max_rank);
+        self.delta.insert((children.to_vec(), label), state);
+    }
+
+    /// Shorthand for the leaf case `δ(σ)`.
+    pub fn set_leaf(&mut self, label: Symbol, state: StateId) {
+        self.set_transition(&[], label, state);
+    }
+
+    /// `δ(children, label)`, if defined.
+    pub fn transition(&self, children: &[StateId], label: Symbol) -> Option<StateId> {
+        self.delta.get(&(children.to_vec(), label)).copied()
+    }
+
+    /// Iterate over all defined transitions.
+    pub fn transitions(&self) -> impl Iterator<Item = (&[StateId], Symbol, StateId)> + '_ {
+        self.delta
+            .iter()
+            .map(|((c, s), q)| (c.as_slice(), *s, *q))
+    }
+
+    /// `δ*(t)`: the state at the root, if every transition is defined.
+    /// Iterative (postorder).
+    pub fn run(&self, tree: &Tree) -> Option<StateId> {
+        let table = self.run_table(tree)?;
+        Some(table[tree.root().index()])
+    }
+
+    /// The per-node state table `δ*(t_v)`, if the run completes.
+    pub fn run_table(&self, tree: &Tree) -> Option<Vec<StateId>> {
+        let mut table: Vec<Option<StateId>> = vec![None; tree.num_nodes()];
+        for v in tree.postorder() {
+            let children: Vec<StateId> = tree
+                .children(v)
+                .iter()
+                .map(|c| table[c.index()])
+                .collect::<Option<Vec<_>>>()?;
+            if children.len() > self.max_rank {
+                return None;
+            }
+            table[v.index()] = self.transition(&children, tree.label(v));
+            table[v.index()]?;
+        }
+        table.into_iter().collect()
+    }
+
+    /// Whether the automaton accepts `tree`.
+    pub fn accepts(&self, tree: &Tree) -> bool {
+        self.run(tree).is_some_and(|q| self.is_final(q))
+    }
+
+    /// Example 4.2's one-way core: evaluate Boolean circuits over
+    /// `{AND, OR, 0, 1}` and accept those evaluating to 1. States: 0, 1.
+    ///
+    /// The alphabet must contain symbols named `AND`, `OR`, `0`, `1`.
+    pub fn boolean_circuit(alphabet: &qa_base::Alphabet) -> Dbta {
+        let and = alphabet.symbol("AND");
+        let or = alphabet.symbol("OR");
+        let zero = alphabet.symbol("0");
+        let one = alphabet.symbol("1");
+        let mut b = Dbta::new(alphabet.len(), 2);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        b.set_final(q1, true);
+        b.set_leaf(zero, q0);
+        b.set_leaf(one, q1);
+        for (x, qx) in [(false, q0), (true, q1)] {
+            for (y, qy) in [(false, q0), (true, q1)] {
+                b.set_transition(&[qx, qy], and, if x && y { q1 } else { q0 });
+                b.set_transition(&[qx, qy], or, if x || y { q1 } else { q0 });
+            }
+        }
+        b
+    }
+}
+
+/// A nondeterministic bottom-up ranked tree automaton.
+///
+/// `δ(q₁…qₙ, σ)` is a *set* of states. Acceptance via the standard
+/// reachable-state-sets computation (no backtracking).
+#[derive(Clone, Debug)]
+pub struct Nbta {
+    alphabet_len: usize,
+    num_states: usize,
+    max_rank: usize,
+    delta: HashMap<(Vec<StateId>, Symbol), Vec<StateId>>,
+    finals: Vec<bool>,
+}
+
+impl Nbta {
+    /// An automaton with no states/transitions (rejects everything).
+    pub fn new(alphabet_len: usize, max_rank: usize) -> Self {
+        Nbta {
+            alphabet_len,
+            num_states: 0,
+            max_rank,
+            delta: HashMap::new(),
+            finals: Vec::new(),
+        }
+    }
+
+    /// Add a fresh state.
+    pub fn add_state(&mut self) -> StateId {
+        let id = StateId::from_index(self.num_states);
+        self.num_states += 1;
+        self.finals.push(false);
+        id
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Alphabet size.
+    pub fn alphabet_len(&self) -> usize {
+        self.alphabet_len
+    }
+
+    /// Maximum rank.
+    pub fn max_rank(&self) -> usize {
+        self.max_rank
+    }
+
+    /// Mark `state` final.
+    pub fn set_final(&mut self, state: StateId, is_final: bool) {
+        self.finals[state.index()] = is_final;
+    }
+
+    /// Whether `state` is final.
+    pub fn is_final(&self, state: StateId) -> bool {
+        self.finals[state.index()]
+    }
+
+    /// Add `state` to `δ(children, label)`.
+    pub fn add_transition(&mut self, children: &[StateId], label: Symbol, state: StateId) {
+        debug_assert!(children.len() <= self.max_rank);
+        let entry = self.delta.entry((children.to_vec(), label)).or_default();
+        if !entry.contains(&state) {
+            entry.push(state);
+        }
+    }
+
+    /// The target set of `δ(children, label)`.
+    pub fn targets(&self, children: &[StateId], label: Symbol) -> &[StateId] {
+        self.delta
+            .get(&(children.to_vec(), label))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Iterate over all transitions.
+    pub fn transitions(&self) -> impl Iterator<Item = (&[StateId], Symbol, &[StateId])> + '_ {
+        self.delta
+            .iter()
+            .map(|((c, s), qs)| (c.as_slice(), *s, qs.as_slice()))
+    }
+
+    /// `δ*(t)`: the set of states reachable at the root (sorted).
+    pub fn run(&self, tree: &Tree) -> Vec<StateId> {
+        let mut table: Vec<Vec<StateId>> = vec![Vec::new(); tree.num_nodes()];
+        for v in tree.postorder() {
+            let kids = tree.children(v);
+            if kids.len() > self.max_rank {
+                continue; // no transition possible: empty state set
+            }
+            let label = tree.label(v);
+            let mut acc: Vec<StateId> = Vec::new();
+            // enumerate tuples from the children's state sets
+            let mut tuple: Vec<usize> = vec![0; kids.len()];
+            'outer: loop {
+                let mut children_states = Vec::with_capacity(kids.len());
+                let mut ok = true;
+                for (i, &c) in kids.iter().enumerate() {
+                    let set = &table[c.index()];
+                    if set.is_empty() {
+                        ok = false;
+                        break;
+                    }
+                    children_states.push(set[tuple[i]]);
+                }
+                if !ok {
+                    break;
+                }
+                for &q in self.targets(&children_states, label) {
+                    if !acc.contains(&q) {
+                        acc.push(q);
+                    }
+                }
+                // next tuple
+                let mut i = 0;
+                loop {
+                    if i == kids.len() {
+                        break 'outer;
+                    }
+                    tuple[i] += 1;
+                    if tuple[i] < table[kids[i].index()].len() {
+                        break;
+                    }
+                    tuple[i] = 0;
+                    i += 1;
+                }
+            }
+            acc.sort_unstable();
+            table[v.index()] = acc;
+        }
+        table[tree.root().index()].clone()
+    }
+
+    /// Whether the automaton accepts `tree`.
+    pub fn accepts(&self, tree: &Tree) -> bool {
+        self.run(tree).iter().any(|&q| self.is_final(q))
+    }
+}
+
+impl From<&Dbta> for Nbta {
+    fn from(d: &Dbta) -> Nbta {
+        let mut n = Nbta::new(d.alphabet_len(), d.max_rank());
+        for _ in 0..d.num_states() {
+            n.add_state();
+        }
+        for (children, label, q) in d.transitions() {
+            n.add_transition(children, label, q);
+        }
+        for i in 0..d.num_states() {
+            let s = StateId::from_index(i);
+            n.set_final(s, d.is_final(s));
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qa_base::Alphabet;
+    use qa_trees::sexpr::from_sexpr;
+
+    fn circuit_alpha() -> Alphabet {
+        Alphabet::from_names(["AND", "OR", "0", "1"])
+    }
+
+    #[test]
+    fn boolean_circuit_evaluation() {
+        let mut a = circuit_alpha();
+        let b = Dbta::boolean_circuit(&a);
+        for (s, val) in [
+            ("1", true),
+            ("0", false),
+            ("(AND 1 1)", true),
+            ("(AND 1 0)", false),
+            ("(OR 0 0)", false),
+            ("(OR (AND 1 1) 0)", true),
+            ("(AND (OR 0 1) (OR 1 0))", true),
+            ("(AND (OR 0 1) (AND 1 0))", false),
+        ] {
+            let t = from_sexpr(s, &mut a).unwrap();
+            assert_eq!(b.accepts(&t), val, "{s}");
+        }
+    }
+
+    #[test]
+    fn missing_transition_rejects() {
+        let mut a = circuit_alpha();
+        let b = Dbta::boolean_circuit(&a);
+        // a unary AND node has no transition
+        let t = from_sexpr("(AND 1)", &mut a).unwrap();
+        assert_eq!(b.run(&t), None);
+        assert!(!b.accepts(&t));
+        // rank exceeded
+        let t = from_sexpr("(AND 1 1 1)", &mut a).unwrap();
+        assert!(!b.accepts(&t));
+    }
+
+    #[test]
+    fn run_table_exposes_subtree_states() {
+        let mut a = circuit_alpha();
+        let b = Dbta::boolean_circuit(&a);
+        let t = from_sexpr("(OR (AND 1 0) 1)", &mut a).unwrap();
+        let table = b.run_table(&t).unwrap();
+        let and_node = t.child(t.root(), 0);
+        assert_eq!(table[and_node.index()], StateId::from_index(0)); // evaluates to 0
+        assert_eq!(table[t.root().index()], StateId::from_index(1));
+    }
+
+    #[test]
+    fn nbta_from_dbta_agrees() {
+        let mut a = circuit_alpha();
+        let d = Dbta::boolean_circuit(&a);
+        let n = Nbta::from(&d);
+        for s in ["1", "(AND 1 0)", "(OR (AND 1 1) 0)", "(AND 1)"] {
+            let t = from_sexpr(s, &mut a).unwrap();
+            assert_eq!(d.accepts(&t), n.accepts(&t), "{s}");
+        }
+    }
+
+    #[test]
+    fn nbta_genuine_nondeterminism() {
+        // Accepts unary chains over {a} whose height is >= 1, by guessing at
+        // the leaf whether the chain is even or odd and verifying at the root.
+        let mut a = Alphabet::new();
+        let sym = a.intern("a");
+        let mut n = Nbta::new(1, 1);
+        let even = n.add_state();
+        let odd = n.add_state();
+        n.set_final(odd, true);
+        n.add_transition(&[], sym, even); // leaf counts as height 0: even
+        n.add_transition(&[even], sym, odd);
+        n.add_transition(&[odd], sym, even);
+        let mut t = qa_trees::Tree::leaf(sym);
+        let mut cur = t.root();
+        assert!(!n.accepts(&t)); // height 0
+        for h in 1..=5 {
+            cur = t.add_child(cur, sym);
+            assert_eq!(n.accepts(&t), h % 2 == 1, "height {h}");
+        }
+    }
+}

@@ -1,0 +1,831 @@
+//! Two-way deterministic ranked tree automata (Definition 4.1, after
+//! Moriya), with the faithful *cut* configuration semantics.
+
+use std::collections::HashMap;
+
+use qa_base::{Error, Result, Symbol};
+use qa_strings::StateId;
+use qa_trees::{NodeId, Tree};
+
+/// Whether a `(state, label)` pair takes part in up or down transitions.
+///
+/// The disjointness of `U` and `D` is what makes runs confluent: a node
+/// holding a state can never choose between moving up and moving down, so
+/// every maximal run visits each node in the same state sequence
+/// (the paper's justification for calling these automata deterministic).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Polarity {
+    /// Member of `U`: participates in up/root transitions.
+    Up,
+    /// Member of `D`: participates in down/leaf transitions.
+    Down,
+}
+
+/// A two-way deterministic ranked tree automaton.
+///
+/// Transitions (Definition 4.1):
+/// - `δ↓ : D × {1..m} → Q*` — a node in a down state hands a state to each
+///   of its children (the cut replaces the node by its children);
+/// - `δ_leaf : D → Q` — a leaf in a down state changes state in place;
+/// - `δ↑ : U* → Q` — when all children of a node hold up states, they fold
+///   into the parent (the transition sees each child's `(state, label)`
+///   pair);
+/// - `δ_root : U → Q` — the root alone in the cut changes state in place.
+///
+/// A run starts with the cut `{root}` in the initial state, is *maximal*
+/// when no transition applies, and accepts iff it is maximal with the root
+/// holding a final state.
+#[derive(Clone, Debug)]
+pub struct TwoWayRanked {
+    alphabet_len: usize,
+    num_states: usize,
+    max_rank: usize,
+    initial: StateId,
+    finals: Vec<bool>,
+    /// `polarity[state][symbol]`; `None` = the pair is in neither set.
+    polarity: Vec<Vec<Option<Polarity>>>,
+    delta_leaf: HashMap<(StateId, Symbol), StateId>,
+    delta_root: HashMap<(StateId, Symbol), StateId>,
+    delta_up: HashMap<Vec<(StateId, Symbol)>, StateId>,
+    delta_down: HashMap<(StateId, Symbol, usize), Vec<StateId>>,
+}
+
+/// Builder validating Definition 4.1's side conditions.
+#[derive(Clone, Debug)]
+pub struct TwoWayRankedBuilder {
+    inner: TwoWayRanked,
+}
+
+impl TwoWayRankedBuilder {
+    /// Start a machine over `alphabet_len` symbols and rank `max_rank`.
+    pub fn new(alphabet_len: usize, max_rank: usize) -> Self {
+        TwoWayRankedBuilder {
+            inner: TwoWayRanked {
+                alphabet_len,
+                num_states: 0,
+                max_rank,
+                initial: StateId::from_index(0),
+                finals: Vec::new(),
+                polarity: Vec::new(),
+                delta_leaf: HashMap::new(),
+                delta_root: HashMap::new(),
+                delta_up: HashMap::new(),
+                delta_down: HashMap::new(),
+            },
+        }
+    }
+
+    /// Add a fresh state.
+    pub fn add_state(&mut self) -> StateId {
+        let id = StateId::from_index(self.inner.num_states);
+        self.inner.num_states += 1;
+        self.inner.finals.push(false);
+        self.inner
+            .polarity
+            .push(vec![None; self.inner.alphabet_len]);
+        id
+    }
+
+    /// Set the initial state.
+    pub fn set_initial(&mut self, state: StateId) -> &mut Self {
+        self.inner.initial = state;
+        self
+    }
+
+    /// Mark `state` final.
+    pub fn set_final(&mut self, state: StateId, is_final: bool) -> &mut Self {
+        self.inner.finals[state.index()] = is_final;
+        self
+    }
+
+    /// Put `(state, label)` into `U` or `D`.
+    pub fn set_polarity(&mut self, state: StateId, label: Symbol, p: Polarity) -> &mut Self {
+        self.inner.polarity[state.index()][label.index()] = Some(p);
+        self
+    }
+
+    /// Put `(state, ·)` into `U` or `D` for every label.
+    pub fn set_polarity_all(&mut self, state: StateId, p: Polarity) -> &mut Self {
+        for l in 0..self.inner.alphabet_len {
+            self.inner.polarity[state.index()][l] = Some(p);
+        }
+        self
+    }
+
+    /// Define `δ↓(state, label, arity) = children_states`.
+    pub fn set_down(
+        &mut self,
+        state: StateId,
+        label: Symbol,
+        children_states: &[StateId],
+    ) -> &mut Self {
+        self.inner
+            .delta_down
+            .insert((state, label, children_states.len()), children_states.to_vec());
+        self
+    }
+
+    /// Define `δ_leaf(state, label) = next`.
+    pub fn set_leaf(&mut self, state: StateId, label: Symbol, next: StateId) -> &mut Self {
+        self.inner.delta_leaf.insert((state, label), next);
+        self
+    }
+
+    /// Define `δ_root(state, label) = next`.
+    pub fn set_root(&mut self, state: StateId, label: Symbol, next: StateId) -> &mut Self {
+        self.inner.delta_root.insert((state, label), next);
+        self
+    }
+
+    /// Define `δ↑((q₁,σ₁)…(qₙ,σₙ)) = next`.
+    pub fn set_up(&mut self, children: &[(StateId, Symbol)], next: StateId) -> &mut Self {
+        self.inner.delta_up.insert(children.to_vec(), next);
+        self
+    }
+
+    /// Validate and finish.
+    pub fn build(self) -> Result<TwoWayRanked> {
+        let m = self.inner;
+        if m.num_states == 0 {
+            return Err(Error::ill_formed("2DTAr", "no states"));
+        }
+        let pol = |q: StateId, s: Symbol| m.polarity[q.index()][s.index()];
+        for (&(q, s), _) in &m.delta_leaf {
+            if pol(q, s) != Some(Polarity::Down) {
+                return Err(Error::ill_formed(
+                    "2DTAr",
+                    format!("δ_leaf defined on non-D pair ({q:?}, {s:?})"),
+                ));
+            }
+        }
+        for (&(q, s, _), _) in &m.delta_down {
+            if pol(q, s) != Some(Polarity::Down) {
+                return Err(Error::ill_formed(
+                    "2DTAr",
+                    format!("δ↓ defined on non-D pair ({q:?}, {s:?})"),
+                ));
+            }
+        }
+        for (&(q, s), _) in &m.delta_root {
+            if pol(q, s) != Some(Polarity::Up) {
+                return Err(Error::ill_formed(
+                    "2DTAr",
+                    format!("δ_root defined on non-U pair ({q:?}, {s:?})"),
+                ));
+            }
+        }
+        for (seq, _) in &m.delta_up {
+            if seq.is_empty() || seq.len() > m.max_rank {
+                return Err(Error::ill_formed(
+                    "2DTAr",
+                    format!("δ↑ arity {} out of range", seq.len()),
+                ));
+            }
+            for &(q, s) in seq {
+                if pol(q, s) != Some(Polarity::Up) {
+                    return Err(Error::ill_formed(
+                        "2DTAr",
+                        format!("δ↑ mentions non-U pair ({q:?}, {s:?})"),
+                    ));
+                }
+            }
+        }
+        for (&(_, _, n), v) in &m.delta_down {
+            if v.len() != n || n == 0 || n > m.max_rank {
+                return Err(Error::ill_formed(
+                    "2DTAr",
+                    format!("δ↓ must emit exactly the arity many states (got {} for arity {n})", v.len()),
+                ));
+            }
+        }
+        Ok(m)
+    }
+}
+
+/// Record of a maximal run.
+#[derive(Clone, Debug)]
+pub struct RankedRunRecord {
+    /// Whether the final configuration was accepting (cut = {root}, final
+    /// state).
+    pub accepted: bool,
+    /// For each node, the states it assumed across the run (first-assumption
+    /// order) — `Assumed^A(t, v)` of Section 4.2.
+    pub assumed: Vec<Vec<StateId>>,
+    /// Work performed: [`TwoWayRanked::run_scheduled`] counts transitions
+    /// fired; the worklist [`TwoWayRanked::run`] counts node examinations
+    /// (an upper bound on transitions). Both are capped by the fuel budget.
+    pub steps: u64,
+}
+
+impl TwoWayRanked {
+    /// Alphabet size.
+    pub fn alphabet_len(&self) -> usize {
+        self.alphabet_len
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Maximum rank.
+    pub fn max_rank(&self) -> usize {
+        self.max_rank
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Whether `state` is final.
+    pub fn is_final(&self, state: StateId) -> bool {
+        self.finals[state.index()]
+    }
+
+    /// The polarity of `(state, label)`.
+    pub fn polarity(&self, state: StateId, label: Symbol) -> Option<Polarity> {
+        self.polarity[state.index()][label.index()]
+    }
+
+    /// `δ↓(state, label, arity)`.
+    pub fn down(&self, state: StateId, label: Symbol, arity: usize) -> Option<&[StateId]> {
+        self.delta_down
+            .get(&(state, label, arity))
+            .map(|v| v.as_slice())
+    }
+
+    /// `δ_leaf(state, label)`.
+    pub fn leaf(&self, state: StateId, label: Symbol) -> Option<StateId> {
+        self.delta_leaf.get(&(state, label)).copied()
+    }
+
+    /// `δ_root(state, label)`.
+    pub fn root(&self, state: StateId, label: Symbol) -> Option<StateId> {
+        self.delta_root.get(&(state, label)).copied()
+    }
+
+    /// `δ↑(children pairs)`.
+    pub fn up(&self, children: &[(StateId, Symbol)]) -> Option<StateId> {
+        self.delta_up.get(children).copied()
+    }
+
+    /// Default run fuel for `tree`: generous but finite, so genuine loops
+    /// surface as [`Error::FuelExhausted`] rather than hangs.
+    pub fn default_fuel(&self, tree: &Tree) -> u64 {
+        64 * (self.num_states as u64) * (tree.num_nodes() as u64) + 1024
+    }
+
+    /// Run to a maximal configuration with a worklist engine: after a
+    /// transition fires only the affected nodes are re-examined, so typical
+    /// runs cost O(steps + nodes) instead of a full rescan per step.
+    /// Confluence (Section 4.1) makes the result identical to any schedule
+    /// of [`TwoWayRanked::run_scheduled`] — property-tested.
+    pub fn run(&self, tree: &Tree) -> Result<RankedRunRecord> {
+        if tree.rank() > self.max_rank {
+            return Err(Error::domain(format!(
+                "tree rank {} exceeds automaton rank {}",
+                tree.rank(),
+                self.max_rank
+            )));
+        }
+        let fuel = self.default_fuel(tree);
+        let n = tree.num_nodes();
+        let mut state: Vec<Option<StateId>> = vec![None; n];
+        let mut assumed: Vec<Vec<StateId>> = vec![Vec::new(); n];
+        let root = tree.root();
+        state[root.index()] = Some(self.initial);
+        assumed[root.index()].push(self.initial);
+        let mut steps = 0u64;
+
+        let assume = |assumed: &mut Vec<Vec<StateId>>, v: NodeId, q: StateId| {
+            let list = &mut assumed[v.index()];
+            if !list.contains(&q) {
+                list.push(q);
+            }
+        };
+
+        let mut queue: std::collections::VecDeque<NodeId> = tree.nodes().collect();
+        let mut queued = vec![true; n];
+        let enqueue = |queue: &mut std::collections::VecDeque<NodeId>,
+                       queued: &mut Vec<bool>,
+                       v: NodeId| {
+            if !queued[v.index()] {
+                queued[v.index()] = true;
+                queue.push_back(v);
+            }
+        };
+
+        while let Some(v) = queue.pop_front() {
+            queued[v.index()] = false;
+            loop {
+                steps += 1;
+                if steps > fuel {
+                    return Err(Error::FuelExhausted { budget: fuel });
+                }
+                let label = tree.label(v);
+                if let Some(q) = state[v.index()] {
+                    match self.polarity(q, label) {
+                        Some(Polarity::Down) if tree.is_leaf(v) => {
+                            if let Some(q2) = self.leaf(q, label) {
+                                state[v.index()] = Some(q2);
+                                assume(&mut assumed, v, q2);
+                                if let Some(p) = tree.parent(v) {
+                                    enqueue(&mut queue, &mut queued, p);
+                                }
+                                continue;
+                            }
+                        }
+                        Some(Polarity::Down) => {
+                            if let Some(down) = self.down(q, label, tree.arity(v)) {
+                                let kids_states = down.to_vec();
+                                state[v.index()] = None;
+                                for (&c, q2) in tree.children(v).iter().zip(kids_states) {
+                                    state[c.index()] = Some(q2);
+                                    assume(&mut assumed, c, q2);
+                                    enqueue(&mut queue, &mut queued, c);
+                                }
+                                // re-queue v for the all-children-already-up
+                                // case; settling children wake it otherwise.
+                                enqueue(&mut queue, &mut queued, v);
+                                break;
+                            }
+                        }
+                        Some(Polarity::Up) if v == root => {
+                            if let Some(q2) = self.root(q, label) {
+                                state[root.index()] = Some(q2);
+                                assume(&mut assumed, root, q2);
+                                continue;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                // up transition at v (children all in cut holding U pairs)
+                if !tree.is_leaf(v) && state[v.index()].is_none() {
+                    let mut pairs = Vec::with_capacity(tree.arity(v));
+                    let mut ok = true;
+                    for &c in tree.children(v) {
+                        match state[c.index()] {
+                            Some(q)
+                                if self.polarity(q, tree.label(c))
+                                    == Some(Polarity::Up) =>
+                            {
+                                pairs.push((q, tree.label(c)));
+                            }
+                            _ => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if ok {
+                        if let Some(q2) = self.up(&pairs) {
+                            for &c in tree.children(v) {
+                                state[c.index()] = None;
+                            }
+                            state[v.index()] = Some(q2);
+                            assume(&mut assumed, v, q2);
+                            if let Some(p) = tree.parent(v) {
+                                enqueue(&mut queue, &mut queued, p);
+                            }
+                            continue;
+                        }
+                    }
+                }
+                break;
+            }
+        }
+        let accepted = state[root.index()].is_some_and(|q| self.is_final(q))
+            && state.iter().filter(|s| s.is_some()).count() == 1;
+        Ok(RankedRunRecord {
+            accepted,
+            assumed,
+            steps,
+        })
+    }
+
+    /// Run with an explicit fuel bound and a *schedule*: when several
+    /// transitions are enabled, `pick(n)` chooses which of the `n` enabled
+    /// ones fires. Confluence (Section 4.1) means the choice cannot affect
+    /// per-node state sequences; the property tests exercise exactly this.
+    pub fn run_scheduled(
+        &self,
+        tree: &Tree,
+        fuel: u64,
+        mut pick: impl FnMut(usize) -> usize,
+    ) -> Result<RankedRunRecord> {
+        if tree.rank() > self.max_rank {
+            return Err(Error::domain(format!(
+                "tree rank {} exceeds automaton rank {}",
+                tree.rank(),
+                self.max_rank
+            )));
+        }
+        let n = tree.num_nodes();
+        // cut membership + state per node
+        let mut state: Vec<Option<StateId>> = vec![None; n];
+        let mut assumed: Vec<Vec<StateId>> = vec![Vec::new(); n];
+        let root = tree.root();
+        state[root.index()] = Some(self.initial);
+        assumed[root.index()].push(self.initial);
+        let mut steps = 0u64;
+
+        #[derive(Clone, Copy, Debug)]
+        enum Move {
+            Down(NodeId),
+            Leaf(NodeId),
+            Up(NodeId),
+            Root,
+        }
+
+        let assume = |assumed: &mut Vec<Vec<StateId>>, v: NodeId, q: StateId| {
+            let list = &mut assumed[v.index()];
+            if !list.contains(&q) {
+                list.push(q);
+            }
+        };
+
+        loop {
+            // Collect enabled moves.
+            let mut enabled: Vec<Move> = Vec::new();
+            for v in tree.nodes() {
+                let Some(q) = state[v.index()] else { continue };
+                let label = tree.label(v);
+                match self.polarity(q, label) {
+                    Some(Polarity::Down) => {
+                        if tree.is_leaf(v) {
+                            if self.leaf(q, label).is_some() {
+                                enabled.push(Move::Leaf(v));
+                            }
+                        } else if self.down(q, label, tree.arity(v)).is_some() {
+                            enabled.push(Move::Down(v));
+                        }
+                    }
+                    Some(Polarity::Up) => {
+                        if v == root {
+                            if self.root(q, label).is_some() {
+                                enabled.push(Move::Root);
+                            }
+                        }
+                    }
+                    None => {}
+                }
+            }
+            // Up moves: parents whose children are all in the cut with U
+            // pairs and a defined δ↑ entry.
+            for v in tree.nodes() {
+                if tree.is_leaf(v) || state[v.index()].is_some() {
+                    continue;
+                }
+                let mut pairs = Vec::with_capacity(tree.arity(v));
+                let mut ok = true;
+                for &c in tree.children(v) {
+                    match state[c.index()] {
+                        Some(q)
+                            if self.polarity(q, tree.label(c)) == Some(Polarity::Up) =>
+                        {
+                            pairs.push((q, tree.label(c)));
+                        }
+                        _ => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok && self.up(&pairs).is_some() {
+                    enabled.push(Move::Up(v));
+                }
+            }
+
+            if enabled.is_empty() {
+                let accepted = state[root.index()]
+                    .is_some_and(|q| self.is_final(q))
+                    && state.iter().filter(|s| s.is_some()).count() == 1;
+                return Ok(RankedRunRecord {
+                    accepted,
+                    assumed,
+                    steps,
+                });
+            }
+
+            steps += 1;
+            if steps > fuel {
+                return Err(Error::FuelExhausted { budget: fuel });
+            }
+
+            let mv = enabled[pick(enabled.len()) % enabled.len()];
+            match mv {
+                Move::Leaf(v) => {
+                    let q = state[v.index()].expect("enabled");
+                    let q2 = self.leaf(q, tree.label(v)).expect("enabled");
+                    state[v.index()] = Some(q2);
+                    assume(&mut assumed, v, q2);
+                }
+                Move::Root => {
+                    let q = state[root.index()].expect("enabled");
+                    let q2 = self.root(q, tree.label(root)).expect("enabled");
+                    state[root.index()] = Some(q2);
+                    assume(&mut assumed, root, q2);
+                }
+                Move::Down(v) => {
+                    let q = state[v.index()].expect("enabled");
+                    let kids_states = self
+                        .down(q, tree.label(v), tree.arity(v))
+                        .expect("enabled")
+                        .to_vec();
+                    state[v.index()] = None;
+                    for (&c, q2) in tree.children(v).iter().zip(kids_states) {
+                        state[c.index()] = Some(q2);
+                        assume(&mut assumed, c, q2);
+                    }
+                }
+                Move::Up(v) => {
+                    let pairs: Vec<(StateId, Symbol)> = tree
+                        .children(v)
+                        .iter()
+                        .map(|&c| (state[c.index()].expect("enabled"), tree.label(c)))
+                        .collect();
+                    let q2 = self.up(&pairs).expect("enabled");
+                    for &c in tree.children(v) {
+                        state[c.index()] = None;
+                    }
+                    state[v.index()] = Some(q2);
+                    assume(&mut assumed, v, q2);
+                }
+            }
+        }
+    }
+
+    /// Whether the automaton accepts `tree`.
+    pub fn accepts(&self, tree: &Tree) -> Result<bool> {
+        Ok(self.run(tree)?.accepted)
+    }
+}
+
+/// Example 4.2: the two-way Boolean-circuit automaton over
+/// `{AND, OR, 0, 1}` accepting full binary circuits that evaluate to 1.
+///
+/// States: `s` (descend), `u` (leaf evaluated), value pairs `(i, j)`, and
+/// two verdict states `v0`/`v1` at the root (`F = {v1}`). The paper's
+/// transition listing is completed with the mixed leaf/inner-child up
+/// transitions it elides.
+pub fn example_4_2(alphabet: &qa_base::Alphabet) -> TwoWayRanked {
+    build_circuit_machine(alphabet, false).0
+}
+
+/// The state inventory of [`example_4_2`], for reuse by Example 4.4.
+pub(crate) fn build_circuit_machine(
+    alphabet: &qa_base::Alphabet,
+    all_final: bool,
+) -> (TwoWayRanked, CircuitStates) {
+    let and = alphabet.symbol("AND");
+    let or = alphabet.symbol("OR");
+    let zero = alphabet.symbol("0");
+    let one = alphabet.symbol("1");
+    let mut b = TwoWayRankedBuilder::new(alphabet.len(), 2);
+    let s = b.add_state();
+    let u = b.add_state();
+    let pair = |i: usize, j: usize| StateId::from_index(2 + 2 * i + j);
+    for _ in 0..4 {
+        b.add_state();
+    }
+    let v0 = b.add_state();
+    let v1 = b.add_state();
+    b.set_initial(s);
+    if all_final {
+        for i in 0..b.inner.num_states {
+            b.set_final(StateId::from_index(i), true);
+        }
+    } else {
+        b.set_final(v1, true);
+    }
+
+    b.set_polarity_all(s, Polarity::Down);
+    b.set_polarity_all(u, Polarity::Up);
+    for i in 0..2 {
+        for j in 0..2 {
+            b.set_polarity_all(pair(i, j), Polarity::Up);
+        }
+    }
+    b.set_polarity_all(v0, Polarity::Up);
+    b.set_polarity_all(v1, Polarity::Up);
+
+    // (1) descend
+    for op in [and, or] {
+        b.set_down(s, op, &[s, s]);
+    }
+    // (2) leaves flip to u
+    for leaf in [zero, one] {
+        b.set_leaf(s, leaf, u);
+    }
+    // value of a child from its (state, label) pair
+    let val = |q: StateId, l: Symbol| -> Option<usize> {
+        if q == u {
+            Some(if l == one { 1 } else { 0 })
+        } else if q.index() >= 2 && q.index() < 6 {
+            let (i, j) = ((q.index() - 2) / 2, (q.index() - 2) % 2);
+            Some(if l == and {
+                i & j
+            } else if l == or {
+                i | j
+            } else {
+                return None;
+            })
+        } else {
+            None
+        }
+    };
+    // (3)+(4) with the mixed cases: fold children values into the parent
+    let child_pairs: Vec<(StateId, Symbol)> = {
+        let mut v = vec![(u, zero), (u, one)];
+        for i in 0..2 {
+            for j in 0..2 {
+                for op in [and, or] {
+                    v.push((pair(i, j), op));
+                }
+            }
+        }
+        v
+    };
+    let mut ups: Vec<(Vec<(StateId, Symbol)>, StateId)> = Vec::new();
+    for &c1 in &child_pairs {
+        for &c2 in &child_pairs {
+            if let (Some(i), Some(j)) = (val(c1.0, c1.1), val(c2.0, c2.1)) {
+                ups.push((vec![c1, c2], pair(i, j)));
+            }
+        }
+    }
+    for (seq, q) in ups {
+        b.set_up(&seq, q);
+    }
+    // (5) root verdict
+    for i in 0..2 {
+        for j in 0..2 {
+            b.set_root(pair(i, j), and, if i & j == 1 { v1 } else { v0 });
+            b.set_root(pair(i, j), or, if i | j == 1 { v1 } else { v0 });
+        }
+    }
+    // single-leaf circuits: u at the root
+    b.set_root(u, zero, v0);
+    b.set_root(u, one, v1);
+
+    let machine = b.build().expect("example 4.2 is well-formed");
+    (
+        machine,
+        CircuitStates {
+            u,
+            v1,
+            pair_base: 2,
+        },
+    )
+}
+
+/// State handles of the Example 4.2 machine.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct CircuitStates {
+    pub u: StateId,
+    pub v1: StateId,
+    pub pair_base: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qa_base::Alphabet;
+    use qa_trees::sexpr::from_sexpr;
+
+    fn alpha() -> Alphabet {
+        Alphabet::from_names(["AND", "OR", "0", "1"])
+    }
+
+    #[test]
+    fn example_4_2_accepts_true_circuits() {
+        let mut a = alpha();
+        let m = example_4_2(&a);
+        for (s, val) in [
+            ("1", true),
+            ("0", false),
+            ("(AND 1 1)", true),
+            ("(AND 1 0)", false),
+            ("(OR 0 1)", true),
+            ("(OR (AND 1 1) (AND 0 0))", true),
+            ("(AND (OR 1 0) (AND (OR 0 0) 1))", false),
+            ("(AND (AND 1 1) (OR 0 (AND 1 1)))", true),
+        ] {
+            let t = from_sexpr(s, &mut a).unwrap();
+            assert_eq!(m.accepts(&t).unwrap(), val, "{s}");
+        }
+    }
+
+    #[test]
+    fn run_matches_one_way_circuit_on_random_trees() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let a = alpha();
+        let m = example_4_2(&a);
+        let one_way = super::super::Dbta::boolean_circuit(&a);
+        let inner = [a.symbol("AND"), a.symbol("OR")];
+        let leaves = [a.symbol("0"), a.symbol("1")];
+        let mut rng = StdRng::seed_from_u64(5);
+        for size in [0usize, 1, 3, 8, 20] {
+            for _ in 0..5 {
+                let t = qa_trees::generate::random_full_binary(&mut rng, &inner, &leaves, size);
+                assert_eq!(
+                    m.accepts(&t).unwrap(),
+                    one_way.accepts(&t),
+                    "{}",
+                    t.render(&a)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn assumed_states_record_the_evaluation() {
+        let mut a = alpha();
+        let m = example_4_2(&a);
+        let t = from_sexpr("(AND 1 0)", &mut a).unwrap();
+        let rec = m.run(&t).unwrap();
+        // root assumed: s, then pair(1,0) = index 2+2*1+0 = 4, then v0 = 6
+        let root_states: Vec<usize> =
+            rec.assumed[t.root().index()].iter().map(|q| q.index()).collect();
+        assert_eq!(root_states, vec![0, 4, 6]);
+        // each leaf assumed s then u
+        for &leaf in t.children(t.root()) {
+            let states: Vec<usize> =
+                rec.assumed[leaf.index()].iter().map(|q| q.index()).collect();
+            assert_eq!(states, vec![0, 1]);
+        }
+    }
+
+    #[test]
+    fn confluence_under_random_schedules() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut a = alpha();
+        let m = example_4_2(&a);
+        let t = from_sexpr("(OR (AND 1 0) (OR 1 1))", &mut a).unwrap();
+        let reference = m.run(&t).unwrap();
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rec = m
+                .run_scheduled(&t, m.default_fuel(&t), |n| rng.gen_range(0..n))
+                .unwrap();
+            assert_eq!(rec.accepted, reference.accepted);
+            assert_eq!(rec.assumed, reference.assumed, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rank_mismatch_is_a_domain_error() {
+        let mut a = alpha();
+        let m = example_4_2(&a);
+        let t = from_sexpr("(AND 1 1 1)", &mut a).unwrap();
+        assert!(matches!(m.run(&t), Err(Error::Domain { .. })));
+    }
+
+    #[test]
+    fn builder_validates_polarities() {
+        let a = alpha();
+        let mut b = TwoWayRankedBuilder::new(a.len(), 2);
+        let q = b.add_state();
+        // δ_leaf on a pair not in D
+        b.set_leaf(q, a.symbol("0"), q);
+        assert!(b.build().is_err());
+
+        let mut b = TwoWayRankedBuilder::new(a.len(), 2);
+        let q = b.add_state();
+        b.set_polarity_all(q, Polarity::Down);
+        // δ↓ arity mismatch
+        b.set_down(q, a.symbol("AND"), &[q]);
+        let m = b.build().unwrap();
+        assert!(m.down(q, a.symbol("AND"), 1).is_some());
+
+        let mut b = TwoWayRankedBuilder::new(a.len(), 2);
+        let q = b.add_state();
+        b.set_polarity_all(q, Polarity::Up);
+        b.set_up(&[], q);
+        assert!(b.build().is_err(), "empty δ↑ sequence rejected");
+    }
+
+    #[test]
+    fn non_maximal_cut_rejects() {
+        // a machine that descends and stops at the leaves: cut != {root}.
+        let a = alpha();
+        let mut b = TwoWayRankedBuilder::new(a.len(), 2);
+        let s = b.add_state();
+        b.set_initial(s);
+        b.set_final(s, true);
+        b.set_polarity_all(s, Polarity::Down);
+        for op in [a.symbol("AND"), a.symbol("OR")] {
+            b.set_down(s, op, &[s, s]);
+        }
+        let m = b.build().unwrap();
+        let mut a2 = a.clone();
+        let t = from_sexpr("(AND 1 0)", &mut a2).unwrap();
+        // leaves hold s (a D pair) but δ_leaf is undefined: maximal, but the
+        // root is not in the cut → reject.
+        assert!(!m.accepts(&t).unwrap());
+    }
+}

@@ -1,0 +1,198 @@
+//! Lemma 5.2: non-emptiness of unranked bottom-up tree automata is in
+//! PTIME.
+//!
+//! The algorithm is the paper's: compute the reachable-state fixpoint
+//! `R₁ ⊆ R₂ ⊆ …` where `q ∈ Rₙ₊₁` iff some transition language
+//! `δ(q, a)` intersects `Rₙ*`; the language is non-empty iff the fixpoint
+//! meets `F`. Each intersection test is NFA emptiness restricted to a
+//! symbol subset — polynomial.
+
+use qa_base::Symbol;
+use qa_strings::StateId;
+use qa_trees::Tree;
+
+use super::Nbtau;
+
+/// The set of reachable states of `n` (the paper's `R`), as a boolean mask.
+pub fn reachable_states(n: &Nbtau) -> Vec<bool> {
+    let mut reached = vec![false; n.num_states()];
+    loop {
+        let mut changed = false;
+        for (q, _a, nfa) in n.languages() {
+            if reached[q.index()] {
+                continue;
+            }
+            if !nfa.is_empty_over(Some(&reached)) {
+                reached[q.index()] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    reached
+}
+
+/// Whether `L(n)` is non-empty (Lemma 5.2).
+pub fn is_nonempty(n: &Nbtau) -> bool {
+    let reached = reachable_states(n);
+    (0..n.num_states())
+        .map(StateId::from_index)
+        .any(|q| reached[q.index()] && n.is_final(q))
+}
+
+/// A witness tree, if the language is non-empty.
+///
+/// Re-runs the fixpoint, recording for each newly reached state a witness
+/// tree assembled from a shortest transition word over already-reached
+/// states.
+pub fn witness(n: &Nbtau) -> Option<Tree> {
+    let mut trees: Vec<Option<Tree>> = vec![None; n.num_states()];
+    let mut reached = vec![false; n.num_states()];
+    loop {
+        let mut changed = false;
+        for (q, a, nfa) in n.languages() {
+            if reached[q.index()] {
+                continue;
+            }
+            if nfa.is_empty_over(Some(&reached)) {
+                continue;
+            }
+            // shortest word over reached states
+            let word = restricted_witness(nfa, &reached)
+                .expect("non-empty over this restriction");
+            let kids: Vec<Tree> = word
+                .iter()
+                .map(|s| trees[s.index()].clone().expect("reached"))
+                .collect();
+            trees[q.index()] = Some(Tree::node(a, kids));
+            reached[q.index()] = true;
+            changed = true;
+        }
+        if !changed {
+            break;
+        }
+    }
+    (0..n.num_states())
+        .map(StateId::from_index)
+        .filter(|&q| n.is_final(q))
+        .filter_map(|q| trees[q.index()].clone())
+        .min_by_key(|t| t.num_nodes())
+}
+
+/// Shortest word of `L(nfa)` using only allowed symbols.
+fn restricted_witness(nfa: &qa_strings::Nfa, allowed: &[bool]) -> Option<Vec<Symbol>> {
+    let mut masked = qa_strings::Nfa::new(nfa.alphabet_len());
+    for _ in 0..nfa.num_states() {
+        masked.add_state();
+    }
+    for s_idx in 0..nfa.num_states() {
+        let s = StateId::from_index(s_idx);
+        masked.set_accepting(s, nfa.is_accepting(s));
+        for &e in nfa.epsilon_successors(s) {
+            masked.add_epsilon(s, e);
+        }
+        for a in 0..nfa.alphabet_len() {
+            if !allowed[a] {
+                continue;
+            }
+            let sym = Symbol::from_index(a);
+            for &t in nfa.successors(s, sym) {
+                masked.add_transition(s, sym, t);
+            }
+        }
+    }
+    for &i in nfa.initial_states() {
+        masked.set_initial(i);
+    }
+    masked.shortest_witness()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qa_base::Alphabet;
+    use qa_strings::Regex;
+
+    #[test]
+    fn circuit_automaton_is_nonempty_with_witness() {
+        let a = Alphabet::from_names(["AND", "OR", "0", "1"]);
+        let n = Nbtau::boolean_circuit(&a);
+        assert!(is_nonempty(&n));
+        let w = witness(&n).unwrap();
+        assert!(n.accepts(&w));
+        assert_eq!(w.num_nodes(), 1, "smallest witness is the `1` leaf");
+    }
+
+    #[test]
+    fn empty_automaton() {
+        let n = Nbtau::new(2);
+        assert!(!is_nonempty(&n));
+        assert!(witness(&n).is_none());
+    }
+
+    #[test]
+    fn unreachable_final_state_is_empty() {
+        let mut a = Alphabet::new();
+        let x = a.intern("x");
+        let mut n = Nbtau::new(1);
+        let q0 = n.add_state();
+        let qf = n.add_state();
+        n.set_final(qf, true);
+        // q0 reachable at leaves; qf requires a child in qf: circular.
+        n.set_language(q0, x, Regex::Epsilon.to_nfa(2)).unwrap();
+        n.set_language(
+            qf,
+            x,
+            Regex::Sym(Symbol::from_index(qf.index())).to_nfa(2),
+        )
+        .unwrap();
+        assert!(!is_nonempty(&n));
+        let reached = reachable_states(&n);
+        assert_eq!(reached, vec![true, false]);
+    }
+
+    #[test]
+    fn deep_witness_is_assembled_correctly() {
+        // qf needs children word q0 q0; q0 needs ε at leaves → witness is
+        // x(x, x).
+        let mut a = Alphabet::new();
+        let x = a.intern("x");
+        let mut n = Nbtau::new(1);
+        let q0 = n.add_state();
+        let qf = n.add_state();
+        n.set_final(qf, true);
+        n.set_language(q0, x, Regex::Epsilon.to_nfa(2)).unwrap();
+        let s0 = Regex::Sym(Symbol::from_index(q0.index()));
+        n.set_language(qf, x, s0.clone().concat(s0).to_nfa(2))
+            .unwrap();
+        let w = witness(&n).unwrap();
+        assert_eq!(w.num_nodes(), 3);
+        assert!(n.accepts(&w));
+    }
+
+    #[test]
+    fn growth_is_monotone_until_fixpoint() {
+        // chain: q_i needs a child word q_{i-1}; reachability ripples up.
+        let mut a = Alphabet::new();
+        let x = a.intern("x");
+        let k = 6;
+        let mut n = Nbtau::new(1);
+        let states: Vec<StateId> = (0..k).map(|_| n.add_state()).collect();
+        n.set_final(states[k - 1], true);
+        n.set_language(states[0], x, Regex::Epsilon.to_nfa(k)).unwrap();
+        for i in 1..k {
+            n.set_language(
+                states[i],
+                x,
+                Regex::Sym(Symbol::from_index(states[i - 1].index())).to_nfa(k),
+            )
+            .unwrap();
+        }
+        assert!(is_nonempty(&n));
+        let w = witness(&n).unwrap();
+        assert_eq!(w.num_nodes(), k, "chain witness");
+        assert!(n.accepts(&w));
+    }
+}

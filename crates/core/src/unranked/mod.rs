@@ -1,0 +1,13 @@
+//! Automata on unranked trees (Section 5 of the paper).
+
+pub mod dbta;
+pub mod emptiness;
+pub mod ops;
+pub mod query;
+pub mod stay;
+pub mod twoway;
+
+pub use dbta::{Dbtau, Nbtau};
+pub use query::{StrongQa, UnrankedQa};
+pub use stay::StayRule;
+pub use twoway::{TwoWayUnranked, TwoWayUnrankedBuilder, UnrankedRunRecord};

@@ -1,0 +1,273 @@
+//! Product constructions for unranked tree automata.
+//!
+//! Intersection and union of `NBTAu` languages via the pair construction:
+//! the product automaton's transition language `δ((q, q'), a)` is the set
+//! of pair-strings whose left projection lies in `δ₁(q, a)` and right
+//! projection in `δ₂(q', a)` — regular, built as a product NFA over the
+//! pair alphabet. Complementation is *not* provided here: it needs
+//! determinization, which this workspace performs through the
+//! first-child/next-sibling encoding in `qa-mso` (see DESIGN.md §2).
+
+use qa_base::Symbol;
+use qa_strings::{Nfa, StateId};
+
+use super::Nbtau;
+
+/// Dense pairing of two state spaces: `(q, q') ↦ q · n2 + q'`.
+#[inline]
+fn pair(q1: StateId, q2: StateId, n2: usize) -> StateId {
+    StateId::from_index(q1.index() * n2 + q2.index())
+}
+
+/// The product NFA over pair-of-state symbols: accepts pair-strings whose
+/// projections are accepted by `n1` and `n2` respectively.
+fn product_language(n1: &Nfa, n2: &Nfa, states2: usize, pair_alphabet: usize) -> Nfa {
+    let mut out = Nfa::new(pair_alphabet);
+    // states: (n1 state, n2 state), lazily — but the component NFAs are
+    // small, so a dense grid keeps the code simple.
+    let (a_n, b_n) = (n1.num_states(), n2.num_states());
+    for _ in 0..a_n * b_n {
+        out.add_state();
+    }
+    let grid = |a: StateId, b: StateId| StateId::from_index(a.index() * b_n + b.index());
+    for &ia in n1.initial_states() {
+        for &ib in n2.initial_states() {
+            out.set_initial(grid(ia, ib));
+        }
+    }
+    for a in 0..a_n {
+        let sa = StateId::from_index(a);
+        for b in 0..b_n {
+            let sb = StateId::from_index(b);
+            if n1.is_accepting(sa) && n2.is_accepting(sb) {
+                out.set_accepting(grid(sa, sb), true);
+            }
+            // ε moves in either component
+            for &ta in n1.epsilon_successors(sa) {
+                out.add_epsilon(grid(sa, sb), grid(ta, sb));
+            }
+            for &tb in n2.epsilon_successors(sb) {
+                out.add_epsilon(grid(sa, sb), grid(sa, tb));
+            }
+            // joint moves on the pair symbol (x, y)
+            for x in 0..n1.alphabet_len() {
+                let sx = Symbol::from_index(x);
+                for &ta in n1.successors(sa, sx) {
+                    for y in 0..n2.alphabet_len() {
+                        let sy = Symbol::from_index(y);
+                        for &tb in n2.successors(sb, sy) {
+                            let sym = Symbol::from_index(x * states2 + y);
+                            out.add_transition(grid(sa, sb), sym, grid(ta, tb));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Product of two `NBTAu`s; `combine` decides finality of `(q₁, q₂)`.
+pub fn product(a: &Nbtau, b: &Nbtau, combine: impl Fn(bool, bool) -> bool) -> Nbtau {
+    assert_eq!(
+        a.alphabet_len(),
+        b.alphabet_len(),
+        "product over mismatched alphabets"
+    );
+    let (n1, n2) = (a.num_states(), b.num_states());
+    let mut out = Nbtau::new(a.alphabet_len());
+    for _ in 0..n1 * n2 {
+        out.add_state();
+    }
+    for q1 in 0..n1 {
+        for q2 in 0..n2 {
+            let p = pair(StateId::from_index(q1), StateId::from_index(q2), n2);
+            out.set_final(
+                p,
+                combine(
+                    a.is_final(StateId::from_index(q1)),
+                    b.is_final(StateId::from_index(q2)),
+                ),
+            );
+        }
+    }
+    for sym_idx in 0..a.alphabet_len() {
+        let sym = Symbol::from_index(sym_idx);
+        for q1 in 0..n1 {
+            let s1 = StateId::from_index(q1);
+            let Some(l1) = a.language(s1, sym) else { continue };
+            for q2 in 0..n2 {
+                let s2 = StateId::from_index(q2);
+                let Some(l2) = b.language(s2, sym) else { continue };
+                let lang = product_language(l1, l2, n2, n1 * n2);
+                out.set_language(pair(s1, s2, n2), sym, lang)
+                    .expect("pair state count matches");
+            }
+        }
+    }
+    out
+}
+
+/// Intersection: accepts trees accepted by both.
+///
+/// Note: for a *union* over nondeterministic automata, prefer
+/// [`disjoint_union`] — the pair construction under-approximates unions
+/// when one side has no run at all on a subtree.
+pub fn intersect(a: &Nbtau, b: &Nbtau) -> Nbtau {
+    product(a, b, |x, y| x && y)
+}
+
+/// Union by disjoint sum of the state spaces (the standard NBTA union).
+pub fn disjoint_union(a: &Nbtau, b: &Nbtau) -> Nbtau {
+    assert_eq!(a.alphabet_len(), b.alphabet_len());
+    let n1 = a.num_states();
+    let total = n1 + b.num_states();
+    let mut out = Nbtau::new(a.alphabet_len());
+    for _ in 0..total {
+        out.add_state();
+    }
+    // embed a's languages (state alphabet grows: relabel symbols 1:1)
+    let embed = |n: &Nfa, offset: usize| -> Nfa {
+        let mut e = Nfa::new(total);
+        for _ in 0..n.num_states() {
+            e.add_state();
+        }
+        for s_idx in 0..n.num_states() {
+            let s = StateId::from_index(s_idx);
+            e.set_accepting(s, n.is_accepting(s));
+            for &t in n.epsilon_successors(s) {
+                e.add_epsilon(s, t);
+            }
+            for x in 0..n.alphabet_len() {
+                for &t in n.successors(s, Symbol::from_index(x)) {
+                    e.add_transition(s, Symbol::from_index(x + offset), t);
+                }
+            }
+        }
+        for &i in n.initial_states() {
+            e.set_initial(i);
+        }
+        e
+    };
+    for (q, sym, lang) in a.languages() {
+        out.set_language(q, sym, embed(lang, 0)).expect("sized");
+    }
+    for (q, sym, lang) in b.languages() {
+        out.set_language(
+            StateId::from_index(q.index() + n1),
+            sym,
+            embed(lang, n1),
+        )
+        .expect("sized");
+    }
+    for q in 0..n1 {
+        let s = StateId::from_index(q);
+        out.set_final(s, a.is_final(s));
+    }
+    for q in 0..b.num_states() {
+        out.set_final(
+            StateId::from_index(q + n1),
+            b.is_final(StateId::from_index(q)),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qa_base::Alphabet;
+    use qa_strings::Regex;
+    use qa_trees::sexpr::from_sexpr;
+
+    /// NBTAu accepting trees whose root has exactly `n` children (any
+    /// labels below, over a unary alphabet).
+    fn root_arity(n: usize) -> Nbtau {
+        let mut a = Nbtau::new(1);
+        let any = a.add_state();
+        let root = a.add_state();
+        a.set_final(root, true);
+        let x = Symbol::from_index(0);
+        let any_s = Regex::Sym(Symbol::from_index(any.index()));
+        a.set_language(any, x, any_s.clone().star().to_nfa(2)).unwrap();
+        let mut fixed = Regex::Epsilon;
+        for _ in 0..n {
+            fixed = fixed.concat(any_s.clone());
+        }
+        a.set_language(root, x, fixed.to_nfa(2)).unwrap();
+        a
+    }
+
+    /// NBTAu accepting trees of height ≥ 1 (root not a leaf).
+    fn not_leaf() -> Nbtau {
+        let mut a = Nbtau::new(1);
+        let any = a.add_state();
+        let root = a.add_state();
+        a.set_final(root, true);
+        let x = Symbol::from_index(0);
+        let any_s = Regex::Sym(Symbol::from_index(any.index()));
+        a.set_language(any, x, any_s.clone().star().to_nfa(2)).unwrap();
+        a.set_language(root, x, any_s.clone().plus().to_nfa(2)).unwrap();
+        a
+    }
+
+    #[test]
+    fn intersection_requires_both() {
+        let two = root_arity(2);
+        let tall = not_leaf();
+        let both = intersect(&two, &tall);
+        let mut names = Alphabet::from_names(["x"]);
+        for (s, want) in [
+            ("x", false),
+            ("(x x)", false),
+            ("(x x x)", true),
+            ("(x (x x) x)", true),
+            ("(x x x x)", false),
+        ] {
+            let t = from_sexpr(s, &mut names).unwrap();
+            assert_eq!(both.accepts(&t), two.accepts(&t) && tall.accepts(&t), "{s}");
+            assert_eq!(both.accepts(&t), want, "{s}");
+        }
+    }
+
+    #[test]
+    fn disjoint_union_accepts_either() {
+        let two = root_arity(2);
+        let three = root_arity(3);
+        let either = disjoint_union(&two, &three);
+        let mut names = Alphabet::from_names(["x"]);
+        for (s, want) in [
+            ("x", false),
+            ("(x x x)", true),
+            ("(x x x x)", true),
+            ("(x x x x x)", false),
+        ] {
+            let t = from_sexpr(s, &mut names).unwrap();
+            assert_eq!(either.accepts(&t), want, "{s}");
+        }
+    }
+
+    #[test]
+    fn products_preserve_emptiness_reasoning() {
+        // arity-2 ∩ arity-3 at the root = empty
+        let conflict = intersect(&root_arity(2), &root_arity(3));
+        assert!(!crate::unranked::emptiness::is_nonempty(&conflict));
+        // arity-2 ∩ height≥1 is non-empty, with a 3-node witness
+        let ok = intersect(&root_arity(2), &not_leaf());
+        let w = crate::unranked::emptiness::witness(&ok).unwrap();
+        assert!(ok.accepts(&w));
+        assert_eq!(w.num_nodes(), 3);
+    }
+
+    #[test]
+    fn circuit_self_intersection_is_identity() {
+        let a = Alphabet::from_names(["AND", "OR", "0", "1"]);
+        let c = Nbtau::boolean_circuit(&a);
+        let cc = intersect(&c, &c);
+        let mut names = a.clone();
+        for s in ["1", "(AND 1 0)", "(OR 0 (AND 1 1))"] {
+            let t = from_sexpr(s, &mut names).unwrap();
+            assert_eq!(cc.accepts(&t), c.accepts(&t), "{s}");
+        }
+    }
+}

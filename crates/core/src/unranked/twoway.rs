@@ -1,0 +1,898 @@
+//! Two-way deterministic unranked tree automata (Definitions 5.7 and 5.11).
+
+use std::collections::HashMap;
+
+use qa_base::{Error, Result, Symbol};
+use qa_strings::{Dfa, SlenderLang, StateId};
+use qa_trees::{NodeId, Tree};
+
+use super::stay::{pair_alphabet_len, pair_symbol, StayRule};
+use crate::ranked::twoway::Polarity;
+
+/// A two-way deterministic unranked tree automaton, optionally *generalized*
+/// with stay transitions (Definition 5.11) and *strong* when the per-node
+/// stay budget is a constant (Definition 5.12).
+///
+/// Differences from the ranked machine (Definition 5.7):
+/// - down transitions hand states to arbitrarily many children, so
+///   `L↓(q, a)` is a **slender** language (one string per length, Shallit
+///   `x y* z` form) — the run looks up the string of length `arity`;
+/// - up transitions read the *string* of children `(state, label)` pairs;
+///   determinism (`L↑(q) ∩ L↑(q') = ∅`) is guaranteed by construction: one
+///   total classifier DFA per machine assigns at most one target state per
+///   pair-string;
+/// - an optional stay block: a matcher DFA recognizing `U_stay` (validated
+///   disjoint from every `L↑(q)`) and a [`StayRule`] computing the new
+///   child states.
+#[derive(Clone, Debug)]
+pub struct TwoWayUnranked {
+    alphabet_len: usize,
+    num_states: usize,
+    initial: StateId,
+    finals: Vec<bool>,
+    polarity: Vec<Vec<Option<Polarity>>>,
+    delta_leaf: HashMap<(StateId, Symbol), StateId>,
+    delta_root: HashMap<(StateId, Symbol), StateId>,
+    delta_down: HashMap<(StateId, Symbol), SlenderLang>,
+    /// Total classifier over the pair alphabet.
+    up_classifier: Option<Dfa>,
+    /// classifier accepting state → assigned automaton state.
+    up_assign: HashMap<StateId, StateId>,
+    stay: Option<StayBlock>,
+}
+
+/// The stay-transition block of a generalized machine.
+#[derive(Clone, Debug)]
+pub struct StayBlock {
+    /// DFA over the pair alphabet recognizing `U_stay`.
+    pub matcher: Dfa,
+    /// The `δ_stay` computation.
+    pub rule: StayRule,
+    /// Maximum stay transitions per node's children (1 = strong; any
+    /// constant keeps MSO expressiveness, Remark 5.18).
+    pub max_stays_per_node: u32,
+}
+
+/// Builder for [`TwoWayUnranked`].
+pub struct TwoWayUnrankedBuilder {
+    inner: TwoWayUnranked,
+    /// user-supplied per-state up languages, folded into the classifier at
+    /// build time.
+    up_langs: Vec<(StateId, Dfa)>,
+}
+
+impl TwoWayUnrankedBuilder {
+    /// Start a machine over `alphabet_len` symbols.
+    pub fn new(alphabet_len: usize) -> Self {
+        TwoWayUnrankedBuilder {
+            inner: TwoWayUnranked {
+                alphabet_len,
+                num_states: 0,
+                initial: StateId::from_index(0),
+                finals: Vec::new(),
+                polarity: Vec::new(),
+                delta_leaf: HashMap::new(),
+                delta_root: HashMap::new(),
+                delta_down: HashMap::new(),
+                up_classifier: None,
+                up_assign: HashMap::new(),
+                stay: None,
+            },
+            up_langs: Vec::new(),
+        }
+    }
+
+    /// Add a fresh state.
+    pub fn add_state(&mut self) -> StateId {
+        let id = StateId::from_index(self.inner.num_states);
+        self.inner.num_states += 1;
+        self.inner.finals.push(false);
+        self.inner
+            .polarity
+            .push(vec![None; self.inner.alphabet_len]);
+        id
+    }
+
+    /// Set the initial state.
+    pub fn set_initial(&mut self, state: StateId) -> &mut Self {
+        self.inner.initial = state;
+        self
+    }
+
+    /// Mark `state` final.
+    pub fn set_final(&mut self, state: StateId, is_final: bool) -> &mut Self {
+        self.inner.finals[state.index()] = is_final;
+        self
+    }
+
+    /// Put `(state, label)` into `U` or `D`.
+    pub fn set_polarity(&mut self, state: StateId, label: Symbol, p: Polarity) -> &mut Self {
+        self.inner.polarity[state.index()][label.index()] = Some(p);
+        self
+    }
+
+    /// Put `(state, ·)` into `U` or `D` for every label.
+    pub fn set_polarity_all(&mut self, state: StateId, p: Polarity) -> &mut Self {
+        for l in 0..self.inner.alphabet_len {
+            self.inner.polarity[state.index()][l] = Some(p);
+        }
+        self
+    }
+
+    /// Define `L↓(state, label)` as a slender language over the *state*
+    /// alphabet (symbol `i` = state `i`).
+    pub fn set_down(&mut self, state: StateId, label: Symbol, lang: SlenderLang) -> &mut Self {
+        self.inner.delta_down.insert((state, label), lang);
+        self
+    }
+
+    /// Define `δ_leaf(state, label) = next`.
+    pub fn set_leaf(&mut self, state: StateId, label: Symbol, next: StateId) -> &mut Self {
+        self.inner.delta_leaf.insert((state, label), next);
+        self
+    }
+
+    /// Define `δ_root(state, label) = next`.
+    pub fn set_root(&mut self, state: StateId, label: Symbol, next: StateId) -> &mut Self {
+        self.inner.delta_root.insert((state, label), next);
+        self
+    }
+
+    /// Add the up language `L↑(state)` as a DFA over the pair alphabet
+    /// (encode pairs with [`pair_symbol`]).
+    pub fn add_up_language(&mut self, state: StateId, dfa: Dfa) -> &mut Self {
+        self.up_langs.push((state, dfa));
+        self
+    }
+
+    /// Install the stay block.
+    pub fn set_stay(&mut self, block: StayBlock) -> &mut Self {
+        self.inner.stay = Some(block);
+        self
+    }
+
+    /// Validate and finish.
+    pub fn build(mut self) -> Result<TwoWayUnranked> {
+        let m = &mut self.inner;
+        if m.num_states == 0 {
+            return Err(Error::ill_formed("2DTAu", "no states"));
+        }
+        let pol = |m: &TwoWayUnranked, q: StateId, s: Symbol| m.polarity[q.index()][s.index()];
+        for (&(q, s), _) in &m.delta_leaf {
+            if pol(m, q, s) != Some(Polarity::Down) {
+                return Err(Error::ill_formed(
+                    "2DTAu",
+                    format!("δ_leaf on non-D pair ({q:?}, {s:?})"),
+                ));
+            }
+        }
+        for (&(q, s), _) in &m.delta_down {
+            if pol(m, q, s) != Some(Polarity::Down) {
+                return Err(Error::ill_formed(
+                    "2DTAu",
+                    format!("L↓ on non-D pair ({q:?}, {s:?})"),
+                ));
+            }
+        }
+        for (&(q, s), _) in &m.delta_root {
+            if pol(m, q, s) != Some(Polarity::Up) {
+                return Err(Error::ill_formed(
+                    "2DTAu",
+                    format!("δ_root on non-U pair ({q:?}, {s:?})"),
+                ));
+            }
+        }
+        let pal = pair_alphabet_len(m.num_states, m.alphabet_len);
+        // Fold the up languages into one classifier, checking disjointness.
+        let mut classifier: Option<Dfa> = None;
+        let mut assign: HashMap<StateId, StateId> = HashMap::new();
+        for (q, dfa) in &self.up_langs {
+            if dfa.alphabet_len() != pal {
+                return Err(Error::ill_formed(
+                    "2DTAu",
+                    "up language DFA must use the pair alphabet",
+                ));
+            }
+            match classifier {
+                None => {
+                    let total = dfa.totalize();
+                    for i in 0..total.num_states() {
+                        let cs = StateId::from_index(i);
+                        if total.is_accepting(cs) {
+                            assign.insert(cs, *q);
+                        }
+                    }
+                    // classifier acceptance flags are irrelevant; assignment
+                    // carries the information.
+                    classifier = Some(total);
+                }
+                Some(old) => {
+                    // product: track (old classifier state, new DFA state)
+                    let new_total = dfa.totalize();
+                    let mut prod = Dfa::new(pal);
+                    let mut index: HashMap<(StateId, StateId), StateId> = HashMap::new();
+                    let mut queue = std::collections::VecDeque::new();
+                    let mut new_assign: HashMap<StateId, StateId> = HashMap::new();
+                    let start = (old.initial(), new_total.initial());
+                    let id = prod.add_state();
+                    index.insert(start, id);
+                    prod.set_initial(id);
+                    queue.push_back(start);
+                    while let Some((a, b)) = queue.pop_front() {
+                        let from = index[&(a, b)];
+                        let owner_old = assign.get(&a).copied();
+                        let owner_new = if new_total.is_accepting(b) {
+                            Some(*q)
+                        } else {
+                            None
+                        };
+                        match (owner_old, owner_new) {
+                            (Some(x), Some(y)) if x != y => {
+                                return Err(Error::ill_formed(
+                                    "2DTAu",
+                                    format!(
+                                        "up languages overlap: L↑({x:?}) ∩ L↑({y:?}) ≠ ∅"
+                                    ),
+                                ));
+                            }
+                            (Some(x), _) => {
+                                new_assign.insert(from, x);
+                            }
+                            (None, Some(y)) => {
+                                new_assign.insert(from, y);
+                            }
+                            (None, None) => {}
+                        }
+                        for sym_idx in 0..pal {
+                            let sym = Symbol::from_index(sym_idx);
+                            let ta = old.next(a, sym).expect("totalized");
+                            let tb = new_total.next(b, sym).expect("totalized");
+                            let to = *index.entry((ta, tb)).or_insert_with(|| {
+                                queue.push_back((ta, tb));
+                                prod.add_state()
+                            });
+                            prod.set_transition(from, sym, to);
+                        }
+                    }
+                    assign = new_assign;
+                    classifier = Some(prod);
+                }
+            }
+        }
+        m.up_classifier = classifier;
+        m.up_assign = assign;
+
+        // Stay matcher must be disjoint from every up language.
+        if let Some(stay) = &m.stay {
+            if stay.matcher.alphabet_len() != pal {
+                return Err(Error::ill_formed(
+                    "2DTAu",
+                    "stay matcher must use the pair alphabet",
+                ));
+            }
+            if let Some(classifier) = &m.up_classifier {
+                // classify-accepting = any product state with an assignment
+                let mut up_accepting = classifier.clone();
+                for i in 0..up_accepting.num_states() {
+                    let cs = StateId::from_index(i);
+                    up_accepting.set_accepting(cs, m.up_assign.contains_key(&cs));
+                }
+                if !up_accepting.intersect(&stay.matcher).is_empty() {
+                    return Err(Error::ill_formed(
+                        "2DTAu",
+                        "U_stay overlaps an up language",
+                    ));
+                }
+            }
+        }
+        Ok(self.inner)
+    }
+}
+
+/// Record of a maximal run of a [`TwoWayUnranked`] machine.
+#[derive(Clone, Debug)]
+pub struct UnrankedRunRecord {
+    /// Whether the final configuration was accepting.
+    pub accepted: bool,
+    /// States assumed per node (first-assumption order).
+    pub assumed: Vec<Vec<StateId>>,
+    /// Work performed: [`TwoWayUnranked::run_scheduled`] counts transitions
+    /// fired; the worklist [`TwoWayUnranked::run`] counts node examinations
+    /// (an upper bound on transitions). Both are capped by the fuel budget.
+    pub steps: u64,
+    /// Stay transitions fired per node.
+    pub stays: Vec<u32>,
+}
+
+impl TwoWayUnranked {
+    /// Alphabet size.
+    pub fn alphabet_len(&self) -> usize {
+        self.alphabet_len
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Whether `state` is final.
+    pub fn is_final(&self, state: StateId) -> bool {
+        self.finals[state.index()]
+    }
+
+    /// The polarity of `(state, label)`.
+    pub fn polarity(&self, state: StateId, label: Symbol) -> Option<Polarity> {
+        self.polarity[state.index()][label.index()]
+    }
+
+    /// `L↓(state, label)`.
+    pub fn down(&self, state: StateId, label: Symbol) -> Option<&SlenderLang> {
+        self.delta_down.get(&(state, label))
+    }
+
+    /// `δ_leaf(state, label)`.
+    pub fn leaf(&self, state: StateId, label: Symbol) -> Option<StateId> {
+        self.delta_leaf.get(&(state, label)).copied()
+    }
+
+    /// `δ_root(state, label)`.
+    pub fn root(&self, state: StateId, label: Symbol) -> Option<StateId> {
+        self.delta_root.get(&(state, label)).copied()
+    }
+
+    /// The stay block, if the machine is generalized.
+    pub fn stay(&self) -> Option<&StayBlock> {
+        self.stay.as_ref()
+    }
+
+    /// Whether the machine has stay transitions with a per-node budget
+    /// (an S2DTAu, Definition 5.12).
+    pub fn is_strong(&self) -> bool {
+        self.stay.is_some()
+    }
+
+    /// Classify a children pair-string: `Some(q)` if it lies in `L↑(q)`.
+    pub fn classify_up(&self, pairs: &[(StateId, Symbol)]) -> Option<StateId> {
+        let classifier = self.up_classifier.as_ref()?;
+        let mut cs = classifier.initial();
+        for &(q, l) in pairs {
+            cs = classifier.next(cs, pair_symbol(q, l, self.alphabet_len))?;
+        }
+        self.up_assign.get(&cs).copied()
+    }
+
+    /// Whether a children pair-string lies in `U_stay`.
+    pub fn matches_stay(&self, pairs: &[(StateId, Symbol)]) -> bool {
+        let Some(stay) = &self.stay else { return false };
+        let mut cs = stay.matcher.initial();
+        for &(q, l) in pairs {
+            match stay.matcher.next(cs, pair_symbol(q, l, self.alphabet_len)) {
+                Some(next) => cs = next,
+                None => return false,
+            }
+        }
+        stay.matcher.is_accepting(cs)
+    }
+
+    /// Generous default fuel (loops surface as [`Error::FuelExhausted`]).
+    pub fn default_fuel(&self, tree: &Tree) -> u64 {
+        64 * (self.num_states as u64) * (tree.num_nodes() as u64) + 1024
+    }
+
+    /// Run to a maximal configuration with a worklist engine: after a
+    /// transition fires only the affected nodes are re-examined, so typical
+    /// runs cost O(steps + nodes) instead of the naive rescan's
+    /// O(steps · nodes). Confluence (Section 5.1) makes the result identical
+    /// to any schedule of [`TwoWayUnranked::run_scheduled`] — property-tested.
+    pub fn run(&self, tree: &Tree) -> Result<UnrankedRunRecord> {
+        let fuel = self.default_fuel(tree);
+        let n = tree.num_nodes();
+        let mut state: Vec<Option<StateId>> = vec![None; n];
+        let mut assumed: Vec<Vec<StateId>> = vec![Vec::new(); n];
+        let mut stays: Vec<u32> = vec![0; n];
+        let root = tree.root();
+        state[root.index()] = Some(self.initial);
+        assumed[root.index()].push(self.initial);
+        let mut steps = 0u64;
+
+        let assume = |assumed: &mut Vec<Vec<StateId>>, v: NodeId, q: StateId| {
+            let list = &mut assumed[v.index()];
+            if !list.contains(&q) {
+                list.push(q);
+            }
+        };
+
+        // worklist of nodes to examine; in-queue flags prevent duplicates
+        let mut queue: std::collections::VecDeque<NodeId> = tree.nodes().collect();
+        let mut queued = vec![true; n];
+        let enqueue = |queue: &mut std::collections::VecDeque<NodeId>,
+                           queued: &mut Vec<bool>,
+                           v: NodeId| {
+            if !queued[v.index()] {
+                queued[v.index()] = true;
+                queue.push_back(v);
+            }
+        };
+
+        while let Some(v) = queue.pop_front() {
+            queued[v.index()] = false;
+            // keep firing at `v` until nothing applies here
+            loop {
+                steps += 1;
+                if steps > fuel {
+                    return Err(Error::FuelExhausted { budget: fuel });
+                }
+                let label = tree.label(v);
+                // moves of a cut member at v
+                if let Some(q) = state[v.index()] {
+                    match self.polarity(q, label) {
+                        Some(Polarity::Down) if tree.is_leaf(v) => {
+                            if let Some(q2) = self.leaf(q, label) {
+                                state[v.index()] = Some(q2);
+                                assume(&mut assumed, v, q2);
+                                if let Some(p) = tree.parent(v) {
+                                    enqueue(&mut queue, &mut queued, p);
+                                }
+                                continue;
+                            }
+                        }
+                        Some(Polarity::Down) => {
+                            if let Some(word) = self
+                                .down(q, label)
+                                .and_then(|l| l.string_of_length(tree.arity(v)))
+                            {
+                                state[v.index()] = None;
+                                for (&c, s) in tree.children(v).iter().zip(word) {
+                                    let q2 = StateId::from_index(s.index());
+                                    state[c.index()] = Some(q2);
+                                    assume(&mut assumed, c, q2);
+                                    enqueue(&mut queue, &mut queued, c);
+                                }
+                                // children that settle later wake v through
+                                // their up transitions; re-queue v now for
+                                // the case where they are all already in
+                                // up states.
+                                enqueue(&mut queue, &mut queued, v);
+                                break;
+                            }
+                        }
+                        Some(Polarity::Up) if v == root => {
+                            if let Some(q2) = self.root(q, label) {
+                                state[root.index()] = Some(q2);
+                                assume(&mut assumed, root, q2);
+                                continue;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                // up/stay at v (children all in cut holding U pairs)
+                if !tree.is_leaf(v) && state[v.index()].is_none() {
+                    let mut pairs = Vec::with_capacity(tree.arity(v));
+                    let mut ok = true;
+                    for &c in tree.children(v) {
+                        match state[c.index()] {
+                            Some(q)
+                                if self.polarity(q, tree.label(c))
+                                    == Some(Polarity::Up) =>
+                            {
+                                pairs.push((q, tree.label(c)));
+                            }
+                            _ => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if ok {
+                        if let Some(q2) = self.classify_up(&pairs) {
+                            for &c in tree.children(v) {
+                                state[c.index()] = None;
+                            }
+                            state[v.index()] = Some(q2);
+                            assume(&mut assumed, v, q2);
+                            if let Some(p) = tree.parent(v) {
+                                enqueue(&mut queue, &mut queued, p);
+                            }
+                            continue;
+                        }
+                        if self.matches_stay(&pairs) {
+                            let budget = self
+                                .stay
+                                .as_ref()
+                                .map(|s| s.max_stays_per_node)
+                                .unwrap_or(0);
+                            if stays[v.index()] >= budget {
+                                return Err(Error::ill_formed(
+                                    "S2DTAu",
+                                    format!(
+                                        "stay budget ({budget}) exhausted at a node — \
+                                         the machine is not strong"
+                                    ),
+                                ));
+                            }
+                            let rule = &self.stay.as_ref().expect("matched").rule;
+                            let new_states = rule.apply(&pairs, self.alphabet_len)?;
+                            if new_states.len() != pairs.len() {
+                                return Err(Error::ill_formed(
+                                    "S2DTAu",
+                                    "stay rule must emit one state per child",
+                                ));
+                            }
+                            stays[v.index()] += 1;
+                            for (&c, q2) in tree.children(v).iter().zip(new_states) {
+                                state[c.index()] = Some(q2);
+                                assume(&mut assumed, c, q2);
+                                enqueue(&mut queue, &mut queued, c);
+                            }
+                            continue;
+                        }
+                    }
+                }
+                break;
+            }
+        }
+        let accepted = state[root.index()].is_some_and(|q| self.is_final(q))
+            && state.iter().filter(|s| s.is_some()).count() == 1;
+        Ok(UnrankedRunRecord {
+            accepted,
+            assumed,
+            steps,
+            stays,
+        })
+    }
+
+    /// Run with an explicit schedule (see the ranked counterpart): when
+    /// several transitions are enabled, `pick(n)` selects one. Confluence
+    /// makes the choice observationally irrelevant.
+    pub fn run_scheduled(
+        &self,
+        tree: &Tree,
+        fuel: u64,
+        mut pick: impl FnMut(usize) -> usize,
+    ) -> Result<UnrankedRunRecord> {
+        let n = tree.num_nodes();
+        let mut state: Vec<Option<StateId>> = vec![None; n];
+        let mut assumed: Vec<Vec<StateId>> = vec![Vec::new(); n];
+        let mut stays: Vec<u32> = vec![0; n];
+        let root = tree.root();
+        state[root.index()] = Some(self.initial);
+        assumed[root.index()].push(self.initial);
+        let mut steps = 0u64;
+
+        #[derive(Clone, Copy)]
+        enum Move {
+            Down(NodeId),
+            Leaf(NodeId),
+            Up(NodeId),
+            Stay(NodeId),
+            Root,
+        }
+
+        let assume = |assumed: &mut Vec<Vec<StateId>>, v: NodeId, q: StateId| {
+            let list = &mut assumed[v.index()];
+            if !list.contains(&q) {
+                list.push(q);
+            }
+        };
+
+        loop {
+            let mut enabled: Vec<Move> = Vec::new();
+            for v in tree.nodes() {
+                let Some(q) = state[v.index()] else { continue };
+                let label = tree.label(v);
+                match self.polarity(q, label) {
+                    Some(Polarity::Down) => {
+                        if tree.is_leaf(v) {
+                            if self.leaf(q, label).is_some() {
+                                enabled.push(Move::Leaf(v));
+                            }
+                        } else if self
+                            .down(q, label)
+                            .is_some_and(|l| l.has_length(tree.arity(v)))
+                        {
+                            enabled.push(Move::Down(v));
+                        }
+                    }
+                    Some(Polarity::Up) => {
+                        if v == root && self.root(q, label).is_some() {
+                            enabled.push(Move::Root);
+                        }
+                    }
+                    None => {}
+                }
+            }
+            for v in tree.nodes() {
+                if tree.is_leaf(v) || state[v.index()].is_some() {
+                    continue;
+                }
+                let mut pairs = Vec::with_capacity(tree.arity(v));
+                let mut ok = true;
+                for &c in tree.children(v) {
+                    match state[c.index()] {
+                        Some(q) if self.polarity(q, tree.label(c)) == Some(Polarity::Up) => {
+                            pairs.push((q, tree.label(c)));
+                        }
+                        _ => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                if self.classify_up(&pairs).is_some() {
+                    enabled.push(Move::Up(v));
+                } else if self.matches_stay(&pairs) {
+                    let budget = self
+                        .stay
+                        .as_ref()
+                        .map(|s| s.max_stays_per_node)
+                        .unwrap_or(0);
+                    if stays[v.index()] < budget {
+                        enabled.push(Move::Stay(v));
+                    } else {
+                        return Err(Error::ill_formed(
+                            "S2DTAu",
+                            format!(
+                                "stay budget ({budget}) exhausted at a node — \
+                                 the machine is not strong"
+                            ),
+                        ));
+                    }
+                }
+            }
+
+            if enabled.is_empty() {
+                let accepted = state[root.index()].is_some_and(|q| self.is_final(q))
+                    && state.iter().filter(|s| s.is_some()).count() == 1;
+                return Ok(UnrankedRunRecord {
+                    accepted,
+                    assumed,
+                    steps,
+                    stays,
+                });
+            }
+            steps += 1;
+            if steps > fuel {
+                return Err(Error::FuelExhausted { budget: fuel });
+            }
+            match enabled[pick(enabled.len()) % enabled.len()] {
+                Move::Leaf(v) => {
+                    let q = state[v.index()].expect("enabled");
+                    let q2 = self.leaf(q, tree.label(v)).expect("enabled");
+                    state[v.index()] = Some(q2);
+                    assume(&mut assumed, v, q2);
+                }
+                Move::Root => {
+                    let q = state[root.index()].expect("enabled");
+                    let q2 = self.root(q, tree.label(root)).expect("enabled");
+                    state[root.index()] = Some(q2);
+                    assume(&mut assumed, root, q2);
+                }
+                Move::Down(v) => {
+                    let q = state[v.index()].expect("enabled");
+                    let lang = self.down(q, tree.label(v)).expect("enabled");
+                    let word = lang
+                        .string_of_length(tree.arity(v))
+                        .expect("enabled: length present");
+                    state[v.index()] = None;
+                    for (&c, s) in tree.children(v).iter().zip(word) {
+                        let q2 = StateId::from_index(s.index());
+                        state[c.index()] = Some(q2);
+                        assume(&mut assumed, c, q2);
+                    }
+                }
+                Move::Up(v) => {
+                    let pairs: Vec<(StateId, Symbol)> = tree
+                        .children(v)
+                        .iter()
+                        .map(|&c| (state[c.index()].expect("enabled"), tree.label(c)))
+                        .collect();
+                    let q2 = self.classify_up(&pairs).expect("enabled");
+                    for &c in tree.children(v) {
+                        state[c.index()] = None;
+                    }
+                    state[v.index()] = Some(q2);
+                    assume(&mut assumed, v, q2);
+                }
+                Move::Stay(v) => {
+                    let pairs: Vec<(StateId, Symbol)> = tree
+                        .children(v)
+                        .iter()
+                        .map(|&c| (state[c.index()].expect("enabled"), tree.label(c)))
+                        .collect();
+                    let rule = &self.stay.as_ref().expect("enabled").rule;
+                    let new_states = rule.apply(&pairs, self.alphabet_len)?;
+                    if new_states.len() != pairs.len() {
+                        return Err(Error::ill_formed(
+                            "S2DTAu",
+                            "stay rule must emit one state per child",
+                        ));
+                    }
+                    stays[v.index()] += 1;
+                    for (&c, q2) in tree.children(v).iter().zip(new_states) {
+                        state[c.index()] = Some(q2);
+                        assume(&mut assumed, c, q2);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether the machine accepts `tree`.
+    pub fn accepts(&self, tree: &Tree) -> Result<bool> {
+        Ok(self.run(tree)?.accepted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qa_base::Alphabet;
+    use qa_strings::XyzPattern;
+
+    fn sym(i: usize) -> Symbol {
+        Symbol::from_index(i)
+    }
+
+    /// A trivial descend-and-count machine over a single-letter alphabet:
+    /// accepts every tree (descends, folds back up in one state).
+    fn up_down(alpha_len: usize) -> TwoWayUnranked {
+        let mut b = TwoWayUnrankedBuilder::new(alpha_len);
+        let s = b.add_state();
+        let u = b.add_state();
+        b.set_initial(s);
+        b.set_final(u, true);
+        b.set_polarity_all(s, Polarity::Down);
+        b.set_polarity_all(u, Polarity::Up);
+        for a in 0..alpha_len {
+            b.set_down(
+                s,
+                sym(a),
+                SlenderLang::uniform(Symbol::from_index(s.index())),
+            );
+            b.set_leaf(s, sym(a), u);
+        }
+        // L↑(u) = (u-pairs)+
+        let pal = pair_alphabet_len(2, alpha_len);
+        let mut dfa = Dfa::new(pal);
+        let start = dfa.add_state();
+        let seen = dfa.add_state();
+        dfa.set_initial(start);
+        dfa.set_accepting(seen, true);
+        for a in 0..alpha_len {
+            let p = pair_symbol(StateId::from_index(1), sym(a), alpha_len);
+            dfa.set_transition(start, p, seen);
+            dfa.set_transition(seen, p, seen);
+        }
+        b.add_up_language(StateId::from_index(1), dfa);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn up_down_accepts_everything() {
+        let mut a = Alphabet::new();
+        a.intern("x");
+        let m = up_down(1);
+        for s in ["x", "(x x)", "(x (x x x) x)", "(x (x (x x)))"] {
+            let t = qa_trees::sexpr::from_sexpr(s, &mut a).unwrap();
+            assert!(m.accepts(&t).unwrap(), "{s}");
+        }
+    }
+
+    #[test]
+    fn slender_down_assigns_positionally() {
+        // Machine whose down transition marks first and last child with a
+        // special state m, others with s; then folds up only if fanout >= 2.
+        let mut a = Alphabet::new();
+        a.intern("x");
+        let mut b = TwoWayUnrankedBuilder::new(1);
+        let s = b.add_state(); // descend plain
+        let m = b.add_state(); // descend marked
+        let u = b.add_state(); // folded
+        b.set_initial(s);
+        b.set_final(u, true);
+        b.set_polarity_all(s, Polarity::Down);
+        b.set_polarity_all(m, Polarity::Down);
+        b.set_polarity_all(u, Polarity::Up);
+        let sm = Symbol::from_index(m.index());
+        let ss = Symbol::from_index(s.index());
+        // m s* m for fanout >= 2, single m for fanout 1
+        let lang = SlenderLang::new(vec![
+            XyzPattern::new(vec![sm], vec![ss], vec![sm]),
+            XyzPattern::word(vec![sm]),
+        ])
+        .unwrap();
+        b.set_down(s, sym(0), lang.clone());
+        b.set_down(m, sym(0), lang);
+        b.set_leaf(s, sym(0), u);
+        b.set_leaf(m, sym(0), u);
+        let pal = pair_alphabet_len(3, 1);
+        let mut dfa = Dfa::new(pal);
+        let q0 = dfa.add_state();
+        let q1 = dfa.add_state();
+        dfa.set_initial(q0);
+        dfa.set_accepting(q1, true);
+        let pu = pair_symbol(u, sym(0), 1);
+        dfa.set_transition(q0, pu, q1);
+        dfa.set_transition(q1, pu, q1);
+        b.add_up_language(u, dfa);
+        let machine = b.build().unwrap();
+
+        let mut al = Alphabet::new();
+        al.intern("x");
+        let t = qa_trees::sexpr::from_sexpr("(x x x x x)", &mut al).unwrap();
+        let rec = machine.run(&t).unwrap();
+        assert!(rec.accepted);
+        let kids = t.children(t.root());
+        // first and last got m (index 1), middles got s (index 0)
+        assert_eq!(rec.assumed[kids[0].index()][0], m);
+        assert_eq!(rec.assumed[kids[1].index()][0], s);
+        assert_eq!(rec.assumed[kids[2].index()][0], s);
+        assert_eq!(rec.assumed[kids[3].index()][0], m);
+    }
+
+    #[test]
+    fn overlapping_up_languages_rejected() {
+        let mut b = TwoWayUnrankedBuilder::new(1);
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        b.set_polarity_all(q0, Polarity::Up);
+        b.set_polarity_all(q1, Polarity::Up);
+        let pal = pair_alphabet_len(2, 1);
+        let mk = || {
+            let mut d = Dfa::new(pal);
+            let s0 = d.add_state();
+            let s1 = d.add_state();
+            d.set_initial(s0);
+            d.set_accepting(s1, true);
+            d.set_transition(s0, Symbol::from_index(0), s1);
+            d
+        };
+        b.add_up_language(q0, mk());
+        b.add_up_language(q1, mk());
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn missing_slender_length_gets_stuck() {
+        // down language = single string of length 2: fanout 3 has no image.
+        let mut a = Alphabet::new();
+        a.intern("x");
+        let mut b = TwoWayUnrankedBuilder::new(1);
+        let s = b.add_state();
+        let u = b.add_state();
+        b.set_initial(s);
+        b.set_final(u, true);
+        b.set_polarity_all(s, Polarity::Down);
+        b.set_polarity_all(u, Polarity::Up);
+        let ss = Symbol::from_index(s.index());
+        b.set_down(s, sym(0), SlenderLang::single(vec![ss, ss]));
+        b.set_leaf(s, sym(0), u);
+        let pal = pair_alphabet_len(2, 1);
+        let mut dfa = Dfa::new(pal);
+        let d0 = dfa.add_state();
+        let d1 = dfa.add_state();
+        dfa.set_initial(d0);
+        dfa.set_accepting(d1, true);
+        let pu = pair_symbol(u, sym(0), 1);
+        dfa.set_transition(d0, pu, d1);
+        dfa.set_transition(d1, pu, d1);
+        b.add_up_language(u, dfa);
+        let machine = b.build().unwrap();
+
+        let mut al = Alphabet::new();
+        al.intern("x");
+        let ok = qa_trees::sexpr::from_sexpr("(x x x)", &mut al).unwrap();
+        assert!(machine.accepts(&ok).unwrap());
+        let stuck = qa_trees::sexpr::from_sexpr("(x x x x)", &mut al).unwrap();
+        assert!(!machine.accepts(&stuck).unwrap(), "no length-3 down string");
+    }
+}

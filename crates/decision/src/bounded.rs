@@ -1,0 +1,173 @@
+//! Bounded-enumeration oracle.
+//!
+//! Enumerates every Σ-tree up to a node budget (and optional arity bound)
+//! and evaluates the query on each. Serves as (a) the ground truth the
+//! exact procedures are property-tested against, and (b) the documented
+//! fallback decision procedure for unranked query automata with arbitrary
+//! two-way stay rules (DESIGN.md §2), where it is sound for finding
+//! witnesses but incomplete for proving emptiness.
+
+use qa_base::Symbol;
+use qa_trees::{NodeId, Tree};
+
+/// Enumerate all trees with up to `max_nodes` nodes over `sigma` labels,
+/// with arity bounded by `max_arity` (`None` = unbounded, i.e. up to
+/// `max_nodes - 1`).
+pub fn all_trees(sigma: usize, max_arity: Option<usize>, max_nodes: usize) -> Vec<Tree> {
+    // trees_of_size[k] = all trees with exactly k nodes
+    let mut by_size: Vec<Vec<Tree>> = vec![Vec::new(); max_nodes + 1];
+    for a in 0..sigma {
+        by_size[1].push(Tree::leaf(Symbol::from_index(a)));
+    }
+    for size in 2..=max_nodes {
+        // a root label + a forest of children with sizes summing to size-1
+        let forests = forests_of_size(size - 1, &by_size, max_arity);
+        for forest in forests {
+            for a in 0..sigma {
+                by_size[size].push(Tree::node(Symbol::from_index(a), forest.clone()));
+            }
+        }
+    }
+    by_size.into_iter().flatten().collect()
+}
+
+/// All ordered forests with the given total node count, using `by_size` for
+/// the component trees.
+fn forests_of_size(
+    total: usize,
+    by_size: &[Vec<Tree>],
+    max_arity: Option<usize>,
+) -> Vec<Vec<Tree>> {
+    let mut out = Vec::new();
+    // partition `total` into an ordered sequence of positive sizes
+    fn go(
+        remaining: usize,
+        arity_left: Option<usize>,
+        by_size: &[Vec<Tree>],
+        current: &mut Vec<Tree>,
+        out: &mut Vec<Vec<Tree>>,
+    ) {
+        if remaining == 0 {
+            if !current.is_empty() {
+                out.push(current.clone());
+            }
+            return;
+        }
+        if arity_left == Some(0) {
+            return;
+        }
+        for first in 1..=remaining {
+            for t in &by_size[first] {
+                current.push(t.clone());
+                go(
+                    remaining - first,
+                    arity_left.map(|a| a - 1),
+                    by_size,
+                    current,
+                    out,
+                );
+                current.pop();
+            }
+        }
+    }
+    go(total, max_arity, by_size, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Brute-force non-emptiness: the first (tree, node) pair selected by
+/// `query` over all trees within the budget.
+pub fn non_emptiness_bounded(
+    query: &dyn Fn(&Tree) -> Vec<NodeId>,
+    sigma: usize,
+    max_arity: usize,
+    max_nodes: usize,
+) -> Option<(Tree, NodeId)> {
+    for t in all_trees(sigma, Some(max_arity), max_nodes) {
+        if let Some(&v) = query(&t).first() {
+            return Some((t, v));
+        }
+    }
+    None
+}
+
+/// Brute-force containment check within the budget: a (tree, node) selected
+/// by `q1` but not `q2`, if any.
+pub fn containment_bounded(
+    q1: &dyn Fn(&Tree) -> Vec<NodeId>,
+    q2: &dyn Fn(&Tree) -> Vec<NodeId>,
+    sigma: usize,
+    max_arity: usize,
+    max_nodes: usize,
+) -> Option<(Tree, NodeId)> {
+    for t in all_trees(sigma, Some(max_arity), max_nodes) {
+        let s2 = q2(&t);
+        for v in q1(&t) {
+            if !s2.contains(&v) {
+                return Some((t, v));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_counts_are_catalan_like() {
+        // unary alphabet, unbounded arity: #ordered trees with n nodes is
+        // the Catalan number C(n-1): 1, 1, 2, 5, 14
+        let trees = all_trees(1, None, 5);
+        let mut counts = [0usize; 6];
+        for t in &trees {
+            counts[t.num_nodes()] += 1;
+        }
+        assert_eq!(&counts[1..], &[1, 1, 2, 5, 14]);
+    }
+
+    #[test]
+    fn arity_bound_restricts() {
+        let trees = all_trees(1, Some(1), 4);
+        // only chains
+        assert_eq!(trees.len(), 4);
+        for t in &trees {
+            assert!(t.rank() <= 1);
+        }
+    }
+
+    #[test]
+    fn label_combinations_multiply() {
+        let trees = all_trees(2, None, 2);
+        // 2 single leaves + (2 roots × 2 leaf children) = 6
+        assert_eq!(trees.len(), 6);
+    }
+
+    #[test]
+    fn bounded_nonemptiness_finds_simple_witness() {
+        let found = non_emptiness_bounded(
+            &|t| {
+                // query: select the root if it has exactly 2 children
+                if t.arity(t.root()) == 2 {
+                    vec![t.root()]
+                } else {
+                    vec![]
+                }
+            },
+            1,
+            3,
+            4,
+        );
+        let (t, v) = found.unwrap();
+        assert_eq!(t.arity(v), 2);
+    }
+
+    #[test]
+    fn bounded_containment_finds_violation() {
+        let q1 = |t: &Tree| t.nodes().collect::<Vec<_>>(); // everything
+        let q2 = |t: &Tree| vec![t.root()]; // just the root
+        let hit = containment_bounded(&q1, &q2, 1, 2, 3);
+        assert!(hit.is_some());
+        assert!(containment_bounded(&q2, &q1, 1, 2, 3).is_none());
+    }
+}

@@ -1,0 +1,25 @@
+//! # qa-decision
+//!
+//! Section 6 of *Query Automata*: non-emptiness, containment and
+//! equivalence of query automata.
+//!
+//! - [`string_decisions`]: **exact** procedures for string query automata,
+//!   via the crossing-sequence selection NFAs of `qa-twoway` — the marked
+//!   alphabet plays the role of Theorem 6.3's `Σ × {1}` labels.
+//! - [`ranked_decisions`]: **exact** procedures for ranked query automata —
+//!   the Theorem 6.3 construction adapted to ranked cut semantics: a lazy
+//!   fixpoint over realizable *subtree summaries* (label, behavior function,
+//!   mark/selection flags), i.e. the `(f, d, s, σ)` states of the paper's
+//!   bottom-up automaton `B`, materialized only as reached.
+//! - [`bounded`]: a bounded-enumeration oracle (search all trees up to a
+//!   size/width budget) — the baseline the exact procedures are
+//!   property-tested against, and the documented fallback for unranked
+//!   query automata with arbitrary stay rules (see DESIGN.md §2).
+//! - [`tiling`]: Proposition 6.1 — TWO PERSON CORRIDOR TILING reduced to
+//!   2DTAʳ non-emptiness; the generator of EXPTIME-hard instances used by
+//!   the benchmark harness.
+
+pub mod bounded;
+pub mod ranked_decisions;
+pub mod string_decisions;
+pub mod tiling;

@@ -1,0 +1,529 @@
+//! Exact decision procedures for ranked query automata — the Theorem 6.3
+//! construction on cut semantics.
+//!
+//! A subtree's entire interaction with its context is captured by a
+//! *summary*: its root label, whether it contains the marked node, whether
+//! its root is the marked node, and — per machine under consideration — a
+//! *behavior function* mapping each entry state to either `Settles(q',
+//! sel)` (the subtree eventually folds back to its root in the up-state
+//! `q'`, having visited the marked node in a selecting state iff `sel`) or
+//! `Never` (it gets stuck or loops inside). These summaries are exactly
+//! the `(f, d, s, σ)` states of the paper's bottom-up automaton `B`,
+//! extended with the `Σ × {1}` mark of the query reduction; we enumerate
+//! only the *realizable* ones by a lazy fixpoint, keeping a witness tree
+//! per summary.
+//!
+//! Non-emptiness, containment and equivalence all run the same fixpoint —
+//! containment simply tracks the behavior of both machines on the shared
+//! witness space.
+
+use std::collections::HashMap;
+
+use qa_base::{Error, Result, Symbol};
+use qa_core::ranked::twoway::Polarity;
+use qa_core::ranked::RankedQa;
+use qa_strings::StateId;
+use qa_trees::{NodeId, Tree};
+
+/// Behavior of a subtree on one entry state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Beh {
+    /// Folds back to its root in this up-state; `sel` = the marked node was
+    /// assumed in a selecting state during the excursion.
+    Settles { state: StateId, sel: bool },
+    /// Gets stuck or loops inside; the global run can never accept.
+    Never,
+}
+
+/// A realizable subtree summary for a family of machines.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct Key {
+    label: Symbol,
+    root_marked: bool,
+    has_mark: bool,
+    /// `behs[machine][entry state]`.
+    behs: Vec<Vec<Beh>>,
+}
+
+/// A summary with a *derivation* — which children items produced it — so a
+/// representative tree can be materialized on demand without storing (and
+/// exponentially duplicating) trees during saturation.
+#[derive(Clone, Debug)]
+struct Item {
+    key: Key,
+    /// indices of the child items this summary was first derived from
+    /// (empty for leaves).
+    children_idx: Vec<usize>,
+}
+
+/// A witness for a query-level decision: the tree and the node in question.
+#[derive(Clone, Debug)]
+pub struct RankedWitness {
+    /// The input tree.
+    pub tree: Tree,
+    /// The node selected (by the left automaton, for containment
+    /// violations).
+    pub node: NodeId,
+}
+
+/// Budget for the summary fixpoint (the paper's EXPTIME bound is real:
+/// summaries can be exponential in the state count).
+pub const DEFAULT_MAX_ITEMS: usize = 50_000;
+
+fn leaf_item(machines: &[&RankedQa], label: Symbol, marked: bool) -> Item {
+    let behs = machines
+        .iter()
+        .map(|qa| {
+            let m = qa.machine();
+            (0..m.num_states())
+                .map(|q_idx| {
+                    let mut cur = StateId::from_index(q_idx);
+                    let mut visited = vec![false; m.num_states()];
+                    let mut sel = marked && qa.is_selecting(cur, label);
+                    loop {
+                        if visited[cur.index()] {
+                            break Beh::Never;
+                        }
+                        visited[cur.index()] = true;
+                        match m.polarity(cur, label) {
+                            Some(Polarity::Up) => {
+                                break Beh::Settles { state: cur, sel };
+                            }
+                            Some(Polarity::Down) => match m.leaf(cur, label) {
+                                Some(q2) => {
+                                    sel = sel || (marked && qa.is_selecting(q2, label));
+                                    cur = q2;
+                                }
+                                None => break Beh::Never,
+                            },
+                            None => break Beh::Never,
+                        }
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Item {
+        key: Key {
+            label,
+            root_marked: marked,
+            has_mark: marked,
+            behs,
+        },
+        children_idx: Vec::new(),
+    }
+}
+
+/// Compute the summary key of an inner node from its children's keys only
+/// (no witness work — this is the hot path of the fixpoint).
+fn inner_key(machines: &[&RankedQa], label: Symbol, marked: bool, children: &[&Key]) -> Key {
+    let n = children.len();
+    let behs: Vec<Vec<Beh>> = machines
+        .iter()
+        .enumerate()
+        .map(|(mi, qa)| {
+            let m = qa.machine();
+            (0..m.num_states())
+                .map(|q_idx| {
+                    let mut cur = StateId::from_index(q_idx);
+                    let mut visited = vec![false; m.num_states()];
+                    let mut sel = marked && qa.is_selecting(cur, label);
+                    loop {
+                        if visited[cur.index()] {
+                            break Beh::Never;
+                        }
+                        visited[cur.index()] = true;
+                        match m.polarity(cur, label) {
+                            Some(Polarity::Up) => {
+                                break Beh::Settles { state: cur, sel };
+                            }
+                            Some(Polarity::Down) => {
+                                let Some(down) = m.down(cur, label, n) else {
+                                    break Beh::Never;
+                                };
+                                let down = down.to_vec();
+                                let mut pairs = Vec::with_capacity(n);
+                                let mut dead = false;
+                                for (i, child) in children.iter().enumerate() {
+                                    match child.behs[mi][down[i].index()] {
+                                        Beh::Settles { state, sel: csel } => {
+                                            sel = sel || csel;
+                                            pairs.push((state, child.label));
+                                        }
+                                        Beh::Never => {
+                                            dead = true;
+                                            break;
+                                        }
+                                    }
+                                }
+                                if dead {
+                                    break Beh::Never;
+                                }
+                                match m.up(&pairs) {
+                                    Some(q2) => {
+                                        sel = sel || (marked && qa.is_selecting(q2, label));
+                                        cur = q2;
+                                    }
+                                    None => break Beh::Never,
+                                }
+                            }
+                            None => break Beh::Never,
+                        }
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Key {
+        label,
+        root_marked: marked,
+        has_mark: marked || children.iter().any(|c| c.has_mark),
+        behs,
+    }
+}
+
+/// Materialize the representative tree of `items[idx]` from the derivation
+/// chain, returning the tree and its marked node (if any). Recursion depth
+/// equals derivation depth, which the fixpoint keeps modest (items are
+/// discovered smallest-derivation-first).
+fn materialize(items: &[Item], idx: usize) -> (Tree, Option<NodeId>) {
+    let it = &items[idx];
+    if it.children_idx.is_empty() {
+        let t = Tree::leaf(it.key.label);
+        let mark = it.key.root_marked.then(|| t.root());
+        return (t, mark);
+    }
+    let mut subtrees = Vec::with_capacity(it.children_idx.len());
+    let mut child_marks = Vec::with_capacity(it.children_idx.len());
+    for &c in &it.children_idx {
+        let (t, m) = materialize(items, c);
+        child_marks.push(m.map(|mk| (t.clone(), mk)));
+        subtrees.push(t);
+    }
+    let tree = Tree::node(it.key.label, subtrees);
+    let mark = if it.key.root_marked {
+        Some(tree.root())
+    } else {
+        child_marks.iter().enumerate().find_map(|(i, cm)| {
+            cm.as_ref().map(|(small, mk)| {
+                find_corresponding(&tree, tree.child(tree.root(), i), small, *mk)
+            })
+        })
+    };
+    (tree, mark)
+}
+
+/// Find the node in `big` (rooted at `big_root`) corresponding to `node` in
+/// `small` under the structural isomorphism of the grafted copy.
+fn find_corresponding(
+    big: &Tree,
+    big_root: NodeId,
+    small: &Tree,
+    node: NodeId,
+) -> NodeId {
+    // path from small's root to node
+    let mut path = Vec::new();
+    let mut cur = node;
+    while let Some(p) = small.parent(cur) {
+        path.push(small.child_index(cur));
+        cur = p;
+    }
+    path.reverse();
+    let mut cur = big_root;
+    for idx in path {
+        cur = big.child(cur, idx);
+    }
+    cur
+}
+
+/// Run the lazy fixpoint, returning all realizable summaries (≤ arity
+/// `max_rank`, alphabet of the first machine). When `stop_when` matches a
+/// freshly discovered summary, exploration ends early with the items found
+/// so far (the matching item last) — this is what makes witness searches
+/// fast even when full saturation would be exponential.
+fn explore(
+    machines: &[&RankedQa],
+    max_items: usize,
+    stop_when: Option<&dyn Fn(&Item) -> bool>,
+) -> Result<Vec<Item>> {
+    let sigma = machines[0].machine().alphabet_len();
+    let rank = machines[0].machine().max_rank();
+    for qa in machines {
+        assert_eq!(qa.machine().alphabet_len(), sigma, "mismatched alphabets");
+    }
+    let mut items: Vec<Item> = Vec::new();
+    let mut seen: HashMap<Key, usize> = HashMap::new();
+    let push = |items: &mut Vec<Item>, seen: &mut HashMap<Key, usize>, it: Item| -> bool {
+        if seen.contains_key(&it.key) {
+            return false;
+        }
+        seen.insert(it.key.clone(), items.len());
+        items.push(it);
+        true
+    };
+    for a in 0..sigma {
+        for marked in [false, true] {
+            let it = leaf_item(machines, Symbol::from_index(a), marked);
+            let hit = stop_when.is_some_and(|p| p(&it));
+            push(&mut items, &mut seen, it);
+            if hit {
+                return Ok(items);
+            }
+        }
+    }
+    // Saturate. Frontier optimization: a tuple all of whose components were
+    // known in a previous round has already been processed, so each round
+    // only enumerates tuples containing at least one fresh item.
+    let mut old_count = 0usize;
+    loop {
+        let known = items.len();
+        if known > max_items {
+            return Err(Error::FuelExhausted {
+                budget: max_items as u64,
+            });
+        }
+        let mut added = false;
+        for arity in 1..=rank {
+            let mut tuple = vec![0usize; arity];
+            'tuples: loop {
+                if tuple.iter().any(|&i| i >= known) {
+                    break 'tuples;
+                }
+                let fresh = tuple.iter().any(|&i| i >= old_count);
+                let marks_below = tuple
+                    .iter()
+                    .filter(|&&i| items[i].key.has_mark)
+                    .count();
+                if fresh && marks_below <= 1 {
+                    for a in 0..sigma {
+                        for marked in [false, true] {
+                            if marked && marks_below > 0 {
+                                continue;
+                            }
+                            let child_keys: Vec<&Key> =
+                                tuple.iter().map(|&i| &items[i].key).collect();
+                            let key =
+                                inner_key(machines, Symbol::from_index(a), marked, &child_keys);
+                            if seen.contains_key(&key) {
+                                continue;
+                            }
+                            let it = Item {
+                                key,
+                                children_idx: tuple.clone(),
+                            };
+                            let hit = stop_when.is_some_and(|p| p(&it));
+                            if push(&mut items, &mut seen, it) {
+                                added = true;
+                            }
+                            if hit {
+                                return Ok(items);
+                            }
+                            if items.len() > max_items {
+                                return Err(Error::FuelExhausted {
+                                    budget: max_items as u64,
+                                });
+                            }
+                        }
+                    }
+                }
+                let mut k = 0;
+                loop {
+                    if k == arity {
+                        break 'tuples;
+                    }
+                    tuple[k] += 1;
+                    if tuple[k] < known {
+                        break;
+                    }
+                    tuple[k] = 0;
+                    k += 1;
+                }
+            }
+        }
+        old_count = known;
+        if !added {
+            break;
+        }
+    }
+    Ok(items)
+}
+
+/// The global verdict of machine `mi` on a summary: `Some((accepts,
+/// mark_selected))`, or `None` when the run never reaches a maximal
+/// root-only configuration.
+fn root_verdict(qa: &RankedQa, item: &Item, mi: usize) -> Option<(bool, bool)> {
+    let m = qa.machine();
+    let label = item.key.label;
+    let mut cur = m.initial();
+    let mut visited = vec![false; m.num_states()];
+    let mut sel = false;
+    loop {
+        match item.key.behs[mi][cur.index()] {
+            Beh::Never => return None,
+            Beh::Settles { state, sel: s } => {
+                sel = sel || s;
+                match m.root(state, label) {
+                    Some(q2) => {
+                        if visited[q2.index()] {
+                            return None; // root-transition loop
+                        }
+                        visited[q2.index()] = true;
+                        sel = sel || (item.key.root_marked && qa.is_selecting(q2, label));
+                        cur = q2;
+                    }
+                    None => return Some((m.is_final(state), sel)),
+                }
+            }
+        }
+    }
+}
+
+/// Non-emptiness (Theorem 6.3, ranked case): is there a tree on which `qa`
+/// selects some node? Returns a witness.
+pub fn non_emptiness(qa: &RankedQa) -> Result<Option<RankedWitness>> {
+    non_emptiness_with_budget(qa, DEFAULT_MAX_ITEMS)
+}
+
+/// [`non_emptiness`] with an explicit summary budget.
+pub fn non_emptiness_with_budget(
+    qa: &RankedQa,
+    max_items: usize,
+) -> Result<Option<RankedWitness>> {
+    let hit = |it: &Item| {
+        it.key.has_mark && matches!(root_verdict(qa, it, 0), Some((true, true)))
+    };
+    let items = explore(&[qa], max_items, Some(&hit))?;
+    match items.last() {
+        Some(it) if hit(it) => {
+            let (tree, mark) = materialize(&items, items.len() - 1);
+            Ok(Some(RankedWitness {
+                tree,
+                node: mark.expect("has_mark"),
+            }))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// Containment: `A₁(t) ⊆ A₂(t)` for every ranked tree? `Ok(None)` when
+/// contained; `Ok(Some(w))` gives a violation (selected by `A₁`, not `A₂`).
+pub fn containment(a1: &RankedQa, a2: &RankedQa) -> Result<Option<RankedWitness>> {
+    containment_with_budget(a1, a2, DEFAULT_MAX_ITEMS)
+}
+
+/// [`containment`] with an explicit budget.
+pub fn containment_with_budget(
+    a1: &RankedQa,
+    a2: &RankedQa,
+    max_items: usize,
+) -> Result<Option<RankedWitness>> {
+    let hit = |it: &Item| {
+        it.key.has_mark
+            && matches!(root_verdict(a1, it, 0), Some((true, true)))
+            && !matches!(root_verdict(a2, it, 1), Some((true, true)))
+    };
+    let items = explore(&[a1, a2], max_items, Some(&hit))?;
+    match items.last() {
+        Some(it) if hit(it) => {
+            let (tree, mark) = materialize(&items, items.len() - 1);
+            Ok(Some(RankedWitness {
+                tree,
+                node: mark.expect("has_mark"),
+            }))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// Equivalence: same query? `Ok(None)` when equivalent; otherwise the
+/// violation and whether the left side selected it.
+pub fn equivalence(a1: &RankedQa, a2: &RankedQa) -> Result<Option<(RankedWitness, bool)>> {
+    if let Some(w) = containment(a1, a2)? {
+        return Ok(Some((w, true)));
+    }
+    if let Some(w) = containment(a2, a1)? {
+        return Ok(Some((w, false)));
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qa_base::Alphabet;
+    use qa_core::ranked::query::example_4_4;
+    use qa_core::ranked::RankedQa;
+
+    fn alpha() -> Alphabet {
+        Alphabet::from_names(["AND", "OR", "0", "1"])
+    }
+
+    #[test]
+    fn example_4_4_is_nonempty() {
+        let a = alpha();
+        let qa = example_4_4(&a);
+        let w = non_emptiness(&qa).unwrap().expect("non-empty");
+        // verify against the run semantics
+        let selected = qa.query(&w.tree).unwrap();
+        assert!(selected.contains(&w.node), "{}", w.tree.render(&a));
+    }
+
+    #[test]
+    fn deselected_automaton_is_empty() {
+        let a = alpha();
+        let machine = qa_core::ranked::twoway::example_4_2(&a);
+        let qa = RankedQa::new(machine); // no selections at all
+        assert!(non_emptiness(&qa).unwrap().is_none());
+    }
+
+    #[test]
+    fn containment_detects_strictness() {
+        let a = alpha();
+        let full = example_4_4(&a);
+        // restricted: only select AND gates evaluating to 1
+        let mut restricted = example_4_4(&a);
+        let or = a.symbol("OR");
+        for i in 0..restricted.machine().num_states() {
+            restricted.set_selecting(StateId::from_index(i), or, false);
+        }
+        assert!(containment(&restricted, &full).unwrap().is_none());
+        let w = containment(&full, &restricted).unwrap().expect("violation");
+        assert!(full.query(&w.tree).unwrap().contains(&w.node));
+        assert!(!restricted.query(&w.tree).unwrap().contains(&w.node));
+    }
+
+    #[test]
+    fn equivalence_is_reflexive() {
+        let a = alpha();
+        let qa = example_4_4(&a);
+        assert!(equivalence(&qa, &qa.clone()).unwrap().is_none());
+    }
+
+    #[test]
+    fn fixpoint_agrees_with_bounded_oracle() {
+        let a = alpha();
+        let qa = example_4_4(&a);
+        // brute-force: smallest selected (tree, node) pairs over tiny trees
+        let brute = crate::bounded::non_emptiness_bounded(
+            &|t| qa.query(t).unwrap_or_default(),
+            a.len(),
+            2,
+            5,
+        );
+        let exact = non_emptiness(&qa).unwrap();
+        assert_eq!(brute.is_some(), exact.is_some());
+    }
+
+    #[test]
+    fn budget_overflow_is_reported() {
+        // An empty query can never exit early, so saturation must hit the
+        // budget.
+        let a = alpha();
+        let machine = qa_core::ranked::twoway::example_4_2(&a);
+        let qa = RankedQa::new(machine); // selects nothing
+        assert!(matches!(
+            non_emptiness_with_budget(&qa, 3),
+            Err(Error::FuelExhausted { .. })
+        ));
+    }
+}

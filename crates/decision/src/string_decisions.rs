@@ -1,0 +1,180 @@
+//! Exact decision procedures for string query automata.
+//!
+//! The selection language `L_sel(A) = {(w, i) | i ∈ A(w)}` over the marked
+//! alphabet `Σ ⊎ Σ̂` is regular (crossing-sequence construction,
+//! `qa_twoway::crossing`); query non-emptiness, containment and equivalence
+//! are then regular-language emptiness and containment:
+//!
+//! - `A` is non-empty ⟺ `L_sel(A) ≠ ∅`;
+//! - `A₁ ⊑ A₂` (query containment) ⟺ `L_sel(A₁) ⊆ L_sel(A₂)`;
+//! - `A₁ ≡ A₂` ⟺ mutual containment.
+
+use qa_base::Symbol;
+use qa_strings::{ops, Nfa};
+use qa_twoway::crossing;
+use qa_twoway::StringQa;
+
+/// A witness that some query automaton selects a position: the word and the
+/// selected position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StringWitness {
+    /// The input word.
+    pub word: Vec<Symbol>,
+    /// The selected position (0-based).
+    pub position: usize,
+}
+
+/// Decode a marked word (over `Σ ⊎ Σ̂`) into a [`StringWitness`].
+fn decode_marked(marked: &[Symbol], sigma: usize) -> StringWitness {
+    let mut word = Vec::with_capacity(marked.len());
+    let mut position = 0;
+    for (i, &s) in marked.iter().enumerate() {
+        if s.index() >= sigma {
+            position = i;
+            word.push(Symbol::from_index(s.index() - sigma));
+        } else {
+            word.push(s);
+        }
+    }
+    StringWitness { word, position }
+}
+
+/// Non-emptiness: is there a word on which `qa` selects some position?
+/// Returns a shortest witness.
+pub fn non_emptiness(qa: &StringQa) -> Option<StringWitness> {
+    let sigma = qa.machine().alphabet_len();
+    let nfa = crossing::selection_nfa(qa);
+    nfa.shortest_witness().map(|w| decode_marked(&w, sigma))
+}
+
+/// Containment: `A₁(w) ⊆ A₂(w)` for every `w`? On violation returns a
+/// counterexample (a word and a position selected by `A₁` but not `A₂`).
+pub fn containment(a1: &StringQa, a2: &StringQa) -> Result<(), StringWitness> {
+    let sigma = a1.machine().alphabet_len();
+    assert_eq!(sigma, a2.machine().alphabet_len(), "mismatched alphabets");
+    let l1 = crossing::selection_nfa(a1);
+    let l2 = crossing::selection_nfa(a2);
+    let not_l2 = ops::complement(&l2).to_nfa();
+    let violation: Nfa = l1.intersect(&not_l2);
+    match violation.shortest_witness() {
+        None => Ok(()),
+        Some(w) => Err(decode_marked(&w, sigma)),
+    }
+}
+
+/// Equivalence: do `A₁` and `A₂` compute the same query? On violation
+/// returns a counterexample and which side selected it.
+pub fn equivalence(a1: &StringQa, a2: &StringQa) -> Result<(), (StringWitness, bool)> {
+    if let Err(w) = containment(a1, a2) {
+        return Err((w, true));
+    }
+    if let Err(w) = containment(a2, a1) {
+        return Err((w, false));
+    }
+    Ok(())
+}
+
+/// Language-level (tree-language analogue) equivalence of the underlying
+/// 2DFAs — the contrast the paper draws between "same language" and "same
+/// query".
+pub fn language_equivalence(a1: &StringQa, a2: &StringQa) -> bool {
+    let n1 = crossing::acceptance_nfa(a1.machine());
+    let n2 = crossing::acceptance_nfa(a2.machine());
+    ops::nfa_equivalent(&n1, &n2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qa_base::Alphabet;
+    use qa_strings::StateId;
+    use qa_twoway::string_qa::example_3_4_qa;
+
+    fn alpha() -> Alphabet {
+        Alphabet::from_names(["0", "1"])
+    }
+
+    #[test]
+    fn example_3_4_is_nonempty_with_minimal_witness() {
+        let a = alpha();
+        let qa = example_3_4_qa(&a);
+        let w = non_emptiness(&qa).expect("selects something");
+        // shortest: the single word "1" (position 1 from the right is odd)
+        assert_eq!(w.word, vec![a.symbol("1")]);
+        assert_eq!(w.position, 0);
+        // verify the witness against the semantics
+        assert!(qa.query(&w.word).unwrap().contains(&w.position));
+    }
+
+    #[test]
+    fn deselected_automaton_is_empty() {
+        let a = alpha();
+        let mut qa = example_3_4_qa(&a);
+        qa.set_selecting(StateId::from_index(1), a.symbol("1"), false);
+        assert!(non_emptiness(&qa).is_none());
+    }
+
+    #[test]
+    fn containment_of_restricted_selection() {
+        let a = alpha();
+        let full = example_3_4_qa(&a);
+        // `less`: same machine, but selects nothing
+        let mut less = example_3_4_qa(&a);
+        less.set_selecting(StateId::from_index(1), a.symbol("1"), false);
+        assert!(containment(&less, &full).is_ok());
+        let err = containment(&full, &less).unwrap_err();
+        assert!(full.query(&err.word).unwrap().contains(&err.position));
+        assert!(!less.query(&err.word).unwrap().contains(&err.position));
+    }
+
+    #[test]
+    fn equivalence_is_reflexive_and_detects_difference() {
+        let a = alpha();
+        let qa = example_3_4_qa(&a);
+        assert!(equivalence(&qa, &qa.clone()).is_ok());
+        let mut other = example_3_4_qa(&a);
+        // also select 0s at odd positions
+        other.set_selecting(StateId::from_index(1), a.symbol("0"), true);
+        let (w, first_selects) = equivalence(&qa, &other).unwrap_err();
+        assert!(!first_selects, "the enlarged side selects the extra pair");
+        assert!(other.query(&w.word).unwrap().contains(&w.position));
+    }
+
+    #[test]
+    fn same_language_different_query_proposition() {
+        // Two automata over the same (universal) language computing
+        // different queries — the paper's central distinction.
+        let a = alpha();
+        let odd = example_3_4_qa(&a);
+        let mut even = example_3_4_qa(&a);
+        // select 1s on EVEN positions from the right instead (state s2)
+        even.set_selecting(StateId::from_index(1), a.symbol("1"), false);
+        even.set_selecting(StateId::from_index(2), a.symbol("1"), true);
+        assert!(language_equivalence(&odd, &even));
+        assert!(equivalence(&odd, &even).is_err());
+    }
+
+    #[test]
+    fn witnesses_agree_with_direct_simulation() {
+        // cross-check every decision against brute force on short words
+        let a = alpha();
+        let qa = example_3_4_qa(&a);
+        let brute: Vec<(Vec<Symbol>, usize)> = {
+            let mut out = Vec::new();
+            for len in 0..=4usize {
+                for mask in 0..(1usize << len) {
+                    let w: Vec<Symbol> = (0..len)
+                        .map(|i| Symbol::from_index((mask >> i) & 1))
+                        .collect();
+                    for p in qa.query(&w).unwrap() {
+                        out.push((w.clone(), p));
+                    }
+                }
+            }
+            out
+        };
+        assert!(!brute.is_empty());
+        let w = non_emptiness(&qa).unwrap();
+        assert!(brute.contains(&(w.word, w.position)));
+    }
+}

@@ -1,0 +1,281 @@
+//! MSO formula AST.
+//!
+//! One vocabulary serves both structure kinds (Section 2 of the paper):
+//! - strings: `x < y` is the position order; `edge(x, y)` means `y = x + 1`
+//!   (successor);
+//! - trees: `edge(x, y)` is the parent–child relation `E`, `x < y` the
+//!   sibling order (both as in Section 2.3).
+
+use std::fmt;
+
+use qa_base::Symbol;
+
+/// A variable name. First-order variables conventionally start lowercase,
+/// set variables uppercase; the AST distinguishes them by binder, not by
+/// spelling.
+pub type Var = String;
+
+/// An MSO formula.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Formula {
+    /// `O_σ(x)` — position/node `x` carries label `σ`.
+    Label(Var, Symbol),
+    /// Successor (strings) / parent–child `E` (trees).
+    Edge(Var, Var),
+    /// Order: positions (strings) / siblings (trees).
+    Less(Var, Var),
+    /// `y` is the first (index-0) child of `x` (trees only).
+    ///
+    /// A navigation primitive of the first-child/next-sibling encoding; the
+    /// unranked translation compiles to these instead of set-quantified
+    /// closures, keeping automata small.
+    FirstChild(Var, Var),
+    /// `y` is the second (index-1) child of `x` (trees only).
+    SecondChild(Var, Var),
+    /// `y` is reachable from `x` by zero or more second-child steps
+    /// (trees only) — the reflexive sibling-chain of the encoding.
+    Chain2(Var, Var),
+    /// `x = y`.
+    Eq(Var, Var),
+    /// `x ∈ X`.
+    In(Var, Var),
+    /// `¬φ`.
+    Not(Box<Formula>),
+    /// `φ ∧ ψ`.
+    And(Box<Formula>, Box<Formula>),
+    /// `φ ∨ ψ`.
+    Or(Box<Formula>, Box<Formula>),
+    /// `∃x φ` (first-order).
+    Exists(Var, Box<Formula>),
+    /// `∀x φ` (first-order).
+    Forall(Var, Box<Formula>),
+    /// `∃X φ` (set).
+    ExistsSet(Var, Box<Formula>),
+    /// `∀X φ` (set).
+    ForallSet(Var, Box<Formula>),
+    /// `⊤`.
+    True,
+    /// `⊥`.
+    False,
+}
+
+impl Formula {
+    /// `φ → ψ` as `¬φ ∨ ψ`.
+    pub fn implies(self, other: Formula) -> Formula {
+        Formula::Or(Box::new(Formula::Not(Box::new(self))), Box::new(other))
+    }
+
+    /// `φ ↔ ψ`.
+    pub fn iff(self, other: Formula) -> Formula {
+        Formula::And(
+            Box::new(self.clone().implies(other.clone())),
+            Box::new(other.implies(self)),
+        )
+    }
+
+    /// `φ ∧ ψ`.
+    pub fn and(self, other: Formula) -> Formula {
+        Formula::And(Box::new(self), Box::new(other))
+    }
+
+    /// `φ ∨ ψ`.
+    pub fn or(self, other: Formula) -> Formula {
+        Formula::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `¬φ`.
+    pub fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// `∃x φ`.
+    pub fn exists(var: impl Into<Var>, body: Formula) -> Formula {
+        Formula::Exists(var.into(), Box::new(body))
+    }
+
+    /// `∀x φ`.
+    pub fn forall(var: impl Into<Var>, body: Formula) -> Formula {
+        Formula::Forall(var.into(), Box::new(body))
+    }
+
+    /// `∃X φ`.
+    pub fn exists_set(var: impl Into<Var>, body: Formula) -> Formula {
+        Formula::ExistsSet(var.into(), Box::new(body))
+    }
+
+    /// `∀X φ`.
+    pub fn forall_set(var: impl Into<Var>, body: Formula) -> Formula {
+        Formula::ForallSet(var.into(), Box::new(body))
+    }
+
+    /// Conjunction of many formulas (`⊤` if empty).
+    pub fn all<I: IntoIterator<Item = Formula>>(parts: I) -> Formula {
+        parts
+            .into_iter()
+            .reduce(|a, b| a.and(b))
+            .unwrap_or(Formula::True)
+    }
+
+    /// Disjunction of many formulas (`⊥` if empty).
+    pub fn any<I: IntoIterator<Item = Formula>>(parts: I) -> Formula {
+        parts
+            .into_iter()
+            .reduce(|a, b| a.or(b))
+            .unwrap_or(Formula::False)
+    }
+
+    /// Derived: `x` is the root (trees) / first position (strings):
+    /// `¬∃p. edge(p, x)`.
+    pub fn is_root(x: impl Into<Var>) -> Formula {
+        let x = x.into();
+        Formula::exists("#p", Formula::Edge("#p".into(), x)).not()
+    }
+
+    /// Derived: `x` is a leaf (trees) / last position (strings): no
+    /// outgoing edge.
+    pub fn is_leaf(x: impl Into<Var>) -> Formula {
+        let x = x.into();
+        Formula::exists("#c", Formula::Edge(x, "#c".into())).not()
+    }
+
+    /// Free variables (first-order and set alike), in first-occurrence
+    /// order.
+    pub fn free_vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        let mut bound: Vec<Var> = Vec::new();
+        self.walk_free(&mut bound, &mut out);
+        out
+    }
+
+    fn walk_free(&self, bound: &mut Vec<Var>, out: &mut Vec<Var>) {
+        let note = |v: &Var, bound: &Vec<Var>, out: &mut Vec<Var>| {
+            if !bound.contains(v) && !out.contains(v) {
+                out.push(v.clone());
+            }
+        };
+        match self {
+            Formula::Label(x, _) => note(x, bound, out),
+            Formula::Edge(x, y)
+            | Formula::Less(x, y)
+            | Formula::Eq(x, y)
+            | Formula::In(x, y)
+            | Formula::FirstChild(x, y)
+            | Formula::SecondChild(x, y)
+            | Formula::Chain2(x, y) => {
+                note(x, bound, out);
+                note(y, bound, out);
+            }
+            Formula::Not(f) => f.walk_free(bound, out),
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.walk_free(bound, out);
+                b.walk_free(bound, out);
+            }
+            Formula::Exists(v, f)
+            | Formula::Forall(v, f)
+            | Formula::ExistsSet(v, f)
+            | Formula::ForallSet(v, f) => {
+                bound.push(v.clone());
+                f.walk_free(bound, out);
+                bound.pop();
+            }
+            Formula::True | Formula::False => {}
+        }
+    }
+
+    /// Whether a variable is used as a set variable anywhere (bound by a
+    /// set quantifier or on the right of `in`).
+    pub fn set_vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        self.walk_set(&mut out);
+        out
+    }
+
+    fn walk_set(&self, out: &mut Vec<Var>) {
+        match self {
+            Formula::In(_, s) => {
+                if !out.contains(s) {
+                    out.push(s.clone());
+                }
+            }
+            Formula::Not(f) => f.walk_set(out),
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.walk_set(out);
+                b.walk_set(out);
+            }
+            Formula::Exists(_, f) | Formula::Forall(_, f) => f.walk_set(out),
+            Formula::ExistsSet(v, f) | Formula::ForallSet(v, f) => {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+                f.walk_set(out);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Label(x, s) => write!(f, "label({x}, s{})", s.index()),
+            Formula::Edge(x, y) => write!(f, "edge({x}, {y})"),
+            Formula::FirstChild(x, y) => write!(f, "first_child({x}, {y})"),
+            Formula::SecondChild(x, y) => write!(f, "second_child({x}, {y})"),
+            Formula::Chain2(x, y) => write!(f, "chain2({x}, {y})"),
+            Formula::Less(x, y) => write!(f, "{x} < {y}"),
+            Formula::Eq(x, y) => write!(f, "{x} = {y}"),
+            Formula::In(x, s) => write!(f, "{x} in {s}"),
+            Formula::Not(p) => write!(f, "!({p})"),
+            Formula::And(a, b) => write!(f, "({a} & {b})"),
+            Formula::Or(a, b) => write!(f, "({a} | {b})"),
+            Formula::Exists(v, p) => write!(f, "ex {v}. ({p})"),
+            Formula::Forall(v, p) => write!(f, "all {v}. ({p})"),
+            Formula::ExistsSet(v, p) => write!(f, "ex2 {v}. ({p})"),
+            Formula::ForallSet(v, p) => write!(f, "all2 {v}. ({p})"),
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_vars_respect_binders() {
+        let f = Formula::exists(
+            "x",
+            Formula::Edge("x".into(), "y".into()).and(Formula::In("x".into(), "X".into())),
+        );
+        assert_eq!(f.free_vars(), vec!["y".to_string(), "X".to_string()]);
+    }
+
+    #[test]
+    fn set_vars_found() {
+        let f = Formula::exists_set("X", Formula::In("x".into(), "X".into()));
+        assert_eq!(f.set_vars(), vec!["X".to_string()]);
+    }
+
+    #[test]
+    fn sugar_builds_expected_shapes() {
+        let f = Formula::True.implies(Formula::False);
+        assert!(matches!(f, Formula::Or(_, _)));
+        let f = Formula::all([Formula::True, Formula::False]);
+        assert!(matches!(f, Formula::And(_, _)));
+        assert_eq!(Formula::all([]), Formula::True);
+        assert_eq!(Formula::any([]), Formula::False);
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        let f = Formula::exists(
+            "x",
+            Formula::Label("x".into(), Symbol::from_index(0))
+                .and(Formula::Less("x".into(), "y".into())),
+        );
+        let s = f.to_string();
+        assert!(s.contains("ex x."));
+        assert!(s.contains("x < y"));
+    }
+}

@@ -1,0 +1,503 @@
+//! Büchi's theorem, constructive direction (Theorem 2.5): MSO over strings
+//! compiles to finite automata.
+//!
+//! Formulas with free variables are compiled over the *bit-extended*
+//! alphabet `Σ × {0,1}ᵏ`: bit `j` encodes membership of the position in
+//! variable `j` of the compilation context (innermost quantifier = highest
+//! bit, so quantification = projecting the top bit away). Every
+//! intermediate automaton accepts only *valid* encodings — each first-order
+//! variable's bit set at exactly one position — which makes negation a
+//! difference against the validity language. The DFA is minimized after
+//! every operation.
+
+use qa_base::{Error, Result, Symbol};
+use qa_strings::{Dfa, Nfa, StateId};
+
+use crate::ast::{Formula, Var};
+
+/// Size of the extended alphabet for `k` variables over `sigma` symbols.
+#[inline]
+pub fn ext_alphabet_len(sigma: usize, k: usize) -> usize {
+    sigma << k
+}
+
+/// The extended symbol for base symbol `sym` and variable bitmask `mask`.
+#[inline]
+pub fn ext_symbol(sym: Symbol, mask: usize, sigma: usize) -> Symbol {
+    Symbol::from_index(sym.index() + sigma * mask)
+}
+
+/// Base symbol of an extended symbol.
+#[inline]
+pub fn base_symbol(e: Symbol, sigma: usize) -> Symbol {
+    Symbol::from_index(e.index() % sigma)
+}
+
+/// Variable bitmask of an extended symbol.
+#[inline]
+pub fn ext_mask(e: Symbol, sigma: usize) -> usize {
+    e.index() / sigma
+}
+
+/// Encode a word with one marked position over `Σ × {0,1}` — the input
+/// format of unary-query automata ([`compile_unary`]).
+pub fn mark_word(word: &[Symbol], pos: usize, sigma: usize) -> Vec<Symbol> {
+    word.iter()
+        .enumerate()
+        .map(|(i, &s)| ext_symbol(s, usize::from(i == pos), sigma))
+        .collect()
+}
+
+/// A compilation context: the in-scope variables, outermost first.
+#[derive(Clone, Debug, Default)]
+struct Ctx {
+    /// `(name, is_set)`; bit `j` of the mask corresponds to entry `j`.
+    vars: Vec<(Var, bool)>,
+}
+
+impl Ctx {
+    fn bit_of(&self, v: &Var) -> Option<(usize, bool)> {
+        self.vars
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, (name, _))| name == v)
+            .map(|(i, (_, is_set))| (i, *is_set))
+    }
+
+    fn len(&self) -> usize {
+        self.vars.len()
+    }
+}
+
+/// The validity DFA: every first-order bit set at exactly one position.
+fn valid_dfa(sigma: usize, ctx: &Ctx) -> Dfa {
+    let k = ctx.len();
+    let fo_bits: Vec<usize> = ctx
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, is_set))| !is_set)
+        .map(|(i, _)| i)
+        .collect();
+    let ext = ext_alphabet_len(sigma, k);
+    let mut d = Dfa::new(ext);
+    // states: subsets of fo_bits seen, plus a dead state.
+    let nfo = fo_bits.len();
+    let states: Vec<StateId> = (0..(1usize << nfo)).map(|_| d.add_state()).collect();
+    let dead = d.add_state();
+    d.set_initial(states[0]);
+    d.set_accepting(states[(1 << nfo) - 1], true);
+    for e_idx in 0..ext {
+        let e = Symbol::from_index(e_idx);
+        let mask = ext_mask(e, sigma);
+        // which fo bits does this symbol set?
+        let mut setbits = 0usize;
+        for (j, &bit) in fo_bits.iter().enumerate() {
+            if (mask >> bit) & 1 == 1 {
+                setbits |= 1 << j;
+            }
+        }
+        for (seen, &st) in states.iter().enumerate() {
+            if seen & setbits != 0 {
+                d.set_transition(st, e, dead);
+            } else {
+                d.set_transition(st, e, states[seen | setbits]);
+            }
+        }
+        d.set_transition(dead, e, dead);
+    }
+    d
+}
+
+/// A *condition* DFA accepting extended words that satisfy a per-position /
+/// local predicate, built from a tiny hand-rolled automaton. Used by the
+/// atoms; always intersected with validity by the caller.
+fn per_position_dfa(sigma: usize, k: usize, ok: impl Fn(Symbol, usize) -> bool) -> Dfa {
+    let ext = ext_alphabet_len(sigma, k);
+    let mut d = Dfa::new(ext);
+    let good = d.add_state();
+    let dead = d.add_state();
+    d.set_initial(good);
+    d.set_accepting(good, true);
+    for e_idx in 0..ext {
+        let e = Symbol::from_index(e_idx);
+        let target = if ok(base_symbol(e, sigma), ext_mask(e, sigma)) {
+            good
+        } else {
+            dead
+        };
+        d.set_transition(good, e, target);
+        d.set_transition(dead, e, dead);
+    }
+    d
+}
+
+fn bit(mask: usize, b: usize) -> bool {
+    (mask >> b) & 1 == 1
+}
+
+fn compile_inner(f: &Formula, sigma: usize, ctx: &Ctx) -> Result<Dfa> {
+    let valid = || valid_dfa(sigma, ctx);
+    let k = ctx.len();
+    let fo_bit = |v: &Var| -> Result<usize> {
+        match ctx.bit_of(v) {
+            Some((b, false)) => Ok(b),
+            Some((_, true)) => Err(Error::domain(format!(
+                "variable `{v}` used as first-order but bound as a set"
+            ))),
+            None => Err(Error::domain(format!("unbound variable `{v}`"))),
+        }
+    };
+    let set_bit = |v: &Var| -> Result<usize> {
+        match ctx.bit_of(v) {
+            Some((b, true)) => Ok(b),
+            Some((_, false)) => Err(Error::domain(format!(
+                "variable `{v}` used as a set but bound first-order"
+            ))),
+            None => Err(Error::domain(format!("unbound set variable `{v}`"))),
+        }
+    };
+    let out = match f {
+        Formula::True => valid(),
+        Formula::False => {
+            let mut d = Dfa::new(ext_alphabet_len(sigma, k));
+            let q = d.add_state();
+            d.set_initial(q);
+            for e in 0..d.alphabet_len() {
+                d.set_transition(q, Symbol::from_index(e), q);
+            }
+            d
+        }
+        Formula::Label(x, a) => {
+            let b = fo_bit(x)?;
+            per_position_dfa(sigma, k, |sym, mask| !bit(mask, b) || sym == *a)
+                .intersect(&valid())
+        }
+        Formula::Eq(x, y) => {
+            let bx = fo_bit(x)?;
+            let by = fo_bit(y)?;
+            per_position_dfa(sigma, k, |_, mask| bit(mask, bx) == bit(mask, by))
+                .intersect(&valid())
+        }
+        Formula::In(x, s) => {
+            let bx = fo_bit(x)?;
+            let bs = set_bit(s)?;
+            per_position_dfa(sigma, k, |_, mask| !bit(mask, bx) || bit(mask, bs))
+                .intersect(&valid())
+        }
+        Formula::Edge(x, y) => {
+            // y = x + 1: after the x-bit position, the very next position
+            // carries the y-bit; x-bit must not sit at the last position;
+            // a y-bit with no preceding x-bit is ruled out by validity plus
+            // the "whenever x then next is y" and "whenever y then prev is
+            // x" conditions — encode both directions explicitly.
+            let bx = fo_bit(x)?;
+            let by = fo_bit(y)?;
+            let ext = ext_alphabet_len(sigma, k);
+            let mut d = Dfa::new(ext);
+            let plain = d.add_state(); // last position had no x-bit
+            let afterx = d.add_state(); // last position had the x-bit
+            let dead = d.add_state();
+            d.set_initial(plain);
+            d.set_accepting(plain, true);
+            for e_idx in 0..ext {
+                let e = Symbol::from_index(e_idx);
+                let m = ext_mask(e, sigma);
+                let (hx, hy) = (bit(m, bx), bit(m, by));
+                // from `plain`: a y-bit here has no x before it → dead
+                d.set_transition(
+                    plain,
+                    e,
+                    match (hx, hy) {
+                        (_, true) => dead,
+                        (true, false) => afterx,
+                        (false, false) => plain,
+                    },
+                );
+                // from `afterx`: this position must carry the y-bit
+                d.set_transition(
+                    afterx,
+                    e,
+                    match (hx, hy) {
+                        (false, true) => plain,
+                        // x twice is invalid anyway; y missing → dead
+                        _ => dead,
+                    },
+                );
+                d.set_transition(dead, e, dead);
+            }
+            d.intersect(&valid())
+        }
+        Formula::Less(x, y) => {
+            let bx = fo_bit(x)?;
+            let by = fo_bit(y)?;
+            let ext = ext_alphabet_len(sigma, k);
+            let mut d = Dfa::new(ext);
+            let before = d.add_state(); // x not yet seen
+            let between = d.add_state(); // x seen, y not yet
+            let done = d.add_state(); // both seen in order
+            let dead = d.add_state();
+            d.set_initial(before);
+            d.set_accepting(done, true);
+            for e_idx in 0..ext {
+                let e = Symbol::from_index(e_idx);
+                let m = ext_mask(e, sigma);
+                let (hx, hy) = (bit(m, bx), bit(m, by));
+                d.set_transition(
+                    before,
+                    e,
+                    match (hx, hy) {
+                        (true, false) => between,
+                        (false, false) => before,
+                        _ => dead, // y first, or same position
+                    },
+                );
+                d.set_transition(
+                    between,
+                    e,
+                    match (hx, hy) {
+                        (false, true) => done,
+                        (false, false) => between,
+                        _ => dead,
+                    },
+                );
+                d.set_transition(
+                    done,
+                    e,
+                    if hx || hy { dead } else { done },
+                );
+                d.set_transition(dead, e, dead);
+            }
+            d.intersect(&valid())
+        }
+        Formula::FirstChild(_, _) | Formula::SecondChild(_, _) | Formula::Chain2(_, _) => {
+            return Err(Error::domain(
+                "first_child/second_child/chain2 are tree atoms; strings have edge/<",
+            ))
+        }
+        Formula::Not(p) => {
+            let a = compile_inner(p, sigma, ctx)?;
+            valid().difference(&a)
+        }
+        Formula::And(p, q) => {
+            let a = compile_inner(p, sigma, ctx)?;
+            let b = compile_inner(q, sigma, ctx)?;
+            a.intersect(&b)
+        }
+        Formula::Or(p, q) => {
+            let a = compile_inner(p, sigma, ctx)?;
+            let b = compile_inner(q, sigma, ctx)?;
+            a.union(&b)
+        }
+        Formula::Exists(v, p) => {
+            let mut ctx2 = ctx.clone();
+            ctx2.vars.push((v.clone(), false));
+            let a = compile_inner(p, sigma, &ctx2)?;
+            project_top_bit(&a, sigma, ctx2.len())
+        }
+        Formula::ExistsSet(v, p) => {
+            let mut ctx2 = ctx.clone();
+            ctx2.vars.push((v.clone(), true));
+            let a = compile_inner(p, sigma, &ctx2)?;
+            project_top_bit(&a, sigma, ctx2.len())
+        }
+        Formula::Forall(v, p) => {
+            let inner = Formula::Exists(v.clone(), Box::new(Formula::Not(p.clone())));
+            let a = compile_inner(&inner, sigma, ctx)?;
+            valid().difference(&a)
+        }
+        Formula::ForallSet(v, p) => {
+            let inner = Formula::ExistsSet(v.clone(), Box::new(Formula::Not(p.clone())));
+            let a = compile_inner(&inner, sigma, ctx)?;
+            valid().difference(&a)
+        }
+    };
+    Ok(out.minimize())
+}
+
+/// Project away the top (most recently pushed) variable bit: each extended
+/// symbol maps to its counterpart with the bit cleared, nondeterministically
+/// merging the two variants, then determinize + minimize.
+fn project_top_bit(d: &Dfa, sigma: usize, k_with: usize) -> Dfa {
+    let small = ext_alphabet_len(sigma, k_with - 1);
+    let top = 1usize << (k_with - 1);
+    let mut n = Nfa::new(small);
+    for _ in 0..d.num_states() {
+        n.add_state();
+    }
+    for s_idx in 0..d.num_states() {
+        let s = StateId::from_index(s_idx);
+        n.set_accepting(s, d.is_accepting(s));
+        for e_idx in 0..d.alphabet_len() {
+            let e = Symbol::from_index(e_idx);
+            if let Some(t) = d.next(s, e) {
+                let mask = ext_mask(e, sigma);
+                let low = mask & !top;
+                let proj = ext_symbol(base_symbol(e, sigma), low, sigma);
+                n.add_transition(s, proj, t);
+            }
+        }
+    }
+    n.set_initial(d.initial());
+    n.determinize().minimize()
+}
+
+/// Compile a sentence to a minimized total DFA over Σ.
+pub fn compile_sentence(f: &Formula, sigma: usize) -> Result<Dfa> {
+    let free = f.free_vars();
+    if !free.is_empty() {
+        return Err(Error::domain(format!(
+            "sentence expected, found free variables {free:?}"
+        )));
+    }
+    compile_inner(f, sigma, &Ctx::default())
+}
+
+/// Compile a unary query `φ(x)` to a minimized total DFA over `Σ × {0,1}`
+/// (bit = "this is the position bound to `x`"); feed it words produced by
+/// [`mark_word`].
+pub fn compile_unary(f: &Formula, var: &str, sigma: usize) -> Result<Dfa> {
+    let free = f.free_vars();
+    if free.iter().any(|v| v != var) {
+        return Err(Error::domain(format!(
+            "unary query over `{var}` expected, found free variables {free:?}"
+        )));
+    }
+    let ctx = Ctx {
+        vars: vec![(var.to_string(), false)],
+    };
+    compile_inner(f, sigma, &ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::{check, query, Structure};
+    use crate::parser::parse;
+    use qa_base::Alphabet;
+
+    fn all_words(sigma: usize, max_len: usize) -> Vec<Vec<Symbol>> {
+        let mut out = vec![Vec::new()];
+        let mut frontier = vec![Vec::new()];
+        for _ in 0..max_len {
+            let mut next = Vec::new();
+            for w in frontier {
+                for s in 0..sigma {
+                    let mut w2: Vec<Symbol> = w.clone();
+                    w2.push(Symbol::from_index(s));
+                    out.push(w2.clone());
+                    next.push(w2);
+                }
+            }
+            frontier = next;
+        }
+        out
+    }
+
+    fn agree_sentence(src: &str, sigma_names: &[&str], max_len: usize) {
+        let mut a = Alphabet::from_names(sigma_names.to_vec());
+        let f = parse(src, &mut a).unwrap();
+        let d = compile_sentence(&f, a.len()).unwrap();
+        for w in all_words(a.len(), max_len) {
+            let naive = check(Structure::Word(&w), &f).unwrap();
+            assert_eq!(d.accepts(&w), naive, "{src} on {:?}", a.render(&w));
+        }
+    }
+
+    #[test]
+    fn label_existence() {
+        agree_sentence("ex x. label(x, b)", &["a", "b"], 5);
+    }
+
+    #[test]
+    fn order_and_edge() {
+        agree_sentence("ex x. ex y. (edge(x, y) & label(x, a) & label(y, b))", &["a", "b"], 5);
+        agree_sentence("ex x. ex y. (x < y & label(x, b) & label(y, a))", &["a", "b"], 5);
+        agree_sentence("all x. all y. (edge(x, y) -> !(label(x, a) & label(y, a)))", &["a", "b"], 5);
+    }
+
+    #[test]
+    fn set_quantification_even_length() {
+        // even length via alternating set
+        agree_sentence(
+            "ex2 X. ( (all x. (root(x) -> x in X)) \
+             & (all x. all y. (edge(x, y) -> ((x in X -> !(y in X)) & (!(x in X) -> y in X)))) \
+             & (all x. (leaf(x) -> !(x in X))) ) | (all x. !(x = x))",
+            &["a"],
+            8,
+        );
+    }
+
+    #[test]
+    fn equality_and_root_leaf() {
+        agree_sentence("all x. all y. (x = y)", &["a", "b"], 3);
+        agree_sentence("ex x. (root(x) & label(x, a)) & ex y. (leaf(y) & label(y, b))", &["a", "b"], 4);
+    }
+
+    #[test]
+    fn unary_query_agrees_with_naive() {
+        let mut a = Alphabet::from_names(["0", "1"]);
+        // Example 3.4's query: 1-labeled positions at odd distance from the
+        // right end: v is selected iff the suffix strictly after v has even
+        // size — expressible with a set alternating from the right end.
+        let src = "label(v, 1) & (ex2 X. ( (all x. (leaf(x) -> x in X)) \
+                   & (all x. all y. (edge(x, y) -> (y in X <-> !(x in X)))) \
+                   & v in X ))";
+        let f = parse(src, &mut a).unwrap();
+        let d = compile_unary(&f, "v", a.len()).unwrap();
+        for w in all_words(2, 6) {
+            let naive = query(Structure::Word(&w), &f, "v").unwrap();
+            for pos in 0..w.len() {
+                let marked = mark_word(&w, pos, 2);
+                assert_eq!(
+                    d.accepts(&marked),
+                    naive.contains(&pos),
+                    "pos {pos} of {:?}",
+                    a.render(&w)
+                );
+            }
+            // unmarked words never accepted (validity requires one bit)
+            assert!(!d.accepts(&w) || w.is_empty());
+        }
+    }
+
+    #[test]
+    fn unary_query_matches_example_3_4_machine() {
+        let mut a = Alphabet::from_names(["0", "1"]);
+        let qa = qa_twoway::string_qa::example_3_4_qa(&a);
+        let src = "label(v, 1) & (ex2 X. ( (all x. (leaf(x) -> x in X)) \
+                   & (all x. all y. (edge(x, y) -> (y in X <-> !(x in X)))) \
+                   & v in X ))";
+        let f = parse(src, &mut a).unwrap();
+        let d = compile_unary(&f, "v", a.len()).unwrap();
+        for w in all_words(2, 6) {
+            let selected = qa.query(&w).unwrap();
+            for pos in 0..w.len() {
+                let marked = mark_word(&w, pos, 2);
+                assert_eq!(
+                    d.accepts(&marked),
+                    selected.contains(&pos),
+                    "pos {pos} of {:?}",
+                    a.render(&w)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sentences_reject_free_variables() {
+        let mut a = Alphabet::new();
+        let f = parse("label(x, a)", &mut a).unwrap();
+        assert!(compile_sentence(&f, a.len()).is_err());
+        assert!(compile_unary(&f, "y", a.len()).is_err());
+    }
+
+    #[test]
+    fn compiled_automata_are_small() {
+        let mut a = Alphabet::from_names(["a", "b"]);
+        let f = parse("ex x. label(x, b)", &mut a).unwrap();
+        let d = compile_sentence(&f, 2).unwrap();
+        assert!(d.num_states() <= 3, "minimization keeps it tiny: {}", d.num_states());
+    }
+}

@@ -1,0 +1,401 @@
+//! Naive MSO model checking — the semantic ground truth.
+//!
+//! Direct recursive evaluation over the structure: first-order quantifiers
+//! enumerate the domain, set quantifiers enumerate all `2^n` subsets. Only
+//! usable on small structures (the evaluator refuses set quantification
+//! over domains larger than [`MAX_SET_DOMAIN`]), which is exactly what the
+//! property tests need: every compiled automaton is checked against this
+//! semantics on small random inputs.
+
+use std::collections::HashMap;
+
+use qa_base::{Error, Result, Symbol};
+use qa_trees::Tree;
+
+use crate::ast::{Formula, Var};
+
+/// Largest domain size on which set quantifiers are evaluated naively.
+pub const MAX_SET_DOMAIN: usize = 16;
+
+/// A structure an MSO formula can be evaluated on.
+#[derive(Clone, Copy, Debug)]
+pub enum Structure<'a> {
+    /// A string: domain = positions `0..len`; `edge` is successor, `<` the
+    /// position order.
+    Word(&'a [Symbol]),
+    /// An ordered tree: domain = nodes; `edge` is parent–child, `<` the
+    /// sibling order (only siblings are comparable, as in Section 2.3).
+    Tree(&'a Tree),
+}
+
+impl<'a> Structure<'a> {
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        match self {
+            Structure::Word(w) => w.len(),
+            Structure::Tree(t) => t.num_nodes(),
+        }
+    }
+
+    /// Whether the domain is empty (only possible for words).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn label(&self, e: usize) -> Symbol {
+        match self {
+            Structure::Word(w) => w[e],
+            Structure::Tree(t) => t.label(qa_trees::NodeId::from_index(e)),
+        }
+    }
+
+    fn edge(&self, x: usize, y: usize) -> bool {
+        match self {
+            Structure::Word(_) => y == x + 1,
+            Structure::Tree(t) => {
+                t.parent(qa_trees::NodeId::from_index(y)) == Some(qa_trees::NodeId::from_index(x))
+            }
+        }
+    }
+
+    fn first_child(&self, x: usize, y: usize) -> bool {
+        match self {
+            Structure::Word(_) => false,
+            Structure::Tree(t) => {
+                t.children(qa_trees::NodeId::from_index(x)).first()
+                    == Some(&qa_trees::NodeId::from_index(y))
+            }
+        }
+    }
+
+    fn second_child(&self, x: usize, y: usize) -> bool {
+        match self {
+            Structure::Word(_) => false,
+            Structure::Tree(t) => {
+                t.children(qa_trees::NodeId::from_index(x)).get(1)
+                    == Some(&qa_trees::NodeId::from_index(y))
+            }
+        }
+    }
+
+    fn chain2(&self, x: usize, y: usize) -> bool {
+        match self {
+            Structure::Word(_) => x == y,
+            Structure::Tree(t) => {
+                let mut cur = qa_trees::NodeId::from_index(x);
+                let target = qa_trees::NodeId::from_index(y);
+                loop {
+                    if cur == target {
+                        return true;
+                    }
+                    match t.children(cur).get(1) {
+                        Some(&c) => cur = c,
+                        None => return false,
+                    }
+                }
+            }
+        }
+    }
+
+    fn less(&self, x: usize, y: usize) -> bool {
+        match self {
+            Structure::Word(_) => x < y,
+            Structure::Tree(t) => {
+                let (nx, ny) = (
+                    qa_trees::NodeId::from_index(x),
+                    qa_trees::NodeId::from_index(y),
+                );
+                t.parent(nx).is_some()
+                    && t.parent(nx) == t.parent(ny)
+                    && t.child_index(nx) < t.child_index(ny)
+            }
+        }
+    }
+}
+
+/// A variable assignment.
+#[derive(Clone, Debug, Default)]
+pub struct Assignment {
+    firsts: HashMap<Var, usize>,
+    sets: HashMap<Var, Vec<bool>>,
+}
+
+impl Assignment {
+    /// Empty assignment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind a first-order variable to a domain element.
+    pub fn bind(&mut self, var: impl Into<Var>, element: usize) -> &mut Self {
+        self.firsts.insert(var.into(), element);
+        self
+    }
+
+    /// Bind a set variable to a set of elements.
+    pub fn bind_set(&mut self, var: impl Into<Var>, elements: &[usize], domain: usize) -> &mut Self {
+        let mut mask = vec![false; domain];
+        for &e in elements {
+            mask[e] = true;
+        }
+        self.sets.insert(var.into(), mask);
+        self
+    }
+}
+
+/// Evaluate `formula` on `structure` under `assignment`.
+///
+/// Errors on unbound variables and on set quantification over domains
+/// larger than [`MAX_SET_DOMAIN`].
+pub fn eval(structure: Structure<'_>, formula: &Formula, assignment: &Assignment) -> Result<bool> {
+    let mut env = assignment.clone();
+    eval_inner(structure, formula, &mut env)
+}
+
+/// Evaluate a sentence (no free variables).
+pub fn check(structure: Structure<'_>, formula: &Formula) -> Result<bool> {
+    eval(structure, formula, &Assignment::new())
+}
+
+/// Evaluate a unary query `φ(x)`: all elements `e` with
+/// `structure ⊨ φ[x ↦ e]`.
+pub fn query(structure: Structure<'_>, formula: &Formula, var: &str) -> Result<Vec<usize>> {
+    let mut out = Vec::new();
+    for e in 0..structure.len() {
+        let mut env = Assignment::new();
+        env.bind(var, e);
+        if eval(structure, formula, &env)? {
+            out.push(e);
+        }
+    }
+    Ok(out)
+}
+
+fn eval_inner(st: Structure<'_>, f: &Formula, env: &mut Assignment) -> Result<bool> {
+    let first = |env: &Assignment, v: &Var| -> Result<usize> {
+        env.firsts
+            .get(v)
+            .copied()
+            .ok_or_else(|| Error::domain(format!("unbound first-order variable `{v}`")))
+    };
+    Ok(match f {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Label(x, s) => st.label(first(env, x)?) == *s,
+        Formula::Edge(x, y) => st.edge(first(env, x)?, first(env, y)?),
+        Formula::Less(x, y) => st.less(first(env, x)?, first(env, y)?),
+        Formula::FirstChild(x, y) => st.first_child(first(env, x)?, first(env, y)?),
+        Formula::SecondChild(x, y) => st.second_child(first(env, x)?, first(env, y)?),
+        Formula::Chain2(x, y) => st.chain2(first(env, x)?, first(env, y)?),
+        Formula::Eq(x, y) => first(env, x)? == first(env, y)?,
+        Formula::In(x, s) => {
+            let e = first(env, x)?;
+            let mask = env
+                .sets
+                .get(s)
+                .ok_or_else(|| Error::domain(format!("unbound set variable `{s}`")))?;
+            mask.get(e).copied().unwrap_or(false)
+        }
+        Formula::Not(p) => !eval_inner(st, p, env)?,
+        Formula::And(a, b) => eval_inner(st, a, env)? && eval_inner(st, b, env)?,
+        Formula::Or(a, b) => eval_inner(st, a, env)? || eval_inner(st, b, env)?,
+        Formula::Exists(v, p) => {
+            let saved = env.firsts.get(v).copied();
+            let mut found = false;
+            for e in 0..st.len() {
+                env.firsts.insert(v.clone(), e);
+                if eval_inner(st, p, env)? {
+                    found = true;
+                    break;
+                }
+            }
+            restore_first(env, v, saved);
+            found
+        }
+        Formula::Forall(v, p) => {
+            let saved = env.firsts.get(v).copied();
+            let mut holds = true;
+            for e in 0..st.len() {
+                env.firsts.insert(v.clone(), e);
+                if !eval_inner(st, p, env)? {
+                    holds = false;
+                    break;
+                }
+            }
+            restore_first(env, v, saved);
+            holds
+        }
+        Formula::ExistsSet(v, p) => eval_set_quant(st, v, p, env, true)?,
+        Formula::ForallSet(v, p) => eval_set_quant(st, v, p, env, false)?,
+    })
+}
+
+fn restore_first(env: &mut Assignment, v: &Var, saved: Option<usize>) {
+    match saved {
+        Some(e) => {
+            env.firsts.insert(v.clone(), e);
+        }
+        None => {
+            env.firsts.remove(v);
+        }
+    }
+}
+
+fn eval_set_quant(
+    st: Structure<'_>,
+    v: &Var,
+    p: &Formula,
+    env: &mut Assignment,
+    existential: bool,
+) -> Result<bool> {
+    let n = st.len();
+    if n > MAX_SET_DOMAIN {
+        return Err(Error::domain(format!(
+            "naive set quantification over a domain of size {n} (max {MAX_SET_DOMAIN})"
+        )));
+    }
+    let saved = env.sets.get(v).cloned();
+    let mut result = !existential;
+    for mask_bits in 0u32..(1u32 << n) {
+        let mask: Vec<bool> = (0..n).map(|i| (mask_bits >> i) & 1 == 1).collect();
+        env.sets.insert(v.clone(), mask);
+        let holds = eval_inner(st, p, env)?;
+        if existential && holds {
+            result = true;
+            break;
+        }
+        if !existential && !holds {
+            result = false;
+            break;
+        }
+    }
+    match saved {
+        Some(m) => {
+            env.sets.insert(v.clone(), m);
+        }
+        None => {
+            env.sets.remove(v);
+        }
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use qa_base::Alphabet;
+    use qa_trees::sexpr::from_sexpr;
+
+    #[test]
+    fn even_length_formula_on_words() {
+        // Example 2.2's idea: X = odd positions; even length ⟺ last ∉ X.
+        let mut a = Alphabet::new();
+        a.intern_str("ab");
+        let f = parse(
+            "ex2 X. ( (all x. (root(x) -> x in X)) \
+             & (all x. all y. (edge(x, y) -> ((x in X -> !(y in X)) & (!(x in X) -> y in X)))) \
+             & (all x. (leaf(x) -> !(x in X))) )",
+            &mut a,
+        )
+        .unwrap();
+        for len in 1..=8usize {
+            let w = vec![a.symbol("a"); len];
+            assert_eq!(
+                check(Structure::Word(&w), &f).unwrap(),
+                len % 2 == 0,
+                "length {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn label_and_order_on_words() {
+        let mut a = Alphabet::new();
+        let w = a.intern_str("aba");
+        // some b before some a
+        let f = parse("ex x. ex y. (label(x, b) & label(y, a) & x < y)", &mut a).unwrap();
+        assert!(check(Structure::Word(&w), &f).unwrap());
+        let w2 = a.word("ba");
+        assert!(check(Structure::Word(&w2), &f).unwrap());
+        let w3 = a.word("ab");
+        assert!(!check(Structure::Word(&w3), &f).unwrap());
+    }
+
+    #[test]
+    fn tree_atoms() {
+        let mut a = Alphabet::new();
+        let t = from_sexpr("(f (g x) y)", &mut a).unwrap();
+        // root labeled f with a child labeled g
+        let f = parse("ex r. ex c. (root(r) & label(r, f) & edge(r, c) & label(c, g))", &mut a)
+            .unwrap();
+        assert!(check(Structure::Tree(&t), &f).unwrap());
+        // sibling order: some g-child before some y-child
+        let f = parse("ex u. ex v. (label(u, g) & label(v, y) & u < v)", &mut a).unwrap();
+        assert!(check(Structure::Tree(&t), &f).unwrap());
+        // y before g: false (only sibling order counts)
+        let f = parse("ex u. ex v. (label(u, y) & label(v, g) & u < v)", &mut a).unwrap();
+        assert!(!check(Structure::Tree(&t), &f).unwrap());
+        // x and y are NOT siblings, so incomparable
+        let f = parse("ex u. ex v. (label(u, x) & label(v, y) & (u < v | v < u))", &mut a)
+            .unwrap();
+        assert!(!check(Structure::Tree(&t), &f).unwrap());
+    }
+
+    #[test]
+    fn unary_query_selects_elements() {
+        let mut a = Alphabet::new();
+        let t = from_sexpr("(f (g x) x)", &mut a).unwrap();
+        let f = parse("label(v, x) & leaf(v)", &mut a).unwrap();
+        let sel = query(Structure::Tree(&t), &f, "v").unwrap();
+        assert_eq!(sel.len(), 2);
+    }
+
+    #[test]
+    fn select_leaves_if_root_sigma() {
+        // the paper's flagship non-bottom-up query (Section 1)
+        let mut a = Alphabet::new();
+        let f = parse(
+            "leaf(v) & (ex r. (root(r) & label(r, sigma)))",
+            &mut a,
+        )
+        .unwrap();
+        let t = from_sexpr("(sigma x (sigma y))", &mut a).unwrap();
+        let sel = query(Structure::Tree(&t), &f, "v").unwrap();
+        assert_eq!(sel.len(), 2, "both leaves selected");
+        let t2 = from_sexpr("(tau x (sigma y))", &mut a).unwrap();
+        assert!(query(Structure::Tree(&t2), &f, "v").unwrap().is_empty());
+    }
+
+    #[test]
+    fn unbound_variables_error() {
+        let mut a = Alphabet::new();
+        let w = a.intern_str("a");
+        let f = parse("x < y", &mut a).unwrap();
+        assert!(check(Structure::Word(&w), &f).is_err());
+        let f = parse("x in X", &mut a).unwrap();
+        let mut env = Assignment::new();
+        env.bind("x", 0);
+        assert!(eval(Structure::Word(&w), &f, &env).is_err());
+    }
+
+    #[test]
+    fn set_domain_cap() {
+        let mut a = Alphabet::new();
+        let w = vec![a.intern("a"); MAX_SET_DOMAIN + 1];
+        let f = parse("ex2 X. (all x. x in X)", &mut a).unwrap();
+        assert!(check(Structure::Word(&w), &f).is_err());
+    }
+
+    #[test]
+    fn assignment_bindings() {
+        let mut a = Alphabet::new();
+        let w = a.intern_str("ab");
+        let f = parse("x in X", &mut a).unwrap();
+        let mut env = Assignment::new();
+        env.bind("x", 1).bind_set("X", &[1], 2);
+        assert!(eval(Structure::Word(&w), &f, &env).unwrap());
+        env.bind("x", 0);
+        assert!(!eval(Structure::Word(&w), &f, &env).unwrap());
+    }
+}

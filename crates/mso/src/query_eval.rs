@@ -1,0 +1,168 @@
+//! Unary-query evaluation: naive re-runs vs the Figure 5/6 two-pass
+//! algorithm.
+//!
+//! Given the compiled deterministic automaton `D` over `Σ × {0,1}` for a
+//! unary query `φ(x)`, node `v` is selected iff `D` accepts the tree with
+//! `v` marked. The naive strategy re-runs `D` per node — `O(n²)`. The
+//! paper's Figure 5 (ranked) / Figure 6 (unranked) algorithm computes every
+//! node's verdict in one bottom-up pass (subtree states, the
+//! `τ(t_v, v)` analogue) and one top-down pass (context tables, the
+//! `τ(t̄_v, v)` analogue): `O(n · |Q|)` overall.
+
+use qa_base::Symbol;
+use qa_core::ranked::{ops, Dbta};
+use qa_strings::StateId;
+use qa_trees::{NodeId, Tree};
+
+use crate::compile_ranked::mark_tree;
+use crate::compile_string::ext_symbol;
+use crate::unranked::{encoded_alphabet_len, nil_symbol};
+
+/// Naive evaluation: re-run the automaton once per node. `O(n²)`.
+pub fn eval_unary_ranked_naive(d: &Dbta, tree: &Tree, sigma: usize) -> Vec<NodeId> {
+    tree.nodes()
+        .filter(|&v| d.accepts(&mark_tree(tree, v, sigma)))
+        .collect()
+}
+
+/// The Figure 5 algorithm on the compiled automaton: one bottom-up pass
+/// computing the all-unmarked subtree state of every node, one top-down
+/// pass computing every node's *context table* (the function "state at `v`
+/// ↦ state at the root"), then a per-node verdict. `O(n · |Q|)`.
+pub fn eval_unary_ranked(d: &Dbta, tree: &Tree, sigma: usize) -> Vec<NodeId> {
+    let d = ops::totalize(d);
+    let unmarked = |s: Symbol| ext_symbol(s, 0, sigma);
+    let marked = |s: Symbol| ext_symbol(s, 1, sigma);
+
+    // Pass 1 (bottom-up): b[v] = state of the unmarked subtree t_v.
+    let mut b: Vec<Option<StateId>> = vec![None; tree.num_nodes()];
+    for v in tree.postorder() {
+        let children: Vec<StateId> = tree
+            .children(v)
+            .iter()
+            .map(|c| b[c.index()].expect("postorder"))
+            .collect();
+        b[v.index()] = d.transition(&children, unmarked(tree.label(v)));
+        if b[v.index()].is_none() {
+            // total automaton ⇒ only possible if the tree's rank exceeds
+            // the automaton's; nothing is selected then.
+            return Vec::new();
+        }
+    }
+
+    // Pass 2 (top-down): ctx[v][q] = root state if v's subtree evaluated to
+    // q (everything outside v unmarked).
+    let nq = d.num_states();
+    let mut ctx: Vec<Option<Vec<StateId>>> = vec![None; tree.num_nodes()];
+    ctx[tree.root().index()] = Some((0..nq).map(StateId::from_index).collect());
+    for v in tree.preorder() {
+        let table = ctx[v.index()].clone().expect("preorder");
+        let kids = tree.children(v).to_vec();
+        let kid_states: Vec<StateId> = kids.iter().map(|c| b[c.index()].unwrap()).collect();
+        for (i, &c) in kids.iter().enumerate() {
+            let mut child_table: Vec<StateId> = Vec::with_capacity(nq);
+            for q_idx in 0..nq {
+                let mut children = kid_states.clone();
+                children[i] = StateId::from_index(q_idx);
+                let here = d
+                    .transition(&children, unmarked(tree.label(v)))
+                    .expect("totalized");
+                child_table.push(table[here.index()]);
+            }
+            ctx[c.index()] = Some(child_table);
+        }
+    }
+
+    // Verdicts: replace v's subtree state by its marked variant.
+    tree.nodes()
+        .filter(|&v| {
+            let children: Vec<StateId> = tree
+                .children(v)
+                .iter()
+                .map(|c| b[c.index()].unwrap())
+                .collect();
+            match d.transition(&children, marked(tree.label(v))) {
+                Some(q_marked) => {
+                    let root_state = ctx[v.index()].as_ref().unwrap()[q_marked.index()];
+                    d.is_final(root_state)
+                }
+                None => false,
+            }
+        })
+        .collect()
+}
+
+/// Figure 6 for unranked trees: encode (first-child/next-sibling), run the
+/// ranked two-pass on the encoding, and map selected encoded nodes back.
+pub fn eval_unary_unranked(d: &Dbta, tree: &Tree, sigma: usize) -> Vec<NodeId> {
+    let (enc, map) = qa_trees::fcns::encode_with_map(tree, nil_symbol(sigma));
+    let selected_enc = eval_unary_ranked(d, &enc, encoded_alphabet_len(sigma));
+    selected_enc
+        .into_iter()
+        .filter_map(|ev| map[ev.index()])
+        .collect()
+}
+
+/// Naive per-node evaluation for unranked trees. `O(n²)`.
+pub fn eval_unary_unranked_naive(d: &Dbta, tree: &Tree, sigma: usize) -> Vec<NodeId> {
+    tree.nodes()
+        .filter(|&v| crate::unranked::selects_unranked(d, tree, v, sigma))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::{compile_ranked, unranked};
+    use qa_base::Alphabet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn two_pass_matches_naive_on_ranked_trees() {
+        let mut a = Alphabet::from_names(["s", "t"]);
+        let f = parse("leaf(v) & (ex r. (root(r) & label(r, s)))", &mut a).unwrap();
+        let d = compile_ranked::compile_unary(&f, "v", 2, 2).unwrap();
+        let labels = [a.symbol("s"), a.symbol("t")];
+        let mut rng = StdRng::seed_from_u64(23);
+        for n in [1usize, 3, 7, 15, 40] {
+            let t = qa_trees::generate::random(&mut rng, &labels, n, Some(2));
+            let mut fast = eval_unary_ranked(&d, &t, 2);
+            let mut naive = eval_unary_ranked_naive(&d, &t, 2);
+            fast.sort_unstable();
+            naive.sort_unstable();
+            assert_eq!(fast, naive, "{}", t.render(&a));
+        }
+    }
+
+    #[test]
+    fn two_pass_matches_naive_on_unranked_trees() {
+        let mut a = Alphabet::from_names(["0", "1"]);
+        let src = "label(v, 1) & leaf(v) & !(ex w. (w < v & label(w, 1)))";
+        let f = parse(src, &mut a).unwrap();
+        let d = unranked::compile_unary(&f, "v", 2).unwrap();
+        let labels = [a.symbol("0"), a.symbol("1")];
+        let mut rng = StdRng::seed_from_u64(29);
+        for n in [1usize, 4, 9, 20] {
+            let t = qa_trees::generate::random(&mut rng, &labels, n, None);
+            let mut fast = eval_unary_unranked(&d, &t, 2);
+            let mut naive = eval_unary_unranked_naive(&d, &t, 2);
+            fast.sort_unstable();
+            naive.sort_unstable();
+            assert_eq!(fast, naive, "{}", t.render(&a));
+        }
+    }
+
+    #[test]
+    fn two_pass_scales_to_large_trees() {
+        // the point of Figure 5: linear evaluation; run on a tree far beyond
+        // naive's comfort zone.
+        let mut a = Alphabet::from_names(["s", "t"]);
+        let f = parse("leaf(v) & (ex r. (root(r) & label(r, s)))", &mut a).unwrap();
+        let d = compile_ranked::compile_unary(&f, "v", 2, 2).unwrap();
+        let t = qa_trees::generate::complete(a.symbol("s"), 2, 12); // 8191 nodes
+        let selected = eval_unary_ranked(&d, &t, 2);
+        assert_eq!(selected.len(), 4096, "all leaves selected");
+    }
+}

@@ -1,0 +1,415 @@
+//! Deterministic finite automata.
+
+use std::collections::VecDeque;
+
+use qa_base::Symbol;
+
+use crate::{Nfa, StateId};
+
+/// A deterministic finite automaton with a possibly partial transition table.
+///
+/// A missing transition rejects (the run "falls off"). [`Dfa::totalize`]
+/// adds an explicit dead state when a total table is needed (complementation,
+/// minimization).
+///
+/// ```
+/// use qa_base::Alphabet;
+/// use qa_strings::Dfa;
+/// let mut sigma = Alphabet::new();
+/// let (a, b) = (sigma.intern("a"), sigma.intern("b"));
+/// // even number of a's
+/// let mut d = Dfa::new(sigma.len());
+/// let even = d.add_state();
+/// let odd = d.add_state();
+/// d.set_initial(even);
+/// d.set_accepting(even, true);
+/// d.set_transition(even, a, odd);
+/// d.set_transition(odd, a, even);
+/// d.set_transition(even, b, even);
+/// d.set_transition(odd, b, odd);
+/// assert!(d.accepts(&[a, b, a]));
+/// assert!(!d.accepts(&[a, b]));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dfa {
+    alphabet_len: usize,
+    /// `transitions[state][symbol]` = successor, if defined.
+    transitions: Vec<Vec<Option<StateId>>>,
+    initial: Option<StateId>,
+    accepting: Vec<bool>,
+}
+
+impl Dfa {
+    /// Empty DFA (no states) over an alphabet of `alphabet_len` symbols.
+    pub fn new(alphabet_len: usize) -> Self {
+        Dfa {
+            alphabet_len,
+            transitions: Vec::new(),
+            initial: None,
+            accepting: Vec::new(),
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Alphabet size this DFA was built for.
+    pub fn alphabet_len(&self) -> usize {
+        self.alphabet_len
+    }
+
+    /// Add a fresh state.
+    pub fn add_state(&mut self) -> StateId {
+        let id = StateId::from_index(self.transitions.len());
+        self.transitions.push(vec![None; self.alphabet_len]);
+        self.accepting.push(false);
+        id
+    }
+
+    /// Set the (unique) initial state.
+    pub fn set_initial(&mut self, state: StateId) {
+        self.initial = Some(state);
+    }
+
+    /// The initial state. Panics if never set.
+    pub fn initial(&self) -> StateId {
+        self.initial.expect("DFA has no initial state")
+    }
+
+    /// Set whether `state` accepts.
+    pub fn set_accepting(&mut self, state: StateId, accepting: bool) {
+        self.accepting[state.index()] = accepting;
+    }
+
+    /// Whether `state` accepts.
+    pub fn is_accepting(&self, state: StateId) -> bool {
+        self.accepting[state.index()]
+    }
+
+    /// Define the transition `from --sym--> to` (overwrites).
+    pub fn set_transition(&mut self, from: StateId, sym: Symbol, to: StateId) {
+        debug_assert!(sym.index() < self.alphabet_len, "symbol outside alphabet");
+        self.transitions[from.index()][sym.index()] = Some(to);
+    }
+
+    /// The successor of `from` on `sym`, if defined.
+    pub fn next(&self, from: StateId, sym: Symbol) -> Option<StateId> {
+        self.transitions[from.index()][sym.index()]
+    }
+
+    /// Run from the initial state over `word`; `None` if the run falls off.
+    pub fn run(&self, word: &[Symbol]) -> Option<StateId> {
+        self.run_from(self.initial(), word)
+    }
+
+    /// Run from `state` over `word`.
+    pub fn run_from(&self, state: StateId, word: &[Symbol]) -> Option<StateId> {
+        let mut cur = state;
+        for &sym in word {
+            cur = self.next(cur, sym)?;
+        }
+        Some(cur)
+    }
+
+    /// The sequence of states visited on `word`, starting with the initial
+    /// state (length `|word| + 1` when the run completes).
+    pub fn trace(&self, word: &[Symbol]) -> Option<Vec<StateId>> {
+        let mut cur = self.initial();
+        let mut out = Vec::with_capacity(word.len() + 1);
+        out.push(cur);
+        for &sym in word {
+            cur = self.next(cur, sym)?;
+            out.push(cur);
+        }
+        Some(out)
+    }
+
+    /// Whether the DFA accepts `word`.
+    pub fn accepts(&self, word: &[Symbol]) -> bool {
+        self.run(word).is_some_and(|s| self.is_accepting(s))
+    }
+
+    /// Whether every state has a successor on every symbol.
+    pub fn is_total(&self) -> bool {
+        self.transitions
+            .iter()
+            .all(|row| row.iter().all(|t| t.is_some()))
+    }
+
+    /// Return an equivalent total DFA (adds a dead state if needed).
+    pub fn totalize(&self) -> Dfa {
+        if self.is_total() {
+            return self.clone();
+        }
+        let mut d = self.clone();
+        let dead = d.add_state();
+        for row in d.transitions.iter_mut() {
+            for t in row.iter_mut() {
+                if t.is_none() {
+                    *t = Some(dead);
+                }
+            }
+        }
+        d
+    }
+
+    /// The complement DFA (accepts exactly the rejected words).
+    pub fn complement(&self) -> Dfa {
+        let mut d = self.totalize();
+        for acc in d.accepting.iter_mut() {
+            *acc = !*acc;
+        }
+        d
+    }
+
+    /// View as an NFA (for products with genuinely nondeterministic machines).
+    pub fn to_nfa(&self) -> Nfa {
+        let mut n = Nfa::new(self.alphabet_len);
+        for _ in 0..self.num_states() {
+            n.add_state();
+        }
+        for (i, row) in self.transitions.iter().enumerate() {
+            for (sym_idx, t) in row.iter().enumerate() {
+                if let Some(to) = t {
+                    n.add_transition(StateId::from_index(i), Symbol::from_index(sym_idx), *to);
+                }
+            }
+        }
+        if let Some(init) = self.initial {
+            n.set_initial(init);
+        }
+        for (i, &acc) in self.accepting.iter().enumerate() {
+            if acc {
+                n.set_accepting(StateId::from_index(i), true);
+            }
+        }
+        n
+    }
+
+    /// Product DFA; `combine(a_accepts, b_accepts)` decides acceptance.
+    ///
+    /// Only reachable product states are constructed. Both operands are
+    /// totalized first so the product is total.
+    pub fn product(&self, other: &Dfa, combine: impl Fn(bool, bool) -> bool) -> Dfa {
+        assert_eq!(
+            self.alphabet_len, other.alphabet_len,
+            "product over mismatched alphabets"
+        );
+        let a = self.totalize();
+        let b = other.totalize();
+        let mut prod = Dfa::new(self.alphabet_len);
+        let mut index: std::collections::HashMap<(StateId, StateId), StateId> =
+            std::collections::HashMap::new();
+        let mut queue: VecDeque<(StateId, StateId)> = VecDeque::new();
+        let start = (a.initial(), b.initial());
+        let id = prod.add_state();
+        index.insert(start, id);
+        prod.set_initial(id);
+        queue.push_back(start);
+        while let Some((sa, sb)) = queue.pop_front() {
+            let from = index[&(sa, sb)];
+            if combine(a.is_accepting(sa), b.is_accepting(sb)) {
+                prod.set_accepting(from, true);
+            }
+            for sym_idx in 0..self.alphabet_len {
+                let sym = Symbol::from_index(sym_idx);
+                let ta = a.next(sa, sym).expect("totalized");
+                let tb = b.next(sb, sym).expect("totalized");
+                let to = *index.entry((ta, tb)).or_insert_with(|| {
+                    queue.push_back((ta, tb));
+                    prod.add_state()
+                });
+                prod.set_transition(from, sym, to);
+            }
+        }
+        prod
+    }
+
+    /// Intersection `L(self) ∩ L(other)`.
+    pub fn intersect(&self, other: &Dfa) -> Dfa {
+        self.product(other, |x, y| x && y)
+    }
+
+    /// Union `L(self) ∪ L(other)`.
+    pub fn union(&self, other: &Dfa) -> Dfa {
+        self.product(other, |x, y| x || y)
+    }
+
+    /// Difference `L(self) \ L(other)`.
+    pub fn difference(&self, other: &Dfa) -> Dfa {
+        self.product(other, |x, y| x && !y)
+    }
+
+    /// Whether the language is empty.
+    pub fn is_empty(&self) -> bool {
+        let Some(init) = self.initial else {
+            return true;
+        };
+        let mut seen = vec![false; self.num_states()];
+        let mut queue = VecDeque::from([init]);
+        seen[init.index()] = true;
+        while let Some(s) = queue.pop_front() {
+            if self.is_accepting(s) {
+                return false;
+            }
+            for t in self.transitions[s.index()].iter().flatten() {
+                if !seen[t.index()] {
+                    seen[t.index()] = true;
+                    queue.push_back(*t);
+                }
+            }
+        }
+        true
+    }
+
+    /// A shortest accepted word, if any.
+    pub fn shortest_witness(&self) -> Option<Vec<Symbol>> {
+        self.to_nfa().shortest_witness()
+    }
+
+    /// Whether `L(self) ⊆ L(other)`.
+    pub fn is_subset_of(&self, other: &Dfa) -> bool {
+        self.difference(other).is_empty()
+    }
+
+    /// Whether `L(self) = L(other)`.
+    pub fn equivalent(&self, other: &Dfa) -> bool {
+        self.is_subset_of(other) && other.is_subset_of(self)
+    }
+
+    /// Minimize (Moore partition refinement over the trimmed, total DFA).
+    pub fn minimize(&self) -> Dfa {
+        crate::minimize::minimize(self)
+    }
+
+    /// The left-to-right state sequence assigned to each position of `word`:
+    /// entry `i` is the state after reading `word[..=i]`.
+    ///
+    /// This is `δ*(s0, w1…wi)` from the proof of Büchi's Theorem; the
+    /// Hopcroft–Ullman composition (Lemma 3.10) recomputes exactly this
+    /// sequence with a two-way automaton in constant space.
+    pub fn prefix_states(&self, word: &[Symbol]) -> Option<Vec<StateId>> {
+        let t = self.trace(word)?;
+        Some(t[1..].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qa_base::Alphabet;
+
+    fn even_a() -> (Dfa, Symbol, Symbol) {
+        let mut sigma = Alphabet::new();
+        let a = sigma.intern("a");
+        let b = sigma.intern("b");
+        let mut d = Dfa::new(2);
+        let even = d.add_state();
+        let odd = d.add_state();
+        d.set_initial(even);
+        d.set_accepting(even, true);
+        d.set_transition(even, a, odd);
+        d.set_transition(odd, a, even);
+        d.set_transition(even, b, even);
+        d.set_transition(odd, b, odd);
+        (d, a, b)
+    }
+
+    #[test]
+    fn run_and_accept() {
+        let (d, a, b) = even_a();
+        assert!(d.accepts(&[]));
+        assert!(d.accepts(&[a, a]));
+        assert!(d.accepts(&[b, a, b, a]));
+        assert!(!d.accepts(&[a]));
+    }
+
+    #[test]
+    fn partial_transitions_reject() {
+        let mut d = Dfa::new(1);
+        let q0 = d.add_state();
+        d.set_initial(q0);
+        d.set_accepting(q0, true);
+        assert!(d.accepts(&[]));
+        assert!(!d.accepts(&[Symbol::from_index(0)]));
+        assert!(!d.is_total());
+        assert!(d.totalize().is_total());
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let (d, a, b) = even_a();
+        let c = d.complement();
+        assert!(!c.accepts(&[]));
+        assert!(c.accepts(&[a]));
+        assert!(c.accepts(&[a, b, b]));
+        assert!(!c.accepts(&[a, a]));
+    }
+
+    #[test]
+    fn boolean_products() {
+        let (d, a, b) = even_a();
+        // ends in b
+        let mut e = Dfa::new(2);
+        let q0 = e.add_state();
+        let q1 = e.add_state();
+        e.set_initial(q0);
+        e.set_accepting(q1, true);
+        e.set_transition(q0, a, q0);
+        e.set_transition(q1, a, q0);
+        e.set_transition(q0, b, q1);
+        e.set_transition(q1, b, q1);
+
+        let both = d.intersect(&e);
+        assert!(both.accepts(&[a, a, b]));
+        assert!(!both.accepts(&[a, b]));
+        assert!(!both.accepts(&[a, a]));
+
+        let either = d.union(&e);
+        assert!(either.accepts(&[a, b]));
+        assert!(either.accepts(&[a, a]));
+        assert!(!either.accepts(&[a]));
+
+        let diff = d.difference(&e);
+        assert!(diff.accepts(&[a, a]));
+        assert!(!diff.accepts(&[a, a, b]));
+    }
+
+    #[test]
+    fn emptiness_subset_equivalence() {
+        let (d, _, _) = even_a();
+        assert!(!d.is_empty());
+        assert!(d.intersect(&d.complement()).is_empty());
+        assert!(d.is_subset_of(&d.union(&d.complement())));
+        assert!(d.equivalent(&d.clone()));
+        assert!(!d.equivalent(&d.complement()));
+    }
+
+    #[test]
+    fn trace_and_prefix_states() {
+        let (d, a, _) = even_a();
+        let trace = d.trace(&[a, a, a]).unwrap();
+        assert_eq!(trace.len(), 4);
+        let prefix = d.prefix_states(&[a, a, a]).unwrap();
+        assert_eq!(prefix.len(), 3);
+        assert_eq!(prefix[2], trace[3]);
+    }
+
+    #[test]
+    fn shortest_witness_of_intersection() {
+        let (d, a, b) = even_a();
+        let mut needs_b = Dfa::new(2);
+        let q0 = needs_b.add_state();
+        let q1 = needs_b.add_state();
+        needs_b.set_initial(q0);
+        needs_b.set_accepting(q1, true);
+        needs_b.set_transition(q0, a, q0);
+        needs_b.set_transition(q0, b, q1);
+        needs_b.set_transition(q1, a, q1);
+        needs_b.set_transition(q1, b, q1);
+        let w = d.intersect(&needs_b).shortest_witness().unwrap();
+        assert_eq!(w, vec![b]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Kleene's theorem, constructive direction: automata back to regular
+//! expressions, by state elimination.
+//!
+//! Rounds out the Section 2.2 toolkit: `regex → NFA → DFA → regex`. Used
+//! by the examples to *display* transition languages (e.g. the up-languages
+//! of unranked automata) in human-readable form.
+
+use std::collections::HashMap;
+
+use qa_base::Symbol;
+
+use crate::{Dfa, Nfa, Regex, StateId};
+
+/// Convert an NFA to an equivalent regular expression by state
+/// elimination.
+///
+/// The result can be large (state elimination is worst-case exponential in
+/// formula size); it is intended for display and for round-trip testing,
+/// not as an internal representation.
+pub fn nfa_to_regex(nfa: &Nfa) -> Regex {
+    // GNFA edges: (from, to) → regex, over states 0..n plus fresh start =
+    // n and accept = n + 1.
+    let n = nfa.num_states();
+    let start = n;
+    let accept = n + 1;
+    let mut edges: HashMap<(usize, usize), Regex> = HashMap::new();
+    let connect = |edges: &mut HashMap<(usize, usize), Regex>, f: usize, t: usize, r: Regex| {
+        let slot = edges.entry((f, t)).or_insert(Regex::Empty);
+        *slot = std::mem::replace(slot, Regex::Empty).alt(r);
+    };
+    for s_idx in 0..n {
+        let s = StateId::from_index(s_idx);
+        for a in 0..nfa.alphabet_len() {
+            let sym = Symbol::from_index(a);
+            for &t in nfa.successors(s, sym) {
+                connect(&mut edges, s_idx, t.index(), Regex::Sym(sym));
+            }
+        }
+        for &t in nfa.epsilon_successors(s) {
+            connect(&mut edges, s_idx, t.index(), Regex::Epsilon);
+        }
+        if nfa.is_accepting(s) {
+            connect(&mut edges, s_idx, accept, Regex::Epsilon);
+        }
+    }
+    for &i in nfa.initial_states() {
+        connect(&mut edges, start, i.index(), Regex::Epsilon);
+    }
+
+    // Eliminate the original states one by one.
+    for k in 0..n {
+        let self_loop = edges.remove(&(k, k)).unwrap_or(Regex::Empty);
+        let loop_star = self_loop.star();
+        let incoming: Vec<(usize, Regex)> = edges
+            .iter()
+            .filter(|((_, t), _)| *t == k)
+            .map(|((f, _), r)| (*f, r.clone()))
+            .collect();
+        let outgoing: Vec<(usize, Regex)> = edges
+            .iter()
+            .filter(|((f, _), _)| *f == k)
+            .map(|((_, t), r)| (*t, r.clone()))
+            .collect();
+        edges.retain(|(f, t), _| *f != k && *t != k);
+        for (f, rin) in &incoming {
+            for (t, rout) in &outgoing {
+                let detour = rin.clone().concat(loop_star.clone()).concat(rout.clone());
+                connect(&mut edges, *f, *t, detour);
+            }
+        }
+    }
+    edges.remove(&(start, accept)).unwrap_or(Regex::Empty)
+}
+
+/// Convert a DFA to an equivalent regular expression (via its NFA view).
+pub fn dfa_to_regex(dfa: &Dfa) -> Regex {
+    nfa_to_regex(&dfa.to_nfa())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+    use qa_base::Alphabet;
+
+    fn round_trip(src: &str) {
+        let mut a = Alphabet::new();
+        let r = crate::regex::parse_chars(src, &mut a).unwrap();
+        let nfa = r.to_nfa(a.len().max(1));
+        let back = nfa_to_regex(&nfa);
+        let nfa2 = back.to_nfa(a.len().max(1));
+        assert!(
+            ops::nfa_equivalent(&nfa, &nfa2),
+            "{src} ≠ {}",
+            back.render(&a)
+        );
+    }
+
+    #[test]
+    fn round_trips_basic_expressions() {
+        for src in ["a", "ab", "a|b", "a*", "(a|b)*abb", "a+b?", "~", "(ab)*a"] {
+            round_trip(src);
+        }
+    }
+
+    #[test]
+    fn empty_language_stays_empty() {
+        let nfa = Nfa::new(2);
+        assert_eq!(nfa_to_regex(&nfa), Regex::Empty);
+    }
+
+    #[test]
+    fn dfa_round_trip_through_minimization() {
+        let mut a = Alphabet::new();
+        let r = crate::regex::parse_chars("(a|b)*a(a|b)", &mut a).unwrap();
+        let min = r.to_nfa(2).determinize().minimize();
+        let back = dfa_to_regex(&min);
+        assert!(ops::nfa_equivalent(&min.to_nfa(), &back.to_nfa(2)));
+    }
+
+    #[test]
+    fn universal_language_round_trip() {
+        let uni = Nfa::universal(2);
+        let back = nfa_to_regex(&uni);
+        assert!(ops::nfa_equivalent(&uni, &back.to_nfa(2)));
+    }
+}

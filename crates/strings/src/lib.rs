@@ -1,0 +1,34 @@
+//! # qa-strings
+//!
+//! Classical one-way string automata and regular-language machinery — the
+//! substrate Sections 2.2 and 5 of *Query Automata* (Neven & Schwentick)
+//! build on:
+//!
+//! - [`Nfa`] / [`Dfa`]: nondeterministic and deterministic finite automata
+//!   over an interned [`qa_base::Alphabet`], with ε-transitions, subset
+//!   determinization, product/boolean operations, emptiness, containment and
+//!   equivalence.
+//! - [`minimize`]: DFA minimization (Moore partition refinement) used to keep
+//!   compiled MSO automata small.
+//! - [`regex`]: regular-expression AST, two parsers (character-level and
+//!   token-level) and the Thompson construction.
+//! - [`slender`]: *slender* languages of the Shallit form `x y* z` — finite
+//!   unions with at most one member per length — which represent the
+//!   down-transition languages `L↓(q, a)` of two-way unranked tree automata
+//!   (Definition 5.7 of the paper).
+
+pub mod dfa;
+pub mod kleene;
+pub mod minimize;
+pub mod nfa;
+pub mod ops;
+pub mod regex;
+pub mod slender;
+
+pub use dfa::Dfa;
+pub use kleene::{dfa_to_regex, nfa_to_regex};
+pub use nfa::Nfa;
+pub use regex::{parse_chars, parse_tokens, Regex};
+pub use slender::{SlenderLang, XyzPattern};
+
+qa_base::define_id!(pub StateId, "q");

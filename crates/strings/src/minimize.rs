@@ -1,0 +1,206 @@
+//! DFA minimization by Moore partition refinement.
+
+use std::collections::{HashMap, VecDeque};
+
+use qa_base::Symbol;
+
+use crate::{Dfa, StateId};
+
+/// Minimize `dfa`: trim to reachable states, totalize, then refine the
+/// accepting/non-accepting partition until stable, and rebuild.
+///
+/// Moore refinement is O(n² · |Σ|) worst case — entirely adequate for the
+/// automata this workspace produces, and simple enough to be obviously
+/// correct (the property tests in `qa-mso` lean on it heavily).
+pub fn minimize(dfa: &Dfa) -> Dfa {
+    let total = trim(&dfa.totalize());
+    let n = total.num_states();
+    if n == 0 {
+        // No reachable states at all: language is empty.
+        let mut d = Dfa::new(dfa.alphabet_len());
+        let q = d.add_state();
+        d.set_initial(q);
+        for s in 0..dfa.alphabet_len() {
+            d.set_transition(q, Symbol::from_index(s), q);
+        }
+        return d;
+    }
+
+    // class[s] = index of s's current block.
+    let mut class: Vec<usize> = (0..n)
+        .map(|i| usize::from(total.is_accepting(StateId::from_index(i))))
+        .collect();
+    let mut num_classes = if class.iter().any(|&c| c == 1) && class.iter().any(|&c| c == 0) {
+        2
+    } else {
+        1
+    };
+    if num_classes == 1 {
+        // normalize to class 0
+        class.iter_mut().for_each(|c| *c = 0);
+    }
+
+    loop {
+        // signature of a state: (its class, classes of all successors)
+        let mut sig_index: HashMap<(usize, Vec<usize>), usize> = HashMap::new();
+        let mut new_class = vec![0usize; n];
+        for i in 0..n {
+            let succ: Vec<usize> = (0..total.alphabet_len())
+                .map(|a| {
+                    let t = total
+                        .next(StateId::from_index(i), Symbol::from_index(a))
+                        .expect("totalized");
+                    class[t.index()]
+                })
+                .collect();
+            let key = (class[i], succ);
+            let next_id = sig_index.len();
+            let id = *sig_index.entry(key).or_insert(next_id);
+            new_class[i] = id;
+        }
+        let new_count = sig_index.len();
+        class = new_class;
+        if new_count == num_classes {
+            break;
+        }
+        num_classes = new_count;
+    }
+
+    let mut out = Dfa::new(total.alphabet_len());
+    for _ in 0..num_classes {
+        out.add_state();
+    }
+    let rep = |c: usize| StateId::from_index(c);
+    let mut acc_set = vec![false; num_classes];
+    for i in 0..n {
+        let c = class[i];
+        if total.is_accepting(StateId::from_index(i)) {
+            acc_set[c] = true;
+        }
+        for a in 0..total.alphabet_len() {
+            let t = total
+                .next(StateId::from_index(i), Symbol::from_index(a))
+                .expect("totalized");
+            out.set_transition(rep(c), Symbol::from_index(a), rep(class[t.index()]));
+        }
+    }
+    for (c, &acc) in acc_set.iter().enumerate() {
+        out.set_accepting(rep(c), acc);
+    }
+    out.set_initial(rep(class[total.initial().index()]));
+    out
+}
+
+/// Restrict to states reachable from the initial state, renumbering densely.
+pub fn trim(dfa: &Dfa) -> Dfa {
+    let mut out = Dfa::new(dfa.alphabet_len());
+    let init = dfa.initial();
+    let mut map: HashMap<StateId, StateId> = HashMap::new();
+    let mut queue = VecDeque::from([init]);
+    map.insert(init, out.add_state());
+    while let Some(s) = queue.pop_front() {
+        let from = map[&s];
+        out.set_accepting(from, dfa.is_accepting(s));
+        for a in 0..dfa.alphabet_len() {
+            let sym = Symbol::from_index(a);
+            if let Some(t) = dfa.next(s, sym) {
+                let to = match map.get(&t) {
+                    Some(&id) => id,
+                    None => {
+                        let id = out.add_state();
+                        map.insert(t, id);
+                        queue.push_back(t);
+                        id
+                    }
+                };
+                out.set_transition(from, sym, to);
+            }
+        }
+    }
+    out.set_initial(map[&init]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(i: usize) -> Symbol {
+        Symbol::from_index(i)
+    }
+
+    /// A redundant DFA for "odd length" over a unary alphabet using 4 states.
+    fn redundant_odd_length() -> Dfa {
+        let mut d = Dfa::new(1);
+        let q0 = d.add_state();
+        let q1 = d.add_state();
+        let q2 = d.add_state();
+        let q3 = d.add_state();
+        d.set_initial(q0);
+        d.set_accepting(q1, true);
+        d.set_accepting(q3, true);
+        d.set_transition(q0, sym(0), q1);
+        d.set_transition(q1, sym(0), q2);
+        d.set_transition(q2, sym(0), q3);
+        d.set_transition(q3, sym(0), q0);
+        d
+    }
+
+    #[test]
+    fn minimize_collapses_equivalent_states() {
+        let d = redundant_odd_length();
+        let m = minimize(&d);
+        assert_eq!(m.num_states(), 2);
+        for len in 0..10 {
+            let w = vec![sym(0); len];
+            assert_eq!(d.accepts(&w), m.accepts(&w), "length {len}");
+        }
+    }
+
+    #[test]
+    fn minimize_empty_language_is_one_state() {
+        let mut d = Dfa::new(2);
+        let q0 = d.add_state();
+        let _q1 = d.add_state();
+        d.set_initial(q0);
+        d.set_transition(q0, sym(0), q0);
+        d.set_transition(q0, sym(1), q0);
+        let m = minimize(&d);
+        assert_eq!(m.num_states(), 1);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn minimize_universal_language_is_one_state() {
+        let mut d = Dfa::new(1);
+        let q0 = d.add_state();
+        let q1 = d.add_state();
+        d.set_initial(q0);
+        d.set_accepting(q0, true);
+        d.set_accepting(q1, true);
+        d.set_transition(q0, sym(0), q1);
+        d.set_transition(q1, sym(0), q0);
+        let m = minimize(&d);
+        assert_eq!(m.num_states(), 1);
+        assert!(m.accepts(&[sym(0); 5]));
+        assert!(m.accepts(&[]));
+    }
+
+    #[test]
+    fn trim_drops_unreachable() {
+        let mut d = redundant_odd_length();
+        // add an unreachable accepting state
+        let junk = d.add_state();
+        d.set_accepting(junk, true);
+        let t = trim(&d);
+        assert_eq!(t.num_states(), 4);
+    }
+
+    #[test]
+    fn minimized_is_equivalent_and_no_larger() {
+        let d = redundant_odd_length();
+        let m = minimize(&d);
+        assert!(m.equivalent(&d));
+        assert!(m.num_states() <= d.num_states());
+    }
+}

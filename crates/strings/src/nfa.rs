@@ -1,0 +1,576 @@
+//! Nondeterministic finite automata with ε-transitions.
+
+use std::collections::VecDeque;
+
+use qa_base::Symbol;
+
+use crate::{Dfa, StateId};
+
+/// A nondeterministic finite automaton over symbols `0..alphabet_len`.
+///
+/// Supports ε-transitions (added by the Thompson construction); the run and
+/// product algorithms take ε-closures internally. States are dense
+/// [`StateId`]s; transitions are stored per-state, per-symbol.
+///
+/// ```
+/// use qa_base::Alphabet;
+/// use qa_strings::Nfa;
+/// let mut sigma = Alphabet::new();
+/// let (a, b) = (sigma.intern("a"), sigma.intern("b"));
+/// // an NFA for "contains ab"
+/// let mut n = Nfa::new(sigma.len());
+/// let q0 = n.add_state();
+/// let q1 = n.add_state();
+/// let q2 = n.add_state();
+/// n.set_initial(q0);
+/// n.set_accepting(q2, true);
+/// n.add_transition(q0, a, q0);
+/// n.add_transition(q0, b, q0);
+/// n.add_transition(q0, a, q1);
+/// n.add_transition(q1, b, q2);
+/// n.add_transition(q2, a, q2);
+/// n.add_transition(q2, b, q2);
+/// assert!(n.accepts(&[b, a, b]));
+/// assert!(!n.accepts(&[b, a, a]));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Nfa {
+    alphabet_len: usize,
+    /// `transitions[state][symbol]` = successor states.
+    transitions: Vec<Vec<Vec<StateId>>>,
+    /// ε-successors per state.
+    epsilon: Vec<Vec<StateId>>,
+    initial: Vec<StateId>,
+    accepting: Vec<bool>,
+}
+
+impl Nfa {
+    /// Empty NFA (no states) over an alphabet of `alphabet_len` symbols.
+    pub fn new(alphabet_len: usize) -> Self {
+        Nfa {
+            alphabet_len,
+            transitions: Vec::new(),
+            epsilon: Vec::new(),
+            initial: Vec::new(),
+            accepting: Vec::new(),
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Alphabet size this NFA was built for.
+    pub fn alphabet_len(&self) -> usize {
+        self.alphabet_len
+    }
+
+    /// Add a fresh state (initially non-accepting, unconnected).
+    pub fn add_state(&mut self) -> StateId {
+        let id = StateId::from_index(self.transitions.len());
+        self.transitions.push(vec![Vec::new(); self.alphabet_len]);
+        self.epsilon.push(Vec::new());
+        self.accepting.push(false);
+        id
+    }
+
+    /// Mark `state` as (an additional) initial state.
+    pub fn set_initial(&mut self, state: StateId) {
+        if !self.initial.contains(&state) {
+            self.initial.push(state);
+        }
+    }
+
+    /// Set whether `state` is accepting.
+    pub fn set_accepting(&mut self, state: StateId, accepting: bool) {
+        self.accepting[state.index()] = accepting;
+    }
+
+    /// Whether `state` is accepting.
+    pub fn is_accepting(&self, state: StateId) -> bool {
+        self.accepting[state.index()]
+    }
+
+    /// The initial states.
+    pub fn initial_states(&self) -> &[StateId] {
+        &self.initial
+    }
+
+    /// Add the transition `from --sym--> to` (idempotent).
+    pub fn add_transition(&mut self, from: StateId, sym: Symbol, to: StateId) {
+        debug_assert!(sym.index() < self.alphabet_len, "symbol outside alphabet");
+        let tgts = &mut self.transitions[from.index()][sym.index()];
+        if !tgts.contains(&to) {
+            tgts.push(to);
+        }
+    }
+
+    /// Add the ε-transition `from --ε--> to` (idempotent).
+    pub fn add_epsilon(&mut self, from: StateId, to: StateId) {
+        let tgts = &mut self.epsilon[from.index()];
+        if !tgts.contains(&to) {
+            tgts.push(to);
+        }
+    }
+
+    /// Successors of `state` on `sym` (not ε-closed).
+    pub fn successors(&self, state: StateId, sym: Symbol) -> &[StateId] {
+        &self.transitions[state.index()][sym.index()]
+    }
+
+    /// ε-successors of `state`.
+    pub fn epsilon_successors(&self, state: StateId) -> &[StateId] {
+        &self.epsilon[state.index()]
+    }
+
+    /// Whether this NFA has any ε-transitions.
+    pub fn has_epsilon(&self) -> bool {
+        self.epsilon.iter().any(|e| !e.is_empty())
+    }
+
+    /// ε-closure of `set`, as a sorted, deduplicated state list.
+    pub fn epsilon_closure(&self, set: &[StateId]) -> Vec<StateId> {
+        let mut seen = vec![false; self.num_states()];
+        let mut stack: Vec<StateId> = Vec::with_capacity(set.len());
+        for &s in set {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+        let mut out = stack.clone();
+        while let Some(s) = stack.pop() {
+            for &t in &self.epsilon[s.index()] {
+                if !seen[t.index()] {
+                    seen[t.index()] = true;
+                    stack.push(t);
+                    out.push(t);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The set of states reachable from `set` by reading `sym` (ε-closed on
+    /// both ends assuming `set` is already closed).
+    pub fn step(&self, set: &[StateId], sym: Symbol) -> Vec<StateId> {
+        let mut next: Vec<StateId> = Vec::new();
+        for &s in set {
+            for &t in self.successors(s, sym) {
+                if !next.contains(&t) {
+                    next.push(t);
+                }
+            }
+        }
+        self.epsilon_closure(&next)
+    }
+
+    /// Whether the NFA accepts `word`.
+    pub fn accepts(&self, word: &[Symbol]) -> bool {
+        let mut current = self.epsilon_closure(&self.initial);
+        for &sym in word {
+            if current.is_empty() {
+                return false;
+            }
+            current = self.step(&current, sym);
+        }
+        current.iter().any(|&s| self.is_accepting(s))
+    }
+
+    /// Whether the language is empty, optionally restricted to words over the
+    /// symbol subset `allowed` (`None` = full alphabet).
+    ///
+    /// Restriction support is what Lemma 5.2's PTIME emptiness check for
+    /// unranked tree automata needs: "is `δ(q, a) ∩ R*` non-empty?".
+    pub fn is_empty_over(&self, allowed: Option<&[bool]>) -> bool {
+        if let Some(mask) = allowed {
+            debug_assert_eq!(mask.len(), self.alphabet_len);
+        }
+        let mut seen = vec![false; self.num_states()];
+        let mut queue: VecDeque<StateId> = VecDeque::new();
+        for &s in &self.epsilon_closure(&self.initial) {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                queue.push_back(s);
+            }
+        }
+        while let Some(s) = queue.pop_front() {
+            if self.is_accepting(s) {
+                return false;
+            }
+            for sym_idx in 0..self.alphabet_len {
+                if let Some(mask) = allowed {
+                    if !mask[sym_idx] {
+                        continue;
+                    }
+                }
+                for &t in &self.transitions[s.index()][sym_idx] {
+                    for &u in &self.epsilon_closure(&[t]) {
+                        if !seen[u.index()] {
+                            seen[u.index()] = true;
+                            queue.push_back(u);
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether the language is empty.
+    pub fn is_empty(&self) -> bool {
+        self.is_empty_over(None)
+    }
+
+    /// A shortest accepted word, if the language is non-empty.
+    pub fn shortest_witness(&self) -> Option<Vec<Symbol>> {
+        // BFS over ε-closed state sets is exponential; BFS over single states
+        // with predecessor tracking suffices because acceptance from an
+        // initial state through individual transitions witnesses membership.
+        let mut pred: Vec<Option<(StateId, Option<Symbol>)>> = vec![None; self.num_states()];
+        let mut seen = vec![false; self.num_states()];
+        let mut queue: VecDeque<StateId> = VecDeque::new();
+        for &s in &self.initial {
+            seen[s.index()] = true;
+            queue.push_back(s);
+        }
+        let mut hit: Option<StateId> = None;
+        'bfs: while let Some(s) = queue.pop_front() {
+            if self.is_accepting(s) {
+                hit = Some(s);
+                break 'bfs;
+            }
+            for &t in &self.epsilon[s.index()] {
+                if !seen[t.index()] {
+                    seen[t.index()] = true;
+                    pred[t.index()] = Some((s, None));
+                    queue.push_back(t);
+                }
+            }
+            for sym_idx in 0..self.alphabet_len {
+                let sym = Symbol::from_index(sym_idx);
+                for &t in &self.transitions[s.index()][sym_idx] {
+                    if !seen[t.index()] {
+                        seen[t.index()] = true;
+                        pred[t.index()] = Some((s, Some(sym)));
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+        let mut cur = hit?;
+        let mut word = Vec::new();
+        while let Some((p, sym)) = pred[cur.index()] {
+            if let Some(sym) = sym {
+                word.push(sym);
+            }
+            cur = p;
+        }
+        word.reverse();
+        Some(word)
+    }
+
+    /// Subset-construction determinization.
+    pub fn determinize(&self) -> Dfa {
+        crate::ops::determinize(self)
+    }
+
+    /// The reversal NFA: accepts `w` iff `self` accepts the reverse of `w`.
+    pub fn reverse(&self) -> Nfa {
+        let mut rev = Nfa::new(self.alphabet_len);
+        for _ in 0..self.num_states() {
+            rev.add_state();
+        }
+        for (i, per_sym) in self.transitions.iter().enumerate() {
+            let from = StateId::from_index(i);
+            for (sym_idx, tgts) in per_sym.iter().enumerate() {
+                for &to in tgts {
+                    rev.add_transition(to, Symbol::from_index(sym_idx), from);
+                }
+            }
+            for &to in &self.epsilon[i] {
+                rev.add_epsilon(to, from);
+            }
+        }
+        for (i, &acc) in self.accepting.iter().enumerate() {
+            if acc {
+                rev.set_initial(StateId::from_index(i));
+            }
+        }
+        for &s in &self.initial {
+            rev.set_accepting(s, true);
+        }
+        rev
+    }
+
+    /// Disjoint union: accepts `L(self) ∪ L(other)`.
+    pub fn union(&self, other: &Nfa) -> Nfa {
+        assert_eq!(
+            self.alphabet_len, other.alphabet_len,
+            "union over mismatched alphabets"
+        );
+        let mut u = self.clone();
+        let offset = u.num_states();
+        for _ in 0..other.num_states() {
+            u.add_state();
+        }
+        let shift = |s: StateId| StateId::from_index(s.index() + offset);
+        for (i, per_sym) in other.transitions.iter().enumerate() {
+            for (sym_idx, tgts) in per_sym.iter().enumerate() {
+                for &to in tgts {
+                    u.add_transition(
+                        shift(StateId::from_index(i)),
+                        Symbol::from_index(sym_idx),
+                        shift(to),
+                    );
+                }
+            }
+            for &to in &other.epsilon[i] {
+                u.add_epsilon(shift(StateId::from_index(i)), shift(to));
+            }
+        }
+        for (i, &acc) in other.accepting.iter().enumerate() {
+            if acc {
+                u.set_accepting(shift(StateId::from_index(i)), true);
+            }
+        }
+        for &s in &other.initial {
+            u.set_initial(shift(s));
+        }
+        u
+    }
+
+    /// Product intersection: accepts `L(self) ∩ L(other)`.
+    ///
+    /// ε-transitions are supported (a product state may advance either
+    /// component on ε).
+    pub fn intersect(&self, other: &Nfa) -> Nfa {
+        assert_eq!(
+            self.alphabet_len, other.alphabet_len,
+            "intersection over mismatched alphabets"
+        );
+        let mut prod = Nfa::new(self.alphabet_len);
+        let mut index: std::collections::HashMap<(StateId, StateId), StateId> =
+            std::collections::HashMap::new();
+        let mut queue: VecDeque<(StateId, StateId)> = VecDeque::new();
+        let intern = |prod: &mut Nfa,
+                          queue: &mut VecDeque<(StateId, StateId)>,
+                          index: &mut std::collections::HashMap<(StateId, StateId), StateId>,
+                          pair: (StateId, StateId)| {
+            *index.entry(pair).or_insert_with(|| {
+                queue.push_back(pair);
+                prod.add_state()
+            })
+        };
+        for &a in &self.initial {
+            for &b in &other.initial {
+                let id = intern(&mut prod, &mut queue, &mut index, (a, b));
+                prod.set_initial(id);
+            }
+        }
+        while let Some((a, b)) = queue.pop_front() {
+            let from = index[&(a, b)];
+            if self.is_accepting(a) && other.is_accepting(b) {
+                prod.set_accepting(from, true);
+            }
+            for sym_idx in 0..self.alphabet_len {
+                let sym = Symbol::from_index(sym_idx);
+                for &ta in self.successors(a, sym) {
+                    for &tb in other.successors(b, sym) {
+                        let to = intern(&mut prod, &mut queue, &mut index, (ta, tb));
+                        prod.add_transition(from, sym, to);
+                    }
+                }
+            }
+            for &ta in self.epsilon_successors(a) {
+                let to = intern(&mut prod, &mut queue, &mut index, (ta, b));
+                prod.add_epsilon(from, to);
+            }
+            for &tb in other.epsilon_successors(b) {
+                let to = intern(&mut prod, &mut queue, &mut index, (a, tb));
+                prod.add_epsilon(from, to);
+            }
+        }
+        prod
+    }
+
+    /// NFA accepting exactly the single word `word`.
+    pub fn literal(alphabet_len: usize, word: &[Symbol]) -> Nfa {
+        let mut n = Nfa::new(alphabet_len);
+        let mut prev = n.add_state();
+        n.set_initial(prev);
+        for &sym in word {
+            let next = n.add_state();
+            n.add_transition(prev, sym, next);
+            prev = next;
+        }
+        n.set_accepting(prev, true);
+        n
+    }
+
+    /// NFA accepting every word over the alphabet (Σ*).
+    pub fn universal(alphabet_len: usize) -> Nfa {
+        let mut n = Nfa::new(alphabet_len);
+        let q = n.add_state();
+        n.set_initial(q);
+        n.set_accepting(q, true);
+        for sym_idx in 0..alphabet_len {
+            n.add_transition(q, Symbol::from_index(sym_idx), q);
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qa_base::Alphabet;
+
+    fn ab() -> (Alphabet, Symbol, Symbol) {
+        let mut sigma = Alphabet::new();
+        let a = sigma.intern("a");
+        let b = sigma.intern("b");
+        (sigma, a, b)
+    }
+
+    /// NFA for `(a|b)* a`: last symbol is `a`.
+    fn ends_in_a() -> (Nfa, Symbol, Symbol) {
+        let (_, a, b) = ab();
+        let mut n = Nfa::new(2);
+        let q0 = n.add_state();
+        let q1 = n.add_state();
+        n.set_initial(q0);
+        n.set_accepting(q1, true);
+        n.add_transition(q0, a, q0);
+        n.add_transition(q0, b, q0);
+        n.add_transition(q0, a, q1);
+        (n, a, b)
+    }
+
+    #[test]
+    fn accepts_basic() {
+        let (n, a, b) = ends_in_a();
+        assert!(n.accepts(&[a]));
+        assert!(n.accepts(&[b, b, a]));
+        assert!(!n.accepts(&[]));
+        assert!(!n.accepts(&[a, b]));
+    }
+
+    #[test]
+    fn epsilon_closure_is_transitive() {
+        let mut n = Nfa::new(1);
+        let q0 = n.add_state();
+        let q1 = n.add_state();
+        let q2 = n.add_state();
+        n.add_epsilon(q0, q1);
+        n.add_epsilon(q1, q2);
+        assert_eq!(n.epsilon_closure(&[q0]), vec![q0, q1, q2]);
+    }
+
+    #[test]
+    fn acceptance_through_epsilon() {
+        let (_, a, _) = ab();
+        let mut n = Nfa::new(2);
+        let q0 = n.add_state();
+        let q1 = n.add_state();
+        let q2 = n.add_state();
+        n.set_initial(q0);
+        n.add_epsilon(q0, q1);
+        n.add_transition(q1, a, q2);
+        n.set_accepting(q2, true);
+        assert!(n.accepts(&[a]));
+        assert!(!n.accepts(&[]));
+    }
+
+    #[test]
+    fn emptiness_and_witness() {
+        let (n, a, _) = ends_in_a();
+        assert!(!n.is_empty());
+        assert_eq!(n.shortest_witness(), Some(vec![a]));
+
+        let empty = Nfa::new(2);
+        assert!(empty.is_empty());
+        assert_eq!(empty.shortest_witness(), None);
+    }
+
+    #[test]
+    fn emptiness_over_restricted_symbols() {
+        let (n, _, _) = ends_in_a();
+        // Only `b` allowed: no word ending in `a` exists.
+        assert!(n.is_empty_over(Some(&[false, true])));
+        // Only `a` allowed: `a` itself works.
+        assert!(!n.is_empty_over(Some(&[true, false])));
+    }
+
+    #[test]
+    fn reverse_accepts_reversed_words() {
+        let (n, a, b) = ends_in_a();
+        let rev = n.reverse();
+        // reverse language: first symbol is `a`.
+        assert!(rev.accepts(&[a, b, b]));
+        assert!(!rev.accepts(&[b, a]));
+    }
+
+    #[test]
+    fn union_accepts_either() {
+        let (n, a, b) = ends_in_a();
+        let lit = Nfa::literal(2, &[b, b]);
+        let u = n.union(&lit);
+        assert!(u.accepts(&[b, a]));
+        assert!(u.accepts(&[b, b]));
+        assert!(!u.accepts(&[b]));
+    }
+
+    #[test]
+    fn intersect_requires_both() {
+        let (n, a, b) = ends_in_a();
+        // words of length exactly 2
+        let mut len2 = Nfa::new(2);
+        let q0 = len2.add_state();
+        let q1 = len2.add_state();
+        let q2 = len2.add_state();
+        len2.set_initial(q0);
+        len2.set_accepting(q2, true);
+        for s in [a, b] {
+            len2.add_transition(q0, s, q1);
+            len2.add_transition(q1, s, q2);
+        }
+        let i = n.intersect(&len2);
+        assert!(i.accepts(&[b, a]));
+        assert!(i.accepts(&[a, a]));
+        assert!(!i.accepts(&[a]));
+        assert!(!i.accepts(&[a, b]));
+        assert!(!i.accepts(&[a, a, a]));
+    }
+
+    #[test]
+    fn literal_and_universal() {
+        let (_, a, b) = ab();
+        let lit = Nfa::literal(2, &[a, b, a]);
+        assert!(lit.accepts(&[a, b, a]));
+        assert!(!lit.accepts(&[a, b]));
+        assert!(!lit.accepts(&[a, b, b]));
+        let uni = Nfa::universal(2);
+        assert!(uni.accepts(&[]));
+        assert!(uni.accepts(&[a, b, b, a]));
+    }
+
+    #[test]
+    fn intersect_with_epsilon_components() {
+        let (_, a, _) = ab();
+        let mut n1 = Nfa::new(2);
+        let p0 = n1.add_state();
+        let p1 = n1.add_state();
+        let p2 = n1.add_state();
+        n1.set_initial(p0);
+        n1.add_epsilon(p0, p1);
+        n1.add_transition(p1, a, p2);
+        n1.set_accepting(p2, true);
+        let lit = Nfa::literal(2, &[a]);
+        let i = n1.intersect(&lit);
+        assert!(i.accepts(&[a]));
+        assert!(!i.accepts(&[]));
+    }
+}

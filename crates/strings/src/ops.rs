@@ -1,0 +1,134 @@
+//! Conversions between automaton representations.
+
+use std::collections::{HashMap, VecDeque};
+
+use qa_base::Symbol;
+
+use crate::{Dfa, Nfa, StateId};
+
+/// Subset-construction determinization (only reachable subsets are built).
+///
+/// The resulting DFA is total over the alphabet: the empty subset acts as the
+/// dead state when reachable.
+pub fn determinize(nfa: &Nfa) -> Dfa {
+    let mut dfa = Dfa::new(nfa.alphabet_len());
+    let start: Vec<StateId> = nfa.epsilon_closure(nfa.initial_states());
+    let mut index: HashMap<Vec<StateId>, StateId> = HashMap::new();
+    let mut queue: VecDeque<Vec<StateId>> = VecDeque::new();
+    let init = dfa.add_state();
+    dfa.set_initial(init);
+    if start.iter().any(|&s| nfa.is_accepting(s)) {
+        dfa.set_accepting(init, true);
+    }
+    index.insert(start.clone(), init);
+    queue.push_back(start);
+    while let Some(set) = queue.pop_front() {
+        let from = index[&set];
+        for sym_idx in 0..nfa.alphabet_len() {
+            let sym = Symbol::from_index(sym_idx);
+            let next = nfa.step(&set, sym);
+            let to = match index.get(&next) {
+                Some(&id) => id,
+                None => {
+                    let id = dfa.add_state();
+                    if next.iter().any(|&s| nfa.is_accepting(s)) {
+                        dfa.set_accepting(id, true);
+                    }
+                    index.insert(next.clone(), id);
+                    queue.push_back(next);
+                    id
+                }
+            };
+            dfa.set_transition(from, sym, to);
+        }
+    }
+    dfa
+}
+
+/// Complement of an NFA language, via determinization.
+pub fn complement(nfa: &Nfa) -> Dfa {
+    determinize(nfa).complement()
+}
+
+/// Whether two NFAs accept the same language.
+pub fn nfa_equivalent(a: &Nfa, b: &Nfa) -> bool {
+    determinize(a).minimize().equivalent(&determinize(b).minimize())
+}
+
+/// Whether `L(a) ⊆ L(b)` for NFAs.
+pub fn nfa_subset(a: &Nfa, b: &Nfa) -> bool {
+    // a ⊆ b  iff  a ∩ ¬b = ∅; keep `a` nondeterministic and only
+    // determinize `b`.
+    let not_b = complement(b).to_nfa();
+    a.intersect(&not_b).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qa_base::Alphabet;
+
+    fn sym(i: usize) -> Symbol {
+        Symbol::from_index(i)
+    }
+
+    /// NFA for "(a|b)* a (a|b)": second-to-last symbol is `a` — the classic
+    /// exponential-determinization family member (n = 2).
+    fn second_to_last_a() -> Nfa {
+        let mut n = Nfa::new(2);
+        let q0 = n.add_state();
+        let q1 = n.add_state();
+        let q2 = n.add_state();
+        n.set_initial(q0);
+        n.set_accepting(q2, true);
+        for s in [sym(0), sym(1)] {
+            n.add_transition(q0, s, q0);
+            n.add_transition(q1, s, q2);
+        }
+        n.add_transition(q0, sym(0), q1);
+        n
+    }
+
+    #[test]
+    fn determinize_preserves_language() {
+        let n = second_to_last_a();
+        let d = determinize(&n);
+        let mut sigma = Alphabet::new();
+        sigma.intern("a");
+        sigma.intern("b");
+        // exhaustive check on all words of length <= 5
+        for len in 0..=5usize {
+            for mask in 0..(1usize << len) {
+                let w: Vec<Symbol> = (0..len).map(|i| sym((mask >> i) & 1)).collect();
+                assert_eq!(n.accepts(&w), d.accepts(&w), "word {:?}", sigma.render(&w));
+            }
+        }
+        assert!(d.is_total());
+    }
+
+    #[test]
+    fn complement_of_nfa() {
+        let n = second_to_last_a();
+        let c = complement(&n);
+        assert!(c.accepts(&[]));
+        assert!(c.accepts(&[sym(0)]));
+        assert!(!c.accepts(&[sym(0), sym(1)]));
+    }
+
+    #[test]
+    fn equivalence_and_subset() {
+        let n = second_to_last_a();
+        let d = determinize(&n).to_nfa();
+        assert!(nfa_equivalent(&n, &d));
+        assert!(nfa_subset(&n, &Nfa::universal(2)));
+        assert!(!nfa_subset(&Nfa::universal(2), &n));
+    }
+
+    #[test]
+    fn determinize_empty_nfa_yields_empty_language() {
+        let n = Nfa::new(2);
+        let d = determinize(&n);
+        assert!(d.is_empty());
+        assert!(!d.accepts(&[]));
+    }
+}

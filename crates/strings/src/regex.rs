@@ -1,0 +1,538 @@
+//! Regular expressions: AST, parsers and the Thompson construction.
+
+use qa_base::{Alphabet, Error, Result, Symbol};
+
+use crate::Nfa;
+
+/// A regular-expression AST over interned symbols.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Regex {
+    /// ∅ — the empty language.
+    Empty,
+    /// ε — the language containing only the empty word.
+    Epsilon,
+    /// A single symbol.
+    Sym(Symbol),
+    /// Concatenation `r s`.
+    Concat(Box<Regex>, Box<Regex>),
+    /// Alternation `r | s`.
+    Alt(Box<Regex>, Box<Regex>),
+    /// Kleene star `r*`.
+    Star(Box<Regex>),
+}
+
+impl Regex {
+    /// `r s` (with ∅/ε simplification).
+    pub fn concat(self, other: Regex) -> Regex {
+        match (self, other) {
+            (Regex::Empty, _) | (_, Regex::Empty) => Regex::Empty,
+            (Regex::Epsilon, r) | (r, Regex::Epsilon) => r,
+            (a, b) => Regex::Concat(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// `r | s` (with ∅ simplification).
+    pub fn alt(self, other: Regex) -> Regex {
+        match (self, other) {
+            (Regex::Empty, r) | (r, Regex::Empty) => r,
+            (a, b) => Regex::Alt(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// `r*` (with ∅/ε simplification).
+    pub fn star(self) -> Regex {
+        match self {
+            Regex::Empty | Regex::Epsilon => Regex::Epsilon,
+            Regex::Star(r) => Regex::Star(r),
+            r => Regex::Star(Box::new(r)),
+        }
+    }
+
+    /// `r+` = `r r*`.
+    pub fn plus(self) -> Regex {
+        self.clone().concat(self.star())
+    }
+
+    /// `r?` = `r | ε`.
+    pub fn opt(self) -> Regex {
+        Regex::Epsilon.alt(self)
+    }
+
+    /// Concatenation of a sequence of regexes.
+    pub fn seq<I: IntoIterator<Item = Regex>>(parts: I) -> Regex {
+        parts
+            .into_iter()
+            .fold(Regex::Epsilon, |acc, r| acc.concat(r))
+    }
+
+    /// Alternation of a sequence of regexes (∅ if empty).
+    pub fn any<I: IntoIterator<Item = Regex>>(parts: I) -> Regex {
+        parts.into_iter().fold(Regex::Empty, |acc, r| acc.alt(r))
+    }
+
+    /// The literal word `w`.
+    pub fn literal(word: &[Symbol]) -> Regex {
+        Regex::seq(word.iter().map(|&s| Regex::Sym(s)))
+    }
+
+    /// Compile to an ε-NFA via the Thompson construction.
+    pub fn to_nfa(&self, alphabet_len: usize) -> Nfa {
+        let mut nfa = Nfa::new(alphabet_len);
+        let (start, end) = thompson(self, &mut nfa);
+        nfa.set_initial(start);
+        nfa.set_accepting(end, true);
+        nfa
+    }
+
+    /// Whether the regex matches `word` (compiles on the fly; for repeated
+    /// matching compile once with [`Regex::to_nfa`]).
+    pub fn matches(&self, alphabet_len: usize, word: &[Symbol]) -> bool {
+        self.to_nfa(alphabet_len).accepts(word)
+    }
+
+    /// Whether ε is in the language (computed syntactically).
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Sym(_) => false,
+            Regex::Epsilon | Regex::Star(_) => true,
+            Regex::Concat(a, b) => a.nullable() && b.nullable(),
+            Regex::Alt(a, b) => a.nullable() || b.nullable(),
+        }
+    }
+
+    /// Render using an alphabet for symbol names.
+    pub fn render(&self, alphabet: &Alphabet) -> String {
+        fn go(r: &Regex, a: &Alphabet, prec: u8, out: &mut String) {
+            match r {
+                Regex::Empty => out.push('∅'),
+                Regex::Epsilon => out.push('ε'),
+                Regex::Sym(s) => {
+                    let name = a.name(*s);
+                    if name.chars().count() > 1 {
+                        out.push_str(name);
+                        out.push(' ');
+                    } else {
+                        out.push_str(name);
+                    }
+                }
+                Regex::Concat(x, y) => {
+                    let wrap = prec > 1;
+                    if wrap {
+                        out.push('(');
+                    }
+                    go(x, a, 1, out);
+                    go(y, a, 1, out);
+                    if wrap {
+                        out.push(')');
+                    }
+                }
+                Regex::Alt(x, y) => {
+                    let wrap = prec > 0;
+                    if wrap {
+                        out.push('(');
+                    }
+                    go(x, a, 0, out);
+                    out.push('|');
+                    go(y, a, 0, out);
+                    if wrap {
+                        out.push(')');
+                    }
+                }
+                Regex::Star(x) => {
+                    go(x, a, 2, out);
+                    out.push('*');
+                }
+            }
+        }
+        let mut s = String::new();
+        go(self, alphabet, 0, &mut s);
+        s
+    }
+}
+
+/// Thompson construction fragment: returns `(start, end)` state of the
+/// sub-NFA for `r` added into `nfa`.
+fn thompson(r: &Regex, nfa: &mut Nfa) -> (crate::StateId, crate::StateId) {
+    match r {
+        Regex::Empty => {
+            let s = nfa.add_state();
+            let e = nfa.add_state();
+            (s, e)
+        }
+        Regex::Epsilon => {
+            let s = nfa.add_state();
+            let e = nfa.add_state();
+            nfa.add_epsilon(s, e);
+            (s, e)
+        }
+        Regex::Sym(sym) => {
+            let s = nfa.add_state();
+            let e = nfa.add_state();
+            nfa.add_transition(s, *sym, e);
+            (s, e)
+        }
+        Regex::Concat(a, b) => {
+            let (sa, ea) = thompson(a, nfa);
+            let (sb, eb) = thompson(b, nfa);
+            nfa.add_epsilon(ea, sb);
+            (sa, eb)
+        }
+        Regex::Alt(a, b) => {
+            let s = nfa.add_state();
+            let e = nfa.add_state();
+            let (sa, ea) = thompson(a, nfa);
+            let (sb, eb) = thompson(b, nfa);
+            nfa.add_epsilon(s, sa);
+            nfa.add_epsilon(s, sb);
+            nfa.add_epsilon(ea, e);
+            nfa.add_epsilon(eb, e);
+            (s, e)
+        }
+        Regex::Star(a) => {
+            let s = nfa.add_state();
+            let e = nfa.add_state();
+            let (sa, ea) = thompson(a, nfa);
+            nfa.add_epsilon(s, sa);
+            nfa.add_epsilon(s, e);
+            nfa.add_epsilon(ea, sa);
+            nfa.add_epsilon(ea, e);
+            (s, e)
+        }
+    }
+}
+
+/// Token of the regex surface syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Sym(Symbol),
+    LParen,
+    RParen,
+    Alt,
+    Star,
+    Plus,
+    Opt,
+    Epsilon,
+    Empty,
+}
+
+/// Parse a character-level regex: every non-operator character is a symbol.
+///
+/// Operators: `|`, `*`, `+`, `?`, `(`, `)`; `€`/`_e` are not special —
+/// use `~` for ε and `!` for ∅. Whitespace is ignored. New characters are
+/// interned into `alphabet`.
+///
+/// ```
+/// use qa_base::Alphabet;
+/// use qa_strings::regex::parse_chars;
+/// let mut sigma = Alphabet::new();
+/// let r = parse_chars("(a|b)*abb", &mut sigma).unwrap();
+/// let n = r.to_nfa(sigma.len());
+/// assert!(n.accepts(&sigma.word("aabb")));
+/// assert!(!n.accepts(&sigma.word("ab")));
+/// ```
+pub fn parse_chars(input: &str, alphabet: &mut Alphabet) -> Result<Regex> {
+    let mut toks = Vec::new();
+    for c in input.chars() {
+        if c.is_whitespace() {
+            continue;
+        }
+        toks.push(match c {
+            '(' => Tok::LParen,
+            ')' => Tok::RParen,
+            '|' => Tok::Alt,
+            '*' => Tok::Star,
+            '+' => Tok::Plus,
+            '?' => Tok::Opt,
+            '~' => Tok::Epsilon,
+            '!' => Tok::Empty,
+            _ => Tok::Sym(alphabet.intern(&c.to_string())),
+        });
+    }
+    parse_tokens_inner(&toks, input)
+}
+
+/// Parse a token-level regex: identifiers (`[A-Za-z0-9_#-]+`) are symbols,
+/// separated by whitespace or operators. `~` is ε, `!` is ∅.
+///
+/// ```
+/// use qa_base::Alphabet;
+/// use qa_strings::regex::parse_tokens;
+/// let mut sigma = Alphabet::new();
+/// let r = parse_tokens("author+ title (journal | publisher) year", &mut sigma).unwrap();
+/// let n = r.to_nfa(sigma.len());
+/// let w: Vec<_> = ["author", "author", "title", "journal", "year"]
+///     .iter().map(|s| sigma.symbol(s)).collect();
+/// assert!(n.accepts(&w));
+/// ```
+pub fn parse_tokens(input: &str, alphabet: &mut Alphabet) -> Result<Regex> {
+    let mut toks = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+            continue;
+        }
+        match c {
+            '(' => {
+                chars.next();
+                toks.push(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                toks.push(Tok::RParen);
+            }
+            '|' => {
+                chars.next();
+                toks.push(Tok::Alt);
+            }
+            '*' => {
+                chars.next();
+                toks.push(Tok::Star);
+            }
+            '+' => {
+                chars.next();
+                toks.push(Tok::Plus);
+            }
+            '?' => {
+                chars.next();
+                toks.push(Tok::Opt);
+            }
+            '~' => {
+                chars.next();
+                toks.push(Tok::Epsilon);
+            }
+            '!' => {
+                chars.next();
+                toks.push(Tok::Empty);
+            }
+            _ if c.is_alphanumeric() || c == '_' || c == '#' || c == '-' => {
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '#' || c == '-' {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Sym(alphabet.intern(&name)));
+            }
+            _ => {
+                return Err(Error::parse(
+                    "regex",
+                    format!("unexpected character `{c}` in `{input}`"),
+                ))
+            }
+        }
+    }
+    parse_tokens_inner(&toks, input)
+}
+
+/// Recursive-descent parser over tokens. Grammar:
+/// `alt := cat ('|' cat)*` ; `cat := post+` ; `post := atom ('*'|'+'|'?')*`.
+fn parse_tokens_inner(toks: &[Tok], input: &str) -> Result<Regex> {
+    struct P<'a> {
+        toks: &'a [Tok],
+        pos: usize,
+        input: &'a str,
+    }
+    impl<'a> P<'a> {
+        fn peek(&self) -> Option<&Tok> {
+            self.toks.get(self.pos)
+        }
+        fn err(&self, msg: &str) -> Error {
+            Error::parse(
+                "regex",
+                format!("{msg} at token {} in `{}`", self.pos, self.input),
+            )
+        }
+        fn alt(&mut self) -> Result<Regex> {
+            let mut r = self.cat()?;
+            while self.peek() == Some(&Tok::Alt) {
+                self.pos += 1;
+                r = r.alt(self.cat()?);
+            }
+            Ok(r)
+        }
+        fn cat(&mut self) -> Result<Regex> {
+            let mut r = self.post()?;
+            while matches!(
+                self.peek(),
+                Some(Tok::Sym(_)) | Some(Tok::LParen) | Some(Tok::Epsilon) | Some(Tok::Empty)
+            ) {
+                r = r.concat(self.post()?);
+            }
+            Ok(r)
+        }
+        fn post(&mut self) -> Result<Regex> {
+            let mut r = self.atom()?;
+            loop {
+                match self.peek() {
+                    Some(Tok::Star) => {
+                        self.pos += 1;
+                        r = r.star();
+                    }
+                    Some(Tok::Plus) => {
+                        self.pos += 1;
+                        r = r.plus();
+                    }
+                    Some(Tok::Opt) => {
+                        self.pos += 1;
+                        r = r.opt();
+                    }
+                    _ => break,
+                }
+            }
+            Ok(r)
+        }
+        fn atom(&mut self) -> Result<Regex> {
+            match self.peek() {
+                Some(Tok::Sym(s)) => {
+                    let s = *s;
+                    self.pos += 1;
+                    Ok(Regex::Sym(s))
+                }
+                Some(Tok::Epsilon) => {
+                    self.pos += 1;
+                    Ok(Regex::Epsilon)
+                }
+                Some(Tok::Empty) => {
+                    self.pos += 1;
+                    Ok(Regex::Empty)
+                }
+                Some(Tok::LParen) => {
+                    self.pos += 1;
+                    let r = self.alt()?;
+                    if self.peek() != Some(&Tok::RParen) {
+                        return Err(self.err("expected `)`"));
+                    }
+                    self.pos += 1;
+                    Ok(r)
+                }
+                other => Err(self.err(&format!("expected atom, found {other:?}"))),
+            }
+        }
+    }
+    if toks.is_empty() {
+        return Ok(Regex::Epsilon);
+    }
+    let mut p = P {
+        toks,
+        pos: 0,
+        input,
+    };
+    let r = p.alt()?;
+    if p.pos != toks.len() {
+        return Err(p.err("trailing tokens"));
+    }
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn char_regex_matches() {
+        let mut a = Alphabet::new();
+        let r = parse_chars("(a|b)*abb", &mut a).unwrap();
+        let nfa = r.to_nfa(a.len());
+        assert!(nfa.accepts(&a.word("abb")));
+        assert!(nfa.accepts(&a.word("babb")));
+        assert!(nfa.accepts(&a.word("ababb")));
+        assert!(!nfa.accepts(&a.word("ab")));
+        assert!(!nfa.accepts(&a.word("abba")));
+    }
+
+    #[test]
+    fn plus_and_opt() {
+        let mut a = Alphabet::new();
+        let r = parse_chars("a+b?", &mut a).unwrap();
+        let nfa = r.to_nfa(a.len());
+        assert!(nfa.accepts(&a.word("a")));
+        assert!(nfa.accepts(&a.word("aaab")));
+        assert!(!nfa.accepts(&a.word("")));
+        assert!(!nfa.accepts(&a.word("b")));
+        assert!(!nfa.accepts(&a.word("abb")));
+    }
+
+    #[test]
+    fn epsilon_and_empty_atoms() {
+        let mut a = Alphabet::new();
+        let r = parse_chars("~|a", &mut a).unwrap();
+        let nfa = r.to_nfa(a.len());
+        assert!(nfa.accepts(&[]));
+        assert!(nfa.accepts(&a.word("a")));
+        let r = parse_chars("!a", &mut a).unwrap();
+        assert_eq!(r, Regex::Empty);
+    }
+
+    #[test]
+    fn empty_input_is_epsilon() {
+        let mut a = Alphabet::new();
+        assert_eq!(parse_chars("", &mut a).unwrap(), Regex::Epsilon);
+    }
+
+    #[test]
+    fn parse_errors() {
+        let mut a = Alphabet::new();
+        assert!(parse_chars("(a", &mut a).is_err());
+        assert!(parse_chars("a)", &mut a).is_err());
+        assert!(parse_chars("*", &mut a).is_err());
+        assert!(parse_tokens("a $ b", &mut a).is_err());
+    }
+
+    #[test]
+    fn token_regex_with_identifiers() {
+        let mut a = Alphabet::new();
+        let r = parse_tokens("(book | article)+", &mut a).unwrap();
+        let nfa = r.to_nfa(a.len());
+        let book = a.symbol("book");
+        let article = a.symbol("article");
+        assert!(nfa.accepts(&[book]));
+        assert!(nfa.accepts(&[article, book, book]));
+        assert!(!nfa.accepts(&[]));
+    }
+
+    #[test]
+    fn nullable_is_syntactic_epsilon_check() {
+        let mut a = Alphabet::new();
+        assert!(parse_chars("a*", &mut a).unwrap().nullable());
+        assert!(parse_chars("a?b*", &mut a).unwrap().nullable());
+        assert!(!parse_chars("a|bb", &mut a).unwrap().nullable());
+    }
+
+    #[test]
+    fn builders_simplify() {
+        let mut a = Alphabet::new();
+        let s = Regex::Sym(a.intern("a"));
+        assert_eq!(Regex::Empty.concat(s.clone()), Regex::Empty);
+        assert_eq!(Regex::Epsilon.concat(s.clone()), s);
+        assert_eq!(Regex::Empty.alt(s.clone()), s);
+        assert_eq!(Regex::Empty.star(), Regex::Epsilon);
+        assert_eq!(s.clone().star().star(), s.clone().star());
+    }
+
+    #[test]
+    fn render_round_trips_through_parser() {
+        let mut a = Alphabet::new();
+        let r = parse_chars("(a|b)*c+", &mut a).unwrap();
+        let rendered = r.render(&a);
+        let mut a2 = a.clone();
+        let r2 = parse_chars(&rendered, &mut a2).unwrap();
+        // language equality via NFA equivalence
+        assert!(crate::ops::nfa_equivalent(
+            &r.to_nfa(a.len()),
+            &r2.to_nfa(a.len())
+        ));
+    }
+
+    #[test]
+    fn literal_builder() {
+        let mut a = Alphabet::new();
+        let w = a.intern_str("xyz");
+        let r = Regex::literal(&w);
+        assert!(r.matches(a.len(), &w));
+        assert!(!r.matches(a.len(), &w[..2]));
+    }
+}

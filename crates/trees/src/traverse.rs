@@ -1,0 +1,97 @@
+//! Iterative traversal helpers shared by the automata crates.
+
+use crate::{NodeId, Tree};
+
+/// Visit nodes bottom-up (children before parents), calling `f(tree, node)`.
+///
+/// Equivalent to iterating [`Tree::postorder`] but without materializing the
+/// order when the callback is cheap.
+pub fn bottom_up(tree: &Tree, mut f: impl FnMut(&Tree, NodeId)) {
+    for v in tree.postorder() {
+        f(tree, v);
+    }
+}
+
+/// Visit nodes top-down (parents before children, left to right).
+pub fn top_down(tree: &Tree, mut f: impl FnMut(&Tree, NodeId)) {
+    for v in tree.preorder() {
+        f(tree, v);
+    }
+}
+
+/// Fold bottom-up: compute a value per node from its label and its
+/// children's values (the evaluation scheme of bottom-up tree automata,
+/// Definition 2.6). Iterative; returns the per-node table.
+pub fn fold_bottom_up<T: Clone>(
+    tree: &Tree,
+    mut f: impl FnMut(&Tree, NodeId, &[T]) -> T,
+) -> Vec<T> {
+    let mut values: Vec<Option<T>> = vec![None; tree.num_nodes()];
+    for v in tree.postorder() {
+        let child_vals: Vec<T> = tree
+            .children(v)
+            .iter()
+            .map(|c| values[c.index()].clone().expect("postorder"))
+            .collect();
+        values[v.index()] = Some(f(tree, v, &child_vals));
+    }
+    values.into_iter().map(|v| v.expect("all visited")).collect()
+}
+
+/// Fold top-down: compute a value per node from its parent's value (root
+/// seeded with `root_value`). Returns the per-node table.
+pub fn fold_top_down<T: Clone>(
+    tree: &Tree,
+    root_value: T,
+    mut f: impl FnMut(&Tree, NodeId, &T) -> T,
+) -> Vec<T> {
+    let mut values: Vec<Option<T>> = vec![None; tree.num_nodes()];
+    values[tree.root().index()] = Some(root_value);
+    for v in tree.preorder() {
+        let val = values[v.index()].clone().expect("preorder");
+        for &c in tree.children(v) {
+            values[c.index()] = Some(f(tree, c, &val));
+        }
+    }
+    values.into_iter().map(|v| v.expect("all visited")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qa_base::Alphabet;
+
+    #[test]
+    fn fold_bottom_up_computes_sizes() {
+        let mut a = Alphabet::new();
+        let t = crate::sexpr::from_sexpr("(f (g x y) y)", &mut a).unwrap();
+        let sizes = fold_bottom_up(&t, |_, _, kids: &[usize]| {
+            1 + kids.iter().sum::<usize>()
+        });
+        assert_eq!(sizes[t.root().index()], 5);
+        let g = t.child(t.root(), 0);
+        assert_eq!(sizes[g.index()], 3);
+    }
+
+    #[test]
+    fn fold_top_down_computes_depths() {
+        let mut a = Alphabet::new();
+        let t = crate::sexpr::from_sexpr("(f (g x y) y)", &mut a).unwrap();
+        let depths = fold_top_down(&t, 0usize, |_, _, &d| d + 1);
+        for v in t.nodes() {
+            assert_eq!(depths[v.index()], t.depth(v));
+        }
+    }
+
+    #[test]
+    fn traversal_callback_order() {
+        let mut a = Alphabet::new();
+        let t = crate::sexpr::from_sexpr("(f x y)", &mut a).unwrap();
+        let mut order = Vec::new();
+        bottom_up(&t, |tr, v| order.push(a.name(tr.label(v)).to_owned()));
+        assert_eq!(order, vec!["x", "y", "f"]);
+        order.clear();
+        top_down(&t, |tr, v| order.push(a.name(tr.label(v)).to_owned()));
+        assert_eq!(order, vec!["f", "x", "y"]);
+    }
+}

@@ -1,0 +1,321 @@
+//! Behavior functions `f←`, `first` and `Assumed` (Theorem 3.9).
+//!
+//! The proof of Theorem 3.9 shows that a two-way run is fully determined by
+//! *local* data: for every prefix `⊳ w₁…wᵢ`, the behavior function
+//! `f←` (where does the machine re-emerge when it dives left?), the state
+//! `first(w, i)` in which position `i` is first reached, and — fixed
+//! right-to-left afterwards — the set `Assumed(w, i)` of all states the run
+//! ever assumes at `i`. This module computes those objects by the paper's
+//! recurrences (items 1–4 in the proof), *without* replaying the two-way
+//! run. Agreement with the literal run engine is property-tested; the same
+//! summaries power the Shepherdson conversion and the Section 6 decision
+//! procedures.
+
+use qa_base::Symbol;
+use qa_strings::StateId;
+
+use crate::tape::Tape;
+use crate::twodfa::{Dir, TwoDfa};
+
+/// What happens when the machine stands at a position `i` in a given state,
+/// before it ever crosses from `i` to `i + 1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// It eventually makes a right move at `i`, arriving at `i + 1` in the
+    /// given state.
+    Exits(StateId),
+    /// It halts (no applicable transition) in the given state at the given
+    /// tape position (which may be strictly left of `i`).
+    Halts(StateId, usize),
+    /// It loops forever within `[0, i]`.
+    Loops,
+}
+
+/// Per-position behavior summaries of a 2DFA on one input word.
+#[derive(Clone, Debug)]
+pub struct BehaviorAnalysis {
+    /// `chain_exit[i][s]`: outcome of standing at `i` in state `s`.
+    chain_exit: Vec<Vec<Outcome>>,
+    /// `chain_states[i][s]`: the states assumed at `i` between arriving in
+    /// `s` and exiting right / halting / starting to loop — the paper's
+    /// `States(f←, s)`.
+    chain_states: Vec<Vec<Vec<StateId>>>,
+    /// `first[i]`: the state in which `i` is first reached by the start run,
+    /// if it is reached at all.
+    pub first: Vec<Option<StateId>>,
+    /// Overall outcome of the run.
+    pub outcome: Outcome,
+    /// `Assumed(w, i)` for every tape position; empty sets when the run does
+    /// not halt.
+    pub assumed: Vec<Vec<StateId>>,
+    num_states: usize,
+}
+
+impl BehaviorAnalysis {
+    /// Compute all summaries for `machine` on `word` using the recurrences of
+    /// Theorem 3.9 (left-to-right for `f←`/`first`, right-to-left for
+    /// `Assumed`).
+    pub fn analyze(machine: &TwoDfa, word: &[Symbol]) -> BehaviorAnalysis {
+        let n = word.len();
+        let tape_len = n + 2;
+        let states = machine.num_states();
+        let mut chain_exit: Vec<Vec<Outcome>> = Vec::with_capacity(tape_len);
+        let mut chain_states: Vec<Vec<Vec<StateId>>> = Vec::with_capacity(tape_len);
+
+        for i in 0..tape_len {
+            let cell = Tape::at(word, i);
+            let mut exits = vec![Outcome::Loops; states];
+            let mut statess: Vec<Vec<StateId>> = vec![Vec::new(); states];
+            for s in 0..states {
+                let start = StateId::from_index(s);
+                let mut cur = start;
+                let mut visited = vec![false; states];
+                let mut seq = Vec::new();
+                let outcome = loop {
+                    if visited[cur.index()] {
+                        break Outcome::Loops;
+                    }
+                    visited[cur.index()] = true;
+                    seq.push(cur);
+                    match machine.action(cur, cell) {
+                        None => break Outcome::Halts(cur, i),
+                        Some((Dir::Right, s2)) => break Outcome::Exits(s2),
+                        Some((Dir::Left, s1)) => {
+                            debug_assert!(i > 0, "left move at ⊳ rejected by builder");
+                            // Consult the already-computed summary one cell left.
+                            match chain_exit[i - 1][s1.index()] {
+                                Outcome::Exits(s2) => cur = s2,
+                                other => break other,
+                            }
+                        }
+                    }
+                };
+                exits[s] = outcome;
+                statess[s] = seq;
+            }
+            chain_exit.push(exits);
+            chain_states.push(statess);
+        }
+
+        // first[i] via the left-to-right chain of exits.
+        let mut first: Vec<Option<StateId>> = vec![None; tape_len];
+        first[0] = Some(machine.initial());
+        let mut outcome = Outcome::Loops;
+        for i in 0..tape_len {
+            let Some(f) = first[i] else { break };
+            match chain_exit[i][f.index()] {
+                Outcome::Exits(s2) => {
+                    if i + 1 < tape_len {
+                        first[i + 1] = Some(s2);
+                    } else {
+                        unreachable!("right move from ⊲ rejected by builder");
+                    }
+                }
+                other => {
+                    outcome = other;
+                    break;
+                }
+            }
+        }
+
+        // Assumed sets, right-to-left (paper items 3 and 4). Only meaningful
+        // when the run halts.
+        let mut assumed: Vec<Vec<StateId>> = vec![Vec::new(); tape_len];
+        if matches!(outcome, Outcome::Halts(..)) {
+            // Highest position the start run reaches.
+            let top = (0..tape_len).rev().find(|&i| first[i].is_some()).unwrap();
+            assumed[top] = chain_states[top][first[top].unwrap().index()].clone();
+            for i in (0..top).rev() {
+                let mut set = chain_states[i][first[i].unwrap().index()].clone();
+                let cell_right = Tape::at(word, i + 1);
+                for &s_up in &assumed[i + 1] {
+                    if let Some((Dir::Left, s1)) = machine.action(s_up, cell_right) {
+                        for &s in &chain_states[i][s1.index()] {
+                            if !set.contains(&s) {
+                                set.push(s);
+                            }
+                        }
+                    }
+                }
+                assumed[i] = set;
+            }
+        }
+
+        BehaviorAnalysis {
+            chain_exit,
+            chain_states,
+            first,
+            outcome,
+            assumed,
+            num_states: states,
+        }
+    }
+
+    /// The paper's behavior function `f←` for the prefix ending at tape
+    /// position `i`: `Some(s)` for right-moving states, the first return
+    /// state for left-moving ones, `None` when the excursion never returns.
+    pub fn paper_f(&self, machine: &TwoDfa, word: &[Symbol], i: usize, s: StateId) -> Option<StateId> {
+        match machine.action(s, Tape::at(word, i)) {
+            Some((Dir::Right, _)) => Some(s),
+            Some((Dir::Left, s1)) => match self.chain_exit[i - 1][s1.index()] {
+                Outcome::Exits(s2) => Some(s2),
+                _ => None,
+            },
+            None => None,
+        }
+    }
+
+    /// Outcome of standing at tape position `i` in state `s`.
+    pub fn chain_exit(&self, i: usize, s: StateId) -> Outcome {
+        self.chain_exit[i][s.index()]
+    }
+
+    /// `States(f←, s)` at position `i`: the states assumed at `i` from an
+    /// entry in state `s` until the next right-crossing (or halt/loop).
+    pub fn chain_states(&self, i: usize, s: StateId) -> &[StateId] {
+        &self.chain_states[i][s.index()]
+    }
+
+    /// Whether the run halts and accepts.
+    pub fn accepted(&self, machine: &TwoDfa) -> bool {
+        matches!(self.outcome, Outcome::Halts(h, _) if machine.is_final(h))
+    }
+
+    /// Number of machine states (for table sizing by callers).
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::twodfa::TwoDfaBuilder;
+
+    fn sym(i: usize) -> Symbol {
+        Symbol::from_index(i)
+    }
+
+    /// Example 3.4 machine (walk right, come back alternating s1/s2).
+    fn example_3_4() -> TwoDfa {
+        let mut b = TwoDfaBuilder::new(2);
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let s2 = b.add_state();
+        b.set_initial(s0);
+        b.set_final(s1, true);
+        b.set_final(s2, true);
+        b.set_action(s0, Tape::LeftMarker, Dir::Right, s0);
+        b.set_action_all_symbols(s0, Dir::Right, s0);
+        b.set_action(s0, Tape::RightMarker, Dir::Left, s1);
+        b.set_action_all_symbols(s1, Dir::Left, s2);
+        b.set_action_all_symbols(s2, Dir::Left, s1);
+        b.build().unwrap()
+    }
+
+    /// A zig-zag machine: on each symbol, bounce left once then continue
+    /// right — exercises non-trivial excursions.
+    fn zigzag() -> TwoDfa {
+        let mut b = TwoDfaBuilder::new(2);
+        let fwd = b.add_state();
+        let back = b.add_state();
+        let ret = b.add_state();
+        b.set_initial(fwd);
+        b.set_final(fwd, true);
+        b.set_action(fwd, Tape::LeftMarker, Dir::Right, fwd);
+        // at a symbol going forward: dive left in `back`
+        b.set_action_all_symbols(fwd, Dir::Left, back);
+        // `back` immediately returns right in `ret`
+        b.set_action_all_symbols(back, Dir::Right, ret);
+        b.set_action(back, Tape::LeftMarker, Dir::Right, ret);
+        // `ret` moves right in `fwd`
+        b.set_action_all_symbols(ret, Dir::Right, fwd);
+        // halt at ⊲ in fwd (accepting)
+        b.build().unwrap()
+    }
+
+    fn agree_with_run(m: &TwoDfa, w: &[Symbol]) {
+        let rec = m.run(w).expect("halting machine");
+        let ba = BehaviorAnalysis::analyze(m, w);
+        assert_eq!(ba.accepted(m), rec.accepted, "acceptance on {w:?}");
+        match ba.outcome {
+            Outcome::Halts(h, p) => assert_eq!((h, p), rec.halt, "halt config on {w:?}"),
+            _ => panic!("expected halt"),
+        }
+        for (i, exp) in rec.assumed.iter().enumerate() {
+            let mut got = ba.assumed[i].clone();
+            let mut exp = exp.clone();
+            got.sort_unstable();
+            exp.sort_unstable();
+            assert_eq!(got, exp, "assumed at {i} on {w:?}");
+        }
+    }
+
+    #[test]
+    fn matches_run_on_example_3_4() {
+        let m = example_3_4();
+        for w in [
+            vec![],
+            vec![sym(0)],
+            vec![sym(1)],
+            vec![sym(0), sym(1), sym(1), sym(0)],
+            vec![sym(1); 5],
+        ] {
+            agree_with_run(&m, &w);
+        }
+    }
+
+    #[test]
+    fn matches_run_on_zigzag() {
+        let m = zigzag();
+        assert!(m.halts_on_all_words_up_to(4));
+        for w in [
+            vec![],
+            vec![sym(0)],
+            vec![sym(0), sym(1)],
+            vec![sym(1), sym(1), sym(0)],
+        ] {
+            agree_with_run(&m, &w);
+        }
+    }
+
+    #[test]
+    fn exhaustive_agreement_small_words() {
+        for m in [example_3_4(), zigzag()] {
+            for len in 0..=4usize {
+                for mask in 0..(1usize << len) {
+                    let w: Vec<Symbol> = (0..len).map(|i| sym((mask >> i) & 1)).collect();
+                    agree_with_run(&m, &w);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loop_is_reported_as_loops() {
+        let mut b = TwoDfaBuilder::new(1);
+        let q = b.add_state();
+        let r = b.add_state();
+        b.set_initial(q);
+        b.set_action(q, Tape::LeftMarker, Dir::Right, q);
+        b.set_action_all_symbols(q, Dir::Right, q);
+        b.set_action(q, Tape::RightMarker, Dir::Left, r);
+        b.set_action_all_symbols(r, Dir::Right, q);
+        b.set_action(r, Tape::LeftMarker, Dir::Right, q);
+        let m = b.build().unwrap();
+        let ba = BehaviorAnalysis::analyze(&m, &[sym(0)]);
+        assert_eq!(ba.outcome, Outcome::Loops);
+        assert!(!ba.accepted(&m));
+    }
+
+    #[test]
+    fn paper_f_identity_on_right_movers() {
+        let m = example_3_4();
+        let w = vec![sym(0), sym(1)];
+        let ba = BehaviorAnalysis::analyze(&m, &w);
+        // s0 moves right everywhere: f(s0) = s0 at any real position.
+        let s0 = StateId::from_index(0);
+        assert_eq!(ba.paper_f(&m, &w, 1, s0), Some(s0));
+        assert_eq!(ba.paper_f(&m, &w, 2, s0), Some(s0));
+    }
+}

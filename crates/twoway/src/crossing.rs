@@ -1,0 +1,413 @@
+//! Crossing-sequence NFA constructions.
+//!
+//! The *crossing sequence* of a two-way run at the boundary between two tape
+//! cells is the sequence of states in which the head crosses that boundary,
+//! alternating rightward/leftward. For a deterministic halting machine the
+//! crossings at each boundary are pairwise distinct per direction, so
+//! sequences have length ≤ 2·|S| and a one-way NFA can guess them and check
+//! local consistency cell by cell. This linearizes a two-way run — which is
+//! exactly what the Section 6 decision procedures need:
+//!
+//! - [`acceptance_nfa`] builds an NFA for `L(M)` of a 2DFA `M`;
+//! - [`selection_nfa`] builds, for a string query automaton `A`, an NFA over
+//!   the *marked alphabet* `Σ ⊎ Σ̂` accepting exactly the words with one
+//!   marked position `i` such that `i ∈ A(w)` — the "one node with a label
+//!   in `Σ × {1}`" trick of Theorem 6.3, on strings.
+//!
+//! Non-emptiness, containment and equivalence of `QAstring`s then reduce to
+//! regular-language emptiness/containment of these NFAs (see
+//! `qa-decision`).
+
+use std::collections::{HashMap, VecDeque};
+
+use qa_base::Symbol;
+use qa_strings::{Nfa, StateId};
+
+use crate::string_qa::StringQa;
+use crate::tape::Tape;
+use crate::twodfa::{Dir, TwoDfa};
+
+/// A crossing sequence: states crossing a boundary, even indices rightward,
+/// odd indices leftward.
+type Seq = Vec<StateId>;
+
+/// Result of matching one cell: the crossing sequence on its right boundary,
+/// whether the run halts at this cell (with the halting state), and the set
+/// of states the cell is visited in.
+#[derive(Clone, Debug)]
+struct CellMatch {
+    right_seq: Seq,
+    halt: Option<StateId>,
+    visited: Vec<StateId>,
+}
+
+/// Enumerate all locally consistent matches of a cell.
+///
+/// `incoming` is the crossing sequence on the left boundary; `start_state`
+/// is `Some(s0)` for the `⊳` cell (where the run begins) and `None`
+/// elsewhere. Nondeterminism: after each rightward crossing the future
+/// either returns (in any state not yet used leftward at that boundary) or
+/// does not.
+fn matches_of_cell(
+    m: &TwoDfa,
+    cell: Tape,
+    incoming: &[StateId],
+    start_state: Option<StateId>,
+) -> Vec<CellMatch> {
+    struct Frame {
+        i: usize,
+        cur: Option<StateId>,
+        right_seq: Seq,
+        visited: Vec<StateId>,
+    }
+    let mut out = Vec::new();
+    let mut stack = Vec::new();
+
+    // Initial visit: the start state at ⊳, or the first incoming crossing.
+    match start_state {
+        Some(s0) => {
+            debug_assert!(incoming.is_empty());
+            stack.push(Frame {
+                i: 0,
+                cur: Some(s0),
+                right_seq: Vec::new(),
+                visited: Vec::new(),
+            });
+        }
+        None => {
+            if incoming.is_empty() {
+                // cell never visited: consistent, with empty right sequence.
+                return vec![CellMatch {
+                    right_seq: Vec::new(),
+                    halt: None,
+                    visited: Vec::new(),
+                }];
+            }
+            stack.push(Frame {
+                i: 1,
+                cur: Some(incoming[0]),
+                right_seq: Vec::new(),
+                visited: Vec::new(),
+            });
+        }
+    }
+
+    while let Some(mut f) = stack.pop() {
+        loop {
+            let Some(cur) = f.cur else { unreachable!() };
+            // A repeated state at the same cell is a repeated configuration:
+            // the deterministic machine would loop. Prune.
+            if f.visited.contains(&cur) {
+                break;
+            }
+            f.visited.push(cur);
+            match m.action(cur, cell) {
+                None => {
+                    // Halt here: every crossing must already be consumed.
+                    if f.i == incoming.len() {
+                        out.push(CellMatch {
+                            right_seq: f.right_seq.clone(),
+                            halt: Some(cur),
+                            visited: f.visited.clone(),
+                        });
+                    }
+                    break;
+                }
+                Some((Dir::Right, s2)) => {
+                    // Crossing rightward in s2: a repeat of s2 rightward at
+                    // this boundary would repeat a configuration.
+                    if f.right_seq.iter().step_by(2).any(|&x| x == s2) {
+                        break;
+                    }
+                    f.right_seq.push(s2);
+                    // Branch (a): never returns — all incoming consumed.
+                    if f.i == incoming.len() {
+                        out.push(CellMatch {
+                            right_seq: f.right_seq.clone(),
+                            halt: None,
+                            visited: f.visited.clone(),
+                        });
+                    }
+                    // Branch (b): returns in any state r (guessed), distinct
+                    // among leftward crossings of this boundary.
+                    for r_idx in 0..m.num_states() {
+                        let r = StateId::from_index(r_idx);
+                        if f.right_seq.iter().skip(1).step_by(2).any(|&x| x == r) {
+                            continue;
+                        }
+                        let mut g = Frame {
+                            i: f.i,
+                            cur: Some(r),
+                            right_seq: f.right_seq.clone(),
+                            visited: f.visited.clone(),
+                        };
+                        g.right_seq.push(r);
+                        stack.push(g);
+                    }
+                    break;
+                }
+                Some((Dir::Left, s1)) => {
+                    // Crossing leftward: must match the next incoming entry,
+                    // which must sit at an odd index.
+                    if f.i >= incoming.len() || f.i % 2 == 0 || incoming[f.i] != s1 {
+                        break;
+                    }
+                    f.i += 1;
+                    // Returns from the left iff another incoming entry
+                    // exists (it would be unconsumable otherwise).
+                    if f.i < incoming.len() {
+                        f.cur = Some(incoming[f.i]);
+                        f.i += 1;
+                        continue;
+                    } else {
+                        out.push(CellMatch {
+                            right_seq: f.right_seq.clone(),
+                            halt: None,
+                            visited: f.visited.clone(),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// NFA state: crossing sequence at the current boundary plus whether (and
+/// how) the run has already halted somewhere to the left.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct CrossState {
+    seq: Seq,
+    halted: Option<bool>,
+    /// Marked-position bookkeeping for [`selection_nfa`]; always `false`
+    /// for [`acceptance_nfa`].
+    marked_seen: bool,
+}
+
+/// Generic crossing-sequence NFA builder.
+///
+/// `marking` controls the alphabet: `None` builds over Σ (acceptance
+/// language); `Some(qa)` builds over Σ ⊎ Σ̂ (marked symbols are encoded as
+/// `alphabet_len + sym`) and requires exactly one marked position, at which
+/// the visit set must contain a selecting state of `qa`.
+fn build(m: &TwoDfa, marking: Option<&StringQa>) -> Nfa {
+    let sigma = m.alphabet_len();
+    let alphabet_len = if marking.is_some() { 2 * sigma } else { sigma };
+    let mut nfa = Nfa::new(alphabet_len);
+    let mut index: HashMap<CrossState, StateId> = HashMap::new();
+    let mut queue: VecDeque<CrossState> = VecDeque::new();
+
+    let intern =
+        |nfa: &mut Nfa,
+         queue: &mut VecDeque<CrossState>,
+         index: &mut HashMap<CrossState, StateId>,
+         st: CrossState| {
+            match index.get(&st) {
+                Some(&id) => id,
+                None => {
+                    let id = nfa.add_state();
+                    index.insert(st.clone(), id);
+                    queue.push_back(st);
+                    id
+                }
+            }
+        };
+
+    // Initial NFA states: all consistent matches of the ⊳ cell.
+    for cm in matches_of_cell(m, Tape::LeftMarker, &[], Some(m.initial())) {
+        let st = CrossState {
+            seq: cm.right_seq,
+            halted: cm.halt.map(|h| m.is_final(h)),
+            marked_seen: false,
+        };
+        let id = intern(&mut nfa, &mut queue, &mut index, st);
+        nfa.set_initial(id);
+    }
+
+    while let Some(st) = queue.pop_front() {
+        let from = index[&st];
+
+        // Acceptance: close off with the ⊲ cell.
+        let mut accepting = false;
+        for cm in matches_of_cell(m, Tape::RightMarker, &st.seq, None) {
+            debug_assert!(cm.right_seq.is_empty(), "no right moves from ⊲");
+            let halted = match (st.halted, cm.halt) {
+                (Some(_), Some(_)) => continue,
+                (Some(h), None) => Some(h),
+                (None, Some(h)) => Some(m.is_final(h)),
+                (None, None) => None,
+            };
+            if halted == Some(true) && (marking.is_none() || st.marked_seen) {
+                accepting = true;
+            }
+        }
+        nfa.set_accepting(from, accepting);
+
+        // Transitions on each (possibly marked) symbol.
+        for a in 0..sigma {
+            let sym = Symbol::from_index(a);
+            for cm in matches_of_cell(m, Tape::Sym(sym), &st.seq, None) {
+                let halted = match (st.halted, cm.halt) {
+                    (Some(_), Some(_)) => continue,
+                    (Some(h), None) => Some(h),
+                    (None, Some(h)) => Some(m.is_final(h)),
+                    (None, None) => None,
+                };
+                let next_plain = CrossState {
+                    seq: cm.right_seq.clone(),
+                    halted,
+                    marked_seen: st.marked_seen,
+                };
+                let to = intern(&mut nfa, &mut queue, &mut index, next_plain);
+                nfa.add_transition(from, sym, to);
+
+                if let Some(qa) = marking {
+                    // Marked copy of the symbol: allowed once, and only when
+                    // a selecting state visits this cell.
+                    if !st.marked_seen
+                        && cm.visited.iter().any(|&s| qa.is_selecting(s, sym))
+                    {
+                        let next_marked = CrossState {
+                            seq: cm.right_seq.clone(),
+                            halted,
+                            marked_seen: true,
+                        };
+                        let to = intern(&mut nfa, &mut queue, &mut index, next_marked);
+                        nfa.add_transition(from, Symbol::from_index(sigma + a), to);
+                    }
+                }
+            }
+        }
+    }
+    nfa
+}
+
+/// NFA over Σ accepting exactly `L(M)` for a (halting) 2DFA `M`.
+///
+/// Words on which `M` loops are rejected (loops have no finite consistent
+/// crossing assignment).
+pub fn acceptance_nfa(m: &TwoDfa) -> Nfa {
+    build(m, None)
+}
+
+/// NFA over the doubled alphabet `Σ ⊎ Σ̂` (marked symbols encoded as
+/// `alphabet_len + sym`) accepting exactly
+/// `{ w with one marked position i | i ∈ A(w) }`.
+pub fn selection_nfa(qa: &StringQa) -> Nfa {
+    build(qa.machine(), Some(qa))
+}
+
+/// Encode `(word, position)` as a marked word for [`selection_nfa`].
+pub fn mark(word: &[Symbol], pos: usize, alphabet_len: usize) -> Vec<Symbol> {
+    word.iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            if i == pos {
+                Symbol::from_index(alphabet_len + s.index())
+            } else {
+                s
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::string_qa::example_3_4_qa;
+    use crate::twodfa::TwoDfaBuilder;
+    use qa_base::Alphabet;
+
+    fn sym(i: usize) -> Symbol {
+        Symbol::from_index(i)
+    }
+
+    fn example_3_4() -> TwoDfa {
+        example_3_4_qa(&Alphabet::from_names(["0", "1"]))
+            .machine()
+            .clone()
+    }
+
+    fn last_is_one() -> TwoDfa {
+        let mut b = TwoDfaBuilder::new(2);
+        let fwd = b.add_state();
+        let chk = b.add_state();
+        let yes = b.add_state();
+        let no = b.add_state();
+        b.set_initial(fwd);
+        b.set_final(yes, true);
+        b.set_action(fwd, Tape::LeftMarker, Dir::Right, fwd);
+        b.set_action_all_symbols(fwd, Dir::Right, fwd);
+        b.set_action(fwd, Tape::RightMarker, Dir::Left, chk);
+        b.set_action(chk, Tape::Sym(sym(1)), Dir::Left, yes);
+        b.set_action(chk, Tape::Sym(sym(0)), Dir::Left, no);
+        b.set_action_all_symbols(yes, Dir::Left, yes);
+        b.set_action_all_symbols(no, Dir::Left, no);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn acceptance_nfa_matches_runs_exhaustively() {
+        for m in [example_3_4(), last_is_one()] {
+            let nfa = acceptance_nfa(&m);
+            for len in 0..=6usize {
+                for mask in 0..(1usize << len) {
+                    let w: Vec<Symbol> = (0..len).map(|i| sym((mask >> i) & 1)).collect();
+                    assert_eq!(m.accepts(&w).unwrap(), nfa.accepts(&w), "{w:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn selection_nfa_matches_queries_exhaustively() {
+        let a = Alphabet::from_names(["0", "1"]);
+        let qa = example_3_4_qa(&a);
+        let nfa = selection_nfa(&qa);
+        for len in 0..=6usize {
+            for mask in 0..(1usize << len) {
+                let w: Vec<Symbol> = (0..len).map(|i| sym((mask >> i) & 1)).collect();
+                let selected = qa.query(&w).unwrap();
+                for pos in 0..len {
+                    let marked = mark(&w, pos, 2);
+                    assert_eq!(
+                        selected.contains(&pos),
+                        nfa.accepts(&marked),
+                        "word {:?} pos {pos}",
+                        a.render(&w)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unmarked_words_are_rejected_by_selection_nfa() {
+        let a = Alphabet::from_names(["0", "1"]);
+        let qa = example_3_4_qa(&a);
+        let nfa = selection_nfa(&qa);
+        assert!(!nfa.accepts(&[sym(1)]));
+        assert!(!nfa.accepts(&[sym(0), sym(1)]));
+    }
+
+    #[test]
+    fn doubly_marked_words_are_rejected() {
+        let a = Alphabet::from_names(["0", "1"]);
+        let qa = example_3_4_qa(&a);
+        let nfa = selection_nfa(&qa);
+        // 11 with both positions marked
+        let w = vec![sym(2 + 1), sym(2 + 1)];
+        assert!(!nfa.accepts(&w));
+    }
+
+    #[test]
+    fn selection_nfa_emptiness_detects_dead_selector() {
+        let a = Alphabet::from_names(["0", "1"]);
+        let mut qa = example_3_4_qa(&a);
+        // De-select everything: no marked word can be accepted.
+        qa.set_selecting(StateId::from_index(1), a.symbol("1"), false);
+        let nfa = selection_nfa(&qa);
+        assert!(nfa.is_empty());
+    }
+}

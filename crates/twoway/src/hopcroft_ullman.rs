@@ -1,0 +1,571 @@
+//! Lemma 3.10 (Hopcroft–Ullman): composing a left-to-right DFA and a
+//! right-to-left DFA into one two-way machine.
+//!
+//! A [`Bimachine`] is the declarative object: a total DFA `M₁` read left to
+//! right, a total DFA `M₂` read right to left, and an output function over
+//! `(p, q, σ)`. Its function is trivially computable in two passes with
+//! O(n) extra space ([`Bimachine::run`]).
+//!
+//! [`compose`] builds the *actual two-way automaton* of Lemma 3.10 — a
+//! [`Gsqa`] that computes the same function with **no** auxiliary storage:
+//! it walks right simulating `M₁`, then walks back simulating `M₂`, and
+//! recovers the `M₁` state at each position by the backwards-simulation
+//! trick of the lemma's proof (γ-sets; when the preimage is ambiguous, dive
+//! left until all-but-one γ-set dies out or `⊳` is reached, then walk right
+//! with two witness states until they merge — the merge point is where the
+//! backward sweep resumes). This construction is the engine behind
+//! Theorems 3.9, 4.8 and 5.17.
+
+use std::collections::HashMap;
+
+use qa_base::{Error, Result, Symbol};
+use qa_strings::{Dfa, StateId};
+
+use crate::gsqa::Gsqa;
+use crate::tape::Tape;
+use crate::twodfa::{Dir, TwoDfaBuilder};
+
+/// A bimachine: `output(p_i, q_i, w_i)` at every position `i`, where
+/// `p_i = δ₁*(p₀, w₁…wᵢ)` and `q_i = δ₂*(q₀, w_n…wᵢ)`.
+#[derive(Clone, Debug)]
+pub struct Bimachine {
+    left: Dfa,
+    right: Dfa,
+    /// `output[p][q][sym]` — dense Γ symbol.
+    output: Vec<Vec<Vec<u32>>>,
+    gamma_len: usize,
+}
+
+impl Bimachine {
+    /// Build from two **total** DFAs and an output function.
+    pub fn new(
+        left: Dfa,
+        right: Dfa,
+        gamma_len: usize,
+        output: impl Fn(StateId, StateId, Symbol) -> u32,
+    ) -> Result<Self> {
+        if !left.is_total() || !right.is_total() {
+            return Err(Error::ill_formed(
+                "bimachine",
+                "component DFAs must be total (call totalize())",
+            ));
+        }
+        if left.alphabet_len() != right.alphabet_len() {
+            return Err(Error::ill_formed(
+                "bimachine",
+                "component DFAs must share an alphabet",
+            ));
+        }
+        let table: Vec<Vec<Vec<u32>>> = (0..left.num_states())
+            .map(|p| {
+                (0..right.num_states())
+                    .map(|q| {
+                        (0..left.alphabet_len())
+                            .map(|a| {
+                                let g = output(
+                                    StateId::from_index(p),
+                                    StateId::from_index(q),
+                                    Symbol::from_index(a),
+                                );
+                                debug_assert!((g as usize) < gamma_len);
+                                g
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(Bimachine {
+            left,
+            right,
+            output: table,
+            gamma_len,
+        })
+    }
+
+    /// The left-to-right component.
+    pub fn left(&self) -> &Dfa {
+        &self.left
+    }
+
+    /// The right-to-left component.
+    pub fn right(&self) -> &Dfa {
+        &self.right
+    }
+
+    /// Output alphabet size.
+    pub fn gamma_len(&self) -> usize {
+        self.gamma_len
+    }
+
+    /// The output symbol for `(p, q, sym)`.
+    pub fn output_of(&self, p: StateId, q: StateId, sym: Symbol) -> u32 {
+        self.output[p.index()][q.index()][sym.index()]
+    }
+
+    /// Two-pass evaluation: O(n) time, O(n) auxiliary space.
+    pub fn run(&self, word: &[Symbol]) -> Vec<u32> {
+        let n = word.len();
+        let mut out = vec![0u32; n];
+        // forward states p_i
+        let mut p = self.left.initial();
+        let mut ps = Vec::with_capacity(n);
+        for &sym in word {
+            p = self.left.next(p, sym).expect("total DFA");
+            ps.push(p);
+        }
+        // backward states q_i, consumed immediately
+        let mut q = self.right.initial();
+        for i in (0..n).rev() {
+            q = self.right.next(q, word[i]).expect("total DFA");
+            out[i] = self.output_of(ps[i], q, word[i]);
+        }
+        out
+    }
+}
+
+/// Composite states of the Lemma 3.10 machine.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum CState {
+    /// Forward sweep simulating `M₁`; holds `p_i`.
+    Fwd(StateId),
+    /// Backward sweep: `p` is the `M₁` state at the current position,
+    /// `q` the `M₂` state accumulated strictly to the right.
+    Back { p: StateId, q: StateId },
+    /// γ-set dive: `buckets[p']` maps each `M₁` state at the current
+    /// position to the candidate predecessor it leads to (if any);
+    /// `pair` holds two witness states from different buckets — located at
+    /// the current cell when `pair_here` (the freshly-seeded dive) and one
+    /// cell to the right otherwise; `q` is carried for the resume.
+    Gamma {
+        buckets: Vec<Option<StateId>>,
+        pair: (StateId, StateId),
+        pair_here: bool,
+        q: StateId,
+    },
+    /// First (no-op) step of the merge walk.
+    WalkFresh {
+        x: StateId,
+        y: StateId,
+        p_true: StateId,
+        q: StateId,
+    },
+    /// Merge walk proper: advance both witnesses until they coincide.
+    Walk {
+        x: StateId,
+        y: StateId,
+        p_true: StateId,
+        q: StateId,
+    },
+}
+
+/// Build the two-way GSQA of Lemma 3.10 from a bimachine.
+///
+/// The construction is exact for every input; state count is worst-case
+/// exponential in `|M₁|` (the γ-set bucket maps), matching the lemma's
+/// generality, but only reachable composite states are materialized.
+pub fn compose(bim: &Bimachine) -> Result<Gsqa> {
+    let m1 = &bim.left;
+    let m2 = &bim.right;
+    let sigma = m1.alphabet_len();
+
+    // Intern composite states while materializing the transition table.
+    let mut builder = TwoDfaBuilder::new(sigma);
+    let mut index: HashMap<CState, StateId> = HashMap::new();
+    let mut pending: Vec<CState> = Vec::new();
+    // (state, output row) collected for the Gsqa.
+    let mut outputs: Vec<(StateId, Symbol, u32)> = Vec::new();
+
+    fn intern(
+        builder: &mut TwoDfaBuilder,
+        index: &mut HashMap<CState, StateId>,
+        pending: &mut Vec<CState>,
+        st: CState,
+    ) -> StateId {
+        if let Some(&id) = index.get(&st) {
+            return id;
+        }
+        let id = builder.add_state();
+        index.insert(st.clone(), id);
+        pending.push(st);
+        id
+    }
+
+    let start = intern(
+        &mut builder,
+        &mut index,
+        &mut pending,
+        CState::Fwd(m1.initial()),
+    );
+    builder.set_initial(start);
+
+    while let Some(st) = pending.pop() {
+        let id = index[&st];
+        match &st {
+            CState::Fwd(p) => {
+                let p = *p;
+                builder.set_action(id, Tape::LeftMarker, Dir::Right, id);
+                for a in 0..sigma {
+                    let sym = Symbol::from_index(a);
+                    let p2 = m1.next(p, sym).expect("total");
+                    let nxt = intern(&mut builder, &mut index, &mut pending, CState::Fwd(p2));
+                    builder.set_action(id, Tape::Sym(sym), Dir::Right, nxt);
+                }
+                // At ⊲: turn around into the backward sweep.
+                let back = intern(
+                    &mut builder,
+                    &mut index,
+                    &mut pending,
+                    CState::Back {
+                        p,
+                        q: m2.initial(),
+                    },
+                );
+                builder.set_action(id, Tape::RightMarker, Dir::Left, back);
+                // Backward states are where the machine may halt (at ⊳).
+            }
+            CState::Back { p, q } => {
+                let (p, q) = (*p, *q);
+                // Halt at ⊳ (accepting): no action on the left marker.
+                builder.set_final(id, true);
+                for a in 0..sigma {
+                    let sym = Symbol::from_index(a);
+                    // Output at this position.
+                    let q_here = m2.next(q, sym).expect("total");
+                    outputs.push((id, sym, bim.output_of(p, q_here, sym)));
+                    // Predecessors of p under sym.
+                    let pre: Vec<StateId> = (0..m1.num_states())
+                        .map(StateId::from_index)
+                        .filter(|&p0| m1.next(p0, sym) == Some(p))
+                        .collect();
+                    match pre.len() {
+                        0 => { /* unreachable on real inputs: halt (non-final would
+                               be wrong — this state IS final; leave no action,
+                               which can only trigger on inconsistent inputs) */
+                        }
+                        1 => {
+                            let nxt = intern(
+                                &mut builder,
+                                &mut index,
+                                &mut pending,
+                                CState::Back {
+                                    p: pre[0],
+                                    q: q_here,
+                                },
+                            );
+                            builder.set_action(id, Tape::Sym(sym), Dir::Left, nxt);
+                        }
+                        _ => {
+                            // Ambiguous: start the γ-set dive. Buckets at the
+                            // position one left are seeded by the identity on
+                            // candidates *at that position* — i.e. the map
+                            // "state at pos i-1 ↦ candidate" starts as
+                            // `p' ↦ p'` restricted to `pre`.
+                            let mut buckets = vec![None; m1.num_states()];
+                            for &c in &pre {
+                                buckets[c.index()] = Some(c);
+                            }
+                            let nxt = intern(
+                                &mut builder,
+                                &mut index,
+                                &mut pending,
+                                CState::Gamma {
+                                    buckets,
+                                    pair: (pre[0], pre[1]),
+                                    pair_here: true,
+                                    q: q_here,
+                                },
+                            );
+                            builder.set_action(id, Tape::Sym(sym), Dir::Left, nxt);
+                        }
+                    }
+                }
+            }
+            CState::Gamma {
+                buckets,
+                pair,
+                pair_here,
+                q,
+            } => {
+                let (pair, pair_here, q) = (*pair, *pair_here, *q);
+                // Count live buckets.
+                let mut live: Vec<StateId> = buckets.iter().flatten().copied().collect();
+                live.sort_unstable();
+                live.dedup();
+
+                // Start the merge walk toward candidate `p_true`. If the
+                // witness pair denotes states at this very cell, skip the
+                // no-op hop; if it denotes states one cell right, take it.
+                let start_walk =
+                    |builder: &mut TwoDfaBuilder,
+                     index: &mut HashMap<CState, StateId>,
+                     pending: &mut Vec<CState>,
+                     p_true: StateId| {
+                        let st = if pair_here {
+                            CState::Walk {
+                                x: pair.0,
+                                y: pair.1,
+                                p_true,
+                                q,
+                            }
+                        } else {
+                            CState::WalkFresh {
+                                x: pair.0,
+                                y: pair.1,
+                                p_true,
+                                q,
+                            }
+                        };
+                        intern(builder, index, pending, st)
+                    };
+
+                if live.len() <= 1 {
+                    // Disambiguated mid-string: walk right to the merge cell.
+                    if let Some(&p_true) = live.first() {
+                        let walk = start_walk(&mut builder, &mut index, &mut pending, p_true);
+                        for a in 0..sigma {
+                            builder.set_action(
+                                id,
+                                Tape::Sym(Symbol::from_index(a)),
+                                Dir::Right,
+                                walk,
+                            );
+                        }
+                        builder.set_action(id, Tape::LeftMarker, Dir::Right, walk);
+                    }
+                    // live empty: stuck (cannot happen on consistent inputs).
+                } else {
+                    // At ⊳ the true bucket is the initial state's bucket.
+                    if let Some(p_true) = buckets[m1.initial().index()] {
+                        let walk = start_walk(&mut builder, &mut index, &mut pending, p_true);
+                        builder.set_action(id, Tape::LeftMarker, Dir::Right, walk);
+                    }
+                    // On a real symbol: refine buckets one step left and
+                    // remember a fresh witness pair from this cell.
+                    for a in 0..sigma {
+                        let sym = Symbol::from_index(a);
+                        let mut refined = vec![None; m1.num_states()];
+                        for p0 in 0..m1.num_states() {
+                            let succ = m1.next(StateId::from_index(p0), sym).expect("total");
+                            refined[p0] = buckets[succ.index()];
+                        }
+                        // Two witnesses from different buckets at the current
+                        // cell (exists because live.len() >= 2).
+                        let w0 = buckets
+                            .iter()
+                            .position(|b| *b == Some(live[0]))
+                            .expect("live bucket has a member");
+                        let w1 = buckets
+                            .iter()
+                            .position(|b| *b == Some(live[1]))
+                            .expect("live bucket has a member");
+                        let nxt = intern(
+                            &mut builder,
+                            &mut index,
+                            &mut pending,
+                            CState::Gamma {
+                                buckets: refined,
+                                pair: (StateId::from_index(w0), StateId::from_index(w1)),
+                                pair_here: false,
+                                q,
+                            },
+                        );
+                        builder.set_action(id, Tape::Sym(sym), Dir::Left, nxt);
+                    }
+                }
+            }
+            CState::WalkFresh { x, y, p_true, q } => {
+                // No-op hop: witnesses already denote states at this cell.
+                let nxt = intern(
+                    &mut builder,
+                    &mut index,
+                    &mut pending,
+                    CState::Walk {
+                        x: *x,
+                        y: *y,
+                        p_true: *p_true,
+                        q: *q,
+                    },
+                );
+                for a in 0..sigma {
+                    builder.set_action(id, Tape::Sym(Symbol::from_index(a)), Dir::Right, nxt);
+                }
+            }
+            CState::Walk { x, y, p_true, q } => {
+                for a in 0..sigma {
+                    let sym = Symbol::from_index(a);
+                    let x2 = m1.next(*x, sym).expect("total");
+                    let y2 = m1.next(*y, sym).expect("total");
+                    if x2 == y2 {
+                        // Merge point: this is the cell whose predecessor we
+                        // resolved; resume the backward sweep one step left.
+                        let back = intern(
+                            &mut builder,
+                            &mut index,
+                            &mut pending,
+                            CState::Back {
+                                p: *p_true,
+                                q: *q,
+                            },
+                        );
+                        builder.set_action(id, Tape::Sym(sym), Dir::Left, back);
+                    } else {
+                        let nxt = intern(
+                            &mut builder,
+                            &mut index,
+                            &mut pending,
+                            CState::Walk {
+                                x: x2,
+                                y: y2,
+                                p_true: *p_true,
+                                q: *q,
+                            },
+                        );
+                        builder.set_action(id, Tape::Sym(sym), Dir::Right, nxt);
+                    }
+                }
+            }
+        }
+    }
+
+    let machine = builder.build()?;
+    let mut gsqa = Gsqa::new(machine, bim.gamma_len);
+    for (state, sym, g) in outputs {
+        gsqa.set_output(state, sym, g);
+    }
+    Ok(gsqa)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    fn sym(i: usize) -> Symbol {
+        Symbol::from_index(i)
+    }
+
+    /// M₁: parity of `b`s so far; M₂ (right-to-left): whether a `b` occurs
+    /// to the right (inclusive).
+    fn sample_bimachine() -> Bimachine {
+        let mut left = Dfa::new(2);
+        let e = left.add_state();
+        let o = left.add_state();
+        left.set_initial(e);
+        left.set_transition(e, sym(0), e);
+        left.set_transition(o, sym(0), o);
+        left.set_transition(e, sym(1), o);
+        left.set_transition(o, sym(1), e);
+
+        let mut right = Dfa::new(2);
+        let no = right.add_state();
+        let yes = right.add_state();
+        right.set_initial(no);
+        right.set_transition(no, sym(0), no);
+        right.set_transition(no, sym(1), yes);
+        right.set_transition(yes, sym(0), yes);
+        right.set_transition(yes, sym(1), yes);
+
+        // Γ = {0..8}: encode (p, q, σ) densely for full observability.
+        Bimachine::new(left, right, 8, |p, q, s| {
+            (p.index() * 4 + q.index() * 2 + s.index()) as u32
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn bimachine_two_pass_run() {
+        let bim = sample_bimachine();
+        // word: a b a  → p = e,o,o (0,1,1); q right-to-left: at pos2 (a): no
+        // b to the right incl → 0; pos1 (b): yes → 1; pos0 (a): yes → 1.
+        let w = vec![sym(0), sym(1), sym(0)];
+        let out = bim.run(&w);
+        let expect = [0 * 4 + 1 * 2 + 0, 1 * 4 + 1 * 2 + 1, 1 * 4 + 0 * 2 + 0];
+        assert_eq!(out, expect.to_vec());
+    }
+
+    #[test]
+    fn composed_machine_agrees_exhaustively() {
+        let bim = sample_bimachine();
+        let gsqa = compose(&bim).unwrap();
+        for len in 0..=7usize {
+            for mask in 0..(1usize << len) {
+                let w: Vec<Symbol> = (0..len).map(|i| sym((mask >> i) & 1)).collect();
+                assert_eq!(
+                    gsqa.run(&w).unwrap(),
+                    bim.run(&w),
+                    "word mask {mask:#b} len {len}"
+                );
+            }
+        }
+    }
+
+    /// A bimachine whose left DFA has a 3-way merge (tests the γ dive).
+    fn merging_bimachine() -> Bimachine {
+        // M₁ over {a, b, c}: states 0,1,2; on `a` everything merges to 0;
+        // on `b` rotate; on `c` stay.
+        let mut left = Dfa::new(3);
+        let s0 = left.add_state();
+        let s1 = left.add_state();
+        let s2 = left.add_state();
+        left.set_initial(s0);
+        for (i, s) in [s0, s1, s2].into_iter().enumerate() {
+            left.set_transition(s, sym(0), s0); // a: merge
+            let rot = [s1, s2, s0][i];
+            left.set_transition(s, sym(1), rot); // b: rotate
+            left.set_transition(s, sym(2), s); // c: identity
+        }
+        let mut right = Dfa::new(3);
+        let r0 = right.add_state();
+        let r1 = right.add_state();
+        right.set_initial(r0);
+        for s in [r0, r1] {
+            right.set_transition(s, sym(0), r1);
+            right.set_transition(s, sym(1), r0);
+            right.set_transition(s, sym(2), s);
+        }
+        Bimachine::new(left, right, 3 * 2 * 3, |p, q, s| {
+            (p.index() * 6 + q.index() * 3 + s.index()) as u32
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn composed_machine_handles_ambiguous_preimages() {
+        let bim = merging_bimachine();
+        let gsqa = compose(&bim).unwrap();
+        for len in 0..=5usize {
+            let mut words = vec![Vec::new()];
+            for _ in 0..len {
+                let mut next = Vec::new();
+                for w in &words {
+                    for a in 0..3 {
+                        let mut w2 = w.clone();
+                        w2.push(sym(a));
+                        next.push(w2);
+                    }
+                }
+                words = next;
+            }
+            for w in words {
+                if w.len() != len {
+                    continue;
+                }
+                assert_eq!(gsqa.run(&w).unwrap(), bim.run(&w), "{w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_partial_components() {
+        let mut left = Dfa::new(1);
+        let q = left.add_state();
+        left.set_initial(q);
+        // no transitions: partial
+        let mut right = Dfa::new(1);
+        let r = right.add_state();
+        right.set_initial(r);
+        right.set_transition(r, sym(0), r);
+        assert!(Bimachine::new(left, right, 1, |_, _, _| 0).is_err());
+    }
+}

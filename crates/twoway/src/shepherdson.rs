@@ -1,0 +1,222 @@
+//! Shepherdson's construction: 2DFA → one-way DFA.
+//!
+//! A one-way DFA can simulate a two-way one by carrying, for each prefix
+//! `⊳ w₁…wᵢ`, a *summary*: (a) for every state `s`, what happens if the
+//! machine stands on the last cell of the prefix in `s` — it exits right in
+//! some state, halts somewhere inside (accepting or not), or loops; and (b)
+//! the same outcome for the actual start run. The summary is exactly the
+//! behavior function `f←` of Theorem 3.9 enriched with halt/loop
+//! information, which makes the construction exact for *all* deterministic
+//! machines (the paper may assume halting at the right endmarker; we do not
+//! need to).
+
+use std::collections::{HashMap, VecDeque};
+
+use qa_base::Symbol;
+use qa_strings::{Dfa, StateId};
+
+use crate::tape::Tape;
+use crate::twodfa::{Dir, TwoDfa};
+
+/// Abstract outcome used inside prefix summaries (positions abstracted away,
+/// halting states abstracted to their acceptance bit).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Out {
+    Exit(StateId),
+    Halt(bool),
+    Loop,
+}
+
+/// A prefix summary: per-state outcome table plus the start-run outcome.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct Summary {
+    /// `table[s]`: outcome of standing on the last prefix cell in state `s`.
+    table: Vec<Out>,
+    /// Outcome of the start run within the prefix.
+    start: Out,
+}
+
+/// Simulate standing on a cell with the given `cell` symbol in state `s`,
+/// where left excursions are resolved by `left_table` (the summary of the
+/// prefix to the left). Returns the outcome.
+fn cell_outcome(m: &TwoDfa, cell: Tape, left_table: Option<&[Out]>, s: StateId) -> Out {
+    let mut visited = vec![false; m.num_states()];
+    let mut cur = s;
+    loop {
+        if visited[cur.index()] {
+            return Out::Loop;
+        }
+        visited[cur.index()] = true;
+        match m.action(cur, cell) {
+            None => return Out::Halt(m.is_final(cur)),
+            Some((Dir::Right, s2)) => return Out::Exit(s2),
+            Some((Dir::Left, s1)) => {
+                let table = left_table.expect("left move on ⊳ rejected by builder");
+                match table[s1.index()] {
+                    Out::Exit(s2) => cur = s2,
+                    other => return other,
+                }
+            }
+        }
+    }
+}
+
+/// Extend a summary by one more cell.
+fn extend(m: &TwoDfa, summary: &Summary, cell: Tape) -> Summary {
+    let table: Vec<Out> = (0..m.num_states())
+        .map(|s| cell_outcome(m, cell, Some(&summary.table), StateId::from_index(s)))
+        .collect();
+    let start = match summary.start {
+        Out::Exit(s) => cell_outcome(m, cell, Some(&summary.table), s),
+        other => other,
+    };
+    Summary { table, start }
+}
+
+/// The summary of the bare `⊳` prefix.
+fn initial_summary(m: &TwoDfa) -> Summary {
+    let table: Vec<Out> = (0..m.num_states())
+        .map(|s| cell_outcome(m, Tape::LeftMarker, None, StateId::from_index(s)))
+        .collect();
+    let start = cell_outcome(m, Tape::LeftMarker, None, m.initial());
+    Summary { table, start }
+}
+
+/// Whether the machine accepts once the full word has been summarized:
+/// append the `⊲` cell and require the start run to halt in a final state.
+fn summary_accepts(m: &TwoDfa, summary: &Summary) -> bool {
+    let closed = extend(m, summary, Tape::RightMarker);
+    matches!(closed.start, Out::Halt(true))
+}
+
+/// Convert a 2DFA into an equivalent one-way DFA (Shepherdson).
+///
+/// Only reachable summaries are constructed; the result is total over the
+/// input alphabet. Words on which the 2DFA loops are rejected by the DFA
+/// (a looping run is not accepting).
+pub fn to_dfa(m: &TwoDfa) -> Dfa {
+    let mut dfa = Dfa::new(m.alphabet_len());
+    let mut index: HashMap<Summary, StateId> = HashMap::new();
+    let mut queue: VecDeque<Summary> = VecDeque::new();
+
+    let init = initial_summary(m);
+    let id = dfa.add_state();
+    dfa.set_initial(id);
+    dfa.set_accepting(id, summary_accepts(m, &init));
+    index.insert(init.clone(), id);
+    queue.push_back(init);
+
+    while let Some(summary) = queue.pop_front() {
+        let from = index[&summary];
+        for a in 0..m.alphabet_len() {
+            let sym = Symbol::from_index(a);
+            let next = extend(m, &summary, Tape::Sym(sym));
+            let to = match index.get(&next) {
+                Some(&id) => id,
+                None => {
+                    let id = dfa.add_state();
+                    dfa.set_accepting(id, summary_accepts(m, &next));
+                    index.insert(next.clone(), id);
+                    queue.push_back(next);
+                    id
+                }
+            };
+            dfa.set_transition(from, sym, to);
+        }
+    }
+    dfa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::twodfa::TwoDfaBuilder;
+
+    fn sym(i: usize) -> Symbol {
+        Symbol::from_index(i)
+    }
+
+    fn example_3_4() -> TwoDfa {
+        let mut b = TwoDfaBuilder::new(2);
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let s2 = b.add_state();
+        b.set_initial(s0);
+        b.set_final(s1, true);
+        b.set_final(s2, true);
+        b.set_action(s0, Tape::LeftMarker, Dir::Right, s0);
+        b.set_action_all_symbols(s0, Dir::Right, s0);
+        b.set_action(s0, Tape::RightMarker, Dir::Left, s1);
+        b.set_action_all_symbols(s1, Dir::Left, s2);
+        b.set_action_all_symbols(s2, Dir::Left, s1);
+        b.build().unwrap()
+    }
+
+    /// 2DFA accepting words whose last symbol is `1`, checking it by walking
+    /// right then verifying on the way back (halts at ⊳, final only if seen).
+    fn last_is_one() -> TwoDfa {
+        let mut b = TwoDfaBuilder::new(2);
+        let fwd = b.add_state();
+        let chk = b.add_state(); // at last symbol on the way back
+        let yes = b.add_state();
+        let no = b.add_state();
+        b.set_initial(fwd);
+        b.set_final(yes, true);
+        b.set_action(fwd, Tape::LeftMarker, Dir::Right, fwd);
+        b.set_action_all_symbols(fwd, Dir::Right, fwd);
+        b.set_action(fwd, Tape::RightMarker, Dir::Left, chk);
+        b.set_action(chk, Tape::Sym(sym(1)), Dir::Left, yes);
+        b.set_action(chk, Tape::Sym(sym(0)), Dir::Left, no);
+        b.set_action_all_symbols(yes, Dir::Left, yes);
+        b.set_action_all_symbols(no, Dir::Left, no);
+        // chk on ⊳ (empty word): halt non-final. yes/no halt at ⊳.
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn equivalent_on_all_short_words() {
+        for m in [example_3_4(), last_is_one()] {
+            let d = to_dfa(&m);
+            for len in 0..=7usize {
+                for mask in 0..(1usize << len) {
+                    let w: Vec<Symbol> = (0..len).map(|i| sym((mask >> i) & 1)).collect();
+                    assert_eq!(m.accepts(&w).unwrap(), d.accepts(&w), "{w:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn looping_words_are_rejected() {
+        // machine that loops on any word containing symbol 1, accepts others
+        let mut b = TwoDfaBuilder::new(2);
+        let q = b.add_state();
+        let l1 = b.add_state();
+        let l2 = b.add_state();
+        b.set_initial(q);
+        b.set_final(q, true);
+        b.set_action(q, Tape::LeftMarker, Dir::Right, q);
+        b.set_action(q, Tape::Sym(sym(0)), Dir::Right, q);
+        b.set_action(q, Tape::Sym(sym(1)), Dir::Left, l1);
+        b.set_action_all_symbols(l1, Dir::Right, l2);
+        b.set_action(l1, Tape::LeftMarker, Dir::Right, l2);
+        b.set_action_all_symbols(l2, Dir::Left, l1);
+        b.set_action(l2, Tape::RightMarker, Dir::Left, l1);
+        let m = b.build().unwrap();
+        assert!(m.run(&[sym(1)]).is_err(), "machine loops");
+        let d = to_dfa(&m);
+        assert!(d.accepts(&[sym(0), sym(0)]));
+        assert!(!d.accepts(&[sym(0), sym(1)]));
+    }
+
+    #[test]
+    fn dfa_is_total_and_minimizable() {
+        let d = to_dfa(&example_3_4());
+        assert!(d.is_total());
+        let min = d.minimize();
+        assert!(min.equivalent(&d));
+        // Example 3.4's machine accepts every input (all halting states
+        // final), so the minimal DFA has one state.
+        assert_eq!(min.num_states(), 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Endmarked tapes `⊳ w ⊲`.
+
+use qa_base::Symbol;
+
+/// A tape cell: the left endmarker `⊳`, the right endmarker `⊲`, or a real
+/// input symbol.
+///
+/// Cells have a dense encoding (`0 = ⊳`, `1 = ⊲`, `2 + i` for symbol `i`)
+/// so 2DFA transition tables can be flat arrays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Tape {
+    /// `⊳` — to the left of the first input symbol. Machines may not move
+    /// left from it.
+    LeftMarker,
+    /// `⊲` — to the right of the last input symbol. Machines may not move
+    /// right from it.
+    RightMarker,
+    /// A real input symbol.
+    Sym(Symbol),
+}
+
+impl Tape {
+    /// Dense encoding for table indexing over an alphabet of `alphabet_len`
+    /// symbols: `0 = ⊳`, `1 = ⊲`, `2 + i` for symbol `i`.
+    #[inline]
+    pub fn encode(self) -> usize {
+        match self {
+            Tape::LeftMarker => 0,
+            Tape::RightMarker => 1,
+            Tape::Sym(s) => 2 + s.index(),
+        }
+    }
+
+    /// Number of distinct tape cells over an alphabet of `alphabet_len`.
+    #[inline]
+    pub fn table_len(alphabet_len: usize) -> usize {
+        alphabet_len + 2
+    }
+
+    /// The cell at `pos` of the endmarked tape for `word`
+    /// (`pos = 0` is `⊳`, `pos = word.len() + 1` is `⊲`).
+    #[inline]
+    pub fn at(word: &[Symbol], pos: usize) -> Tape {
+        if pos == 0 {
+            Tape::LeftMarker
+        } else if pos == word.len() + 1 {
+            Tape::RightMarker
+        } else {
+            Tape::Sym(word[pos - 1])
+        }
+    }
+
+    /// The real symbol, if this cell is one.
+    #[inline]
+    pub fn symbol(self) -> Option<Symbol> {
+        match self {
+            Tape::Sym(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Render for diagnostics.
+    pub fn render(self, alphabet: &qa_base::Alphabet) -> String {
+        match self {
+            Tape::LeftMarker => "⊳".to_owned(),
+            Tape::RightMarker => "⊲".to_owned(),
+            Tape::Sym(s) => alphabet.name(s).to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_is_dense_and_injective() {
+        assert_eq!(Tape::LeftMarker.encode(), 0);
+        assert_eq!(Tape::RightMarker.encode(), 1);
+        assert_eq!(Tape::Sym(Symbol::from_index(0)).encode(), 2);
+        assert_eq!(Tape::Sym(Symbol::from_index(3)).encode(), 5);
+        assert_eq!(Tape::table_len(4), 6);
+    }
+
+    #[test]
+    fn at_reads_markers_and_symbols() {
+        let w = vec![Symbol::from_index(7), Symbol::from_index(8)];
+        assert_eq!(Tape::at(&w, 0), Tape::LeftMarker);
+        assert_eq!(Tape::at(&w, 1), Tape::Sym(Symbol::from_index(7)));
+        assert_eq!(Tape::at(&w, 2), Tape::Sym(Symbol::from_index(8)));
+        assert_eq!(Tape::at(&w, 3), Tape::RightMarker);
+    }
+
+    #[test]
+    fn symbol_projection() {
+        assert_eq!(Tape::LeftMarker.symbol(), None);
+        assert_eq!(
+            Tape::Sym(Symbol::from_index(1)).symbol(),
+            Some(Symbol::from_index(1))
+        );
+    }
+}

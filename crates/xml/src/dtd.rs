@@ -1,0 +1,152 @@
+//! DTDs as extended context-free grammars (the paper's ECFGs).
+
+use std::collections::HashMap;
+
+use qa_base::{Alphabet, Error, Result, Symbol};
+use qa_strings::{regex, Regex};
+
+use crate::parser::PCDATA;
+
+/// A parsed DTD: one content-model regex per declared element.
+#[derive(Clone, Debug)]
+pub struct Dtd {
+    /// Shared element alphabet (including `#pcdata`).
+    pub alphabet: Alphabet,
+    /// `models[element] = content model` over the alphabet.
+    pub models: HashMap<Symbol, Regex>,
+    /// The first declared element, used as the expected document root.
+    pub root: Symbol,
+}
+
+impl Dtd {
+    /// Parse a DTD text: a sequence of
+    /// `<!ELEMENT name (content-model)>` declarations. Content models use
+    /// `,` for concatenation, `|`, `*`, `+`, `?`, parentheses, `PCDATA` /
+    /// `#PCDATA` for text content, and `EMPTY` for childless elements.
+    /// Extends `alphabet` (which must intern `#pcdata`).
+    pub fn parse(input: &str, alphabet: &mut Alphabet) -> Result<Dtd> {
+        let mut models = HashMap::new();
+        let mut root = None;
+        let mut rest = input;
+        loop {
+            let Some(start) = rest.find("<!ELEMENT") else {
+                break;
+            };
+            let after = &rest[start + "<!ELEMENT".len()..];
+            let end = after
+                .find('>')
+                .ok_or_else(|| Error::parse("dtd", "unterminated <!ELEMENT"))?;
+            let decl = after[..end].trim();
+            rest = &after[end + 1..];
+            let (name, model_src) = decl
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| Error::parse("dtd", format!("malformed declaration `{decl}`")))?;
+            let sym = alphabet.intern(name.trim());
+            if root.is_none() {
+                root = Some(sym);
+            }
+            let model = parse_model(model_src.trim(), alphabet)?;
+            if models.insert(sym, model).is_some() {
+                return Err(Error::parse(
+                    "dtd",
+                    format!("element `{name}` declared twice"),
+                ));
+            }
+        }
+        let root = root.ok_or_else(|| Error::parse("dtd", "no <!ELEMENT> declarations"))?;
+        Ok(Dtd {
+            alphabet: alphabet.clone(),
+            models,
+            root,
+        })
+    }
+
+    /// The content model of an element, if declared.
+    pub fn model(&self, element: Symbol) -> Option<&Regex> {
+        self.models.get(&element)
+    }
+}
+
+/// Parse one content model into a [`Regex`] over the element alphabet.
+fn parse_model(src: &str, alphabet: &mut Alphabet) -> Result<Regex> {
+    let normalized = src
+        .replace("#PCDATA", PCDATA)
+        .replace("PCDATA", PCDATA)
+        // `##pcdata` if the source already said `#PCDATA` → collapse
+        .replace("##pcdata", PCDATA);
+    if normalized.trim() == "EMPTY" {
+        return Ok(Regex::Epsilon);
+    }
+    // DTD commas are concatenation: the token-level regex parser treats
+    // whitespace as juxtaposition already, so turn commas into spaces.
+    let as_regex = normalized.replace(',', " ");
+    regex::parse_tokens(&as_regex, alphabet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alpha() -> Alphabet {
+        let mut a = Alphabet::new();
+        a.intern(PCDATA);
+        a
+    }
+
+    #[test]
+    fn parses_figure_2_dtd() {
+        let mut a = alpha();
+        let dtd = Dtd::parse(crate::figures::FIGURE_2_DTD, &mut a).unwrap();
+        assert_eq!(a.name(dtd.root), "bibliography");
+        assert_eq!(dtd.models.len(), 8);
+        // article := author+, title, journal, year
+        let article = dtd.model(a.symbol("article")).unwrap();
+        let w = |names: &[&str]| -> Vec<Symbol> {
+            names.iter().map(|n| a.symbol(n)).collect()
+        };
+        let n = article.to_nfa(a.len());
+        assert!(n.accepts(&w(&["author", "title", "journal", "year"])));
+        assert!(n.accepts(&w(&["author", "author", "title", "journal", "year"])));
+        assert!(!n.accepts(&w(&["title", "journal", "year"])));
+        assert!(!n.accepts(&w(&["author", "title", "publisher", "year"])));
+    }
+
+    #[test]
+    fn pcdata_and_empty_models() {
+        let mut a = alpha();
+        let dtd = Dtd::parse(
+            "<!ELEMENT note (PCDATA)> <!ELEMENT hr EMPTY>",
+            &mut a,
+        )
+        .unwrap();
+        let note = dtd.model(a.symbol("note")).unwrap();
+        let n = note.to_nfa(a.len());
+        assert!(n.accepts(&[a.symbol(PCDATA)]));
+        assert!(!n.accepts(&[]));
+        let hr = dtd.model(a.symbol("hr")).unwrap();
+        assert_eq!(*hr, Regex::Epsilon);
+    }
+
+    #[test]
+    fn alternation_and_nesting() {
+        let mut a = alpha();
+        let dtd = Dtd::parse(
+            "<!ELEMENT list ((item | group)+)> <!ELEMENT item (PCDATA)> \
+             <!ELEMENT group (item, item)>",
+            &mut a,
+        )
+        .unwrap();
+        let list = dtd.model(a.symbol("list")).unwrap().to_nfa(a.len());
+        assert!(list.accepts(&[a.symbol("item"), a.symbol("group"), a.symbol("item")]));
+        assert!(!list.accepts(&[]));
+    }
+
+    #[test]
+    fn errors() {
+        let mut a = alpha();
+        assert!(Dtd::parse("", &mut a).is_err());
+        assert!(Dtd::parse("<!ELEMENT x", &mut a).is_err());
+        assert!(Dtd::parse("<!ELEMENT x (a)> <!ELEMENT x (b)>", &mut a).is_err());
+        assert!(Dtd::parse("<!ELEMENT>", &mut a).is_err());
+    }
+}

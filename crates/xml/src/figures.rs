@@ -1,0 +1,95 @@
+//! The paper's Figures 1–4: the bibliography document and its DTD.
+
+use qa_base::Result;
+
+use crate::dtd::Dtd;
+use crate::parser::{parse_with_alphabet, Document};
+
+/// Figure 1: the bibliography XML document.
+pub const FIGURE_1_XML: &str = r#"<bibliography>
+  <book>
+    <author>S. Abiteboul</author>
+    <author>R. Hull</author>
+    <author>V. Vianu</author>
+    <title>Foundations of Databases</title>
+    <publisher>Addison-Wesley</publisher>
+    <year>1995</year>
+  </book>
+  <article>
+    <author>E. Codd</author>
+    <title>A Relational Model of Data for Large Shared Data Banks</title>
+    <journal>Communications of the ACM</journal>
+    <year>1970</year>
+  </article>
+</bibliography>"#;
+
+/// Figure 2: the DTD for the Figure 1 document.
+pub const FIGURE_2_DTD: &str = r#"<!ELEMENT bibliography ((book | article)+)>
+<!ELEMENT article (author+, title, journal, year)>
+<!ELEMENT book (author+, title, publisher, year)>
+<!ELEMENT author (PCDATA)>
+<!ELEMENT title (PCDATA)>
+<!ELEMENT journal (PCDATA)>
+<!ELEMENT year (PCDATA)>
+<!ELEMENT publisher (PCDATA)>"#;
+
+/// Parse Figure 1 and Figure 2 over a shared alphabet — the tree of
+/// Figures 3/4 plus its grammar.
+pub fn bibliography() -> Result<(Document, Dtd)> {
+    let mut alphabet = qa_base::Alphabet::new();
+    alphabet.intern(crate::parser::PCDATA);
+    let dtd = Dtd::parse(FIGURE_2_DTD, &mut alphabet)?;
+    let doc = parse_with_alphabet(FIGURE_1_XML, &mut alphabet)?;
+    // re-share the grown alphabet
+    let dtd = Dtd {
+        alphabet: doc.alphabet.clone(),
+        ..dtd
+    };
+    Ok((doc, dtd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_1_has_the_figure_3_shape() {
+        let (doc, _) = bibliography().unwrap();
+        let a = &doc.alphabet;
+        let t = &doc.tree;
+        let root = t.root();
+        assert_eq!(a.name(t.label(root)), "bibliography");
+        assert_eq!(t.arity(root), 2);
+        let book = t.child(root, 0);
+        let article = t.child(root, 1);
+        assert_eq!(a.name(t.label(book)), "book");
+        assert_eq!(a.name(t.label(article)), "article");
+        // book: 3 authors, title, publisher, year
+        let kinds: Vec<&str> = t
+            .children(book)
+            .iter()
+            .map(|&c| a.name(t.label(c)))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec!["author", "author", "author", "title", "publisher", "year"]
+        );
+        // every field holds one #pcdata leaf
+        for &c in t.children(article) {
+            assert_eq!(t.arity(c), 1);
+            assert_eq!(a.name(t.label(t.child(c, 0))), "#pcdata");
+        }
+    }
+
+    #[test]
+    fn codd_is_in_the_article() {
+        let (doc, _) = bibliography().unwrap();
+        let texts: Vec<&str> = doc
+            .tree
+            .nodes()
+            .filter_map(|v| doc.text_of(v))
+            .collect();
+        assert!(texts.contains(&"E. Codd"));
+        assert!(texts.contains(&"Foundations of Databases"));
+    }
+}

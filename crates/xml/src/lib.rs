@@ -1,0 +1,26 @@
+//! # qa-xml
+//!
+//! The paper's motivating setting (Section 1, Figures 1–4): structured
+//! documents as labeled ordered trees.
+//!
+//! - [`parser`]: a lightweight parser for the XML subset the paper
+//!   abstracts over (elements + text; no attributes/namespaces), producing
+//!   [`qa_trees::Tree`]s with text content abstracted to `#pcdata` leaves —
+//!   the Figure 3 → Figure 4 step.
+//! - [`dtd`]: DTD element declarations (`<!ELEMENT name (model)>`) with
+//!   full content-model regexes — the extended context-free grammars
+//!   (ECFGs) of the introduction.
+//! - [`validate`]: DTD validation, both directly (good error messages) and
+//!   compiled to an unranked tree automaton (`qa_core::unranked::Nbtau`) —
+//!   "tree automata can easily determine whether the input tree is a
+//!   derivation tree of a given (E)CFG".
+//! - [`figures`]: the paper's Figure 1 bibliography document and Figure 2
+//!   DTD as ready-made constants.
+
+pub mod dtd;
+pub mod figures;
+pub mod parser;
+pub mod validate;
+
+pub use dtd::Dtd;
+pub use parser::{parse_document, Document};

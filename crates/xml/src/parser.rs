@@ -1,0 +1,204 @@
+//! A parser for the XML subset the paper abstracts over.
+//!
+//! Supported: elements `<name> … </name>`, self-closing `<name/>`, text
+//! content, comments `<!-- … -->`, and a leading `<?xml … ?>` declaration.
+//! Not supported (not needed for the abstraction): attributes, namespaces,
+//! entities, CDATA. Text content becomes `#pcdata` leaves; pure-whitespace
+//! text is dropped. This is exactly the Figure 1 → Figure 3/4 step.
+
+use qa_base::{Alphabet, Error, Result, Symbol};
+use qa_trees::{NodeId, Tree};
+
+/// The `#pcdata` leaf label name.
+pub const PCDATA: &str = "#pcdata";
+
+/// A parsed document: the abstracted tree, the element alphabet (including
+/// [`PCDATA`]), and the text content of each `#pcdata` leaf.
+#[derive(Clone, Debug)]
+pub struct Document {
+    /// The abstracted element tree.
+    pub tree: Tree,
+    /// Element names + `#pcdata`.
+    pub alphabet: Alphabet,
+    /// `texts[node.index()]` = the text of that `#pcdata` leaf, if any.
+    pub texts: Vec<Option<String>>,
+}
+
+impl Document {
+    /// The [`PCDATA`] symbol.
+    pub fn pcdata(&self) -> Symbol {
+        self.alphabet.symbol(PCDATA)
+    }
+
+    /// The text under a `#pcdata` node.
+    pub fn text_of(&self, v: NodeId) -> Option<&str> {
+        self.texts.get(v.index()).and_then(|t| t.as_deref())
+    }
+}
+
+/// Parse a document, interning element names into a fresh alphabet.
+pub fn parse_document(input: &str) -> Result<Document> {
+    let mut alphabet = Alphabet::new();
+    alphabet.intern(PCDATA);
+    parse_with_alphabet(input, &mut alphabet)
+}
+
+/// Parse a document using (and extending) an existing alphabet, which must
+/// already intern [`PCDATA`].
+pub fn parse_with_alphabet(input: &str, alphabet: &mut Alphabet) -> Result<Document> {
+    let pcdata = alphabet.symbol(PCDATA);
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let mut tree: Option<Tree> = None;
+    let mut texts: Vec<Option<String>> = Vec::new();
+    // stack of open elements
+    let mut open: Vec<(String, NodeId)> = Vec::new();
+
+    let err = |pos: usize, msg: &str| Error::parse("xml", format!("{msg} at byte {pos}"));
+
+    let record_text =
+        |tree: &mut Option<Tree>, texts: &mut Vec<Option<String>>, open: &[(String, NodeId)], text: &str, pos: usize| -> Result<()> {
+            if text.trim().is_empty() {
+                return Ok(());
+            }
+            let Some((_, parent)) = open.last() else {
+                return Err(err(pos, "text outside the root element"));
+            };
+            let t = tree.as_mut().expect("open implies tree");
+            let leaf = t.add_child(*parent, pcdata);
+            if texts.len() <= leaf.index() {
+                texts.resize(leaf.index() + 1, None);
+            }
+            texts[leaf.index()] = Some(text.trim().to_owned());
+            Ok(())
+        };
+
+    while pos < bytes.len() {
+        if bytes[pos] == b'<' {
+            if input[pos..].starts_with("<!--") {
+                let end = input[pos..]
+                    .find("-->")
+                    .ok_or_else(|| err(pos, "unterminated comment"))?;
+                pos += end + 3;
+                continue;
+            }
+            if input[pos..].starts_with("<?") {
+                let end = input[pos..]
+                    .find("?>")
+                    .ok_or_else(|| err(pos, "unterminated processing instruction"))?;
+                pos += end + 2;
+                continue;
+            }
+            if input[pos..].starts_with("<!") {
+                // DOCTYPE etc.: skip to the matching `>`
+                let end = input[pos..]
+                    .find('>')
+                    .ok_or_else(|| err(pos, "unterminated declaration"))?;
+                pos += end + 1;
+                continue;
+            }
+            let tag_start = pos;
+            let close = input[pos..]
+                .find('>')
+                .ok_or_else(|| err(pos, "unterminated tag"))?;
+            let inner = &input[pos + 1..pos + close];
+            pos += close + 1;
+            if let Some(name) = inner.strip_prefix('/') {
+                let name = name.trim();
+                match open.pop() {
+                    Some((opened, _)) if opened == name => {}
+                    Some((opened, _)) => {
+                        return Err(err(tag_start, &format!("</{name}> closes <{opened}>")))
+                    }
+                    None => return Err(err(tag_start, &format!("stray </{name}>"))),
+                }
+            } else {
+                let self_closing = inner.ends_with('/');
+                let name = inner.trim_end_matches('/').trim();
+                if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '-') {
+                    return Err(err(tag_start, &format!("bad element name `{name}`")));
+                }
+                let sym = alphabet.intern(name);
+                let node = match (&mut tree, open.last()) {
+                    (None, _) => {
+                        tree = Some(Tree::leaf(sym));
+                        tree.as_ref().unwrap().root()
+                    }
+                    (Some(t), Some((_, parent))) => t.add_child(*parent, sym),
+                    (Some(_), None) => return Err(err(tag_start, "second root element")),
+                };
+                if !self_closing {
+                    open.push((name.to_owned(), node));
+                }
+            }
+        } else {
+            let next = input[pos..].find('<').unwrap_or(input.len() - pos);
+            record_text(&mut tree, &mut texts, &open, &input[pos..pos + next], pos)?;
+            pos += next;
+        }
+    }
+    if let Some((name, _)) = open.last() {
+        return Err(err(pos, &format!("unclosed <{name}>")));
+    }
+    let tree = tree.ok_or_else(|| err(0, "no root element"))?;
+    texts.resize(tree.num_nodes(), None);
+    Ok(Document {
+        tree,
+        alphabet: alphabet.clone(),
+        texts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_elements() {
+        let doc = parse_document("<a><b/><c><d/></c></a>").unwrap();
+        assert_eq!(doc.tree.render(&doc.alphabet), "(a b (c d))");
+    }
+
+    #[test]
+    fn text_becomes_pcdata_leaves() {
+        let doc = parse_document("<author>E. Codd</author>").unwrap();
+        assert_eq!(doc.tree.render(&doc.alphabet), "(author #pcdata)");
+        let leaf = doc.tree.child(doc.tree.root(), 0);
+        assert_eq!(doc.text_of(leaf), Some("E. Codd"));
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped() {
+        let doc = parse_document("<a>\n  <b/>\n</a>").unwrap();
+        assert_eq!(doc.tree.num_nodes(), 2);
+    }
+
+    #[test]
+    fn comments_and_declarations_are_skipped() {
+        let doc =
+            parse_document("<?xml version=\"1.0\"?><!-- hi --><a><!-- inner --><b/></a>")
+                .unwrap();
+        assert_eq!(doc.tree.render(&doc.alphabet), "(a b)");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_document("").is_err());
+        assert!(parse_document("<a>").is_err());
+        assert!(parse_document("<a></b>").is_err());
+        assert!(parse_document("</a>").is_err());
+        assert!(parse_document("<a></a><b></b>").is_err());
+        assert!(parse_document("text").is_err());
+        assert!(parse_document("<a><b></a></b>").is_err());
+    }
+
+    #[test]
+    fn mixed_content_order_is_preserved() {
+        let doc = parse_document("<p>one<b/>two</p>").unwrap();
+        let kids = doc.tree.children(doc.tree.root());
+        assert_eq!(kids.len(), 3);
+        assert_eq!(doc.text_of(kids[0]), Some("one"));
+        assert_eq!(doc.alphabet.name(doc.tree.label(kids[1])), "b");
+        assert_eq!(doc.text_of(kids[2]), Some("two"));
+    }
+}

@@ -1,0 +1,153 @@
+//! DTD validation — directly and through unranked tree automata.
+//!
+//! "This is no loss of generality, as tree automata can easily determine
+//! whether the input tree is a derivation tree of a given (E)CFG" — the
+//! compiled route builds an [`Nbtau`] whose transition language for each
+//! element is its content model; the direct route walks the tree and
+//! produces a useful error message. They are property-tested to agree.
+
+use qa_base::{Error, Result, Symbol};
+use qa_core::unranked::Nbtau;
+use qa_strings::StateId;
+use qa_trees::Tree;
+
+use crate::dtd::Dtd;
+use crate::parser::PCDATA;
+
+/// Validate `tree` against `dtd` directly; errors name the first offending
+/// element.
+pub fn validate(dtd: &Dtd, tree: &Tree) -> Result<()> {
+    let a = &dtd.alphabet;
+    if tree.label(tree.root()) != dtd.root {
+        return Err(Error::invalid(format!(
+            "root is <{}>, expected <{}>",
+            a.name(tree.label(tree.root())),
+            a.name(dtd.root)
+        )));
+    }
+    let pcdata = a.symbol(PCDATA);
+    for v in tree.preorder() {
+        let label = tree.label(v);
+        if label == pcdata {
+            if !tree.is_leaf(v) {
+                return Err(Error::invalid("#pcdata node with children"));
+            }
+            continue;
+        }
+        let Some(model) = dtd.model(label) else {
+            return Err(Error::invalid(format!(
+                "element <{}> is not declared",
+                a.name(label)
+            )));
+        };
+        let children: Vec<Symbol> = tree.children(v).iter().map(|&c| tree.label(c)).collect();
+        if !model.matches(a.len(), &children) {
+            return Err(Error::invalid(format!(
+                "content of <{}> does not match its model: [{}]",
+                a.name(label),
+                a.render(&children)
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Compile `dtd` into an unranked bottom-up tree automaton accepting
+/// exactly its valid documents.
+///
+/// States: one per declared element, plus one for `#pcdata`. The transition
+/// language of the element state on the element label is the content model
+/// with element names replaced by their states.
+pub fn to_automaton(dtd: &Dtd) -> Result<Nbtau> {
+    let a = &dtd.alphabet;
+    let mut n = Nbtau::new(a.len());
+    // state for each symbol of the alphabet (element or pcdata); undeclared
+    // elements simply get no transitions.
+    let states: Vec<StateId> = (0..a.len()).map(|_| n.add_state()).collect();
+    let pcdata = a.symbol(PCDATA);
+    n.set_language(
+        states[pcdata.index()],
+        pcdata,
+        qa_strings::Regex::Epsilon.to_nfa(a.len()),
+    )?;
+    for (&elem, model) in &dtd.models {
+        // content model symbols are alphabet symbols; the transition
+        // language ranges over *states*, which we indexed identically.
+        let relabeled = relabel(model);
+        n.set_language(states[elem.index()], elem, relabeled.to_nfa(a.len()))?;
+    }
+    n.set_final(states[dtd.root.index()], true);
+    Ok(n)
+}
+
+/// Content models talk about alphabet symbols; transition languages talk
+/// about states. The two are index-aligned, so this is the identity — kept
+/// explicit to make the state/symbol distinction visible.
+fn relabel(model: &qa_strings::Regex) -> qa_strings::Regex {
+    model.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::bibliography;
+    use crate::parser::parse_with_alphabet;
+
+    #[test]
+    fn figure_1_validates_against_figure_2() {
+        let (doc, dtd) = bibliography().unwrap();
+        validate(&dtd, &doc.tree).unwrap();
+        let auto = to_automaton(&dtd).unwrap();
+        assert!(auto.accepts(&doc.tree));
+    }
+
+    #[test]
+    fn automaton_agrees_with_direct_validation() {
+        let (doc, dtd) = bibliography().unwrap();
+        let auto = to_automaton(&dtd).unwrap();
+        let mut alphabet = doc.alphabet.clone();
+        for (xml, ok) in [
+            // a book without a publisher
+            (
+                "<bibliography><book><author>x</author><title>t</title><year>y</year></book></bibliography>",
+                false,
+            ),
+            // minimal valid article
+            (
+                "<bibliography><article><author>x</author><title>t</title><journal>j</journal><year>y</year></article></bibliography>",
+                true,
+            ),
+            // empty bibliography violates (book|article)+
+            ("<bibliography></bibliography>", false),
+            // journal inside a book
+            (
+                "<bibliography><book><author>x</author><title>t</title><journal>j</journal><year>y</year></book></bibliography>",
+                false,
+            ),
+        ] {
+            let d = parse_with_alphabet(xml, &mut alphabet).unwrap();
+            assert_eq!(validate(&dtd, &d.tree).is_ok(), ok, "direct: {xml}");
+            assert_eq!(auto.accepts(&d.tree), ok, "automaton: {xml}");
+        }
+    }
+
+    #[test]
+    fn wrong_root_is_rejected() {
+        let (_, dtd) = bibliography().unwrap();
+        let mut alphabet = dtd.alphabet.clone();
+        let d = parse_with_alphabet("<book></book>", &mut alphabet).unwrap();
+        assert!(validate(&dtd, &d.tree).is_err());
+    }
+
+    #[test]
+    fn dtd_nonemptiness_via_lemma_5_2() {
+        // the DTD language is non-empty, and Lemma 5.2's algorithm finds a
+        // minimal valid document.
+        let (_, dtd) = bibliography().unwrap();
+        let auto = to_automaton(&dtd).unwrap();
+        assert!(qa_core::unranked::emptiness::is_nonempty(&auto));
+        let w = qa_core::unranked::emptiness::witness(&auto).unwrap();
+        assert!(auto.accepts(&w));
+        validate(&dtd, &w).unwrap();
+    }
+}

@@ -1,0 +1,59 @@
+//! Boolean circuits as query automata — the paper's running examples:
+//! Example 4.2/4.4 (binary circuits, ranked) and Example 5.9 (arbitrary
+//! fan-in, unranked).
+//!
+//! ```sh
+//! cargo run --example boolean_circuits
+//! ```
+
+use query_automata::prelude::*;
+
+fn main() -> Result<()> {
+    let sigma = Alphabet::from_names(["AND", "OR", "0", "1"]);
+
+    // ── Example 4.2: a two-way ranked automaton evaluating the circuit ──
+    let machine = example_4_2(&sigma);
+    let mut names = sigma.clone();
+    let circuit = from_sexpr("(AND (OR 0 1) (AND 1 1))", &mut names)?;
+    println!(
+        "circuit {} evaluates to {}",
+        circuit.render(&names),
+        machine.accepts(&circuit)? as u8
+    );
+
+    // ── Example 4.4: select every gate and input that evaluates to 1 ────
+    let qa = example_4_4(&sigma);
+    let selected = qa.query(&circuit)?;
+    println!("nodes evaluating to 1:");
+    for v in selected {
+        println!(
+            "  depth {} gate {}",
+            circuit.depth(v),
+            names.name(circuit.label(v))
+        );
+    }
+
+    // ── Example 5.9: arbitrary fan-in (unranked) ─────────────────────────
+    let uqa = example_5_9(&sigma);
+    let wide = from_sexpr("(OR (AND 1 1 1 0) (OR 0 0) (AND 1 1))", &mut names)?;
+    println!("\nvariadic circuit {}", wide.render(&names));
+    let selected = uqa.query(&wide)?;
+    println!("nodes evaluating to 1 (selected by the QAu):");
+    for v in selected {
+        println!(
+            "  depth {} node {}",
+            wide.depth(v),
+            names.name(wide.label(v))
+        );
+    }
+
+    // ── Section 6 on these automata ──────────────────────────────────────
+    let witness = query_automata::decision::ranked_decisions::non_emptiness(&qa)?
+        .expect("example 4.4 selects something");
+    println!(
+        "\nnon-emptiness witness for Example 4.4: {} (node {:?})",
+        witness.tree.render(&names),
+        witness.node
+    );
+    Ok(())
+}

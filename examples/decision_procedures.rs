@@ -1,0 +1,91 @@
+//! Section 6 end to end: non-emptiness, containment, equivalence, and the
+//! Proposition 6.1 corridor-tiling reduction.
+//!
+//! ```sh
+//! cargo run --example decision_procedures
+//! ```
+
+use query_automata::decision::{ranked_decisions, string_decisions, tiling};
+use query_automata::prelude::*;
+
+fn main() -> Result<()> {
+    let sigma = Alphabet::from_names(["0", "1"]);
+
+    // ── String query automata ────────────────────────────────────────────
+    let odd = query_automata::twoway::string_qa::example_3_4_qa(&sigma);
+    let mut even = query_automata::twoway::string_qa::example_3_4_qa(&sigma);
+    // flip the selection to even positions from the right (state s2)
+    even.set_selecting(query_automata::strings::StateId::from_index(1), sigma.symbol("1"), false);
+    even.set_selecting(query_automata::strings::StateId::from_index(2), sigma.symbol("1"), true);
+
+    println!("same underlying language: {}", string_decisions::language_equivalence(&odd, &even));
+    match string_decisions::equivalence(&odd, &even) {
+        Ok(()) => println!("queries equivalent"),
+        Err((w, left)) => println!(
+            "queries differ: {} selects position {} of {:?}",
+            if left { "odd-side" } else { "even-side" },
+            w.position,
+            sigma.render(&w.word)
+        ),
+    }
+
+    // ── Ranked query automata ────────────────────────────────────────────
+    let circuits = Alphabet::from_names(["AND", "OR", "0", "1"]);
+    let full = example_4_4(&circuits);
+    let mut and_only = example_4_4(&circuits);
+    for s in 0..and_only.machine().num_states() {
+        and_only.set_selecting(
+            query_automata::strings::StateId::from_index(s),
+            circuits.symbol("OR"),
+            false,
+        );
+    }
+    println!(
+        "\nand_only ⊑ full: {}",
+        ranked_decisions::containment(&and_only, &full)?.is_none()
+    );
+    if let Some(w) = ranked_decisions::containment(&full, &and_only)? {
+        println!(
+            "full ⋢ and_only, witness {} node {:?}",
+            w.tree.render(&circuits),
+            w.node
+        );
+    }
+
+    // ── Proposition 6.1: corridor tiling ─────────────────────────────────
+    // Vertical rules force progress 0→1: player one wins at any width.
+    let inst = tiling::TilingInstance {
+        num_tiles: 2,
+        horizontal: vec![(0, 0), (0, 1), (1, 0), (1, 1)],
+        vertical: vec![(0, 1), (1, 1)],
+        bottom: vec![0, 0],
+        top: vec![1, 1],
+    };
+    let winner = tiling::solve_game(&inst)?;
+    println!("\ncorridor game: player one wins = {winner}");
+    let machine = tiling::to_tree_automaton(&inst)?;
+    println!(
+        "reduction produced a 2DTAr with {} states over {} tile symbols",
+        machine.num_states(),
+        machine.alphabet_len()
+    );
+    // turn language emptiness into query emptiness with a select-all λ
+    let mut qa = RankedQa::new(machine);
+    for s in 0..qa.machine().num_states() {
+        for t in 0..qa.machine().alphabet_len() {
+            qa.set_selecting(
+                query_automata::strings::StateId::from_index(s),
+                Symbol::from_index(t),
+                true,
+            );
+        }
+    }
+    match ranked_decisions::non_emptiness(&qa)? {
+        Some(w) => {
+            let names = tiling::strategy_alphabet(&inst);
+            println!("winning strategy tree: {}", w.tree.render(&names));
+        }
+        None => println!("no strategy tree: player one loses"),
+    }
+    Ok(())
+}

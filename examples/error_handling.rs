@@ -1,0 +1,60 @@
+//! The library's failure modes, on purpose: parse errors, validation
+//! failures, loop detection, and strongness violations all surface as
+//! typed [`query_automata::base::Error`] values — never panics.
+//!
+//! ```sh
+//! cargo run --example error_handling
+//! ```
+
+use query_automata::prelude::*;
+use query_automata::twoway::{tape::Tape, Dir, TwoDfaBuilder};
+use query_automata::xml::{figures, parse_document, validate, Dtd};
+
+fn main() {
+    // ── Parse errors carry positions and context ─────────────────────────
+    let mut sigma = Alphabet::new();
+    for bad in ["(f (g x", "f g", "(f $)"] {
+        let err = from_sexpr(bad, &mut sigma).unwrap_err();
+        println!("sexpr {bad:?}: {err}");
+    }
+    for bad in ["<a><b></a></b>", "<a>", "text"] {
+        let err = parse_document(bad).unwrap_err();
+        println!("xml {bad:?}: {err}");
+    }
+    let err = parse_mso("ex x (label(x, a))", &mut sigma).unwrap_err();
+    println!("mso missing dot: {err}");
+
+    // ── DTD validation failures name the offending element ──────────────
+    let (doc, dtd) = figures::bibliography().unwrap();
+    let mut names = doc.alphabet.clone();
+    let bad = query_automata::xml::parser::parse_with_alphabet(
+        "<bibliography><book><author>x</author><title>t</title><year>y</year></book></bibliography>",
+        &mut names,
+    )
+    .unwrap();
+    println!("validation: {}", validate::validate(&dtd, &bad.tree).unwrap_err());
+    let err = Dtd::parse("<!ELEMENT x (a)> <!ELEMENT x (b)>", &mut names).unwrap_err();
+    println!("dtd: {err}");
+
+    // ── A looping 2DFA is detected, not spun forever ─────────────────────
+    let mut b = TwoDfaBuilder::new(1);
+    let q = b.add_state();
+    let r = b.add_state();
+    b.set_initial(q);
+    b.set_action(q, Tape::LeftMarker, Dir::Right, q);
+    b.set_action_all_symbols(q, Dir::Right, q);
+    b.set_action(q, Tape::RightMarker, Dir::Left, r);
+    b.set_action_all_symbols(r, Dir::Right, q);
+    b.set_action(r, Tape::LeftMarker, Dir::Right, q);
+    let loopy = b.build().unwrap();
+    let err = loopy.run(&[Symbol::from_index(0)]).unwrap_err();
+    println!("looping 2DFA: {err}");
+
+    // ── Builder invariants reject ill-formed machines up front ───────────
+    let mut b = TwoDfaBuilder::new(1);
+    let q = b.add_state();
+    b.set_action(q, Tape::LeftMarker, Dir::Left, q);
+    println!("marker violation: {}", b.build().unwrap_err());
+
+    println!("\nall failure modes surfaced as typed errors ✓");
+}
