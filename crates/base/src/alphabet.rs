@@ -118,9 +118,7 @@ impl Alphabet {
     /// Intern every ASCII character of `text` as a one-character symbol and
     /// return the resulting word. Handy for tests over character alphabets.
     pub fn intern_str(&mut self, text: &str) -> Vec<Symbol> {
-        text.chars()
-            .map(|c| self.intern(&c.to_string()))
-            .collect()
+        text.chars().map(|c| self.intern(&c.to_string())).collect()
     }
 
     /// Convert `text` using only already-interned one-character symbols.

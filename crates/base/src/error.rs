@@ -120,7 +120,10 @@ mod tests {
     #[test]
     fn display_is_informative() {
         let e = Error::parse("regex", "unexpected `)` at offset 3");
-        assert_eq!(e.to_string(), "regex parse error: unexpected `)` at offset 3");
+        assert_eq!(
+            e.to_string(),
+            "regex parse error: unexpected `)` at offset 3"
+        );
         let e = Error::FuelExhausted { budget: 10 };
         assert!(e.to_string().contains("10"));
     }

@@ -12,6 +12,7 @@
 pub mod alphabet;
 pub mod error;
 pub mod idvec;
+pub mod rng;
 pub mod symbol;
 
 pub use alphabet::Alphabet;

@@ -1,0 +1,142 @@
+//! Deterministic pseudo-random numbers for tests, generators and benches.
+//!
+//! The sandbox has no crates.io access, so the workspace carries its own
+//! small PRNG instead of depending on `rand`. The API mirrors the subset of
+//! `rand` the workspace uses (`StdRng::seed_from_u64`, [`Rng::gen_range`],
+//! [`Rng::gen_bool`]), which kept the port to it a one-line import swap.
+//!
+//! The generator is splitmix64 — statistically fine for randomized testing
+//! and tree generation, **not** cryptographic. Same seed, same platform or
+//! not: the sequence is identical, so failures reproduce.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Integer ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// Inclusive lower bound.
+    fn low(&self) -> usize;
+    /// Inclusive upper bound.
+    fn high_inclusive(&self) -> usize;
+}
+
+impl SampleRange for Range<usize> {
+    fn low(&self) -> usize {
+        self.start
+    }
+    fn high_inclusive(&self) -> usize {
+        assert!(self.end > self.start, "gen_range on empty range");
+        self.end - 1
+    }
+}
+
+impl SampleRange for RangeInclusive<usize> {
+    fn low(&self) -> usize {
+        *self.start()
+    }
+    fn high_inclusive(&self) -> usize {
+        assert!(self.end() >= self.start(), "gen_range on empty range");
+        *self.end()
+    }
+}
+
+/// Source of pseudo-random numbers.
+pub trait Rng {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `range` (`0..n` or `lo..=hi`). Panics on an
+    /// empty range.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> usize {
+        let lo = range.low() as u64;
+        let hi = range.high_inclusive() as u64;
+        let width = hi - lo + 1; // never 0: usize range with hi >= lo
+        (lo + self.next_u64() % width) as usize
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64) < p * (1u64 << 53) as f64
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// The workspace's standard deterministic generator (splitmix64).
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl StdRng {
+    /// Generator whose entire sequence is determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = rng.gen_range(2..7);
+            assert!((2..7).contains(&v));
+            seen[v - 2] = true;
+            let w = rng.gen_range(3..=4);
+            assert!((3..=4).contains(&w));
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 2..7 should appear");
+        assert_eq!(rng.gen_range(9..10), 9);
+        assert_eq!(rng.gen_range(0..=0), 0);
+    }
+
+    #[test]
+    fn gen_bool_respects_extremes_and_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+        let heads = (0..1000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((350..=650).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn works_through_mut_reference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        fn take<R: Rng>(mut r: R) -> usize {
+            r.gen_range(0..10)
+        }
+        let v = take(&mut rng);
+        assert!(v < 10);
+    }
+}

@@ -1,13 +1,17 @@
 //! E10 (Section 5.2 remark): each 2DTAu transition costs time linear in
 //! the fanout — slender down transitions via the `x y* z` lookup and
 //! regular up transitions via one classifier sweep. Measured as total run
-//! time per node on flat trees of growing fanout.
+//! time per node on flat trees of growing fanout. Doubles as the second
+//! observability parity check: querying through the `Observer`-generic
+//! entry point with `NoopObserver` must match the plain entry point to
+//! within noise.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qa_bench::Harness;
+use qa_obs::NoopObserver;
 use qa_trees::Tree;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e10_transition_cost");
+fn main() {
+    let mut h = Harness::new("e10_transition_cost");
     let sigma = qa_bench::circuit_alphabet();
     let qa = qa_core::unranked::query::example_5_9(&sigma);
     let or = sigma.symbol("OR");
@@ -19,28 +23,23 @@ fn bench(c: &mut Criterion) {
         for i in 0..fanout {
             t.add_child(t.root(), if i % 2 == 0 { zero } else { one });
         }
-        group.throughput(Throughput::Elements(t.num_nodes() as u64));
-        group.bench_with_input(BenchmarkId::new("flat_or_gate", fanout), &t, |b, t| {
-            b.iter(|| qa.query(t).unwrap().len())
+        let plain = h.bench(&format!("flat_or_gate/{fanout}"), || {
+            qa.query(&t).unwrap().len()
         });
+        let noop = h.bench(&format!("flat_or_gate_noop_obs/{fanout}"), || {
+            qa.query_with(&t, &mut NoopObserver).unwrap().len()
+        });
+        println!(
+            "  noop-observer overhead at fanout={fanout}: {:+.1}%",
+            (noop / plain - 1.0) * 100.0
+        );
     }
 
     // and a deep/wide mix
     for n in [100usize, 1000] {
         let t = qa_bench::random_circuit(n, n as u64);
-        group.throughput(Throughput::Elements(t.num_nodes() as u64));
-        group.bench_with_input(
-            BenchmarkId::new("random_circuit", t.num_nodes()),
-            &t,
-            |b, t| b.iter(|| qa.query(t).unwrap().len()),
-        );
+        h.bench(&format!("random_circuit/{}", t.num_nodes()), || {
+            qa.query(&t).unwrap().len()
+        });
     }
-    group.finish();
 }
-
-fn config() -> Criterion {
-    qa_bench::quick_criterion()
-}
-
-criterion_group! { name = benches; config = config(); targets = bench }
-criterion_main!(benches);

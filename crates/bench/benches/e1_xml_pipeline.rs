@@ -1,10 +1,10 @@
 //! E1 (Figures 1–4): the XML pipeline — parse, validate, query — scales
 //! linearly in document size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qa_bench::Harness;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e1_xml_pipeline");
+fn main() {
+    let mut h = Harness::new("e1_xml_pipeline");
     // compile the query once (compilation cost is measured separately)
     let (doc0, dtd) = qa_xml::figures::bibliography().unwrap();
     let sigma = doc0.alphabet.len();
@@ -19,30 +19,18 @@ fn bench(c: &mut Criterion) {
 
     for k in [1usize, 4, 16, 64] {
         let xml = qa_bench::bibliography_of_size(k);
-        group.bench_with_input(BenchmarkId::new("parse", k), &xml, |b, xml| {
-            b.iter(|| {
-                let mut al = doc0.alphabet.clone();
-                qa_xml::parser::parse_with_alphabet(xml, &mut al).unwrap()
-            })
+        h.bench(&format!("parse/{k}"), || {
+            let mut al = doc0.alphabet.clone();
+            qa_xml::parser::parse_with_alphabet(&xml, &mut al).unwrap()
         });
         let mut al = doc0.alphabet.clone();
         let doc = qa_xml::parser::parse_with_alphabet(&xml, &mut al).unwrap();
-        group.bench_with_input(BenchmarkId::new("validate", k), &doc.tree, |b, t| {
-            b.iter(|| assert!(automaton.accepts(t)))
+        h.bench(&format!("validate/{k}"), || {
+            assert!(automaton.accepts(&doc.tree))
         });
-        group.bench_with_input(BenchmarkId::new("query", k), &doc.tree, |b, t| {
-            b.iter(|| {
-                let sel = qa_mso::query_eval::eval_unary_unranked(&compiled, t, sigma);
-                assert_eq!(sel.len(), 3 * k);
-            })
+        h.bench(&format!("query/{k}"), || {
+            let sel = qa_mso::query_eval::eval_unary_unranked(&compiled, &doc.tree, sigma);
+            assert_eq!(sel.len(), 3 * k);
         });
     }
-    group.finish();
 }
-
-fn config() -> Criterion {
-    qa_bench::quick_criterion()
-}
-
-criterion_group! { name = benches; config = config(); targets = bench }
-criterion_main!(benches);

@@ -1,11 +1,16 @@
 //! E2 (Figure 5 / Theorem 4.8): ranked unary-query evaluation — the
 //! two-pass algorithm is linear, the naive per-node re-run quadratic.
+//! Also the observability parity check: evaluation through the
+//! `Observer`-generic entry point with `NoopObserver` must match the
+//! plain entry point to within noise (they monomorphize to the same
+//! code), while a live `MetricsObserver` shows the cost of counting.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qa_base::Alphabet;
+use qa_bench::Harness;
+use qa_obs::{Metrics, NoopObserver};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e2_fig5_ranked_eval");
+fn main() {
+    let mut h = Harness::new("e2_fig5_ranked_eval");
     let mut a = Alphabet::from_names(["s", "t"]);
     let phi = qa_mso::parse("leaf(v) & (ex r. (root(r) & label(r, s)))", &mut a).unwrap();
     let d = qa_mso::compile_ranked::compile_unary(&phi, "v", 2, 2).unwrap();
@@ -13,22 +18,25 @@ fn bench(c: &mut Criterion) {
     for height in [4usize, 6, 8, 10] {
         let t = qa_trees::generate::complete(a.symbol("s"), 2, height);
         let n = t.num_nodes();
-        group.bench_with_input(BenchmarkId::new("fig5_two_pass", n), &t, |b, t| {
-            b.iter(|| qa_mso::query_eval::eval_unary_ranked(&d, t, 2).len())
+        let plain = h.bench(&format!("fig5_two_pass/{n}"), || {
+            qa_mso::query_eval::eval_unary_ranked(&d, &t, 2).len()
+        });
+        let noop = h.bench(&format!("fig5_two_pass_noop_obs/{n}"), || {
+            qa_mso::query_eval::eval_unary_ranked_with(&d, &t, 2, &mut NoopObserver).len()
+        });
+        println!(
+            "  noop-observer overhead at n={n}: {:+.1}%",
+            (noop / plain - 1.0) * 100.0
+        );
+        let metrics = Metrics::new();
+        h.bench(&format!("fig5_two_pass_metrics_obs/{n}"), || {
+            qa_mso::query_eval::eval_unary_ranked_with(&d, &t, 2, &mut metrics.observer()).len()
         });
         // naive is quadratic: keep it to the smaller sizes
         if height <= 8 {
-            group.bench_with_input(BenchmarkId::new("naive_per_node", n), &t, |b, t| {
-                b.iter(|| qa_mso::query_eval::eval_unary_ranked_naive(&d, t, 2).len())
+            h.bench(&format!("naive_per_node/{n}"), || {
+                qa_mso::query_eval::eval_unary_ranked_naive(&d, &t, 2).len()
             });
         }
     }
-    group.finish();
 }
-
-fn config() -> Criterion {
-    qa_bench::quick_criterion()
-}
-
-criterion_group! { name = benches; config = config(); targets = bench }
-criterion_main!(benches);

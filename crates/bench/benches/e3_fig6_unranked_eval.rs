@@ -3,10 +3,10 @@
 //! the hand-built Example 5.14 SQAu run sits in between (linear, bigger
 //! constant from the cut engine).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qa_bench::Harness;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e3_fig6_unranked_eval");
+fn main() {
+    let mut h = Harness::new("e3_fig6_unranked_eval");
     let sigma = qa_bench::binary_alphabet();
     let mut a = sigma.clone();
     let phi = qa_mso::parse(
@@ -19,24 +19,14 @@ fn bench(c: &mut Criterion) {
 
     for n in [50usize, 200, 800] {
         let t = qa_bench::random_binary_labeled(n, 7 + n as u64);
-        group.bench_with_input(BenchmarkId::new("fig6_two_pass", n), &t, |b, t| {
-            b.iter(|| qa_mso::query_eval::eval_unary_unranked(&d, t, 2).len())
+        h.bench(&format!("fig6_two_pass/{n}"), || {
+            qa_mso::query_eval::eval_unary_unranked(&d, &t, 2).len()
         });
-        group.bench_with_input(BenchmarkId::new("sqau_run", n), &t, |b, t| {
-            b.iter(|| sqa.query(t).unwrap().len())
-        });
+        h.bench(&format!("sqau_run/{n}"), || sqa.query(&t).unwrap().len());
         if n <= 200 {
-            group.bench_with_input(BenchmarkId::new("naive_per_node", n), &t, |b, t| {
-                b.iter(|| qa_mso::query_eval::eval_unary_unranked_naive(&d, t, 2).len())
+            h.bench(&format!("naive_per_node/{n}"), || {
+                qa_mso::query_eval::eval_unary_unranked_naive(&d, &t, 2).len()
             });
         }
     }
-    group.finish();
 }
-
-fn config() -> Criterion {
-    qa_bench::quick_criterion()
-}
-
-criterion_group! { name = benches; config = config(); targets = bench }
-criterion_main!(benches);

@@ -1,33 +1,27 @@
 //! E4 (Lemma 5.2): NBTAu non-emptiness is PTIME — measured polynomial
 //! scaling in the number of states of a chain-shaped automaton family.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qa_bench::Harness;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e4_lemma52_emptiness");
+fn main() {
+    let mut h = Harness::new("e4_lemma52_emptiness");
     for k in [4usize, 16, 64] {
         let n = qa_bench::chain_nbtau(k);
-        group.bench_with_input(BenchmarkId::new("is_nonempty", k), &n, |b, n| {
-            b.iter(|| assert!(qa_core::unranked::emptiness::is_nonempty(n)))
+        h.bench(&format!("is_nonempty/{k}"), || {
+            assert!(qa_core::unranked::emptiness::is_nonempty(&n))
         });
         if k <= 16 {
-            group.bench_with_input(BenchmarkId::new("witness", k), &n, |b, n| {
-                b.iter(|| qa_core::unranked::emptiness::witness(n).unwrap().num_nodes())
+            h.bench(&format!("witness/{k}"), || {
+                qa_core::unranked::emptiness::witness(&n)
+                    .unwrap()
+                    .num_nodes()
             });
         }
     }
     // and on a real automaton: the Figure 2 DTD
     let (_, dtd) = qa_xml::figures::bibliography().unwrap();
     let auto = qa_xml::validate::to_automaton(&dtd).unwrap();
-    group.bench_function("dtd_nonempty", |b| {
-        b.iter(|| assert!(qa_core::unranked::emptiness::is_nonempty(&auto)))
+    h.bench("dtd_nonempty", || {
+        assert!(qa_core::unranked::emptiness::is_nonempty(&auto))
     });
-    group.finish();
 }
-
-fn config() -> Criterion {
-    qa_bench::quick_criterion()
-}
-
-criterion_group! { name = benches; config = config(); targets = bench }
-criterion_main!(benches);

@@ -3,8 +3,8 @@
 //! summary count — the EXPTIME driver — grows with the state count on
 //! adversarial (tiling-derived) machines.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qa_base::Symbol;
+use qa_bench::Harness;
 use qa_core::ranked::RankedQa;
 use qa_strings::StateId;
 
@@ -17,18 +17,16 @@ fn select_all(mut qa: RankedQa) -> RankedQa {
     qa
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e5_thm63_nonemptiness");
+fn main() {
+    let mut h = Harness::new("e5_thm63_nonemptiness");
 
     // structured machine: Example 4.4 (10 states)
     let circuits = qa_bench::circuit_alphabet();
     let ex44 = qa_core::ranked::query::example_4_4(&circuits);
-    group.bench_function("example_4_4", |b| {
-        b.iter(|| {
-            qa_decision::ranked_decisions::non_emptiness(&ex44)
-                .unwrap()
-                .is_some()
-        })
+    h.bench("example_4_4", || {
+        qa_decision::ranked_decisions::non_emptiness(&ex44)
+            .unwrap()
+            .is_some()
     });
 
     // adversarial family: tiling reductions of growing width — state count
@@ -44,17 +42,11 @@ fn bench(c: &mut Criterion) {
         let machine = qa_decision::tiling::to_tree_automaton(&inst).unwrap();
         let states = machine.num_states();
         let qa = select_all(RankedQa::new(machine));
-        group.bench_with_input(
-            BenchmarkId::new(format!("tiling_w{width}_q{states}"), states),
-            &qa,
-            |b, qa| {
-                b.iter(|| {
-                    qa_decision::ranked_decisions::non_emptiness(qa)
-                        .unwrap()
-                        .is_some()
-                })
-            },
-        );
+        h.bench(&format!("tiling_w{width}_q{states}"), || {
+            qa_decision::ranked_decisions::non_emptiness(&qa)
+                .unwrap()
+                .is_some()
+        });
     }
 
     // containment runs the joint fixpoint: measure on the circuit pair
@@ -62,19 +54,9 @@ fn bench(c: &mut Criterion) {
     for s in 0..and_only.machine().num_states() {
         and_only.set_selecting(StateId::from_index(s), circuits.symbol("OR"), false);
     }
-    group.bench_function("containment_4_4", |b| {
-        b.iter(|| {
-            qa_decision::ranked_decisions::containment(&and_only, &ex44)
-                .unwrap()
-                .is_none()
-        })
+    h.bench("containment_4_4", || {
+        qa_decision::ranked_decisions::containment(&and_only, &ex44)
+            .unwrap()
+            .is_none()
     });
-    group.finish();
 }
-
-fn config() -> Criterion {
-    qa_bench::quick_criterion()
-}
-
-criterion_group! { name = benches; config = config(); targets = bench }
-criterion_main!(benches);

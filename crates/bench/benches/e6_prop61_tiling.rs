@@ -3,7 +3,7 @@
 //! width (both exponential in width; the reduction itself is cheap per
 //! state).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qa_bench::Harness;
 
 fn instance(width: usize) -> qa_decision::tiling::TilingInstance {
     qa_decision::tiling::TilingInstance {
@@ -15,31 +15,17 @@ fn instance(width: usize) -> qa_decision::tiling::TilingInstance {
     }
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e6_prop61_tiling");
+fn main() {
+    let mut h = Harness::new("e6_prop61_tiling");
     for width in [1usize, 2, 3] {
         let inst = instance(width);
-        group.bench_with_input(BenchmarkId::new("solve_game", width), &inst, |b, inst| {
-            b.iter(|| qa_decision::tiling::solve_game(inst).unwrap())
+        h.bench(&format!("solve_game/{width}"), || {
+            qa_decision::tiling::solve_game(&inst).unwrap()
         });
-        group.bench_with_input(
-            BenchmarkId::new("build_automaton", width),
-            &inst,
-            |b, inst| {
-                b.iter(|| {
-                    qa_decision::tiling::to_tree_automaton(inst)
-                        .unwrap()
-                        .num_states()
-                })
-            },
-        );
+        h.bench(&format!("build_automaton/{width}"), || {
+            qa_decision::tiling::to_tree_automaton(&inst)
+                .unwrap()
+                .num_states()
+        });
     }
-    group.finish();
 }
-
-fn config() -> Criterion {
-    qa_bench::quick_criterion()
-}
-
-criterion_group! { name = benches; config = config(); targets = bench }
-criterion_main!(benches);

@@ -2,33 +2,29 @@
 //! compilation cost, DFA runs are linear, the synthesized two-way QA runs
 //! are linear too; naive MSO evaluation explodes with word length.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qa_base::Alphabet;
+use qa_bench::Harness;
 
 const SENTENCE: &str = "all x. all y. (edge(x, y) -> !(label(x, 1) & label(y, 1)))";
 const QUERY: &str = "label(v, 1) & !(ex w. (w < v & label(w, 1)))";
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e7_buchi_strings");
+fn main() {
+    let mut h = Harness::new("e7_buchi_strings");
     let mut a = Alphabet::from_names(["0", "1"]);
     let phi = qa_mso::parse(SENTENCE, &mut a).unwrap();
     let psi = qa_mso::parse(QUERY, &mut a).unwrap();
 
-    group.bench_function("compile_sentence", |b| {
-        b.iter(|| {
-            qa_mso::compile_string::compile_sentence(&phi, 2)
-                .unwrap()
-                .num_states()
-        })
+    h.bench("compile_sentence", || {
+        qa_mso::compile_string::compile_sentence(&phi, 2)
+            .unwrap()
+            .num_states()
     });
-    group.bench_function("synthesize_qa_thm39", |b| {
-        b.iter(|| {
-            let d = qa_mso::compile_string::compile_unary(&psi, "v", 2).unwrap();
-            qa_mso::to_qa::string_query_to_qa(&d, 2)
-                .unwrap()
-                .machine()
-                .num_states()
-        })
+    h.bench("synthesize_qa_thm39", || {
+        let d = qa_mso::compile_string::compile_unary(&psi, "v", 2).unwrap();
+        qa_mso::to_qa::string_query_to_qa(&d, 2)
+            .unwrap()
+            .machine()
+            .num_states()
     });
 
     let dfa = qa_mso::compile_string::compile_sentence(&phi, 2).unwrap();
@@ -36,26 +32,12 @@ fn bench(c: &mut Criterion) {
     let qa = qa_mso::to_qa::string_query_to_qa(&d_marked, 2).unwrap();
     for n in [16usize, 256, 4096] {
         let w = qa_bench::random_word(n, n as u64);
-        group.bench_with_input(BenchmarkId::new("dfa_run", n), &w, |b, w| {
-            b.iter(|| dfa.accepts(w))
-        });
-        group.bench_with_input(BenchmarkId::new("qa_query_run", n), &w, |b, w| {
-            b.iter(|| qa.query(w).unwrap().len())
-        });
+        h.bench(&format!("dfa_run/{n}"), || dfa.accepts(&w));
+        h.bench(&format!("qa_query_run/{n}"), || qa.query(&w).unwrap().len());
         if n <= 16 {
-            group.bench_with_input(BenchmarkId::new("naive_mso", n), &w, |b, w| {
-                b.iter(|| {
-                    qa_mso::naive::check(qa_mso::naive::Structure::Word(w), &phi).unwrap()
-                })
+            h.bench(&format!("naive_mso/{n}"), || {
+                qa_mso::naive::check(qa_mso::naive::Structure::Word(&w), &phi).unwrap()
             });
         }
     }
-    group.finish();
 }
-
-fn config() -> Criterion {
-    qa_bench::quick_criterion()
-}
-
-criterion_group! { name = benches; config = config(); targets = bench }
-criterion_main!(benches);

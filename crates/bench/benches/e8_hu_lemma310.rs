@@ -3,8 +3,8 @@
 //! (O(1) space, more head movement). Both are linear; the bench exposes
 //! the constant-factor cost of the zig-zag recovery.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qa_base::Symbol;
+use qa_bench::Harness;
 use qa_strings::Dfa;
 use qa_twoway::{hopcroft_ullman, Bimachine};
 
@@ -38,28 +38,21 @@ fn sample() -> Bimachine {
     .unwrap()
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e8_hu_lemma310");
+fn main() {
+    let mut h = Harness::new("e8_hu_lemma310");
     let bim = sample();
-    group.bench_function("compose_construction", |b| {
-        b.iter(|| hopcroft_ullman::compose(&bim).unwrap().machine().num_states())
+    h.bench("compose_construction", || {
+        hopcroft_ullman::compose(&bim)
+            .unwrap()
+            .machine()
+            .num_states()
     });
     let gsqa = hopcroft_ullman::compose(&bim).unwrap();
     for n in [32usize, 256, 2048] {
         let w = qa_bench::random_word(n, 31 + n as u64);
-        group.bench_with_input(BenchmarkId::new("bimachine_two_pass", n), &w, |b, w| {
-            b.iter(|| bim.run(w).len())
-        });
-        group.bench_with_input(BenchmarkId::new("composed_two_way", n), &w, |b, w| {
-            b.iter(|| gsqa.run(w).unwrap().len())
+        h.bench(&format!("bimachine_two_pass/{n}"), || bim.run(&w).len());
+        h.bench(&format!("composed_two_way/{n}"), || {
+            gsqa.run(&w).unwrap().len()
         });
     }
-    group.finish();
 }
-
-fn config() -> Criterion {
-    qa_bench::quick_criterion()
-}
-
-criterion_group! { name = benches; config = config(); targets = bench }
-criterion_main!(benches);

@@ -4,8 +4,8 @@
 //! is quadratic in the fanout. Flat trees (the Proposition 5.10 shape)
 //! make the gap visible.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qa_base::Symbol;
+use qa_bench::Harness;
 use qa_trees::{NodeId, Tree};
 
 /// The stay-free baseline: for every 1-leaf, rescan its left siblings.
@@ -25,8 +25,8 @@ fn per_leaf_rescan(t: &Tree, one: Symbol) -> Vec<NodeId> {
         .collect()
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e9_qau_vs_sqau");
+fn main() {
+    let mut h = Harness::new("e9_qau_vs_sqau");
     let sigma = qa_bench::binary_alphabet();
     let sqa = qa_core::unranked::query::example_5_14(&sigma);
     let one = sigma.symbol("1");
@@ -38,19 +38,11 @@ fn bench(c: &mut Criterion) {
         for i in 0..fanout {
             t.add_child(t.root(), if i % 3 == 0 { one } else { zero });
         }
-        group.bench_with_input(BenchmarkId::new("sqau_one_stay", fanout), &t, |b, t| {
-            b.iter(|| sqa.query(t).unwrap().len())
+        h.bench(&format!("sqau_one_stay/{fanout}"), || {
+            sqa.query(&t).unwrap().len()
         });
-        group.bench_with_input(BenchmarkId::new("per_leaf_rescan", fanout), &t, |b, t| {
-            b.iter(|| per_leaf_rescan(t, one).len())
+        h.bench(&format!("per_leaf_rescan/{fanout}"), || {
+            per_leaf_rescan(&t, one).len()
         });
     }
-    group.finish();
 }
-
-fn config() -> Criterion {
-    qa_bench::quick_criterion()
-}
-
-criterion_group! { name = benches; config = config(); targets = bench }
-criterion_main!(benches);

@@ -1,0 +1,162 @@
+//! Emit `BENCH_obs.json`: step-count metrics for one representative
+//! workload per instrumented subsystem, captured through a live
+//! [`qa_obs::Metrics`] observer.
+//!
+//! Unlike the `eN_*` wall-clock benches, every number here is a
+//! deterministic event count (steps, head reversals, table lookups,
+//! summaries, fixpoint rounds …), so the file is diffable across machines
+//! and commits — a regression in an algorithm's *work* shows up even when
+//! the wall clock does not move.
+//!
+//! Usage: `cargo run --release -p qa-bench --bin bench_obs [out.json]`
+
+use qa_base::{Alphabet, Symbol};
+use qa_obs::json::{object, ObjectWriter};
+use qa_obs::Metrics;
+use qa_strings::Dfa;
+use qa_trees::Tree;
+use qa_twoway::Bimachine;
+
+/// One scenario: run `work` against a fresh metrics registry and serialize
+/// the resulting counters/series under `name`.
+fn scenario(w: &mut ObjectWriter, name: &str, work: impl FnOnce(&Metrics)) {
+    let metrics = Metrics::new();
+    work(&metrics);
+    w.field_raw(name, &metrics.to_json());
+    println!("  {name}: done");
+}
+
+/// The e8 bimachine: a merging left DFA (exercises the γ dives of the
+/// Lemma 3.10 composition).
+fn sample_bimachine() -> Bimachine {
+    let sym = Symbol::from_index;
+    let mut left = Dfa::new(2);
+    let s0 = left.add_state();
+    let s1 = left.add_state();
+    let s2 = left.add_state();
+    left.set_initial(s0);
+    for (i, s) in [s0, s1, s2].into_iter().enumerate() {
+        left.set_transition(s, sym(0), s0); // merge on 0
+        let rot = [s1, s2, s0][i];
+        left.set_transition(s, sym(1), rot); // rotate on 1
+    }
+    let mut right = Dfa::new(2);
+    let r0 = right.add_state();
+    let r1 = right.add_state();
+    right.set_initial(r0);
+    for s in [r0, r1] {
+        right.set_transition(s, sym(0), r1);
+        right.set_transition(s, sym(1), r0);
+    }
+    Bimachine::new(left, right, 12, |p, q, s| {
+        (p.index() * 4 + q.index() * 2 + s.index()) as u32
+    })
+    .unwrap()
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_obs.json".to_string());
+    println!("# bench_obs -> {out_path}");
+
+    let report = object(|w| {
+        // Example 3.4 string query: the literal two-way run.
+        scenario(w, "example_3_4_string_query", |m| {
+            let a = Alphabet::from_names(["0", "1"]);
+            let qa = qa_twoway::string_qa::example_3_4_qa(&a);
+            let word = qa_bench::random_word(512, 34);
+            qa.query_with(&word, &mut m.observer()).unwrap();
+        });
+
+        // The same query via the Theorem 3.9 behavior recurrences.
+        scenario(w, "example_3_4_via_behavior", |m| {
+            let a = Alphabet::from_names(["0", "1"]);
+            let qa = qa_twoway::string_qa::example_3_4_qa(&a);
+            let word = qa_bench::random_word(512, 34);
+            qa.query_via_behavior_with(&word, &mut m.observer());
+        });
+
+        // Lemma 3.10: Hopcroft–Ullman composition, then a run of the
+        // composed machine.
+        scenario(w, "lemma_3_10_composition", |m| {
+            let bim = sample_bimachine();
+            let gsqa = qa_twoway::hopcroft_ullman::compose_with(&bim, &mut m.observer()).unwrap();
+            let word = qa_bench::random_word(256, 35);
+            gsqa.run_with(&word, &mut m.observer()).unwrap();
+        });
+
+        // Example 4.4: ranked circuit query on a random circuit.
+        scenario(w, "example_4_4_ranked_query", |m| {
+            let sigma = qa_bench::circuit_alphabet();
+            let qa = qa_core::ranked::query::example_4_4(&sigma);
+            let t = qa_bench::random_circuit(255, 36);
+            qa.query_with(&t, &mut m.observer()).unwrap();
+        });
+
+        // Example 5.9: unranked circuit query (slender down transitions).
+        scenario(w, "example_5_9_unranked_query", |m| {
+            let sigma = qa_bench::circuit_alphabet();
+            let qa = qa_core::unranked::query::example_5_9(&sigma);
+            let or = sigma.symbol("OR");
+            let zero = sigma.symbol("0");
+            let one = sigma.symbol("1");
+            let mut t = Tree::leaf(or);
+            for i in 0..256usize {
+                t.add_child(t.root(), if i % 2 == 0 { zero } else { one });
+            }
+            qa.query_with(&t, &mut m.observer()).unwrap();
+        });
+
+        // Example 5.14: the SQAu — stay transitions are the metric here.
+        scenario(w, "example_5_14_sqau_query", |m| {
+            let sigma = qa_bench::binary_alphabet();
+            let qa = qa_core::unranked::query::example_5_14(&sigma);
+            let one = sigma.symbol("1");
+            let zero = sigma.symbol("0");
+            let mut t = Tree::leaf(zero);
+            for i in 0..256usize {
+                t.add_child(t.root(), if i % 3 == 0 { one } else { zero });
+            }
+            qa.query_with(&t, &mut m.observer()).unwrap();
+        });
+
+        // Figure 5: two-pass ranked unary MSO evaluation.
+        scenario(w, "fig5_ranked_eval", |m| {
+            let mut a = Alphabet::from_names(["s", "t"]);
+            let phi = qa_mso::parse("leaf(v) & (ex r. (root(r) & label(r, s)))", &mut a).unwrap();
+            let d = qa_mso::compile_ranked::compile_unary(&phi, "v", 2, 2).unwrap();
+            let t = qa_trees::generate::complete(a.symbol("s"), 2, 8);
+            qa_mso::query_eval::eval_unary_ranked_with(&d, &t, 2, &mut m.observer());
+        });
+
+        // Lemma 5.2: NBTAu non-emptiness fixpoint + witness assembly.
+        scenario(w, "lemma_5_2_emptiness", |m| {
+            let sigma = qa_bench::circuit_alphabet();
+            let n = qa_core::unranked::Nbtau::boolean_circuit(&sigma);
+            qa_core::unranked::emptiness::is_nonempty_with(&n, &mut m.observer());
+            qa_core::unranked::emptiness::witness_with(&n, &mut m.observer());
+        });
+
+        // Theorem 6.3: query non-emptiness via the summary fixpoint.
+        scenario(w, "thm_6_3_nonemptiness", |m| {
+            let sigma = qa_bench::circuit_alphabet();
+            let qa = qa_core::ranked::query::example_4_4(&sigma);
+            qa_decision::ranked_decisions::non_emptiness_with(
+                &qa,
+                qa_decision::ranked_decisions::DEFAULT_MAX_ITEMS,
+                &mut m.observer(),
+            )
+            .unwrap();
+        });
+
+        // Proposition 6.1: tiling reduction size.
+        scenario(w, "prop_6_1_tiling_reduction", |m| {
+            let inst = qa_decision::tiling::easy_instance(3);
+            qa_decision::tiling::to_tree_automaton_with(&inst, &mut m.observer()).unwrap();
+        });
+    });
+
+    std::fs::write(&out_path, format!("{report}\n")).expect("write report");
+    println!("wrote {out_path}");
+}

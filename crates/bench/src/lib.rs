@@ -1,21 +1,74 @@
-//! Shared workload generators for the benchmark harness.
+//! Shared workload generators and the timing harness for the benches.
 //!
 //! One bench target per experiment id (see DESIGN.md §5 and
 //! EXPERIMENTS.md): the paper has no measured tables, so each bench
 //! regenerates the *shape* of one of its algorithmic/complexity claims.
+//!
+//! The harness is hand-rolled (the sandbox has no crates.io access, so no
+//! criterion): each measurement auto-calibrates an iteration batch, takes
+//! the median over several samples, and prints one `group/name` line.
 
+use std::time::{Duration, Instant};
+
+use qa_base::rng::{Rng, StdRng};
 use qa_base::{Alphabet, Symbol};
 use qa_trees::Tree;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-/// Standard Criterion settings: short, stable runs so the whole harness
-/// finishes in minutes.
-pub fn quick_criterion() -> criterion::Criterion {
-    criterion::Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .measurement_time(std::time::Duration::from_millis(600))
+pub use std::hint::black_box;
+
+/// Target wall-clock per measurement sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(60);
+/// Samples per benchmark (median reported).
+const SAMPLES: usize = 5;
+
+/// Minimal bench harness: median-of-samples nanoseconds per iteration.
+pub struct Harness {
+    group: &'static str,
+}
+
+impl Harness {
+    /// Harness for one bench group; prints a header line.
+    pub fn new(group: &'static str) -> Self {
+        println!("# {group}");
+        Harness { group }
+    }
+
+    /// Measure `f`, printing `group/name  <median> ns/iter (±spread)`.
+    /// Returns the median ns/iter so callers can assert relations.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> f64 {
+        // Calibrate: double the batch until one batch fills the target.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = start.elapsed();
+            if dt >= SAMPLE_TARGET || iters >= 1 << 24 {
+                break;
+            }
+            // aim straight for the target rather than doubling blindly
+            let scale = SAMPLE_TARGET.as_secs_f64() / dt.as_secs_f64().max(1e-9);
+            iters = (iters as f64 * scale.clamp(1.5, 16.0)).ceil() as u64;
+        }
+        let mut ns: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                start.elapsed().as_secs_f64() * 1e9 / iters as f64
+            })
+            .collect();
+        ns.sort_by(f64::total_cmp);
+        let median = ns[SAMPLES / 2];
+        let spread = (ns[SAMPLES - 1] - ns[0]) / 2.0;
+        println!(
+            "{}/{name}  {median:.1} ns/iter (±{spread:.1}, {iters} iters/sample)",
+            self.group
+        );
+        median
+    }
 }
 
 /// A bibliography document with `k` copies of the Figure 1 entries.
@@ -66,7 +119,6 @@ pub fn random_circuit(inner: usize, seed: u64) -> Tree {
 
 /// A random word of length `n` over `{0,1}`.
 pub fn random_word(n: usize, seed: u64) -> Vec<Symbol> {
-    use rand::Rng;
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
         .map(|_| Symbol::from_index(rng.gen_range(0..2)))

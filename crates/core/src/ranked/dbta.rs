@@ -98,9 +98,7 @@ impl Dbta {
 
     /// Iterate over all defined transitions.
     pub fn transitions(&self) -> impl Iterator<Item = (&[StateId], Symbol, StateId)> + '_ {
-        self.delta
-            .iter()
-            .map(|((c, s), q)| (c.as_slice(), *s, *q))
+        self.delta.iter().map(|((c, s), q)| (c.as_slice(), *s, *q))
     }
 
     /// `δ*(t)`: the state at the root, if every transition is defined.

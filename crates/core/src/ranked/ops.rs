@@ -19,9 +19,9 @@ pub fn determinize(n: &Nbta) -> Dbta {
     let mut subsets: Vec<Vec<StateId>> = Vec::new();
 
     let intern = |d: &mut Dbta,
-                      subsets: &mut Vec<Vec<StateId>>,
-                      index: &mut HashMap<Vec<StateId>, StateId>,
-                      set: Vec<StateId>| {
+                  subsets: &mut Vec<Vec<StateId>>,
+                  index: &mut HashMap<Vec<StateId>, StateId>,
+                  set: Vec<StateId>| {
         match index.get(&set) {
             Some(&id) => id,
             None => {
@@ -72,11 +72,8 @@ pub fn determinize(n: &Nbta) -> Dbta {
                     let mut mt = vec![0usize; arity];
                     if member_sets.iter().all(|s| !s.is_empty()) {
                         'members: loop {
-                            let children: Vec<StateId> = member_sets
-                                .iter()
-                                .zip(&mt)
-                                .map(|(s, &i)| s[i])
-                                .collect();
+                            let children: Vec<StateId> =
+                                member_sets.iter().zip(&mt).map(|(s, &i)| s[i]).collect();
                             for &q in n.targets(&children, label) {
                                 if !img.contains(&q) {
                                     img.push(q);
@@ -188,9 +185,9 @@ pub fn product(a: &Dbta, b: &Dbta, combine: impl Fn(bool, bool) -> bool) -> Dbta
     let mut pairs: Vec<(StateId, StateId)> = Vec::new();
 
     let intern = |out: &mut Dbta,
-                      pairs: &mut Vec<(StateId, StateId)>,
-                      index: &mut HashMap<(StateId, StateId), StateId>,
-                      p: (StateId, StateId)| {
+                  pairs: &mut Vec<(StateId, StateId)>,
+                  index: &mut HashMap<(StateId, StateId), StateId>,
+                  p: (StateId, StateId)| {
         match index.get(&p) {
             Some(&id) => id,
             None => {
@@ -223,14 +220,8 @@ pub fn product(a: &Dbta, b: &Dbta, combine: impl Fn(bool, bool) -> bool) -> Dbta
                 let ids: Vec<StateId> = tuple.iter().map(|&i| StateId::from_index(i)).collect();
                 for s_idx in 0..out.alphabet_len() {
                     let label = Symbol::from_index(s_idx);
-                    let qa = at.transition(
-                        &chosen.iter().map(|p| p.0).collect::<Vec<_>>(),
-                        label,
-                    );
-                    let qb = bt.transition(
-                        &chosen.iter().map(|p| p.1).collect::<Vec<_>>(),
-                        label,
-                    );
+                    let qa = at.transition(&chosen.iter().map(|p| p.0).collect::<Vec<_>>(), label);
+                    let qb = bt.transition(&chosen.iter().map(|p| p.1).collect::<Vec<_>>(), label);
                     if let (Some(qa), Some(qb)) = (qa, qb) {
                         let id = intern(&mut out, &mut pairs, &mut index, (qa, qb));
                         out.set_transition(&ids, label, id);
@@ -467,10 +458,8 @@ pub fn trim(d: &Dbta) -> Dbta {
     // states occurring as a child in a transition whose target is
     // co-reachable and whose sibling slots are bottom-up reachable.
     let mut co = vec![false; d.num_states()];
-    for i in 0..d.num_states() {
-        if d.is_final(StateId::from_index(i)) {
-            co[i] = true;
-        }
+    for (i, slot) in co.iter_mut().enumerate() {
+        *slot = d.is_final(StateId::from_index(i));
     }
     loop {
         let mut changed = false;
@@ -604,8 +593,8 @@ pub fn minimize(d: &Dbta) -> Dbta {
     for _ in 0..num_classes {
         out.add_state();
     }
-    for i in 0..n {
-        let c = StateId::from_index(class[i]);
+    for (i, &ci) in class.iter().enumerate().take(n) {
+        let c = StateId::from_index(ci);
         if t.is_final(StateId::from_index(i)) {
             out.set_final(c, true);
         }

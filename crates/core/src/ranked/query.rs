@@ -1,6 +1,7 @@
 //! Ranked query automata (Definition 4.3) and Example 4.4.
 
 use qa_base::{Result, Symbol};
+use qa_obs::{Counter, NoopObserver, Observer};
 use qa_strings::StateId;
 use qa_trees::{NodeId, Tree};
 
@@ -43,19 +44,36 @@ impl RankedQa {
 
     /// The query `A(t)`: the selected nodes (empty for rejecting runs).
     pub fn query(&self, tree: &Tree) -> Result<Vec<NodeId>> {
-        let rec = self.machine.run(tree)?;
+        self.query_with(tree, &mut NoopObserver)
+    }
+
+    /// [`RankedQa::query`] with an [`Observer`]: the underlying run and the
+    /// selection scan are reported to `obs`. With [`NoopObserver`] this
+    /// monomorphizes to exactly `query`.
+    pub fn query_with<O: Observer>(&self, tree: &Tree, obs: &mut O) -> Result<Vec<NodeId>> {
+        obs.phase_start("run");
+        let rec = self.machine.run_with(tree, obs);
+        obs.phase_end("run");
+        let rec = rec?;
         if !rec.accepted {
             return Ok(Vec::new());
         }
-        Ok(tree
+        obs.phase_start("selection scan");
+        let out = tree
             .nodes()
             .filter(|&v| {
                 let label = tree.label(v);
+                obs.count(
+                    Counter::SelectionChecks,
+                    rec.assumed[v.index()].len() as u64,
+                );
                 rec.assumed[v.index()]
                     .iter()
                     .any(|&q| self.is_selecting(q, label))
             })
-            .collect())
+            .collect();
+        obs.phase_end("selection scan");
+        Ok(out)
     }
 
     /// Whether the underlying machine accepts `tree`.
@@ -144,8 +162,7 @@ mod tests {
 
     #[test]
     fn example_4_4_on_random_circuits() {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use qa_base::rng::StdRng;
         let a = alpha();
         let qa = example_4_4(&a);
         let inner = [a.symbol("AND"), a.symbol("OR")];

@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 
 use qa_base::{Error, Result, Symbol};
+use qa_obs::{Counter, NoopObserver, Observer, Series};
 use qa_strings::StateId;
 use qa_trees::{NodeId, Tree};
 
@@ -119,9 +120,10 @@ impl TwoWayRankedBuilder {
         label: Symbol,
         children_states: &[StateId],
     ) -> &mut Self {
-        self.inner
-            .delta_down
-            .insert((state, label, children_states.len()), children_states.to_vec());
+        self.inner.delta_down.insert(
+            (state, label, children_states.len()),
+            children_states.to_vec(),
+        );
         self
     }
 
@@ -150,7 +152,7 @@ impl TwoWayRankedBuilder {
             return Err(Error::ill_formed("2DTAr", "no states"));
         }
         let pol = |q: StateId, s: Symbol| m.polarity[q.index()][s.index()];
-        for (&(q, s), _) in &m.delta_leaf {
+        for &(q, s) in m.delta_leaf.keys() {
             if pol(q, s) != Some(Polarity::Down) {
                 return Err(Error::ill_formed(
                     "2DTAr",
@@ -158,7 +160,7 @@ impl TwoWayRankedBuilder {
                 ));
             }
         }
-        for (&(q, s, _), _) in &m.delta_down {
+        for &(q, s, _) in m.delta_down.keys() {
             if pol(q, s) != Some(Polarity::Down) {
                 return Err(Error::ill_formed(
                     "2DTAr",
@@ -166,7 +168,7 @@ impl TwoWayRankedBuilder {
                 ));
             }
         }
-        for (&(q, s), _) in &m.delta_root {
+        for &(q, s) in m.delta_root.keys() {
             if pol(q, s) != Some(Polarity::Up) {
                 return Err(Error::ill_formed(
                     "2DTAr",
@@ -174,7 +176,7 @@ impl TwoWayRankedBuilder {
                 ));
             }
         }
-        for (seq, _) in &m.delta_up {
+        for seq in m.delta_up.keys() {
             if seq.is_empty() || seq.len() > m.max_rank {
                 return Err(Error::ill_formed(
                     "2DTAr",
@@ -194,7 +196,10 @@ impl TwoWayRankedBuilder {
             if v.len() != n || n == 0 || n > m.max_rank {
                 return Err(Error::ill_formed(
                     "2DTAr",
-                    format!("δ↓ must emit exactly the arity many states (got {} for arity {n})", v.len()),
+                    format!(
+                        "δ↓ must emit exactly the arity many states (got {} for arity {n})",
+                        v.len()
+                    ),
                 ));
             }
         }
@@ -282,6 +287,15 @@ impl TwoWayRanked {
     /// Confluence (Section 4.1) makes the result identical to any schedule
     /// of [`TwoWayRanked::run_scheduled`] — property-tested.
     pub fn run(&self, tree: &Tree) -> Result<RankedRunRecord> {
+        self.run_with(tree, &mut NoopObserver)
+    }
+
+    /// [`TwoWayRanked::run`] with an [`Observer`]: each node examination is
+    /// a [`Counter::CutRecomputations`], each fired transition a
+    /// [`Counter::Steps`], and the total step count is recorded under
+    /// [`Series::RunSteps`]. With [`NoopObserver`] this monomorphizes to
+    /// exactly `run`.
+    pub fn run_with<O: Observer>(&self, tree: &Tree, obs: &mut O) -> Result<RankedRunRecord> {
         if tree.rank() > self.max_rank {
             return Err(Error::domain(format!(
                 "tree rank {} exceeds automaton rank {}",
@@ -307,27 +321,29 @@ impl TwoWayRanked {
 
         let mut queue: std::collections::VecDeque<NodeId> = tree.nodes().collect();
         let mut queued = vec![true; n];
-        let enqueue = |queue: &mut std::collections::VecDeque<NodeId>,
-                       queued: &mut Vec<bool>,
-                       v: NodeId| {
-            if !queued[v.index()] {
-                queued[v.index()] = true;
-                queue.push_back(v);
-            }
-        };
+        let enqueue =
+            |queue: &mut std::collections::VecDeque<NodeId>, queued: &mut Vec<bool>, v: NodeId| {
+                if !queued[v.index()] {
+                    queued[v.index()] = true;
+                    queue.push_back(v);
+                }
+            };
 
         while let Some(v) = queue.pop_front() {
             queued[v.index()] = false;
             loop {
                 steps += 1;
                 if steps > fuel {
+                    obs.count(Counter::BudgetTrips, 1);
                     return Err(Error::FuelExhausted { budget: fuel });
                 }
+                obs.count(Counter::CutRecomputations, 1);
                 let label = tree.label(v);
                 if let Some(q) = state[v.index()] {
                     match self.polarity(q, label) {
                         Some(Polarity::Down) if tree.is_leaf(v) => {
                             if let Some(q2) = self.leaf(q, label) {
+                                obs.count(Counter::Steps, 1);
                                 state[v.index()] = Some(q2);
                                 assume(&mut assumed, v, q2);
                                 if let Some(p) = tree.parent(v) {
@@ -338,6 +354,7 @@ impl TwoWayRanked {
                         }
                         Some(Polarity::Down) => {
                             if let Some(down) = self.down(q, label, tree.arity(v)) {
+                                obs.count(Counter::Steps, 1);
                                 let kids_states = down.to_vec();
                                 state[v.index()] = None;
                                 for (&c, q2) in tree.children(v).iter().zip(kids_states) {
@@ -353,6 +370,7 @@ impl TwoWayRanked {
                         }
                         Some(Polarity::Up) if v == root => {
                             if let Some(q2) = self.root(q, label) {
+                                obs.count(Counter::Steps, 1);
                                 state[root.index()] = Some(q2);
                                 assume(&mut assumed, root, q2);
                                 continue;
@@ -367,10 +385,7 @@ impl TwoWayRanked {
                     let mut ok = true;
                     for &c in tree.children(v) {
                         match state[c.index()] {
-                            Some(q)
-                                if self.polarity(q, tree.label(c))
-                                    == Some(Polarity::Up) =>
-                            {
+                            Some(q) if self.polarity(q, tree.label(c)) == Some(Polarity::Up) => {
                                 pairs.push((q, tree.label(c)));
                             }
                             _ => {
@@ -381,6 +396,7 @@ impl TwoWayRanked {
                     }
                     if ok {
                         if let Some(q2) = self.up(&pairs) {
+                            obs.count(Counter::Steps, 1);
                             for &c in tree.children(v) {
                                 state[c.index()] = None;
                             }
@@ -396,6 +412,7 @@ impl TwoWayRanked {
                 break;
             }
         }
+        obs.record(Series::RunSteps, steps);
         let accepted = state[root.index()].is_some_and(|q| self.is_final(q))
             && state.iter().filter(|s| s.is_some()).count() == 1;
         Ok(RankedRunRecord {
@@ -462,13 +479,10 @@ impl TwoWayRanked {
                             enabled.push(Move::Down(v));
                         }
                     }
-                    Some(Polarity::Up) => {
-                        if v == root {
-                            if self.root(q, label).is_some() {
-                                enabled.push(Move::Root);
-                            }
-                        }
+                    Some(Polarity::Up) if v == root && self.root(q, label).is_some() => {
+                        enabled.push(Move::Root);
                     }
+                    Some(Polarity::Up) => {}
                     None => {}
                 }
             }
@@ -482,9 +496,7 @@ impl TwoWayRanked {
                 let mut ok = true;
                 for &c in tree.children(v) {
                     match state[c.index()] {
-                        Some(q)
-                            if self.polarity(q, tree.label(c)) == Some(Polarity::Up) =>
-                        {
+                        Some(q) if self.polarity(q, tree.label(c)) == Some(Polarity::Up) => {
                             pairs.push((q, tree.label(c)));
                         }
                         _ => {
@@ -499,8 +511,7 @@ impl TwoWayRanked {
             }
 
             if enabled.is_empty() {
-                let accepted = state[root.index()]
-                    .is_some_and(|q| self.is_final(q))
+                let accepted = state[root.index()].is_some_and(|q| self.is_final(q))
                     && state.iter().filter(|s| s.is_some()).count() == 1;
                 return Ok(RankedRunRecord {
                     accepted,
@@ -720,8 +731,7 @@ mod tests {
 
     #[test]
     fn run_matches_one_way_circuit_on_random_trees() {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use qa_base::rng::StdRng;
         let a = alpha();
         let m = example_4_2(&a);
         let one_way = super::super::Dbta::boolean_circuit(&a);
@@ -748,21 +758,25 @@ mod tests {
         let t = from_sexpr("(AND 1 0)", &mut a).unwrap();
         let rec = m.run(&t).unwrap();
         // root assumed: s, then pair(1,0) = index 2+2*1+0 = 4, then v0 = 6
-        let root_states: Vec<usize> =
-            rec.assumed[t.root().index()].iter().map(|q| q.index()).collect();
+        let root_states: Vec<usize> = rec.assumed[t.root().index()]
+            .iter()
+            .map(|q| q.index())
+            .collect();
         assert_eq!(root_states, vec![0, 4, 6]);
         // each leaf assumed s then u
         for &leaf in t.children(t.root()) {
-            let states: Vec<usize> =
-                rec.assumed[leaf.index()].iter().map(|q| q.index()).collect();
+            let states: Vec<usize> = rec.assumed[leaf.index()]
+                .iter()
+                .map(|q| q.index())
+                .collect();
             assert_eq!(states, vec![0, 1]);
         }
     }
 
     #[test]
     fn confluence_under_random_schedules() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use qa_base::rng::Rng;
+        use qa_base::rng::StdRng;
         let mut a = alpha();
         let m = example_4_2(&a);
         let t = from_sexpr("(OR (AND 1 0) (OR 1 1))", &mut a).unwrap();

@@ -142,8 +142,7 @@ impl Nbtau {
 
     /// `δ*(t)` at the root.
     pub fn run(&self, tree: &Tree) -> Vec<StateId> {
-        self.run_table(tree)
-            .swap_remove(tree.root().index())
+        self.run_table(tree).swap_remove(tree.root().index())
     }
 
     /// Whether the automaton accepts `tree`.
@@ -193,12 +192,12 @@ impl Nbtau {
         n.set_language(q0, zero, Regex::Epsilon.to_nfa(2)).unwrap();
         n.set_language(q1, one, Regex::Epsilon.to_nfa(2)).unwrap();
         // AND: all ones → 1; at least one zero → 0
-        n.set_language(q1, and, s1.clone().plus().to_nfa(2)).unwrap();
+        n.set_language(q1, and, s1.clone().plus().to_nfa(2))
+            .unwrap();
         n.set_language(
             q0,
             and,
-            Regex::seq([any.clone().star(), s0.clone(), any.clone().star()])
-                .to_nfa(2),
+            Regex::seq([any.clone().star(), s0.clone(), any.clone().star()]).to_nfa(2),
         )
         .unwrap();
         // OR: at least one one → 1; all zeros → 0
@@ -342,7 +341,8 @@ impl Dbtau {
                     d.set_accepting(cs, self.assign.get(&(label, cs)) == Some(&q));
                 }
                 if !d.is_empty() {
-                    n.set_language(q, label, d.to_nfa()).expect("same state count");
+                    n.set_language(q, label, d.to_nfa())
+                        .expect("same state count");
                 }
             }
         }
@@ -465,7 +465,8 @@ mod tests {
         let mut leaf0 = Dfa::new(2);
         let z = leaf0.add_state();
         leaf0.set_initial(z);
-        d.set_classifier(a.symbol("0"), leaf0.clone(), [(z, q0)]).unwrap();
+        d.set_classifier(a.symbol("0"), leaf0.clone(), [(z, q0)])
+            .unwrap();
         let mut leaf1 = Dfa::new(2);
         let o = leaf1.add_state();
         leaf1.set_initial(o);

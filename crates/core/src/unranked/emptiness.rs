@@ -8,6 +8,7 @@
 //! symbol subset — polynomial.
 
 use qa_base::Symbol;
+use qa_obs::{Counter, NoopObserver, Observer, Series};
 use qa_strings::StateId;
 use qa_trees::Tree;
 
@@ -15,13 +16,23 @@ use super::Nbtau;
 
 /// The set of reachable states of `n` (the paper's `R`), as a boolean mask.
 pub fn reachable_states(n: &Nbtau) -> Vec<bool> {
+    reachable_states_with(n, &mut NoopObserver)
+}
+
+/// [`reachable_states`] with an [`Observer`]: each outer fixpoint round is a
+/// [`Counter::FixpointIterations`] and each restricted NFA emptiness test a
+/// [`Counter::TableLookups`]. With [`NoopObserver`] this monomorphizes to
+/// exactly `reachable_states`.
+pub fn reachable_states_with<O: Observer>(n: &Nbtau, obs: &mut O) -> Vec<bool> {
     let mut reached = vec![false; n.num_states()];
     loop {
+        obs.count(Counter::FixpointIterations, 1);
         let mut changed = false;
         for (q, _a, nfa) in n.languages() {
             if reached[q.index()] {
                 continue;
             }
+            obs.count(Counter::TableLookups, 1);
             if !nfa.is_empty_over(Some(&reached)) {
                 reached[q.index()] = true;
                 changed = true;
@@ -36,7 +47,12 @@ pub fn reachable_states(n: &Nbtau) -> Vec<bool> {
 
 /// Whether `L(n)` is non-empty (Lemma 5.2).
 pub fn is_nonempty(n: &Nbtau) -> bool {
-    let reached = reachable_states(n);
+    is_nonempty_with(n, &mut NoopObserver)
+}
+
+/// [`is_nonempty`] with an [`Observer`] (see [`reachable_states_with`]).
+pub fn is_nonempty_with<O: Observer>(n: &Nbtau, obs: &mut O) -> bool {
+    let reached = reachable_states_with(n, obs);
     (0..n.num_states())
         .map(StateId::from_index)
         .any(|q| reached[q.index()] && n.is_final(q))
@@ -48,20 +64,28 @@ pub fn is_nonempty(n: &Nbtau) -> bool {
 /// tree assembled from a shortest transition word over already-reached
 /// states.
 pub fn witness(n: &Nbtau) -> Option<Tree> {
+    witness_with(n, &mut NoopObserver)
+}
+
+/// [`witness`] with an [`Observer`]: fixpoint rounds and emptiness tests are
+/// counted as in [`reachable_states_with`], and the size of the returned
+/// witness tree (when one exists) is recorded under [`Series::WitnessSize`].
+pub fn witness_with<O: Observer>(n: &Nbtau, obs: &mut O) -> Option<Tree> {
     let mut trees: Vec<Option<Tree>> = vec![None; n.num_states()];
     let mut reached = vec![false; n.num_states()];
     loop {
+        obs.count(Counter::FixpointIterations, 1);
         let mut changed = false;
         for (q, a, nfa) in n.languages() {
             if reached[q.index()] {
                 continue;
             }
+            obs.count(Counter::TableLookups, 1);
             if nfa.is_empty_over(Some(&reached)) {
                 continue;
             }
             // shortest word over reached states
-            let word = restricted_witness(nfa, &reached)
-                .expect("non-empty over this restriction");
+            let word = restricted_witness(nfa, &reached).expect("non-empty over this restriction");
             let kids: Vec<Tree> = word
                 .iter()
                 .map(|s| trees[s.index()].clone().expect("reached"))
@@ -74,11 +98,15 @@ pub fn witness(n: &Nbtau) -> Option<Tree> {
             break;
         }
     }
-    (0..n.num_states())
+    let best = (0..n.num_states())
         .map(StateId::from_index)
         .filter(|&q| n.is_final(q))
         .filter_map(|q| trees[q.index()].clone())
-        .min_by_key(|t| t.num_nodes())
+        .min_by_key(|t| t.num_nodes());
+    if let Some(t) = &best {
+        obs.record(Series::WitnessSize, t.num_nodes() as u64);
+    }
+    best
 }
 
 /// Shortest word of `L(nfa)` using only allowed symbols.
@@ -93,8 +121,8 @@ fn restricted_witness(nfa: &qa_strings::Nfa, allowed: &[bool]) -> Option<Vec<Sym
         for &e in nfa.epsilon_successors(s) {
             masked.add_epsilon(s, e);
         }
-        for a in 0..nfa.alphabet_len() {
-            if !allowed[a] {
+        for (a, &ok) in allowed.iter().enumerate().take(nfa.alphabet_len()) {
+            if !ok {
                 continue;
             }
             let sym = Symbol::from_index(a);
@@ -142,12 +170,8 @@ mod tests {
         n.set_final(qf, true);
         // q0 reachable at leaves; qf requires a child in qf: circular.
         n.set_language(q0, x, Regex::Epsilon.to_nfa(2)).unwrap();
-        n.set_language(
-            qf,
-            x,
-            Regex::Sym(Symbol::from_index(qf.index())).to_nfa(2),
-        )
-        .unwrap();
+        n.set_language(qf, x, Regex::Sym(Symbol::from_index(qf.index())).to_nfa(2))
+            .unwrap();
         assert!(!is_nonempty(&n));
         let reached = reachable_states(&n);
         assert_eq!(reached, vec![true, false]);
@@ -181,7 +205,8 @@ mod tests {
         let mut n = Nbtau::new(1);
         let states: Vec<StateId> = (0..k).map(|_| n.add_state()).collect();
         n.set_final(states[k - 1], true);
-        n.set_language(states[0], x, Regex::Epsilon.to_nfa(k)).unwrap();
+        n.set_language(states[0], x, Regex::Epsilon.to_nfa(k))
+            .unwrap();
         for i in 1..k {
             n.set_language(
                 states[i],

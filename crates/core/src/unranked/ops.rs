@@ -95,10 +95,14 @@ pub fn product(a: &Nbtau, b: &Nbtau, combine: impl Fn(bool, bool) -> bool) -> Nb
         let sym = Symbol::from_index(sym_idx);
         for q1 in 0..n1 {
             let s1 = StateId::from_index(q1);
-            let Some(l1) = a.language(s1, sym) else { continue };
+            let Some(l1) = a.language(s1, sym) else {
+                continue;
+            };
             for q2 in 0..n2 {
                 let s2 = StateId::from_index(q2);
-                let Some(l2) = b.language(s2, sym) else { continue };
+                let Some(l2) = b.language(s2, sym) else {
+                    continue;
+                };
                 let lang = product_language(l1, l2, n2, n1 * n2);
                 out.set_language(pair(s1, s2, n2), sym, lang)
                     .expect("pair state count matches");
@@ -153,12 +157,8 @@ pub fn disjoint_union(a: &Nbtau, b: &Nbtau) -> Nbtau {
         out.set_language(q, sym, embed(lang, 0)).expect("sized");
     }
     for (q, sym, lang) in b.languages() {
-        out.set_language(
-            StateId::from_index(q.index() + n1),
-            sym,
-            embed(lang, n1),
-        )
-        .expect("sized");
+        out.set_language(StateId::from_index(q.index() + n1), sym, embed(lang, n1))
+            .expect("sized");
     }
     for q in 0..n1 {
         let s = StateId::from_index(q);
@@ -189,7 +189,8 @@ mod tests {
         a.set_final(root, true);
         let x = Symbol::from_index(0);
         let any_s = Regex::Sym(Symbol::from_index(any.index()));
-        a.set_language(any, x, any_s.clone().star().to_nfa(2)).unwrap();
+        a.set_language(any, x, any_s.clone().star().to_nfa(2))
+            .unwrap();
         let mut fixed = Regex::Epsilon;
         for _ in 0..n {
             fixed = fixed.concat(any_s.clone());
@@ -206,8 +207,10 @@ mod tests {
         a.set_final(root, true);
         let x = Symbol::from_index(0);
         let any_s = Regex::Sym(Symbol::from_index(any.index()));
-        a.set_language(any, x, any_s.clone().star().to_nfa(2)).unwrap();
-        a.set_language(root, x, any_s.clone().plus().to_nfa(2)).unwrap();
+        a.set_language(any, x, any_s.clone().star().to_nfa(2))
+            .unwrap();
+        a.set_language(root, x, any_s.clone().plus().to_nfa(2))
+            .unwrap();
         a
     }
 

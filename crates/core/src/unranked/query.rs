@@ -2,6 +2,7 @@
 //! Examples 5.9 and 5.14.
 
 use qa_base::{Result, Symbol};
+use qa_obs::{Counter, NoopObserver, Observer};
 use qa_strings::{Dfa, SlenderLang, StateId};
 use qa_trees::{NodeId, Tree};
 
@@ -56,19 +57,36 @@ impl UnrankedQa {
 
     /// The query `A(t)`: selected nodes; empty for rejecting runs.
     pub fn query(&self, tree: &Tree) -> Result<Vec<NodeId>> {
-        let rec = self.machine.run(tree)?;
+        self.query_with(tree, &mut NoopObserver)
+    }
+
+    /// [`UnrankedQa::query`] with an [`Observer`]: the underlying run and
+    /// the selection scan are reported to `obs`. With [`NoopObserver`] this
+    /// monomorphizes to exactly `query`.
+    pub fn query_with<O: Observer>(&self, tree: &Tree, obs: &mut O) -> Result<Vec<NodeId>> {
+        obs.phase_start("run");
+        let rec = self.machine.run_with(tree, obs);
+        obs.phase_end("run");
+        let rec = rec?;
         if !rec.accepted {
             return Ok(Vec::new());
         }
-        Ok(tree
+        obs.phase_start("selection scan");
+        let out = tree
             .nodes()
             .filter(|&v| {
                 let label = tree.label(v);
+                obs.count(
+                    Counter::SelectionChecks,
+                    rec.assumed[v.index()].len() as u64,
+                );
                 rec.assumed[v.index()]
                     .iter()
                     .any(|&q| self.is_selecting(q, label))
             })
-            .collect())
+            .collect();
+        obs.phase_end("selection scan");
+        Ok(out)
     }
 
     /// Whether the underlying machine accepts `tree`.
@@ -365,9 +383,7 @@ mod tests {
                         None => true,
                         Some(p) => {
                             let idx = t.child_index(v);
-                            t.children(p)[..idx]
-                                .iter()
-                                .all(|&w| t.label(w) != one)
+                            t.children(p)[..idx].iter().all(|&w| t.label(w) != one)
                         }
                     }
                 }
@@ -400,8 +416,7 @@ mod tests {
 
     #[test]
     fn example_5_14_on_random_trees() {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use qa_base::rng::StdRng;
         let a = leaves_alpha();
         let qa = example_5_14(&a);
         let labels = [a.symbol("0"), a.symbol("1")];
@@ -430,8 +445,8 @@ mod tests {
 
     #[test]
     fn confluence_of_unranked_runs() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use qa_base::rng::Rng;
+        use qa_base::rng::StdRng;
         let mut a = leaves_alpha();
         let qa = example_5_14(&a);
         let t = from_sexpr("(0 (0 1 1) (1 0) 1)", &mut a).unwrap();

@@ -41,11 +41,7 @@ pub enum StayRule {
 impl StayRule {
     /// Apply the rule to the children's `(state, label)` pairs, producing
     /// one new state per child.
-    pub fn apply(
-        &self,
-        pairs: &[(StateId, Symbol)],
-        alphabet_len: usize,
-    ) -> Result<Vec<StateId>> {
+    pub fn apply(&self, pairs: &[(StateId, Symbol)], alphabet_len: usize) -> Result<Vec<StateId>> {
         let word: Vec<Symbol> = pairs
             .iter()
             .map(|&(q, l)| pair_symbol(q, l, alphabet_len))
@@ -116,13 +112,18 @@ mod tests {
             left.set_transition(one, sym, many);
             left.set_transition(many, sym, many);
         }
-        let bim = Bimachine::new(left, right, 2, move |p, _q, _s| {
-            if p == one {
-                1
-            } else {
-                0
-            }
-        })
+        let bim = Bimachine::new(
+            left,
+            right,
+            2,
+            move |p, _q, _s| {
+                if p == one {
+                    1
+                } else {
+                    0
+                }
+            },
+        )
         .unwrap();
         let rule = StayRule::Bimachine(bim);
         let q = StateId::from_index(0);

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use qa_base::{Error, Result, Symbol};
+use qa_obs::{Counter, NoopObserver, Observer, Series};
 use qa_strings::{Dfa, SlenderLang, StateId};
 use qa_trees::{NodeId, Tree};
 
@@ -158,7 +159,7 @@ impl TwoWayUnrankedBuilder {
             return Err(Error::ill_formed("2DTAu", "no states"));
         }
         let pol = |m: &TwoWayUnranked, q: StateId, s: Symbol| m.polarity[q.index()][s.index()];
-        for (&(q, s), _) in &m.delta_leaf {
+        for &(q, s) in m.delta_leaf.keys() {
             if pol(m, q, s) != Some(Polarity::Down) {
                 return Err(Error::ill_formed(
                     "2DTAu",
@@ -166,7 +167,7 @@ impl TwoWayUnrankedBuilder {
                 ));
             }
         }
-        for (&(q, s), _) in &m.delta_down {
+        for &(q, s) in m.delta_down.keys() {
             if pol(m, q, s) != Some(Polarity::Down) {
                 return Err(Error::ill_formed(
                     "2DTAu",
@@ -174,7 +175,7 @@ impl TwoWayUnrankedBuilder {
                 ));
             }
         }
-        for (&(q, s), _) in &m.delta_root {
+        for &(q, s) in m.delta_root.keys() {
             if pol(m, q, s) != Some(Polarity::Up) {
                 return Err(Error::ill_formed(
                     "2DTAu",
@@ -230,9 +231,7 @@ impl TwoWayUnrankedBuilder {
                             (Some(x), Some(y)) if x != y => {
                                 return Err(Error::ill_formed(
                                     "2DTAu",
-                                    format!(
-                                        "up languages overlap: L↑({x:?}) ∩ L↑({y:?}) ≠ ∅"
-                                    ),
+                                    format!("up languages overlap: L↑({x:?}) ∩ L↑({y:?}) ≠ ∅"),
                                 ));
                             }
                             (Some(x), _) => {
@@ -278,10 +277,7 @@ impl TwoWayUnrankedBuilder {
                     up_accepting.set_accepting(cs, m.up_assign.contains_key(&cs));
                 }
                 if !up_accepting.intersect(&stay.matcher).is_empty() {
-                    return Err(Error::ill_formed(
-                        "2DTAu",
-                        "U_stay overlaps an up language",
-                    ));
+                    return Err(Error::ill_formed("2DTAu", "U_stay overlaps an up language"));
                 }
             }
         }
@@ -390,6 +386,16 @@ impl TwoWayUnranked {
     /// O(steps · nodes). Confluence (Section 5.1) makes the result identical
     /// to any schedule of [`TwoWayUnranked::run_scheduled`] — property-tested.
     pub fn run(&self, tree: &Tree) -> Result<UnrankedRunRecord> {
+        self.run_with(tree, &mut NoopObserver)
+    }
+
+    /// [`TwoWayUnranked::run`] with an [`Observer`]: node examinations are
+    /// [`Counter::CutRecomputations`], fired transitions [`Counter::Steps`],
+    /// stay transitions additionally [`Counter::StayRounds`]; the total step
+    /// count lands in [`Series::RunSteps`] and per-node stay tallies in
+    /// [`Series::StaysPerNode`]. With [`NoopObserver`] this monomorphizes to
+    /// exactly `run`.
+    pub fn run_with<O: Observer>(&self, tree: &Tree, obs: &mut O) -> Result<UnrankedRunRecord> {
         let fuel = self.default_fuel(tree);
         let n = tree.num_nodes();
         let mut state: Vec<Option<StateId>> = vec![None; n];
@@ -410,14 +416,13 @@ impl TwoWayUnranked {
         // worklist of nodes to examine; in-queue flags prevent duplicates
         let mut queue: std::collections::VecDeque<NodeId> = tree.nodes().collect();
         let mut queued = vec![true; n];
-        let enqueue = |queue: &mut std::collections::VecDeque<NodeId>,
-                           queued: &mut Vec<bool>,
-                           v: NodeId| {
-            if !queued[v.index()] {
-                queued[v.index()] = true;
-                queue.push_back(v);
-            }
-        };
+        let enqueue =
+            |queue: &mut std::collections::VecDeque<NodeId>, queued: &mut Vec<bool>, v: NodeId| {
+                if !queued[v.index()] {
+                    queued[v.index()] = true;
+                    queue.push_back(v);
+                }
+            };
 
         while let Some(v) = queue.pop_front() {
             queued[v.index()] = false;
@@ -425,14 +430,17 @@ impl TwoWayUnranked {
             loop {
                 steps += 1;
                 if steps > fuel {
+                    obs.count(Counter::BudgetTrips, 1);
                     return Err(Error::FuelExhausted { budget: fuel });
                 }
+                obs.count(Counter::CutRecomputations, 1);
                 let label = tree.label(v);
                 // moves of a cut member at v
                 if let Some(q) = state[v.index()] {
                     match self.polarity(q, label) {
                         Some(Polarity::Down) if tree.is_leaf(v) => {
                             if let Some(q2) = self.leaf(q, label) {
+                                obs.count(Counter::Steps, 1);
                                 state[v.index()] = Some(q2);
                                 assume(&mut assumed, v, q2);
                                 if let Some(p) = tree.parent(v) {
@@ -446,6 +454,7 @@ impl TwoWayUnranked {
                                 .down(q, label)
                                 .and_then(|l| l.string_of_length(tree.arity(v)))
                             {
+                                obs.count(Counter::Steps, 1);
                                 state[v.index()] = None;
                                 for (&c, s) in tree.children(v).iter().zip(word) {
                                     let q2 = StateId::from_index(s.index());
@@ -463,6 +472,7 @@ impl TwoWayUnranked {
                         }
                         Some(Polarity::Up) if v == root => {
                             if let Some(q2) = self.root(q, label) {
+                                obs.count(Counter::Steps, 1);
                                 state[root.index()] = Some(q2);
                                 assume(&mut assumed, root, q2);
                                 continue;
@@ -477,10 +487,7 @@ impl TwoWayUnranked {
                     let mut ok = true;
                     for &c in tree.children(v) {
                         match state[c.index()] {
-                            Some(q)
-                                if self.polarity(q, tree.label(c))
-                                    == Some(Polarity::Up) =>
-                            {
+                            Some(q) if self.polarity(q, tree.label(c)) == Some(Polarity::Up) => {
                                 pairs.push((q, tree.label(c)));
                             }
                             _ => {
@@ -490,7 +497,9 @@ impl TwoWayUnranked {
                         }
                     }
                     if ok {
+                        obs.count(Counter::TableLookups, 1);
                         if let Some(q2) = self.classify_up(&pairs) {
+                            obs.count(Counter::Steps, 1);
                             for &c in tree.children(v) {
                                 state[c.index()] = None;
                             }
@@ -525,6 +534,8 @@ impl TwoWayUnranked {
                                 ));
                             }
                             stays[v.index()] += 1;
+                            obs.count(Counter::Steps, 1);
+                            obs.count(Counter::StayRounds, 1);
                             for (&c, q2) in tree.children(v).iter().zip(new_states) {
                                 state[c.index()] = Some(q2);
                                 assume(&mut assumed, c, q2);
@@ -535,6 +546,12 @@ impl TwoWayUnranked {
                     }
                 }
                 break;
+            }
+        }
+        obs.record(Series::RunSteps, steps);
+        if obs.is_enabled() {
+            for &s in &stays {
+                obs.record(Series::StaysPerNode, s as u64);
             }
         }
         let accepted = state[root.index()].is_some_and(|q| self.is_final(q))
@@ -599,11 +616,10 @@ impl TwoWayUnranked {
                             enabled.push(Move::Down(v));
                         }
                     }
-                    Some(Polarity::Up) => {
-                        if v == root && self.root(q, label).is_some() {
-                            enabled.push(Move::Root);
-                        }
+                    Some(Polarity::Up) if v == root && self.root(q, label).is_some() => {
+                        enabled.push(Move::Root);
                     }
+                    Some(Polarity::Up) => {}
                     None => {}
                 }
             }

@@ -22,6 +22,7 @@ use std::collections::HashMap;
 use qa_base::{Error, Result, Symbol};
 use qa_core::ranked::twoway::Polarity;
 use qa_core::ranked::RankedQa;
+use qa_obs::{Counter, NoopObserver, Observer, Series};
 use qa_strings::StateId;
 use qa_trees::{NodeId, Tree};
 
@@ -215,12 +216,7 @@ fn materialize(items: &[Item], idx: usize) -> (Tree, Option<NodeId>) {
 
 /// Find the node in `big` (rooted at `big_root`) corresponding to `node` in
 /// `small` under the structural isomorphism of the grafted copy.
-fn find_corresponding(
-    big: &Tree,
-    big_root: NodeId,
-    small: &Tree,
-    node: NodeId,
-) -> NodeId {
+fn find_corresponding(big: &Tree, big_root: NodeId, small: &Tree, node: NodeId) -> NodeId {
     // path from small's root to node
     let mut path = Vec::new();
     let mut cur = node;
@@ -241,10 +237,11 @@ fn find_corresponding(
 /// freshly discovered summary, exploration ends early with the items found
 /// so far (the matching item last) — this is what makes witness searches
 /// fast even when full saturation would be exponential.
-fn explore(
+fn explore<O: Observer>(
     machines: &[&RankedQa],
     max_items: usize,
     stop_when: Option<&dyn Fn(&Item) -> bool>,
+    obs: &mut O,
 ) -> Result<Vec<Item>> {
     let sigma = machines[0].machine().alphabet_len();
     let rank = machines[0].machine().max_rank();
@@ -253,19 +250,22 @@ fn explore(
     }
     let mut items: Vec<Item> = Vec::new();
     let mut seen: HashMap<Key, usize> = HashMap::new();
-    let push = |items: &mut Vec<Item>, seen: &mut HashMap<Key, usize>, it: Item| -> bool {
-        if seen.contains_key(&it.key) {
-            return false;
-        }
-        seen.insert(it.key.clone(), items.len());
-        items.push(it);
-        true
-    };
+    let push =
+        |items: &mut Vec<Item>, seen: &mut HashMap<Key, usize>, obs: &mut O, it: Item| -> bool {
+            if seen.contains_key(&it.key) {
+                return false;
+            }
+            seen.insert(it.key.clone(), items.len());
+            items.push(it);
+            obs.count(Counter::SummariesExplored, 1);
+            obs.count(Counter::BudgetConsumed, 1);
+            true
+        };
     for a in 0..sigma {
         for marked in [false, true] {
             let it = leaf_item(machines, Symbol::from_index(a), marked);
             let hit = stop_when.is_some_and(|p| p(&it));
-            push(&mut items, &mut seen, it);
+            push(&mut items, &mut seen, obs, it);
             if hit {
                 return Ok(items);
             }
@@ -276,8 +276,10 @@ fn explore(
     // only enumerates tuples containing at least one fresh item.
     let mut old_count = 0usize;
     loop {
+        obs.count(Counter::FixpointIterations, 1);
         let known = items.len();
         if known > max_items {
+            obs.count(Counter::BudgetTrips, 1);
             return Err(Error::FuelExhausted {
                 budget: max_items as u64,
             });
@@ -290,10 +292,7 @@ fn explore(
                     break 'tuples;
                 }
                 let fresh = tuple.iter().any(|&i| i >= old_count);
-                let marks_below = tuple
-                    .iter()
-                    .filter(|&&i| items[i].key.has_mark)
-                    .count();
+                let marks_below = tuple.iter().filter(|&&i| items[i].key.has_mark).count();
                 if fresh && marks_below <= 1 {
                     for a in 0..sigma {
                         for marked in [false, true] {
@@ -312,13 +311,14 @@ fn explore(
                                 children_idx: tuple.clone(),
                             };
                             let hit = stop_when.is_some_and(|p| p(&it));
-                            if push(&mut items, &mut seen, it) {
+                            if push(&mut items, &mut seen, obs, it) {
                                 added = true;
                             }
                             if hit {
                                 return Ok(items);
                             }
                             if items.len() > max_items {
+                                obs.count(Counter::BudgetTrips, 1);
                                 return Err(Error::FuelExhausted {
                                     budget: max_items as u64,
                                 });
@@ -385,17 +385,32 @@ pub fn non_emptiness(qa: &RankedQa) -> Result<Option<RankedWitness>> {
 }
 
 /// [`non_emptiness`] with an explicit summary budget.
-pub fn non_emptiness_with_budget(
+pub fn non_emptiness_with_budget(qa: &RankedQa, max_items: usize) -> Result<Option<RankedWitness>> {
+    non_emptiness_with(qa, max_items, &mut NoopObserver)
+}
+
+/// [`non_emptiness_with_budget`] with an [`Observer`]: every summary
+/// discovered by the fixpoint is a [`Counter::SummariesExplored`] (and one
+/// unit of [`Counter::BudgetConsumed`]), outer rounds are
+/// [`Counter::FixpointIterations`], and the witness size (when non-empty)
+/// lands in [`Series::WitnessSize`]. With [`NoopObserver`] this
+/// monomorphizes to exactly `non_emptiness_with_budget`.
+pub fn non_emptiness_with<O: Observer>(
     qa: &RankedQa,
     max_items: usize,
+    obs: &mut O,
 ) -> Result<Option<RankedWitness>> {
-    let hit = |it: &Item| {
-        it.key.has_mark && matches!(root_verdict(qa, it, 0), Some((true, true)))
-    };
-    let items = explore(&[qa], max_items, Some(&hit))?;
+    let hit = |it: &Item| it.key.has_mark && matches!(root_verdict(qa, it, 0), Some((true, true)));
+    obs.phase_start("summary fixpoint");
+    let items = explore(&[qa], max_items, Some(&hit), obs);
+    obs.phase_end("summary fixpoint");
+    let items = items?;
     match items.last() {
         Some(it) if hit(it) => {
+            obs.phase_start("witness materialization");
             let (tree, mark) = materialize(&items, items.len() - 1);
+            obs.record(Series::WitnessSize, tree.num_nodes() as u64);
+            obs.phase_end("witness materialization");
             Ok(Some(RankedWitness {
                 tree,
                 node: mark.expect("has_mark"),
@@ -417,15 +432,32 @@ pub fn containment_with_budget(
     a2: &RankedQa,
     max_items: usize,
 ) -> Result<Option<RankedWitness>> {
+    containment_with(a1, a2, max_items, &mut NoopObserver)
+}
+
+/// [`containment_with_budget`] with an [`Observer`] (same event vocabulary
+/// as [`non_emptiness_with`]).
+pub fn containment_with<O: Observer>(
+    a1: &RankedQa,
+    a2: &RankedQa,
+    max_items: usize,
+    obs: &mut O,
+) -> Result<Option<RankedWitness>> {
     let hit = |it: &Item| {
         it.key.has_mark
             && matches!(root_verdict(a1, it, 0), Some((true, true)))
             && !matches!(root_verdict(a2, it, 1), Some((true, true)))
     };
-    let items = explore(&[a1, a2], max_items, Some(&hit))?;
+    obs.phase_start("summary fixpoint");
+    let items = explore(&[a1, a2], max_items, Some(&hit), obs);
+    obs.phase_end("summary fixpoint");
+    let items = items?;
     match items.last() {
         Some(it) if hit(it) => {
+            obs.phase_start("witness materialization");
             let (tree, mark) = materialize(&items, items.len() - 1);
+            obs.record(Series::WitnessSize, tree.num_nodes() as u64);
+            obs.phase_end("witness materialization");
             Ok(Some(RankedWitness {
                 tree,
                 node: mark.expect("has_mark"),

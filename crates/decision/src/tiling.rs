@@ -18,9 +18,10 @@
 
 use std::collections::HashMap;
 
+use qa_base::Symbol;
 use qa_base::{Alphabet, Error, Result};
 use qa_core::ranked::twoway::{Polarity, TwoWayRanked, TwoWayRankedBuilder};
-use qa_base::Symbol;
+use qa_obs::{Counter, NoopObserver, Observer, Series};
 use qa_strings::StateId;
 
 /// A TWO PERSON CORRIDOR TILING instance.
@@ -47,7 +48,9 @@ impl TilingInstance {
     /// Validate the instance shape.
     pub fn validate(&self) -> Result<()> {
         if self.bottom.is_empty() || self.bottom.len() != self.top.len() {
-            return Err(Error::domain("bottom/top rows must be nonempty and equal length"));
+            return Err(Error::domain(
+                "bottom/top rows must be nonempty and equal length",
+            ));
         }
         let ok = |t: usize| t < self.num_tiles;
         if !self.bottom.iter().chain(&self.top).all(|&t| ok(t))
@@ -119,9 +122,10 @@ pub fn solve_game(inst: &TilingInstance) -> Result<bool> {
             let wins_now = |t: usize| *col == n - 1 && inst.push(w, t) == inst.top;
             let result = if *turn {
                 // player one: some consistent move wins
-                moves
-                    .iter()
-                    .any(|&t| wins_now(t) || winning.get(&(inst.push(w, t), (col + 1) % n, false)) == Some(&true))
+                moves.iter().any(|&t| {
+                    wins_now(t)
+                        || winning.get(&(inst.push(w, t), (col + 1) % n, false)) == Some(&true)
+                })
             } else {
                 // player two: forced inconsistent ⇒ loses; otherwise all
                 // consistent moves must be winning for player one
@@ -157,6 +161,19 @@ pub fn strategy_alphabet(inst: &TilingInstance) -> Alphabet {
 /// nodes have `|T|` children labeled `t0 … t|T|−1` in order; branches end
 /// at a completed top row or at an inconsistent player-two move.
 pub fn to_tree_automaton(inst: &TilingInstance) -> Result<TwoWayRanked> {
+    to_tree_automaton_with(inst, &mut NoopObserver)
+}
+
+/// [`to_tree_automaton`] with an [`Observer`]: every game description
+/// interned during the reduction is a [`Counter::SummariesExplored`], and
+/// the finished machine's state count is recorded under
+/// [`Series::MachineStates`] — the reduction-size metric of
+/// Proposition 6.1. With [`NoopObserver`] this monomorphizes to exactly
+/// `to_tree_automaton`.
+pub fn to_tree_automaton_with<O: Observer>(
+    inst: &TilingInstance,
+    obs: &mut O,
+) -> Result<TwoWayRanked> {
     inst.validate()?;
     if inst.bottom == inst.top {
         // trivially non-empty: accept every single-node tree via a machine
@@ -171,7 +188,9 @@ pub fn to_tree_automaton(inst: &TilingInstance) -> Result<TwoWayRanked> {
         for t in 0..inst.num_tiles.max(1) {
             b.set_leaf(s, Symbol::from_index(t), ok);
         }
-        return b.build();
+        let m = b.build()?;
+        obs.record(Series::MachineStates, m.num_states() as u64);
+        return Ok(m);
     }
     let n = inst.width();
     #[derive(Clone, PartialEq, Eq, Hash, Debug)]
@@ -214,6 +233,7 @@ pub fn to_tree_automaton(inst: &TilingInstance) -> Result<TwoWayRanked> {
     pending.push(init);
 
     while let Some(desc) = pending.pop() {
+        obs.count(Counter::SummariesExplored, 1);
         let id = index[&desc];
         for tile in 0..inst.num_tiles {
             let label = Symbol::from_index(tile);
@@ -271,15 +291,15 @@ pub fn to_tree_automaton(inst: &TilingInstance) -> Result<TwoWayRanked> {
             builder.set_down(id, label, &child_ids);
         }
     }
-    builder.build()
+    let machine = builder.build()?;
+    obs.record(Series::MachineStates, machine.num_states() as u64);
+    Ok(machine)
 }
 
 /// A small instance where player one wins (free tiling: everything
 /// compatible).
 pub fn easy_instance(width: usize) -> TilingInstance {
-    let all: Vec<(usize, usize)> = (0..2)
-        .flat_map(|a| (0..2).map(move |b| (a, b)))
-        .collect();
+    let all: Vec<(usize, usize)> = (0..2).flat_map(|a| (0..2).map(move |b| (a, b))).collect();
     TilingInstance {
         num_tiles: 2,
         horizontal: all.clone(),
@@ -394,11 +414,7 @@ mod tests {
             let mut qa = RankedQa::new(machine);
             for s in 0..qa.machine().num_states() {
                 for t in 0..qa.machine().alphabet_len() {
-                    qa.set_selecting(
-                        StateId::from_index(s),
-                        Symbol::from_index(t),
-                        true,
-                    );
+                    qa.set_selecting(StateId::from_index(s), Symbol::from_index(t), true);
                 }
             }
             let nonempty = crate::ranked_decisions::non_emptiness(&qa)

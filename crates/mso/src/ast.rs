@@ -84,6 +84,7 @@ impl Formula {
     }
 
     /// `¬φ`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Formula {
         Formula::Not(Box::new(self))
     }
@@ -192,10 +193,8 @@ impl Formula {
 
     fn walk_set(&self, out: &mut Vec<Var>) {
         match self {
-            Formula::In(_, s) => {
-                if !out.contains(s) {
-                    out.push(s.clone());
-                }
+            Formula::In(_, s) if !out.contains(s) => {
+                out.push(s.clone());
             }
             Formula::Not(f) => f.walk_set(out),
             Formula::And(a, b) | Formula::Or(a, b) => {

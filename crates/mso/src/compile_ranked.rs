@@ -80,7 +80,7 @@ fn local_dbta(
             let mut tuple = vec![0usize; arity];
             loop {
                 let ids: Vec<StateId> = tuple.iter().map(|&i| StateId::from_index(i)).collect();
-                let target = if tuple.iter().any(|&i| i == num_states) {
+                let target = if tuple.contains(&num_states) {
                     dead
                 } else {
                     match step(&tuple, base, mask) {
@@ -215,7 +215,7 @@ fn compile_inner(f: &Formula, sigma: usize, m: usize, ctx: &Ctx) -> Result<Dbta>
             let by = fo_bit(y)?;
             let cond = local_dbta(sigma, k, m, 3, &[0, 2], move |kids, _base, mask| {
                 let yjust = kids.iter().filter(|&&c| c == 1).count();
-                let sat = kids.iter().any(|&c| c == 2);
+                let sat = kids.contains(&2);
                 let (hx, hy) = (bit(mask, bx), bit(mask, by));
                 if hy {
                     // y here: its parent must carry x; y cannot also consume
@@ -249,7 +249,7 @@ fn compile_inner(f: &Formula, sigma: usize, m: usize, ctx: &Ctx) -> Result<Dbta>
             let bx = fo_bit(x)?;
             let by = fo_bit(y)?;
             let cond = local_dbta(sigma, k, m, 4, &[3], move |kids, _base, mask| {
-                let sat_below = kids.iter().any(|&c| c == 3);
+                let sat_below = kids.contains(&3);
                 let xpos = kids.iter().position(|&c| c == 1);
                 let ypos = kids.iter().position(|&c| c == 2);
                 let (hx, hy) = (bit(mask, bx), bit(mask, by));
@@ -288,7 +288,7 @@ fn compile_inner(f: &Formula, sigma: usize, m: usize, ctx: &Ctx) -> Result<Dbta>
             // states: 0 plain, 1 "y was this node", 2 satisfied.
             let cond = local_dbta(sigma, k, m, 3, &[0, 2], move |kids, _base, mask| {
                 let ypos = kids.iter().position(|&c| c == 1);
-                let sat = kids.iter().any(|&c| c == 2);
+                let sat = kids.contains(&2);
                 let (hx, hy) = (bit(mask, bx), bit(mask, by));
                 if hy {
                     if hx || ypos.is_some() {
@@ -325,7 +325,7 @@ fn compile_inner(f: &Formula, sigma: usize, m: usize, ctx: &Ctx) -> Result<Dbta>
             // links, x not yet met), 2 satisfied.
             let cond = local_dbta(sigma, k, m, 3, &[2], move |kids, _base, mask| {
                 let pending = kids.iter().position(|&c| c == 1);
-                let sat = kids.iter().any(|&c| c == 2);
+                let sat = kids.contains(&2);
                 let (hx, hy) = (bit(mask, bx), bit(mask, by));
                 if hy {
                     if pending.is_some() {
@@ -448,9 +448,8 @@ mod tests {
     use super::*;
     use crate::naive::{check, query, Structure};
     use crate::parser::parse;
+    use qa_base::rng::StdRng;
     use qa_base::Alphabet;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn random_trees(sigma: usize, m: usize, count: usize, seed: u64) -> Vec<Tree> {
         let labels: Vec<Symbol> = (0..sigma).map(Symbol::from_index).collect();
@@ -499,12 +498,7 @@ mod tests {
     #[test]
     fn set_quantifier_on_trees() {
         // "the b-labeled nodes form exactly the leaves"
-        agree_sentence(
-            "all x. (label(x, b) <-> leaf(x))",
-            &["a", "b"],
-            2,
-            5,
-        );
+        agree_sentence("all x. (label(x, b) <-> leaf(x))", &["a", "b"], 2, 5);
         // even depth of some leaf via alternating set along a path is heavy;
         // use a simpler genuine SO property: there is a set containing the
         // root and closed under taking one child, ending at a b-leaf

@@ -171,14 +171,12 @@ fn compile_inner(f: &Formula, sigma: usize, ctx: &Ctx) -> Result<Dfa> {
         }
         Formula::Label(x, a) => {
             let b = fo_bit(x)?;
-            per_position_dfa(sigma, k, |sym, mask| !bit(mask, b) || sym == *a)
-                .intersect(&valid())
+            per_position_dfa(sigma, k, |sym, mask| !bit(mask, b) || sym == *a).intersect(&valid())
         }
         Formula::Eq(x, y) => {
             let bx = fo_bit(x)?;
             let by = fo_bit(y)?;
-            per_position_dfa(sigma, k, |_, mask| bit(mask, bx) == bit(mask, by))
-                .intersect(&valid())
+            per_position_dfa(sigma, k, |_, mask| bit(mask, bx) == bit(mask, by)).intersect(&valid())
         }
         Formula::In(x, s) => {
             let bx = fo_bit(x)?;
@@ -262,11 +260,7 @@ fn compile_inner(f: &Formula, sigma: usize, ctx: &Ctx) -> Result<Dfa> {
                         _ => dead,
                     },
                 );
-                d.set_transition(
-                    done,
-                    e,
-                    if hx || hy { dead } else { done },
-                );
+                d.set_transition(done, e, if hx || hy { dead } else { done });
                 d.set_transition(dead, e, dead);
             }
             d.intersect(&valid())
@@ -412,9 +406,21 @@ mod tests {
 
     #[test]
     fn order_and_edge() {
-        agree_sentence("ex x. ex y. (edge(x, y) & label(x, a) & label(y, b))", &["a", "b"], 5);
-        agree_sentence("ex x. ex y. (x < y & label(x, b) & label(y, a))", &["a", "b"], 5);
-        agree_sentence("all x. all y. (edge(x, y) -> !(label(x, a) & label(y, a)))", &["a", "b"], 5);
+        agree_sentence(
+            "ex x. ex y. (edge(x, y) & label(x, a) & label(y, b))",
+            &["a", "b"],
+            5,
+        );
+        agree_sentence(
+            "ex x. ex y. (x < y & label(x, b) & label(y, a))",
+            &["a", "b"],
+            5,
+        );
+        agree_sentence(
+            "all x. all y. (edge(x, y) -> !(label(x, a) & label(y, a)))",
+            &["a", "b"],
+            5,
+        );
     }
 
     #[test]
@@ -432,7 +438,11 @@ mod tests {
     #[test]
     fn equality_and_root_leaf() {
         agree_sentence("all x. all y. (x = y)", &["a", "b"], 3);
-        agree_sentence("ex x. (root(x) & label(x, a)) & ex y. (leaf(y) & label(y, b))", &["a", "b"], 4);
+        agree_sentence(
+            "ex x. (root(x) & label(x, a)) & ex y. (leaf(y) & label(y, b))",
+            &["a", "b"],
+            4,
+        );
     }
 
     #[test]
@@ -498,6 +508,10 @@ mod tests {
         let mut a = Alphabet::from_names(["a", "b"]);
         let f = parse("ex x. label(x, b)", &mut a).unwrap();
         let d = compile_sentence(&f, 2).unwrap();
-        assert!(d.num_states() <= 3, "minimization keeps it tiny: {}", d.num_states());
+        assert!(
+            d.num_states() <= 3,
+            "minimization keeps it tiny: {}",
+            d.num_states()
+        );
     }
 }

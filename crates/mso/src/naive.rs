@@ -133,7 +133,12 @@ impl Assignment {
     }
 
     /// Bind a set variable to a set of elements.
-    pub fn bind_set(&mut self, var: impl Into<Var>, elements: &[usize], domain: usize) -> &mut Self {
+    pub fn bind_set(
+        &mut self,
+        var: impl Into<Var>,
+        elements: &[usize],
+        domain: usize,
+    ) -> &mut Self {
         let mut mask = vec![false; domain];
         for &e in elements {
             mask[e] = true;
@@ -327,8 +332,11 @@ mod tests {
         let mut a = Alphabet::new();
         let t = from_sexpr("(f (g x) y)", &mut a).unwrap();
         // root labeled f with a child labeled g
-        let f = parse("ex r. ex c. (root(r) & label(r, f) & edge(r, c) & label(c, g))", &mut a)
-            .unwrap();
+        let f = parse(
+            "ex r. ex c. (root(r) & label(r, f) & edge(r, c) & label(c, g))",
+            &mut a,
+        )
+        .unwrap();
         assert!(check(Structure::Tree(&t), &f).unwrap());
         // sibling order: some g-child before some y-child
         let f = parse("ex u. ex v. (label(u, g) & label(v, y) & u < v)", &mut a).unwrap();
@@ -337,8 +345,11 @@ mod tests {
         let f = parse("ex u. ex v. (label(u, y) & label(v, g) & u < v)", &mut a).unwrap();
         assert!(!check(Structure::Tree(&t), &f).unwrap());
         // x and y are NOT siblings, so incomparable
-        let f = parse("ex u. ex v. (label(u, x) & label(v, y) & (u < v | v < u))", &mut a)
-            .unwrap();
+        let f = parse(
+            "ex u. ex v. (label(u, x) & label(v, y) & (u < v | v < u))",
+            &mut a,
+        )
+        .unwrap();
         assert!(!check(Structure::Tree(&t), &f).unwrap());
     }
 
@@ -355,11 +366,7 @@ mod tests {
     fn select_leaves_if_root_sigma() {
         // the paper's flagship non-bottom-up query (Section 1)
         let mut a = Alphabet::new();
-        let f = parse(
-            "leaf(v) & (ex r. (root(r) & label(r, sigma)))",
-            &mut a,
-        )
-        .unwrap();
+        let f = parse("leaf(v) & (ex r. (root(r) & label(r, sigma)))", &mut a).unwrap();
         let t = from_sexpr("(sigma x (sigma y))", &mut a).unwrap();
         let sel = query(Structure::Tree(&t), &f, "v").unwrap();
         assert_eq!(sel.len(), 2, "both leaves selected");

@@ -106,7 +106,10 @@ fn lex(input: &str) -> Result<Vec<Tok>> {
                 toks.push(Tok::Ident(name));
             }
             other => {
-                return Err(Error::parse("mso", format!("unexpected character `{other}`")))
+                return Err(Error::parse(
+                    "mso",
+                    format!("unexpected character `{other}`"),
+                ))
             }
         }
     }
@@ -139,7 +142,11 @@ impl<'a> Parser<'a> {
         } else {
             Err(Error::parse(
                 "mso",
-                format!("expected {t:?}, found {:?} at token {}", self.peek(), self.pos),
+                format!(
+                    "expected {t:?}, found {:?} at token {}",
+                    self.peek(),
+                    self.pos
+                ),
             ))
         }
     }
@@ -147,7 +154,10 @@ impl<'a> Parser<'a> {
     fn ident(&mut self) -> Result<String> {
         match self.bump() {
             Some(Tok::Ident(s)) => Ok(s),
-            other => Err(Error::parse("mso", format!("expected identifier, found {other:?}"))),
+            other => Err(Error::parse(
+                "mso",
+                format!("expected identifier, found {other:?}"),
+            )),
         }
     }
 

@@ -11,6 +11,7 @@
 
 use qa_base::Symbol;
 use qa_core::ranked::{ops, Dbta};
+use qa_obs::{Counter, NoopObserver, Observer, Series};
 use qa_strings::StateId;
 use qa_trees::{NodeId, Tree};
 
@@ -30,11 +31,27 @@ pub fn eval_unary_ranked_naive(d: &Dbta, tree: &Tree, sigma: usize) -> Vec<NodeI
 /// pass computing every node's *context table* (the function "state at `v`
 /// ↦ state at the root"), then a per-node verdict. `O(n · |Q|)`.
 pub fn eval_unary_ranked(d: &Dbta, tree: &Tree, sigma: usize) -> Vec<NodeId> {
+    eval_unary_ranked_with(d, tree, sigma, &mut NoopObserver)
+}
+
+/// [`eval_unary_ranked`] with an [`Observer`]: the two passes and the
+/// verdict scan run as named phases, every deterministic transition lookup
+/// is a [`Counter::TableLookups`], and the machine's (totalized) state
+/// count lands in [`Series::MachineStates`]. With [`NoopObserver`] this
+/// monomorphizes to exactly `eval_unary_ranked`.
+pub fn eval_unary_ranked_with<O: Observer>(
+    d: &Dbta,
+    tree: &Tree,
+    sigma: usize,
+    obs: &mut O,
+) -> Vec<NodeId> {
     let d = ops::totalize(d);
+    obs.record(Series::MachineStates, d.num_states() as u64);
     let unmarked = |s: Symbol| ext_symbol(s, 0, sigma);
     let marked = |s: Symbol| ext_symbol(s, 1, sigma);
 
     // Pass 1 (bottom-up): b[v] = state of the unmarked subtree t_v.
+    obs.phase_start("bottom-up pass");
     let mut b: Vec<Option<StateId>> = vec![None; tree.num_nodes()];
     for v in tree.postorder() {
         let children: Vec<StateId> = tree
@@ -42,16 +59,20 @@ pub fn eval_unary_ranked(d: &Dbta, tree: &Tree, sigma: usize) -> Vec<NodeId> {
             .iter()
             .map(|c| b[c.index()].expect("postorder"))
             .collect();
+        obs.count(Counter::TableLookups, 1);
         b[v.index()] = d.transition(&children, unmarked(tree.label(v)));
         if b[v.index()].is_none() {
             // total automaton ⇒ only possible if the tree's rank exceeds
             // the automaton's; nothing is selected then.
+            obs.phase_end("bottom-up pass");
             return Vec::new();
         }
     }
+    obs.phase_end("bottom-up pass");
 
     // Pass 2 (top-down): ctx[v][q] = root state if v's subtree evaluated to
     // q (everything outside v unmarked).
+    obs.phase_start("top-down pass");
     let nq = d.num_states();
     let mut ctx: Vec<Option<Vec<StateId>>> = vec![None; tree.num_nodes()];
     ctx[tree.root().index()] = Some((0..nq).map(StateId::from_index).collect());
@@ -64,6 +85,7 @@ pub fn eval_unary_ranked(d: &Dbta, tree: &Tree, sigma: usize) -> Vec<NodeId> {
             for q_idx in 0..nq {
                 let mut children = kid_states.clone();
                 children[i] = StateId::from_index(q_idx);
+                obs.count(Counter::TableLookups, 1);
                 let here = d
                     .transition(&children, unmarked(tree.label(v)))
                     .expect("totalized");
@@ -72,15 +94,19 @@ pub fn eval_unary_ranked(d: &Dbta, tree: &Tree, sigma: usize) -> Vec<NodeId> {
             ctx[c.index()] = Some(child_table);
         }
     }
+    obs.phase_end("top-down pass");
 
     // Verdicts: replace v's subtree state by its marked variant.
-    tree.nodes()
+    obs.phase_start("verdicts");
+    let out = tree
+        .nodes()
         .filter(|&v| {
             let children: Vec<StateId> = tree
                 .children(v)
                 .iter()
                 .map(|c| b[c.index()].unwrap())
                 .collect();
+            obs.count(Counter::SelectionChecks, 1);
             match d.transition(&children, marked(tree.label(v))) {
                 Some(q_marked) => {
                     let root_state = ctx[v.index()].as_ref().unwrap()[q_marked.index()];
@@ -89,14 +115,29 @@ pub fn eval_unary_ranked(d: &Dbta, tree: &Tree, sigma: usize) -> Vec<NodeId> {
                 None => false,
             }
         })
-        .collect()
+        .collect();
+    obs.phase_end("verdicts");
+    out
 }
 
 /// Figure 6 for unranked trees: encode (first-child/next-sibling), run the
 /// ranked two-pass on the encoding, and map selected encoded nodes back.
 pub fn eval_unary_unranked(d: &Dbta, tree: &Tree, sigma: usize) -> Vec<NodeId> {
+    eval_unary_unranked_with(d, tree, sigma, &mut NoopObserver)
+}
+
+/// [`eval_unary_unranked`] with an [`Observer`]: the FCNS encoding runs as
+/// its own phase, then delegates to [`eval_unary_ranked_with`].
+pub fn eval_unary_unranked_with<O: Observer>(
+    d: &Dbta,
+    tree: &Tree,
+    sigma: usize,
+    obs: &mut O,
+) -> Vec<NodeId> {
+    obs.phase_start("fcns encoding");
     let (enc, map) = qa_trees::fcns::encode_with_map(tree, nil_symbol(sigma));
-    let selected_enc = eval_unary_ranked(d, &enc, encoded_alphabet_len(sigma));
+    obs.phase_end("fcns encoding");
+    let selected_enc = eval_unary_ranked_with(d, &enc, encoded_alphabet_len(sigma), obs);
     selected_enc
         .into_iter()
         .filter_map(|ev| map[ev.index()])
@@ -115,9 +156,8 @@ mod tests {
     use super::*;
     use crate::parser::parse;
     use crate::{compile_ranked, unranked};
+    use qa_base::rng::StdRng;
     use qa_base::Alphabet;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn two_pass_matches_naive_on_ranked_trees() {

@@ -44,9 +44,7 @@ pub fn selection_bimachine(d: &Dfa, sigma: usize) -> Result<Bimachine> {
         let from = idx1[&pairs[i]];
         for a in 0..sigma {
             let sym = Symbol::from_index(a);
-            let nxt = d
-                .next(cur, ext_symbol(sym, 0, sigma))
-                .expect("totalized");
+            let nxt = d.next(cur, ext_symbol(sym, 0, sigma)).expect("totalized");
             let key = (cur, nxt);
             let to = match idx1.get(&key) {
                 Some(&t) => t,
@@ -85,11 +83,11 @@ pub fn selection_bimachine(d: &Dfa, sigma: usize) -> Result<Bimachine> {
             // reading sym (unmarked) before the current suffix:
             // B' = {q | δ(q, sym₀) ∈ here}
             let mut b2 = vec![false; nq];
-            for q in 0..nq {
+            for (q, slot) in b2.iter_mut().enumerate() {
                 let t = d
                     .next(StateId::from_index(q), ext_symbol(sym, 0, sigma))
                     .expect("totalized");
-                b2[q] = here[t.index()];
+                *slot = here[t.index()];
             }
             let key = (here.clone(), b2);
             let to = match idx2.get(&key) {
@@ -210,11 +208,7 @@ mod tests {
     #[test]
     fn remark_3_3_query() {
         // select first and last position if the word contains a `b`
-        check_query(
-            "(root(v) | leaf(v)) & (ex x. label(x, b))",
-            &["a", "b"],
-            5,
-        );
+        check_query("(root(v) | leaf(v)) & (ex x. label(x, b))", &["a", "b"], 5);
     }
 
     #[test]

@@ -142,9 +142,8 @@ mod tests {
     use super::*;
     use crate::naive::{check, query, Structure};
     use crate::parser::parse;
+    use qa_base::rng::StdRng;
     use qa_base::Alphabet;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn random_unranked(sigma: usize, count: usize, seed: u64) -> Vec<Tree> {
         let labels: Vec<Symbol> = (0..sigma).map(Symbol::from_index).collect();

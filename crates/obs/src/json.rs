@@ -1,0 +1,160 @@
+//! Minimal hand-rolled JSON writer.
+//!
+//! The sandbox has no crates.io access, so run reports are serialized with
+//! this small helper instead of serde. It only ever *writes* JSON; the
+//! workspace never needs to parse it.
+
+/// Append `s` to `out` as a JSON string literal, escaping per RFC 8259.
+pub fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Incremental writer for one JSON object: handles comma placement and key
+/// escaping, so call sites read as a flat list of `field` calls.
+pub struct ObjectWriter<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl<'a> ObjectWriter<'a> {
+    /// Open an object (`{`) on `out`.
+    pub fn new(out: &'a mut String) -> Self {
+        out.push('{');
+        ObjectWriter { out, first: true }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        push_str(self.out, key);
+        self.out.push(':');
+    }
+
+    /// `"key": 123`
+    pub fn field_u64(&mut self, key: &str, value: u64) {
+        self.key(key);
+        self.out.push_str(&value.to_string());
+    }
+
+    /// `"key": 1.25` (written with enough precision to round-trip).
+    pub fn field_f64(&mut self, key: &str, value: f64) {
+        self.key(key);
+        if value.is_finite() {
+            self.out.push_str(&format!("{value:?}"));
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// `"key": true`
+    pub fn field_bool(&mut self, key: &str, value: bool) {
+        self.key(key);
+        self.out.push_str(if value { "true" } else { "false" });
+    }
+
+    /// `"key": "escaped value"`
+    pub fn field_str(&mut self, key: &str, value: &str) {
+        self.key(key);
+        push_str(self.out, value);
+    }
+
+    /// `"key": <value>` where `value` is already-serialized JSON.
+    pub fn field_raw(&mut self, key: &str, value: &str) {
+        self.key(key);
+        self.out.push_str(value);
+    }
+
+    /// `"key": [1, 2, 3]`
+    pub fn field_u64_array(&mut self, key: &str, values: impl IntoIterator<Item = u64>) {
+        self.key(key);
+        self.out.push('[');
+        for (i, v) in values.into_iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            self.out.push_str(&v.to_string());
+        }
+        self.out.push(']');
+    }
+
+    /// Close the object (`}`).
+    pub fn finish(self) {
+        self.out.push('}');
+    }
+}
+
+/// Serialize a whole object in one expression.
+pub fn object(build: impl FnOnce(&mut ObjectWriter)) -> String {
+    let mut out = String::new();
+    let mut w = ObjectWriter::new(&mut out);
+    build(&mut w);
+    w.finish();
+    out
+}
+
+/// Serialize a JSON array from already-serialized element strings.
+pub fn array(elems: impl IntoIterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (i, e) in elems.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&e);
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_chars() {
+        let mut out = String::new();
+        push_str(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, r#""a\"b\\c\nd\u0001""#);
+    }
+
+    #[test]
+    fn object_writer_places_commas() {
+        let s = object(|w| {
+            w.field_u64("a", 1);
+            w.field_str("b", "x");
+            w.field_bool("c", false);
+            w.field_u64_array("d", [1, 2]);
+        });
+        assert_eq!(s, r#"{"a":1,"b":"x","c":false,"d":[1,2]}"#);
+    }
+
+    #[test]
+    fn floats_round_trip_and_nan_is_null() {
+        let s = object(|w| {
+            w.field_f64("x", 1.5);
+            w.field_f64("y", f64::NAN);
+        });
+        assert_eq!(s, r#"{"x":1.5,"y":null}"#);
+    }
+
+    #[test]
+    fn array_joins_elements() {
+        assert_eq!(array(["1".to_string(), "{}".to_string()]), "[1,{}]");
+        assert_eq!(array(std::iter::empty()), "[]");
+    }
+}

@@ -1,0 +1,303 @@
+//! The shared [`Metrics`] registry: atomic counters plus fixed-bucket
+//! histograms, serializable to JSON by hand.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json::{self, ObjectWriter};
+use crate::observer::{Counter, Observer, Series};
+
+/// Buckets per histogram: bucket 0 holds the value 0, bucket `i ≥ 1` holds
+/// values in `[2^(i-1), 2^i)`, and the last bucket absorbs the tail.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A lock-free power-of-two histogram.
+///
+/// All updates use relaxed atomics: the registry tracks aggregate workload
+/// statistics, not synchronization-sensitive state, and relaxed increments
+/// keep the observed hot loops cheap.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for `value` under the power-of-two scheme.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        let i = 64 - value.leading_zeros() as usize;
+        i.min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy of the current totals.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Sample counts per power-of-two bucket (see [`bucket_index`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the samples, `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    fn write_json(&self, w: &mut ObjectWriter) {
+        w.field_u64("count", self.count);
+        w.field_u64("sum", self.sum);
+        w.field_u64("min", self.min);
+        w.field_u64("max", self.max);
+        w.field_f64("mean", self.mean());
+        // Drop the empty tail so reports stay short.
+        let used = HISTOGRAM_BUCKETS - self.buckets.iter().rev().take_while(|&&b| b == 0).count();
+        w.field_u64_array("buckets", self.buckets[..used].iter().copied());
+    }
+}
+
+/// Registry of every [`Counter`] and [`Series`] histogram, shareable across
+/// threads (all interior mutability is relaxed atomics).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: [AtomicU64; Counter::COUNT],
+    series: [Histogram; Series::COUNT],
+}
+
+impl Metrics {
+    /// Fresh registry with everything at zero.
+    pub fn new() -> Self {
+        Metrics {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            series: std::array::from_fn(|_| Histogram::default()),
+        }
+    }
+
+    /// Bump `counter` by `n`.
+    #[inline]
+    pub fn count(&self, counter: Counter, n: u64) {
+        self.counters[counter.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of `counter`.
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()].load(Ordering::Relaxed)
+    }
+
+    /// Record one sample into `series`.
+    #[inline]
+    pub fn record(&self, series: Series, value: u64) {
+        self.series[series.index()].record(value);
+    }
+
+    /// Snapshot of the histogram behind `series`.
+    pub fn histogram(&self, series: Series) -> HistogramSnapshot {
+        self.series[series.index()].snapshot()
+    }
+
+    /// Borrow an [`Observer`] that feeds this registry.
+    pub fn observer(&self) -> MetricsObserver<'_> {
+        MetricsObserver { metrics: self }
+    }
+
+    /// Reset every counter and histogram to zero.
+    pub fn reset(&self) {
+        for c in &self.counters {
+            c.store(0, Ordering::Relaxed);
+        }
+        for h in &self.series {
+            for b in &h.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            h.count.store(0, Ordering::Relaxed);
+            h.sum.store(0, Ordering::Relaxed);
+            h.min.store(u64::MAX, Ordering::Relaxed);
+            h.max.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Serialize the registry:
+    /// `{"counters": {name: value, …}, "series": {name: {count, sum, min,
+    /// max, mean, buckets}, …}}`. Counters at zero and empty series are
+    /// omitted.
+    pub fn to_json(&self) -> String {
+        json::object(|w| {
+            let counters = json::object(|cw| {
+                for c in Counter::ALL {
+                    let v = self.get(c);
+                    if v != 0 {
+                        cw.field_u64(c.name(), v);
+                    }
+                }
+            });
+            w.field_raw("counters", &counters);
+            let series = json::object(|sw| {
+                for s in Series::ALL {
+                    let snap = self.histogram(s);
+                    if snap.count != 0 {
+                        sw.field_raw(s.name(), &json::object(|hw| snap.write_json(hw)));
+                    }
+                }
+            });
+            w.field_raw("series", &series);
+        })
+    }
+}
+
+/// [`Observer`] adapter writing into a shared [`Metrics`] registry.
+#[derive(Debug)]
+pub struct MetricsObserver<'a> {
+    metrics: &'a Metrics,
+}
+
+impl Observer for MetricsObserver<'_> {
+    #[inline]
+    fn count(&mut self, counter: Counter, n: u64) {
+        self.metrics.count(counter, n);
+    }
+
+    #[inline]
+    fn record(&mut self, series: Series, value: u64) {
+        self.metrics.record(series, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn counter_arithmetic() {
+        let m = Metrics::new();
+        m.count(Counter::Steps, 3);
+        m.count(Counter::Steps, 4);
+        m.count(Counter::BudgetTrips, 1);
+        assert_eq!(m.get(Counter::Steps), 7);
+        assert_eq!(m.get(Counter::BudgetTrips), 1);
+        assert_eq!(m.get(Counter::HeadReversals), 0);
+        m.reset();
+        assert_eq!(m.get(Counter::Steps), 0);
+    }
+
+    #[test]
+    fn histogram_arithmetic() {
+        let m = Metrics::new();
+        for v in [0u64, 1, 1, 5, 16] {
+            m.record(Series::TraceLength, v);
+        }
+        let h = m.histogram(Series::TraceLength);
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 23);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 16);
+        assert!((h.mean() - 4.6).abs() < 1e-9);
+        assert_eq!(h.buckets[0], 1); // the 0
+        assert_eq!(h.buckets[1], 2); // the two 1s
+        assert_eq!(h.buckets[3], 1); // 5 ∈ [4, 8)
+        assert_eq!(h.buckets[5], 1); // 16 ∈ [16, 32)
+    }
+
+    #[test]
+    fn empty_histogram_min_is_zero() {
+        let h = Metrics::new().histogram(Series::RunSteps);
+        assert_eq!((h.count, h.min, h.max), (0, 0, 0));
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn json_shape_omits_zeroes() {
+        let m = Metrics::new();
+        assert_eq!(m.to_json(), r#"{"counters":{},"series":{}}"#);
+        m.count(Counter::Steps, 11);
+        m.record(Series::TraceLength, 1);
+        m.record(Series::TraceLength, 3);
+        let j = m.to_json();
+        assert_eq!(
+            j,
+            concat!(
+                r#"{"counters":{"steps":11},"#,
+                r#""series":{"trace_length":{"count":2,"sum":4,"min":1,"max":3,"#,
+                r#""mean":2.0,"buckets":[0,1,1]}}}"#
+            )
+        );
+    }
+
+    #[test]
+    fn observer_feeds_registry() {
+        let m = Metrics::new();
+        {
+            let mut o = m.observer();
+            o.count(Counter::StayRounds, 2);
+            o.record(Series::StaysPerNode, 9);
+        }
+        assert_eq!(m.get(Counter::StayRounds), 2);
+        assert_eq!(m.histogram(Series::StaysPerNode).max, 9);
+    }
+}

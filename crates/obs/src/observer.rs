@@ -1,0 +1,292 @@
+//! The [`Observer`] trait and its trivial implementations.
+
+/// A monotone event counter maintained by the instrumented engines.
+///
+/// The set is closed: engines across the workspace agree on these names so
+/// that metrics from a string run, a tree run and a decision procedure land
+/// in one registry with one JSON schema.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Counter {
+    /// Head moves of a 2DFA / transitions fired by a tree run.
+    Steps,
+    /// Direction changes of a two-way string head.
+    HeadReversals,
+    /// Transition-table lookups (`δ`, `δ↓`, `δ↑`, classifier steps, …).
+    TableLookups,
+    /// Node (re-)examinations by the worklist cut engines — how often a
+    /// cut had to be recomputed around a node.
+    CutRecomputations,
+    /// Stay-transition rounds fired (Definition 5.11 machines).
+    StayRounds,
+    /// Selection-function probes (`λ(s, σ)` checks).
+    SelectionChecks,
+    /// Summaries / composite states materialized by a decision fixpoint or
+    /// an automaton construction.
+    SummariesExplored,
+    /// Fixpoint rounds (Lemma 5.2 reachability, Thm. 6.3 saturation).
+    FixpointIterations,
+    /// Fuel / budget units consumed by a bounded procedure.
+    BudgetConsumed,
+    /// Times a fuel or summary budget was exhausted.
+    BudgetTrips,
+}
+
+impl Counter {
+    /// Every counter, in serialization order.
+    pub const ALL: [Counter; 10] = [
+        Counter::Steps,
+        Counter::HeadReversals,
+        Counter::TableLookups,
+        Counter::CutRecomputations,
+        Counter::StayRounds,
+        Counter::SelectionChecks,
+        Counter::SummariesExplored,
+        Counter::FixpointIterations,
+        Counter::BudgetConsumed,
+        Counter::BudgetTrips,
+    ];
+
+    /// Number of counters.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Dense index (stable across the workspace; JSON order).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// `snake_case` name used in JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Steps => "steps",
+            Counter::HeadReversals => "head_reversals",
+            Counter::TableLookups => "table_lookups",
+            Counter::CutRecomputations => "cut_recomputations",
+            Counter::StayRounds => "stay_rounds",
+            Counter::SelectionChecks => "selection_checks",
+            Counter::SummariesExplored => "summaries_explored",
+            Counter::FixpointIterations => "fixpoint_iterations",
+            Counter::BudgetConsumed => "budget_consumed",
+            Counter::BudgetTrips => "budget_trips",
+        }
+    }
+}
+
+/// A value distribution tracked by a fixed-bucket histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Series {
+    /// Total steps of one two-way string run.
+    TraceLength,
+    /// Total work of one tree run (transitions or node examinations).
+    RunSteps,
+    /// `|Assumed(w, i)|` / `|Assumed(t, v)|` per position or node.
+    AssumedStates,
+    /// Stay transitions fired at one node.
+    StaysPerNode,
+    /// States of a constructed machine (Hopcroft–Ullman composition,
+    /// tiling reduction, Shepherdson, …).
+    MachineStates,
+    /// Nodes of a produced witness tree / length of a witness word.
+    WitnessSize,
+}
+
+impl Series {
+    /// Every series, in serialization order.
+    pub const ALL: [Series; 6] = [
+        Series::TraceLength,
+        Series::RunSteps,
+        Series::AssumedStates,
+        Series::StaysPerNode,
+        Series::MachineStates,
+        Series::WitnessSize,
+    ];
+
+    /// Number of series.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Dense index (stable; JSON order).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// `snake_case` name used in JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Series::TraceLength => "trace_length",
+            Series::RunSteps => "run_steps",
+            Series::AssumedStates => "assumed_states",
+            Series::StaysPerNode => "stays_per_node",
+            Series::MachineStates => "machine_states",
+            Series::WitnessSize => "witness_size",
+        }
+    }
+}
+
+/// Event sink for instrumented engines.
+///
+/// Every method has an empty `#[inline]` default, so a sink only overrides
+/// what it cares about and the all-default [`NoopObserver`] monomorphizes
+/// each hook away entirely — the zero-cost contract the parity tests and
+/// the `e2`/`e10` benches verify.
+///
+/// Engines hold `&mut O` for an `O: Observer`, which keeps sinks free to
+/// buffer without synchronization; use [`MetricsObserver`] when the
+/// aggregate must be shared across threads.
+///
+/// [`MetricsObserver`]: crate::MetricsObserver
+pub trait Observer {
+    /// Bump `counter` by `n`.
+    #[inline]
+    fn count(&mut self, counter: Counter, n: u64) {
+        let _ = (counter, n);
+    }
+
+    /// Record one sample `value` into `series`.
+    #[inline]
+    fn record(&mut self, series: Series, value: u64) {
+        let _ = (series, value);
+    }
+
+    /// A two-way configuration: `state` at tape/tree position `pos`,
+    /// about to move in `dir` (−1 left, 0 halt/stay, +1 right).
+    #[inline]
+    fn config(&mut self, state: u32, pos: u32, dir: i8) {
+        let _ = (state, pos, dir);
+    }
+
+    /// Enter a named phase (bottom-up pass, saturation round, …).
+    /// Phases nest; sinks that time phases match this with
+    /// [`Observer::phase_end`].
+    #[inline]
+    fn phase_start(&mut self, name: &'static str) {
+        let _ = name;
+    }
+
+    /// Leave the innermost open phase named `name`.
+    #[inline]
+    fn phase_end(&mut self, name: &'static str) {
+        let _ = name;
+    }
+
+    /// Whether this sink records anything. Engines may use this to skip
+    /// *computing* an expensive event argument; they must not skip the
+    /// algorithm itself.
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The do-nothing sink: instrumented code paths compile to the exact
+/// uninstrumented code.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopObserver;
+
+impl Observer for NoopObserver {
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Forwarding impl so engines can be handed a reborrowed sink.
+impl<O: Observer + ?Sized> Observer for &mut O {
+    #[inline]
+    fn count(&mut self, counter: Counter, n: u64) {
+        (**self).count(counter, n);
+    }
+    #[inline]
+    fn record(&mut self, series: Series, value: u64) {
+        (**self).record(series, value);
+    }
+    #[inline]
+    fn config(&mut self, state: u32, pos: u32, dir: i8) {
+        (**self).config(state, pos, dir);
+    }
+    #[inline]
+    fn phase_start(&mut self, name: &'static str) {
+        (**self).phase_start(name);
+    }
+    #[inline]
+    fn phase_end(&mut self, name: &'static str) {
+        (**self).phase_end(name);
+    }
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        (**self).is_enabled()
+    }
+}
+
+/// Fan an event stream out to two sinks (e.g. a [`RunTrace`] for the
+/// configurations and a [`MetricsObserver`] for the aggregate).
+///
+/// [`RunTrace`]: crate::RunTrace
+/// [`MetricsObserver`]: crate::MetricsObserver
+#[derive(Debug, Default)]
+pub struct Tee<A, B>(pub A, pub B);
+
+impl<A: Observer, B: Observer> Observer for Tee<A, B> {
+    #[inline]
+    fn count(&mut self, counter: Counter, n: u64) {
+        self.0.count(counter, n);
+        self.1.count(counter, n);
+    }
+    #[inline]
+    fn record(&mut self, series: Series, value: u64) {
+        self.0.record(series, value);
+        self.1.record(series, value);
+    }
+    #[inline]
+    fn config(&mut self, state: u32, pos: u32, dir: i8) {
+        self.0.config(state, pos, dir);
+        self.1.config(state, pos, dir);
+    }
+    #[inline]
+    fn phase_start(&mut self, name: &'static str) {
+        self.0.phase_start(name);
+        self.1.phase_start(name);
+    }
+    #[inline]
+    fn phase_end(&mut self, name: &'static str) {
+        self.0.phase_end(name);
+        self.1.phase_end(name);
+    }
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        self.0.is_enabled() || self.1.is_enabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_indices_are_dense_and_ordered() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        for (i, s) in Series::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn noop_is_disabled() {
+        assert!(!NoopObserver.is_enabled());
+        let mut n = NoopObserver;
+        let fwd: &mut NoopObserver = &mut n;
+        assert!(!fwd.is_enabled());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.extend(Series::ALL.iter().map(|s| s.name()));
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total);
+    }
+}

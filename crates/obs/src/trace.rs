@@ -1,0 +1,274 @@
+//! [`RunTrace`]: a recording observer for debugging and run reports.
+
+use std::time::{Duration, Instant};
+
+use crate::json::{self, ObjectWriter};
+use crate::observer::{Counter, Observer, Series};
+
+/// One recorded two-way configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Machine state.
+    pub state: u32,
+    /// Tape position / tree node index.
+    pub pos: u32,
+    /// Move direction: −1 left/up, +1 right/down, 0 halt or stay.
+    pub dir: i8,
+}
+
+/// A completed named phase with its wall-clock duration.
+#[derive(Clone, Debug)]
+pub struct PhaseSpan {
+    /// Phase name as passed to [`Observer::phase_start`].
+    pub name: &'static str,
+    /// Nesting depth at which the phase ran (0 = top level).
+    pub depth: usize,
+    /// Wall-clock time between start and end.
+    pub elapsed: Duration,
+}
+
+/// Observer that records the configuration sequence of a run, tallies
+/// counters locally, and times phases.
+///
+/// The configuration log is capped (default 4096 entries; see
+/// [`RunTrace::with_capacity`]) so tracing a runaway run cannot exhaust
+/// memory — `truncated` reports whether the cap was hit.
+#[derive(Debug)]
+pub struct RunTrace {
+    /// Recorded configurations, oldest first.
+    pub configs: Vec<TraceConfig>,
+    /// Completed phases in completion order.
+    pub phases: Vec<PhaseSpan>,
+    counters: [u64; Counter::COUNT],
+    samples: [(u64, u64); Series::COUNT], // (count, sum)
+    cap: usize,
+    truncated: bool,
+    open_phases: Vec<(&'static str, Instant)>,
+}
+
+impl Default for RunTrace {
+    fn default() -> Self {
+        Self::with_capacity(4096)
+    }
+}
+
+impl RunTrace {
+    /// Trace with the default configuration cap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trace that records at most `cap` configurations.
+    pub fn with_capacity(cap: usize) -> Self {
+        RunTrace {
+            configs: Vec::new(),
+            phases: Vec::new(),
+            counters: [0; Counter::COUNT],
+            samples: [(0, 0); Series::COUNT],
+            cap,
+            truncated: false,
+            open_phases: Vec::new(),
+        }
+    }
+
+    /// Whether the configuration cap was hit.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Locally tallied value of `counter`.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()]
+    }
+
+    /// `(count, sum)` of samples recorded into `series`.
+    pub fn samples(&self, series: Series) -> (u64, u64) {
+        self.samples[series.index()]
+    }
+
+    /// Head reversals implied by the recorded configurations (adjacent
+    /// configs with opposite nonzero directions).
+    pub fn reversals(&self) -> u64 {
+        self.configs
+            .windows(2)
+            .filter(|w| w[0].dir != 0 && w[1].dir != 0 && w[0].dir != w[1].dir)
+            .count() as u64
+    }
+
+    /// Human-readable rendering: one `state @ pos dir` line per
+    /// configuration, then counters and phase timings.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (i, c) in self.configs.iter().enumerate() {
+            let arrow = match c.dir {
+                d if d < 0 => "<-",
+                d if d > 0 => "->",
+                _ => "--",
+            };
+            out.push_str(&format!("{i:4}  q{} @ {} {}\n", c.state, c.pos, arrow));
+        }
+        if self.truncated {
+            out.push_str("      ... (truncated)\n");
+        }
+        for c in Counter::ALL {
+            let v = self.counter(c);
+            if v != 0 {
+                out.push_str(&format!("{}: {v}\n", c.name()));
+            }
+        }
+        for p in &self.phases {
+            out.push_str(&format!(
+                "{}[{}] {:.3} ms\n",
+                "  ".repeat(p.depth),
+                p.name,
+                p.elapsed.as_secs_f64() * 1e3
+            ));
+        }
+        out
+    }
+
+    /// JSON run report:
+    /// `{"configs": [{state, pos, dir}…], "truncated": bool,
+    /// "counters": {…}, "phases": [{name, depth, ms}…]}`.
+    pub fn to_json(&self) -> String {
+        json::object(|w| {
+            let configs = json::array(self.configs.iter().map(|c| {
+                json::object(|cw| {
+                    cw.field_u64("state", c.state as u64);
+                    cw.field_u64("pos", c.pos as u64);
+                    cw.field_raw("dir", &c.dir.to_string());
+                })
+            }));
+            w.field_raw("configs", &configs);
+            w.field_bool("truncated", self.truncated);
+            self.write_counters(w);
+            let phases = json::array(self.phases.iter().map(|p| {
+                json::object(|pw| {
+                    pw.field_str("name", p.name);
+                    pw.field_u64("depth", p.depth as u64);
+                    pw.field_f64("ms", p.elapsed.as_secs_f64() * 1e3);
+                })
+            }));
+            w.field_raw("phases", &phases);
+        })
+    }
+
+    fn write_counters(&self, w: &mut ObjectWriter) {
+        let counters = json::object(|cw| {
+            for c in Counter::ALL {
+                let v = self.counter(c);
+                if v != 0 {
+                    cw.field_u64(c.name(), v);
+                }
+            }
+        });
+        w.field_raw("counters", &counters);
+    }
+}
+
+impl Observer for RunTrace {
+    #[inline]
+    fn count(&mut self, counter: Counter, n: u64) {
+        self.counters[counter.index()] += n;
+    }
+
+    #[inline]
+    fn record(&mut self, series: Series, value: u64) {
+        let (c, s) = &mut self.samples[series.index()];
+        *c += 1;
+        *s += value;
+    }
+
+    #[inline]
+    fn config(&mut self, state: u32, pos: u32, dir: i8) {
+        if self.configs.len() < self.cap {
+            self.configs.push(TraceConfig { state, pos, dir });
+        } else {
+            self.truncated = true;
+        }
+    }
+
+    fn phase_start(&mut self, name: &'static str) {
+        self.open_phases.push((name, Instant::now()));
+    }
+
+    fn phase_end(&mut self, name: &'static str) {
+        // Close the innermost open phase with this name; ignore a stray end.
+        if let Some(i) = self.open_phases.iter().rposition(|(n, _)| *n == name) {
+            let (_, start) = self.open_phases.remove(i);
+            self.phases.push(PhaseSpan {
+                name,
+                depth: i,
+                elapsed: start.elapsed(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_configs_and_counts_reversals() {
+        let mut t = RunTrace::new();
+        t.config(0, 0, 1);
+        t.config(0, 1, 1);
+        t.config(1, 2, -1);
+        t.config(2, 1, 0);
+        assert_eq!(t.configs.len(), 4);
+        assert_eq!(t.reversals(), 1);
+        assert!(!t.truncated());
+    }
+
+    #[test]
+    fn cap_truncates() {
+        let mut t = RunTrace::with_capacity(2);
+        for i in 0..5 {
+            t.config(0, i, 1);
+        }
+        assert_eq!(t.configs.len(), 2);
+        assert!(t.truncated());
+    }
+
+    #[test]
+    fn phases_nest_and_time() {
+        let mut t = RunTrace::new();
+        t.phase_start("outer");
+        t.phase_start("inner");
+        t.phase_end("inner");
+        t.phase_end("outer");
+        t.phase_end("stray"); // ignored
+        assert_eq!(t.phases.len(), 2);
+        assert_eq!(t.phases[0].name, "inner");
+        assert_eq!(t.phases[0].depth, 1);
+        assert_eq!(t.phases[1].name, "outer");
+        assert_eq!(t.phases[1].depth, 0);
+    }
+
+    #[test]
+    fn json_contains_configs_counters_phases() {
+        let mut t = RunTrace::new();
+        t.config(1, 2, -1);
+        t.count(Counter::Steps, 4);
+        t.phase_start("run");
+        t.phase_end("run");
+        let j = t.to_json();
+        assert!(j.starts_with(r#"{"configs":[{"state":1,"pos":2,"dir":-1}]"#));
+        assert!(j.contains(r#""counters":{"steps":4}"#));
+        assert!(j.contains(r#""name":"run""#));
+        assert!(j.contains(r#""truncated":false"#));
+    }
+
+    #[test]
+    fn text_rendering_shows_directions() {
+        let mut t = RunTrace::new();
+        t.config(0, 0, 1);
+        t.config(1, 1, -1);
+        t.config(2, 0, 0);
+        let text = t.render_text();
+        assert!(text.contains("q0 @ 0 ->"));
+        assert!(text.contains("q1 @ 1 <-"));
+        assert!(text.contains("q2 @ 0 --"));
+    }
+}

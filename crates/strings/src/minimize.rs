@@ -30,7 +30,7 @@ pub fn minimize(dfa: &Dfa) -> Dfa {
     let mut class: Vec<usize> = (0..n)
         .map(|i| usize::from(total.is_accepting(StateId::from_index(i))))
         .collect();
-    let mut num_classes = if class.iter().any(|&c| c == 1) && class.iter().any(|&c| c == 0) {
+    let mut num_classes = if class.contains(&1) && class.contains(&0) {
         2
     } else {
         1

@@ -356,9 +356,9 @@ impl Nfa {
             std::collections::HashMap::new();
         let mut queue: VecDeque<(StateId, StateId)> = VecDeque::new();
         let intern = |prod: &mut Nfa,
-                          queue: &mut VecDeque<(StateId, StateId)>,
-                          index: &mut std::collections::HashMap<(StateId, StateId), StateId>,
-                          pair: (StateId, StateId)| {
+                      queue: &mut VecDeque<(StateId, StateId)>,
+                      index: &mut std::collections::HashMap<(StateId, StateId), StateId>,
+                      pair: (StateId, StateId)| {
             *index.entry(pair).or_insert_with(|| {
                 queue.push_back(pair);
                 prod.add_state()

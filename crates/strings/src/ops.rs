@@ -52,7 +52,9 @@ pub fn complement(nfa: &Nfa) -> Dfa {
 
 /// Whether two NFAs accept the same language.
 pub fn nfa_equivalent(a: &Nfa, b: &Nfa) -> bool {
-    determinize(a).minimize().equivalent(&determinize(b).minimize())
+    determinize(a)
+        .minimize()
+        .equivalent(&determinize(b).minimize())
 }
 
 /// Whether `L(a) ⊆ L(b)` for NFAs.

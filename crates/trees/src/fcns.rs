@@ -102,9 +102,8 @@ pub fn next_sibling(t: &Tree, v: NodeId) -> Option<NodeId> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qa_base::rng::StdRng;
     use qa_base::Alphabet;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn setup() -> (Alphabet, Symbol) {
         let mut a = Alphabet::new();

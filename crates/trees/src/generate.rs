@@ -1,7 +1,7 @@
 //! Tree generators for tests and the benchmark harness.
 
+use qa_base::rng::Rng;
 use qa_base::Symbol;
-use rand::Rng;
 
 use crate::Tree;
 
@@ -129,9 +129,8 @@ pub fn random_full_binary<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qa_base::rng::StdRng;
     use qa_base::Alphabet;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn syms() -> (Symbol, Symbol) {
         let mut a = Alphabet::new();

@@ -54,10 +54,7 @@ pub fn from_sexpr(input: &str, alphabet: &mut Alphabet) -> Result<Tree> {
     let mut tree: Option<Tree> = None;
     let mut open: Vec<NodeId> = Vec::new();
     let mut i = 0usize;
-    let attach = |tree: &mut Option<Tree>,
-                      open: &[NodeId],
-                      label: Symbol|
-     -> Result<NodeId> {
+    let attach = |tree: &mut Option<Tree>, open: &[NodeId], label: Symbol| -> Result<NodeId> {
         match (tree.as_mut(), open.last()) {
             (None, _) => {
                 *tree = Some(Tree::leaf(label));

@@ -35,7 +35,10 @@ pub fn fold_bottom_up<T: Clone>(
             .collect();
         values[v.index()] = Some(f(tree, v, &child_vals));
     }
-    values.into_iter().map(|v| v.expect("all visited")).collect()
+    values
+        .into_iter()
+        .map(|v| v.expect("all visited"))
+        .collect()
 }
 
 /// Fold top-down: compute a value per node from its parent's value (root
@@ -53,7 +56,10 @@ pub fn fold_top_down<T: Clone>(
             values[c.index()] = Some(f(tree, c, &val));
         }
     }
-    values.into_iter().map(|v| v.expect("all visited")).collect()
+    values
+        .into_iter()
+        .map(|v| v.expect("all visited"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -65,9 +71,7 @@ mod tests {
     fn fold_bottom_up_computes_sizes() {
         let mut a = Alphabet::new();
         let t = crate::sexpr::from_sexpr("(f (g x y) y)", &mut a).unwrap();
-        let sizes = fold_bottom_up(&t, |_, _, kids: &[usize]| {
-            1 + kids.iter().sum::<usize>()
-        });
+        let sizes = fold_bottom_up(&t, |_, _, kids: &[usize]| 1 + kids.iter().sum::<usize>());
         assert_eq!(sizes[t.root().index()], 5);
         let g = t.child(t.root(), 0);
         assert_eq!(sizes[g.index()], 3);

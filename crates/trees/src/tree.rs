@@ -352,7 +352,13 @@ mod tests {
         let mut a = Alphabet::new();
         let (f, g, x, y) = (a.intern("f"), a.intern("g"), a.intern("x"), a.intern("y"));
         // f(g(x, y), y)
-        let t = Tree::node(f, vec![Tree::node(g, vec![Tree::leaf(x), Tree::leaf(y)]), Tree::leaf(y)]);
+        let t = Tree::node(
+            f,
+            vec![
+                Tree::node(g, vec![Tree::leaf(x), Tree::leaf(y)]),
+                Tree::leaf(y),
+            ],
+        );
         (t, a)
     }
 

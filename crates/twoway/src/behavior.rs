@@ -12,6 +12,7 @@
 //! procedures.
 
 use qa_base::Symbol;
+use qa_obs::{Counter, NoopObserver, Observer, Series};
 use qa_strings::StateId;
 
 use crate::tape::Tape;
@@ -56,6 +57,18 @@ impl BehaviorAnalysis {
     /// Theorem 3.9 (left-to-right for `f←`/`first`, right-to-left for
     /// `Assumed`).
     pub fn analyze(machine: &TwoDfa, word: &[Symbol]) -> BehaviorAnalysis {
+        Self::analyze_with(machine, word, &mut NoopObserver)
+    }
+
+    /// [`BehaviorAnalysis::analyze`] with an [`Observer`]: table lookups of
+    /// the chain recurrences and the sizes of the resulting `Assumed` sets
+    /// are reported to `obs`. With [`NoopObserver`] this monomorphizes to
+    /// exactly `analyze`.
+    pub fn analyze_with<O: Observer>(
+        machine: &TwoDfa,
+        word: &[Symbol],
+        obs: &mut O,
+    ) -> BehaviorAnalysis {
         let n = word.len();
         let tape_len = n + 2;
         let states = machine.num_states();
@@ -77,6 +90,7 @@ impl BehaviorAnalysis {
                     }
                     visited[cur.index()] = true;
                     seq.push(cur);
+                    obs.count(Counter::TableLookups, 1);
                     match machine.action(cur, cell) {
                         None => break Outcome::Halts(cur, i),
                         Some((Dir::Right, s2)) => break Outcome::Exits(s2),
@@ -140,6 +154,11 @@ impl BehaviorAnalysis {
                 assumed[i] = set;
             }
         }
+        if obs.is_enabled() {
+            for set in &assumed {
+                obs.record(Series::AssumedStates, set.len() as u64);
+            }
+        }
 
         BehaviorAnalysis {
             chain_exit,
@@ -154,7 +173,13 @@ impl BehaviorAnalysis {
     /// The paper's behavior function `f←` for the prefix ending at tape
     /// position `i`: `Some(s)` for right-moving states, the first return
     /// state for left-moving ones, `None` when the excursion never returns.
-    pub fn paper_f(&self, machine: &TwoDfa, word: &[Symbol], i: usize, s: StateId) -> Option<StateId> {
+    pub fn paper_f(
+        &self,
+        machine: &TwoDfa,
+        word: &[Symbol],
+        i: usize,
+        s: StateId,
+    ) -> Option<StateId> {
         match machine.action(s, Tape::at(word, i)) {
             Some((Dir::Right, _)) => Some(s),
             Some((Dir::Left, s1)) => match self.chain_exit[i - 1][s1.index()] {

@@ -198,21 +198,20 @@ fn build(m: &TwoDfa, marking: Option<&StringQa>) -> Nfa {
     let mut index: HashMap<CrossState, StateId> = HashMap::new();
     let mut queue: VecDeque<CrossState> = VecDeque::new();
 
-    let intern =
-        |nfa: &mut Nfa,
-         queue: &mut VecDeque<CrossState>,
-         index: &mut HashMap<CrossState, StateId>,
-         st: CrossState| {
-            match index.get(&st) {
-                Some(&id) => id,
-                None => {
-                    let id = nfa.add_state();
-                    index.insert(st.clone(), id);
-                    queue.push_back(st);
-                    id
-                }
+    let intern = |nfa: &mut Nfa,
+                  queue: &mut VecDeque<CrossState>,
+                  index: &mut HashMap<CrossState, StateId>,
+                  st: CrossState| {
+        match index.get(&st) {
+            Some(&id) => id,
+            None => {
+                let id = nfa.add_state();
+                index.insert(st.clone(), id);
+                queue.push_back(st);
+                id
             }
-        };
+        }
+    };
 
     // Initial NFA states: all consistent matches of the ⊳ cell.
     for cm in matches_of_cell(m, Tape::LeftMarker, &[], Some(m.initial())) {
@@ -265,9 +264,7 @@ fn build(m: &TwoDfa, marking: Option<&StringQa>) -> Nfa {
                 if let Some(qa) = marking {
                     // Marked copy of the symbol: allowed once, and only when
                     // a selecting state visits this cell.
-                    if !st.marked_seen
-                        && cm.visited.iter().any(|&s| qa.is_selecting(s, sym))
-                    {
+                    if !st.marked_seen && cm.visited.iter().any(|&s| qa.is_selecting(s, sym)) {
                         let next_marked = CrossState {
                             seq: cm.right_seq.clone(),
                             halted,

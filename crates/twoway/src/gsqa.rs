@@ -1,6 +1,7 @@
 //! Generalized string query automata (Definition 3.5).
 
 use qa_base::{Error, Result, Symbol};
+use qa_obs::{Counter, NoopObserver, Observer};
 use qa_strings::StateId;
 
 use crate::tape::Tape;
@@ -64,17 +65,29 @@ impl Gsqa {
     /// Errors when the machine loops, rejects, or violates the
     /// exactly-one-output-per-position convention.
     pub fn run(&self, word: &[Symbol]) -> Result<Vec<u32>> {
-        let rec = self.machine.run(word)?;
+        self.run_with(word, &mut NoopObserver)
+    }
+
+    /// [`Gsqa::run`] with an [`Observer`]: the underlying 2DFA run and the
+    /// output-collection scan are reported to `obs`. With [`NoopObserver`]
+    /// this monomorphizes to exactly `run`.
+    pub fn run_with<O: Observer>(&self, word: &[Symbol], obs: &mut O) -> Result<Vec<u32>> {
+        obs.phase_start("run");
+        let rec = self.machine.run_with(word, obs);
+        obs.phase_end("run");
+        let rec = rec?;
         if !rec.accepted {
             return Err(Error::stuck(
                 "GSQA halted in a non-final state; output undefined",
             ));
         }
+        obs.phase_start("output scan");
         let mut out: Vec<Option<u32>> = vec![None; word.len()];
         for (pos, states) in rec.assumed.iter().enumerate() {
             let Some(sym) = Tape::at(word, pos).symbol() else {
                 continue;
             };
+            obs.count(Counter::SelectionChecks, states.len() as u64);
             for &s in states {
                 if let Some(g) = self.output_of(s, sym) {
                     match out[pos - 1] {
@@ -93,6 +106,7 @@ impl Gsqa {
                 }
             }
         }
+        obs.phase_end("output scan");
         out.into_iter()
             .enumerate()
             .map(|(i, o)| {

@@ -19,6 +19,7 @@
 use std::collections::HashMap;
 
 use qa_base::{Error, Result, Symbol};
+use qa_obs::{Counter, NoopObserver, Observer, Series};
 use qa_strings::{Dfa, StateId};
 
 use crate::gsqa::Gsqa;
@@ -165,6 +166,15 @@ enum CState {
 /// exponential in `|M₁|` (the γ-set bucket maps), matching the lemma's
 /// generality, but only reachable composite states are materialized.
 pub fn compose(bim: &Bimachine) -> Result<Gsqa> {
+    compose_with(bim, &mut NoopObserver)
+}
+
+/// [`compose`] with an [`Observer`]: every composite state popped from the
+/// construction worklist is counted as a [`Counter::SummariesExplored`], and
+/// the size of the finished machine is recorded under
+/// [`Series::MachineStates`]. With [`NoopObserver`] this monomorphizes to
+/// exactly `compose`.
+pub fn compose_with<O: Observer>(bim: &Bimachine, obs: &mut O) -> Result<Gsqa> {
     let m1 = &bim.left;
     let m2 = &bim.right;
     let sigma = m1.alphabet_len();
@@ -200,6 +210,7 @@ pub fn compose(bim: &Bimachine) -> Result<Gsqa> {
     builder.set_initial(start);
 
     while let Some(st) = pending.pop() {
+        obs.count(Counter::SummariesExplored, 1);
         let id = index[&st];
         match &st {
             CState::Fwd(p) => {
@@ -216,10 +227,7 @@ pub fn compose(bim: &Bimachine) -> Result<Gsqa> {
                     &mut builder,
                     &mut index,
                     &mut pending,
-                    CState::Back {
-                        p,
-                        q: m2.initial(),
-                    },
+                    CState::Back { p, q: m2.initial() },
                 );
                 builder.set_action(id, Tape::RightMarker, Dir::Left, back);
                 // Backward states are where the machine may halt (at ⊳).
@@ -240,8 +248,8 @@ pub fn compose(bim: &Bimachine) -> Result<Gsqa> {
                         .collect();
                     match pre.len() {
                         0 => { /* unreachable on real inputs: halt (non-final would
-                               be wrong — this state IS final; leave no action,
-                               which can only trigger on inconsistent inputs) */
+                             be wrong — this state IS final; leave no action,
+                             which can only trigger on inconsistent inputs) */
                         }
                         1 => {
                             let nxt = intern(
@@ -296,28 +304,27 @@ pub fn compose(bim: &Bimachine) -> Result<Gsqa> {
                 // Start the merge walk toward candidate `p_true`. If the
                 // witness pair denotes states at this very cell, skip the
                 // no-op hop; if it denotes states one cell right, take it.
-                let start_walk =
-                    |builder: &mut TwoDfaBuilder,
-                     index: &mut HashMap<CState, StateId>,
-                     pending: &mut Vec<CState>,
-                     p_true: StateId| {
-                        let st = if pair_here {
-                            CState::Walk {
-                                x: pair.0,
-                                y: pair.1,
-                                p_true,
-                                q,
-                            }
-                        } else {
-                            CState::WalkFresh {
-                                x: pair.0,
-                                y: pair.1,
-                                p_true,
-                                q,
-                            }
-                        };
-                        intern(builder, index, pending, st)
+                let start_walk = |builder: &mut TwoDfaBuilder,
+                                  index: &mut HashMap<CState, StateId>,
+                                  pending: &mut Vec<CState>,
+                                  p_true: StateId| {
+                    let st = if pair_here {
+                        CState::Walk {
+                            x: pair.0,
+                            y: pair.1,
+                            p_true,
+                            q,
+                        }
+                    } else {
+                        CState::WalkFresh {
+                            x: pair.0,
+                            y: pair.1,
+                            p_true,
+                            q,
+                        }
                     };
+                    intern(builder, index, pending, st)
+                };
 
                 if live.len() <= 1 {
                     // Disambiguated mid-string: walk right to the merge cell.
@@ -345,9 +352,9 @@ pub fn compose(bim: &Bimachine) -> Result<Gsqa> {
                     for a in 0..sigma {
                         let sym = Symbol::from_index(a);
                         let mut refined = vec![None; m1.num_states()];
-                        for p0 in 0..m1.num_states() {
+                        for (p0, slot) in refined.iter_mut().enumerate() {
                             let succ = m1.next(StateId::from_index(p0), sym).expect("total");
-                            refined[p0] = buckets[succ.index()];
+                            *slot = buckets[succ.index()];
                         }
                         // Two witnesses from different buckets at the current
                         // cell (exists because live.len() >= 2).
@@ -403,10 +410,7 @@ pub fn compose(bim: &Bimachine) -> Result<Gsqa> {
                             &mut builder,
                             &mut index,
                             &mut pending,
-                            CState::Back {
-                                p: *p_true,
-                                q: *q,
-                            },
+                            CState::Back { p: *p_true, q: *q },
                         );
                         builder.set_action(id, Tape::Sym(sym), Dir::Left, back);
                     } else {
@@ -429,6 +433,7 @@ pub fn compose(bim: &Bimachine) -> Result<Gsqa> {
     }
 
     let machine = builder.build()?;
+    obs.record(Series::MachineStates, machine.num_states() as u64);
     let mut gsqa = Gsqa::new(machine, bim.gamma_len);
     for (state, sym, g) in outputs {
         gsqa.set_output(state, sym, g);
@@ -439,7 +444,6 @@ pub fn compose(bim: &Bimachine) -> Result<Gsqa> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     fn sym(i: usize) -> Symbol {
         Symbol::from_index(i)
@@ -480,7 +484,7 @@ mod tests {
         // b to the right incl → 0; pos1 (b): yes → 1; pos0 (a): yes → 1.
         let w = vec![sym(0), sym(1), sym(0)];
         let out = bim.run(&w);
-        let expect = [0 * 4 + 1 * 2 + 0, 1 * 4 + 1 * 2 + 1, 1 * 4 + 0 * 2 + 0];
+        let expect = [2, 4 + 2 + 1, 4];
         assert_eq!(out, expect.to_vec());
     }
 

@@ -1,6 +1,7 @@
 //! Query automata on strings (Definition 3.2).
 
 use qa_base::{Result, Symbol};
+use qa_obs::{Counter, NoopObserver, Observer};
 use qa_strings::StateId;
 
 use crate::behavior::BehaviorAnalysis;
@@ -53,19 +54,32 @@ impl StringQa {
     /// The selected positions of `word` (0-based indices into `word`),
     /// computed by replaying the run. Empty when the run rejects.
     pub fn query(&self, word: &[Symbol]) -> Result<Vec<usize>> {
-        let rec = self.machine.run(word)?;
+        self.query_with(word, &mut NoopObserver)
+    }
+
+    /// [`StringQa::query`] with an [`Observer`]: the underlying run and
+    /// every selection-function probe are reported to `obs`. With
+    /// [`NoopObserver`] this monomorphizes to exactly `query`.
+    pub fn query_with<O: Observer>(&self, word: &[Symbol], obs: &mut O) -> Result<Vec<usize>> {
+        obs.phase_start("run");
+        let rec = self.machine.run_with(word, obs);
+        obs.phase_end("run");
+        let rec = rec?;
         if !rec.accepted {
             return Ok(Vec::new());
         }
+        obs.phase_start("selection scan");
         let mut out = Vec::new();
         for (pos, states) in rec.assumed.iter().enumerate() {
             let Some(sym) = Tape::at(word, pos).symbol() else {
                 continue;
             };
+            obs.count(Counter::SelectionChecks, states.len() as u64);
             if states.iter().any(|&s| self.is_selecting(s, sym)) {
                 out.push(pos - 1);
             }
         }
+        obs.phase_end("selection scan");
         Ok(out)
     }
 
@@ -74,17 +88,27 @@ impl StringQa {
     /// matching the paper's convention that non-accepting runs select
     /// nothing — rather than as an error.
     pub fn query_via_behavior(&self, word: &[Symbol]) -> Vec<usize> {
-        let ba = BehaviorAnalysis::analyze(&self.machine, word);
+        self.query_via_behavior_with(word, &mut NoopObserver)
+    }
+
+    /// [`StringQa::query_via_behavior`] with an [`Observer`].
+    pub fn query_via_behavior_with<O: Observer>(&self, word: &[Symbol], obs: &mut O) -> Vec<usize> {
+        obs.phase_start("behavior analysis");
+        let ba = BehaviorAnalysis::analyze_with(&self.machine, word, obs);
+        obs.phase_end("behavior analysis");
         if !ba.accepted(&self.machine) {
             return Vec::new();
         }
+        obs.phase_start("selection scan");
         let mut out = Vec::new();
         for pos in 1..=word.len() {
             let sym = word[pos - 1];
+            obs.count(Counter::SelectionChecks, ba.assumed[pos].len() as u64);
             if ba.assumed[pos].iter().any(|&s| self.is_selecting(s, sym)) {
                 out.push(pos - 1);
             }
         }
+        obs.phase_end("selection scan");
         out
     }
 
@@ -95,10 +119,7 @@ impl StringQa {
 
     /// The loop outcome variant of [`StringQa::query`]: loops yield `Ok([])`.
     pub fn query_lenient(&self, word: &[Symbol]) -> Vec<usize> {
-        match self.query(word) {
-            Ok(v) => v,
-            Err(_) => Vec::new(),
-        }
+        self.query(word).unwrap_or_default()
     }
 }
 

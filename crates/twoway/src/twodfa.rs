@@ -1,6 +1,7 @@
 //! Two-way deterministic finite automata (Definition 3.1).
 
 use qa_base::{Error, Result, Symbol};
+use qa_obs::{Counter, NoopObserver, Observer, Series};
 use qa_strings::StateId;
 
 use crate::tape::Tape;
@@ -170,11 +171,19 @@ impl TwoDfa {
     /// input (a deterministic machine that exceeds `|S| · (|w| + 2)` steps
     /// has repeated a configuration).
     pub fn run(&self, word: &[Symbol]) -> Result<RunRecord> {
+        self.run_with(word, &mut NoopObserver)
+    }
+
+    /// [`TwoDfa::run`] with an [`Observer`]: every transition-table lookup,
+    /// move, head reversal and configuration is reported to `obs`. With
+    /// [`NoopObserver`] this monomorphizes to exactly `run`.
+    pub fn run_with<O: Observer>(&self, word: &[Symbol], obs: &mut O) -> Result<RunRecord> {
         let tape_len = word.len() + 2;
         let fuel = (self.num_states as u64) * (tape_len as u64) + 1;
         let mut state = self.initial;
         let mut pos = 0usize;
         let mut steps = 0u64;
+        let mut last_dir: Option<Dir> = None;
         let mut assumed: Vec<Vec<StateId>> = vec![Vec::new(); tape_len];
         let mut trace: Vec<Config> = Vec::new();
         loop {
@@ -182,19 +191,41 @@ impl TwoDfa {
             if !assumed[pos].contains(&state) {
                 assumed[pos].push(state);
             }
+            obs.count(Counter::TableLookups, 1);
             match self.action(state, Tape::at(word, pos)) {
                 None => {
+                    obs.config(state.index() as u32, pos as u32, 0);
+                    obs.record(Series::TraceLength, steps);
+                    if obs.is_enabled() {
+                        for states in &assumed {
+                            obs.record(Series::AssumedStates, states.len() as u64);
+                        }
+                    }
                     return Ok(RunRecord {
                         accepted: self.is_final(state),
                         halt: (state, pos),
                         assumed,
                         steps,
                         trace,
-                    })
+                    });
                 }
                 Some((dir, next)) => {
+                    obs.config(
+                        state.index() as u32,
+                        pos as u32,
+                        match dir {
+                            Dir::Left => -1,
+                            Dir::Right => 1,
+                        },
+                    );
+                    obs.count(Counter::Steps, 1);
+                    if last_dir.is_some_and(|d| d != dir) {
+                        obs.count(Counter::HeadReversals, 1);
+                    }
+                    last_dir = Some(dir);
                     steps += 1;
                     if steps > fuel {
+                        obs.count(Counter::BudgetTrips, 1);
                         return Err(Error::FuelExhausted { budget: fuel });
                     }
                     pos = match dir {
@@ -334,10 +365,7 @@ mod tests {
         b.set_action_all_symbols(r, Dir::Right, q); // ping-pong forever
         b.set_action(r, Tape::LeftMarker, Dir::Right, q);
         let m = b.build().unwrap();
-        assert!(matches!(
-            m.run(&[sym(0)]),
-            Err(Error::FuelExhausted { .. })
-        ));
+        assert!(matches!(m.run(&[sym(0)]), Err(Error::FuelExhausted { .. })));
         assert!(!m.halts_on_all_words_up_to(2));
     }
 

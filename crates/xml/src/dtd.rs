@@ -28,10 +28,7 @@ impl Dtd {
         let mut models = HashMap::new();
         let mut root = None;
         let mut rest = input;
-        loop {
-            let Some(start) = rest.find("<!ELEMENT") else {
-                break;
-            };
+        while let Some(start) = rest.find("<!ELEMENT") {
             let after = &rest[start + "<!ELEMENT".len()..];
             let end = after
                 .find('>')
@@ -101,9 +98,7 @@ mod tests {
         assert_eq!(dtd.models.len(), 8);
         // article := author+, title, journal, year
         let article = dtd.model(a.symbol("article")).unwrap();
-        let w = |names: &[&str]| -> Vec<Symbol> {
-            names.iter().map(|n| a.symbol(n)).collect()
-        };
+        let w = |names: &[&str]| -> Vec<Symbol> { names.iter().map(|n| a.symbol(n)).collect() };
         let n = article.to_nfa(a.len());
         assert!(n.accepts(&w(&["author", "title", "journal", "year"])));
         assert!(n.accepts(&w(&["author", "author", "title", "journal", "year"])));
@@ -114,11 +109,7 @@ mod tests {
     #[test]
     fn pcdata_and_empty_models() {
         let mut a = alpha();
-        let dtd = Dtd::parse(
-            "<!ELEMENT note (PCDATA)> <!ELEMENT hr EMPTY>",
-            &mut a,
-        )
-        .unwrap();
+        let dtd = Dtd::parse("<!ELEMENT note (PCDATA)> <!ELEMENT hr EMPTY>", &mut a).unwrap();
         let note = dtd.model(a.symbol("note")).unwrap();
         let n = note.to_nfa(a.len());
         assert!(n.accepts(&[a.symbol(PCDATA)]));

@@ -84,11 +84,7 @@ mod tests {
     #[test]
     fn codd_is_in_the_article() {
         let (doc, _) = bibliography().unwrap();
-        let texts: Vec<&str> = doc
-            .tree
-            .nodes()
-            .filter_map(|v| doc.text_of(v))
-            .collect();
+        let texts: Vec<&str> = doc.tree.nodes().filter_map(|v| doc.text_of(v)).collect();
         assert!(texts.contains(&"E. Codd"));
         assert!(texts.contains(&"Foundations of Databases"));
     }

@@ -56,22 +56,26 @@ pub fn parse_with_alphabet(input: &str, alphabet: &mut Alphabet) -> Result<Docum
 
     let err = |pos: usize, msg: &str| Error::parse("xml", format!("{msg} at byte {pos}"));
 
-    let record_text =
-        |tree: &mut Option<Tree>, texts: &mut Vec<Option<String>>, open: &[(String, NodeId)], text: &str, pos: usize| -> Result<()> {
-            if text.trim().is_empty() {
-                return Ok(());
-            }
-            let Some((_, parent)) = open.last() else {
-                return Err(err(pos, "text outside the root element"));
-            };
-            let t = tree.as_mut().expect("open implies tree");
-            let leaf = t.add_child(*parent, pcdata);
-            if texts.len() <= leaf.index() {
-                texts.resize(leaf.index() + 1, None);
-            }
-            texts[leaf.index()] = Some(text.trim().to_owned());
-            Ok(())
+    let record_text = |tree: &mut Option<Tree>,
+                       texts: &mut Vec<Option<String>>,
+                       open: &[(String, NodeId)],
+                       text: &str,
+                       pos: usize|
+     -> Result<()> {
+        if text.trim().is_empty() {
+            return Ok(());
+        }
+        let Some((_, parent)) = open.last() else {
+            return Err(err(pos, "text outside the root element"));
         };
+        let t = tree.as_mut().expect("open implies tree");
+        let leaf = t.add_child(*parent, pcdata);
+        if texts.len() <= leaf.index() {
+            texts.resize(leaf.index() + 1, None);
+        }
+        texts[leaf.index()] = Some(text.trim().to_owned());
+        Ok(())
+    };
 
     while pos < bytes.len() {
         if bytes[pos] == b'<' {
@@ -115,7 +119,11 @@ pub fn parse_with_alphabet(input: &str, alphabet: &mut Alphabet) -> Result<Docum
             } else {
                 let self_closing = inner.ends_with('/');
                 let name = inner.trim_end_matches('/').trim();
-                if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '-') {
+                if name.is_empty()
+                    || !name
+                        .chars()
+                        .all(|c| c.is_alphanumeric() || c == '_' || c == '-')
+                {
                     return Err(err(tag_start, &format!("bad element name `{name}`")));
                 }
                 let sym = alphabet.intern(name);
@@ -176,8 +184,7 @@ mod tests {
     #[test]
     fn comments_and_declarations_are_skipped() {
         let doc =
-            parse_document("<?xml version=\"1.0\"?><!-- hi --><a><!-- inner --><b/></a>")
-                .unwrap();
+            parse_document("<?xml version=\"1.0\"?><!-- hi --><a><!-- inner --><b/></a>").unwrap();
         assert_eq!(doc.tree.render(&doc.alphabet), "(a b)");
     }
 

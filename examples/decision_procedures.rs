@@ -15,10 +15,21 @@ fn main() -> Result<()> {
     let odd = query_automata::twoway::string_qa::example_3_4_qa(&sigma);
     let mut even = query_automata::twoway::string_qa::example_3_4_qa(&sigma);
     // flip the selection to even positions from the right (state s2)
-    even.set_selecting(query_automata::strings::StateId::from_index(1), sigma.symbol("1"), false);
-    even.set_selecting(query_automata::strings::StateId::from_index(2), sigma.symbol("1"), true);
+    even.set_selecting(
+        query_automata::strings::StateId::from_index(1),
+        sigma.symbol("1"),
+        false,
+    );
+    even.set_selecting(
+        query_automata::strings::StateId::from_index(2),
+        sigma.symbol("1"),
+        true,
+    );
 
-    println!("same underlying language: {}", string_decisions::language_equivalence(&odd, &even));
+    println!(
+        "same underlying language: {}",
+        string_decisions::language_equivalence(&odd, &even)
+    );
     match string_decisions::equivalence(&odd, &even) {
         Ok(()) => println!("queries equivalent"),
         Err((w, left)) => println!(

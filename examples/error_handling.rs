@@ -32,7 +32,10 @@ fn main() {
         &mut names,
     )
     .unwrap();
-    println!("validation: {}", validate::validate(&dtd, &bad.tree).unwrap_err());
+    println!(
+        "validation: {}",
+        validate::validate(&dtd, &bad.tree).unwrap_err()
+    );
     let err = Dtd::parse("<!ELEMENT x (a)> <!ELEMENT x (b)>", &mut names).unwrap_err();
     println!("dtd: {err}");
 

@@ -13,9 +13,15 @@ fn main() -> Result<()> {
 
     // ── Sentences on strings (Theorem 2.5) ───────────────────────────────
     let mut names = sigma.clone();
-    let phi = parse_mso("all x. all y. (edge(x, y) -> !(label(x, b) & label(y, b)))", &mut names)?;
+    let phi = parse_mso(
+        "all x. all y. (edge(x, y) -> !(label(x, b) & label(y, b)))",
+        &mut names,
+    )?;
     let dfa = compile_string::compile_sentence(&phi, sigma.len())?;
-    println!("\"no two consecutive b\" compiled to a {}-state DFA", dfa.num_states());
+    println!(
+        "\"no two consecutive b\" compiled to a {}-state DFA",
+        dfa.num_states()
+    );
     for text in ["abab", "abba", ""] {
         let w = names.word(text);
         println!(

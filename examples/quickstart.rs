@@ -37,11 +37,8 @@ fn main() -> Result<()> {
         &mut a2,
     )?;
     let automaton = query_automata::mso::unranked::compile_unary(&phi, "v", sigma.len())?;
-    let compiled = query_automata::mso::query_eval::eval_unary_unranked(
-        &automaton,
-        &tree,
-        sigma.len(),
-    );
+    let compiled =
+        query_automata::mso::query_eval::eval_unary_unranked(&automaton, &tree, sigma.len());
     println!("MSO compilation selects {compiled:?}");
     assert_eq!(
         {

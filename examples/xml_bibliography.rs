@@ -6,8 +6,8 @@
 //! cargo run --example xml_bibliography
 //! ```
 
-use query_automata::prelude::*;
 use query_automata::mso::{query_eval, unranked};
+use query_automata::prelude::*;
 use query_automata::xml::{figures, validate};
 
 fn main() -> Result<()> {
@@ -35,10 +35,7 @@ fn main() -> Result<()> {
             "authors of books",
             "label(v, author) & (ex b. (label(b, book) & edge(b, v)))",
         ),
-        (
-            "years appearing anywhere",
-            "label(v, year)",
-        ),
+        ("years appearing anywhere", "label(v, year)"),
         (
             "first author of each publication",
             "label(v, author) & !(ex w. (w < v & label(w, author)))",

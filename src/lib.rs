@@ -17,6 +17,7 @@
 //! | [`core`] | bottom-up & two-way tree automata, ranked and (strong) unranked query automata | §2.3, §4, §5 |
 //! | [`mso`] | MSO logic, naive semantics, compilation to automata, Figure 5/6 evaluation, QA synthesis | §2, §3–5 |
 //! | [`decision`] | non-emptiness / containment / equivalence, corridor tiling | §6 |
+//! | [`obs`] | zero-cost [`Observer`](obs::Observer) instrumentation, [`Metrics`](obs::Metrics), [`RunTrace`](obs::RunTrace) | — |
 //! | [`xml`] | XML subset, DTDs, validation (Figures 1–4) | §1 |
 //!
 //! ## Quickstart
@@ -41,6 +42,7 @@ pub use qa_base as base;
 pub use qa_core as core;
 pub use qa_decision as decision;
 pub use qa_mso as mso;
+pub use qa_obs as obs;
 pub use qa_strings as strings;
 pub use qa_trees as trees;
 pub use qa_twoway as twoway;
@@ -57,6 +59,7 @@ pub mod prelude {
         Dbtau, Nbtau, StayRule, StrongQa, TwoWayUnranked, TwoWayUnrankedBuilder, UnrankedQa,
     };
     pub use qa_mso::{parse as parse_mso, Formula};
+    pub use qa_obs::{Metrics, NoopObserver, Observer, RunTrace};
     pub use qa_trees::sexpr::{from_sexpr, to_sexpr};
     pub use qa_trees::{NodeId, Tree};
     pub use qa_twoway::{Bimachine, Gsqa, StringQa, TwoDfa, TwoDfaBuilder};

@@ -66,16 +66,18 @@ fn string_synthesis_and_decisions_agree() {
         let selected = qa.query(&word).unwrap();
         for pos in 0..word.len() {
             let m = compile_string::mark_word(&word, pos, sigma.len());
-            assert_eq!(selected.contains(&pos), marked.accepts(&m), "{text} @ {pos}");
+            assert_eq!(
+                selected.contains(&pos),
+                marked.accepts(&m),
+                "{text} @ {pos}"
+            );
         }
     }
 
     // containment/equivalence are exercised on the compact hand-built
     // machine (the synthesized one's selection NFA is too large to
     // complement in a unit-test budget — containment needs ¬L_sel).
-    let hand = query_automata::twoway::string_qa::example_3_4_qa(
-        &Alphabet::from_names(["0", "1"]),
-    );
+    let hand = query_automata::twoway::string_qa::example_3_4_qa(&Alphabet::from_names(["0", "1"]));
     assert!(string_decisions::equivalence(&hand, &hand.clone()).is_ok());
     let mut never = hand.clone();
     for s in 0..never.machine().num_states() {
@@ -94,8 +96,7 @@ fn string_synthesis_and_decisions_agree() {
 /// Tiling game ⇄ automaton non-emptiness on a batch of random instances.
 #[test]
 fn tiling_reduction_matches_game_solver() {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use query_automata::base::rng::{Rng, StdRng};
     let mut rng = StdRng::seed_from_u64(2026);
     let mut wins = 0;
     let mut losses = 0;
@@ -155,7 +156,10 @@ fn tiling_reduction_matches_game_solver() {
             losses += 1;
         }
     }
-    assert!(wins > 0 && losses > 0, "instance mix exercises both outcomes");
+    assert!(
+        wins > 0 && losses > 0,
+        "instance mix exercises both outcomes"
+    );
 }
 
 /// Ranked decision fixpoint vs brute force on perturbed circuit automata.

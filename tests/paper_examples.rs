@@ -115,7 +115,12 @@ fn example_5_14_three_way_agreement() {
     )
     .unwrap();
     let compiled = unranked::compile_unary(&phi, "v", 2).unwrap();
-    for src in ["1", "(0 1 0 1)", "(1 (0 1 1) (1 0) 1)", "(0 (0 (0 1 1) 1) 1)"] {
+    for src in [
+        "1",
+        "(0 1 0 1)",
+        "(1 (0 1 1) (1 0) 1)",
+        "(0 (0 (0 1 1) 1) 1)",
+    ] {
         let t = from_sexpr(src, &mut names).unwrap();
         let mut via_sqa = sqa.query(&t).unwrap();
         let mut via_naive: Vec<NodeId> = naive::query(naive::Structure::Tree(&t), &phi, "v")

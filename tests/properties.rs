@@ -1,9 +1,8 @@
-//! Property-based tests (proptest) for the workspace invariants listed in
-//! DESIGN.md §6.
+//! Randomized property tests for the workspace invariants listed in
+//! DESIGN.md §6, driven by the deterministic `qa_base::rng` generator so
+//! every failure reproduces from its printed seed.
 
-use std::sync::OnceLock;
-
-use proptest::prelude::*;
+use query_automata::base::rng::{Rng, StdRng};
 use query_automata::mso::{compile_string, naive, query_eval, unranked};
 use query_automata::prelude::*;
 use query_automata::strings::{ops, Regex};
@@ -14,223 +13,223 @@ fn sym(i: usize) -> Symbol {
 }
 
 /// Random regex AST over a 2-symbol alphabet.
-fn arb_regex(depth: u32) -> impl Strategy<Value = Regex> {
-    let leaf = prop_oneof![
-        Just(Regex::Epsilon),
-        Just(Regex::Sym(sym(0))),
-        Just(Regex::Sym(sym(1))),
-    ];
-    leaf.prop_recursive(depth, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Regex::Concat(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Regex::Alt(Box::new(a), Box::new(b))),
-            inner.prop_map(|a| Regex::Star(Box::new(a))),
-        ]
-    })
+fn random_regex(rng: &mut StdRng, depth: u32) -> Regex {
+    if depth == 0 || rng.gen_bool(0.3) {
+        match rng.gen_range(0..3) {
+            0 => Regex::Epsilon,
+            1 => Regex::Sym(sym(0)),
+            _ => Regex::Sym(sym(1)),
+        }
+    } else {
+        match rng.gen_range(0..3) {
+            0 => Regex::Concat(
+                Box::new(random_regex(rng, depth - 1)),
+                Box::new(random_regex(rng, depth - 1)),
+            ),
+            1 => Regex::Alt(
+                Box::new(random_regex(rng, depth - 1)),
+                Box::new(random_regex(rng, depth - 1)),
+            ),
+            _ => Regex::Star(Box::new(random_regex(rng, depth - 1))),
+        }
+    }
 }
 
-fn arb_word(max_len: usize) -> impl Strategy<Value = Vec<Symbol>> {
-    proptest::collection::vec(0usize..2, 0..=max_len)
-        .prop_map(|v| v.into_iter().map(sym).collect())
+fn random_word(rng: &mut StdRng, max_len: usize) -> Vec<Symbol> {
+    let len = rng.gen_range(0..=max_len);
+    (0..len).map(|_| sym(rng.gen_range(0..2))).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Random unranked tree over a 2-symbol alphabet, 1..=max_nodes nodes.
+fn random_tree(rng: &mut StdRng, max_nodes: usize) -> Tree {
+    let n = rng.gen_range(1..=max_nodes);
+    query_automata::trees::generate::random(rng, &[sym(0), sym(1)], n, None)
+}
 
-    /// regex → NFA → DFA → minimized DFA all agree on membership.
-    #[test]
-    fn regex_pipeline_agrees(r in arb_regex(3), w in arb_word(8)) {
+/// regex → NFA → DFA → minimized DFA all agree on membership.
+#[test]
+fn regex_pipeline_agrees() {
+    let mut rng = StdRng::seed_from_u64(101);
+    for case in 0..64 {
+        let r = random_regex(&mut rng, 3);
+        let w = random_word(&mut rng, 8);
         let nfa = r.to_nfa(2);
         let dfa = nfa.determinize();
         let min = dfa.minimize();
         let via_nfa = nfa.accepts(&w);
-        prop_assert_eq!(via_nfa, dfa.accepts(&w));
-        prop_assert_eq!(via_nfa, min.accepts(&w));
-        prop_assert!(min.num_states() <= dfa.num_states());
+        assert_eq!(via_nfa, dfa.accepts(&w), "case {case}: {r:?} on {w:?}");
+        assert_eq!(via_nfa, min.accepts(&w), "case {case}: {r:?} on {w:?}");
+        assert!(min.num_states() <= dfa.num_states(), "case {case}");
     }
+}
 
-    /// complement really complements; intersection with the complement is
-    /// empty.
-    #[test]
-    fn complement_laws(r in arb_regex(3), w in arb_word(6)) {
+/// complement really complements; intersection with the complement is
+/// empty.
+#[test]
+fn complement_laws() {
+    let mut rng = StdRng::seed_from_u64(102);
+    for case in 0..64 {
+        let r = random_regex(&mut rng, 3);
+        let w = random_word(&mut rng, 6);
         let nfa = r.to_nfa(2);
         let comp = ops::complement(&nfa);
-        prop_assert_eq!(nfa.accepts(&w), !comp.accepts(&w));
-        prop_assert!(nfa.intersect(&comp.to_nfa()).is_empty());
+        assert_eq!(nfa.accepts(&w), !comp.accepts(&w), "case {case}: {r:?}");
+        assert!(nfa.intersect(&comp.to_nfa()).is_empty(), "case {case}");
     }
+}
 
-    /// Example 3.4 QA: direct run, behavior-function evaluation, the
-    /// Shepherdson DFA and the crossing-sequence NFAs all agree.
-    #[test]
-    fn string_qa_strategies_agree(w in arb_word(10)) {
-        static QA: OnceLock<StringQa> = OnceLock::new();
-        let qa = QA.get_or_init(|| {
-            query_automata::twoway::string_qa::example_3_4_qa(
-                &Alphabet::from_names(["0", "1"]),
-            )
-        });
+/// Example 3.4 QA: direct run, behavior-function evaluation, the
+/// Shepherdson DFA and the crossing-sequence NFAs all agree.
+#[test]
+fn string_qa_strategies_agree() {
+    let qa = query_automata::twoway::string_qa::example_3_4_qa(&Alphabet::from_names(["0", "1"]));
+    let shep = shepherdson::to_dfa(qa.machine());
+    let cross = crossing::acceptance_nfa(qa.machine());
+    let sel = crossing::selection_nfa(&qa);
+    let mut rng = StdRng::seed_from_u64(103);
+    for case in 0..64 {
+        let w = random_word(&mut rng, 10);
         let via_run = qa.query(&w).unwrap();
         let via_beh = qa.query_via_behavior(&w);
-        prop_assert_eq!(&via_run, &via_beh);
+        assert_eq!(via_run, via_beh, "case {case}: {w:?}");
 
         // acceptance: 2DFA vs Shepherdson vs crossing NFA
-        static ACC: OnceLock<(query_automata::strings::Dfa, query_automata::strings::Nfa)> =
-            OnceLock::new();
-        let (shep, cross) = ACC.get_or_init(|| {
-            (
-                shepherdson::to_dfa(qa.machine()),
-                crossing::acceptance_nfa(qa.machine()),
-            )
-        });
         let accepts = qa.machine().accepts(&w).unwrap();
-        prop_assert_eq!(accepts, shep.accepts(&w));
-        prop_assert_eq!(accepts, cross.accepts(&w));
+        assert_eq!(accepts, shep.accepts(&w), "case {case}: {w:?}");
+        assert_eq!(accepts, cross.accepts(&w), "case {case}: {w:?}");
 
         // selection NFA agrees position by position
-        static SEL: OnceLock<query_automata::strings::Nfa> = OnceLock::new();
-        let sel = SEL.get_or_init(|| crossing::selection_nfa(qa));
         for pos in 0..w.len() {
             let marked = crossing::mark(&w, pos, 2);
-            prop_assert_eq!(via_run.contains(&pos), sel.accepts(&marked));
+            assert_eq!(
+                via_run.contains(&pos),
+                sel.accepts(&marked),
+                "case {case}: {w:?} @ {pos}"
+            );
         }
     }
+}
 
-    /// Behavior analysis reproduces the literal run on random words.
-    #[test]
-    fn behavior_analysis_matches_run(w in arb_word(12)) {
-        static QA: OnceLock<StringQa> = OnceLock::new();
-        let qa = QA.get_or_init(|| {
-            query_automata::twoway::string_qa::example_3_4_qa(
-                &Alphabet::from_names(["0", "1"]),
-            )
-        });
-        let m = qa.machine();
+/// Behavior analysis reproduces the literal run on random words.
+#[test]
+fn behavior_analysis_matches_run() {
+    let qa = query_automata::twoway::string_qa::example_3_4_qa(&Alphabet::from_names(["0", "1"]));
+    let m = qa.machine();
+    let mut rng = StdRng::seed_from_u64(104);
+    for case in 0..64 {
+        let w = random_word(&mut rng, 12);
         let rec = m.run(&w).unwrap();
         let ba = BehaviorAnalysis::analyze(m, &w);
-        prop_assert_eq!(ba.accepted(m), rec.accepted);
+        assert_eq!(ba.accepted(m), rec.accepted, "case {case}: {w:?}");
         for (i, states) in rec.assumed.iter().enumerate() {
             let mut got = ba.assumed[i].clone();
             let mut want = states.clone();
             got.sort_unstable();
             want.sort_unstable();
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want, "case {case}: {w:?} @ {i}");
         }
     }
-
-    /// Compiled MSO sentences agree with the naive semantics on strings.
-    #[test]
-    fn mso_string_sentences_agree(w in arb_word(7), which in 0usize..4) {
-        static CORPUS: OnceLock<Vec<(Formula, query_automata::strings::Dfa)>> = OnceLock::new();
-        let corpus = CORPUS.get_or_init(|| {
-            let mut a = Alphabet::from_names(["0", "1"]);
-            [
-                "ex x. label(x, 1)",
-                "all x. all y. (edge(x, y) -> !(label(x, 1) & label(y, 1)))",
-                "ex x. ex y. (x < y & label(x, 1) & label(y, 0))",
-                "ex2 X. ((all x. (root(x) -> x in X)) \
-                 & (all x. all y. (edge(x, y) -> (y in X <-> !(x in X)))) \
-                 & (all x. (leaf(x) -> !(x in X))))",
-            ]
-            .iter()
-            .map(|src| {
-                let f = parse_mso(src, &mut a).unwrap();
-                let d = compile_string::compile_sentence(&f, 2).unwrap();
-                (f, d)
-            })
-            .collect()
-        });
-        let (f, d) = &corpus[which];
-        let naive_verdict = naive::check(naive::Structure::Word(&w), f).unwrap();
-        prop_assert_eq!(d.accepts(&w), naive_verdict);
-    }
 }
 
-/// Random unranked trees over a 2-symbol alphabet.
-fn arb_tree(max_nodes: usize) -> impl Strategy<Value = Tree> {
-    (1..=max_nodes, any::<u64>()).prop_map(move |(n, seed)| {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
-        let mut rng = StdRng::seed_from_u64(seed);
-        qa_trees_generate(&mut rng, n)
+/// Compiled MSO sentences agree with the naive semantics on strings.
+#[test]
+fn mso_string_sentences_agree() {
+    let mut a = Alphabet::from_names(["0", "1"]);
+    let corpus: Vec<(Formula, query_automata::strings::Dfa)> = [
+        "ex x. label(x, 1)",
+        "all x. all y. (edge(x, y) -> !(label(x, 1) & label(y, 1)))",
+        "ex x. ex y. (x < y & label(x, 1) & label(y, 0))",
+        "ex2 X. ((all x. (root(x) -> x in X)) \
+         & (all x. all y. (edge(x, y) -> (y in X <-> !(x in X)))) \
+         & (all x. (leaf(x) -> !(x in X))))",
+    ]
+    .iter()
+    .map(|src| {
+        let f = parse_mso(src, &mut a).unwrap();
+        let d = compile_string::compile_sentence(&f, 2).unwrap();
+        (f, d)
     })
-}
-
-fn qa_trees_generate(rng: &mut impl rand::Rng, n: usize) -> Tree {
-    query_automata::trees::generate::random(rng, &[sym(0), sym(1)], n, None)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// FCNS round trip on random trees.
-    #[test]
-    fn fcns_round_trip(t in arb_tree(40)) {
-        let nil = sym(2);
-        let enc = query_automata::trees::fcns::encode(&t, nil);
-        prop_assert!(enc.is_ranked(2));
-        prop_assert_eq!(query_automata::trees::fcns::decode(&enc, nil), t);
+    .collect();
+    let mut rng = StdRng::seed_from_u64(105);
+    for case in 0..64 {
+        let w = random_word(&mut rng, 7);
+        let (f, d) = &corpus[rng.gen_range(0..corpus.len())];
+        let naive_verdict = naive::check(naive::Structure::Word(&w), f).unwrap();
+        assert_eq!(d.accepts(&w), naive_verdict, "case {case}: {w:?}");
     }
+}
 
-    /// Example 5.14 SQAu ≡ compiled MSO ≡ reference predicate on random
-    /// trees — Theorem 5.17 in action.
-    #[test]
-    fn example_5_14_equals_mso_query(t in arb_tree(24)) {
-        static SETUP: OnceLock<(StrongQa, query_automata::core::ranked::Dbta)> = OnceLock::new();
-        let (sqa, automaton) = SETUP.get_or_init(|| {
-            let sigma = Alphabet::from_names(["0", "1"]);
-            let sqa = example_5_14(&sigma);
-            let mut a = sigma.clone();
-            let phi = parse_mso(
-                "label(v, 1) & leaf(v) & !(ex w. (w < v & label(w, 1)))",
-                &mut a,
-            )
-            .unwrap();
-            let d = unranked::compile_unary(&phi, "v", 2).unwrap();
-            (sqa, d)
-        });
+/// FCNS round trip on random trees.
+#[test]
+fn fcns_round_trip() {
+    let nil = sym(2);
+    let mut rng = StdRng::seed_from_u64(106);
+    for case in 0..48 {
+        let t = random_tree(&mut rng, 40);
+        let enc = query_automata::trees::fcns::encode(&t, nil);
+        assert!(enc.is_ranked(2), "case {case}");
+        assert_eq!(
+            query_automata::trees::fcns::decode(&enc, nil),
+            t,
+            "case {case}"
+        );
+    }
+}
+
+/// Example 5.14 SQAu ≡ compiled MSO ≡ reference predicate on random
+/// trees — Theorem 5.17 in action.
+#[test]
+fn example_5_14_equals_mso_query() {
+    let sigma = Alphabet::from_names(["0", "1"]);
+    let sqa = example_5_14(&sigma);
+    let mut a = sigma.clone();
+    let phi = parse_mso(
+        "label(v, 1) & leaf(v) & !(ex w. (w < v & label(w, 1)))",
+        &mut a,
+    )
+    .unwrap();
+    let automaton = unranked::compile_unary(&phi, "v", 2).unwrap();
+    let mut rng = StdRng::seed_from_u64(107);
+    for case in 0..48 {
+        let t = random_tree(&mut rng, 24);
         let mut via_sqa = sqa.query(&t).unwrap();
-        let mut via_mso = query_eval::eval_unary_unranked(automaton, &t, 2);
+        let mut via_mso = query_eval::eval_unary_unranked(&automaton, &t, 2);
         via_sqa.sort_unstable();
         via_mso.sort_unstable();
-        prop_assert_eq!(via_sqa, via_mso);
+        assert_eq!(via_sqa, via_mso, "case {case}");
     }
+}
 
-    /// Two-pass evaluation ≡ naive per-node evaluation (Figure 6).
-    #[test]
-    fn two_pass_matches_naive(t in arb_tree(20)) {
-        static D: OnceLock<query_automata::core::ranked::Dbta> = OnceLock::new();
-        let d = D.get_or_init(|| {
-            let mut a = Alphabet::from_names(["0", "1"]);
-            let phi = parse_mso(
-                "leaf(v) & (ex r. (root(r) & label(r, 1)))",
-                &mut a,
-            )
-            .unwrap();
-            unranked::compile_unary(&phi, "v", 2).unwrap()
-        });
-        let mut fast = query_eval::eval_unary_unranked(d, &t, 2);
-        let mut slow = query_eval::eval_unary_unranked_naive(d, &t, 2);
+/// Two-pass evaluation ≡ naive per-node evaluation (Figure 6).
+#[test]
+fn two_pass_matches_naive() {
+    let mut a = Alphabet::from_names(["0", "1"]);
+    let phi = parse_mso("leaf(v) & (ex r. (root(r) & label(r, 1)))", &mut a).unwrap();
+    let d = unranked::compile_unary(&phi, "v", 2).unwrap();
+    let mut rng = StdRng::seed_from_u64(108);
+    for case in 0..48 {
+        let t = random_tree(&mut rng, 20);
+        let mut fast = query_eval::eval_unary_unranked(&d, &t, 2);
+        let mut slow = query_eval::eval_unary_unranked_naive(&d, &t, 2);
         fast.sort_unstable();
         slow.sort_unstable();
-        prop_assert_eq!(fast, slow);
+        assert_eq!(fast, slow, "case {case}");
     }
+}
 
-    /// Unranked run confluence: random schedules select the same nodes.
-    #[test]
-    fn unranked_runs_are_confluent(t in arb_tree(16), seed in any::<u64>()) {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        static QA: OnceLock<StrongQa> = OnceLock::new();
-        let qa = QA.get_or_init(|| example_5_14(&Alphabet::from_names(["0", "1"])));
+/// Unranked run confluence: random schedules select the same nodes.
+#[test]
+fn unranked_runs_are_confluent() {
+    let qa = example_5_14(&Alphabet::from_names(["0", "1"]));
+    let mut rng = StdRng::seed_from_u64(109);
+    for case in 0..48 {
+        let t = random_tree(&mut rng, 16);
         let reference = qa.machine().run(&t).unwrap();
-        let mut rng = StdRng::seed_from_u64(seed);
         let rec = qa
             .machine()
             .run_scheduled(&t, qa.machine().default_fuel(&t), |n| rng.gen_range(0..n))
             .unwrap();
-        prop_assert_eq!(rec.accepted, reference.accepted);
-        prop_assert_eq!(rec.assumed, reference.assumed);
+        assert_eq!(rec.accepted, reference.accepted, "case {case}");
+        assert_eq!(rec.assumed, reference.assumed, "case {case}");
     }
 }
