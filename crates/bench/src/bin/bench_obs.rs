@@ -8,7 +8,18 @@
 //! and commits — a regression in an algorithm's *work* shows up even when
 //! the wall clock does not move.
 //!
-//! Usage: `cargo run --release -p qa-bench --bin bench_obs [out.json]`
+//! Usage:
+//!
+//! ```text
+//! bench_obs [out.json]                 # write the report (default BENCH_obs.json)
+//! bench_obs --check [--baseline FILE] [--tolerance F]
+//! ```
+//!
+//! `--check` regenerates the report in memory and gates it against the
+//! checked-in baseline (default `BENCH_obs.json`, tolerance 0.05 relative):
+//! any counter or series total drifting beyond tolerance — or appearing /
+//! disappearing — fails with exit code 1. CI runs this so a change that
+//! silently alters an algorithm's *work* cannot land unnoticed.
 
 use qa_base::{Alphabet, Symbol};
 use qa_obs::json::{object, ObjectWriter};
@@ -54,13 +65,9 @@ fn sample_bimachine() -> Bimachine {
     .unwrap()
 }
 
-fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_obs.json".to_string());
-    println!("# bench_obs -> {out_path}");
-
-    let report = object(|w| {
+/// Run every scenario and serialize the full report.
+fn generate_report() -> String {
+    object(|w| {
         // Example 3.4 string query: the literal two-way run.
         scenario(w, "example_3_4_string_query", |m| {
             let a = Alphabet::from_names(["0", "1"]);
@@ -150,13 +157,69 @@ fn main() {
             .unwrap();
         });
 
+        // §6 string decisions: equivalence via crossing-sequence NFAs.
+        scenario(w, "string_equivalence", |m| {
+            let a = Alphabet::from_names(["0", "1"]);
+            let qa = qa_twoway::string_qa::example_3_4_qa(&a);
+            qa_decision::string_decisions::equivalence_with(&qa, &qa, &mut m.observer()).unwrap();
+            qa_decision::string_decisions::non_emptiness_with(&qa, &mut m.observer()).unwrap();
+        });
+
         // Proposition 6.1: tiling reduction size.
         scenario(w, "prop_6_1_tiling_reduction", |m| {
             let inst = qa_decision::tiling::easy_instance(3);
             qa_decision::tiling::to_tree_automaton_with(&inst, &mut m.observer()).unwrap();
         });
-    });
+    })
+}
 
+/// Regenerate the report and compare it against `baseline_path`; returns
+/// the number of metrics that drifted beyond `tolerance`.
+fn check(baseline_path: &str, tolerance: f64) -> usize {
+    println!("# bench_obs --check (baseline {baseline_path}, tolerance {tolerance})");
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    let baseline = qa_obs::json::parse(&baseline_text).expect("parse baseline");
+    let current = qa_obs::json::parse(&generate_report()).expect("parse generated report");
+    let drifts = qa_probe::gate::compare_reports(&baseline, &current, tolerance);
+    if drifts.is_empty() {
+        println!("gate: OK — all step counts within tolerance");
+    } else {
+        for d in &drifts {
+            println!("gate: DRIFT {}", d.render());
+        }
+        println!(
+            "gate: {} metric(s) drifted; regenerate {baseline_path} if intentional",
+            drifts.len()
+        );
+    }
+    drifts.len()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--check") {
+        let flag_val = |name: &str| {
+            args.iter()
+                .position(|a| a == name)
+                .and_then(|i| args.get(i + 1).cloned())
+        };
+        let baseline = flag_val("--baseline").unwrap_or_else(|| "BENCH_obs.json".to_string());
+        let tolerance: f64 = flag_val("--tolerance")
+            .map(|t| t.parse().expect("--tolerance takes a number"))
+            .unwrap_or(0.05);
+        if check(&baseline, tolerance) > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let out_path = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "BENCH_obs.json".to_string());
+    println!("# bench_obs -> {out_path}");
+    let report = generate_report();
     std::fs::write(&out_path, format!("{report}\n")).expect("write report");
     println!("wrote {out_path}");
 }

@@ -67,9 +67,16 @@ impl RankedQa {
                     Counter::SelectionChecks,
                     rec.assumed[v.index()].len() as u64,
                 );
-                rec.assumed[v.index()]
+                match rec.assumed[v.index()]
                     .iter()
-                    .any(|&q| self.is_selecting(q, label))
+                    .find(|&&q| self.is_selecting(q, label))
+                {
+                    Some(&q) => {
+                        obs.selected(v.index() as u32, q.index() as u32, label.index() as u32);
+                        true
+                    }
+                    None => false,
+                }
             })
             .collect();
         obs.phase_end("selection scan");

@@ -293,7 +293,11 @@ impl TwoWayRanked {
     /// [`TwoWayRanked::run`] with an [`Observer`]: each node examination is
     /// a [`Counter::CutRecomputations`], each fired transition a
     /// [`Counter::Steps`], and the total step count is recorded under
-    /// [`Series::RunSteps`]. With [`NoopObserver`] this monomorphizes to
+    /// [`Series::RunSteps`]. Every state assignment is also reported as a
+    /// configuration event `(state, node, dir)` with dir +1 for δ↓ hand-offs
+    /// to children, −1 for δ↑ folds into the parent, and 0 for in-place
+    /// changes (initial placement, δ_leaf, δ_root), giving tree runs a
+    /// replayable trace. With [`NoopObserver`] this monomorphizes to
     /// exactly `run`.
     pub fn run_with<O: Observer>(&self, tree: &Tree, obs: &mut O) -> Result<RankedRunRecord> {
         if tree.rank() > self.max_rank {
@@ -310,6 +314,7 @@ impl TwoWayRanked {
         let root = tree.root();
         state[root.index()] = Some(self.initial);
         assumed[root.index()].push(self.initial);
+        obs.config(self.initial.index() as u32, root.index() as u32, 0);
         let mut steps = 0u64;
 
         let assume = |assumed: &mut Vec<Vec<StateId>>, v: NodeId, q: StateId| {
@@ -344,6 +349,7 @@ impl TwoWayRanked {
                         Some(Polarity::Down) if tree.is_leaf(v) => {
                             if let Some(q2) = self.leaf(q, label) {
                                 obs.count(Counter::Steps, 1);
+                                obs.config(q2.index() as u32, v.index() as u32, 0);
                                 state[v.index()] = Some(q2);
                                 assume(&mut assumed, v, q2);
                                 if let Some(p) = tree.parent(v) {
@@ -358,6 +364,7 @@ impl TwoWayRanked {
                                 let kids_states = down.to_vec();
                                 state[v.index()] = None;
                                 for (&c, q2) in tree.children(v).iter().zip(kids_states) {
+                                    obs.config(q2.index() as u32, c.index() as u32, 1);
                                     state[c.index()] = Some(q2);
                                     assume(&mut assumed, c, q2);
                                     enqueue(&mut queue, &mut queued, c);
@@ -371,6 +378,7 @@ impl TwoWayRanked {
                         Some(Polarity::Up) if v == root => {
                             if let Some(q2) = self.root(q, label) {
                                 obs.count(Counter::Steps, 1);
+                                obs.config(q2.index() as u32, root.index() as u32, 0);
                                 state[root.index()] = Some(q2);
                                 assume(&mut assumed, root, q2);
                                 continue;
@@ -397,6 +405,7 @@ impl TwoWayRanked {
                     if ok {
                         if let Some(q2) = self.up(&pairs) {
                             obs.count(Counter::Steps, 1);
+                            obs.config(q2.index() as u32, v.index() as u32, -1);
                             for &c in tree.children(v) {
                                 state[c.index()] = None;
                             }

@@ -94,9 +94,15 @@ impl Nbtau {
         self.delta.get(&(state, label))
     }
 
-    /// Iterate over all defined transition languages.
+    /// Iterate over all defined transition languages, in `(state, label)`
+    /// order — deterministic so fixpoint step counts and witness shapes are
+    /// reproducible across runs (the bench_obs regression gate depends on
+    /// this).
     pub fn languages(&self) -> impl Iterator<Item = (StateId, Symbol, &Nfa)> + '_ {
-        self.delta.iter().map(|(&(q, a), n)| (q, a, n))
+        let mut entries: Vec<(StateId, Symbol, &Nfa)> =
+            self.delta.iter().map(|(&(q, a), n)| (q, a, n)).collect();
+        entries.sort_by_key(|&(q, a, _)| (q.index(), a.index()));
+        entries.into_iter()
     }
 
     /// `δ*(t)` at every node: `table[v]` is the sorted set of states

@@ -393,8 +393,11 @@ impl TwoWayUnranked {
     /// [`Counter::CutRecomputations`], fired transitions [`Counter::Steps`],
     /// stay transitions additionally [`Counter::StayRounds`]; the total step
     /// count lands in [`Series::RunSteps`] and per-node stay tallies in
-    /// [`Series::StaysPerNode`]. With [`NoopObserver`] this monomorphizes to
-    /// exactly `run`.
+    /// [`Series::StaysPerNode`]. Every state assignment is also reported as
+    /// a configuration event (dir +1 down, −1 up, 0 in place), and each
+    /// stay-rule output as an [`Observer::stay_assign`] — the GSQA child-run
+    /// certificate behind the assignment. With [`NoopObserver`] this
+    /// monomorphizes to exactly `run`.
     pub fn run_with<O: Observer>(&self, tree: &Tree, obs: &mut O) -> Result<UnrankedRunRecord> {
         let fuel = self.default_fuel(tree);
         let n = tree.num_nodes();
@@ -404,6 +407,7 @@ impl TwoWayUnranked {
         let root = tree.root();
         state[root.index()] = Some(self.initial);
         assumed[root.index()].push(self.initial);
+        obs.config(self.initial.index() as u32, root.index() as u32, 0);
         let mut steps = 0u64;
 
         let assume = |assumed: &mut Vec<Vec<StateId>>, v: NodeId, q: StateId| {
@@ -441,6 +445,7 @@ impl TwoWayUnranked {
                         Some(Polarity::Down) if tree.is_leaf(v) => {
                             if let Some(q2) = self.leaf(q, label) {
                                 obs.count(Counter::Steps, 1);
+                                obs.config(q2.index() as u32, v.index() as u32, 0);
                                 state[v.index()] = Some(q2);
                                 assume(&mut assumed, v, q2);
                                 if let Some(p) = tree.parent(v) {
@@ -458,6 +463,7 @@ impl TwoWayUnranked {
                                 state[v.index()] = None;
                                 for (&c, s) in tree.children(v).iter().zip(word) {
                                     let q2 = StateId::from_index(s.index());
+                                    obs.config(q2.index() as u32, c.index() as u32, 1);
                                     state[c.index()] = Some(q2);
                                     assume(&mut assumed, c, q2);
                                     enqueue(&mut queue, &mut queued, c);
@@ -473,6 +479,7 @@ impl TwoWayUnranked {
                         Some(Polarity::Up) if v == root => {
                             if let Some(q2) = self.root(q, label) {
                                 obs.count(Counter::Steps, 1);
+                                obs.config(q2.index() as u32, root.index() as u32, 0);
                                 state[root.index()] = Some(q2);
                                 assume(&mut assumed, root, q2);
                                 continue;
@@ -500,6 +507,7 @@ impl TwoWayUnranked {
                         obs.count(Counter::TableLookups, 1);
                         if let Some(q2) = self.classify_up(&pairs) {
                             obs.count(Counter::Steps, 1);
+                            obs.config(q2.index() as u32, v.index() as u32, -1);
                             for &c in tree.children(v) {
                                 state[c.index()] = None;
                             }
@@ -537,6 +545,12 @@ impl TwoWayUnranked {
                             obs.count(Counter::Steps, 1);
                             obs.count(Counter::StayRounds, 1);
                             for (&c, q2) in tree.children(v).iter().zip(new_states) {
+                                obs.stay_assign(
+                                    v.index() as u32,
+                                    c.index() as u32,
+                                    q2.index() as u32,
+                                );
+                                obs.config(q2.index() as u32, c.index() as u32, 0);
                                 state[c.index()] = Some(q2);
                                 assume(&mut assumed, c, q2);
                                 enqueue(&mut queue, &mut queued, c);

@@ -10,6 +10,7 @@
 //! - `A₁ ≡ A₂` ⟺ mutual containment.
 
 use qa_base::Symbol;
+use qa_obs::{NoopObserver, Observer, Series};
 use qa_strings::{ops, Nfa};
 use qa_twoway::crossing;
 use qa_twoway::StringQa;
@@ -42,33 +43,88 @@ fn decode_marked(marked: &[Symbol], sigma: usize) -> StringWitness {
 /// Non-emptiness: is there a word on which `qa` selects some position?
 /// Returns a shortest witness.
 pub fn non_emptiness(qa: &StringQa) -> Option<StringWitness> {
+    non_emptiness_with(qa, &mut NoopObserver)
+}
+
+/// [`non_emptiness`] with an [`Observer`]: the crossing-sequence
+/// construction and the witness search run as named phases, the selection
+/// NFA's size lands in [`Series::MachineStates`], and a found witness's
+/// length in [`Series::WitnessSize`]. With [`NoopObserver`] this
+/// monomorphizes to exactly `non_emptiness`.
+pub fn non_emptiness_with<O: Observer>(qa: &StringQa, obs: &mut O) -> Option<StringWitness> {
     let sigma = qa.machine().alphabet_len();
+    obs.phase_start("crossing construction");
     let nfa = crossing::selection_nfa(qa);
-    nfa.shortest_witness().map(|w| decode_marked(&w, sigma))
+    obs.phase_end("crossing construction");
+    obs.record(Series::MachineStates, nfa.num_states() as u64);
+    obs.phase_start("witness search");
+    let witness = nfa.shortest_witness().map(|w| decode_marked(&w, sigma));
+    obs.phase_end("witness search");
+    if let Some(w) = &witness {
+        obs.record(Series::WitnessSize, w.word.len() as u64);
+    }
+    witness
 }
 
 /// Containment: `A₁(w) ⊆ A₂(w)` for every `w`? On violation returns a
 /// counterexample (a word and a position selected by `A₁` but not `A₂`).
 pub fn containment(a1: &StringQa, a2: &StringQa) -> Result<(), StringWitness> {
+    containment_with(a1, a2, &mut NoopObserver)
+}
+
+/// [`containment`] with an [`Observer`] (see [`non_emptiness_with`]; both
+/// selection NFAs and the violation product are sized into
+/// [`Series::MachineStates`]).
+pub fn containment_with<O: Observer>(
+    a1: &StringQa,
+    a2: &StringQa,
+    obs: &mut O,
+) -> Result<(), StringWitness> {
     let sigma = a1.machine().alphabet_len();
     assert_eq!(sigma, a2.machine().alphabet_len(), "mismatched alphabets");
+    obs.phase_start("crossing construction");
     let l1 = crossing::selection_nfa(a1);
     let l2 = crossing::selection_nfa(a2);
+    obs.phase_end("crossing construction");
+    obs.record(Series::MachineStates, l1.num_states() as u64);
+    obs.record(Series::MachineStates, l2.num_states() as u64);
+    obs.phase_start("violation product");
     let not_l2 = ops::complement(&l2).to_nfa();
     let violation: Nfa = l1.intersect(&not_l2);
-    match violation.shortest_witness() {
+    obs.phase_end("violation product");
+    obs.record(Series::MachineStates, violation.num_states() as u64);
+    obs.phase_start("witness search");
+    let witness = violation.shortest_witness();
+    obs.phase_end("witness search");
+    match witness {
         None => Ok(()),
-        Some(w) => Err(decode_marked(&w, sigma)),
+        Some(w) => {
+            let w = decode_marked(&w, sigma);
+            obs.record(Series::WitnessSize, w.word.len() as u64);
+            Err(w)
+        }
     }
 }
 
 /// Equivalence: do `A₁` and `A₂` compute the same query? On violation
 /// returns a counterexample and which side selected it.
 pub fn equivalence(a1: &StringQa, a2: &StringQa) -> Result<(), (StringWitness, bool)> {
-    if let Err(w) = containment(a1, a2) {
+    equivalence_with(a1, a2, &mut NoopObserver)
+}
+
+/// [`equivalence`] with an [`Observer`]: two instrumented containment
+/// checks. A returned counterexample pairs with `qa-trace diff`: run both
+/// automata on the witness word under a `RunTrace` each and diff the
+/// recorded traces to see *where* the behaviors part ways.
+pub fn equivalence_with<O: Observer>(
+    a1: &StringQa,
+    a2: &StringQa,
+    obs: &mut O,
+) -> Result<(), (StringWitness, bool)> {
+    if let Err(w) = containment_with(a1, a2, obs) {
         return Err((w, true));
     }
-    if let Err(w) = containment(a2, a1) {
+    if let Err(w) = containment_with(a2, a1, obs) {
         return Err((w, false));
     }
     Ok(())

@@ -110,7 +110,20 @@ pub fn eval_unary_ranked_with<O: Observer>(
             match d.transition(&children, marked(tree.label(v))) {
                 Some(q_marked) => {
                     let root_state = ctx[v.index()].as_ref().unwrap()[q_marked.index()];
-                    d.is_final(root_state)
+                    if d.is_final(root_state) {
+                        // certificate: marking v drives the bottom-up run
+                        // into q_marked, and v's context maps that to an
+                        // accepting root state.
+                        obs.config(q_marked.index() as u32, v.index() as u32, 0);
+                        obs.selected(
+                            v.index() as u32,
+                            q_marked.index() as u32,
+                            tree.label(v).index() as u32,
+                        );
+                        true
+                    } else {
+                        false
+                    }
                 }
                 None => false,
             }

@@ -10,7 +10,7 @@
 //! results between Sections 4 and 5, with the encoding in the role of the
 //! `≡ᵏ`-type bookkeeping.
 
-use qa_base::{Result, Symbol};
+use qa_base::{Error, Result, Symbol};
 use qa_core::ranked::Dbta;
 use qa_trees::{NodeId, Tree};
 
@@ -38,12 +38,19 @@ fn nonnil(x: &str, sigma: usize) -> Formula {
 /// The navigation atoms `FirstChild`/`SecondChild`/`Chain2` compile to
 /// 3-state automata, so each unranked `edge`/`<` costs only one extra
 /// first-order variable. `depth` disambiguates the helper variables.
-fn translate(f: &Formula, sigma: usize, depth: usize) -> Formula {
-    match f {
+///
+/// Errors on the encoding-level navigation atoms: they are not part of the
+/// unranked surface language, and formulas are caller-supplied, so this is
+/// a domain error rather than a programming bug.
+fn translate(f: &Formula, sigma: usize, depth: usize) -> Result<Formula> {
+    Ok(match f {
         Formula::True | Formula::False | Formula::Eq(_, _) | Formula::In(_, _) => f.clone(),
         Formula::Label(x, a) => Formula::Label(x.clone(), *a),
         Formula::FirstChild(_, _) | Formula::SecondChild(_, _) | Formula::Chain2(_, _) => {
-            panic!("encoding navigation atoms are not part of the unranked surface language")
+            return Err(Error::domain(
+                "encoding navigation atoms (first_child/second_child/chain2) \
+                 are not part of the unranked surface language",
+            ))
         }
         Formula::Edge(x, y) => {
             // unranked E(x, y): y is in the second-child chain from x's
@@ -62,16 +69,16 @@ fn translate(f: &Formula, sigma: usize, depth: usize) -> Formula {
                 Formula::SecondChild(x.clone(), w.clone()).and(Formula::Chain2(w, y.clone())),
             )
         }
-        Formula::Not(p) => translate(p, sigma, depth).not(),
-        Formula::And(p, q) => translate(p, sigma, depth + 1).and(translate(q, sigma, depth + 2)),
-        Formula::Or(p, q) => translate(p, sigma, depth + 1).or(translate(q, sigma, depth + 2)),
+        Formula::Not(p) => translate(p, sigma, depth)?.not(),
+        Formula::And(p, q) => translate(p, sigma, depth + 1)?.and(translate(q, sigma, depth + 2)?),
+        Formula::Or(p, q) => translate(p, sigma, depth + 1)?.or(translate(q, sigma, depth + 2)?),
         Formula::Exists(v, p) => Formula::exists(
             v.clone(),
-            nonnil(v, sigma).and(translate(p, sigma, depth + 1)),
+            nonnil(v, sigma).and(translate(p, sigma, depth + 1)?),
         ),
         Formula::Forall(v, p) => Formula::forall(
             v.clone(),
-            nonnil(v, sigma).implies(translate(p, sigma, depth + 1)),
+            nonnil(v, sigma).implies(translate(p, sigma, depth + 1)?),
         ),
         Formula::ExistsSet(v, p) => {
             let u = format!("#m{depth}");
@@ -81,7 +88,7 @@ fn translate(f: &Formula, sigma: usize, depth: usize) -> Formula {
                     u.clone(),
                     Formula::In(u.clone(), v.clone()).implies(nonnil(&u, sigma)),
                 )
-                .and(translate(p, sigma, depth + 1)),
+                .and(translate(p, sigma, depth + 1)?),
             )
         }
         Formula::ForallSet(v, p) => {
@@ -92,24 +99,24 @@ fn translate(f: &Formula, sigma: usize, depth: usize) -> Formula {
                     u.clone(),
                     Formula::In(u.clone(), v.clone()).implies(nonnil(&u, sigma)),
                 )
-                .implies(translate(p, sigma, depth + 1)),
+                .implies(translate(p, sigma, depth + 1)?),
             )
         }
-    }
+    })
 }
 
 /// Compile an unranked-tree MSO sentence to a DBTAʳ over the encoded
 /// alphabet `(Σ ⊎ {nil}) × {}` (rank 2); test trees with
 /// [`accepts_unranked`].
 pub fn compile_sentence(f: &Formula, sigma: usize) -> Result<Dbta> {
-    let translated = translate(f, sigma, 0);
+    let translated = translate(f, sigma, 0)?;
     compile_ranked::compile_sentence(&translated, encoded_alphabet_len(sigma), 2)
 }
 
 /// Compile a unary unranked query `φ(x)` to a DBTAʳ over the encoded
 /// marked alphabet; evaluate with [`crate::query_eval::eval_unary_unranked`].
 pub fn compile_unary(f: &Formula, var: &str, sigma: usize) -> Result<Dbta> {
-    let translated = translate(f, sigma, 0);
+    let translated = translate(f, sigma, 0)?;
     // relativize the free variable as well
     let relativized = nonnil(var, sigma).and(translated);
     compile_ranked::compile_unary(&relativized, var, encoded_alphabet_len(sigma), 2)
@@ -208,6 +215,22 @@ mod tests {
         // NB: root(x)/leaf(x) desugar to edge-based forms, which translate.
         agree_sentence("ex x. (root(x) & label(x, b))", &["a", "b"], 16);
         agree_sentence("all x. (label(x, b) -> leaf(x))", &["a", "b"], 17);
+    }
+
+    #[test]
+    fn encoding_atoms_are_a_domain_error_not_a_panic() {
+        let f = Formula::exists(
+            "x",
+            Formula::exists("y", Formula::FirstChild("x".to_string(), "y".to_string())),
+        );
+        assert!(matches!(
+            compile_sentence(&f, 2),
+            Err(qa_base::Error::Domain { .. })
+        ));
+        assert!(matches!(
+            compile_unary(&f, "x", 2),
+            Err(qa_base::Error::Domain { .. })
+        ));
     }
 
     #[test]

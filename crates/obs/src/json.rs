@@ -1,8 +1,9 @@
-//! Minimal hand-rolled JSON writer.
+//! Minimal hand-rolled JSON writer and reader.
 //!
 //! The sandbox has no crates.io access, so run reports are serialized with
-//! this small helper instead of serde. It only ever *writes* JSON; the
-//! workspace never needs to parse it.
+//! this small helper instead of serde. The writer half emits reports; the
+//! [`parse`] half reads them back for the trace-diff tooling and the
+//! `bench_obs --check` regression gate.
 
 /// Append `s` to `out` as a JSON string literal, escaping per RFC 8259.
 pub fn push_str(out: &mut String, s: &str) {
@@ -121,6 +122,334 @@ pub fn array(elems: impl IntoIterator<Item = String>) -> String {
     out
 }
 
+/// A parsed JSON document.
+///
+/// Objects keep their key order (a `Vec` of pairs, not a map) so diff
+/// tooling can report fields in the order the producer wrote them; numbers
+/// are kept as `f64`, which is exact for the `u64` counters the workspace
+/// emits up to 2^53 — far beyond any step count a bounded run produces.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string literal, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source key order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member of an object by key (`None` for missing keys or non-objects).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The fields in source order, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+/// Parse failure: byte offset into the input plus a short message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the offending character.
+    pub offset: usize,
+    /// What was expected or found.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse one JSON document; trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut elems = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(elems));
+        }
+        loop {
+            self.skip_ws();
+            elems.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(elems));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, ParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let digits = std::str::from_utf8(&self.bytes[self.pos..end])
+            .ok()
+            .and_then(|s| u16::from_str_radix(s, 16).ok())
+            .ok_or_else(|| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(digits)
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Copy the longest plain run in one slice to keep the common
+            // case (no escapes) cheap.
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' || c < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let cp = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xdc00..0xe000).contains(&lo) {
+                                        return Err(self.err("unpaired high surrogate"));
+                                    }
+                                    0x10000 + ((hi as u32 - 0xd800) << 10) + (lo as u32 - 0xdc00)
+                                } else {
+                                    return Err(self.err("unpaired high surrogate"));
+                                }
+                            } else if (0xdc00..0xe000).contains(&hi) {
+                                return Err(self.err("unpaired low surrogate"));
+                            } else {
+                                hi as u32
+                            };
+                            out.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => return Err(self.err("unescaped control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +459,100 @@ mod tests {
         let mut out = String::new();
         push_str(&mut out, "a\"b\\c\nd\u{1}");
         assert_eq!(out, r#""a\"b\\c\nd\u0001""#);
+    }
+
+    #[test]
+    fn escapes_every_c0_control_char() {
+        for cp in 0u32..0x20 {
+            let c = char::from_u32(cp).unwrap();
+            let mut out = String::new();
+            push_str(&mut out, &c.to_string());
+            assert!(
+                !out[1..out.len() - 1].contains(c) || matches!(c, '\n' | '\r' | '\t'),
+                "U+{cp:04X} must not appear raw"
+            );
+            // Whatever form was chosen, the writer's output must parse back
+            // to the original character.
+            assert_eq!(parse(&out).unwrap(), Value::Str(c.to_string()));
+        }
+    }
+
+    #[test]
+    fn delete_char_passes_through_unescaped() {
+        // RFC 8259 only requires escaping below U+0020; U+007F may appear raw.
+        let mut out = String::new();
+        push_str(&mut out, "a\u{7f}b");
+        assert_eq!(out, "\"a\u{7f}b\"");
+        assert_eq!(parse(&out).unwrap(), Value::Str("a\u{7f}b".into()));
+    }
+
+    #[test]
+    fn non_bmp_chars_pass_through_as_utf8() {
+        // U+1D11E (𝄞) and an emoji stay raw UTF-8 — no surrogate escapes.
+        let s = "clef \u{1d11e} ok \u{1f600}";
+        let mut out = String::new();
+        push_str(&mut out, s);
+        assert_eq!(out, format!("\"{s}\""));
+        assert_eq!(parse(&out).unwrap(), Value::Str(s.into()));
+        // But the parser also accepts the surrogate-pair spelling.
+        assert_eq!(
+            parse("\"\\ud834\\udd1e\"").unwrap(),
+            Value::Str("\u{1d11e}".into())
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_strings() {
+        assert!(parse("\"\u{1}\"").is_err(), "raw control char");
+        assert!(parse(r#""\ud834""#).is_err(), "unpaired high surrogate");
+        assert!(parse(r#""\udd1e""#).is_err(), "unpaired low surrogate");
+        assert!(parse(r#""\x""#).is_err(), "unknown escape");
+        assert!(parse("\"abc").is_err(), "unterminated");
+    }
+
+    #[test]
+    fn parses_scalars_and_structure() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("-12.5e1").unwrap(), Value::Num(-125.0));
+        assert_eq!(parse("[]").unwrap(), Value::Arr(vec![]));
+        assert_eq!(parse("{}").unwrap(), Value::Obj(vec![]));
+        let v = parse(r#"{"a":[1,{"b":null}],"c":"x"}"#).unwrap();
+        assert_eq!(v.get("c").and_then(Value::as_str), Some("x"));
+        let arr = v.get("a").and_then(Value::as_arr).unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].get("b"), Some(&Value::Null));
+        assert_eq!(v.get("missing"), None);
+        assert!(parse("[1,2] x").is_err(), "trailing garbage");
+        assert!(parse("[1,]").is_err(), "trailing comma");
+    }
+
+    #[test]
+    fn writer_output_parses_back() {
+        let written = object(|w| {
+            w.field_u64("count", 42);
+            w.field_f64("mean", 2.5);
+            w.field_bool("truncated", false);
+            w.field_str("name", "run \"x\"\n");
+            w.field_u64_array("buckets", [0, 1, 2]);
+        });
+        let v = parse(&written).unwrap();
+        assert_eq!(v.get("count").and_then(Value::as_u64), Some(42));
+        assert_eq!(v.get("mean").and_then(Value::as_f64), Some(2.5));
+        assert_eq!(v.get("truncated"), Some(&Value::Bool(false)));
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("run \"x\"\n"));
+        assert_eq!(
+            v.get("buckets").and_then(Value::as_arr).map(|a| a.len()),
+            Some(3)
+        );
+        // Key order is preserved for diff-friendly reporting.
+        let keys: Vec<&str> = v
+            .as_obj()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["count", "mean", "truncated", "name", "buckets"]);
     }
 
     #[test]

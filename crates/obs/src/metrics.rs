@@ -57,6 +57,23 @@ impl Histogram {
         self.max.fetch_max(value, Ordering::Relaxed);
     }
 
+    /// Fold a snapshot's samples into this histogram, as if every sample it
+    /// aggregates had been [`Histogram::record`]ed here.
+    pub fn absorb(&self, snap: &HistogramSnapshot) {
+        if snap.count == 0 {
+            return;
+        }
+        for (b, &n) in self.buckets.iter().zip(snap.buckets.iter()) {
+            if n != 0 {
+                b.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        self.min.fetch_min(snap.min, Ordering::Relaxed);
+        self.max.fetch_max(snap.max, Ordering::Relaxed);
+    }
+
     /// A consistent-enough copy of the current totals.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let count = self.count.load(Ordering::Relaxed);
@@ -90,6 +107,36 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// Empty snapshot — the identity of [`HistogramSnapshot::merge`].
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+
+    /// Combine two snapshots into the snapshot that one histogram fed with
+    /// both sample sets would produce. Associative and commutative, with
+    /// [`HistogramSnapshot::empty`] as identity.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        if self.count == 0 {
+            return other.clone();
+        }
+        if other.count == 0 {
+            return self.clone();
+        }
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i] + other.buckets[i]),
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
     /// Arithmetic mean of the samples, `0.0` when empty.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -153,6 +200,22 @@ impl Metrics {
     /// Borrow an [`Observer`] that feeds this registry.
     pub fn observer(&self) -> MetricsObserver<'_> {
         MetricsObserver { metrics: self }
+    }
+
+    /// Fold `other`'s totals into this registry, so per-run or per-thread
+    /// registries can be combined into one multi-run profile. Counters add;
+    /// histograms merge sample-exactly (same result as recording every
+    /// sample here). Associative and commutative up to snapshot timing.
+    pub fn merge(&self, other: &Metrics) {
+        for c in Counter::ALL {
+            let v = other.get(c);
+            if v != 0 {
+                self.count(c, v);
+            }
+        }
+        for s in Series::ALL {
+            self.series[s.index()].absorb(&other.histogram(s));
+        }
     }
 
     /// Reset every counter and histogram to zero.
@@ -287,6 +350,88 @@ mod tests {
                 r#""mean":2.0,"buckets":[0,1,1]}}}"#
             )
         );
+    }
+
+    /// A registry fed with a deterministic workload derived from `seed`.
+    fn workload(seed: u64) -> Metrics {
+        let m = Metrics::new();
+        let mut x = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
+        for _ in 0..20 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let c = Counter::ALL[(x >> 32) as usize % Counter::COUNT];
+            m.count(c, x % 100);
+            let s = Series::ALL[(x >> 48) as usize % Series::COUNT];
+            m.record(s, x % 1000);
+        }
+        m
+    }
+
+    fn full_snapshot(m: &Metrics) -> (Vec<u64>, Vec<HistogramSnapshot>) {
+        (
+            Counter::ALL.iter().map(|&c| m.get(c)).collect(),
+            Series::ALL.iter().map(|&s| m.histogram(s)).collect(),
+        )
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let (a, b, c) = (workload(1), workload(2), workload(3));
+
+        // (a ⊕ b) ⊕ c
+        let left = Metrics::new();
+        left.merge(&a);
+        left.merge(&b);
+        let left_outer = Metrics::new();
+        left_outer.merge(&left);
+        left_outer.merge(&c);
+
+        // a ⊕ (b ⊕ c)
+        let right = Metrics::new();
+        right.merge(&b);
+        right.merge(&c);
+        let right_outer = Metrics::new();
+        right_outer.merge(&a);
+        right_outer.merge(&right);
+
+        assert_eq!(full_snapshot(&left_outer), full_snapshot(&right_outer));
+    }
+
+    #[test]
+    fn merge_matches_direct_recording() {
+        // Recording samples into two registries and merging them must be
+        // indistinguishable from recording everything into one registry.
+        let direct = Metrics::new();
+        let (a, b) = (Metrics::new(), Metrics::new());
+        for (i, v) in [0u64, 1, 1, 5, 16, 300, 7, 7].iter().enumerate() {
+            let side = if i % 2 == 0 { &a } else { &b };
+            side.record(Series::MachineStates, *v);
+            side.count(Counter::Steps, *v);
+            direct.record(Series::MachineStates, *v);
+            direct.count(Counter::Steps, *v);
+        }
+        let merged = Metrics::new();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(full_snapshot(&merged), full_snapshot(&direct));
+    }
+
+    #[test]
+    fn snapshot_merge_associative_with_identity() {
+        let snap = |m: &Metrics| m.histogram(Series::TraceLength);
+        let (a, b, c) = (workload(4), workload(5), workload(6));
+        let (sa, sb, sc) = (snap(&a), snap(&b), snap(&c));
+        assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+        assert_eq!(sa.merge(&HistogramSnapshot::empty()), sa);
+        assert_eq!(HistogramSnapshot::empty().merge(&sa), sa);
+        // min survives the empty-identity special case
+        let m = Metrics::new();
+        m.record(Series::TraceLength, 9);
+        let s = snap(&m);
+        assert_eq!(s.merge(&HistogramSnapshot::empty()).min, 9);
     }
 
     #[test]

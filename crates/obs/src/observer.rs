@@ -169,6 +169,27 @@ pub trait Observer {
         let _ = name;
     }
 
+    /// A selection-scan verdict: `pos` was selected because the run assumed
+    /// `state` there and `λ(state, sym) = 1`.
+    ///
+    /// `pos` is in the same coordinate space as [`Observer::config`] events
+    /// from the same engine: tape positions (0 = `⊳`) for string machines,
+    /// node indices for tree machines. The witnessing `state` is the first
+    /// assumed state with a selecting `λ` entry — the paper's certificate
+    /// that the position belongs to the query result.
+    #[inline]
+    fn selected(&mut self, pos: u32, state: u32, sym: u32) {
+        let _ = (pos, state, sym);
+    }
+
+    /// A stay transition (Definition 5.11) assigned `state` to the child
+    /// node `child` of `parent` — one event per child, together forming the
+    /// GSQA child-run output that certifies the assignment.
+    #[inline]
+    fn stay_assign(&mut self, parent: u32, child: u32, state: u32) {
+        let _ = (parent, child, state);
+    }
+
     /// Whether this sink records anything. Engines may use this to skip
     /// *computing* an expensive event argument; they must not skip the
     /// algorithm itself.
@@ -213,6 +234,14 @@ impl<O: Observer + ?Sized> Observer for &mut O {
         (**self).phase_end(name);
     }
     #[inline]
+    fn selected(&mut self, pos: u32, state: u32, sym: u32) {
+        (**self).selected(pos, state, sym);
+    }
+    #[inline]
+    fn stay_assign(&mut self, parent: u32, child: u32, state: u32) {
+        (**self).stay_assign(parent, child, state);
+    }
+    #[inline]
     fn is_enabled(&self) -> bool {
         (**self).is_enabled()
     }
@@ -253,6 +282,16 @@ impl<A: Observer, B: Observer> Observer for Tee<A, B> {
         self.1.phase_end(name);
     }
     #[inline]
+    fn selected(&mut self, pos: u32, state: u32, sym: u32) {
+        self.0.selected(pos, state, sym);
+        self.1.selected(pos, state, sym);
+    }
+    #[inline]
+    fn stay_assign(&mut self, parent: u32, child: u32, state: u32) {
+        self.0.stay_assign(parent, child, state);
+        self.1.stay_assign(parent, child, state);
+    }
+    #[inline]
     fn is_enabled(&self) -> bool {
         self.0.is_enabled() || self.1.is_enabled()
     }
@@ -278,6 +317,73 @@ mod tests {
         let mut n = NoopObserver;
         let fwd: &mut NoopObserver = &mut n;
         assert!(!fwd.is_enabled());
+    }
+
+    /// Records every hook invocation as a rendered event line, so tests can
+    /// compare complete event streams across sinks.
+    #[derive(Default)]
+    struct Recorder {
+        events: Vec<String>,
+    }
+
+    impl Observer for Recorder {
+        fn count(&mut self, counter: Counter, n: u64) {
+            self.events.push(format!("count {} {n}", counter.name()));
+        }
+        fn record(&mut self, series: Series, value: u64) {
+            self.events
+                .push(format!("record {} {value}", series.name()));
+        }
+        fn config(&mut self, state: u32, pos: u32, dir: i8) {
+            self.events.push(format!("config {state} {pos} {dir}"));
+        }
+        fn phase_start(&mut self, name: &'static str) {
+            self.events.push(format!("phase_start {name}"));
+        }
+        fn phase_end(&mut self, name: &'static str) {
+            self.events.push(format!("phase_end {name}"));
+        }
+        fn selected(&mut self, pos: u32, state: u32, sym: u32) {
+            self.events.push(format!("selected {pos} {state} {sym}"));
+        }
+        fn stay_assign(&mut self, parent: u32, child: u32, state: u32) {
+            self.events
+                .push(format!("stay_assign {parent} {child} {state}"));
+        }
+    }
+
+    /// Fire every hook exactly once through `obs`.
+    fn fire_all<O: Observer>(obs: &mut O) {
+        obs.count(Counter::Steps, 3);
+        obs.record(Series::TraceLength, 7);
+        obs.config(1, 2, -1);
+        obs.phase_start("p");
+        obs.phase_end("p");
+        obs.selected(4, 5, 6);
+        obs.stay_assign(8, 9, 10);
+    }
+
+    #[test]
+    fn tee_forwards_every_hook_to_both_sinks() {
+        let mut tee = Tee(Recorder::default(), Recorder::default());
+        fire_all(&mut tee);
+
+        let mut reference = Recorder::default();
+        fire_all(&mut reference);
+
+        assert_eq!(reference.events.len(), 7, "one event per hook");
+        assert_eq!(tee.0.events, reference.events);
+        assert_eq!(tee.1.events, reference.events);
+    }
+
+    #[test]
+    fn reborrow_forwards_every_hook() {
+        let mut rec = Recorder::default();
+        fire_all(&mut (&mut rec));
+
+        let mut reference = Recorder::default();
+        fire_all(&mut reference);
+        assert_eq!(rec.events, reference.events);
     }
 
     #[test]

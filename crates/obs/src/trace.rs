@@ -23,6 +23,9 @@ pub struct PhaseSpan {
     pub name: &'static str,
     /// Nesting depth at which the phase ran (0 = top level).
     pub depth: usize,
+    /// When the phase started, relative to trace creation — the timestamp
+    /// axis for trace-event (Perfetto) exports.
+    pub start: Duration,
     /// Wall-clock time between start and end.
     pub elapsed: Duration,
 }
@@ -44,6 +47,7 @@ pub struct RunTrace {
     cap: usize,
     truncated: bool,
     open_phases: Vec<(&'static str, Instant)>,
+    t0: Instant,
 }
 
 impl Default for RunTrace {
@@ -68,6 +72,7 @@ impl RunTrace {
             cap,
             truncated: false,
             open_phases: Vec::new(),
+            t0: Instant::now(),
         }
     }
 
@@ -129,7 +134,7 @@ impl RunTrace {
 
     /// JSON run report:
     /// `{"configs": [{state, pos, dir}…], "truncated": bool,
-    /// "counters": {…}, "phases": [{name, depth, ms}…]}`.
+    /// "counters": {…}, "phases": [{name, depth, start_ms, ms}…]}`.
     pub fn to_json(&self) -> String {
         json::object(|w| {
             let configs = json::array(self.configs.iter().map(|c| {
@@ -146,6 +151,7 @@ impl RunTrace {
                 json::object(|pw| {
                     pw.field_str("name", p.name);
                     pw.field_u64("depth", p.depth as u64);
+                    pw.field_f64("start_ms", p.start.as_secs_f64() * 1e3);
                     pw.field_f64("ms", p.elapsed.as_secs_f64() * 1e3);
                 })
             }));
@@ -199,6 +205,7 @@ impl Observer for RunTrace {
             self.phases.push(PhaseSpan {
                 name,
                 depth: i,
+                start: start.duration_since(self.t0),
                 elapsed: start.elapsed(),
             });
         }

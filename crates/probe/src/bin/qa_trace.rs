@@ -1,0 +1,355 @@
+//! `qa-trace`: record, replay, explain, diff, and export instrumented runs.
+//!
+//! ```text
+//! qa-trace record <workload> [input] [--out FILE] [--metrics-out FILE]
+//! qa-trace replay <trace.json>
+//! qa-trace why <workload> [input] [--pos P] [--json]
+//! qa-trace diff <a.json> <b.json>
+//! qa-trace export chrome <trace.json> [--out FILE]
+//! qa-trace export prom <metrics.json> [--out FILE]
+//! ```
+//!
+//! Workloads are the paper's running examples, deterministic by
+//! construction so two invocations on the same input produce byte-identical
+//! traces:
+//!
+//! - `example-3-4 [word]` — Example 3.4 string QA ("select every 1 at an
+//!   odd position from the right"), default word `0110`.
+//! - `example-3-4-variant [word]` — the same machine with one transition
+//!   changed (the first left move enters the *even* parity state), for
+//!   exercising `diff`.
+//! - `example-4-4 [sexpr]` — Example 4.4 ranked circuit QA, default
+//!   `(OR (AND 1 0) 1)`.
+//! - `example-5-14 [sexpr]` — Example 5.14 strong unranked QA with stay
+//!   transitions, default `(0 1 0 0 1 0)`.
+//! - `fig5` — the Figure 5 two-pass ranked unary MSO evaluation.
+
+use std::process::ExitCode;
+
+use qa_base::Alphabet;
+use qa_obs::json::Value;
+use qa_obs::{Metrics, RunTrace, Tee};
+use qa_probe::export::parse_json;
+use qa_probe::{
+    chrome_from_trace_json, counter_drift, first_divergence, prometheus_from_metrics_json,
+    ProvenanceObserver,
+};
+
+const USAGE: &str = "usage:
+  qa-trace record <workload> [input] [--out FILE] [--metrics-out FILE]
+  qa-trace replay <trace.json>
+  qa-trace why <workload> [input] [--pos P] [--json]
+  qa-trace diff <a.json> <b.json>
+  qa-trace export chrome <trace.json> [--out FILE]
+  qa-trace export prom <metrics.json> [--out FILE]
+
+workloads: example-3-4, example-3-4-variant, example-4-4, example-5-14, fig5";
+
+/// One recorded workload run: full trace, metrics, provenance, results.
+struct Recorded {
+    trace: RunTrace,
+    metrics: Metrics,
+    prov: ProvenanceObserver,
+    /// Selected positions in the workload's result coordinates (word
+    /// indices for strings, node indices for trees).
+    selected: Vec<usize>,
+    /// Whether results are word indices (tape position − 1).
+    word_coords: bool,
+}
+
+/// Example 3.4 with the first left move rewired into the even-parity state
+/// — selects 1s at *even* positions from the right, so its trace diverges
+/// from the original exactly one step after the head reaches `⊲`.
+fn example_3_4_variant(alphabet: &Alphabet) -> qa_twoway::StringQa {
+    use qa_twoway::{Dir, Tape, TwoDfaBuilder};
+    let one = alphabet.symbol("1");
+    let mut b = TwoDfaBuilder::new(alphabet.len());
+    let s0 = b.add_state();
+    let s1 = b.add_state();
+    let s2 = b.add_state();
+    b.set_initial(s0);
+    b.set_final(s1, true);
+    b.set_final(s2, true);
+    b.set_action(s0, Tape::LeftMarker, Dir::Right, s0);
+    b.set_action_all_symbols(s0, Dir::Right, s0);
+    b.set_action(s0, Tape::RightMarker, Dir::Left, s2); // original enters s1
+    b.set_action_all_symbols(s1, Dir::Left, s2);
+    b.set_action_all_symbols(s2, Dir::Left, s1);
+    let mut qa = qa_twoway::StringQa::new(b.build().expect("valid machine"));
+    qa.set_selecting(s1, one, true);
+    qa
+}
+
+fn run_workload(name: &str, input: Option<&str>) -> Result<Recorded, String> {
+    let mut trace = RunTrace::new();
+    let metrics = Metrics::new();
+    let mut prov = ProvenanceObserver::new();
+    let mut word_coords = false;
+    let selected: Vec<usize> = {
+        let mut obs = Tee(&mut trace, Tee(metrics.observer(), &mut prov));
+        match name {
+            "example-3-4" | "example-3-4-variant" => {
+                word_coords = true;
+                let a = Alphabet::from_names(["0", "1"]);
+                let text = input.unwrap_or("0110");
+                if text.chars().any(|c| c != '0' && c != '1') {
+                    return Err(format!("word must be over {{0,1}}, got {text:?}"));
+                }
+                let word = a.word(text);
+                let qa = if name == "example-3-4" {
+                    qa_twoway::string_qa::example_3_4_qa(&a)
+                } else {
+                    example_3_4_variant(&a)
+                };
+                qa.query_with(&word, &mut obs).map_err(|e| e.to_string())?
+            }
+            "example-4-4" => {
+                let mut a = Alphabet::from_names(["AND", "OR", "0", "1"]);
+                let t = qa_trees::sexpr::from_sexpr(input.unwrap_or("(OR (AND 1 0) 1)"), &mut a)
+                    .map_err(|e| e.to_string())?;
+                let qa = qa_core::ranked::query::example_4_4(&a);
+                qa.query_with(&t, &mut obs)
+                    .map_err(|e| e.to_string())?
+                    .into_iter()
+                    .map(|n| n.index())
+                    .collect()
+            }
+            "example-5-14" => {
+                let mut a = Alphabet::from_names(["0", "1"]);
+                let t = qa_trees::sexpr::from_sexpr(input.unwrap_or("(0 1 0 0 1 0)"), &mut a)
+                    .map_err(|e| e.to_string())?;
+                let qa = qa_core::unranked::query::example_5_14(&a);
+                qa.query_with(&t, &mut obs)
+                    .map_err(|e| e.to_string())?
+                    .into_iter()
+                    .map(|n| n.index())
+                    .collect()
+            }
+            "fig5" => {
+                let mut a = Alphabet::from_names(["s", "t"]);
+                let phi = qa_mso::parse("leaf(v) & (ex r. (root(r) & label(r, s)))", &mut a)
+                    .map_err(|e| e.to_string())?;
+                let d = qa_mso::compile_ranked::compile_unary(&phi, "v", 2, 2)
+                    .map_err(|e| e.to_string())?;
+                let t = qa_trees::generate::complete(a.symbol("s"), 2, 4);
+                qa_mso::query_eval::eval_unary_ranked_with(&d, &t, 2, &mut obs)
+                    .into_iter()
+                    .map(|n| n.index())
+                    .collect()
+            }
+            other => return Err(format!("unknown workload `{other}` — {USAGE}")),
+        }
+    };
+    Ok(Recorded {
+        trace,
+        metrics,
+        prov,
+        selected,
+        word_coords,
+    })
+}
+
+fn read_json(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn emit(out: Option<&str>, content: &str) -> Result<(), String> {
+    match out {
+        Some(path) => {
+            std::fs::write(path, content).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {path}");
+            Ok(())
+        }
+        None => {
+            print!("{content}");
+            Ok(())
+        }
+    }
+}
+
+/// Pull `--flag VALUE` out of `args`, returning the value.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) if i + 1 < args.len() => {
+            args.remove(i);
+            Ok(Some(args.remove(i)))
+        }
+        Some(_) => Err(format!("{flag} needs a value")),
+        None => Ok(None),
+    }
+}
+
+fn cmd_record(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let out = take_flag(&mut args, "--out")?;
+    let metrics_out = take_flag(&mut args, "--metrics-out")?;
+    let workload = args.first().ok_or(USAGE)?;
+    let rec = run_workload(workload, args.get(1).map(String::as_str))?;
+    eprintln!(
+        "{workload}: {} configs, selected {:?}",
+        rec.trace.configs.len(),
+        rec.selected
+    );
+    emit(out.as_deref(), &format!("{}\n", rec.trace.to_json()))?;
+    if let Some(path) = metrics_out {
+        emit(Some(&path), &format!("{}\n", rec.metrics.to_json()))?;
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_replay(args: Vec<String>) -> Result<ExitCode, String> {
+    let path = args.first().ok_or(USAGE)?;
+    let v = read_json(path)?;
+    let configs = v
+        .get("configs")
+        .and_then(Value::as_arr)
+        .ok_or("trace has no \"configs\" array")?;
+    for (i, c) in configs.iter().enumerate() {
+        let state = c.get("state").and_then(Value::as_u64).unwrap_or(0);
+        let pos = c.get("pos").and_then(Value::as_u64).unwrap_or(0);
+        let dir = c.get("dir").and_then(Value::as_f64).unwrap_or(0.0);
+        let arrow = if dir < 0.0 {
+            "<-"
+        } else if dir > 0.0 {
+            "->"
+        } else {
+            "--"
+        };
+        println!("{i:4}  q{state} @ {pos} {arrow}");
+    }
+    if v.get("truncated") == Some(&Value::Bool(true)) {
+        println!("      ... (truncated)");
+    }
+    if let Some(counters) = v.get("counters").and_then(Value::as_obj) {
+        for (k, n) in counters {
+            if let Some(n) = n.as_u64() {
+                println!("{k}: {n}");
+            }
+        }
+    }
+    if let Some(phases) = v.get("phases").and_then(Value::as_arr) {
+        for p in phases {
+            let name = p.get("name").and_then(Value::as_str).unwrap_or("?");
+            let depth = p.get("depth").and_then(Value::as_u64).unwrap_or(0) as usize;
+            let ms = p.get("ms").and_then(Value::as_f64).unwrap_or(0.0);
+            println!("{}[{name}] {ms:.3} ms", "  ".repeat(depth));
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_why(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let pos = take_flag(&mut args, "--pos")?
+        .map(|p| p.parse::<u32>().map_err(|_| format!("bad --pos `{p}`")))
+        .transpose()?;
+    let json = match args.iter().position(|a| a == "--json") {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    };
+    let workload = args.first().ok_or(USAGE)?;
+    let rec = run_workload(workload, args.get(1).map(String::as_str))?;
+    let explanations = match pos {
+        Some(p) => match rec.prov.why_selected(p) {
+            Some(e) => vec![e],
+            None => {
+                eprintln!("position {p} was not selected");
+                return Ok(ExitCode::FAILURE);
+            }
+        },
+        None => rec.prov.explanations(),
+    };
+    if explanations.is_empty() {
+        println!("no positions selected");
+        return Ok(ExitCode::SUCCESS);
+    }
+    for e in &explanations {
+        if json {
+            println!("{}", e.to_json());
+        } else {
+            if rec.word_coords && e.pos > 0 {
+                println!("(word index {})", e.pos - 1);
+            }
+            print!("{}", e.render_text());
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_diff(args: Vec<String>) -> Result<ExitCode, String> {
+    let (pa, pb) = match (args.first(), args.get(1)) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Err(USAGE.to_string()),
+    };
+    let (a, b) = (read_json(pa)?, read_json(pb)?);
+    let mut diverged = false;
+    match first_divergence(&a, &b)? {
+        None => println!("configs: identical"),
+        Some(d) => {
+            diverged = true;
+            let show = |c: &Option<qa_obs::TraceConfig>| match c {
+                Some(c) => format!("q{} @ {} dir {}", c.state, c.pos, c.dir),
+                None => "(run ended)".to_string(),
+            };
+            println!("configs: first divergence at step {}", d.index);
+            println!("  {pa}: {}", show(&d.a));
+            println!("  {pb}: {}", show(&d.b));
+        }
+    }
+    let drift = counter_drift(&a, &b);
+    for (k, va, vb) in &drift {
+        diverged = true;
+        println!("counter {k}: {va} vs {vb}");
+    }
+    Ok(if diverged {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn cmd_export(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let out = take_flag(&mut args, "--out")?;
+    let (format, path) = match (args.first(), args.get(1)) {
+        (Some(f), Some(p)) => (f.as_str(), p),
+        _ => return Err(USAGE.to_string()),
+    };
+    let v = read_json(path)?;
+    let content = match format {
+        "chrome" => format!("{}\n", chrome_from_trace_json(&v)?),
+        "prom" => prometheus_from_metrics_json(&v, "qa")?,
+        other => return Err(format!("unknown export format `{other}` — {USAGE}")),
+    };
+    emit(out.as_deref(), &content)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let cmd = args.remove(0);
+    let result = match cmd.as_str() {
+        "record" => cmd_record(args),
+        "replay" => cmd_replay(args),
+        "why" => cmd_why(args),
+        "diff" => cmd_diff(args),
+        "export" => cmd_export(args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("qa-trace: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

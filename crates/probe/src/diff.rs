@@ -1,0 +1,152 @@
+//! Trace diffing: find the first configuration where two recorded runs
+//! diverge — the debugging primitive for equivalence counterexamples
+//! (Section 6 procedures produce a witness word; diffing the two machines'
+//! traces on it shows *where* their behaviors part ways).
+
+use qa_obs::json::Value;
+use qa_obs::TraceConfig;
+
+/// The first point where two traces disagree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index into the configuration streams (0-based step).
+    pub index: usize,
+    /// Configuration of the first trace at that step (`None` = it ended).
+    pub a: Option<TraceConfig>,
+    /// Configuration of the second trace at that step (`None` = it ended).
+    pub b: Option<TraceConfig>,
+}
+
+fn configs_of(trace: &Value) -> Result<Vec<TraceConfig>, String> {
+    let arr = trace
+        .get("configs")
+        .and_then(Value::as_arr)
+        .ok_or("trace report has no \"configs\" array")?;
+    arr.iter()
+        .map(|c| {
+            Ok(TraceConfig {
+                state: c
+                    .get("state")
+                    .and_then(Value::as_u64)
+                    .ok_or("config without state")? as u32,
+                pos: c
+                    .get("pos")
+                    .and_then(Value::as_u64)
+                    .ok_or("config without pos")? as u32,
+                dir: c
+                    .get("dir")
+                    .and_then(Value::as_f64)
+                    .ok_or("config without dir")? as i8,
+            })
+        })
+        .collect()
+}
+
+/// Compare two parsed `RunTrace::to_json` documents configuration by
+/// configuration. Returns `Ok(None)` when the streams are identical, and
+/// the first diverging step otherwise (a longer trace diverges from a
+/// shorter identical prefix at the shorter one's end).
+pub fn first_divergence(a: &Value, b: &Value) -> Result<Option<Divergence>, String> {
+    let (ca, cb) = (configs_of(a)?, configs_of(b)?);
+    let mut ia = ca.iter();
+    let mut ib = cb.iter();
+    let mut index = 0usize;
+    loop {
+        match (ia.next(), ib.next()) {
+            (None, None) => return Ok(None),
+            (x, y) if x == y => index += 1,
+            (x, y) => {
+                return Ok(Some(Divergence {
+                    index,
+                    a: x.copied(),
+                    b: y.copied(),
+                }))
+            }
+        }
+    }
+}
+
+/// Counter totals that differ between two trace/metrics reports, as
+/// `(name, a, b)` triples in the first report's key order (keys only in the
+/// second report follow). Missing counters count as 0.
+pub fn counter_drift(a: &Value, b: &Value) -> Vec<(String, u64, u64)> {
+    let get = |v: &Value, k: &str| -> u64 {
+        v.get("counters")
+            .and_then(|c| c.get(k))
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+    };
+    let mut keys: Vec<String> = Vec::new();
+    for v in [a, b] {
+        if let Some(obj) = v.get("counters").and_then(Value::as_obj) {
+            for (k, _) in obj {
+                if !keys.contains(k) {
+                    keys.push(k.clone());
+                }
+            }
+        }
+    }
+    keys.into_iter()
+        .filter_map(|k| {
+            let (va, vb) = (get(a, &k), get(b, &k));
+            (va != vb).then_some((k, va, vb))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qa_obs::json::parse;
+    use qa_obs::{Counter, Observer, RunTrace};
+
+    fn trace(steps: &[(u32, u32, i8)]) -> Value {
+        let mut t = RunTrace::new();
+        for &(s, p, d) in steps {
+            t.config(s, p, d);
+        }
+        parse(&t.to_json()).unwrap()
+    }
+
+    #[test]
+    fn identical_traces_do_not_diverge() {
+        let a = trace(&[(0, 0, 1), (0, 1, 1), (1, 2, -1)]);
+        assert_eq!(first_divergence(&a, &a).unwrap(), None);
+    }
+
+    #[test]
+    fn pinpoints_first_differing_step() {
+        let a = trace(&[(0, 0, 1), (0, 1, 1), (1, 2, -1)]);
+        let b = trace(&[(0, 0, 1), (0, 1, 1), (2, 2, -1)]);
+        let d = first_divergence(&a, &b).unwrap().unwrap();
+        assert_eq!(d.index, 2);
+        assert_eq!(d.a.unwrap().state, 1);
+        assert_eq!(d.b.unwrap().state, 2);
+    }
+
+    #[test]
+    fn shorter_trace_diverges_at_its_end() {
+        let a = trace(&[(0, 0, 1)]);
+        let b = trace(&[(0, 0, 1), (0, 1, 1)]);
+        let d = first_divergence(&a, &b).unwrap().unwrap();
+        assert_eq!(d.index, 1);
+        assert_eq!(d.a, None);
+        assert_eq!(d.b.unwrap().pos, 1);
+    }
+
+    #[test]
+    fn counter_drift_reports_differences() {
+        let mut t1 = RunTrace::new();
+        t1.count(Counter::Steps, 5);
+        t1.count(Counter::TableLookups, 2);
+        let mut t2 = RunTrace::new();
+        t2.count(Counter::Steps, 5);
+        t2.count(Counter::HeadReversals, 1);
+        let a = parse(&t1.to_json()).unwrap();
+        let b = parse(&t2.to_json()).unwrap();
+        let drift = counter_drift(&a, &b);
+        assert!(drift.contains(&("table_lookups".to_string(), 2, 0)));
+        assert!(drift.contains(&("head_reversals".to_string(), 0, 1)));
+        assert!(!drift.iter().any(|(k, _, _)| k == "steps"));
+    }
+}

@@ -1,0 +1,212 @@
+//! Step-count regression gate: compare two `BENCH_obs.json` reports.
+//!
+//! Every number in a bench_obs report is a machine-independent event count
+//! (steps, table lookups, fixpoint rounds …), so a checked-in baseline can
+//! be compared exactly across machines — drift beyond a small tolerance
+//! means an algorithm started doing different *work*, not that the runner
+//! was slow.
+
+use qa_obs::json::Value;
+
+/// One metric that moved beyond tolerance between baseline and current.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Drift {
+    /// Scenario name (top-level key in the report).
+    pub scenario: String,
+    /// Metric path inside the scenario, e.g. `counters.steps` or
+    /// `series.run_steps.sum`.
+    pub metric: String,
+    /// Baseline value (`None` = the metric is new).
+    pub baseline: Option<u64>,
+    /// Current value (`None` = the metric disappeared).
+    pub current: Option<u64>,
+}
+
+impl Drift {
+    /// One-line rendering for CLI/CI logs.
+    pub fn render(&self) -> String {
+        let show = |v: &Option<u64>| match v {
+            Some(n) => n.to_string(),
+            None => "missing".to_string(),
+        };
+        format!(
+            "{}/{}: baseline {} -> current {}",
+            self.scenario,
+            self.metric,
+            show(&self.baseline),
+            show(&self.current)
+        )
+    }
+}
+
+/// Whether `current` is within relative `tolerance` of `baseline`.
+/// A zero baseline admits only zero (any appearance of work is drift).
+fn within(baseline: u64, current: u64, tolerance: f64) -> bool {
+    if baseline == current {
+        return true;
+    }
+    let delta = (current as f64 - baseline as f64).abs();
+    delta <= tolerance * baseline as f64
+}
+
+/// Union of the keys of two optional JSON objects, first object's order
+/// first.
+fn union_keys<'a>(a: Option<&'a Value>, b: Option<&'a Value>) -> Vec<&'a str> {
+    let mut keys: Vec<&str> = Vec::new();
+    for v in [a, b].into_iter().flatten() {
+        if let Some(obj) = v.as_obj() {
+            for (k, _) in obj {
+                if !keys.contains(&k.as_str()) {
+                    keys.push(k);
+                }
+            }
+        }
+    }
+    keys
+}
+
+fn check_metric(
+    drifts: &mut Vec<Drift>,
+    scenario: &str,
+    metric: String,
+    baseline: Option<u64>,
+    current: Option<u64>,
+    tolerance: f64,
+) {
+    let ok = match (baseline, current) {
+        (Some(b), Some(c)) => within(b, c, tolerance),
+        (None, None) => true,
+        _ => false,
+    };
+    if !ok {
+        drifts.push(Drift {
+            scenario: scenario.to_string(),
+            metric,
+            baseline,
+            current,
+        });
+    }
+}
+
+/// Compare two parsed bench_obs reports. Returns every counter or series
+/// total (`count` and `sum`) whose current value drifts beyond relative
+/// `tolerance` of the baseline, including metrics or whole scenarios
+/// present on only one side. Empty result = gate passes.
+pub fn compare_reports(baseline: &Value, current: &Value, tolerance: f64) -> Vec<Drift> {
+    let mut drifts = Vec::new();
+    for scenario in union_keys(Some(baseline), Some(current)) {
+        let (b, c) = (baseline.get(scenario), current.get(scenario));
+        if b.is_none() || c.is_none() {
+            drifts.push(Drift {
+                scenario: scenario.to_string(),
+                metric: "scenario".to_string(),
+                baseline: b.map(|_| 1),
+                current: c.map(|_| 1),
+            });
+            continue;
+        }
+        let (b, c) = (b.unwrap(), c.unwrap());
+        let (bc, cc) = (b.get("counters"), c.get("counters"));
+        for k in union_keys(bc, cc) {
+            check_metric(
+                &mut drifts,
+                scenario,
+                format!("counters.{k}"),
+                bc.and_then(|v| v.get(k)).and_then(Value::as_u64),
+                cc.and_then(|v| v.get(k)).and_then(Value::as_u64),
+                tolerance,
+            );
+        }
+        let (bs, cs) = (b.get("series"), c.get("series"));
+        for k in union_keys(bs, cs) {
+            let (bh, ch) = (bs.and_then(|v| v.get(k)), cs.and_then(|v| v.get(k)));
+            for total in ["count", "sum"] {
+                check_metric(
+                    &mut drifts,
+                    scenario,
+                    format!("series.{k}.{total}"),
+                    bh.and_then(|v| v.get(total)).and_then(Value::as_u64),
+                    ch.and_then(|v| v.get(total)).and_then(Value::as_u64),
+                    tolerance,
+                );
+            }
+        }
+    }
+    drifts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qa_obs::json::parse;
+
+    fn report(steps: u64, sum: u64) -> Value {
+        parse(&format!(
+            r#"{{"s1":{{"counters":{{"steps":{steps}}},"series":{{"run_steps":{{"count":1,"sum":{sum},"min":{sum},"max":{sum},"mean":1.0,"buckets":[0,1]}}}}}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(100, 40);
+        assert!(compare_reports(&r, &r, 0.0).is_empty());
+    }
+
+    #[test]
+    fn drift_beyond_tolerance_is_flagged() {
+        let base = report(100, 40);
+        let cur = report(112, 40);
+        // 12% steps drift: fails at 5%, passes at 15%
+        let drifts = compare_reports(&base, &cur, 0.05);
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].metric, "counters.steps");
+        assert_eq!(drifts[0].baseline, Some(100));
+        assert_eq!(drifts[0].current, Some(112));
+        assert!(compare_reports(&base, &cur, 0.15).is_empty());
+    }
+
+    #[test]
+    fn series_totals_are_gated() {
+        let base = report(100, 40);
+        let cur = report(100, 90);
+        let drifts = compare_reports(&base, &cur, 0.1);
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].metric, "series.run_steps.sum");
+    }
+
+    #[test]
+    fn zero_baseline_admits_only_zero() {
+        assert!(within(0, 0, 0.1));
+        assert!(!within(0, 1, 0.1));
+    }
+
+    #[test]
+    fn missing_and_new_metrics_are_drift() {
+        let base = parse(r#"{"s1":{"counters":{"steps":5},"series":{}}}"#).unwrap();
+        let cur = parse(r#"{"s1":{"counters":{"reversals":5},"series":{}}}"#).unwrap();
+        let drifts = compare_reports(&base, &cur, 1.0);
+        assert_eq!(drifts.len(), 2);
+        assert_eq!(drifts[0].metric, "counters.steps");
+        assert_eq!(drifts[0].current, None);
+        assert_eq!(drifts[1].metric, "counters.reversals");
+        assert_eq!(drifts[1].baseline, None);
+    }
+
+    #[test]
+    fn missing_scenario_is_drift() {
+        let base = parse(r#"{"s1":{"counters":{},"series":{}}}"#).unwrap();
+        let cur = parse(r#"{"s2":{"counters":{},"series":{}}}"#).unwrap();
+        let drifts = compare_reports(&base, &cur, 1.0);
+        assert_eq!(drifts.len(), 2);
+        assert!(drifts.iter().all(|d| d.metric == "scenario"));
+    }
+
+    #[test]
+    fn gate_passes_on_the_committed_baseline_against_itself() {
+        let text = include_str!("../../../BENCH_obs.json");
+        let v = parse(text).unwrap();
+        assert!(compare_reports(&v, &v, 0.0).is_empty());
+        assert!(v.get("example_3_4_string_query").is_some());
+    }
+}

@@ -1,0 +1,38 @@
+//! # qa-probe
+//!
+//! Explainability and export tooling on top of the `qa-obs` event stream.
+//!
+//! `qa-obs` (PR 1) made every engine emit events; this crate makes those
+//! events *answer questions*:
+//!
+//! - [`provenance`] — a [`ProvenanceObserver`] that records, for every
+//!   selected position/node, the certificate behind the decision: the
+//!   crossing-sequence fragment for string query automata (Theorem 3.9),
+//!   the assumed-state pair at the cut for ranked query automata
+//!   (Theorem 4.8's machinery), and the GSQA child-run output for strong
+//!   unranked stay transitions (Theorem 5.17). Query it with
+//!   [`ProvenanceObserver::why_selected`], render with
+//!   [`Explanation::render_text`] / [`Explanation::to_json`].
+//! - [`export`] — serialize a [`qa_obs::RunTrace`] to Chrome trace-event
+//!   JSON (loadable in Perfetto / `chrome://tracing`) and a
+//!   [`qa_obs::Metrics`] registry to Prometheus text exposition.
+//! - [`diff`] — find the first diverging configuration between two recorded
+//!   traces: the debugging primitive for the Section 6 equivalence
+//!   counterexamples.
+//! - [`gate`] — compare two `BENCH_obs.json` step-count reports with a
+//!   tolerance; the `bench_obs --check` regression gate is this function.
+//!
+//! The `qa-trace` binary wires all four into a CLI: `record`, `replay`,
+//! `why`, `diff`, and `export`.
+
+pub mod diff;
+pub mod export;
+pub mod gate;
+pub mod provenance;
+
+pub use diff::{counter_drift, first_divergence, Divergence};
+pub use export::{
+    chrome_from_trace_json, chrome_trace, prometheus_from_metrics_json, prometheus_text,
+};
+pub use gate::{compare_reports, Drift};
+pub use provenance::{Explanation, ProvenanceObserver, StayCertificate, Visit};

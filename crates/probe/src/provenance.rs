@@ -1,0 +1,345 @@
+//! Selection provenance: *why* was this position/node selected?
+//!
+//! The paper's selection semantics are certificate-shaped: a position of a
+//! string query automaton is selected because the run visits it in a state
+//! `s` with `λ(s, wᵢ) = 1` — the visit sequence at the position (a fragment
+//! of the crossing sequence) is the certificate (Theorem 3.9 reconstructs
+//! exactly this from the `Assumed` sets). A node of a ranked query
+//! automaton is selected because some cut passes through it with a
+//! selecting `(state, label)` pair (Definition 4.3, the machinery behind
+//! Theorem 4.8). A strong unranked automaton may additionally owe a state
+//! at a node to a stay transition, whose certificate is the GSQA child-run
+//! output that assigned it (Definition 5.11, Theorem 5.17).
+//!
+//! [`ProvenanceObserver`] records the event stream an instrumented run
+//! emits and rebuilds these certificates on demand.
+
+use qa_obs::json::{self};
+use qa_obs::Observer;
+
+/// One recorded visit to a position/node: the `step`-th configuration event
+/// of the run put the machine there in `state`, moving in `dir`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Visit {
+    /// 0-based index into the run's configuration event stream.
+    pub step: u64,
+    /// Machine state at the visit.
+    pub state: u32,
+    /// Direction (−1 left/up, +1 right/down, 0 in place).
+    pub dir: i8,
+}
+
+/// The GSQA child-run certificate behind a stay-assigned state
+/// (Definition 5.11): during a stay transition at `parent`, the generalized
+/// string query automaton read the children's `(state, label)` word and
+/// output `state` for the child at `child`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StayCertificate {
+    /// The node whose children were rewritten.
+    pub parent: u32,
+    /// The child node that received the state.
+    pub child: u32,
+    /// The assigned state.
+    pub state: u32,
+}
+
+/// The certificate behind one selected position/node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Explanation {
+    /// The selected position (tape coordinates for strings, node index for
+    /// trees — the same space as the run's configuration events).
+    pub pos: u32,
+    /// The witnessing state: the run assumed it here and `λ(state, sym) = 1`.
+    pub state: u32,
+    /// The symbol/label index read at the position.
+    pub sym: u32,
+    /// Every recorded visit to the position, in run order — the
+    /// crossing-sequence fragment (strings) or the assumed-state sequence
+    /// at the cut (trees). The witnessing state appears in it.
+    pub visits: Vec<Visit>,
+    /// When the witnessing state was produced by a stay transition, the
+    /// GSQA child-run certificate that assigned it.
+    pub stay: Option<StayCertificate>,
+}
+
+impl Explanation {
+    /// Human-readable rendering, one certificate per call.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "position {} selected: λ(q{}, σ{}) = 1\n",
+            self.pos, self.state, self.sym
+        );
+        out.push_str("  visits:");
+        for v in &self.visits {
+            let arrow = match v.dir {
+                d if d < 0 => "<-",
+                d if d > 0 => "->",
+                _ => "--",
+            };
+            out.push_str(&format!(" [step {} q{} {}]", v.step, v.state, arrow));
+        }
+        out.push('\n');
+        if let Some(s) = &self.stay {
+            out.push_str(&format!(
+                "  stay certificate: GSQA child run at node {} assigned q{} to child {}\n",
+                s.parent, s.state, s.child
+            ));
+        }
+        out
+    }
+
+    /// JSON rendering:
+    /// `{"pos", "state", "sym", "visits": [{step, state, dir}…],
+    /// "stay": {parent, child, state} | null}`.
+    pub fn to_json(&self) -> String {
+        json::object(|w| {
+            w.field_u64("pos", self.pos as u64);
+            w.field_u64("state", self.state as u64);
+            w.field_u64("sym", self.sym as u64);
+            let visits = json::array(self.visits.iter().map(|v| {
+                json::object(|vw| {
+                    vw.field_u64("step", v.step);
+                    vw.field_u64("state", v.state as u64);
+                    vw.field_raw("dir", &v.dir.to_string());
+                })
+            }));
+            w.field_raw("visits", &visits);
+            match &self.stay {
+                Some(s) => w.field_raw(
+                    "stay",
+                    &json::object(|sw| {
+                        sw.field_u64("parent", s.parent as u64);
+                        sw.field_u64("child", s.child as u64);
+                        sw.field_u64("state", s.state as u64);
+                    }),
+                ),
+                None => w.field_raw("stay", "null"),
+            }
+        })
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct ConfigEvent {
+    state: u32,
+    pos: u32,
+    dir: i8,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct SelectionEvent {
+    pos: u32,
+    state: u32,
+    sym: u32,
+}
+
+/// Observer recording the provenance-relevant event stream of one run:
+/// configuration events, stay assignments and selection verdicts. Attach it
+/// to any `*_with` entry point (alone or [`Tee`]d with other sinks), then
+/// ask [`ProvenanceObserver::why_selected`].
+///
+/// The configuration log is capped (default 1 Mi events) so probing a
+/// runaway run cannot exhaust memory; [`ProvenanceObserver::truncated`]
+/// reports whether certificates may be missing visits.
+///
+/// [`Tee`]: qa_obs::Tee
+#[derive(Debug)]
+pub struct ProvenanceObserver {
+    configs: Vec<ConfigEvent>,
+    stays: Vec<StayCertificate>,
+    selections: Vec<SelectionEvent>,
+    cap: usize,
+    truncated: bool,
+}
+
+impl Default for ProvenanceObserver {
+    fn default() -> Self {
+        Self::with_capacity(1 << 20)
+    }
+}
+
+impl ProvenanceObserver {
+    /// Observer with the default configuration-event cap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observer recording at most `cap` configuration events.
+    pub fn with_capacity(cap: usize) -> Self {
+        ProvenanceObserver {
+            configs: Vec::new(),
+            stays: Vec::new(),
+            selections: Vec::new(),
+            cap,
+            truncated: false,
+        }
+    }
+
+    /// Whether the configuration cap was hit (certificates may be partial).
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// The selected positions, in selection-scan order.
+    pub fn selected_positions(&self) -> Vec<u32> {
+        self.selections.iter().map(|s| s.pos).collect()
+    }
+
+    /// The certificate behind the selection of `pos`, or `None` when the
+    /// run did not select it. `pos` is in the engine's configuration
+    /// coordinates: node indices for trees, tape positions (0 = `⊳`) for
+    /// strings — see [`ProvenanceObserver::why_selected_word`] for 0-based
+    /// word indices.
+    pub fn why_selected(&self, pos: u32) -> Option<Explanation> {
+        let sel = self.selections.iter().find(|s| s.pos == pos)?;
+        let visits = self
+            .configs
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.pos == pos)
+            .map(|(i, c)| Visit {
+                step: i as u64,
+                state: c.state,
+                dir: c.dir,
+            })
+            .collect();
+        let stay = self
+            .stays
+            .iter()
+            .find(|s| s.child == pos && s.state == sel.state)
+            .copied();
+        Some(Explanation {
+            pos,
+            state: sel.state,
+            sym: sel.sym,
+            visits,
+            stay,
+        })
+    }
+
+    /// [`ProvenanceObserver::why_selected`] keyed by a 0-based word index
+    /// (string query results are word indices; the tape shifts them by the
+    /// left endmarker).
+    pub fn why_selected_word(&self, index: usize) -> Option<Explanation> {
+        self.why_selected(index as u32 + 1)
+    }
+
+    /// Certificates for every selection, in selection-scan order.
+    pub fn explanations(&self) -> Vec<Explanation> {
+        self.selections
+            .iter()
+            .filter_map(|s| self.why_selected(s.pos))
+            .collect()
+    }
+}
+
+impl Observer for ProvenanceObserver {
+    #[inline]
+    fn config(&mut self, state: u32, pos: u32, dir: i8) {
+        if self.configs.len() < self.cap {
+            self.configs.push(ConfigEvent { state, pos, dir });
+        } else {
+            self.truncated = true;
+        }
+    }
+
+    #[inline]
+    fn selected(&mut self, pos: u32, state: u32, sym: u32) {
+        self.selections.push(SelectionEvent { pos, state, sym });
+    }
+
+    #[inline]
+    fn stay_assign(&mut self, parent: u32, child: u32, state: u32) {
+        self.stays.push(StayCertificate {
+            parent,
+            child,
+            state,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rebuilds_certificate_from_event_stream() {
+        let mut p = ProvenanceObserver::new();
+        p.config(0, 0, 1);
+        p.config(0, 1, 1);
+        p.config(1, 2, -1);
+        p.config(2, 1, -1);
+        p.selected(1, 2, 7);
+        let e = p.why_selected(1).expect("selected");
+        assert_eq!(e.state, 2);
+        assert_eq!(e.sym, 7);
+        assert_eq!(
+            e.visits,
+            vec![
+                Visit {
+                    step: 1,
+                    state: 0,
+                    dir: 1
+                },
+                Visit {
+                    step: 3,
+                    state: 2,
+                    dir: -1
+                },
+            ]
+        );
+        assert!(e.stay.is_none());
+        assert!(p.why_selected(2).is_none(), "visited but not selected");
+        assert_eq!(p.selected_positions(), vec![1]);
+    }
+
+    #[test]
+    fn stay_certificate_attaches_to_matching_selection() {
+        let mut p = ProvenanceObserver::new();
+        p.stay_assign(0, 3, 5);
+        p.config(5, 3, 0);
+        p.selected(3, 5, 1);
+        let e = p.why_selected(3).unwrap();
+        assert_eq!(
+            e.stay,
+            Some(StayCertificate {
+                parent: 0,
+                child: 3,
+                state: 5
+            })
+        );
+        // a selection whose witnessing state did not come from the stay
+        // rule carries no stay certificate
+        let mut p = ProvenanceObserver::new();
+        p.stay_assign(0, 3, 5);
+        p.selected(3, 4, 1);
+        assert!(p.why_selected(3).unwrap().stay.is_none());
+    }
+
+    #[test]
+    fn renderings_contain_the_certificate() {
+        let mut p = ProvenanceObserver::new();
+        p.config(1, 2, -1);
+        p.selected(2, 1, 0);
+        let e = p.why_selected(2).unwrap();
+        let text = e.render_text();
+        assert!(text.contains("position 2 selected"));
+        assert!(text.contains("q1"));
+        let parsed = qa_obs::json::parse(&e.to_json()).unwrap();
+        assert_eq!(
+            parsed.get("pos").and_then(qa_obs::json::Value::as_u64),
+            Some(2)
+        );
+        assert_eq!(parsed.get("stay"), Some(&qa_obs::json::Value::Null));
+    }
+
+    #[test]
+    fn cap_truncates_configs_not_selections() {
+        let mut p = ProvenanceObserver::with_capacity(1);
+        p.config(0, 0, 1);
+        p.config(0, 1, 1);
+        p.selected(0, 0, 0);
+        assert!(p.truncated());
+        assert_eq!(p.why_selected(0).unwrap().visits.len(), 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! End-to-end tests of the `qa-trace` binary: record two runs differing in
+//! one transition, diff them, explain a selection, and export both formats.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn qa_trace(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_qa-trace"))
+        .args(args)
+        .output()
+        .expect("spawn qa-trace")
+}
+
+fn tmp(name: &str) -> String {
+    let mut p = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    p.push(name);
+    p.to_str().unwrap().to_string()
+}
+
+#[test]
+fn record_diff_pinpoints_the_changed_transition() {
+    let a = tmp("orig.json");
+    let b = tmp("variant.json");
+    let out = qa_trace(&["record", "example-3-4", "0110", "--out", &a]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = qa_trace(&["record", "example-3-4-variant", "0110", "--out", &b]);
+    assert!(out.status.success());
+
+    // identical traces: exit 0
+    let same = qa_trace(&["diff", &a, &a]);
+    assert!(same.status.success());
+
+    // the one-transition variant: exit 1 and the first divergence named
+    let diff = qa_trace(&["diff", &a, &b]);
+    assert_eq!(diff.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&diff.stdout);
+    assert!(
+        text.contains("first divergence at step 6"),
+        "unexpected diff output:\n{text}"
+    );
+    assert!(text.contains("q1 @ 4"), "original turns into s1:\n{text}");
+    assert!(text.contains("q2 @ 4"), "variant turns into s2:\n{text}");
+}
+
+#[test]
+fn why_explains_the_example_3_4_selection() {
+    let out = qa_trace(&["why", "example-3-4", "0110"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("(word index 1)"), "{text}");
+    assert!(
+        text.contains("position 2 selected: λ(q1, σ1) = 1"),
+        "{text}"
+    );
+    assert!(text.contains("visits:"), "{text}");
+
+    // JSON mode parses back
+    let out = qa_trace(&["why", "example-3-4", "0110", "--json"]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    let v = qa_obs::json::parse(text.trim()).expect("valid JSON explanation");
+    assert_eq!(v.get("pos").and_then(qa_obs::json::Value::as_u64), Some(2));
+}
+
+#[test]
+fn why_shows_the_stay_certificate() {
+    let out = qa_trace(&["why", "example-5-14"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("stay certificate"), "{text}");
+}
+
+#[test]
+fn replay_and_exports_work_on_recorded_files() {
+    let trace = tmp("replay.json");
+    let metrics = tmp("metrics.json");
+    let out = qa_trace(&[
+        "record",
+        "example-3-4",
+        "0110",
+        "--out",
+        &trace,
+        "--metrics-out",
+        &metrics,
+    ]);
+    assert!(out.status.success());
+
+    let replay = qa_trace(&["replay", &trace]);
+    assert!(replay.status.success());
+    let text = String::from_utf8_lossy(&replay.stdout);
+    assert!(text.contains("q0 @ 0 ->"), "{text}");
+    assert!(text.contains("steps:"), "{text}");
+
+    let chrome = qa_trace(&["export", "chrome", &trace]);
+    assert!(chrome.status.success());
+    let text = String::from_utf8_lossy(&chrome.stdout);
+    let v = qa_obs::json::parse(text.trim()).expect("valid trace-event JSON");
+    assert!(v.get("traceEvents").is_some());
+
+    let prom = qa_trace(&["export", "prom", &metrics]);
+    assert!(prom.status.success());
+    let text = String::from_utf8_lossy(&prom.stdout);
+    assert!(text.contains("# TYPE qa_steps_total counter"), "{text}");
+}
+
+#[test]
+fn bad_usage_exits_2() {
+    assert_eq!(qa_trace(&[]).status.code(), Some(2));
+    assert_eq!(
+        qa_trace(&["record", "no-such-workload"]).status.code(),
+        Some(2)
+    );
+    assert_eq!(qa_trace(&["frobnicate"]).status.code(), Some(2));
+}

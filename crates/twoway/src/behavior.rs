@@ -11,7 +11,7 @@
 //! summaries power the Shepherdson conversion and the Section 6 decision
 //! procedures.
 
-use qa_base::Symbol;
+use qa_base::{Error, Result, Symbol};
 use qa_obs::{Counter, NoopObserver, Observer, Series};
 use qa_strings::StateId;
 
@@ -206,6 +206,24 @@ impl BehaviorAnalysis {
         matches!(self.outcome, Outcome::Halts(h, _) if machine.is_final(h))
     }
 
+    /// The halting configuration `(state, tape position)` of the start run.
+    ///
+    /// Errors instead of panicking when the run never halts, so callers
+    /// probing arbitrary machines (equivalence tooling, the trace CLI) can
+    /// surface the diagnosis to the user.
+    pub fn halt(&self) -> Result<(StateId, usize)> {
+        match self.outcome {
+            Outcome::Halts(s, p) => Ok((s, p)),
+            Outcome::Loops => Err(Error::stuck(
+                "two-way run never halts: it loops inside the tape",
+            )),
+            Outcome::Exits(_) => Err(Error::ill_formed(
+                "behavior outcome",
+                "start run exits past the right endmarker",
+            )),
+        }
+    }
+
     /// Number of machine states (for table sizing by callers).
     pub fn num_states(&self) -> usize {
         self.num_states
@@ -263,10 +281,8 @@ mod tests {
         let rec = m.run(w).expect("halting machine");
         let ba = BehaviorAnalysis::analyze(m, w);
         assert_eq!(ba.accepted(m), rec.accepted, "acceptance on {w:?}");
-        match ba.outcome {
-            Outcome::Halts(h, p) => assert_eq!((h, p), rec.halt, "halt config on {w:?}"),
-            _ => panic!("expected halt"),
-        }
+        let halt = ba.halt().expect("halting machine");
+        assert_eq!(halt, rec.halt, "halt config on {w:?}");
         for (i, exp) in rec.assumed.iter().enumerate() {
             let mut got = ba.assumed[i].clone();
             let mut exp = exp.clone();
@@ -331,6 +347,7 @@ mod tests {
         let ba = BehaviorAnalysis::analyze(&m, &[sym(0)]);
         assert_eq!(ba.outcome, Outcome::Loops);
         assert!(!ba.accepted(&m));
+        assert!(ba.halt().is_err(), "looping run has no halt configuration");
     }
 
     #[test]

@@ -75,7 +75,8 @@ impl StringQa {
                 continue;
             };
             obs.count(Counter::SelectionChecks, states.len() as u64);
-            if states.iter().any(|&s| self.is_selecting(s, sym)) {
+            if let Some(&s) = states.iter().find(|&&s| self.is_selecting(s, sym)) {
+                obs.selected(pos as u32, s.index() as u32, sym.index() as u32);
                 out.push(pos - 1);
             }
         }
@@ -104,7 +105,8 @@ impl StringQa {
         for pos in 1..=word.len() {
             let sym = word[pos - 1];
             obs.count(Counter::SelectionChecks, ba.assumed[pos].len() as u64);
-            if ba.assumed[pos].iter().any(|&s| self.is_selecting(s, sym)) {
+            if let Some(&s) = ba.assumed[pos].iter().find(|&&s| self.is_selecting(s, sym)) {
+                obs.selected(pos as u32, s.index() as u32, sym.index() as u32);
                 out.push(pos - 1);
             }
         }

@@ -1,0 +1,95 @@
+//! The `qa-probe` explainability layer end to end.
+//!
+//! Three scenarios:
+//!
+//! 1. the Example 3.4 string run, asking `why_selected` for the
+//!    crossing-sequence certificate behind each selected position;
+//! 2. the Example 5.14 strong unranked run, whose certificate carries the
+//!    GSQA stay-transition evidence;
+//! 3. two machines differing in one transition, diffed trace-against-trace
+//!    to the first diverging configuration — plus the Chrome trace-event
+//!    and Prometheus exports of the run.
+//!
+//! Run with: `cargo run --example provenance`
+
+use query_automata::obs::json::parse;
+use query_automata::obs::{Metrics, RunTrace, Tee};
+use query_automata::prelude::*;
+use query_automata::probe::{chrome_trace, first_divergence, prometheus_text};
+
+fn main() {
+    // ── 1. Example 3.4: why was each position selected? ──────────────────
+    let sigma = Alphabet::from_names(["0", "1"]);
+    let qa = query_automata::twoway::string_qa::example_3_4_qa(&sigma);
+    let word = sigma.word("101101");
+
+    let mut prov = ProvenanceObserver::new();
+    let selected = qa.query_with(&word, &mut prov).unwrap();
+    println!("=== Example 3.4 on 101101 ===");
+    println!("selected word indices: {selected:?}");
+    for &i in &selected {
+        let e = prov.why_selected_word(i).expect("selected");
+        println!("why index {i}?");
+        print!("{}", e.render_text());
+    }
+
+    // ── 2. Example 5.14: the stay-transition certificate ─────────────────
+    let qa = example_5_14(&sigma);
+    let mut names = sigma.clone();
+    let tree = from_sexpr("(0 0 1 (1 1) 0 1)", &mut names).unwrap();
+    let mut prov = ProvenanceObserver::new();
+    let selected = qa.query_with(&tree, &mut prov).unwrap();
+    println!("\n=== Example 5.14 on (0 0 1 (1 1) 0 1) ===");
+    println!("selected nodes: {selected:?}");
+    for e in prov.explanations() {
+        print!("{}", e.render_text());
+        println!("  as JSON: {}", e.to_json());
+    }
+
+    // ── 3. Diff two runs differing in one transition, then export ────────
+    let original = query_automata::twoway::string_qa::example_3_4_qa(&sigma);
+    let variant = {
+        use query_automata::twoway::{Dir, Tape};
+        let one = sigma.symbol("1");
+        let mut b = TwoDfaBuilder::new(sigma.len());
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let s2 = b.add_state();
+        b.set_initial(s0);
+        b.set_final(s1, true);
+        b.set_final(s2, true);
+        b.set_action(s0, Tape::LeftMarker, Dir::Right, s0);
+        b.set_action_all_symbols(s0, Dir::Right, s0);
+        b.set_action(s0, Tape::RightMarker, Dir::Left, s2); // original: s1
+        b.set_action_all_symbols(s1, Dir::Left, s2);
+        b.set_action_all_symbols(s2, Dir::Left, s1);
+        let mut qa = StringQa::new(b.build().unwrap());
+        qa.set_selecting(s1, one, true);
+        qa
+    };
+
+    let metrics = Metrics::new();
+    let mut ta = RunTrace::new();
+    let mut tb = RunTrace::new();
+    original
+        .query_with(&word, &mut Tee(&mut ta, metrics.observer()))
+        .unwrap();
+    variant.query_with(&word, &mut tb).unwrap();
+
+    println!("\n=== Diffing original vs one-transition variant ===");
+    let a = parse(&ta.to_json()).unwrap();
+    let b = parse(&tb.to_json()).unwrap();
+    match first_divergence(&a, &b).unwrap() {
+        None => println!("traces identical"),
+        Some(d) => {
+            println!("first divergence at step {}:", d.index);
+            println!("  original: {:?}", d.a);
+            println!("  variant:  {:?}", d.b);
+        }
+    }
+
+    println!("\n=== Chrome trace-event export (load in ui.perfetto.dev) ===");
+    println!("{}", chrome_trace(&ta));
+    println!("=== Prometheus text exposition ===");
+    print!("{}", prometheus_text(&metrics, "qa"));
+}

@@ -18,6 +18,7 @@
 //! | [`mso`] | MSO logic, naive semantics, compilation to automata, Figure 5/6 evaluation, QA synthesis | §2, §3–5 |
 //! | [`decision`] | non-emptiness / containment / equivalence, corridor tiling | §6 |
 //! | [`obs`] | zero-cost [`Observer`](obs::Observer) instrumentation, [`Metrics`](obs::Metrics), [`RunTrace`](obs::RunTrace) | — |
+//! | [`probe`] | selection provenance ([`ProvenanceObserver`](probe::ProvenanceObserver)), Chrome trace-event / Prometheus exports, trace diffing, the `qa-trace` CLI | §3–5 certificates |
 //! | [`xml`] | XML subset, DTDs, validation (Figures 1–4) | §1 |
 //!
 //! ## Quickstart
@@ -43,6 +44,7 @@ pub use qa_core as core;
 pub use qa_decision as decision;
 pub use qa_mso as mso;
 pub use qa_obs as obs;
+pub use qa_probe as probe;
 pub use qa_strings as strings;
 pub use qa_trees as trees;
 pub use qa_twoway as twoway;
@@ -60,6 +62,7 @@ pub mod prelude {
     };
     pub use qa_mso::{parse as parse_mso, Formula};
     pub use qa_obs::{Metrics, NoopObserver, Observer, RunTrace};
+    pub use qa_probe::{Explanation, ProvenanceObserver};
     pub use qa_trees::sexpr::{from_sexpr, to_sexpr};
     pub use qa_trees::{NodeId, Tree};
     pub use qa_twoway::{Bimachine, Gsqa, StringQa, TwoDfa, TwoDfaBuilder};
