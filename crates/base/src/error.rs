@@ -36,6 +36,20 @@ pub enum Error {
         /// The bound that was exceeded.
         budget: u64,
     },
+    /// A run was aborted by a watchdog checkpoint before completion.
+    ///
+    /// Unlike [`Error::FuelExhausted`] (the engine's own loop-detection
+    /// bound), this is a caller-imposed budget — steps, head reversals or
+    /// wall-clock — enforced through the observer `checkpoint()` hook so
+    /// that batch drivers can bound every run without forking the engines.
+    RunAborted {
+        /// Which budget tripped: `"steps"`, `"head_reversals"`, `"wall_ms"`.
+        what: &'static str,
+        /// The configured budget.
+        limit: u64,
+        /// The observed value that exceeded it.
+        actual: u64,
+    },
     /// A run reached a configuration with no applicable transition that is
     /// not accepting (the machine "got stuck").
     Stuck {
@@ -79,6 +93,15 @@ impl Error {
         }
     }
 
+    /// Shorthand for a watchdog abort.
+    pub fn aborted(what: &'static str, limit: u64, actual: u64) -> Self {
+        Error::RunAborted {
+            what,
+            limit,
+            actual,
+        }
+    }
+
     /// Shorthand for a stuck-run error.
     pub fn stuck(message: impl Into<String>) -> Self {
         Error::Stuck {
@@ -104,6 +127,16 @@ impl fmt::Display for Error {
             Error::FuelExhausted { budget } => {
                 write!(f, "run exceeded fuel budget of {budget} steps")
             }
+            Error::RunAborted {
+                what,
+                limit,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "run aborted by watchdog: {what} = {actual} exceeded budget {limit}"
+                )
+            }
             Error::Stuck { message } => write!(f, "run stuck: {message}"),
             Error::Domain { message } => write!(f, "domain error: {message}"),
             Error::Invalid { message } => write!(f, "invalid input: {message}"),
@@ -126,6 +159,16 @@ mod tests {
         );
         let e = Error::FuelExhausted { budget: 10 };
         assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn run_aborted_displays_budget_and_actual() {
+        let e = Error::aborted("steps", 1000, 1001);
+        assert!(matches!(e, Error::RunAborted { .. }));
+        assert_eq!(
+            e.to_string(),
+            "run aborted by watchdog: steps = 1001 exceeded budget 1000"
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! ```text
 //! bench_obs [out.json]                 # write the report (default BENCH_obs.json)
 //! bench_obs --check [--baseline FILE] [--tolerance F]
+//! bench_obs --overhead [--gate]       # observer overhead self-measurement
 //! ```
 //!
 //! `--check` regenerates the report in memory and gates it against the
@@ -20,9 +21,20 @@
 //! any counter or series total drifting beyond tolerance — or appearing /
 //! disappearing — fails with exit code 1. CI runs this so a change that
 //! silently alters an algorithm's *work* cannot land unnoticed.
+//!
+//! Both modes print a human-readable summary table (scenario, steps, Δ vs
+//! baseline) next to the JSON.
+//!
+//! `--overhead` times the Example 3.4 string query under each observer
+//! (Noop, Metrics, FlightRecorder, Watchdog, the full Tee stack) and
+//! reports ns/step. With `--gate` it fails (exit 1) when an instrumented
+//! run exceeds *generous* bounds relative to Noop — wall-clock numbers are
+//! machine-dependent, so the gate only catches catastrophic regressions
+//! (an accidental allocation or syscall per event), not percent-level
+//! noise.
 
 use qa_base::{Alphabet, Symbol};
-use qa_obs::json::{object, ObjectWriter};
+use qa_obs::json::{object, ObjectWriter, Value};
 use qa_obs::Metrics;
 use qa_strings::Dfa;
 use qa_trees::Tree;
@@ -173,6 +185,41 @@ fn generate_report() -> String {
     })
 }
 
+/// `steps` counter of one scenario in a parsed report.
+fn steps_of(report: &Value, scenario: &str) -> Option<u64> {
+    report
+        .get(scenario)?
+        .get("counters")?
+        .get("steps")?
+        .as_u64()
+}
+
+/// Print the human-readable summary: one row per scenario with its step
+/// count and, when a baseline is available, the delta against it.
+fn print_summary(current: &Value, baseline: Option<&Value>) {
+    let Some(scenarios) = current.as_obj() else {
+        return;
+    };
+    println!();
+    println!("{:<28} {:>10} {:>12}", "scenario", "steps", "Δ baseline");
+    for (name, _) in scenarios {
+        let steps = steps_of(current, name);
+        let steps_text = steps.map_or("-".to_string(), |s| s.to_string());
+        let delta = match (steps, baseline.and_then(|b| steps_of(b, name))) {
+            (Some(cur), Some(base)) if base == cur => "=".to_string(),
+            (Some(cur), Some(base)) => {
+                let pct = (cur as f64 - base as f64) / base.max(1) as f64 * 100.0;
+                format!("{:+} ({pct:+.1}%)", cur as i64 - base as i64)
+            }
+            (Some(_), None) => "new".to_string(),
+            // Scenario counts no steps (it meters other work).
+            (None, _) => "-".to_string(),
+        };
+        println!("{name:<28} {steps_text:>10} {delta:>12}");
+    }
+    println!();
+}
+
 /// Regenerate the report and compare it against `baseline_path`; returns
 /// the number of metrics that drifted beyond `tolerance`.
 fn check(baseline_path: &str, tolerance: f64) -> usize {
@@ -181,6 +228,7 @@ fn check(baseline_path: &str, tolerance: f64) -> usize {
         .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
     let baseline = qa_obs::json::parse(&baseline_text).expect("parse baseline");
     let current = qa_obs::json::parse(&generate_report()).expect("parse generated report");
+    print_summary(&current, Some(&baseline));
     let drifts = qa_probe::gate::compare_reports(&baseline, &current, tolerance);
     if drifts.is_empty() {
         println!("gate: OK — all step counts within tolerance");
@@ -196,8 +244,100 @@ fn check(baseline_path: &str, tolerance: f64) -> usize {
     drifts.len()
 }
 
+/// Observer overhead self-measurement on the Example 3.4 string query.
+///
+/// Returns the number of gate violations (0 when `gate` is false). The
+/// bounds are deliberately loose — per-step absolute slack OR a large
+/// relative multiplier — because wall-clock noise on shared CI runners is
+/// real; the gate exists to catch an accidental per-event allocation or
+/// syscall, which blows past both bounds at once.
+fn overhead(gate: bool) -> usize {
+    use qa_flight::{Budget, FlightRecorder, Watchdog};
+    use qa_obs::{Counter, NoopObserver, Tee};
+
+    /// A scenario passes if EITHER bound holds.
+    const MAX_EXTRA_NS_PER_STEP: f64 = 250.0;
+    const MAX_RELATIVE: f64 = 50.0;
+
+    let a = Alphabet::from_names(["0", "1"]);
+    let qa = qa_twoway::string_qa::example_3_4_qa(&a);
+    let word = qa_bench::random_word(512, 34);
+
+    // Work per run, for the ns/step normalization.
+    let count_metrics = Metrics::new();
+    qa.query_with(&word, &mut count_metrics.observer()).unwrap();
+    let steps = count_metrics.get(Counter::Steps).max(1);
+
+    let mut h = qa_bench::Harness::new("obs_overhead");
+    let noop = h.bench("noop", || qa.query_with(&word, &mut NoopObserver).unwrap());
+
+    let metrics = Metrics::new();
+    let ns_metrics = h.bench("metrics", || {
+        qa.query_with(&word, &mut metrics.observer()).unwrap()
+    });
+
+    let mut recorder = FlightRecorder::with_capacity(256);
+    let ns_flight = h.bench("flight_recorder", || {
+        qa.query_with(&word, &mut recorder).unwrap()
+    });
+
+    let mut dog = Watchdog::new(NoopObserver, Budget::steps(u64::MAX));
+    let ns_watchdog = h.bench("watchdog", || qa.query_with(&word, &mut dog).unwrap());
+
+    let mut stack = Watchdog::new(
+        Tee(FlightRecorder::with_capacity(256), metrics.observer()),
+        Budget::steps(u64::MAX),
+    );
+    let ns_stack = h.bench("watchdog+flight+metrics", || {
+        qa.query_with(&word, &mut stack).unwrap()
+    });
+
+    println!();
+    println!(
+        "{:<24} {:>12} {:>10} {:>9}",
+        "observer", "ns/run", "ns/step", "x noop"
+    );
+    let mut violations = 0usize;
+    for (name, ns) in [
+        ("noop", noop),
+        ("metrics", ns_metrics),
+        ("flight_recorder", ns_flight),
+        ("watchdog", ns_watchdog),
+        ("watchdog+flight+metrics", ns_stack),
+    ] {
+        let per_step = ns / steps as f64;
+        let rel = ns / noop.max(1e-9);
+        let extra_per_step = (ns - noop) / steps as f64;
+        let ok = extra_per_step <= MAX_EXTRA_NS_PER_STEP || rel <= MAX_RELATIVE;
+        println!(
+            "{name:<24} {ns:>12.1} {per_step:>10.2} {rel:>8.1}x{}",
+            if ok { "" } else { "  <-- OVER BUDGET" }
+        );
+        if gate && !ok {
+            violations += 1;
+        }
+    }
+    if gate {
+        if violations == 0 {
+            println!(
+                "gate: OK — every observer within {MAX_EXTRA_NS_PER_STEP} extra ns/step or {MAX_RELATIVE}x of noop"
+            );
+        } else {
+            println!("gate: {violations} observer(s) over budget");
+        }
+    }
+    violations
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--overhead") {
+        let gate = args.iter().any(|a| a == "--gate");
+        if overhead(gate) > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
     if args.iter().any(|a| a == "--check") {
         let flag_val = |name: &str| {
             args.iter()
@@ -219,7 +359,13 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "BENCH_obs.json".to_string());
     println!("# bench_obs -> {out_path}");
+    // Read any previous report first so the summary can show the delta.
+    let previous = std::fs::read_to_string(&out_path)
+        .ok()
+        .and_then(|t| qa_obs::json::parse(&t).ok());
     let report = generate_report();
+    let parsed = qa_obs::json::parse(&report).expect("parse generated report");
+    print_summary(&parsed, previous.as_ref());
     std::fs::write(&out_path, format!("{report}\n")).expect("write report");
     println!("wrote {out_path}");
 }

@@ -96,9 +96,19 @@ impl Dbta {
         self.delta.get(&(children.to_vec(), label)).copied()
     }
 
-    /// Iterate over all defined transitions.
+    /// Iterate over all defined transitions, in `(children, label)` order —
+    /// deterministic so witness shapes, trimmed/minimized state numbering
+    /// and compiled-query layouts are reproducible across runs (the
+    /// bench_obs regression gate depends on this; raw `HashMap` order is
+    /// per-instance random).
     pub fn transitions(&self) -> impl Iterator<Item = (&[StateId], Symbol, StateId)> + '_ {
-        self.delta.iter().map(|((c, s), q)| (c.as_slice(), *s, *q))
+        let mut entries: Vec<(&[StateId], Symbol, StateId)> = self
+            .delta
+            .iter()
+            .map(|((c, s), q)| (c.as_slice(), *s, *q))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0).then(a.1.index().cmp(&b.1.index())));
+        entries.into_iter()
     }
 
     /// `δ*(t)`: the state at the root, if every transition is defined.
@@ -320,6 +330,27 @@ mod tests {
 
     fn circuit_alpha() -> Alphabet {
         Alphabet::from_names(["AND", "OR", "0", "1"])
+    }
+
+    #[test]
+    fn transitions_iterate_in_sorted_order() {
+        // `transitions()` feeds witness assembly, trim/minimize numbering
+        // and MSO compilation; its order must not depend on HashMap state.
+        let a = circuit_alpha();
+        let b = Dbta::boolean_circuit(&a);
+        let keys: Vec<(Vec<StateId>, Symbol)> =
+            b.transitions().map(|(c, s, _)| (c.to_vec(), s)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_by(|x, y| x.0.cmp(&y.0).then(x.1.index().cmp(&y.1.index())));
+        assert_eq!(keys, sorted, "transitions() must yield sorted entries");
+        assert!(!keys.is_empty());
+
+        // Two identically built machines agree entry-for-entry, which a raw
+        // HashMap iteration (per-instance RandomState) does not guarantee.
+        let b2 = Dbta::boolean_circuit(&a);
+        let keys2: Vec<(Vec<StateId>, Symbol)> =
+            b2.transitions().map(|(c, s, _)| (c.to_vec(), s)).collect();
+        assert_eq!(keys, keys2);
     }
 
     #[test]

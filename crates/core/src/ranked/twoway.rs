@@ -57,6 +57,14 @@ pub struct TwoWayRankedBuilder {
     inner: TwoWayRanked,
 }
 
+/// Collect and sort an iterator; used to make validation-error selection
+/// independent of `HashMap` iteration order.
+fn sorted<T: Ord>(it: impl Iterator<Item = T>) -> Vec<T> {
+    let mut v: Vec<T> = it.collect();
+    v.sort();
+    v
+}
+
 impl TwoWayRankedBuilder {
     /// Start a machine over `alphabet_len` symbols and rank `max_rank`.
     pub fn new(alphabet_len: usize, max_rank: usize) -> Self {
@@ -152,7 +160,10 @@ impl TwoWayRankedBuilder {
             return Err(Error::ill_formed("2DTAr", "no states"));
         }
         let pol = |q: StateId, s: Symbol| m.polarity[q.index()][s.index()];
-        for &(q, s) in m.delta_leaf.keys() {
+        // Validation iterates sorted keys so that, when several entries
+        // violate an invariant, the reported one is deterministic (raw
+        // HashMap order is per-instance random).
+        for (q, s) in sorted(m.delta_leaf.keys().copied()) {
             if pol(q, s) != Some(Polarity::Down) {
                 return Err(Error::ill_formed(
                     "2DTAr",
@@ -160,7 +171,7 @@ impl TwoWayRankedBuilder {
                 ));
             }
         }
-        for &(q, s, _) in m.delta_down.keys() {
+        for (q, s, _) in sorted(m.delta_down.keys().copied()) {
             if pol(q, s) != Some(Polarity::Down) {
                 return Err(Error::ill_formed(
                     "2DTAr",
@@ -168,7 +179,7 @@ impl TwoWayRankedBuilder {
                 ));
             }
         }
-        for &(q, s) in m.delta_root.keys() {
+        for (q, s) in sorted(m.delta_root.keys().copied()) {
             if pol(q, s) != Some(Polarity::Up) {
                 return Err(Error::ill_formed(
                     "2DTAr",
@@ -176,7 +187,8 @@ impl TwoWayRankedBuilder {
                 ));
             }
         }
-        for seq in m.delta_up.keys() {
+        for seq in sorted(m.delta_up.keys().cloned()) {
+            let seq = &seq;
             if seq.is_empty() || seq.len() > m.max_rank {
                 return Err(Error::ill_formed(
                     "2DTAr",
@@ -337,6 +349,10 @@ impl TwoWayRanked {
         while let Some(v) = queue.pop_front() {
             queued[v.index()] = false;
             loop {
+                if let Err(a) = obs.checkpoint() {
+                    obs.count(Counter::BudgetTrips, 1);
+                    return Err(Error::aborted(a.what, a.limit, a.actual));
+                }
                 steps += 1;
                 if steps > fuel {
                     obs.count(Counter::BudgetTrips, 1);

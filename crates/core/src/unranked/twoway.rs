@@ -159,7 +159,14 @@ impl TwoWayUnrankedBuilder {
             return Err(Error::ill_formed("2DTAu", "no states"));
         }
         let pol = |m: &TwoWayUnranked, q: StateId, s: Symbol| m.polarity[q.index()][s.index()];
-        for &(q, s) in m.delta_leaf.keys() {
+        // Sorted key order keeps the reported violation deterministic when
+        // more than one entry is ill-formed.
+        fn sorted_keys<V>(m: &HashMap<(StateId, Symbol), V>) -> Vec<(StateId, Symbol)> {
+            let mut v: Vec<(StateId, Symbol)> = m.keys().copied().collect();
+            v.sort();
+            v
+        }
+        for (q, s) in sorted_keys(&m.delta_leaf) {
             if pol(m, q, s) != Some(Polarity::Down) {
                 return Err(Error::ill_formed(
                     "2DTAu",
@@ -167,7 +174,7 @@ impl TwoWayUnrankedBuilder {
                 ));
             }
         }
-        for &(q, s) in m.delta_down.keys() {
+        for (q, s) in sorted_keys(&m.delta_down) {
             if pol(m, q, s) != Some(Polarity::Down) {
                 return Err(Error::ill_formed(
                     "2DTAu",
@@ -175,7 +182,7 @@ impl TwoWayUnrankedBuilder {
                 ));
             }
         }
-        for &(q, s) in m.delta_root.keys() {
+        for (q, s) in sorted_keys(&m.delta_root) {
             if pol(m, q, s) != Some(Polarity::Up) {
                 return Err(Error::ill_formed(
                     "2DTAu",
@@ -432,6 +439,10 @@ impl TwoWayUnranked {
             queued[v.index()] = false;
             // keep firing at `v` until nothing applies here
             loop {
+                if let Err(a) = obs.checkpoint() {
+                    obs.count(Counter::BudgetTrips, 1);
+                    return Err(Error::aborted(a.what, a.limit, a.actual));
+                }
                 steps += 1;
                 if steps > fuel {
                     obs.count(Counter::BudgetTrips, 1);

@@ -276,6 +276,10 @@ fn explore<O: Observer>(
     // only enumerates tuples containing at least one fresh item.
     let mut old_count = 0usize;
     loop {
+        if let Err(a) = obs.checkpoint() {
+            obs.count(Counter::BudgetTrips, 1);
+            return Err(Error::aborted(a.what, a.limit, a.actual));
+        }
         obs.count(Counter::FixpointIterations, 1);
         let known = items.len();
         if known > max_items {

@@ -1,0 +1,476 @@
+//! `qa-fleet`: batch runner with always-on telemetry.
+//!
+//! Runs M example queries × K generated documents, each under a
+//! [`Watchdog`] with a [`FlightRecorder`] black box, aggregates per-run
+//! [`Metrics`] into one fleet profile, and exports:
+//!
+//! - `metrics.prom` — Prometheus text exposition of the merged registry;
+//! - `trace-<i>.json` — Chrome trace-event (Perfetto) exports of a
+//!   deterministic reservoir sample of full run traces;
+//! - `summary.txt` — per-query table plus fleet-wide step/latency
+//!   percentiles (also printed to stdout);
+//! - `postmortem.txt` — flight-recorder dump of the first failed run, if
+//!   any run tripped its budget or errored.
+//!
+//! Exit code 0 iff every run completed. Document generation and sampling
+//! are seeded ([`qa_base::rng`]), so a fleet reruns identically: same
+//! documents, same sampled runs, same step counts.
+//!
+//! ```text
+//! qa-fleet [--queries M] [--docs K] [--size N] [--seed S]
+//!          [--sample-every N] [--reservoir K]
+//!          [--max-steps N] [--max-wall-ms MS] [--out-dir DIR] [--smoke]
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use qa_base::rng::{Rng, StdRng};
+use qa_base::{Alphabet, Error, Symbol};
+use qa_core::ranked::query::example_4_4;
+use qa_core::unranked::query::{example_5_14, example_5_9};
+use qa_flight::{Budget, FlightRecorder, OneInN, Reservoir, Sampled, Watchdog};
+use qa_obs::{Counter, Metrics, NoopObserver, RunTrace, Tee};
+use qa_probe::export::{chrome_trace, prometheus_text};
+use qa_trees::Tree;
+use qa_twoway::string_qa::example_3_4_qa;
+
+const USAGE: &str = "usage:
+  qa-fleet [--queries M] [--docs K] [--size N] [--seed S]
+           [--sample-every N] [--reservoir K]
+           [--max-steps N] [--max-wall-ms MS] [--out-dir DIR] [--smoke]
+
+queries cycle through the paper's running examples:
+  example-3-4 (string), example-4-4 (ranked circuit),
+  example-5-9 (unranked circuit), example-5-14 (stay transitions)";
+
+struct Opts {
+    queries: usize,
+    docs: usize,
+    size: usize,
+    seed: u64,
+    sample_every: u64,
+    reservoir: usize,
+    max_steps: u64,
+    max_wall: Duration,
+    out_dir: String,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            queries: 4,
+            docs: 25,
+            size: 256,
+            seed: 1,
+            sample_every: 8,
+            reservoir: 4,
+            max_steps: 10_000_000,
+            max_wall: Duration::from_millis(10_000),
+            out_dir: "fleet-out".to_string(),
+        }
+    }
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts::default();
+    let mut it = args.iter();
+    let val = |it: &mut std::slice::Iter<'_, String>, flag: &str| -> Result<String, String> {
+        it.next().cloned().ok_or(format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--queries" => o.queries = val(&mut it, arg)?.parse().map_err(|e| format!("{e}"))?,
+            "--docs" => o.docs = val(&mut it, arg)?.parse().map_err(|e| format!("{e}"))?,
+            "--size" => o.size = val(&mut it, arg)?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => o.seed = val(&mut it, arg)?.parse().map_err(|e| format!("{e}"))?,
+            "--sample-every" => {
+                o.sample_every = val(&mut it, arg)?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--reservoir" => {
+                o.reservoir = val(&mut it, arg)?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--max-steps" => {
+                o.max_steps = val(&mut it, arg)?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--max-wall-ms" => {
+                o.max_wall =
+                    Duration::from_millis(val(&mut it, arg)?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--out-dir" => o.out_dir = val(&mut it, arg)?,
+            "--smoke" => {
+                o.queries = 4;
+                o.docs = 3;
+                o.size = 48;
+                o.sample_every = 2;
+                o.reservoir = 2;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if o.queries == 0 || o.docs == 0 || o.size == 0 {
+        return Err("--queries, --docs and --size must be >= 1".to_string());
+    }
+    Ok(o)
+}
+
+/// The document a query runs over.
+enum Doc {
+    Word(Vec<Symbol>),
+    Tree(Tree),
+}
+
+impl Doc {
+    fn len(&self) -> usize {
+        match self {
+            Doc::Word(w) => w.len(),
+            Doc::Tree(t) => t.num_nodes(),
+        }
+    }
+}
+
+/// One roster entry: a named example query plus its document generator.
+struct Workload {
+    name: &'static str,
+    query: QueryKind,
+}
+
+enum QueryKind {
+    String(Box<qa_twoway::StringQa>),
+    Ranked(Box<qa_core::ranked::RankedQa>),
+    Unranked(Box<qa_core::unranked::UnrankedQa>),
+}
+
+fn binary_alphabet() -> Alphabet {
+    Alphabet::from_names(["0", "1"])
+}
+
+fn circuit_alphabet() -> Alphabet {
+    Alphabet::from_names(["AND", "OR", "0", "1"])
+}
+
+fn roster() -> Vec<Workload> {
+    let bin = binary_alphabet();
+    let circ = circuit_alphabet();
+    vec![
+        Workload {
+            name: "example-3-4",
+            query: QueryKind::String(Box::new(example_3_4_qa(&bin))),
+        },
+        Workload {
+            name: "example-4-4",
+            query: QueryKind::Ranked(Box::new(example_4_4(&circ))),
+        },
+        Workload {
+            name: "example-5-9",
+            query: QueryKind::Unranked(Box::new(example_5_9(&circ))),
+        },
+        Workload {
+            name: "example-5-14",
+            query: QueryKind::Unranked(Box::new(example_5_14(&bin))),
+        },
+    ]
+}
+
+/// Deterministic document for `(workload, seed)`.
+fn generate_doc(name: &str, size: usize, seed: u64) -> Doc {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match name {
+        "example-3-4" => Doc::Word(
+            (0..size)
+                .map(|_| Symbol::from_index(rng.gen_range(0..2)))
+                .collect(),
+        ),
+        "example-4-4" => {
+            let a = circuit_alphabet();
+            Doc::Tree(qa_trees::generate::random_full_binary(
+                &mut rng,
+                &[a.symbol("AND"), a.symbol("OR")],
+                &[a.symbol("0"), a.symbol("1")],
+                size / 2,
+            ))
+        }
+        "example-5-9" => {
+            // Variadic circuit: grow a random shape, then relabel inner
+            // nodes AND/OR and leaves 0/1 so every node evaluates.
+            let a = circuit_alphabet();
+            let mut t = qa_trees::generate::random(&mut rng, &[a.symbol("0")], size, None);
+            for v in t.nodes().collect::<Vec<_>>() {
+                let label = if t.is_leaf(v) {
+                    if rng.gen_bool(0.5) {
+                        a.symbol("0")
+                    } else {
+                        a.symbol("1")
+                    }
+                } else if rng.gen_bool(0.5) {
+                    a.symbol("AND")
+                } else {
+                    a.symbol("OR")
+                };
+                t.set_label(v, label);
+            }
+            Doc::Tree(t)
+        }
+        "example-5-14" => Doc::Tree(qa_trees::generate::random(
+            &mut rng,
+            &[Symbol::from_index(0), Symbol::from_index(1)],
+            size,
+            None,
+        )),
+        other => unreachable!("unknown workload {other}"),
+    }
+}
+
+/// Outcome of one fleet run.
+struct RunOutcome {
+    workload: &'static str,
+    doc_nodes: usize,
+    steps: u64,
+    latency: Duration,
+    selected: usize,
+    sampled: bool,
+    error: Option<Error>,
+    /// Post-mortem dump, present when the run failed.
+    dump: Option<String>,
+}
+
+/// Per-workload aggregate for the summary table.
+#[derive(Default)]
+struct QueryStats {
+    runs: u64,
+    failed: u64,
+    steps: u64,
+    selected: u64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn run_one(
+    wl: &Workload,
+    doc: &Doc,
+    budget: Budget,
+    sampled: bool,
+    fleet: &Metrics,
+) -> (RunOutcome, Option<RunTrace>) {
+    let run_metrics = Metrics::new();
+    let trace_arm = if sampled {
+        Sampled::Full(RunTrace::new())
+    } else {
+        Sampled::Light(NoopObserver)
+    };
+    let mut obs = Watchdog::new(
+        Tee(
+            FlightRecorder::with_capacity(256),
+            Tee(run_metrics.observer(), trace_arm),
+        ),
+        budget,
+    );
+
+    let t0 = Instant::now();
+    let result = match (&wl.query, doc) {
+        (QueryKind::String(q), Doc::Word(w)) => q.query_with(w, &mut obs).map(|sel| sel.len()),
+        (QueryKind::Ranked(q), Doc::Tree(t)) => q.query_with(t, &mut obs).map(|sel| sel.len()),
+        (QueryKind::Unranked(q), Doc::Tree(t)) => q.query_with(t, &mut obs).map(|sel| sel.len()),
+        _ => unreachable!("workload/document kind mismatch"),
+    };
+    let latency = t0.elapsed();
+
+    let Tee(recorder, Tee(_, trace_arm)) = obs.into_inner();
+    let trace = trace_arm.full();
+    let (selected, error, dump) = match result {
+        Ok(n) => (n, None, None),
+        Err(e) => {
+            let mut dump = format!("workload: {}\nerror: {e}\n\n", wl.name);
+            dump.push_str(&recorder.dump());
+            (0, Some(e), Some(dump))
+        }
+    };
+    let outcome = RunOutcome {
+        workload: wl.name,
+        doc_nodes: doc.len(),
+        steps: run_metrics.get(Counter::Steps),
+        latency,
+        selected,
+        sampled,
+        error,
+        dump,
+    };
+    fleet.merge(&run_metrics);
+    (outcome, trace)
+}
+
+fn render_summary(
+    opts: &Opts,
+    outcomes: &[RunOutcome],
+    stats: &[(&'static str, QueryStats)],
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "qa-fleet: {} run(s) = {} query kind(s) x {} doc(s), size {}, seed {}",
+        outcomes.len(),
+        opts.queries,
+        opts.docs,
+        opts.size,
+        opts.seed
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>5} {:>7} {:>12} {:>10} {:>10}",
+        "query", "runs", "failed", "steps", "sel/run", "steps/run"
+    );
+    for (name, st) in stats {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>5} {:>7} {:>12} {:>10.1} {:>10.1}",
+            name,
+            st.runs,
+            st.failed,
+            st.steps,
+            st.selected as f64 / st.runs.max(1) as f64,
+            st.steps as f64 / st.runs.max(1) as f64
+        );
+    }
+
+    let mut steps: Vec<u64> = outcomes.iter().map(|o| o.steps).collect();
+    let mut lat: Vec<u64> = outcomes
+        .iter()
+        .map(|o| o.latency.as_nanos() as u64)
+        .collect();
+    steps.sort_unstable();
+    lat.sort_unstable();
+    let _ = writeln!(
+        out,
+        "steps   p50 {:>8}  p90 {:>8}  p99 {:>8}  max {:>8}",
+        percentile(&steps, 0.50),
+        percentile(&steps, 0.90),
+        percentile(&steps, 0.99),
+        steps.last().copied().unwrap_or(0)
+    );
+    let _ = writeln!(
+        out,
+        "lat(ns) p50 {:>8}  p90 {:>8}  p99 {:>8}  max {:>8}",
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.90),
+        percentile(&lat, 0.99),
+        lat.last().copied().unwrap_or(0)
+    );
+    let sampled = outcomes.iter().filter(|o| o.sampled).count();
+    let failed = outcomes.iter().filter(|o| o.error.is_some()).count();
+    let _ = writeln!(
+        out,
+        "sampled {} of {} run(s); {} failed",
+        sampled,
+        outcomes.len(),
+        failed
+    );
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_opts(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let roster = roster();
+    let budget = Budget::steps(opts.max_steps).with_wall(opts.max_wall);
+    let fleet = Metrics::new();
+    let mut admit = OneInN::new(opts.seed, opts.sample_every);
+    let mut traces: Reservoir<(String, RunTrace)> = Reservoir::new(opts.seed, opts.reservoir);
+    let mut outcomes: Vec<RunOutcome> = Vec::new();
+
+    for qi in 0..opts.queries {
+        let wl = &roster[qi % roster.len()];
+        for di in 0..opts.docs {
+            // Per-run seed: distinct per (query index, doc index), stable
+            // across invocations with the same --seed.
+            let doc_seed = opts
+                .seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add((qi as u64) << 32 | di as u64);
+            let doc = generate_doc(wl.name, opts.size, doc_seed);
+            let sampled = admit.admit();
+            let (outcome, trace) = run_one(wl, &doc, budget, sampled, &fleet);
+            if let Some(trace) = trace {
+                traces.offer((format!("{}-doc{di}", wl.name), trace));
+            }
+            outcomes.push(outcome);
+        }
+    }
+
+    // Aggregate per query kind, in roster order.
+    let mut stats: Vec<(&'static str, QueryStats)> = Vec::new();
+    for o in &outcomes {
+        let entry = match stats.iter_mut().find(|(n, _)| *n == o.workload) {
+            Some((_, st)) => st,
+            None => {
+                stats.push((o.workload, QueryStats::default()));
+                &mut stats.last_mut().unwrap().1
+            }
+        };
+        entry.runs += 1;
+        entry.failed += u64::from(o.error.is_some());
+        entry.steps += o.steps;
+        entry.selected += o.selected as u64;
+    }
+
+    let out_dir = Path::new(&opts.out_dir);
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("cannot create {}: {e}", opts.out_dir);
+        return ExitCode::from(2);
+    }
+
+    let summary = render_summary(&opts, &outcomes, &stats);
+    print!("{summary}");
+
+    let mut io_err = None;
+    let mut write = |name: &str, contents: &str| {
+        if let Err(e) = std::fs::write(out_dir.join(name), contents) {
+            io_err = Some(format!("cannot write {name}: {e}"));
+        }
+    };
+    write("summary.txt", &summary);
+    write("metrics.prom", &prometheus_text(&fleet, "qa_fleet"));
+    for (i, (label, trace)) in traces.items().iter().enumerate() {
+        write(&format!("trace-{i}.json"), &chrome_trace(trace));
+        eprintln!("trace-{i}.json <- full trace of {label}");
+    }
+    if let Some(first_failed) = outcomes.iter().find(|o| o.error.is_some()) {
+        write(
+            "postmortem.txt",
+            first_failed.dump.as_deref().unwrap_or("no dump recorded"),
+        );
+        eprintln!(
+            "postmortem.txt <- {} on a {}-node document",
+            first_failed.workload, first_failed.doc_nodes
+        );
+    }
+    if let Some(msg) = io_err {
+        eprintln!("{msg}");
+        return ExitCode::from(2);
+    }
+
+    let failed = outcomes.iter().filter(|o| o.error.is_some()).count();
+    if failed > 0 {
+        eprintln!(
+            "{failed} run(s) failed; see {}/postmortem.txt",
+            opts.out_dir
+        );
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,383 @@
+//! [`FlightRecorder`]: a bounded ring of the most recent observer events.
+//!
+//! Unlike [`RunTrace`](qa_obs::RunTrace), which keeps the *first* `cap`
+//! configurations of a run (the right tool for replaying a run from its
+//! start), the flight recorder keeps the *last* `cap` events of any kind —
+//! the right tool for a post-mortem: when a run panics, trips a watchdog or
+//! otherwise dies, the interesting events are the ones immediately before
+//! death, not the ones at takeoff.
+//!
+//! Memory is `O(cap)` regardless of run length, so the recorder can stay on
+//! in production batch workloads. Events pushed past capacity evict the
+//! oldest entry and are tallied in [`FlightRecorder::dropped`], so a dump
+//! always says how much history it is missing.
+
+use std::collections::VecDeque;
+
+use qa_obs::{Counter, Observer, Series};
+
+/// One event retained by the ring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlightEvent {
+    /// A two-way configuration (state, position, direction).
+    Config {
+        /// Machine state.
+        state: u32,
+        /// Tape position / tree node index.
+        pos: u32,
+        /// Move direction: −1 left/up, +1 right/down, 0 halt or stay.
+        dir: i8,
+    },
+    /// A phase was entered.
+    PhaseStart(&'static str),
+    /// A phase was left.
+    PhaseEnd(&'static str),
+    /// A position was selected into the query answer.
+    Selected {
+        /// Selected position.
+        pos: u32,
+        /// Witnessing assumed state.
+        state: u32,
+        /// Symbol at the position.
+        sym: u32,
+    },
+    /// A stay transition assigned a state to a child node.
+    StayAssign {
+        /// Parent node.
+        parent: u32,
+        /// Child node.
+        child: u32,
+        /// Assigned state.
+        state: u32,
+    },
+}
+
+impl FlightEvent {
+    fn render(&self, out: &mut String) {
+        use std::fmt::Write;
+        match *self {
+            FlightEvent::Config { state, pos, dir } => {
+                let arrow = match dir {
+                    -1 => "<-",
+                    1 => "->",
+                    _ => "--",
+                };
+                let _ = write!(out, "config   q{state} @ {pos} {arrow}");
+            }
+            FlightEvent::PhaseStart(name) => {
+                let _ = write!(out, "phase    >> {name}");
+            }
+            FlightEvent::PhaseEnd(name) => {
+                let _ = write!(out, "phase    << {name}");
+            }
+            FlightEvent::Selected { pos, state, sym } => {
+                let _ = write!(out, "selected pos {pos} (state q{state}, sym {sym})");
+            }
+            FlightEvent::StayAssign {
+                parent,
+                child,
+                state,
+            } => {
+                let _ = write!(out, "stay     node {parent} -> child {child} := q{state}");
+            }
+        }
+    }
+}
+
+/// Fixed-capacity observer retaining the last `cap` events, with full
+/// counter/series tallies (tallies are exact; only the event *log* is
+/// bounded).
+#[derive(Debug)]
+pub struct FlightRecorder {
+    ring: VecDeque<FlightEvent>,
+    cap: usize,
+    dropped: u64,
+    counters: [u64; Counter::COUNT],
+    samples: [(u64, u64); Series::COUNT], // (count, sum)
+}
+
+/// Default ring capacity: enough tail to diagnose a loop, small enough to
+/// leave on everywhere.
+pub const DEFAULT_CAPACITY: usize = 256;
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// Recorder with the default capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Recorder retaining at most `cap` events (`cap ≥ 1`).
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap >= 1, "flight recorder needs capacity >= 1");
+        FlightRecorder {
+            ring: VecDeque::with_capacity(cap),
+            cap,
+            dropped: 0,
+            counters: [0; Counter::COUNT],
+            samples: [(0, 0); Series::COUNT],
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, ev: FlightEvent) {
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(ev);
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &FlightEvent> + '_ {
+        self.ring.iter()
+    }
+
+    /// Number of retained events (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events evicted to make room — the dump's "how much history is
+    /// missing" figure.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Exact tally of `counter` over the whole run (not just the retained
+    /// window).
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()]
+    }
+
+    /// `(count, sum)` of samples recorded into `series`.
+    pub fn samples(&self, series: Series) -> (u64, u64) {
+        self.samples[series.index()]
+    }
+
+    /// The `(state, pos)` configuration occurring most often in the
+    /// retained window, with its occurrence count — evidence of a loop when
+    /// the count is high. Returns `None` if no configs were retained; ties
+    /// break toward the smallest `(state, pos)`.
+    pub fn repeated_config(&self) -> Option<(u32, u32, usize)> {
+        let mut pairs: Vec<(u32, u32)> = self
+            .ring
+            .iter()
+            .filter_map(|ev| match *ev {
+                FlightEvent::Config { state, pos, .. } => Some((state, pos)),
+                _ => None,
+            })
+            .collect();
+        if pairs.is_empty() {
+            return None;
+        }
+        pairs.sort_unstable();
+        let mut best = (pairs[0].0, pairs[0].1, 1usize);
+        let mut cur = (pairs[0], 1usize);
+        for &p in &pairs[1..] {
+            if p == cur.0 {
+                cur.1 += 1;
+            } else {
+                cur = (p, 1);
+            }
+            if cur.1 > best.2 {
+                best = (cur.0 .0, cur.0 .1, cur.1);
+            }
+        }
+        Some(best)
+    }
+
+    /// Render the post-mortem dump: drop accounting, exact counters, the
+    /// most repeated configuration, then the retained tail of events.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "=== flight recorder dump ===");
+        let _ = writeln!(
+            out,
+            "retained {} event(s) (capacity {}), {} older event(s) dropped",
+            self.ring.len(),
+            self.cap,
+            self.dropped
+        );
+        for c in Counter::ALL {
+            let v = self.counters[c.index()];
+            if v != 0 {
+                let _ = writeln!(out, "  {:<20} {v}", c.name());
+            }
+        }
+        if let Some((state, pos, n)) = self.repeated_config() {
+            if n > 1 {
+                let _ = writeln!(
+                    out,
+                    "most repeated configuration: q{state} @ {pos} ({n} times in window)"
+                );
+            }
+        }
+        let _ = writeln!(out, "--- last {} event(s) ---", self.ring.len());
+        for ev in &self.ring {
+            ev.render(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Observer for FlightRecorder {
+    #[inline]
+    fn count(&mut self, counter: Counter, n: u64) {
+        self.counters[counter.index()] += n;
+    }
+    #[inline]
+    fn record(&mut self, series: Series, value: u64) {
+        let slot = &mut self.samples[series.index()];
+        slot.0 += 1;
+        slot.1 += value;
+    }
+    #[inline]
+    fn config(&mut self, state: u32, pos: u32, dir: i8) {
+        self.push(FlightEvent::Config { state, pos, dir });
+    }
+    #[inline]
+    fn phase_start(&mut self, name: &'static str) {
+        self.push(FlightEvent::PhaseStart(name));
+    }
+    #[inline]
+    fn phase_end(&mut self, name: &'static str) {
+        self.push(FlightEvent::PhaseEnd(name));
+    }
+    #[inline]
+    fn selected(&mut self, pos: u32, state: u32, sym: u32) {
+        self.push(FlightEvent::Selected { pos, state, sym });
+    }
+    #[inline]
+    fn stay_assign(&mut self, parent: u32, child: u32, state: u32) {
+        self.push(FlightEvent::StayAssign {
+            parent,
+            child,
+            state,
+        });
+    }
+}
+
+/// Run `work` with a panic-triggered post-mortem: on unwind the recorder's
+/// dump is printed to stderr before the panic is resumed, so a crashing
+/// batch job leaves its black box behind.
+///
+/// The recorder is passed to `work` by `&mut` reference; on normal
+/// completion the result and the recorder are returned for inspection.
+pub fn with_postmortem<T>(
+    cap: usize,
+    work: impl FnOnce(&mut FlightRecorder) -> T,
+) -> (T, FlightRecorder) {
+    let mut rec = FlightRecorder::with_capacity(cap);
+    // AssertUnwindSafe: on panic we only *read* the recorder to render the
+    // dump; the partially updated ring is exactly what a post-mortem wants.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(&mut rec)));
+    match result {
+        Ok(v) => (v, rec),
+        Err(payload) => {
+            eprintln!("{}", rec.dump());
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_last_cap_events_and_counts_drops() {
+        let mut rec = FlightRecorder::with_capacity(3);
+        for i in 0..10u32 {
+            rec.config(i, i, 1);
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.dropped(), 7);
+        let states: Vec<u32> = rec
+            .events()
+            .map(|ev| match *ev {
+                FlightEvent::Config { state, .. } => state,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(states, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn tallies_are_exact_even_when_the_log_drops() {
+        let mut rec = FlightRecorder::with_capacity(2);
+        for _ in 0..100 {
+            rec.count(Counter::Steps, 1);
+            rec.config(0, 0, 1);
+        }
+        rec.record(Series::TraceLength, 100);
+        assert_eq!(rec.counter(Counter::Steps), 100);
+        assert_eq!(rec.samples(Series::TraceLength), (1, 100));
+        assert_eq!(rec.len(), 2);
+    }
+
+    #[test]
+    fn repeated_config_finds_the_hot_pair() {
+        let mut rec = FlightRecorder::with_capacity(16);
+        rec.config(1, 5, 1);
+        rec.config(2, 6, -1);
+        rec.config(1, 5, 1);
+        rec.config(1, 5, -1); // same (state, pos), different dir: still counts
+        assert_eq!(rec.repeated_config(), Some((1, 5, 3)));
+    }
+
+    #[test]
+    fn dump_reports_drops_and_the_repeated_config() {
+        let mut rec = FlightRecorder::with_capacity(4);
+        for _ in 0..6 {
+            rec.count(Counter::Steps, 1);
+            rec.config(3, 7, 1);
+        }
+        let dump = rec.dump();
+        assert!(dump.contains("2 older event(s) dropped"), "{dump}");
+        assert!(dump.contains("steps"), "{dump}");
+        assert!(
+            dump.contains("most repeated configuration: q3 @ 7 (4 times in window)"),
+            "{dump}"
+        );
+        assert!(dump.contains("config   q3 @ 7 ->"), "{dump}");
+    }
+
+    #[test]
+    fn with_postmortem_returns_result_and_recorder_on_success() {
+        let (sum, rec) = with_postmortem(8, |rec| {
+            rec.config(1, 1, 1);
+            2 + 2
+        });
+        assert_eq!(sum, 4);
+        assert_eq!(rec.len(), 1);
+    }
+
+    #[test]
+    fn with_postmortem_dumps_and_rethrows_on_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            with_postmortem(8, |rec| {
+                rec.config(9, 9, 0);
+                panic!("boom");
+            })
+        });
+        assert!(caught.is_err(), "panic must propagate");
+    }
+}

@@ -1,0 +1,246 @@
+//! Deterministic sampling for batch telemetry.
+//!
+//! Full-fidelity observation (a [`RunTrace`](qa_obs::RunTrace) per run) is
+//! too expensive for a fleet of thousands of runs; counters alone lose the
+//! ability to inspect any single run. The samplers here split the
+//! difference: every run is counted, a deterministic subset is observed in
+//! full.
+//!
+//! Determinism matters — two invocations of the same fleet with the same
+//! seed must select the same runs, so profiles diff cleanly and failures
+//! reproduce. Both samplers are therefore driven by
+//! [`qa_base::rng::StdRng`] (splitmix64), never by ambient entropy.
+
+use qa_base::rng::{Rng, StdRng};
+use qa_obs::{Abort, Counter, Observer, Series};
+
+/// Deterministic 1-in-N admission: for each item, [`OneInN::admit`] returns
+/// `true` with probability `1/n`, from a seeded stream.
+///
+/// The stream is position-independent in aggregate but exactly reproducible
+/// for a given `(seed, n)`, so a re-run samples the same items.
+#[derive(Debug)]
+pub struct OneInN {
+    rng: StdRng,
+    n: u64,
+}
+
+impl OneInN {
+    /// Sampler admitting ~1 in `n` items (`n ≥ 1`); `n = 1` admits all.
+    pub fn new(seed: u64, n: u64) -> Self {
+        assert!(n >= 1, "sampling rate must be >= 1");
+        OneInN {
+            rng: StdRng::seed_from_u64(seed ^ 0x5eed_1a7e_0f1e_e7e5),
+            n,
+        }
+    }
+
+    /// Whether the next item is admitted into the full-fidelity set.
+    pub fn admit(&mut self) -> bool {
+        self.n == 1 || self.rng.next_u64().is_multiple_of(self.n)
+    }
+}
+
+/// Reservoir sampling (Algorithm R): a uniform sample of `k` items from a
+/// stream of unknown length, in `O(k)` memory.
+///
+/// Every item ever offered has equal probability `k/len` of being in the
+/// final reservoir, regardless of stream length — the classical guarantee,
+/// here with a deterministic seeded RNG so fleets reproduce.
+#[derive(Debug)]
+pub struct Reservoir<T> {
+    items: Vec<T>,
+    k: usize,
+    seen: u64,
+    rng: StdRng,
+}
+
+impl<T> Reservoir<T> {
+    /// Reservoir keeping at most `k` items (`k ≥ 1`).
+    pub fn new(seed: u64, k: usize) -> Self {
+        assert!(k >= 1, "reservoir needs capacity >= 1");
+        Reservoir {
+            items: Vec::with_capacity(k),
+            k,
+            seen: 0,
+            rng: StdRng::seed_from_u64(seed ^ 0x7e5e_12e5_e7e5_0a11),
+        }
+    }
+
+    /// Offer one item to the reservoir.
+    pub fn offer(&mut self, item: T) {
+        self.seen += 1;
+        if self.items.len() < self.k {
+            self.items.push(item);
+        } else {
+            // Replace a random slot with probability k/seen (Algorithm R).
+            let j = (self.rng.next_u64() % self.seen) as usize;
+            if j < self.k {
+                self.items[j] = item;
+            }
+        }
+    }
+
+    /// Items currently held (order is an implementation detail).
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Total items offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Consume the reservoir, returning its items.
+    pub fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Either-observer produced by per-run sampling: `Full` runs carry the
+/// expensive sink `A`, `Light` runs the cheap sink `B` (typically a
+/// metrics handle). Engines stay generic over one observer type.
+#[derive(Debug)]
+pub enum Sampled<A, B> {
+    /// Full-fidelity observation for this run.
+    Full(A),
+    /// Counters-only observation for this run.
+    Light(B),
+}
+
+impl<A, B> Sampled<A, B> {
+    /// The full sink, if this run was sampled.
+    pub fn full(self) -> Option<A> {
+        match self {
+            Sampled::Full(a) => Some(a),
+            Sampled::Light(_) => None,
+        }
+    }
+}
+
+macro_rules! fan {
+    ($self:ident, $method:ident($($arg:expr),*)) => {
+        match $self {
+            Sampled::Full(a) => a.$method($($arg),*),
+            Sampled::Light(b) => b.$method($($arg),*),
+        }
+    };
+}
+
+impl<A: Observer, B: Observer> Observer for Sampled<A, B> {
+    #[inline]
+    fn count(&mut self, counter: Counter, n: u64) {
+        fan!(self, count(counter, n))
+    }
+    #[inline]
+    fn record(&mut self, series: Series, value: u64) {
+        fan!(self, record(series, value))
+    }
+    #[inline]
+    fn config(&mut self, state: u32, pos: u32, dir: i8) {
+        fan!(self, config(state, pos, dir))
+    }
+    #[inline]
+    fn phase_start(&mut self, name: &'static str) {
+        fan!(self, phase_start(name))
+    }
+    #[inline]
+    fn phase_end(&mut self, name: &'static str) {
+        fan!(self, phase_end(name))
+    }
+    #[inline]
+    fn selected(&mut self, pos: u32, state: u32, sym: u32) {
+        fan!(self, selected(pos, state, sym))
+    }
+    #[inline]
+    fn stay_assign(&mut self, parent: u32, child: u32, state: u32) {
+        fan!(self, stay_assign(parent, child, state))
+    }
+    #[inline]
+    fn checkpoint(&mut self) -> Result<(), Abort> {
+        fan!(self, checkpoint())
+    }
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        match self {
+            Sampled::Full(a) => a.is_enabled(),
+            Sampled::Light(b) => b.is_enabled(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_in_one_admits_everything() {
+        let mut s = OneInN::new(42, 1);
+        assert!((0..100).all(|_| s.admit()));
+    }
+
+    #[test]
+    fn one_in_n_is_deterministic_and_roughly_calibrated() {
+        let admitted = |seed: u64| -> Vec<bool> {
+            let mut s = OneInN::new(seed, 8);
+            (0..10_000).map(|_| s.admit()).collect()
+        };
+        let a = admitted(7);
+        assert_eq!(a, admitted(7), "same seed, same admissions");
+        assert_ne!(a, admitted(8), "different seed, different admissions");
+        let hits = a.iter().filter(|&&x| x).count();
+        // E[hits] = 1250; a loose band catches gross miscalibration only.
+        assert!((900..1600).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn reservoir_keeps_everything_until_full() {
+        let mut r = Reservoir::new(1, 5);
+        for i in 0..5 {
+            r.offer(i);
+        }
+        let mut items = r.items().to_vec();
+        items.sort_unstable();
+        assert_eq!(items, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn reservoir_is_uniform_enough_and_deterministic() {
+        let sample = |seed: u64| -> Vec<u32> {
+            let mut r = Reservoir::new(seed, 10);
+            for i in 0..1000u32 {
+                r.offer(i);
+            }
+            r.into_items()
+        };
+        assert_eq!(sample(3), sample(3), "same seed, same reservoir");
+        // Items from the late stream must be reachable: with k=10, n=1000,
+        // a reservoir that stopped replacing would hold only 0..10.
+        let s = sample(3);
+        assert_eq!(s.len(), 10);
+        assert!(
+            s.iter().any(|&x| x >= 500),
+            "late items never sampled: {s:?}"
+        );
+    }
+
+    #[test]
+    fn sampled_observer_routes_to_the_active_arm() {
+        use crate::recorder::FlightRecorder;
+        use qa_obs::Metrics;
+
+        let metrics = Metrics::new();
+        {
+            let mut light: Sampled<FlightRecorder, _> = Sampled::Light(metrics.observer());
+            light.count(Counter::Steps, 4);
+            assert!(light.full().is_none());
+        }
+        assert_eq!(metrics.get(Counter::Steps), 4);
+
+        let mut full: Sampled<FlightRecorder, qa_obs::MetricsObserver<'_>> =
+            Sampled::Full(FlightRecorder::with_capacity(4));
+        full.config(1, 2, 1);
+        let rec = full.full().expect("full arm");
+        assert_eq!(rec.len(), 1);
+    }
+}

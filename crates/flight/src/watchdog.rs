@@ -1,0 +1,277 @@
+//! [`Watchdog`]: budget enforcement through [`Observer::checkpoint`].
+//!
+//! A watchdog wraps any inner observer, forwards every event to it, and
+//! answers the engines' checkpoint polls by checking three budgets:
+//!
+//! - **steps** — tallied from [`Counter::Steps`] events;
+//! - **head reversals** — tallied from [`Counter::HeadReversals`];
+//! - **wall clock** — an [`Instant`] read every [`WALL_POLL_MASK`]+1
+//!   checkpoints, so the common path costs two integer compares and no
+//!   syscall.
+//!
+//! When a budget trips, the engine receives `Err(Abort)` from its next
+//! `checkpoint()` call and converts it into `Error::RunAborted` — a
+//! graceful unwind, not a panic, so batch runners keep going and can still
+//! render the wrapped flight recorder's dump.
+
+use std::time::{Duration, Instant};
+
+use qa_obs::{Abort, Counter, Observer, Series};
+
+/// Budgets enforced by a [`Watchdog`]. `None` disables a dimension.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Budget {
+    /// Maximum `Counter::Steps` total before aborting.
+    pub max_steps: Option<u64>,
+    /// Maximum `Counter::HeadReversals` total before aborting.
+    pub max_reversals: Option<u64>,
+    /// Maximum wall-clock time for the run.
+    pub max_wall: Option<Duration>,
+}
+
+impl Budget {
+    /// No limits: the watchdog becomes a transparent forwarder.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Limit total steps.
+    pub fn steps(max: u64) -> Self {
+        Budget {
+            max_steps: Some(max),
+            ..Budget::default()
+        }
+    }
+
+    /// Add a head-reversal limit.
+    pub fn with_reversals(mut self, max: u64) -> Self {
+        self.max_reversals = Some(max);
+        self
+    }
+
+    /// Add a wall-clock limit.
+    pub fn with_wall(mut self, max: Duration) -> Self {
+        self.max_wall = Some(max);
+        self
+    }
+}
+
+/// The wall clock is read once per `WALL_POLL_MASK + 1` checkpoints.
+pub const WALL_POLL_MASK: u64 = 1023;
+
+/// Observer wrapper enforcing a [`Budget`]; all events are forwarded to the
+/// inner observer unchanged.
+#[derive(Debug)]
+pub struct Watchdog<O> {
+    inner: O,
+    budget: Budget,
+    steps: u64,
+    reversals: u64,
+    checks: u64,
+    started: Instant,
+    tripped: Option<Abort>,
+}
+
+impl<O: Observer> Watchdog<O> {
+    /// Wrap `inner`, enforcing `budget`. The wall clock starts now.
+    pub fn new(inner: O, budget: Budget) -> Self {
+        Watchdog {
+            inner,
+            budget,
+            steps: 0,
+            reversals: 0,
+            checks: 0,
+            started: Instant::now(),
+            tripped: None,
+        }
+    }
+
+    /// The wrapped observer (e.g. to render a flight recorder's dump after
+    /// an abort).
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Consume the watchdog, returning the wrapped observer.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+
+    /// The abort this watchdog issued, if any.
+    pub fn tripped(&self) -> Option<Abort> {
+        self.tripped
+    }
+
+    /// Steps observed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Head reversals observed so far.
+    pub fn reversals(&self) -> u64 {
+        self.reversals
+    }
+
+    #[inline]
+    fn check(&mut self) -> Result<(), Abort> {
+        if let Some(a) = self.tripped {
+            return Err(a);
+        }
+        if let Some(max) = self.budget.max_steps {
+            if self.steps > max {
+                return self.trip("steps", max, self.steps);
+            }
+        }
+        if let Some(max) = self.budget.max_reversals {
+            if self.reversals > max {
+                return self.trip("head_reversals", max, self.reversals);
+            }
+        }
+        if let Some(max) = self.budget.max_wall {
+            // Reading the clock is the expensive part; amortize it.
+            if self.checks & WALL_POLL_MASK == 0 {
+                let elapsed = self.started.elapsed();
+                if elapsed > max {
+                    return self.trip(
+                        "wall_ms",
+                        max.as_millis() as u64,
+                        elapsed.as_millis() as u64,
+                    );
+                }
+            }
+        }
+        self.checks += 1;
+        Ok(())
+    }
+
+    fn trip(&mut self, what: &'static str, limit: u64, actual: u64) -> Result<(), Abort> {
+        let abort = Abort {
+            what,
+            limit,
+            actual,
+        };
+        self.tripped = Some(abort);
+        Err(abort)
+    }
+}
+
+impl<O: Observer> Observer for Watchdog<O> {
+    #[inline]
+    fn count(&mut self, counter: Counter, n: u64) {
+        match counter {
+            Counter::Steps => self.steps += n,
+            Counter::HeadReversals => self.reversals += n,
+            _ => {}
+        }
+        self.inner.count(counter, n);
+    }
+    #[inline]
+    fn record(&mut self, series: Series, value: u64) {
+        self.inner.record(series, value);
+    }
+    #[inline]
+    fn config(&mut self, state: u32, pos: u32, dir: i8) {
+        self.inner.config(state, pos, dir);
+    }
+    #[inline]
+    fn phase_start(&mut self, name: &'static str) {
+        self.inner.phase_start(name);
+    }
+    #[inline]
+    fn phase_end(&mut self, name: &'static str) {
+        self.inner.phase_end(name);
+    }
+    #[inline]
+    fn selected(&mut self, pos: u32, state: u32, sym: u32) {
+        self.inner.selected(pos, state, sym);
+    }
+    #[inline]
+    fn stay_assign(&mut self, parent: u32, child: u32, state: u32) {
+        self.inner.stay_assign(parent, child, state);
+    }
+    #[inline]
+    fn checkpoint(&mut self) -> Result<(), Abort> {
+        self.check()?;
+        self.inner.checkpoint()
+    }
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        self.inner.is_enabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qa_obs::NoopObserver;
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let mut dog = Watchdog::new(NoopObserver, Budget::unlimited());
+        for _ in 0..10_000 {
+            dog.count(Counter::Steps, 1);
+            assert_eq!(dog.checkpoint(), Ok(()));
+        }
+        assert!(dog.tripped().is_none());
+    }
+
+    #[test]
+    fn step_budget_trips_and_stays_tripped() {
+        let mut dog = Watchdog::new(NoopObserver, Budget::steps(5));
+        for _ in 0..5 {
+            dog.count(Counter::Steps, 1);
+            assert_eq!(dog.checkpoint(), Ok(()));
+        }
+        dog.count(Counter::Steps, 1);
+        let abort = dog.checkpoint().unwrap_err();
+        assert_eq!(abort.what, "steps");
+        assert_eq!(abort.limit, 5);
+        assert_eq!(abort.actual, 6);
+        // Once tripped, every later poll reports the same abort.
+        assert_eq!(dog.checkpoint().unwrap_err(), abort);
+        assert_eq!(dog.tripped(), Some(abort));
+    }
+
+    #[test]
+    fn reversal_budget_trips() {
+        let mut dog = Watchdog::new(NoopObserver, Budget::unlimited().with_reversals(2));
+        dog.count(Counter::HeadReversals, 3);
+        let abort = dog.checkpoint().unwrap_err();
+        assert_eq!(abort.what, "head_reversals");
+        assert_eq!(abort.actual, 3);
+    }
+
+    #[test]
+    fn wall_budget_trips_on_the_polling_stride() {
+        let mut dog = Watchdog::new(NoopObserver, Budget::unlimited().with_wall(Duration::ZERO));
+        // check 0 reads the clock: elapsed > 0 always holds.
+        let abort = dog.checkpoint().unwrap_err();
+        assert_eq!(abort.what, "wall_ms");
+    }
+
+    #[test]
+    fn wall_clock_is_polled_sparsely() {
+        // With a generous wall budget the clock read on stride boundaries
+        // must not trip.
+        let mut dog = Watchdog::new(
+            NoopObserver,
+            Budget::unlimited().with_wall(Duration::from_secs(3600)),
+        );
+        for _ in 0..5000 {
+            assert_eq!(dog.checkpoint(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn events_forward_to_the_inner_observer() {
+        use crate::recorder::FlightRecorder;
+        let mut dog = Watchdog::new(FlightRecorder::with_capacity(8), Budget::steps(100));
+        dog.count(Counter::Steps, 2);
+        dog.config(1, 2, 1);
+        dog.record(Series::TraceLength, 9);
+        let rec = dog.into_inner();
+        assert_eq!(rec.counter(Counter::Steps), 2);
+        assert_eq!(rec.samples(Series::TraceLength), (1, 9));
+        assert_eq!(rec.len(), 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! End-to-end tests of the `qa-fleet` binary: a green smoke run, a
+//! deterministic rerun, and a budget-tripped fleet leaving a post-mortem.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn qa_fleet(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_qa-fleet"))
+        .args(args)
+        .output()
+        .expect("spawn qa-fleet")
+}
+
+fn tmp(name: &str) -> String {
+    let mut p = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    p.push(name);
+    p.to_str().unwrap().to_string()
+}
+
+#[test]
+fn smoke_run_succeeds_and_writes_exports() {
+    let dir = tmp("fleet-smoke");
+    let out = qa_fleet(&["--smoke", "--out-dir", &dir]);
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("qa-fleet: 12 run(s)"), "{stdout}");
+    assert!(stdout.contains("example-3-4"), "{stdout}");
+    assert!(stdout.contains("0 failed"), "{stdout}");
+
+    let dir = PathBuf::from(&dir);
+    let summary = std::fs::read_to_string(dir.join("summary.txt")).unwrap();
+    assert!(summary.contains("steps   p50"), "{summary}");
+    let prom = std::fs::read_to_string(dir.join("metrics.prom")).unwrap();
+    assert!(prom.contains("qa_fleet_steps_total"), "{prom}");
+    let trace = std::fs::read_to_string(dir.join("trace-0.json")).unwrap();
+    assert!(trace.contains("\"traceEvents\""), "{trace}");
+    assert!(
+        !dir.join("postmortem.txt").exists(),
+        "green run must not leave a post-mortem"
+    );
+}
+
+#[test]
+fn reruns_with_the_same_seed_are_byte_identical() {
+    let a = tmp("fleet-det-a");
+    let b = tmp("fleet-det-b");
+    for dir in [&a, &b] {
+        let out = qa_fleet(&[
+            "--queries",
+            "4",
+            "--docs",
+            "2",
+            "--size",
+            "64",
+            "--seed",
+            "9",
+            "--sample-every",
+            "2",
+            "--out-dir",
+            dir,
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    // Counters, documents and sampling are all seeded, so the merged
+    // registry reproduces byte-for-byte. (The summary and the phase spans
+    // of the trace export carry wall-clock values and are excluded.)
+    let read = |d: &str, f: &str| std::fs::read_to_string(PathBuf::from(d).join(f)).unwrap();
+    assert_eq!(read(&a, "metrics.prom"), read(&b, "metrics.prom"));
+    // Same runs sampled, same step counts inside the exported trace.
+    let counters = |text: &str| {
+        text.split("\"counters\"")
+            .nth(1)
+            .expect("trace has a counters event")
+            .to_string()
+    };
+    assert_eq!(
+        counters(&read(&a, "trace-0.json")),
+        counters(&read(&b, "trace-0.json"))
+    );
+}
+
+#[test]
+fn tripped_budget_fails_the_fleet_and_leaves_a_post_mortem() {
+    let dir = tmp("fleet-abort");
+    let out = qa_fleet(&[
+        "--queries",
+        "1",
+        "--docs",
+        "2",
+        "--size",
+        "64",
+        "--max-steps",
+        "20",
+        "--out-dir",
+        &dir,
+    ]);
+    assert_eq!(out.status.code(), Some(1), "budget trips must fail the run");
+    let post = std::fs::read_to_string(PathBuf::from(&dir).join("postmortem.txt")).unwrap();
+    assert!(post.contains("run aborted by watchdog"), "{post}");
+    assert!(post.contains("flight recorder dump"), "{post}");
+    assert!(post.contains("budget_trips"), "{post}");
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = qa_fleet(&["--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}

@@ -1,0 +1,189 @@
+//! Integration tests: the flight recorder against a ground-truth trace,
+//! and the watchdog against a deliberately looping machine.
+
+use std::time::Duration;
+
+use qa_base::rng::{Rng, StdRng};
+use qa_base::{Alphabet, Error, Symbol};
+use qa_flight::{Budget, FlightEvent, FlightRecorder, Watchdog};
+use qa_obs::{Counter, RunTrace, Tee};
+use qa_twoway::string_qa::example_3_4_qa;
+use qa_twoway::{Dir, Tape, TwoDfa, TwoDfaBuilder};
+
+fn random_word(rng: &mut StdRng, len: usize) -> Vec<Symbol> {
+    (0..len)
+        .map(|_| Symbol::from_index(rng.gen_range(0..2)))
+        .collect()
+}
+
+/// Property: for any run, the config events retained by a capacity-`cap`
+/// flight recorder are exactly the tail of the full configuration sequence
+/// recorded by an unbounded [`RunTrace`], and the exact tallies agree.
+#[test]
+fn recorder_ring_is_the_tail_of_the_full_trace() {
+    let alphabet = Alphabet::from_names(["0", "1"]);
+    let qa = example_3_4_qa(&alphabet);
+    let mut rng = StdRng::seed_from_u64(20260806);
+
+    for case in 0..40 {
+        let len = rng.gen_range(0..60) + 1;
+        let word = random_word(&mut rng, len);
+        let cap = rng.gen_range(1..=64);
+
+        // One run, two sinks: bounded ring and unbounded ground truth.
+        let mut tee = Tee(
+            FlightRecorder::with_capacity(cap),
+            RunTrace::with_capacity(usize::MAX),
+        );
+        qa.query_with(&word, &mut tee).expect("run succeeds");
+        let (rec, trace) = (tee.0, tee.1);
+        assert!(!trace.truncated(), "ground truth must be unbounded");
+
+        // The ring's config events are a suffix of the full sequence.
+        let ring_configs: Vec<(u32, u32, i8)> = rec
+            .events()
+            .filter_map(|ev| match *ev {
+                FlightEvent::Config { state, pos, dir } => Some((state, pos, dir)),
+                _ => None,
+            })
+            .collect();
+        let full: Vec<(u32, u32, i8)> = trace
+            .configs
+            .iter()
+            .map(|c| (c.state, c.pos, c.dir))
+            .collect();
+        assert!(
+            ring_configs.len() <= full.len(),
+            "case {case}: ring retained more configs than exist"
+        );
+        assert_eq!(
+            ring_configs,
+            full[full.len() - ring_configs.len()..],
+            "case {case} (len {len}, cap {cap}): ring != trace tail"
+        );
+
+        // Drop accounting: retained + dropped = total events observed.
+        let total_events = rec.len() as u64 + rec.dropped();
+        assert!(total_events >= full.len() as u64);
+
+        // Exact tallies agree with the ground truth regardless of drops.
+        for c in Counter::ALL {
+            assert_eq!(
+                rec.counter(c),
+                trace.counter(c),
+                "case {case}: counter {} diverged",
+                c.name()
+            );
+        }
+    }
+}
+
+/// A 2DFA that ping-pongs between the right marker and its neighbor
+/// forever (same machine as the twodfa loop-detection test).
+fn ping_pong() -> TwoDfa {
+    let mut b = TwoDfaBuilder::new(1);
+    let q = b.add_state();
+    let r = b.add_state();
+    b.set_initial(q);
+    b.set_action(q, Tape::LeftMarker, Dir::Right, q);
+    b.set_action_all_symbols(q, Dir::Right, q);
+    b.set_action(q, Tape::RightMarker, Dir::Left, r);
+    b.set_action_all_symbols(r, Dir::Right, q);
+    b.set_action(r, Tape::LeftMarker, Dir::Right, q);
+    b.build().unwrap()
+}
+
+/// The watchdog turns a nonterminating run into a graceful
+/// `Err(RunAborted)` — before the engine's own fuel bound would fire — and
+/// the flight recorder's dump names the repeated configuration.
+#[test]
+fn watchdog_aborts_a_looping_run_with_a_post_mortem() {
+    let m = ping_pong();
+    // 50 symbols: the head reaches the right marker after ~51 steps and
+    // ping-pongs from there, so a 100-step budget (just under the engine's
+    // own fuel bound |S|·(|w|+2)+1 = 105) retains ~49 looping configs.
+    let word: Vec<Symbol> = vec![Symbol::from_index(0); 50];
+    let budget = Budget::steps(100);
+    let mut dog = Watchdog::new(FlightRecorder::with_capacity(64), budget);
+
+    let err = m.run_with(&word, &mut dog).expect_err("must abort");
+    match err {
+        Error::RunAborted {
+            what,
+            limit,
+            actual,
+        } => {
+            assert_eq!(what, "steps");
+            assert_eq!(limit, 100);
+            assert!(actual > limit);
+        }
+        other => panic!("expected RunAborted, got {other:?}"),
+    }
+    assert_eq!(dog.tripped().map(|a| a.what), Some("steps"));
+
+    let rec = dog.into_inner();
+    // The engine records the trip in the counter stream.
+    assert_eq!(rec.counter(Counter::BudgetTrips), 1);
+    // The retained window is saturated with the ping-pong pair, so the
+    // dump names a repeated configuration with a high count.
+    let (state, pos, n) = rec.repeated_config().expect("configs retained");
+    assert!(n >= 10, "loop evidence too weak: ({state}, {pos}) x{n}");
+    let dump = rec.dump();
+    assert!(
+        dump.contains("most repeated configuration:"),
+        "dump must name the loop:\n{dump}"
+    );
+    assert!(
+        dump.contains(&format!("q{state} @ {pos}")),
+        "dump must show the hot configuration:\n{dump}"
+    );
+}
+
+/// A wall-clock budget aborts through the same path with `what = wall_ms`.
+#[test]
+fn wall_clock_budget_aborts_through_the_engine() {
+    let m = ping_pong();
+    let word: Vec<Symbol> = vec![Symbol::from_index(0); 100];
+    let mut dog = Watchdog::new(
+        FlightRecorder::new(),
+        Budget::unlimited().with_wall(Duration::ZERO),
+    );
+    let err = m.run_with(&word, &mut dog).expect_err("must abort");
+    assert!(
+        matches!(
+            err,
+            Error::RunAborted {
+                what: "wall_ms",
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+}
+
+/// An unlimited watchdog is transparent: the run result and the observed
+/// event stream match an unwatched run exactly.
+#[test]
+fn unlimited_watchdog_is_transparent() {
+    let alphabet = Alphabet::from_names(["0", "1"]);
+    let qa = example_3_4_qa(&alphabet);
+    let word = [
+        Symbol::from_index(0),
+        Symbol::from_index(1),
+        Symbol::from_index(1),
+        Symbol::from_index(0),
+    ];
+
+    let mut bare = RunTrace::new();
+    let plain = qa.query_with(&word, &mut bare).unwrap();
+
+    let mut dog = Watchdog::new(RunTrace::new(), Budget::unlimited());
+    let watched = qa.query_with(&word, &mut dog).unwrap();
+
+    assert_eq!(plain, watched);
+    let inner = dog.into_inner();
+    assert_eq!(bare.configs, inner.configs);
+    for c in Counter::ALL {
+        assert_eq!(bare.counter(c), inner.counter(c), "{}", c.name());
+    }
+}

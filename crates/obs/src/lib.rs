@@ -33,5 +33,5 @@ pub mod observer;
 pub mod trace;
 
 pub use metrics::{Histogram, HistogramSnapshot, Metrics, MetricsObserver};
-pub use observer::{Counter, NoopObserver, Observer, Series, Tee};
+pub use observer::{Abort, Counter, NoopObserver, Observer, Series, Tee};
 pub use trace::{PhaseSpan, RunTrace, TraceConfig};

@@ -123,6 +123,31 @@ impl Series {
     }
 }
 
+/// A budget violation reported by [`Observer::checkpoint`].
+///
+/// Carried by watchdog sinks back into the run engine, which converts it
+/// into the workspace error type (`Error::RunAborted`) and unwinds the run
+/// gracefully — no panic, no partial output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Abort {
+    /// Which budget tripped: `"steps"`, `"head_reversals"`, `"wall_ms"`, ….
+    pub what: &'static str,
+    /// The configured budget.
+    pub limit: u64,
+    /// The observed value that exceeded it.
+    pub actual: u64,
+}
+
+impl std::fmt::Display for Abort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} = {} exceeded budget {}",
+            self.what, self.actual, self.limit
+        )
+    }
+}
+
 /// Event sink for instrumented engines.
 ///
 /// Every method has an empty `#[inline]` default, so a sink only overrides
@@ -190,6 +215,20 @@ pub trait Observer {
         let _ = (parent, child, state);
     }
 
+    /// A budget checkpoint, polled by run engines once per unit of work
+    /// (one head move, one node examination, one fixpoint round).
+    ///
+    /// The default returns `Ok(())` unconditionally, so [`NoopObserver`]
+    /// and every ordinary sink compile the poll away — the zero-cost
+    /// contract extends to checkpoints. A watchdog sink overrides this to
+    /// return `Err(`[`Abort`]`)` when a step, reversal or wall-clock budget
+    /// is exhausted; engines translate that into a graceful
+    /// `Error::RunAborted` instead of running forever.
+    #[inline]
+    fn checkpoint(&mut self) -> Result<(), Abort> {
+        Ok(())
+    }
+
     /// Whether this sink records anything. Engines may use this to skip
     /// *computing* an expensive event argument; they must not skip the
     /// algorithm itself.
@@ -242,6 +281,10 @@ impl<O: Observer + ?Sized> Observer for &mut O {
         (**self).stay_assign(parent, child, state);
     }
     #[inline]
+    fn checkpoint(&mut self) -> Result<(), Abort> {
+        (**self).checkpoint()
+    }
+    #[inline]
     fn is_enabled(&self) -> bool {
         (**self).is_enabled()
     }
@@ -290,6 +333,14 @@ impl<A: Observer, B: Observer> Observer for Tee<A, B> {
     fn stay_assign(&mut self, parent: u32, child: u32, state: u32) {
         self.0.stay_assign(parent, child, state);
         self.1.stay_assign(parent, child, state);
+    }
+    /// Both sides are polled (so both watchdogs advance their clocks); the
+    /// first abort wins.
+    #[inline]
+    fn checkpoint(&mut self) -> Result<(), Abort> {
+        let a = self.0.checkpoint();
+        let b = self.1.checkpoint();
+        a.and(b)
     }
     #[inline]
     fn is_enabled(&self) -> bool {
@@ -384,6 +435,49 @@ mod tests {
         let mut reference = Recorder::default();
         fire_all(&mut reference);
         assert_eq!(rec.events, reference.events);
+    }
+
+    /// Sink whose checkpoint fails after a configured number of polls.
+    struct Tripwire {
+        polls_left: u32,
+    }
+
+    impl Observer for Tripwire {
+        fn checkpoint(&mut self) -> Result<(), Abort> {
+            if self.polls_left == 0 {
+                return Err(Abort {
+                    what: "polls",
+                    limit: 0,
+                    actual: 1,
+                });
+            }
+            self.polls_left -= 1;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn default_checkpoint_is_ok() {
+        assert_eq!(NoopObserver.checkpoint(), Ok(()));
+        assert_eq!(Recorder::default().checkpoint(), Ok(()));
+        let mut n = NoopObserver;
+        assert_eq!((&mut (&mut n)).checkpoint(), Ok(()));
+    }
+
+    #[test]
+    fn tee_checkpoint_polls_both_and_first_abort_wins() {
+        // Left trips first: both sides still get polled every round.
+        let mut tee = Tee(Tripwire { polls_left: 1 }, Tripwire { polls_left: 3 });
+        assert_eq!(tee.checkpoint(), Ok(()));
+        assert!(tee.checkpoint().is_err());
+        // The right side consumed both polls too.
+        assert_eq!(tee.1.polls_left, 1);
+
+        // Right side trips: its abort surfaces through the Tee.
+        let mut tee = Tee(NoopObserver, Tripwire { polls_left: 0 });
+        let abort = tee.checkpoint().unwrap_err();
+        assert_eq!(abort.what, "polls");
+        assert_eq!(abort.to_string(), "polls = 1 exceeded budget 0");
     }
 
     #[test]

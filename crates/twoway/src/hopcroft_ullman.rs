@@ -210,6 +210,10 @@ pub fn compose_with<O: Observer>(bim: &Bimachine, obs: &mut O) -> Result<Gsqa> {
     builder.set_initial(start);
 
     while let Some(st) = pending.pop() {
+        if let Err(a) = obs.checkpoint() {
+            obs.count(Counter::BudgetTrips, 1);
+            return Err(Error::aborted(a.what, a.limit, a.actual));
+        }
         obs.count(Counter::SummariesExplored, 1);
         let id = index[&st];
         match &st {

@@ -177,6 +177,10 @@ impl TwoDfa {
     /// [`TwoDfa::run`] with an [`Observer`]: every transition-table lookup,
     /// move, head reversal and configuration is reported to `obs`. With
     /// [`NoopObserver`] this monomorphizes to exactly `run`.
+    ///
+    /// `obs.checkpoint()` is polled once per configuration; a failing
+    /// checkpoint (a watchdog budget trip) aborts the run with
+    /// [`Error::RunAborted`].
     pub fn run_with<O: Observer>(&self, word: &[Symbol], obs: &mut O) -> Result<RunRecord> {
         let tape_len = word.len() + 2;
         let fuel = (self.num_states as u64) * (tape_len as u64) + 1;
@@ -187,6 +191,10 @@ impl TwoDfa {
         let mut assumed: Vec<Vec<StateId>> = vec![Vec::new(); tape_len];
         let mut trace: Vec<Config> = Vec::new();
         loop {
+            if let Err(a) = obs.checkpoint() {
+                obs.count(Counter::BudgetTrips, 1);
+                return Err(Error::aborted(a.what, a.limit, a.actual));
+            }
             trace.push((state, pos));
             if !assumed[pos].contains(&state) {
                 assumed[pos].push(state);

@@ -19,6 +19,7 @@
 //! | [`decision`] | non-emptiness / containment / equivalence, corridor tiling | §6 |
 //! | [`obs`] | zero-cost [`Observer`](obs::Observer) instrumentation, [`Metrics`](obs::Metrics), [`RunTrace`](obs::RunTrace) | — |
 //! | [`probe`] | selection provenance ([`ProvenanceObserver`](probe::ProvenanceObserver)), Chrome trace-event / Prometheus exports, trace diffing, the `qa-trace` CLI | §3–5 certificates |
+//! | [`flight`] | always-on telemetry: [`FlightRecorder`](flight::FlightRecorder) ring, [`Watchdog`](flight::Watchdog) budgets, deterministic sampling, the `qa-fleet` batch runner | — |
 //! | [`xml`] | XML subset, DTDs, validation (Figures 1–4) | §1 |
 //!
 //! ## Quickstart
@@ -42,6 +43,7 @@
 pub use qa_base as base;
 pub use qa_core as core;
 pub use qa_decision as decision;
+pub use qa_flight as flight;
 pub use qa_mso as mso;
 pub use qa_obs as obs;
 pub use qa_probe as probe;
@@ -60,6 +62,7 @@ pub mod prelude {
     pub use qa_core::unranked::{
         Dbtau, Nbtau, StayRule, StrongQa, TwoWayUnranked, TwoWayUnrankedBuilder, UnrankedQa,
     };
+    pub use qa_flight::{Budget, FlightRecorder, Watchdog};
     pub use qa_mso::{parse as parse_mso, Formula};
     pub use qa_obs::{Metrics, NoopObserver, Observer, RunTrace};
     pub use qa_probe::{Explanation, ProvenanceObserver};
