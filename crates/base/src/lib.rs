@@ -9,6 +9,8 @@
 //! nodes, letters on string positions and transition-table keys are all plain
 //! `u32` newtypes.
 
+#![deny(missing_docs)]
+
 pub mod alphabet;
 pub mod error;
 pub mod idvec;

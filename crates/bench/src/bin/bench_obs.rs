@@ -14,6 +14,7 @@
 //! bench_obs [out.json]                 # write the report (default BENCH_obs.json)
 //! bench_obs --check [--baseline FILE] [--tolerance F]
 //! bench_obs --overhead [--gate]       # observer overhead self-measurement
+//! bench_obs --par [--gate]            # parallel+memoized batch vs sequential
 //! ```
 //!
 //! `--check` regenerates the report in memory and gates it against the
@@ -32,6 +33,16 @@
 //! machine-dependent, so the gate only catches catastrophic regressions
 //! (an accidental allocation or syscall per event), not percent-level
 //! noise.
+//!
+//! `--par` runs a repetition-heavy batch (string queries over a small
+//! document pool plus repeated §6 decision calls) two ways — plain
+//! sequential engines, then `qa-par` with 4 workers and per-worker
+//! [`qa_par::BehaviorCache`]s — asserts the outcomes are identical, and
+//! reports the wall-clock speedup and cache hit rate to stdout and
+//! `BENCH_obs_par.json` (informational; `--check` never reads it). With
+//! `--gate` it fails unless the speedup is ≥ 2x and the caches actually
+//! hit. The speedup floor is deliberately achievable on a single-core
+//! runner: memoization, not the thread count, carries it.
 
 use qa_base::{Alphabet, Symbol};
 use qa_obs::json::{object, ObjectWriter, Value};
@@ -167,6 +178,36 @@ fn generate_report() -> String {
                 &mut m.observer(),
             )
             .unwrap();
+        });
+
+        // Cached batch evaluation: 8 repeats of one word through a shared
+        // CrossingCache — the cache_hits/cache_misses counters are the
+        // deterministic fingerprint of the Theorem 3.9 memoization.
+        scenario(w, "example_3_4_cached_batch", |m| {
+            let a = Alphabet::from_names(["0", "1"]);
+            let qa = qa_twoway::string_qa::example_3_4_qa(&a);
+            let word = qa_bench::random_word(512, 34);
+            let mut cache = qa_twoway::CrossingCache::new();
+            for _ in 0..8 {
+                qa.query_cached(&word, &mut cache, &mut m.observer());
+            }
+        });
+
+        // Repeated non-emptiness through a SummaryCache: the second call
+        // must answer every subtree summary from the cache.
+        scenario(w, "thm_6_3_nonemptiness_cached", |m| {
+            let sigma = qa_bench::circuit_alphabet();
+            let qa = qa_core::ranked::query::example_4_4(&sigma);
+            let mut cache = qa_decision::ranked_decisions::SummaryCache::new();
+            for _ in 0..2 {
+                qa_decision::ranked_decisions::non_emptiness_cached(
+                    &qa,
+                    qa_decision::ranked_decisions::DEFAULT_MAX_ITEMS,
+                    &mut cache,
+                    &mut m.observer(),
+                )
+                .unwrap();
+            }
         });
 
         // §6 string decisions: equivalence via crossing-sequence NFAs.
@@ -329,11 +370,233 @@ fn overhead(gate: bool) -> usize {
     violations
 }
 
+/// A 2DFA that makes `sweeps` full right-then-left passes over the word
+/// before accepting, selecting positions labelled `1` on the first
+/// leftward sweep.
+///
+/// Behavior analysis collapses all those sweeps into one crossing-sequence
+/// table per word, so the per-word work of `query_via_behavior` grows with
+/// `sweeps` while a [`qa_twoway::CrossingCache`] pays it once per distinct
+/// word — the workload that makes memoization, not thread count, carry the
+/// `--par` gate.
+fn zigzag_qa(a: &Alphabet, sweeps: usize) -> qa_twoway::StringQa {
+    use qa_twoway::twodfa::{Dir, TwoDfaBuilder};
+    use qa_twoway::Tape;
+    let mut b = TwoDfaBuilder::new(a.len());
+    let rs: Vec<_> = (0..sweeps).map(|_| b.add_state()).collect();
+    let ls: Vec<_> = (0..sweeps).map(|_| b.add_state()).collect();
+    let f = b.add_state();
+    b.set_initial(rs[0]);
+    b.set_final(f, true);
+    for i in 0..sweeps {
+        b.set_action(rs[i], Tape::LeftMarker, Dir::Right, rs[i]);
+        b.set_action_all_symbols(rs[i], Dir::Right, rs[i]);
+        b.set_action(rs[i], Tape::RightMarker, Dir::Left, ls[i]);
+        b.set_action_all_symbols(ls[i], Dir::Left, ls[i]);
+        let next = if i + 1 < sweeps { rs[i + 1] } else { f };
+        b.set_action(ls[i], Tape::LeftMarker, Dir::Right, next);
+    }
+    let mut qa = qa_twoway::StringQa::new(b.build().expect("valid zigzag 2DFA"));
+    qa.set_selecting(ls[0], a.symbol("1"), true);
+    qa
+}
+
+/// Parallel + memoized batch evaluation vs the plain sequential engines.
+///
+/// Returns the number of gate violations (0 when `gate` is false). The
+/// candidate must produce outcomes identical to the baseline (asserted
+/// unconditionally), and under `--gate` must be ≥ 2x faster with a nonzero
+/// cache hit count. The batch is repetition-heavy by design — a small
+/// document pool and identical decision calls — so the BehaviorCache, not
+/// the worker count, supplies the speedup; the gate therefore also passes
+/// on single-core CI runners.
+fn par_bench(gate: bool) -> usize {
+    use qa_decision::ranked_decisions::{non_emptiness_with, DEFAULT_MAX_ITEMS};
+    use qa_obs::{Counter, Metrics, NoopObserver};
+    use qa_par::{par_evaluate, par_evaluate_with, Job, Outcome};
+
+    const WORKERS: usize = 4;
+
+    let a = Alphabet::from_names(["0", "1"]);
+    // 16 sweeps: deep enough that the behavior table dwarfs the shared
+    // selection pass, shallow enough that one uncached run stays in the
+    // low milliseconds.
+    let sqa = zigzag_qa(&a, 16);
+    let words: Vec<Vec<Symbol>> = (0..6)
+        .map(|i| qa_bench::random_word(1024, 40 + i as u64))
+        .collect();
+    let circ = qa_bench::circuit_alphabet();
+    let rqa = qa_core::ranked::query::example_4_4(&circ);
+
+    // Wide flat trees for the SQAu: every inner node's up/stay decision
+    // reads its full children pair-string, so on repeated documents the
+    // memoized decision replaces classifier + matcher + GSQA runs.
+    let uqa = qa_core::unranked::query::example_5_14(&a);
+    let zero = a.symbol("0");
+    let one = a.symbol("1");
+    let utrees: Vec<Tree> = (0..6)
+        .map(|d| {
+            let mut t = Tree::leaf(zero);
+            for i in 0..512usize {
+                t.add_child(t.root(), if (i + d) % 3 == 0 { one } else { zero });
+            }
+            t
+        })
+        .collect();
+
+    // A compiled MSO unary query: the prepared form pays totalization once
+    // per batch instead of once per document.
+    let mut ma = Alphabet::from_names(["s", "t"]);
+    let phi = qa_mso::parse("leaf(v) & (ex r. (root(r) & label(r, s)))", &mut ma).unwrap();
+    let dbta = qa_mso::compile_ranked::compile_unary(&phi, "v", 2, 2).unwrap();
+    let prepared = qa_mso::PreparedUnary::new(&dbta, 2);
+    // Small complete trees (heights 2..4): evaluation itself is cheap, so
+    // the per-call totalization that `PreparedUnary` amortizes dominates.
+    let mtrees: Vec<Tree> = (2..5)
+        .map(|h| qa_trees::generate::complete(ma.symbol("s"), 2, h))
+        .collect();
+
+    let mut jobs: Vec<Job> = Vec::new();
+    for r in 0..40 {
+        for w in &words {
+            jobs.push(Job::String { qa: &sqa, word: w });
+        }
+        if r < 4 {
+            for t in &utrees {
+                jobs.push(Job::Unranked { qa: &uqa, tree: t });
+            }
+        }
+        for t in &mtrees {
+            jobs.push(Job::Mso {
+                query: &prepared,
+                tree: t,
+                unranked: false,
+            });
+        }
+    }
+    for _ in 0..8 {
+        jobs.push(Job::NonEmptiness {
+            qa: &rqa,
+            max_items: DEFAULT_MAX_ITEMS,
+        });
+    }
+
+    // Baseline: the plain uncached engines, one job after another (for the
+    // MSO jobs that includes the per-call totalization the prepared form
+    // amortizes away).
+    let seq_run = || -> Vec<Outcome> {
+        jobs.iter()
+            .map(|job| match *job {
+                Job::String { qa, word } => Outcome::Positions(qa.query_via_behavior(word)),
+                Job::Unranked { qa, tree } => match qa.query(tree) {
+                    Ok(nodes) => Outcome::Nodes(nodes),
+                    Err(e) => Outcome::Error(e.to_string()),
+                },
+                Job::Mso { tree, .. } => {
+                    Outcome::Nodes(qa_mso::query_eval::eval_unary_ranked(&dbta, tree, 2))
+                }
+                Job::NonEmptiness { qa, max_items } => {
+                    match non_emptiness_with(qa, max_items, &mut NoopObserver) {
+                        Ok(w) => Outcome::Witness(w.map(|w| (w.tree.num_nodes(), w.node))),
+                        Err(e) => Outcome::Error(e.to_string()),
+                    }
+                }
+                _ => unreachable!("batch contains no ranked/containment jobs"),
+            })
+            .collect()
+    };
+    let par_run = || par_evaluate(WORKERS, &jobs);
+
+    let time_best_of = |runs: usize, f: &dyn Fn() -> Vec<Outcome>| -> (Vec<Outcome>, f64) {
+        let mut best = f64::INFINITY;
+        let mut out = Vec::new();
+        for _ in 0..runs {
+            let t0 = std::time::Instant::now();
+            out = f();
+            best = best.min(t0.elapsed().as_nanos() as f64);
+        }
+        (out, best)
+    };
+    let (seq_out, seq_ns) = time_best_of(3, &seq_run);
+    let (par_out, par_ns) = time_best_of(3, &par_run);
+    assert_eq!(
+        seq_out, par_out,
+        "parallel cached outcomes must be identical to sequential uncached"
+    );
+
+    // Instrumented pass for the hit rate (not timed).
+    let regs: Vec<Metrics> = (0..WORKERS).map(|_| Metrics::new()).collect();
+    let instrumented = par_evaluate_with(WORKERS, &jobs, |wid| regs[wid].observer());
+    assert_eq!(
+        instrumented, seq_out,
+        "instrumentation must not change results"
+    );
+    let hits: u64 = regs.iter().map(|m| m.get(Counter::CacheHits)).sum();
+    let misses: u64 = regs.iter().map(|m| m.get(Counter::CacheMisses)).sum();
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    let speedup = seq_ns / par_ns.max(1.0);
+
+    println!();
+    println!("{:<26} {:>14}", "batch", format!("{} job(s)", jobs.len()));
+    println!("{:<26} {:>14.2} ms", "sequential uncached", seq_ns / 1e6);
+    println!(
+        "{:<26} {:>14.2} ms",
+        format!("parallel({WORKERS}) cached"),
+        par_ns / 1e6
+    );
+    println!("{:<26} {:>13.2}x", "speedup", speedup);
+    println!(
+        "{:<26} {:>10} / {:>6} ({:.1}%)",
+        "cache hits/misses",
+        hits,
+        misses,
+        hit_rate * 100.0
+    );
+
+    // Informational export; --check never reads this file (wall-clock
+    // numbers are machine-dependent).
+    let report = object(|w| {
+        w.field_u64("workers", WORKERS as u64);
+        w.field_u64("jobs", jobs.len() as u64);
+        w.field_f64("seq_ns", seq_ns);
+        w.field_f64("par_ns", par_ns);
+        w.field_f64("speedup", speedup);
+        w.field_u64("cache_hits", hits);
+        w.field_u64("cache_misses", misses);
+        w.field_f64("hit_rate", hit_rate);
+    });
+    std::fs::write("BENCH_obs_par.json", format!("{report}\n")).expect("write BENCH_obs_par.json");
+    println!("wrote BENCH_obs_par.json");
+
+    let mut violations = 0usize;
+    if gate {
+        if speedup < 2.0 {
+            println!("gate: FAIL — speedup {speedup:.2}x < 2.0x");
+            violations += 1;
+        }
+        if hits == 0 {
+            println!("gate: FAIL — BehaviorCache never hit");
+            violations += 1;
+        }
+        if violations == 0 {
+            println!("gate: OK — {speedup:.2}x speedup, {hits} cache hit(s)");
+        }
+    }
+    violations
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--overhead") {
         let gate = args.iter().any(|a| a == "--gate");
         if overhead(gate) > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args.iter().any(|a| a == "--par") {
+        let gate = args.iter().any(|a| a == "--gate");
+        if par_bench(gate) > 0 {
             std::process::exit(1);
         }
         return;

@@ -28,6 +28,8 @@
 //!   automata (Definitions 5.11–5.13); plain [`unranked::UnrankedQa`]
 //!   remains available to exhibit the Proposition 5.10 weakness.
 
+#![deny(missing_docs)]
+
 pub mod ranked;
 pub mod unranked;
 

@@ -1,5 +1,6 @@
 //! Automata on unranked trees (Section 5 of the paper).
 
+pub mod cache;
 pub mod dbta;
 pub mod emptiness;
 pub mod ops;
@@ -7,6 +8,7 @@ pub mod query;
 pub mod stay;
 pub mod twoway;
 
+pub use cache::UpCache;
 pub use dbta::{Dbtau, Nbtau};
 pub use query::{StrongQa, UnrankedQa};
 pub use stay::StayRule;

@@ -67,7 +67,34 @@ impl UnrankedQa {
         obs.phase_start("run");
         let rec = self.machine.run_with(tree, obs);
         obs.phase_end("run");
-        let rec = rec?;
+        self.select_from_record(tree, rec?, obs)
+    }
+
+    /// [`UnrankedQa::query`] with up/stay decisions memoized in `cache`
+    /// (see [`super::UpCache`]): across a document batch, repeated children
+    /// pair-strings — the dominant cost of SQAu evaluation — are answered by
+    /// hash lookups instead of classifier/matcher/GSQA runs. Results are
+    /// identical to [`UnrankedQa::query`]; cache hits and misses are
+    /// reported to `obs`.
+    pub fn query_cached<O: Observer>(
+        &self,
+        tree: &Tree,
+        cache: &mut super::UpCache,
+        obs: &mut O,
+    ) -> Result<Vec<NodeId>> {
+        obs.phase_start("run");
+        let rec = self.machine.run_cached(tree, cache, obs);
+        obs.phase_end("run");
+        self.select_from_record(tree, rec?, obs)
+    }
+
+    /// Shared selection scan over a finished run record.
+    fn select_from_record<O: Observer>(
+        &self,
+        tree: &Tree,
+        rec: super::UnrankedRunRecord,
+        obs: &mut O,
+    ) -> Result<Vec<NodeId>> {
         if !rec.accepted {
             return Ok(Vec::new());
         }

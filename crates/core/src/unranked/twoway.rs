@@ -7,6 +7,7 @@ use qa_obs::{Counter, NoopObserver, Observer, Series};
 use qa_strings::{Dfa, SlenderLang, StateId};
 use qa_trees::{NodeId, Tree};
 
+use super::cache::{UpCache, UpEntry};
 use super::stay::{pair_alphabet_len, pair_symbol, StayRule};
 use crate::ranked::twoway::Polarity;
 
@@ -359,6 +360,54 @@ impl TwoWayUnranked {
         self.stay.is_some()
     }
 
+    /// Fingerprint of the structure an [`UpCache`] decision depends on: the
+    /// up classifier table and its assignment, the stay matcher table and
+    /// budget, and the basic shape. Computed once per cached run.
+    pub(crate) fn cache_fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.num_states.hash(&mut h);
+        self.alphabet_len.hash(&mut h);
+        let pal = pair_alphabet_len(self.num_states, self.alphabet_len);
+        let hash_dfa = |dfa: &Dfa, h: &mut std::collections::hash_map::DefaultHasher| {
+            dfa.num_states().hash(h);
+            dfa.initial().index().hash(h);
+            for i in 0..dfa.num_states() {
+                let s = StateId::from_index(i);
+                dfa.is_accepting(s).hash(h);
+                for a in 0..pal {
+                    match dfa.next(s, Symbol::from_index(a)) {
+                        None => usize::MAX.hash(h),
+                        Some(t) => t.index().hash(h),
+                    }
+                }
+            }
+        };
+        match &self.up_classifier {
+            None => 0u8.hash(&mut h),
+            Some(c) => {
+                1u8.hash(&mut h);
+                hash_dfa(c, &mut h);
+            }
+        }
+        let mut assign: Vec<(usize, usize)> = self
+            .up_assign
+            .iter()
+            .map(|(k, v)| (k.index(), v.index()))
+            .collect();
+        assign.sort_unstable();
+        assign.hash(&mut h);
+        match &self.stay {
+            None => 0u8.hash(&mut h),
+            Some(s) => {
+                1u8.hash(&mut h);
+                s.max_stays_per_node.hash(&mut h);
+                hash_dfa(&s.matcher, &mut h);
+            }
+        }
+        h.finish()
+    }
+
     /// Classify a children pair-string: `Some(q)` if it lies in `L↑(q)`.
     pub fn classify_up(&self, pairs: &[(StateId, Symbol)]) -> Option<StateId> {
         let classifier = self.up_classifier.as_ref()?;
@@ -406,6 +455,31 @@ impl TwoWayUnranked {
     /// certificate behind the assignment. With [`NoopObserver`] this
     /// monomorphizes to exactly `run`.
     pub fn run_with<O: Observer>(&self, tree: &Tree, obs: &mut O) -> Result<UnrankedRunRecord> {
+        self.run_impl(tree, None, obs)
+    }
+
+    /// [`TwoWayUnranked::run_with`] with up/stay decisions memoized in
+    /// `cache` (see [`UpCache`]): every distinct children pair-string runs
+    /// the classifier, stay matcher and stay rule exactly once — on this
+    /// tree or any earlier tree run through the same cache. Results are
+    /// identical to the uncached run; cache hits and misses are reported to
+    /// `obs`.
+    pub fn run_cached<O: Observer>(
+        &self,
+        tree: &Tree,
+        cache: &mut UpCache,
+        obs: &mut O,
+    ) -> Result<UnrankedRunRecord> {
+        cache.ensure_machine(self);
+        self.run_impl(tree, Some(cache), obs)
+    }
+
+    fn run_impl<O: Observer>(
+        &self,
+        tree: &Tree,
+        mut cache: Option<&mut UpCache>,
+        obs: &mut O,
+    ) -> Result<UnrankedRunRecord> {
         let fuel = self.default_fuel(tree);
         let n = tree.num_nodes();
         let mut state: Vec<Option<StateId>> = vec![None; n];
@@ -516,57 +590,81 @@ impl TwoWayUnranked {
                     }
                     if ok {
                         obs.count(Counter::TableLookups, 1);
-                        if let Some(q2) = self.classify_up(&pairs) {
-                            obs.count(Counter::Steps, 1);
-                            obs.config(q2.index() as u32, v.index() as u32, -1);
-                            for &c in tree.children(v) {
-                                state[c.index()] = None;
+                        // One decision per pair-string: from the cache when
+                        // one is supplied, else computed in place. The
+                        // uncached path defers the stay-rule application
+                        // until after the budget check below.
+                        let decision = match cache.as_deref_mut() {
+                            Some(c) => c.decide(self, &pairs, obs)?,
+                            None => {
+                                if let Some(q2) = self.classify_up(&pairs) {
+                                    UpEntry::Up(q2)
+                                } else if self.matches_stay(&pairs) {
+                                    UpEntry::Stay(Vec::new())
+                                } else {
+                                    UpEntry::Stuck
+                                }
                             }
-                            state[v.index()] = Some(q2);
-                            assume(&mut assumed, v, q2);
-                            if let Some(p) = tree.parent(v) {
-                                enqueue(&mut queue, &mut queued, p);
+                        };
+                        match decision {
+                            UpEntry::Up(q2) => {
+                                obs.count(Counter::Steps, 1);
+                                obs.config(q2.index() as u32, v.index() as u32, -1);
+                                for &c in tree.children(v) {
+                                    state[c.index()] = None;
+                                }
+                                state[v.index()] = Some(q2);
+                                assume(&mut assumed, v, q2);
+                                if let Some(p) = tree.parent(v) {
+                                    enqueue(&mut queue, &mut queued, p);
+                                }
+                                continue;
                             }
-                            continue;
-                        }
-                        if self.matches_stay(&pairs) {
-                            let budget = self
-                                .stay
-                                .as_ref()
-                                .map(|s| s.max_stays_per_node)
-                                .unwrap_or(0);
-                            if stays[v.index()] >= budget {
-                                return Err(Error::ill_formed(
-                                    "S2DTAu",
-                                    format!(
-                                        "stay budget ({budget}) exhausted at a node — \
-                                         the machine is not strong"
-                                    ),
-                                ));
+                            UpEntry::Stay(precomputed) => {
+                                let budget = self
+                                    .stay
+                                    .as_ref()
+                                    .map(|s| s.max_stays_per_node)
+                                    .unwrap_or(0);
+                                if stays[v.index()] >= budget {
+                                    return Err(Error::ill_formed(
+                                        "S2DTAu",
+                                        format!(
+                                            "stay budget ({budget}) exhausted at a node — \
+                                             the machine is not strong"
+                                        ),
+                                    ));
+                                }
+                                let new_states = if precomputed.is_empty() && !pairs.is_empty() {
+                                    let rule = &self.stay.as_ref().expect("matched").rule;
+                                    let out = rule.apply(&pairs, self.alphabet_len)?;
+                                    if out.len() != pairs.len() {
+                                        return Err(Error::ill_formed(
+                                            "S2DTAu",
+                                            "stay rule must emit one state per child",
+                                        ));
+                                    }
+                                    out
+                                } else {
+                                    precomputed
+                                };
+                                stays[v.index()] += 1;
+                                obs.count(Counter::Steps, 1);
+                                obs.count(Counter::StayRounds, 1);
+                                for (&c, q2) in tree.children(v).iter().zip(new_states) {
+                                    obs.stay_assign(
+                                        v.index() as u32,
+                                        c.index() as u32,
+                                        q2.index() as u32,
+                                    );
+                                    obs.config(q2.index() as u32, c.index() as u32, 0);
+                                    state[c.index()] = Some(q2);
+                                    assume(&mut assumed, c, q2);
+                                    enqueue(&mut queue, &mut queued, c);
+                                }
+                                continue;
                             }
-                            let rule = &self.stay.as_ref().expect("matched").rule;
-                            let new_states = rule.apply(&pairs, self.alphabet_len)?;
-                            if new_states.len() != pairs.len() {
-                                return Err(Error::ill_formed(
-                                    "S2DTAu",
-                                    "stay rule must emit one state per child",
-                                ));
-                            }
-                            stays[v.index()] += 1;
-                            obs.count(Counter::Steps, 1);
-                            obs.count(Counter::StayRounds, 1);
-                            for (&c, q2) in tree.children(v).iter().zip(new_states) {
-                                obs.stay_assign(
-                                    v.index() as u32,
-                                    c.index() as u32,
-                                    q2.index() as u32,
-                                );
-                                obs.config(q2.index() as u32, c.index() as u32, 0);
-                                state[c.index()] = Some(q2);
-                                assume(&mut assumed, c, q2);
-                                enqueue(&mut queue, &mut queued, c);
-                            }
-                            continue;
+                            UpEntry::Stuck => {}
                         }
                     }
                 }

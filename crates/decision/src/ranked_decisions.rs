@@ -71,6 +71,176 @@ pub struct RankedWitness {
 /// summaries can be exponential in the state count).
 pub const DEFAULT_MAX_ITEMS: usize = 50_000;
 
+/// Interned subtree summaries reused across decision calls (the qa-par
+/// `BehaviorCache` layer for the §6 fixpoints).
+///
+/// Summaries are pure functions of `(label, marked, children summaries)`
+/// and the machine family, so the cache interns every summary it computes
+/// and keys derived summaries by the *ids* of their children: repeated
+/// decision calls on the same machines (the common case in batch traffic —
+/// the same query checked against many documents' schemas, or the same
+/// containment probed under different budgets) skip the behavior-function
+/// recomputation entirely. Used by [`non_emptiness_cached`] and
+/// [`containment_cached`]; results are identical to the uncached calls.
+///
+/// The cache records a fingerprint of each machine's enumerable structure
+/// (states, polarity, leaf/root/down tables, finals, selection function)
+/// and resets itself when handed a different family. Up transitions are not
+/// publicly enumerable and are excluded from the fingerprint, so reuse the
+/// cache only across calls on the *same* machine values.
+#[derive(Debug, Default)]
+pub struct SummaryCache {
+    /// Interned summary keys by id.
+    keys: Vec<Key>,
+    /// Leaf summaries: `(label, marked)` → key id.
+    leaves: HashMap<(Symbol, bool), u32>,
+    /// Derived summaries: `(label, marked, children key ids)` → key id.
+    inners: HashMap<(Symbol, bool, Box<[u32]>), u32>,
+    /// Fingerprint of the machine family the summaries belong to.
+    fingerprint: Option<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SummaryCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct summaries interned so far.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether no summaries are interned.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Lookups answered from the cache since creation (or last [`clear`]).
+    ///
+    /// [`clear`]: SummaryCache::clear
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to compute a fresh summary.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drop all interned summaries and reset the statistics.
+    pub fn clear(&mut self) {
+        self.keys.clear();
+        self.leaves.clear();
+        self.inners.clear();
+        self.fingerprint = None;
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Reset the cache if `machines` differ from the family the interned
+    /// summaries were computed for. Called once per decision call.
+    fn ensure_family(&mut self, machines: &[&RankedQa]) {
+        let fp = family_fingerprint(machines);
+        if self.fingerprint != Some(fp) {
+            self.clear();
+            self.fingerprint = Some(fp);
+        }
+    }
+
+    fn intern(&mut self, key: &Key) -> u32 {
+        let id = self.keys.len() as u32;
+        self.keys.push(key.clone());
+        id
+    }
+
+    /// The leaf summary for `(label, marked)`, interned.
+    fn leaf<O: Observer>(
+        &mut self,
+        machines: &[&RankedQa],
+        label: Symbol,
+        marked: bool,
+        obs: &mut O,
+    ) -> (Key, u32) {
+        if let Some(&id) = self.leaves.get(&(label, marked)) {
+            self.hits += 1;
+            obs.count(Counter::CacheHits, 1);
+            return (self.keys[id as usize].clone(), id);
+        }
+        self.misses += 1;
+        obs.count(Counter::CacheMisses, 1);
+        let key = leaf_item(machines, label, marked).key;
+        let id = self.intern(&key);
+        self.leaves.insert((label, marked), id);
+        (key, id)
+    }
+
+    /// The derived summary for `(label, marked, children)`, interned. The
+    /// children are given both as cache ids (the lookup key) and as keys
+    /// (to compute the summary on a miss).
+    fn inner<O: Observer>(
+        &mut self,
+        machines: &[&RankedQa],
+        label: Symbol,
+        marked: bool,
+        child_ids: &[u32],
+        children: &[&Key],
+        obs: &mut O,
+    ) -> (Key, u32) {
+        let lookup = (label, marked, child_ids.into());
+        if let Some(&id) = self.inners.get(&lookup) {
+            self.hits += 1;
+            obs.count(Counter::CacheHits, 1);
+            return (self.keys[id as usize].clone(), id);
+        }
+        self.misses += 1;
+        obs.count(Counter::CacheMisses, 1);
+        let key = inner_key(machines, label, marked, children);
+        let id = self.intern(&key);
+        self.inners.insert(lookup, id);
+        (key, id)
+    }
+}
+
+/// Fingerprint of the enumerable structure of a machine family (see
+/// [`SummaryCache`] for what is and is not covered).
+fn family_fingerprint(machines: &[&RankedQa]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    machines.len().hash(&mut h);
+    for qa in machines {
+        let m = qa.machine();
+        m.num_states().hash(&mut h);
+        m.alphabet_len().hash(&mut h);
+        m.max_rank().hash(&mut h);
+        m.initial().index().hash(&mut h);
+        for s in 0..m.num_states() {
+            let q = StateId::from_index(s);
+            m.is_final(q).hash(&mut h);
+            for a in 0..m.alphabet_len() {
+                let sym = Symbol::from_index(a);
+                qa.is_selecting(q, sym).hash(&mut h);
+                (m.polarity(q, sym) == Some(Polarity::Down)).hash(&mut h);
+                m.leaf(q, sym).map(|t| t.index()).hash(&mut h);
+                m.root(q, sym).map(|t| t.index()).hash(&mut h);
+                for n in 1..=m.max_rank() {
+                    match m.down(q, sym, n) {
+                        None => 0usize.hash(&mut h),
+                        Some(states) => {
+                            for st in states {
+                                (st.index() + 1).hash(&mut h);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
 fn leaf_item(machines: &[&RankedQa], label: Symbol, marked: bool) -> Item {
     let behs = machines
         .iter()
@@ -241,6 +411,7 @@ fn explore<O: Observer>(
     machines: &[&RankedQa],
     max_items: usize,
     stop_when: Option<&dyn Fn(&Item) -> bool>,
+    mut cache: Option<&mut SummaryCache>,
     obs: &mut O,
 ) -> Result<Vec<Item>> {
     let sigma = machines[0].machine().alphabet_len();
@@ -248,24 +419,47 @@ fn explore<O: Observer>(
     for qa in machines {
         assert_eq!(qa.machine().alphabet_len(), sigma, "mismatched alphabets");
     }
+    if let Some(c) = cache.as_deref_mut() {
+        c.ensure_family(machines);
+    }
     let mut items: Vec<Item> = Vec::new();
+    // cache key id per item; parallel to `items`, only written with a cache.
+    let mut item_cids: Vec<u32> = Vec::new();
     let mut seen: HashMap<Key, usize> = HashMap::new();
-    let push =
-        |items: &mut Vec<Item>, seen: &mut HashMap<Key, usize>, obs: &mut O, it: Item| -> bool {
-            if seen.contains_key(&it.key) {
-                return false;
-            }
-            seen.insert(it.key.clone(), items.len());
-            items.push(it);
-            obs.count(Counter::SummariesExplored, 1);
-            obs.count(Counter::BudgetConsumed, 1);
-            true
-        };
+    let push = |items: &mut Vec<Item>,
+                item_cids: &mut Vec<u32>,
+                seen: &mut HashMap<Key, usize>,
+                obs: &mut O,
+                it: Item,
+                cid: u32|
+     -> bool {
+        if seen.contains_key(&it.key) {
+            return false;
+        }
+        seen.insert(it.key.clone(), items.len());
+        items.push(it);
+        item_cids.push(cid);
+        obs.count(Counter::SummariesExplored, 1);
+        obs.count(Counter::BudgetConsumed, 1);
+        true
+    };
     for a in 0..sigma {
         for marked in [false, true] {
-            let it = leaf_item(machines, Symbol::from_index(a), marked);
+            let (it, cid) = match cache.as_deref_mut() {
+                Some(c) => {
+                    let (key, cid) = c.leaf(machines, Symbol::from_index(a), marked, obs);
+                    (
+                        Item {
+                            key,
+                            children_idx: Vec::new(),
+                        },
+                        cid,
+                    )
+                }
+                None => (leaf_item(machines, Symbol::from_index(a), marked), 0),
+            };
             let hit = stop_when.is_some_and(|p| p(&it));
-            push(&mut items, &mut seen, obs, it);
+            push(&mut items, &mut item_cids, &mut seen, obs, it, cid);
             if hit {
                 return Ok(items);
             }
@@ -305,8 +499,24 @@ fn explore<O: Observer>(
                             }
                             let child_keys: Vec<&Key> =
                                 tuple.iter().map(|&i| &items[i].key).collect();
-                            let key =
-                                inner_key(machines, Symbol::from_index(a), marked, &child_keys);
+                            let (key, cid) = match cache.as_deref_mut() {
+                                Some(c) => {
+                                    let child_cids: Vec<u32> =
+                                        tuple.iter().map(|&i| item_cids[i]).collect();
+                                    c.inner(
+                                        machines,
+                                        Symbol::from_index(a),
+                                        marked,
+                                        &child_cids,
+                                        &child_keys,
+                                        obs,
+                                    )
+                                }
+                                None => (
+                                    inner_key(machines, Symbol::from_index(a), marked, &child_keys),
+                                    0,
+                                ),
+                            };
                             if seen.contains_key(&key) {
                                 continue;
                             }
@@ -315,7 +525,7 @@ fn explore<O: Observer>(
                                 children_idx: tuple.clone(),
                             };
                             let hit = stop_when.is_some_and(|p| p(&it));
-                            if push(&mut items, &mut seen, obs, it) {
+                            if push(&mut items, &mut item_cids, &mut seen, obs, it, cid) {
                                 added = true;
                             }
                             if hit {
@@ -404,9 +614,31 @@ pub fn non_emptiness_with<O: Observer>(
     max_items: usize,
     obs: &mut O,
 ) -> Result<Option<RankedWitness>> {
+    non_emptiness_impl(qa, max_items, None, obs)
+}
+
+/// [`non_emptiness_with`] with subtree summaries interned in `cache` (see
+/// [`SummaryCache`]): a repeated call on the same machine answers every
+/// summary from the cache. Results are identical to the uncached call;
+/// cache hits and misses are reported to `obs`.
+pub fn non_emptiness_cached<O: Observer>(
+    qa: &RankedQa,
+    max_items: usize,
+    cache: &mut SummaryCache,
+    obs: &mut O,
+) -> Result<Option<RankedWitness>> {
+    non_emptiness_impl(qa, max_items, Some(cache), obs)
+}
+
+fn non_emptiness_impl<O: Observer>(
+    qa: &RankedQa,
+    max_items: usize,
+    cache: Option<&mut SummaryCache>,
+    obs: &mut O,
+) -> Result<Option<RankedWitness>> {
     let hit = |it: &Item| it.key.has_mark && matches!(root_verdict(qa, it, 0), Some((true, true)));
     obs.phase_start("summary fixpoint");
-    let items = explore(&[qa], max_items, Some(&hit), obs);
+    let items = explore(&[qa], max_items, Some(&hit), cache, obs);
     obs.phase_end("summary fixpoint");
     let items = items?;
     match items.last() {
@@ -447,13 +679,36 @@ pub fn containment_with<O: Observer>(
     max_items: usize,
     obs: &mut O,
 ) -> Result<Option<RankedWitness>> {
+    containment_impl(a1, a2, max_items, None, obs)
+}
+
+/// [`containment_with`] with subtree summaries interned in `cache` (see
+/// [`SummaryCache`]): repeated calls on the same machine pair answer every
+/// summary from the cache. Results are identical to the uncached call.
+pub fn containment_cached<O: Observer>(
+    a1: &RankedQa,
+    a2: &RankedQa,
+    max_items: usize,
+    cache: &mut SummaryCache,
+    obs: &mut O,
+) -> Result<Option<RankedWitness>> {
+    containment_impl(a1, a2, max_items, Some(cache), obs)
+}
+
+fn containment_impl<O: Observer>(
+    a1: &RankedQa,
+    a2: &RankedQa,
+    max_items: usize,
+    cache: Option<&mut SummaryCache>,
+    obs: &mut O,
+) -> Result<Option<RankedWitness>> {
     let hit = |it: &Item| {
         it.key.has_mark
             && matches!(root_verdict(a1, it, 0), Some((true, true)))
             && !matches!(root_verdict(a2, it, 1), Some((true, true)))
     };
     obs.phase_start("summary fixpoint");
-    let items = explore(&[a1, a2], max_items, Some(&hit), obs);
+    let items = explore(&[a1, a2], max_items, Some(&hit), cache, obs);
     obs.phase_end("summary fixpoint");
     let items = items?;
     match items.last() {
@@ -548,6 +803,57 @@ mod tests {
         );
         let exact = non_emptiness(&qa).unwrap();
         assert_eq!(brute.is_some(), exact.is_some());
+    }
+
+    #[test]
+    fn cached_non_emptiness_matches_and_hits_on_repeat() {
+        let a = alpha();
+        let qa = example_4_4(&a);
+        let plain = non_emptiness(&qa).unwrap().expect("non-empty");
+        let mut cache = SummaryCache::new();
+        let mut obs = qa_obs::NoopObserver;
+        let first = non_emptiness_cached(&qa, DEFAULT_MAX_ITEMS, &mut cache, &mut obs)
+            .unwrap()
+            .expect("non-empty");
+        assert_eq!(plain.tree.render(&a), first.tree.render(&a));
+        assert_eq!(plain.node, first.node);
+        let misses_after_first = cache.misses();
+        let second = non_emptiness_cached(&qa, DEFAULT_MAX_ITEMS, &mut cache, &mut obs)
+            .unwrap()
+            .expect("non-empty");
+        assert_eq!(plain.node, second.node);
+        assert_eq!(
+            cache.misses(),
+            misses_after_first,
+            "repeat call computes no new summaries"
+        );
+        assert!(cache.hits() > 0);
+    }
+
+    #[test]
+    fn cached_containment_matches_uncached() {
+        let a = alpha();
+        let full = example_4_4(&a);
+        let mut restricted = example_4_4(&a);
+        let or = a.symbol("OR");
+        for i in 0..restricted.machine().num_states() {
+            restricted.set_selecting(StateId::from_index(i), or, false);
+        }
+        let mut cache = SummaryCache::new();
+        let mut obs = qa_obs::NoopObserver;
+        assert!(
+            containment_cached(&restricted, &full, DEFAULT_MAX_ITEMS, &mut cache, &mut obs)
+                .unwrap()
+                .is_none()
+        );
+        // Different machine order = different family: the cache must reset,
+        // not reuse the (restricted, full) summaries.
+        let w = containment_cached(&full, &restricted, DEFAULT_MAX_ITEMS, &mut cache, &mut obs)
+            .unwrap()
+            .expect("violation");
+        let plain = containment(&full, &restricted).unwrap().expect("violation");
+        assert_eq!(w.tree.render(&a), plain.tree.render(&a));
+        assert_eq!(w.node, plain.node);
     }
 
     #[test]

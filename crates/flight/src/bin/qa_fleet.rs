@@ -16,14 +16,25 @@
 //! are seeded ([`qa_base::rng`]), so a fleet reruns identically: same
 //! documents, same sampled runs, same step counts.
 //!
+//! With `--jobs N` (N > 1) runs are fanned out over the `qa-par`
+//! work-stealing executor. The outputs stay **byte-identical** to
+//! `--jobs 1` on the same seed: sampling flags are pre-drawn in job order,
+//! outcomes land in indexed slots, reservoir offers happen in job order
+//! after the batch, and the merged metrics are commutative counter sums.
+//! (`summary.txt` therefore carries no wall-clock line; latency
+//! percentiles go to stdout only.) If any run fails, a partial
+//! `summary.txt`/`metrics.prom` is flushed immediately, so a later hang or
+//! kill still leaves telemetry on disk.
+//!
 //! ```text
-//! qa-fleet [--queries M] [--docs K] [--size N] [--seed S]
+//! qa-fleet [--queries M] [--docs K] [--size N] [--seed S] [--jobs N]
 //!          [--sample-every N] [--reservoir K]
 //!          [--max-steps N] [--max-wall-ms MS] [--out-dir DIR] [--smoke]
 //! ```
 
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use qa_base::rng::{Rng, StdRng};
@@ -36,8 +47,11 @@ use qa_probe::export::{chrome_trace, prometheus_text};
 use qa_trees::Tree;
 use qa_twoway::string_qa::example_3_4_qa;
 
+/// One finished run's slot: the outcome plus its sampled trace, if any.
+type RunSlot = Option<(RunOutcome, Option<RunTrace>)>;
+
 const USAGE: &str = "usage:
-  qa-fleet [--queries M] [--docs K] [--size N] [--seed S]
+  qa-fleet [--queries M] [--docs K] [--size N] [--seed S] [--jobs N]
            [--sample-every N] [--reservoir K]
            [--max-steps N] [--max-wall-ms MS] [--out-dir DIR] [--smoke]
 
@@ -50,6 +64,7 @@ struct Opts {
     docs: usize,
     size: usize,
     seed: u64,
+    jobs: usize,
     sample_every: u64,
     reservoir: usize,
     max_steps: u64,
@@ -64,6 +79,7 @@ impl Default for Opts {
             docs: 25,
             size: 256,
             seed: 1,
+            jobs: 1,
             sample_every: 8,
             reservoir: 4,
             max_steps: 10_000_000,
@@ -85,6 +101,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--docs" => o.docs = val(&mut it, arg)?.parse().map_err(|e| format!("{e}"))?,
             "--size" => o.size = val(&mut it, arg)?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => o.seed = val(&mut it, arg)?.parse().map_err(|e| format!("{e}"))?,
+            "--jobs" => o.jobs = val(&mut it, arg)?.parse().map_err(|e| format!("{e}"))?,
             "--sample-every" => {
                 o.sample_every = val(&mut it, arg)?.parse().map_err(|e| format!("{e}"))?
             }
@@ -110,8 +127,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
-    if o.queries == 0 || o.docs == 0 || o.size == 0 {
-        return Err("--queries, --docs and --size must be >= 1".to_string());
+    if o.queries == 0 || o.docs == 0 || o.size == 0 || o.jobs == 0 {
+        return Err("--queries, --docs, --size and --jobs must be >= 1".to_string());
     }
     Ok(o)
 }
@@ -307,10 +324,15 @@ fn run_one(
     (outcome, trace)
 }
 
+/// Render the fleet summary. With `include_latency` the wall-clock
+/// percentile line is appended — that variant goes to stdout only, so the
+/// `summary.txt` on disk is byte-identical across reruns and `--jobs`
+/// settings.
 fn render_summary(
     opts: &Opts,
-    outcomes: &[RunOutcome],
+    outcomes: &[&RunOutcome],
     stats: &[(&'static str, QueryStats)],
+    include_latency: bool,
 ) -> String {
     use std::fmt::Write;
     let mut out = String::new();
@@ -342,12 +364,7 @@ fn render_summary(
     }
 
     let mut steps: Vec<u64> = outcomes.iter().map(|o| o.steps).collect();
-    let mut lat: Vec<u64> = outcomes
-        .iter()
-        .map(|o| o.latency.as_nanos() as u64)
-        .collect();
     steps.sort_unstable();
-    lat.sort_unstable();
     let _ = writeln!(
         out,
         "steps   p50 {:>8}  p90 {:>8}  p99 {:>8}  max {:>8}",
@@ -356,14 +373,21 @@ fn render_summary(
         percentile(&steps, 0.99),
         steps.last().copied().unwrap_or(0)
     );
-    let _ = writeln!(
-        out,
-        "lat(ns) p50 {:>8}  p90 {:>8}  p99 {:>8}  max {:>8}",
-        percentile(&lat, 0.50),
-        percentile(&lat, 0.90),
-        percentile(&lat, 0.99),
-        lat.last().copied().unwrap_or(0)
-    );
+    if include_latency {
+        let mut lat: Vec<u64> = outcomes
+            .iter()
+            .map(|o| o.latency.as_nanos() as u64)
+            .collect();
+        lat.sort_unstable();
+        let _ = writeln!(
+            out,
+            "lat(ns) p50 {:>8}  p90 {:>8}  p99 {:>8}  max {:>8}",
+            percentile(&lat, 0.50),
+            percentile(&lat, 0.90),
+            percentile(&lat, 0.99),
+            lat.last().copied().unwrap_or(0)
+        );
+    }
     let sampled = outcomes.iter().filter(|o| o.sampled).count();
     let failed = outcomes.iter().filter(|o| o.error.is_some()).count();
     let _ = writeln!(
@@ -374,6 +398,55 @@ fn render_summary(
         failed
     );
     out
+}
+
+/// Aggregate outcomes per query kind, in first-seen (= roster) order.
+fn build_stats(outcomes: &[&RunOutcome]) -> Vec<(&'static str, QueryStats)> {
+    let mut stats: Vec<(&'static str, QueryStats)> = Vec::new();
+    for o in outcomes {
+        let entry = match stats.iter_mut().find(|(n, _)| *n == o.workload) {
+            Some((_, st)) => st,
+            None => {
+                stats.push((o.workload, QueryStats::default()));
+                &mut stats.last_mut().unwrap().1
+            }
+        };
+        entry.runs += 1;
+        entry.failed += u64::from(o.error.is_some());
+        entry.steps += o.steps;
+        entry.selected += o.selected as u64;
+    }
+    stats
+}
+
+/// Best-effort flush of `summary.txt` and `metrics.prom` from the slots
+/// filled so far. Called under the slots lock the moment a run fails, so a
+/// later hang or kill still leaves telemetry on disk; the normal exit path
+/// overwrites both files with the complete versions.
+fn flush_partial(
+    opts: &Opts,
+    out_dir: &Path,
+    slots: &[RunSlot],
+    fleet: &Metrics,
+) {
+    let done: Vec<&RunOutcome> = slots.iter().flatten().map(|(o, _)| o).collect();
+    let stats = build_stats(&done);
+    let mut summary = render_summary(opts, &done, &stats, false);
+    use std::fmt::Write;
+    let _ = writeln!(
+        summary,
+        "PARTIAL: {} of {} run(s) flushed after a failure",
+        done.len(),
+        slots.len()
+    );
+    for (name, contents) in [
+        ("summary.txt", summary),
+        ("metrics.prom", prometheus_text(fleet, "qa_fleet")),
+    ] {
+        if let Err(e) = std::fs::write(out_dir.join(name), contents) {
+            eprintln!("cannot write partial {name}: {e}");
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -389,53 +462,70 @@ fn main() -> ExitCode {
     let roster = roster();
     let budget = Budget::steps(opts.max_steps).with_wall(opts.max_wall);
     let fleet = Metrics::new();
-    let mut admit = OneInN::new(opts.seed, opts.sample_every);
-    let mut traces: Reservoir<(String, RunTrace)> = Reservoir::new(opts.seed, opts.reservoir);
-    let mut outcomes: Vec<RunOutcome> = Vec::new();
 
-    for qi in 0..opts.queries {
-        let wl = &roster[qi % roster.len()];
-        for di in 0..opts.docs {
-            // Per-run seed: distinct per (query index, doc index), stable
-            // across invocations with the same --seed.
-            let doc_seed = opts
-                .seed
-                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                .wrapping_add((qi as u64) << 32 | di as u64);
-            let doc = generate_doc(wl.name, opts.size, doc_seed);
-            let sampled = admit.admit();
-            let (outcome, trace) = run_one(wl, &doc, budget, sampled, &fleet);
-            if let Some(trace) = trace {
-                traces.offer((format!("{}-doc{di}", wl.name), trace));
-            }
-            outcomes.push(outcome);
-        }
-    }
-
-    // Aggregate per query kind, in roster order.
-    let mut stats: Vec<(&'static str, QueryStats)> = Vec::new();
-    for o in &outcomes {
-        let entry = match stats.iter_mut().find(|(n, _)| *n == o.workload) {
-            Some((_, st)) => st,
-            None => {
-                stats.push((o.workload, QueryStats::default()));
-                &mut stats.last_mut().unwrap().1
-            }
-        };
-        entry.runs += 1;
-        entry.failed += u64::from(o.error.is_some());
-        entry.steps += o.steps;
-        entry.selected += o.selected as u64;
-    }
-
+    // The output directory exists before any run starts, so a mid-batch
+    // failure can flush partial telemetry.
     let out_dir = Path::new(&opts.out_dir);
     if let Err(e) = std::fs::create_dir_all(out_dir) {
         eprintln!("cannot create {}: {e}", opts.out_dir);
         return ExitCode::from(2);
     }
 
-    let summary = render_summary(&opts, &outcomes, &stats);
-    print!("{summary}");
+    // Sampling flags are pre-drawn in job order: the OneInN stream is
+    // consumed identically no matter how many workers run the jobs.
+    let mut admit = OneInN::new(opts.seed, opts.sample_every);
+    let specs: Vec<(usize, usize, bool)> = (0..opts.queries)
+        .flat_map(|qi| (0..opts.docs).map(move |di| (qi, di)))
+        .map(|(qi, di)| (qi, di, admit.admit()))
+        .collect();
+
+    // Outcomes land in indexed slots, so `--jobs N` yields the same vector
+    // as `--jobs 1`; per-run metrics merge into `fleet` as commutative
+    // counter sums.
+    let slots: Mutex<Vec<RunSlot>> =
+        Mutex::new((0..specs.len()).map(|_| None).collect());
+    qa_par::par_batch(opts.jobs, specs, |_worker, (qi, di, sampled)| {
+        let wl = &roster[qi % roster.len()];
+        // Per-run seed: distinct per (query index, doc index), stable
+        // across invocations with the same --seed.
+        let doc_seed = opts
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((qi as u64) << 32 | di as u64);
+        let doc = generate_doc(wl.name, opts.size, doc_seed);
+        let (outcome, trace) = run_one(wl, &doc, budget, sampled, &fleet);
+        let failed = outcome.error.is_some();
+        let mut slots = slots.lock().expect("slots lock");
+        slots[qi * opts.docs + di] = Some((outcome, trace));
+        if failed {
+            // A budget trip mid-batch must not strand the fleet without
+            // telemetry: flush what finished so far (overwritten with the
+            // complete exports on normal exit).
+            flush_partial(&opts, out_dir, &slots, &fleet);
+        }
+    });
+
+    // Reservoir offers happen in job order after the batch, so the sampled
+    // trace set is independent of worker interleaving.
+    let mut traces: Reservoir<(String, RunTrace)> = Reservoir::new(opts.seed, opts.reservoir);
+    let mut outcomes: Vec<RunOutcome> = Vec::with_capacity(opts.queries * opts.docs);
+    for (i, slot) in slots
+        .into_inner()
+        .expect("slots lock")
+        .into_iter()
+        .enumerate()
+    {
+        let (outcome, trace) = slot.expect("every job ran");
+        if let Some(trace) = trace {
+            traces.offer((format!("{}-doc{}", outcome.workload, i % opts.docs), trace));
+        }
+        outcomes.push(outcome);
+    }
+
+    let refs: Vec<&RunOutcome> = outcomes.iter().collect();
+    let stats = build_stats(&refs);
+    let summary = render_summary(&opts, &refs, &stats, false);
+    print!("{}", render_summary(&opts, &refs, &stats, true));
 
     let mut io_err = None;
     let mut write = |name: &str, contents: &str| {

@@ -70,11 +70,13 @@ fn reruns_with_the_same_seed_are_byte_identical() {
             String::from_utf8_lossy(&out.stderr)
         );
     }
-    // Counters, documents and sampling are all seeded, so the merged
-    // registry reproduces byte-for-byte. (The summary and the phase spans
-    // of the trace export carry wall-clock values and are excluded.)
+    // Counters, documents and sampling are all seeded, and the summary on
+    // disk carries no wall-clock line, so both exports reproduce
+    // byte-for-byte. (The phase spans of the trace export carry wall-clock
+    // values and are excluded.)
     let read = |d: &str, f: &str| std::fs::read_to_string(PathBuf::from(d).join(f)).unwrap();
     assert_eq!(read(&a, "metrics.prom"), read(&b, "metrics.prom"));
+    assert_eq!(read(&a, "summary.txt"), read(&b, "summary.txt"));
     // Same runs sampled, same step counts inside the exported trace.
     let counters = |text: &str| {
         text.split("\"counters\"")
@@ -86,6 +88,74 @@ fn reruns_with_the_same_seed_are_byte_identical() {
         counters(&read(&a, "trace-0.json")),
         counters(&read(&b, "trace-0.json"))
     );
+}
+
+#[test]
+fn parallel_jobs_match_sequential_byte_for_byte() {
+    // The acceptance gate of the parallel executor: `--jobs 4` must leave
+    // exactly the bytes `--jobs 1` leaves — same summary table, same merged
+    // Prometheus registry — because outcomes land in indexed slots,
+    // sampling flags are pre-drawn in job order, and counter merges
+    // commute.
+    let seq = tmp("fleet-jobs-1");
+    let par = tmp("fleet-jobs-4");
+    for (jobs, dir) in [("1", &seq), ("4", &par)] {
+        let out = qa_fleet(&[
+            "--queries",
+            "4",
+            "--docs",
+            "6",
+            "--size",
+            "64",
+            "--seed",
+            "9",
+            "--sample-every",
+            "2",
+            "--jobs",
+            jobs,
+            "--out-dir",
+            dir,
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let read = |d: &str, f: &str| std::fs::read_to_string(PathBuf::from(d).join(f)).unwrap();
+    assert_eq!(read(&seq, "summary.txt"), read(&par, "summary.txt"));
+    assert_eq!(read(&seq, "metrics.prom"), read(&par, "metrics.prom"));
+}
+
+#[test]
+fn failed_run_flushes_partial_telemetry_mid_batch() {
+    // When a worker's budget trips, summary.txt/metrics.prom must already
+    // be on disk before the batch finishes; on normal exit they are
+    // overwritten by the complete versions, so here (where the whole fleet
+    // completes after the failure) the final summary has no PARTIAL marker
+    // but both files exist and record the failure.
+    let dir = tmp("fleet-partial");
+    let out = qa_fleet(&[
+        "--queries",
+        "1",
+        "--docs",
+        "3",
+        "--size",
+        "64",
+        "--max-steps",
+        "20",
+        "--jobs",
+        "2",
+        "--out-dir",
+        &dir,
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let dir = PathBuf::from(&dir);
+    let summary = std::fs::read_to_string(dir.join("summary.txt")).unwrap();
+    assert!(summary.contains("3 failed"), "{summary}");
+    assert!(std::fs::read_to_string(dir.join("metrics.prom"))
+        .unwrap()
+        .contains("qa_fleet_budget_trips_total"));
 }
 
 #[test]

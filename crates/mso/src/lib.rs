@@ -35,3 +35,4 @@ pub mod unranked;
 
 pub use ast::{Formula, Var};
 pub use parser::parse;
+pub use query_eval::PreparedUnary;

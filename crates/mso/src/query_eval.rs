@@ -45,7 +45,65 @@ pub fn eval_unary_ranked_with<O: Observer>(
     sigma: usize,
     obs: &mut O,
 ) -> Vec<NodeId> {
-    let d = ops::totalize(d);
+    eval_total(&ops::totalize(d), tree, sigma, obs)
+}
+
+/// A unary query prepared for batch evaluation: the compiled automaton is
+/// totalized **once** instead of per document. `eval_unary_ranked` pays the
+/// `O(|Q| · |Σ×{0,1}| · rank)` totalization on every call; across a 10k
+/// document batch that fixed cost dominates small-tree evaluation, so batch
+/// drivers (qa-par, qa-fleet) evaluate through a `PreparedUnary`.
+#[derive(Clone, Debug)]
+pub struct PreparedUnary {
+    total: Dbta,
+    sigma: usize,
+}
+
+impl PreparedUnary {
+    /// Prepare `d` (compiled over `Σ × {0,1}` for a base alphabet of
+    /// `sigma` symbols) by totalizing it now.
+    pub fn new(d: &Dbta, sigma: usize) -> Self {
+        PreparedUnary {
+            total: ops::totalize(d),
+            sigma,
+        }
+    }
+
+    /// Base alphabet size the query was compiled over.
+    pub fn sigma(&self) -> usize {
+        self.sigma
+    }
+
+    /// [`eval_unary_ranked`] against the pre-totalized automaton.
+    pub fn eval_ranked(&self, tree: &Tree) -> Vec<NodeId> {
+        self.eval_ranked_with(tree, &mut NoopObserver)
+    }
+
+    /// [`eval_unary_ranked_with`] against the pre-totalized automaton.
+    pub fn eval_ranked_with<O: Observer>(&self, tree: &Tree, obs: &mut O) -> Vec<NodeId> {
+        eval_total(&self.total, tree, self.sigma, obs)
+    }
+
+    /// [`eval_unary_unranked`] against the pre-totalized automaton.
+    pub fn eval_unranked(&self, tree: &Tree) -> Vec<NodeId> {
+        self.eval_unranked_with(tree, &mut NoopObserver)
+    }
+
+    /// [`eval_unary_unranked_with`] against the pre-totalized automaton.
+    pub fn eval_unranked_with<O: Observer>(&self, tree: &Tree, obs: &mut O) -> Vec<NodeId> {
+        obs.phase_start("fcns encoding");
+        let (enc, map) = qa_trees::fcns::encode_with_map(tree, nil_symbol(self.sigma));
+        obs.phase_end("fcns encoding");
+        let selected_enc = eval_total(&self.total, &enc, encoded_alphabet_len(self.sigma), obs);
+        selected_enc
+            .into_iter()
+            .filter_map(|ev| map[ev.index()])
+            .collect()
+    }
+}
+
+/// The Figure 5 two-pass algorithm on an already-total automaton.
+fn eval_total<O: Observer>(d: &Dbta, tree: &Tree, sigma: usize, obs: &mut O) -> Vec<NodeId> {
     obs.record(Series::MachineStates, d.num_states() as u64);
     let unmarked = |s: Symbol| ext_symbol(s, 0, sigma);
     let marked = |s: Symbol| ext_symbol(s, 1, sigma);
@@ -204,6 +262,31 @@ mod tests {
             fast.sort_unstable();
             naive.sort_unstable();
             assert_eq!(fast, naive, "{}", t.render(&a));
+        }
+    }
+
+    #[test]
+    fn prepared_matches_per_call_evaluation() {
+        let mut a = Alphabet::from_names(["s", "t"]);
+        let f = parse("leaf(v) & (ex r. (root(r) & label(r, s)))", &mut a).unwrap();
+        let d = compile_ranked::compile_unary(&f, "v", 2, 2).unwrap();
+        let prepared = PreparedUnary::new(&d, 2);
+        let labels = [a.symbol("s"), a.symbol("t")];
+        let mut rng = StdRng::seed_from_u64(41);
+        for n in [1usize, 5, 17, 33] {
+            let t = qa_trees::generate::random(&mut rng, &labels, n, Some(2));
+            assert_eq!(prepared.eval_ranked(&t), eval_unary_ranked(&d, &t, 2));
+        }
+
+        let mut a2 = Alphabet::from_names(["0", "1"]);
+        let src = "label(v, 1) & leaf(v) & !(ex w. (w < v & label(w, 1)))";
+        let f2 = parse(src, &mut a2).unwrap();
+        let d2 = unranked::compile_unary(&f2, "v", 2).unwrap();
+        let prepared2 = PreparedUnary::new(&d2, 2);
+        let labels2 = [a2.symbol("0"), a2.symbol("1")];
+        for n in [1usize, 6, 14] {
+            let t = qa_trees::generate::random(&mut rng, &labels2, n, None);
+            assert_eq!(prepared2.eval_unranked(&t), eval_unary_unranked(&d2, &t, 2));
         }
     }
 

@@ -27,6 +27,8 @@
 //!   for debugging diverging runs ([`RunTrace::render_text`]) or as JSON
 //!   ([`RunTrace::to_json`]).
 
+#![deny(missing_docs)]
+
 pub mod json;
 pub mod metrics;
 pub mod observer;

@@ -29,11 +29,17 @@ pub enum Counter {
     BudgetConsumed,
     /// Times a fuel or summary budget was exhausted.
     BudgetTrips,
+    /// Behavior-cache lookups answered from the cache (crossing-behavior
+    /// columns, memoized up/stay classifications, interned decision
+    /// summaries).
+    CacheHits,
+    /// Behavior-cache lookups that had to compute and insert a fresh entry.
+    CacheMisses,
 }
 
 impl Counter {
     /// Every counter, in serialization order.
-    pub const ALL: [Counter; 10] = [
+    pub const ALL: [Counter; 12] = [
         Counter::Steps,
         Counter::HeadReversals,
         Counter::TableLookups,
@@ -44,6 +50,8 @@ impl Counter {
         Counter::FixpointIterations,
         Counter::BudgetConsumed,
         Counter::BudgetTrips,
+        Counter::CacheHits,
+        Counter::CacheMisses,
     ];
 
     /// Number of counters.
@@ -68,6 +76,8 @@ impl Counter {
             Counter::FixpointIterations => "fixpoint_iterations",
             Counter::BudgetConsumed => "budget_consumed",
             Counter::BudgetTrips => "budget_trips",
+            Counter::CacheHits => "cache_hits",
+            Counter::CacheMisses => "cache_misses",
         }
     }
 }
@@ -158,6 +168,57 @@ impl std::fmt::Display for Abort {
 /// Engines hold `&mut O` for an `O: Observer`, which keeps sinks free to
 /// buffer without synchronization; use [`MetricsObserver`] when the
 /// aggregate must be shared across threads.
+///
+/// ## The zero-cost noop contract
+///
+/// An engine written against this trait must behave *identically* under
+/// [`NoopObserver`] and under any recording sink: hooks report what the
+/// algorithm did, they never steer it. The only sanctioned feedback paths
+/// are [`Observer::checkpoint`] (a budget poll that may abort the run) and
+/// [`Observer::is_enabled`] (which may skip *computing an event argument*,
+/// never a step of the algorithm). Because every default body is empty and
+/// `#[inline]`, `run_with(.., &mut NoopObserver)` compiles to the exact
+/// uninstrumented loop.
+///
+/// ## Example: a custom sink over the certificate hooks
+///
+/// The three certificate/control hooks added for provenance and watchdogs —
+/// [`Observer::selected`], [`Observer::stay_assign`] and
+/// [`Observer::checkpoint`] — compose like any other hook:
+///
+/// ```
+/// use qa_obs::{Abort, Observer};
+///
+/// /// Counts selection verdicts and aborts after a poll budget.
+/// #[derive(Default)]
+/// struct SelectionBudget {
+///     selections: u32,
+///     polls: u32,
+/// }
+///
+/// impl Observer for SelectionBudget {
+///     fn selected(&mut self, pos: u32, state: u32, _sym: u32) {
+///         // fired once per selected position, with the witnessing state
+///         let _ = (pos, state);
+///         self.selections += 1;
+///     }
+///     fn stay_assign(&mut self, _parent: u32, _child: u32, _state: u32) {
+///         // fired once per child on every Definition 5.11 stay round
+///     }
+///     fn checkpoint(&mut self) -> Result<(), Abort> {
+///         self.polls += 1;
+///         if self.polls > 1000 {
+///             return Err(Abort { what: "polls", limit: 1000, actual: self.polls as u64 });
+///         }
+///         Ok(())
+///     }
+/// }
+///
+/// let mut sink = SelectionBudget::default();
+/// sink.selected(3, 1, 0);
+/// assert_eq!(sink.selections, 1);
+/// assert!(sink.checkpoint().is_ok());
+/// ```
 ///
 /// [`MetricsObserver`]: crate::MetricsObserver
 pub trait Observer {

@@ -1,0 +1,223 @@
+//! A dependency-free work-stealing batch executor on `std::thread::scope`.
+//!
+//! Jobs are distributed over per-worker deques in **contiguous chunks** (job
+//! `i` starts on worker `i / ceil(n/w)`), each worker pops its own deque from
+//! the front, and an idle worker steals from the *back* of a victim's deque.
+//! Contiguous chunks matter here more than in a generic thread pool: the
+//! per-worker contexts built by [`par_batch_with`] hold behavior caches, and
+//! neighboring jobs in a batch (same query, similar documents) are exactly
+//! the ones that hit those caches. Stealing from the back takes the work the
+//! owner would reach last, preserving that locality.
+//!
+//! Results are returned **in job order** regardless of which worker ran
+//! which job, so `par_batch(w, jobs, run)` is observably a parallel `map`.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Run `jobs` on `workers` threads with a per-worker mutable context.
+///
+/// `init(worker_index)` builds one context per worker *inside* that worker's
+/// thread; `run(&mut cx, job_index, job)` produces the result for one job.
+/// Results come back in job order.
+///
+/// The context type `C` does **not** need to be [`Send`]: it is created,
+/// used, and dropped on a single worker thread. This is deliberate — the
+/// behavior caches of this workspace ([`qa_twoway::CrossingCache`],
+/// [`qa_core::unranked::UpCache`],
+/// [`qa_decision::ranked_decisions::SummaryCache`]) hand out [`std::rc::Rc`]
+/// shares internally and are therefore `!Send`; each worker owns a private
+/// one. Anything a worker needs to publish beyond its results should go
+/// through a shared [`Sync`] sink captured by the closures (e.g. a
+/// [`qa_obs::Metrics`] registry, whose counters are atomics).
+///
+/// With `workers <= 1` (or fewer than two jobs) everything runs inline on
+/// the calling thread — no threads are spawned, so the sequential path is
+/// byte-for-byte the plain loop.
+///
+/// # Examples
+///
+/// ```
+/// use qa_obs::NoopObserver;
+/// use qa_twoway::string_qa::example_3_4_qa;
+/// use qa_twoway::CrossingCache;
+///
+/// let a = qa_base::Alphabet::from_names(["0", "1"]);
+/// let qa = example_3_4_qa(&a);
+/// let docs: Vec<Vec<qa_base::Symbol>> =
+///     ["0110", "1011", "0110", "111"].iter().map(|w| a.word(w)).collect();
+/// let selected = qa_par::par_batch_with(
+///     2,
+///     docs.iter().collect(),
+///     |_worker| CrossingCache::new(),
+///     |cache, _i, word| qa.query_cached(word, cache, &mut NoopObserver),
+/// );
+/// assert_eq!(selected[0], selected[2]); // same document, same answer
+/// ```
+pub fn par_batch_with<J, R, C>(
+    workers: usize,
+    jobs: Vec<J>,
+    init: impl Fn(usize) -> C + Sync,
+    run: impl Fn(&mut C, usize, J) -> R + Sync,
+) -> Vec<R>
+where
+    J: Send,
+    R: Send,
+{
+    let n = jobs.len();
+    if workers <= 1 || n <= 1 {
+        let mut cx = init(0);
+        return jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, j)| run(&mut cx, i, j))
+            .collect();
+    }
+    let w = workers.min(n);
+    let chunk = n.div_ceil(w);
+    let mut deques: Vec<Mutex<VecDeque<(usize, J)>>> =
+        (0..w).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, j) in jobs.into_iter().enumerate() {
+        deques[(i / chunk).min(w - 1)]
+            .get_mut()
+            .expect("unshared")
+            .push_back((i, j));
+    }
+    let deques = &deques;
+    let init = &init;
+    let run = &run;
+    let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..w)
+            .map(|wid| {
+                s.spawn(move || {
+                    let mut cx = init(wid);
+                    let mut got = Vec::new();
+                    loop {
+                        // Own work first (front), then steal (back).
+                        let next = deques[wid].lock().expect("deque lock").pop_front();
+                        let next = next.or_else(|| {
+                            (1..w).find_map(|k| {
+                                deques[(wid + k) % w].lock().expect("deque lock").pop_back()
+                            })
+                        });
+                        // All deques empty: no new jobs ever appear, so done.
+                        let Some((i, j)) = next else { break };
+                        got.push((i, run(&mut cx, i, j)));
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in parts.into_iter().flatten() {
+        debug_assert!(out[i].is_none(), "job {i} ran twice");
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|r| r.expect("every job ran exactly once"))
+        .collect()
+}
+
+/// [`par_batch_with`] without a per-worker context: a parallel `map` over
+/// `jobs`, results in job order.
+///
+/// `run` receives the index of the worker thread executing the job (useful
+/// for routing into per-worker sinks) and the job itself.
+///
+/// # Examples
+///
+/// ```
+/// let squares = qa_par::par_batch(4, (0u64..100).collect(), |_worker, n| n * n);
+/// assert_eq!(squares[7], 49);
+/// assert_eq!(squares.len(), 100);
+/// ```
+pub fn par_batch<J, R>(workers: usize, jobs: Vec<J>, run: impl Fn(usize, J) -> R + Sync) -> Vec<R>
+where
+    J: Send,
+    R: Send,
+{
+    par_batch_with(workers, jobs, |wid| wid, |wid, _i, j| run(*wid, j))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn results_are_in_job_order_for_any_worker_count() {
+        let jobs: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = jobs.iter().map(|x| x * 3 + 1).collect();
+        for workers in [0, 1, 2, 3, 4, 7, 64, 1000] {
+            assert_eq!(
+                par_batch(workers, jobs.clone(), |_w, x| x * 3 + 1),
+                expect,
+                "workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let ran = AtomicU64::new(0);
+        let out = par_batch(4, (0..1000u64).collect(), |_w, x| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1000);
+        assert_eq!(out, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        assert_eq!(
+            par_batch(4, Vec::<u32>::new(), |_w, x| x),
+            Vec::<u32>::new()
+        );
+        assert_eq!(par_batch(4, vec![9u32], |_w, x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn contexts_are_per_worker_and_initialized_with_worker_index() {
+        // Each worker's context records its own worker index; every job
+        // must observe the context of the worker that ran it.
+        let pairs = par_batch_with(3, (0..100usize).collect(), |wid| wid, |cx, _i, _j| *cx);
+        assert_eq!(pairs.len(), 100);
+        assert!(pairs.iter().all(|&wid| wid < 3));
+    }
+
+    #[test]
+    fn stealing_drains_an_unbalanced_batch() {
+        // One slow job at the head of worker 0's chunk; the rest trivial.
+        // The batch must still complete with all results in order.
+        let out = par_batch(4, (0..64u64).collect(), |_w, x| {
+            if x == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            x
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_path_uses_one_context() {
+        let out = par_batch_with(
+            1,
+            vec![1u32, 2, 3],
+            |wid| {
+                assert_eq!(wid, 0);
+                0u32
+            },
+            |cx, _i, j| {
+                *cx += j;
+                *cx
+            },
+        );
+        assert_eq!(out, vec![1, 3, 6], "running sums prove a single context");
+    }
+}

@@ -1,0 +1,190 @@
+//! Parity suite: parallel evaluation must be observably identical to
+//! sequential evaluation — same selection sets (in the same order) and, for
+//! the uncached engines, the same step counts — on seeded random string,
+//! ranked, and unranked workloads. Plus a cache-hit-rate regression guard.
+
+use qa_base::rng::{Rng, StdRng};
+use qa_base::{Alphabet, Symbol};
+use qa_core::ranked::query::example_4_4;
+use qa_core::unranked::query::example_5_14;
+use qa_obs::{Counter, Metrics};
+use qa_par::{par_batch_with, par_evaluate, par_evaluate_with, Job, Outcome};
+use qa_twoway::string_qa::example_3_4_qa;
+
+fn random_words(seed: u64, count: usize, max_len: usize, a: &Alphabet) -> Vec<Vec<Symbol>> {
+    let labels = [a.symbol("0"), a.symbol("1")];
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let len = rng.gen_range(0..=max_len);
+            (0..len).map(|_| labels[rng.gen_range(0..2)]).collect()
+        })
+        .collect()
+}
+
+/// Sum every counter over a slice of per-worker registries.
+fn totals(regs: &[Metrics]) -> Vec<u64> {
+    Counter::ALL
+        .iter()
+        .map(|&c| regs.iter().map(|m| m.get(c)).sum())
+        .collect()
+}
+
+#[test]
+fn string_selections_parallel_equals_sequential() {
+    let a = Alphabet::from_names(["0", "1"]);
+    let qa = example_3_4_qa(&a);
+    let words = random_words(11, 300, 14, &a);
+    let jobs: Vec<Job> = words
+        .iter()
+        .map(|w| Job::String { qa: &qa, word: w })
+        .collect();
+    let par = par_evaluate(4, &jobs);
+    let seq = par_evaluate(1, &jobs);
+    assert_eq!(par, seq);
+    // Ground truth: the literal run-replay engine, job by job.
+    for (w, out) in words.iter().zip(&par) {
+        assert_eq!(*out, Outcome::Positions(qa.query(w).unwrap()));
+    }
+}
+
+#[test]
+fn string_step_counts_parallel_equals_sequential() {
+    // The uncached replay engine does identical work per job no matter which
+    // worker runs it, so summed per-worker counters must match the
+    // sequential totals exactly — steps, reversals, lookups, all of them.
+    let a = Alphabet::from_names(["0", "1"]);
+    let qa = example_3_4_qa(&a);
+    let words = random_words(12, 200, 12, &a);
+    let jobs: Vec<&Vec<Symbol>> = words.iter().collect();
+
+    let regs1: Vec<Metrics> = (0..1).map(|_| Metrics::new()).collect();
+    let out1 = par_batch_with(
+        1,
+        jobs.clone(),
+        |wid| regs1[wid].observer(),
+        |obs, _i, w| qa.query_with(w, obs).unwrap(),
+    );
+    let regs4: Vec<Metrics> = (0..4).map(|_| Metrics::new()).collect();
+    let out4 = par_batch_with(
+        4,
+        jobs,
+        |wid| regs4[wid].observer(),
+        |obs, _i, w| qa.query_with(w, obs).unwrap(),
+    );
+    assert_eq!(out1, out4);
+    assert_eq!(totals(&regs1), totals(&regs4));
+    assert!(
+        regs1[0].get(Counter::Steps) > 0,
+        "workload actually stepped"
+    );
+}
+
+#[test]
+fn ranked_workload_parity() {
+    let a = Alphabet::from_names(["AND", "OR", "0", "1"]);
+    let qa = example_4_4(&a);
+    let inner = [a.symbol("AND"), a.symbol("OR")];
+    let leaves = [a.symbol("0"), a.symbol("1")];
+    let mut rng = StdRng::seed_from_u64(13);
+    let trees: Vec<_> = (0..120)
+        .map(|_| qa_trees::generate::random_full_binary(&mut rng, &inner, &leaves, 8))
+        .collect();
+    let jobs: Vec<Job> = trees
+        .iter()
+        .map(|t| Job::Ranked { qa: &qa, tree: t })
+        .collect();
+
+    // Ranked replay is uncached, so both selections and step counts are
+    // partition-invariant even through the cached batch entry point.
+    let regs1: Vec<Metrics> = (0..1).map(|_| Metrics::new()).collect();
+    let seq = par_evaluate_with(1, &jobs, |wid| regs1[wid].observer());
+    let regs4: Vec<Metrics> = (0..4).map(|_| Metrics::new()).collect();
+    let par = par_evaluate_with(4, &jobs, |wid| regs4[wid].observer());
+    assert_eq!(par, seq);
+    assert_eq!(totals(&regs1), totals(&regs4));
+    for (t, out) in trees.iter().zip(&par) {
+        assert_eq!(*out, Outcome::Nodes(qa.query(t).unwrap()));
+    }
+}
+
+#[test]
+fn unranked_workload_parity() {
+    let a = Alphabet::from_names(["0", "1"]);
+    let qa = example_5_14(&a);
+    let labels = [a.symbol("0"), a.symbol("1")];
+    let mut rng = StdRng::seed_from_u64(14);
+    let trees: Vec<_> = (0..120)
+        .map(|_| qa_trees::generate::random(&mut rng, &labels, 15, None))
+        .collect();
+    let jobs: Vec<Job> = trees
+        .iter()
+        .map(|t| Job::Unranked { qa: &qa, tree: t })
+        .collect();
+    let par = par_evaluate(4, &jobs);
+    let seq = par_evaluate(1, &jobs);
+    assert_eq!(par, seq);
+    for (t, out) in trees.iter().zip(&par) {
+        assert_eq!(*out, Outcome::Nodes(qa.query(t).unwrap()));
+    }
+
+    // Step counts via the uncached engine, summed per worker.
+    let tj: Vec<_> = trees.iter().collect();
+    let regs1: Vec<Metrics> = (0..1).map(|_| Metrics::new()).collect();
+    let s = par_batch_with(
+        1,
+        tj.clone(),
+        |wid| regs1[wid].observer(),
+        |obs, _i, t| qa.query_with(t, obs).unwrap(),
+    );
+    let regs4: Vec<Metrics> = (0..4).map(|_| Metrics::new()).collect();
+    let p = par_batch_with(
+        4,
+        tj,
+        |wid| regs4[wid].observer(),
+        |obs, _i, t| qa.query_with(t, obs).unwrap(),
+    );
+    assert_eq!(s, p);
+    assert_eq!(totals(&regs1), totals(&regs4));
+}
+
+#[test]
+fn cache_hit_rate_regression() {
+    // A realistic batch shape: few distinct documents repeated many times,
+    // plus repeated decision calls on one machine. Each of the 4 workers
+    // pays the distinct entries once; everything else must hit. If the hit
+    // rate collapses below 50% a cache layer has regressed.
+    let sa = Alphabet::from_names(["0", "1"]);
+    let sqa = example_3_4_qa(&sa);
+    let pool = ["0110", "10110", "111", "00100100", "1", ""];
+    let words: Vec<Vec<Symbol>> = pool.iter().map(|w| sa.word(w)).collect();
+    let ca = Alphabet::from_names(["AND", "OR", "0", "1"]);
+    let rqa = example_4_4(&ca);
+
+    let mut jobs: Vec<Job> = Vec::new();
+    for i in 0..240 {
+        jobs.push(Job::String {
+            qa: &sqa,
+            word: &words[i % words.len()],
+        });
+    }
+    for _ in 0..12 {
+        jobs.push(Job::NonEmptiness {
+            qa: &rqa,
+            max_items: 100_000,
+        });
+    }
+
+    let regs: Vec<Metrics> = (0..4).map(|_| Metrics::new()).collect();
+    let out = par_evaluate_with(4, &jobs, |wid| regs[wid].observer());
+    assert_eq!(out.len(), jobs.len());
+    let hits: u64 = regs.iter().map(|m| m.get(Counter::CacheHits)).sum();
+    let misses: u64 = regs.iter().map(|m| m.get(Counter::CacheMisses)).sum();
+    assert!(hits > 0, "repeated documents must produce cache hits");
+    assert!(misses > 0, "first encounters must miss");
+    let rate = hits as f64 / (hits + misses) as f64;
+    assert!(
+        rate >= 0.5,
+        "cache hit rate regressed: {hits} hits / {misses} misses = {rate:.2}"
+    );
+}

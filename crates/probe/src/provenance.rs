@@ -190,6 +190,32 @@ impl ProvenanceObserver {
     /// coordinates: node indices for trees, tape positions (0 = `⊳`) for
     /// strings — see [`ProvenanceObserver::why_selected_word`] for 0-based
     /// word indices.
+    ///
+    /// # Examples
+    ///
+    /// Attach the observer to an instrumented string query, then ask why a
+    /// tape position made it into the result:
+    ///
+    /// ```
+    /// use qa_base::Alphabet;
+    /// use qa_probe::ProvenanceObserver;
+    /// use qa_twoway::string_qa::example_3_4_qa;
+    ///
+    /// let a = Alphabet::from_names(["0", "1"]);
+    /// let qa = example_3_4_qa(&a); // selects every 1 at an odd position from the right
+    /// let word = vec![a.symbol("1"), a.symbol("0"), a.symbol("1")];
+    ///
+    /// let mut obs = ProvenanceObserver::new();
+    /// let selected = qa.query_with(&word, &mut obs)?;
+    /// assert_eq!(selected, vec![0, 2]);
+    ///
+    /// // Word index 0 is tape position 1 (position 0 is the ⊳ endmarker).
+    /// let why = obs.why_selected(1).expect("selected positions have certificates");
+    /// assert!(why.visits.iter().any(|v| v.state == why.state),
+    ///         "the witnessing state appears in the visit sequence");
+    /// assert!(obs.why_selected(2).is_none(), "the 0 at word index 1 was not selected");
+    /// # Ok::<(), qa_base::Error>(())
+    /// ```
     pub fn why_selected(&self, pos: u32) -> Option<Explanation> {
         let sel = self.selections.iter().find(|s| s.pos == pos)?;
         let visits = self

@@ -11,10 +11,13 @@
 //! summaries power the Shepherdson conversion and the Section 6 decision
 //! procedures.
 
+use std::rc::Rc;
+
 use qa_base::{Error, Result, Symbol};
 use qa_obs::{Counter, NoopObserver, Observer, Series};
 use qa_strings::StateId;
 
+use crate::cache::CrossingCache;
 use crate::tape::Tape;
 use crate::twodfa::{Dir, TwoDfa};
 
@@ -25,22 +28,38 @@ pub enum Outcome {
     /// It eventually makes a right move at `i`, arriving at `i + 1` in the
     /// given state.
     Exits(StateId),
-    /// It halts (no applicable transition) in the given state at the given
-    /// tape position (which may be strictly left of `i`).
-    Halts(StateId, usize),
+    /// It halts (no applicable transition) in the given state, at `i` or
+    /// strictly left of it. Outcomes are deliberately position-free so that
+    /// behavior columns depend only on the cell content and the column to
+    /// their left — the property that makes them hash-consable in a
+    /// [`CrossingCache`]. The absolute halt position of the *start run* is
+    /// recovered separately; see [`BehaviorAnalysis::halt`].
+    Halts(StateId),
     /// It loops forever within `[0, i]`.
     Loops,
+}
+
+/// One *crossing-behavior column*: the per-state outcomes and excursion
+/// state sets at a single tape position. By the Theorem 3.9 recurrences a
+/// column is a pure function of the cell's content and the column one cell
+/// to the left — which is exactly what makes columns hash-consable in a
+/// [`CrossingCache`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct Column {
+    /// `exit[s]`: outcome of standing at this position in state `s`.
+    pub(crate) exit: Vec<Outcome>,
+    /// `states[s]`: the states assumed here between arriving in `s` and
+    /// exiting right / halting / looping — the paper's `States(f←, s)`.
+    pub(crate) states: Vec<Vec<StateId>>,
 }
 
 /// Per-position behavior summaries of a 2DFA on one input word.
 #[derive(Clone, Debug)]
 pub struct BehaviorAnalysis {
-    /// `chain_exit[i][s]`: outcome of standing at `i` in state `s`.
-    chain_exit: Vec<Vec<Outcome>>,
-    /// `chain_states[i][s]`: the states assumed at `i` between arriving in
-    /// `s` and exiting right / halting / starting to loop — the paper's
-    /// `States(f←, s)`.
-    chain_states: Vec<Vec<Vec<StateId>>>,
+    /// `chain[i]`: the crossing-behavior column at tape position `i`
+    /// (shared with a [`CrossingCache`] when computed by
+    /// [`BehaviorAnalysis::analyze_cached`]).
+    chain: Vec<Rc<Column>>,
     /// `first[i]`: the state in which `i` is first reached by the start run,
     /// if it is reached at all.
     pub first: Vec<Option<StateId>>,
@@ -49,7 +68,54 @@ pub struct BehaviorAnalysis {
     /// `Assumed(w, i)` for every tape position; empty sets when the run does
     /// not halt.
     pub assumed: Vec<Vec<StateId>>,
+    /// Absolute tape position of the start run's halt, when it halts.
+    halt_pos: Option<usize>,
     num_states: usize,
+}
+
+/// Compute one column from the cell content and the column to its left —
+/// the items 1–2 recurrence of the Theorem 3.9 proof.
+pub(crate) fn compute_column<O: Observer>(
+    machine: &TwoDfa,
+    cell: Tape,
+    prev: Option<&Column>,
+    obs: &mut O,
+) -> Column {
+    let states = machine.num_states();
+    let mut exit = vec![Outcome::Loops; states];
+    let mut statess: Vec<Vec<StateId>> = vec![Vec::new(); states];
+    for s in 0..states {
+        let start = StateId::from_index(s);
+        let mut cur = start;
+        let mut visited = vec![false; states];
+        let mut seq = Vec::new();
+        let outcome = loop {
+            if visited[cur.index()] {
+                break Outcome::Loops;
+            }
+            visited[cur.index()] = true;
+            seq.push(cur);
+            obs.count(Counter::TableLookups, 1);
+            match machine.action(cur, cell) {
+                None => break Outcome::Halts(cur),
+                Some((Dir::Right, s2)) => break Outcome::Exits(s2),
+                Some((Dir::Left, s1)) => {
+                    let prev = prev.expect("left move at ⊳ rejected by builder");
+                    // Consult the already-computed summary one cell left.
+                    match prev.exit[s1.index()] {
+                        Outcome::Exits(s2) => cur = s2,
+                        other => break other,
+                    }
+                }
+            }
+        };
+        exit[s] = outcome;
+        statess[s] = seq;
+    }
+    Column {
+        exit,
+        states: statess,
+    }
 }
 
 impl BehaviorAnalysis {
@@ -69,47 +135,51 @@ impl BehaviorAnalysis {
         word: &[Symbol],
         obs: &mut O,
     ) -> BehaviorAnalysis {
-        let n = word.len();
-        let tape_len = n + 2;
-        let states = machine.num_states();
-        let mut chain_exit: Vec<Vec<Outcome>> = Vec::with_capacity(tape_len);
-        let mut chain_states: Vec<Vec<Vec<StateId>>> = Vec::with_capacity(tape_len);
-
+        let tape_len = word.len() + 2;
+        let mut chain: Vec<Rc<Column>> = Vec::with_capacity(tape_len);
         for i in 0..tape_len {
             let cell = Tape::at(word, i);
-            let mut exits = vec![Outcome::Loops; states];
-            let mut statess: Vec<Vec<StateId>> = vec![Vec::new(); states];
-            for s in 0..states {
-                let start = StateId::from_index(s);
-                let mut cur = start;
-                let mut visited = vec![false; states];
-                let mut seq = Vec::new();
-                let outcome = loop {
-                    if visited[cur.index()] {
-                        break Outcome::Loops;
-                    }
-                    visited[cur.index()] = true;
-                    seq.push(cur);
-                    obs.count(Counter::TableLookups, 1);
-                    match machine.action(cur, cell) {
-                        None => break Outcome::Halts(cur, i),
-                        Some((Dir::Right, s2)) => break Outcome::Exits(s2),
-                        Some((Dir::Left, s1)) => {
-                            debug_assert!(i > 0, "left move at ⊳ rejected by builder");
-                            // Consult the already-computed summary one cell left.
-                            match chain_exit[i - 1][s1.index()] {
-                                Outcome::Exits(s2) => cur = s2,
-                                other => break other,
-                            }
-                        }
-                    }
-                };
-                exits[s] = outcome;
-                statess[s] = seq;
-            }
-            chain_exit.push(exits);
-            chain_states.push(statess);
+            let prev = chain.last().map(Rc::as_ref);
+            chain.push(Rc::new(compute_column(machine, cell, prev, obs)));
         }
+        Self::finish(machine, word, chain, obs)
+    }
+
+    /// [`BehaviorAnalysis::analyze_with`] with crossing-behavior columns
+    /// hash-consed in `cache`: a column whose `(cell, left column)` pair has
+    /// been seen before — on this word or any earlier word analyzed through
+    /// the same cache — is reused instead of recomputed. Reports
+    /// [`Counter::CacheHits`] / [`Counter::CacheMisses`] to `obs`; results
+    /// are identical to `analyze_with`.
+    pub fn analyze_cached<O: Observer>(
+        machine: &TwoDfa,
+        word: &[Symbol],
+        cache: &mut CrossingCache,
+        obs: &mut O,
+    ) -> BehaviorAnalysis {
+        let tape_len = word.len() + 2;
+        let mut chain: Vec<Rc<Column>> = Vec::with_capacity(tape_len);
+        let mut prev_id: Option<u32> = None;
+        cache.ensure_machine(machine);
+        for i in 0..tape_len {
+            let cell = Tape::at(word, i);
+            let (id, col) = cache.column(machine, cell, prev_id, obs);
+            chain.push(col);
+            prev_id = Some(id);
+        }
+        Self::finish(machine, word, chain, obs)
+    }
+
+    /// Shared tail of `analyze_with`/`analyze_cached`: derive `first`, the
+    /// overall outcome (with its absolute halt position), and the `Assumed`
+    /// sets from the column chain.
+    fn finish<O: Observer>(
+        machine: &TwoDfa,
+        word: &[Symbol],
+        chain: Vec<Rc<Column>>,
+        obs: &mut O,
+    ) -> BehaviorAnalysis {
+        let tape_len = word.len() + 2;
 
         // first[i] via the left-to-right chain of exits.
         let mut first: Vec<Option<StateId>> = vec![None; tape_len];
@@ -117,7 +187,7 @@ impl BehaviorAnalysis {
         let mut outcome = Outcome::Loops;
         for i in 0..tape_len {
             let Some(f) = first[i] else { break };
-            match chain_exit[i][f.index()] {
+            match chain[i].exit[f.index()] {
                 Outcome::Exits(s2) => {
                     if i + 1 < tape_len {
                         first[i + 1] = Some(s2);
@@ -132,22 +202,41 @@ impl BehaviorAnalysis {
             }
         }
 
+        // Columns are position-free, so when the run halts we recover the
+        // absolute halt position once by replaying the final (rightmost)
+        // excursion through the already-computed columns.
+        let halt_pos = matches!(outcome, Outcome::Halts(_))
+            .then(|| Self::locate_halt(machine, word, &chain, &first));
+
         // Assumed sets, right-to-left (paper items 3 and 4). Only meaningful
-        // when the run halts.
+        // when the run halts. Dedup goes through a reusable bitset so each
+        // insertion is O(1) instead of a linear scan of the set built so
+        // far; insertion order (and therefore the output) is unchanged.
         let mut assumed: Vec<Vec<StateId>> = vec![Vec::new(); tape_len];
-        if matches!(outcome, Outcome::Halts(..)) {
+        if matches!(outcome, Outcome::Halts(_)) {
+            fn insert_once(mask: &mut [u64], set: &mut Vec<StateId>, s: StateId) {
+                let idx = s.index();
+                let bit = 1u64 << (idx % 64);
+                if mask[idx / 64] & bit == 0 {
+                    mask[idx / 64] |= bit;
+                    set.push(s);
+                }
+            }
             // Highest position the start run reaches.
             let top = (0..tape_len).rev().find(|&i| first[i].is_some()).unwrap();
-            assumed[top] = chain_states[top][first[top].unwrap().index()].clone();
+            assumed[top] = chain[top].states[first[top].unwrap().index()].clone();
+            let mut mask = vec![0u64; machine.num_states().div_ceil(64)];
             for i in (0..top).rev() {
-                let mut set = chain_states[i][first[i].unwrap().index()].clone();
+                mask.fill(0);
+                let mut set = Vec::new();
+                for &s in &chain[i].states[first[i].unwrap().index()] {
+                    insert_once(&mut mask, &mut set, s);
+                }
                 let cell_right = Tape::at(word, i + 1);
                 for &s_up in &assumed[i + 1] {
                     if let Some((Dir::Left, s1)) = machine.action(s_up, cell_right) {
-                        for &s in &chain_states[i][s1.index()] {
-                            if !set.contains(&s) {
-                                set.push(s);
-                            }
+                        for &s in &chain[i].states[s1.index()] {
+                            insert_once(&mut mask, &mut set, s);
                         }
                     }
                 }
@@ -161,12 +250,44 @@ impl BehaviorAnalysis {
         }
 
         BehaviorAnalysis {
-            chain_exit,
-            chain_states,
+            chain,
             first,
             outcome,
             assumed,
-            num_states: states,
+            halt_pos,
+            num_states: machine.num_states(),
+        }
+    }
+
+    /// Replay the halting tail of the start run over the columns to find the
+    /// absolute halt position. Starts at the highest position the start run
+    /// reaches and only consults summaries the actual run consults, so it
+    /// terminates in `O(tape length × states)` steps. Only called when the
+    /// overall outcome is `Halts`.
+    fn locate_halt(
+        machine: &TwoDfa,
+        word: &[Symbol],
+        chain: &[Rc<Column>],
+        first: &[Option<StateId>],
+    ) -> usize {
+        let tape_len = word.len() + 2;
+        let mut i = (0..tape_len).rev().find(|&j| first[j].is_some()).unwrap();
+        let mut cur = first[i].unwrap();
+        loop {
+            match machine.action(cur, Tape::at(word, i)) {
+                None => return i,
+                Some((Dir::Right, _)) => {
+                    unreachable!("right move inside a halting excursion")
+                }
+                Some((Dir::Left, s1)) => match chain[i - 1].exit[s1.index()] {
+                    Outcome::Exits(s2) => cur = s2,
+                    Outcome::Halts(_) => {
+                        i -= 1;
+                        cur = s1;
+                    }
+                    Outcome::Loops => unreachable!("loop inside a halting excursion"),
+                },
+            }
         }
     }
 
@@ -182,7 +303,7 @@ impl BehaviorAnalysis {
     ) -> Option<StateId> {
         match machine.action(s, Tape::at(word, i)) {
             Some((Dir::Right, _)) => Some(s),
-            Some((Dir::Left, s1)) => match self.chain_exit[i - 1][s1.index()] {
+            Some((Dir::Left, s1)) => match self.chain[i - 1].exit[s1.index()] {
                 Outcome::Exits(s2) => Some(s2),
                 _ => None,
             },
@@ -192,18 +313,18 @@ impl BehaviorAnalysis {
 
     /// Outcome of standing at tape position `i` in state `s`.
     pub fn chain_exit(&self, i: usize, s: StateId) -> Outcome {
-        self.chain_exit[i][s.index()]
+        self.chain[i].exit[s.index()]
     }
 
     /// `States(f←, s)` at position `i`: the states assumed at `i` from an
     /// entry in state `s` until the next right-crossing (or halt/loop).
     pub fn chain_states(&self, i: usize, s: StateId) -> &[StateId] {
-        &self.chain_states[i][s.index()]
+        &self.chain[i].states[s.index()]
     }
 
     /// Whether the run halts and accepts.
     pub fn accepted(&self, machine: &TwoDfa) -> bool {
-        matches!(self.outcome, Outcome::Halts(h, _) if machine.is_final(h))
+        matches!(self.outcome, Outcome::Halts(h) if machine.is_final(h))
     }
 
     /// The halting configuration `(state, tape position)` of the start run.
@@ -213,7 +334,11 @@ impl BehaviorAnalysis {
     /// surface the diagnosis to the user.
     pub fn halt(&self) -> Result<(StateId, usize)> {
         match self.outcome {
-            Outcome::Halts(s, p) => Ok((s, p)),
+            Outcome::Halts(s) => Ok((
+                s,
+                self.halt_pos
+                    .expect("halt position computed for halting runs"),
+            )),
             Outcome::Loops => Err(Error::stuck(
                 "two-way run never halts: it loops inside the tape",
             )),

@@ -1,0 +1,266 @@
+//! Hash-consed crossing-behavior columns (the qa-par `BehaviorCache` layer
+//! for 2DFA runs).
+//!
+//! By the Theorem 3.9 recurrences, the crossing-behavior column at a tape
+//! position — the per-state [`Outcome`]s plus excursion state sets — is a
+//! pure function of the cell's content and the column one cell to the left.
+//! A [`CrossingCache`] therefore interns columns under the key
+//! `(cell, id of left column)`: two words sharing a prefix (or any words
+//! whose column chains converge, which they do after at most
+//! `|states|`-many distinct columns) share the suffix of the computation.
+//! Across a batch of words over a small alphabet the set of distinct columns
+//! saturates quickly and whole analyses become pure lookups.
+//!
+//! The cache is keyed to one machine: it records a fingerprint of the
+//! machine's transition structure and transparently resets itself when
+//! handed a different machine, so stale columns can never leak across
+//! machines.
+//!
+//! [`Outcome`]: crate::behavior::Outcome
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+
+use qa_obs::{Counter, Observer};
+
+use crate::behavior::Column;
+use crate::tape::Tape;
+use crate::twodfa::TwoDfa;
+
+/// Interns 2DFA crossing-behavior columns under `(cell, left-column)` keys.
+///
+/// Used by [`BehaviorAnalysis::analyze_cached`] and
+/// [`StringQa::query_cached`]; see the module docs for the invariant that
+/// makes columns cacheable. Reports [`Counter::CacheHits`] and
+/// [`Counter::CacheMisses`] to the observer passed to each lookup.
+///
+/// [`BehaviorAnalysis::analyze_cached`]: crate::behavior::BehaviorAnalysis::analyze_cached
+/// [`StringQa::query_cached`]: crate::string_qa::StringQa::query_cached
+#[derive(Debug, Default)]
+pub struct CrossingCache {
+    /// `(cell encoding, left column id or NO_PREV)` → column id.
+    map: HashMap<(u32, u32), u32>,
+    /// Interned columns, indexed by id.
+    columns: Vec<Rc<Column>>,
+    /// Fingerprint of the machine the cached columns belong to.
+    fingerprint: Option<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Key component standing in for "no column to the left" (position 0).
+const NO_PREV: u32 = u32::MAX;
+
+impl CrossingCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct columns interned so far.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether no columns are interned.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Lookups answered from the cache since creation (or last [`clear`]).
+    ///
+    /// [`clear`]: CrossingCache::clear
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to compute a fresh column.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drop all interned columns and reset the statistics.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.columns.clear();
+        self.fingerprint = None;
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Bind the cache to `machine` for the per-column lookups that follow:
+    /// resets the cache when `machine`'s fingerprint differs from the one
+    /// the cached columns were computed for. Called once per analysis (not
+    /// once per column — fingerprinting walks the whole transition table,
+    /// so doing it per lookup would dwarf the lookup itself).
+    pub(crate) fn ensure_machine(&mut self, machine: &TwoDfa) {
+        let fp = fingerprint(machine);
+        if self.fingerprint != Some(fp) {
+            self.clear();
+            self.fingerprint = Some(fp);
+        }
+    }
+
+    /// Intern (or look up) the column for `cell` to the right of the column
+    /// with id `prev_id` (`None` at the left endmarker). The cache must
+    /// already be bound to `machine` via [`CrossingCache::ensure_machine`].
+    pub(crate) fn column<O: Observer>(
+        &mut self,
+        machine: &TwoDfa,
+        cell: Tape,
+        prev_id: Option<u32>,
+        obs: &mut O,
+    ) -> (u32, Rc<Column>) {
+        debug_assert!(self.fingerprint.is_some(), "ensure_machine not called");
+        let key = (cell.encode() as u32, prev_id.unwrap_or(NO_PREV));
+        if let Some(&id) = self.map.get(&key) {
+            self.hits += 1;
+            obs.count(Counter::CacheHits, 1);
+            return (id, Rc::clone(&self.columns[id as usize]));
+        }
+        self.misses += 1;
+        obs.count(Counter::CacheMisses, 1);
+        let prev = prev_id.map(|id| Rc::clone(&self.columns[id as usize]));
+        let col = Rc::new(crate::behavior::compute_column(
+            machine,
+            cell,
+            prev.as_deref(),
+            obs,
+        ));
+        let id = self.columns.len() as u32;
+        self.columns.push(Rc::clone(&col));
+        self.map.insert(key, id);
+        (id, col)
+    }
+}
+
+/// Structural fingerprint of a machine: states, alphabet, initial, finals
+/// and the full transition table. Collisions would only cause a silently
+/// shared cache between two machines with identical behavior tables — which
+/// is harmless — but the full-table hash makes even that astronomically
+/// unlikely.
+fn fingerprint(machine: &TwoDfa) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    machine.num_states().hash(&mut h);
+    machine.alphabet_len().hash(&mut h);
+    machine.initial().index().hash(&mut h);
+    for s in 0..machine.num_states() {
+        let state = qa_strings::StateId::from_index(s);
+        machine.is_final(state).hash(&mut h);
+        for c in 0..Tape::table_len(machine.alphabet_len()) {
+            let cell = match c {
+                0 => Tape::LeftMarker,
+                1 => Tape::RightMarker,
+                i => Tape::Sym(qa_base::Symbol::from_index(i - 2)),
+            };
+            match machine.action(state, cell) {
+                None => 0u8.hash(&mut h),
+                Some((dir, next)) => {
+                    (match dir {
+                        crate::twodfa::Dir::Left => 1u8,
+                        crate::twodfa::Dir::Right => 2u8,
+                    })
+                    .hash(&mut h);
+                    next.index().hash(&mut h);
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::BehaviorAnalysis;
+    use crate::twodfa::{Dir, TwoDfaBuilder};
+    use qa_base::Symbol;
+    use qa_obs::NoopObserver;
+
+    fn sym(i: usize) -> Symbol {
+        Symbol::from_index(i)
+    }
+
+    fn example_3_4() -> TwoDfa {
+        let mut b = TwoDfaBuilder::new(2);
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let s2 = b.add_state();
+        b.set_initial(s0);
+        b.set_final(s1, true);
+        b.set_final(s2, true);
+        b.set_action(s0, Tape::LeftMarker, Dir::Right, s0);
+        b.set_action_all_symbols(s0, Dir::Right, s0);
+        b.set_action(s0, Tape::RightMarker, Dir::Left, s1);
+        b.set_action_all_symbols(s1, Dir::Left, s2);
+        b.set_action_all_symbols(s2, Dir::Left, s1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cached_analysis_matches_uncached() {
+        let m = example_3_4();
+        let mut cache = CrossingCache::new();
+        for len in 0..=5usize {
+            for mask in 0..(1usize << len) {
+                let w: Vec<Symbol> = (0..len).map(|i| sym((mask >> i) & 1)).collect();
+                let plain = BehaviorAnalysis::analyze(&m, &w);
+                let cached =
+                    BehaviorAnalysis::analyze_cached(&m, &w, &mut cache, &mut NoopObserver);
+                assert_eq!(plain.outcome, cached.outcome, "{w:?}");
+                assert_eq!(plain.first, cached.first, "{w:?}");
+                assert_eq!(plain.assumed, cached.assumed, "{w:?}");
+                assert_eq!(plain.halt().ok(), cached.halt().ok(), "{w:?}");
+            }
+        }
+        assert!(cache.hits() > 0, "repeated prefixes must hit");
+    }
+
+    #[test]
+    fn repeat_word_is_all_hits() {
+        let m = example_3_4();
+        let mut cache = CrossingCache::new();
+        let w = vec![sym(0), sym(1), sym(1)];
+        BehaviorAnalysis::analyze_cached(&m, &w, &mut cache, &mut NoopObserver);
+        let misses_before = cache.misses();
+        BehaviorAnalysis::analyze_cached(&m, &w, &mut cache, &mut NoopObserver);
+        assert_eq!(
+            cache.misses(),
+            misses_before,
+            "second pass computes nothing"
+        );
+        assert!(cache.hits() >= (w.len() + 2) as u64);
+    }
+
+    #[test]
+    fn switching_machines_resets_the_cache() {
+        let m1 = example_3_4();
+        // Flip finality to change the fingerprint without changing shape.
+        let mut b = TwoDfaBuilder::new(2);
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let s2 = b.add_state();
+        b.set_initial(s0);
+        b.set_final(s1, false);
+        b.set_final(s2, true);
+        b.set_action(s0, Tape::LeftMarker, Dir::Right, s0);
+        b.set_action_all_symbols(s0, Dir::Right, s0);
+        b.set_action(s0, Tape::RightMarker, Dir::Left, s1);
+        b.set_action_all_symbols(s1, Dir::Left, s2);
+        b.set_action_all_symbols(s2, Dir::Left, s1);
+        let m2 = b.build().unwrap();
+
+        let mut cache = CrossingCache::new();
+        let w = vec![sym(0), sym(1)];
+        BehaviorAnalysis::analyze_cached(&m1, &w, &mut cache, &mut NoopObserver);
+        assert!(!cache.is_empty());
+        let a2 = BehaviorAnalysis::analyze_cached(&m2, &w, &mut cache, &mut NoopObserver);
+        assert_eq!(
+            a2.accepted(&m2),
+            BehaviorAnalysis::analyze(&m2, &w).accepted(&m2),
+            "reset cache must not leak columns across machines"
+        );
+        assert_eq!(cache.hits(), 0, "fingerprint change cleared statistics");
+    }
+}

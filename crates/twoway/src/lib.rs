@@ -23,6 +23,7 @@
 //!   declarative form, [`hopcroft_ullman::compose`] builds the actual GSQA).
 
 pub mod behavior;
+pub mod cache;
 pub mod crossing;
 pub mod gsqa;
 pub mod hopcroft_ullman;
@@ -31,6 +32,7 @@ pub mod string_qa;
 pub mod tape;
 pub mod twodfa;
 
+pub use cache::CrossingCache;
 pub use gsqa::Gsqa;
 pub use hopcroft_ullman::Bimachine;
 pub use string_qa::StringQa;

@@ -5,6 +5,7 @@ use qa_obs::{Counter, NoopObserver, Observer};
 use qa_strings::StateId;
 
 use crate::behavior::BehaviorAnalysis;
+use crate::cache::CrossingCache;
 use crate::tape::Tape;
 use crate::twodfa::TwoDfa;
 
@@ -97,6 +98,33 @@ impl StringQa {
         obs.phase_start("behavior analysis");
         let ba = BehaviorAnalysis::analyze_with(&self.machine, word, obs);
         obs.phase_end("behavior analysis");
+        self.select_from_analysis(&ba, word, obs)
+    }
+
+    /// [`StringQa::query_via_behavior`] with crossing-behavior columns
+    /// hash-consed in `cache` (see [`CrossingCache`]): across a batch of
+    /// words the per-position behavior computation degenerates to cache
+    /// lookups. Results are identical to [`StringQa::query_via_behavior`];
+    /// cache hits and misses are reported to `obs`.
+    pub fn query_cached<O: Observer>(
+        &self,
+        word: &[Symbol],
+        cache: &mut CrossingCache,
+        obs: &mut O,
+    ) -> Vec<usize> {
+        obs.phase_start("behavior analysis");
+        let ba = BehaviorAnalysis::analyze_cached(&self.machine, word, cache, obs);
+        obs.phase_end("behavior analysis");
+        self.select_from_analysis(&ba, word, obs)
+    }
+
+    /// Shared selection scan over an already-computed behavior analysis.
+    fn select_from_analysis<O: Observer>(
+        &self,
+        ba: &BehaviorAnalysis,
+        word: &[Symbol],
+        obs: &mut O,
+    ) -> Vec<usize> {
         if !ba.accepted(&self.machine) {
             return Vec::new();
         }

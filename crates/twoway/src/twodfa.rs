@@ -181,6 +181,35 @@ impl TwoDfa {
     /// `obs.checkpoint()` is polled once per configuration; a failing
     /// checkpoint (a watchdog budget trip) aborts the run with
     /// [`Error::RunAborted`].
+    ///
+    /// # Examples
+    ///
+    /// Count the head moves of one run through a [`qa_obs::Metrics`]
+    /// registry:
+    ///
+    /// ```
+    /// use qa_base::Symbol;
+    /// use qa_obs::{Counter, Metrics};
+    /// use qa_twoway::twodfa::{Dir, TwoDfaBuilder};
+    /// use qa_twoway::Tape;
+    ///
+    /// let mut b = TwoDfaBuilder::new(1);
+    /// let q = b.add_state();
+    /// b.set_initial(q);
+    /// b.set_final(q, true);
+    /// b.set_action(q, Tape::LeftMarker, Dir::Right, q);
+    /// b.set_action_all_symbols(q, Dir::Right, q);
+    /// // No action at the right endmarker: the machine halts there in the
+    /// // (final) state q.
+    /// let machine = b.build()?;
+    ///
+    /// let metrics = Metrics::new();
+    /// let rec = machine.run_with(&[Symbol::from_index(0); 3], &mut metrics.observer())?;
+    /// assert!(rec.accepted);
+    /// assert_eq!(rec.steps, 4); // over ⊳ and the three symbols
+    /// assert_eq!(metrics.get(Counter::Steps), rec.steps);
+    /// # Ok::<(), qa_base::Error>(())
+    /// ```
     pub fn run_with<O: Observer>(&self, word: &[Symbol], obs: &mut O) -> Result<RunRecord> {
         let tape_len = word.len() + 2;
         let fuel = (self.num_states as u64) * (tape_len as u64) + 1;

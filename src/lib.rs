@@ -20,6 +20,7 @@
 //! | [`obs`] | zero-cost [`Observer`](obs::Observer) instrumentation, [`Metrics`](obs::Metrics), [`RunTrace`](obs::RunTrace) | — |
 //! | [`probe`] | selection provenance ([`ProvenanceObserver`](probe::ProvenanceObserver)), Chrome trace-event / Prometheus exports, trace diffing, the `qa-trace` CLI | §3–5 certificates |
 //! | [`flight`] | always-on telemetry: [`FlightRecorder`](flight::FlightRecorder) ring, [`Watchdog`](flight::Watchdog) budgets, deterministic sampling, the `qa-fleet` batch runner | — |
+//! | [`par`] | parallel batch evaluation ([`par_batch`](par::par_batch) work-stealing executor) with per-worker [`BehaviorCache`](par::BehaviorCache) memoization | §3.9, §5.11, §6 at batch scale |
 //! | [`xml`] | XML subset, DTDs, validation (Figures 1–4) | §1 |
 //!
 //! ## Quickstart
@@ -46,6 +47,7 @@ pub use qa_decision as decision;
 pub use qa_flight as flight;
 pub use qa_mso as mso;
 pub use qa_obs as obs;
+pub use qa_par as par;
 pub use qa_probe as probe;
 pub use qa_strings as strings;
 pub use qa_trees as trees;
@@ -65,6 +67,7 @@ pub mod prelude {
     pub use qa_flight::{Budget, FlightRecorder, Watchdog};
     pub use qa_mso::{parse as parse_mso, Formula};
     pub use qa_obs::{Metrics, NoopObserver, Observer, RunTrace};
+    pub use qa_par::{par_batch, par_evaluate, BehaviorCache, Job, Outcome};
     pub use qa_probe::{Explanation, ProvenanceObserver};
     pub use qa_trees::sexpr::{from_sexpr, to_sexpr};
     pub use qa_trees::{NodeId, Tree};
