@@ -12,44 +12,62 @@
 //!
 //! ```text
 //! bench_obs [out.json]                 # write the report (default BENCH_obs.json)
-//! bench_obs --check [--baseline FILE] [--tolerance F]
+//! bench_obs --check [--baseline FILE] [--par-baseline FILE] [--tolerance F]
 //! bench_obs --overhead [--gate]       # observer overhead self-measurement
 //! bench_obs --par [--gate]            # parallel+memoized batch vs sequential
 //! ```
 //!
-//! `--check` regenerates the report in memory and gates it against the
-//! checked-in baseline (default `BENCH_obs.json`, tolerance 0.05 relative):
-//! any counter or series total drifting beyond tolerance — or appearing /
-//! disappearing — fails with exit code 1. CI runs this so a change that
-//! silently alters an algorithm's *work* cannot land unnoticed.
+//! Both baseline files share one schema: `{"suite": NAME, "scenarios":
+//! {…}}` where every scenario holds deterministic `counters`/`series`
+//! maps, plus (for the par suite) an ungated `info` block for the
+//! machine-dependent wall-clock figures. `--check` regenerates both
+//! suites in memory and gates them against the checked-in baselines in a
+//! single pass (default `BENCH_obs.json` + `BENCH_obs_par.json`,
+//! tolerance 0.05 relative): any gated number drifting beyond tolerance —
+//! or appearing / disappearing — fails with exit code 1. CI runs this so
+//! a change that silently alters an algorithm's *work* cannot land
+//! unnoticed. The par suite gates only the deterministic single-worker
+//! cached pass (job count, cache hits/misses); per-worker figures under
+//! work stealing are scheduling-dependent and stay in `info`.
 //!
 //! Both modes print a human-readable summary table (scenario, steps, Δ vs
 //! baseline) next to the JSON.
 //!
 //! `--overhead` times the Example 3.4 string query under each observer
-//! (Noop, Metrics, FlightRecorder, Watchdog, the full Tee stack) and
+//! (Noop, Metrics, FlightRecorder, Watchdog, the full Tee stack, and the
+//! full stack with a live `qa-pulse` server + span profiler attached) and
 //! reports ns/step. With `--gate` it fails (exit 1) when an instrumented
 //! run exceeds *generous* bounds relative to Noop — wall-clock numbers are
 //! machine-dependent, so the gate only catches catastrophic regressions
 //! (an accidental allocation or syscall per event), not percent-level
-//! noise.
+//! noise. The pulse row carries its own bound: serving plus profiling must
+//! stay within 10% of the plain full stack (or a small absolute ns/step
+//! slack on noisy runners).
 //!
 //! `--par` runs a repetition-heavy batch (string queries over a small
 //! document pool plus repeated §6 decision calls) two ways — plain
 //! sequential engines, then `qa-par` with 4 workers and per-worker
 //! [`qa_par::BehaviorCache`]s — asserts the outcomes are identical, and
 //! reports the wall-clock speedup and cache hit rate to stdout and
-//! `BENCH_obs_par.json` (informational; `--check` never reads it). With
-//! `--gate` it fails unless the speedup is ≥ 2x and the caches actually
-//! hit. The speedup floor is deliberately achievable on a single-core
-//! runner: memoization, not the thread count, carries it.
+//! `BENCH_obs_par.json`. With `--gate` it fails unless the speedup is
+//! ≥ 2x and the caches actually hit. The speedup floor is deliberately
+//! achievable on a single-core runner: memoization, not the thread count,
+//! carries it.
 
 use qa_base::{Alphabet, Symbol};
 use qa_obs::json::{object, ObjectWriter, Value};
 use qa_obs::Metrics;
+use qa_probe::gate::scenarios as report_scenarios;
 use qa_strings::Dfa;
 use qa_trees::Tree;
 use qa_twoway::Bimachine;
+
+// Opt-in heap accounting for the overhead rows: with `--features
+// alloc-count` every allocation in this binary updates the qa_heap_*
+// tallies, so the measured ns/step price the counting allocator too.
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static ALLOC: qa_pulse::CountingAlloc = qa_pulse::CountingAlloc::new();
 
 /// One scenario: run `work` against a fresh metrics registry and serialize
 /// the resulting counters/series under `name`.
@@ -88,8 +106,26 @@ fn sample_bimachine() -> Bimachine {
     .unwrap()
 }
 
-/// Run every scenario and serialize the full report.
+/// Wrap a scenario map in the unified baseline schema shared by both
+/// bench files. `info` (optional, ungated) carries machine-dependent
+/// figures such as wall-clock timings.
+fn suite_report(suite: &str, scenarios: &str, info: Option<&str>) -> String {
+    object(|w| {
+        w.field_str("suite", suite);
+        w.field_raw("scenarios", scenarios);
+        if let Some(info) = info {
+            w.field_raw("info", info);
+        }
+    })
+}
+
+/// Run every scenario and serialize the full `obs` suite report.
 fn generate_report() -> String {
+    suite_report("obs", &generate_scenarios(), None)
+}
+
+/// Run every step-count scenario and serialize the scenario map.
+fn generate_scenarios() -> String {
     object(|w| {
         // Example 3.4 string query: the literal two-way run.
         scenario(w, "example_3_4_string_query", |m| {
@@ -226,9 +262,10 @@ fn generate_report() -> String {
     })
 }
 
-/// `steps` counter of one scenario in a parsed report.
+/// `steps` counter of one scenario in a parsed report (suite-wrapped or
+/// legacy flat).
 fn steps_of(report: &Value, scenario: &str) -> Option<u64> {
-    report
+    report_scenarios(report)
         .get(scenario)?
         .get("counters")?
         .get("steps")?
@@ -238,7 +275,7 @@ fn steps_of(report: &Value, scenario: &str) -> Option<u64> {
 /// Print the human-readable summary: one row per scenario with its step
 /// count and, when a baseline is available, the delta against it.
 fn print_summary(current: &Value, baseline: Option<&Value>) {
-    let Some(scenarios) = current.as_obj() else {
+    let Some(scenarios) = report_scenarios(current).as_obj() else {
         return;
     };
     println!();
@@ -261,28 +298,46 @@ fn print_summary(current: &Value, baseline: Option<&Value>) {
     println!();
 }
 
-/// Regenerate the report and compare it against `baseline_path`; returns
-/// the number of metrics that drifted beyond `tolerance`.
-fn check(baseline_path: &str, tolerance: f64) -> usize {
-    println!("# bench_obs --check (baseline {baseline_path}, tolerance {tolerance})");
+/// Gate one suite: parse `baseline_path`, compare its scenarios against
+/// the freshly generated `current_scenarios`, print drifts. Returns the
+/// drift count.
+fn check_suite(baseline_path: &str, suite: &str, current_scenarios: &str, tolerance: f64) -> usize {
     let baseline_text = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
     let baseline = qa_obs::json::parse(&baseline_text).expect("parse baseline");
-    let current = qa_obs::json::parse(&generate_report()).expect("parse generated report");
-    print_summary(&current, Some(&baseline));
-    let drifts = qa_probe::gate::compare_reports(&baseline, &current, tolerance);
-    if drifts.is_empty() {
-        println!("gate: OK — all step counts within tolerance");
-    } else {
-        for d in &drifts {
-            println!("gate: DRIFT {}", d.render());
-        }
-        println!(
-            "gate: {} metric(s) drifted; regenerate {baseline_path} if intentional",
-            drifts.len()
+    if let Some(tag) = qa_probe::gate::suite(&baseline) {
+        assert_eq!(
+            tag, suite,
+            "{baseline_path} carries suite {tag:?}, expected {suite:?}"
         );
     }
+    let current = qa_obs::json::parse(current_scenarios).expect("parse generated scenarios");
+    print_summary(&current, Some(&baseline));
+    let drifts = qa_probe::gate::compare_reports(report_scenarios(&baseline), &current, tolerance);
+    for d in &drifts {
+        println!("gate: DRIFT [{suite}] {}", d.render());
+    }
     drifts.len()
+}
+
+/// Regenerate both suites and compare them against their baselines in one
+/// pass; returns the number of metrics that drifted beyond `tolerance`.
+fn check(baseline_path: &str, par_baseline_path: &str, tolerance: f64) -> usize {
+    println!(
+        "# bench_obs --check (baselines {baseline_path} + {par_baseline_path}, tolerance {tolerance})"
+    );
+    let mut drifts = check_suite(baseline_path, "obs", &generate_scenarios(), tolerance);
+    println!("# suite obs_par (deterministic single-worker cached pass)");
+    let par_scen = with_par_batch(|jobs, _| par_scenarios(jobs));
+    drifts += check_suite(par_baseline_path, "obs_par", &par_scen, tolerance);
+    if drifts == 0 {
+        println!("gate: OK — all step counts within tolerance across both suites");
+    } else {
+        println!(
+            "gate: {drifts} metric(s) drifted; regenerate {baseline_path} / {par_baseline_path} if intentional"
+        );
+    }
+    drifts
 }
 
 /// Observer overhead self-measurement on the Example 3.4 string query.
@@ -333,6 +388,29 @@ fn overhead(gate: bool) -> usize {
         qa.query_with(&word, &mut stack).unwrap()
     });
 
+    // The --serve configuration: the full stack plus a span profiler, with
+    // an idle pulse server bound on loopback for the duration (and, under
+    // `--features alloc-count`, the counting allocator priced into every
+    // row) — what `qa-fleet --serve` adds per run. The fleet's live
+    // /metrics feed is a per-run registry merge, not a per-event tee, so
+    // it does not show up here. Gated against the full stack (≤ 10%).
+    let live = std::sync::Arc::new(Metrics::new());
+    let pulse_state = qa_pulse::PulseState::new(std::sync::Arc::clone(&live), "qa_bench");
+    let pulse_server = qa_pulse::PulseServer::serve("127.0.0.1:0", pulse_state)
+        .expect("bind loopback pulse server");
+    let serve_metrics = Metrics::new();
+    let mut serve_stack = Watchdog::new(
+        Tee(
+            FlightRecorder::with_capacity(256),
+            Tee(serve_metrics.observer(), qa_pulse::SpanProfiler::new()),
+        ),
+        Budget::steps(u64::MAX),
+    );
+    let ns_pulse = h.bench("stack+pulse(serve,profile)", || {
+        qa.query_with(&word, &mut serve_stack).unwrap()
+    });
+    pulse_server.shutdown();
+
     println!();
     println!(
         "{:<24} {:>12} {:>10} {:>9}",
@@ -358,10 +436,30 @@ fn overhead(gate: bool) -> usize {
             violations += 1;
         }
     }
+    // The pulse row has its own budget: serving + profiling must cost at
+    // most 10% over the plain full stack (or a small absolute ns/step
+    // slack, for runners where the stack itself is a handful of ns).
+    const MAX_PULSE_RELATIVE: f64 = 1.10;
+    const MAX_PULSE_EXTRA_NS_PER_STEP: f64 = 25.0;
+    {
+        let per_step = ns_pulse / steps as f64;
+        let rel_stack = ns_pulse / ns_stack.max(1e-9);
+        let extra_per_step = (ns_pulse - ns_stack) / steps as f64;
+        let ok = rel_stack <= MAX_PULSE_RELATIVE || extra_per_step <= MAX_PULSE_EXTRA_NS_PER_STEP;
+        println!(
+            "{:<24} {ns_pulse:>12.1} {per_step:>10.2} {:>7.2}x stack{}",
+            "stack+pulse",
+            rel_stack,
+            if ok { "" } else { "  <-- OVER BUDGET" }
+        );
+        if gate && !ok {
+            violations += 1;
+        }
+    }
     if gate {
         if violations == 0 {
             println!(
-                "gate: OK — every observer within {MAX_EXTRA_NS_PER_STEP} extra ns/step or {MAX_RELATIVE}x of noop"
+                "gate: OK — every observer within {MAX_EXTRA_NS_PER_STEP} extra ns/step or {MAX_RELATIVE}x of noop; pulse within {MAX_PULSE_RELATIVE}x of the full stack"
             );
         } else {
             println!("gate: {violations} observer(s) over budget");
@@ -401,21 +499,12 @@ fn zigzag_qa(a: &Alphabet, sweeps: usize) -> qa_twoway::StringQa {
     qa
 }
 
-/// Parallel + memoized batch evaluation vs the plain sequential engines.
-///
-/// Returns the number of gate violations (0 when `gate` is false). The
-/// candidate must produce outcomes identical to the baseline (asserted
-/// unconditionally), and under `--gate` must be ≥ 2x faster with a nonzero
-/// cache hit count. The batch is repetition-heavy by design — a small
-/// document pool and identical decision calls — so the BehaviorCache, not
-/// the worker count, supplies the speedup; the gate therefore also passes
-/// on single-core CI runners.
-fn par_bench(gate: bool) -> usize {
-    use qa_decision::ranked_decisions::{non_emptiness_with, DEFAULT_MAX_ITEMS};
-    use qa_obs::{Counter, Metrics, NoopObserver};
-    use qa_par::{par_evaluate, par_evaluate_with, Job, Outcome};
-
-    const WORKERS: usize = 4;
+/// Build the repetition-heavy `--par` batch and hand it (plus the raw MSO
+/// automaton the sequential baseline needs) to `f`. The jobs borrow all
+/// the locals constructed here, hence the callback shape.
+fn with_par_batch<R>(f: impl FnOnce(&[qa_par::Job<'_>], &qa_core::ranked::Dbta) -> R) -> R {
+    use qa_decision::ranked_decisions::DEFAULT_MAX_ITEMS;
+    use qa_par::Job;
 
     let a = Alphabet::from_names(["0", "1"]);
     // 16 sweeps: deep enough that the behavior table dwarfs the shared
@@ -480,6 +569,49 @@ fn par_bench(gate: bool) -> usize {
             max_items: DEFAULT_MAX_ITEMS,
         });
     }
+    f(&jobs, &dbta)
+}
+
+/// The deterministic, gated face of the par suite: one worker, one cache,
+/// jobs in order — the cache hit/miss counts are then exact machine
+/// fingerprints of the memoization, unlike the stealing-dependent
+/// per-worker figures of the timed 4-worker pass.
+fn par_scenarios(jobs: &[qa_par::Job<'_>]) -> String {
+    use qa_obs::Counter;
+    let det = Metrics::new();
+    let _ = qa_par::par_evaluate_with(1, jobs, |_| det.observer());
+    object(|w| {
+        let counters = object(|c| {
+            c.field_u64("jobs", jobs.len() as u64);
+            c.field_u64("cache_hits", det.get(Counter::CacheHits));
+            c.field_u64("cache_misses", det.get(Counter::CacheMisses));
+        });
+        w.field_raw(
+            "par_cached_batch",
+            &object(|s| s.field_raw("counters", &counters)),
+        );
+    })
+}
+
+/// Parallel + memoized batch evaluation vs the plain sequential engines.
+///
+/// Returns the number of gate violations (0 when `gate` is false). The
+/// candidate must produce outcomes identical to the baseline (asserted
+/// unconditionally), and under `--gate` must be ≥ 2x faster with a nonzero
+/// cache hit count. The batch is repetition-heavy by design — a small
+/// document pool and identical decision calls — so the BehaviorCache, not
+/// the worker count, supplies the speedup; the gate therefore also passes
+/// on single-core CI runners.
+fn par_bench(gate: bool) -> usize {
+    with_par_batch(|jobs, dbta| par_bench_inner(gate, jobs, dbta))
+}
+
+fn par_bench_inner(gate: bool, jobs: &[qa_par::Job<'_>], dbta: &qa_core::ranked::Dbta) -> usize {
+    use qa_decision::ranked_decisions::non_emptiness_with;
+    use qa_obs::{Counter, Metrics, NoopObserver};
+    use qa_par::{par_evaluate, par_evaluate_with, Job, Outcome};
+
+    const WORKERS: usize = 4;
 
     // Baseline: the plain uncached engines, one job after another (for the
     // MSO jobs that includes the per-call totalization the prepared form
@@ -493,7 +625,7 @@ fn par_bench(gate: bool) -> usize {
                     Err(e) => Outcome::Error(e.to_string()),
                 },
                 Job::Mso { tree, .. } => {
-                    Outcome::Nodes(qa_mso::query_eval::eval_unary_ranked(&dbta, tree, 2))
+                    Outcome::Nodes(qa_mso::query_eval::eval_unary_ranked(dbta, tree, 2))
                 }
                 Job::NonEmptiness { qa, max_items } => {
                     match non_emptiness_with(qa, max_items, &mut NoopObserver) {
@@ -505,7 +637,7 @@ fn par_bench(gate: bool) -> usize {
             })
             .collect()
     };
-    let par_run = || par_evaluate(WORKERS, &jobs);
+    let par_run = || par_evaluate(WORKERS, jobs);
 
     let time_best_of = |runs: usize, f: &dyn Fn() -> Vec<Outcome>| -> (Vec<Outcome>, f64) {
         let mut best = f64::INFINITY;
@@ -526,7 +658,7 @@ fn par_bench(gate: bool) -> usize {
 
     // Instrumented pass for the hit rate (not timed).
     let regs: Vec<Metrics> = (0..WORKERS).map(|_| Metrics::new()).collect();
-    let instrumented = par_evaluate_with(WORKERS, &jobs, |wid| regs[wid].observer());
+    let instrumented = par_evaluate_with(WORKERS, jobs, |wid| regs[wid].observer());
     assert_eq!(
         instrumented, seq_out,
         "instrumentation must not change results"
@@ -553,18 +685,19 @@ fn par_bench(gate: bool) -> usize {
         hit_rate * 100.0
     );
 
-    // Informational export; --check never reads this file (wall-clock
-    // numbers are machine-dependent).
-    let report = object(|w| {
+    // Unified-schema export: `scenarios` holds the deterministic gated
+    // counters (--check reads them), `info` the machine-dependent
+    // wall-clock figures (never gated).
+    let info = object(|w| {
         w.field_u64("workers", WORKERS as u64);
-        w.field_u64("jobs", jobs.len() as u64);
         w.field_f64("seq_ns", seq_ns);
         w.field_f64("par_ns", par_ns);
         w.field_f64("speedup", speedup);
-        w.field_u64("cache_hits", hits);
-        w.field_u64("cache_misses", misses);
+        w.field_u64("stealing_cache_hits", hits);
+        w.field_u64("stealing_cache_misses", misses);
         w.field_f64("hit_rate", hit_rate);
     });
+    let report = suite_report("obs_par", &par_scenarios(jobs), Some(&info));
     std::fs::write("BENCH_obs_par.json", format!("{report}\n")).expect("write BENCH_obs_par.json");
     println!("wrote BENCH_obs_par.json");
 
@@ -608,10 +741,12 @@ fn main() {
                 .and_then(|i| args.get(i + 1).cloned())
         };
         let baseline = flag_val("--baseline").unwrap_or_else(|| "BENCH_obs.json".to_string());
+        let par_baseline =
+            flag_val("--par-baseline").unwrap_or_else(|| "BENCH_obs_par.json".to_string());
         let tolerance: f64 = flag_val("--tolerance")
             .map(|t| t.parse().expect("--tolerance takes a number"))
             .unwrap_or(0.05);
-        if check(&baseline, tolerance) > 0 {
+        if check(&baseline, &par_baseline, tolerance) > 0 {
             std::process::exit(1);
         }
         return;

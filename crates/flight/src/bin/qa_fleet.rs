@@ -4,13 +4,29 @@
 //! [`Watchdog`] with a [`FlightRecorder`] black box, aggregates per-run
 //! [`Metrics`] into one fleet profile, and exports:
 //!
-//! - `metrics.prom` — Prometheus text exposition of the merged registry;
+//! - `metrics.prom` — Prometheus text exposition of the merged registry
+//!   (plus `qa_build_info` and `qa_heap_*` gauges, via `qa-pulse`);
+//! - `profile.folded` — collapsed-stack span profile of all runs, ready
+//!   for `flamegraph.pl` / inferno;
 //! - `trace-<i>.json` — Chrome trace-event (Perfetto) exports of a
 //!   deterministic reservoir sample of full run traces;
 //! - `summary.txt` — per-query table plus fleet-wide step/latency
 //!   percentiles (also printed to stdout);
 //! - `postmortem.txt` — flight-recorder dump of the first failed run, if
 //!   any run tripped its budget or errored.
+//!
+//! With `--serve ADDR` a [`PulseServer`] binds next to the batch and
+//! answers `GET /healthz`, `/readyz`, `/metrics`, `/flight` and
+//! `/profile` *while the fleet runs*: each run's registry is merged into
+//! the served fleet registry as the run finishes (run-granularity
+//! freshness at zero per-event cost), and per-run observers additionally
+//! feed a [`SharedFlight`] ring behind `/flight`. A post-run `/metrics` scrape is
+//! byte-identical to `metrics.prom`: both come from the same render over
+//! the same registry. The stdout lines `pulse: serving on <addr>` and
+//! `pulse: run complete` let scripts coordinate with a live fleet;
+//! `--pace-ms` throttles jobs (a scrape window for tests and demos) and
+//! `--linger-ms` keeps the server up after the batch (until the deadline
+//! or a `GET /quit`).
 //!
 //! Exit code 0 iff every run completed. Document generation and sampling
 //! are seeded ([`qa_base::rng`]), so a fleet reruns identically: same
@@ -30,22 +46,31 @@
 //! qa-fleet [--queries M] [--docs K] [--size N] [--seed S] [--jobs N]
 //!          [--sample-every N] [--reservoir K]
 //!          [--max-steps N] [--max-wall-ms MS] [--out-dir DIR] [--smoke]
+//!          [--serve ADDR] [--pace-ms MS] [--linger-ms MS]
 //! ```
 
 use std::path::Path;
 use std::process::ExitCode;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use qa_base::rng::{Rng, StdRng};
 use qa_base::{Alphabet, Error, Symbol};
 use qa_core::ranked::query::example_4_4;
 use qa_core::unranked::query::{example_5_14, example_5_9};
-use qa_flight::{Budget, FlightRecorder, OneInN, Reservoir, Sampled, Watchdog};
+use qa_flight::{Budget, FlightRecorder, OneInN, Reservoir, Sampled, SharedFlight, Watchdog};
 use qa_obs::{Counter, Metrics, NoopObserver, RunTrace, Tee};
-use qa_probe::export::{chrome_trace, prometheus_text};
+use qa_probe::export::chrome_trace;
+use qa_pulse::{PulseServer, PulseState, SpanProfile, SpanProfiler, Weight};
 use qa_trees::Tree;
 use qa_twoway::string_qa::example_3_4_qa;
+
+// Opt-in heap accounting: build with `--features alloc-count` and every
+// `qa_heap_*` gauge on `/metrics` (and the `?weight=alloc` profile) goes
+// live. The default build keeps the untouched system allocator.
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static ALLOC: qa_pulse::CountingAlloc = qa_pulse::CountingAlloc::new();
 
 /// One finished run's slot: the outcome plus its sampled trace, if any.
 type RunSlot = Option<(RunOutcome, Option<RunTrace>)>;
@@ -54,10 +79,16 @@ const USAGE: &str = "usage:
   qa-fleet [--queries M] [--docs K] [--size N] [--seed S] [--jobs N]
            [--sample-every N] [--reservoir K]
            [--max-steps N] [--max-wall-ms MS] [--out-dir DIR] [--smoke]
+           [--serve ADDR] [--pace-ms MS] [--linger-ms MS]
 
 queries cycle through the paper's running examples:
   example-3-4 (string), example-4-4 (ranked circuit),
-  example-5-9 (unranked circuit), example-5-14 (stay transitions)";
+  example-5-9 (unranked circuit), example-5-14 (stay transitions)
+
+--serve binds a live ops HTTP server (try ADDR 127.0.0.1:0) answering
+/healthz /readyz /metrics /flight /profile /quit during the run;
+--pace-ms sleeps between jobs (a scrape window), --linger-ms keeps the
+server up after the batch until the deadline or a GET /quit.";
 
 struct Opts {
     queries: usize,
@@ -70,6 +101,9 @@ struct Opts {
     max_steps: u64,
     max_wall: Duration,
     out_dir: String,
+    serve: Option<String>,
+    pace_ms: u64,
+    linger_ms: u64,
 }
 
 impl Default for Opts {
@@ -85,6 +119,9 @@ impl Default for Opts {
             max_steps: 10_000_000,
             max_wall: Duration::from_millis(10_000),
             out_dir: "fleet-out".to_string(),
+            serve: None,
+            pace_ms: 0,
+            linger_ms: 0,
         }
     }
 }
@@ -116,6 +153,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     Duration::from_millis(val(&mut it, arg)?.parse().map_err(|e| format!("{e}"))?)
             }
             "--out-dir" => o.out_dir = val(&mut it, arg)?,
+            "--serve" => o.serve = Some(val(&mut it, arg)?),
+            "--pace-ms" => o.pace_ms = val(&mut it, arg)?.parse().map_err(|e| format!("{e}"))?,
+            "--linger-ms" => {
+                o.linger_ms = val(&mut it, arg)?.parse().map_err(|e| format!("{e}"))?
+            }
             "--smoke" => {
                 o.queries = 4;
                 o.docs = 3;
@@ -276,17 +318,29 @@ fn run_one(
     budget: Budget,
     sampled: bool,
     fleet: &Metrics,
-) -> (RunOutcome, Option<RunTrace>) {
+    live: Option<&SharedFlight>,
+) -> (RunOutcome, Option<RunTrace>, SpanProfile) {
     let run_metrics = Metrics::new();
     let trace_arm = if sampled {
         Sampled::Full(RunTrace::new())
     } else {
         Sampled::Light(NoopObserver)
     };
+    // With --serve, events additionally feed the shared /flight ring so a
+    // mid-run scrape shows the current event tail. Metrics stay per-run
+    // and are merged into the fleet registry at run end — run-granularity
+    // freshness for /metrics, at zero per-event cost.
+    let live_arm = match live {
+        Some(shared) => Sampled::Full(shared.clone()),
+        None => Sampled::Light(NoopObserver),
+    };
     let mut obs = Watchdog::new(
         Tee(
             FlightRecorder::with_capacity(256),
-            Tee(run_metrics.observer(), trace_arm),
+            Tee(
+                run_metrics.observer(),
+                Tee(trace_arm, Tee(SpanProfiler::new(), live_arm)),
+            ),
         ),
         budget,
     );
@@ -300,7 +354,7 @@ fn run_one(
     };
     let latency = t0.elapsed();
 
-    let Tee(recorder, Tee(_, trace_arm)) = obs.into_inner();
+    let Tee(recorder, Tee(_, Tee(trace_arm, Tee(profiler, _)))) = obs.into_inner();
     let trace = trace_arm.full();
     let (selected, error, dump) = match result {
         Ok(n) => (n, None, None),
@@ -321,7 +375,7 @@ fn run_one(
         dump,
     };
     fleet.merge(&run_metrics);
-    (outcome, trace)
+    (outcome, trace, profiler.into_profile())
 }
 
 /// Render the fleet summary. With `include_latency` the wall-clock
@@ -423,12 +477,7 @@ fn build_stats(outcomes: &[&RunOutcome]) -> Vec<(&'static str, QueryStats)> {
 /// filled so far. Called under the slots lock the moment a run fails, so a
 /// later hang or kill still leaves telemetry on disk; the normal exit path
 /// overwrites both files with the complete versions.
-fn flush_partial(
-    opts: &Opts,
-    out_dir: &Path,
-    slots: &[RunSlot],
-    fleet: &Metrics,
-) {
+fn flush_partial(opts: &Opts, out_dir: &Path, slots: &[RunSlot], state: &PulseState) {
     let done: Vec<&RunOutcome> = slots.iter().flatten().map(|(o, _)| o).collect();
     let stats = build_stats(&done);
     let mut summary = render_summary(opts, &done, &stats, false);
@@ -441,7 +490,7 @@ fn flush_partial(
     );
     for (name, contents) in [
         ("summary.txt", summary),
-        ("metrics.prom", prometheus_text(fleet, "qa_fleet")),
+        ("metrics.prom", state.metrics_text()),
     ] {
         if let Err(e) = std::fs::write(out_dir.join(name), contents) {
             eprintln!("cannot write partial {name}: {e}");
@@ -461,7 +510,34 @@ fn main() -> ExitCode {
 
     let roster = roster();
     let budget = Budget::steps(opts.max_steps).with_wall(opts.max_wall);
-    let fleet = Metrics::new();
+    let fleet = Arc::new(Metrics::new());
+    // The pulse state exists even without --serve: it renders metrics.prom
+    // and aggregates the span profile either way, and serving just exposes
+    // the same state over HTTP.
+    let state = PulseState::new(Arc::clone(&fleet), "qa_fleet");
+    let mut shared_flight = None;
+    let server = match &opts.serve {
+        Some(addr) => {
+            let shared = SharedFlight::with_capacity(1024);
+            let source = shared.clone();
+            state.set_flight_source(Box::new(move || source.with(|r| r.to_json())));
+            shared_flight = Some(shared);
+            match PulseServer::serve(addr.as_str(), Arc::clone(&state)) {
+                Ok(s) => {
+                    // Stdout protocol line: scripts wait for this before
+                    // scraping (stdout is line-buffered, so it arrives
+                    // promptly even through a pipe).
+                    println!("pulse: serving on {}", s.local_addr());
+                    Some(s)
+                }
+                Err(e) => {
+                    eprintln!("cannot bind {addr}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => None,
+    };
 
     // The output directory exists before any run starts, so a mid-batch
     // failure can flush partial telemetry.
@@ -470,6 +546,8 @@ fn main() -> ExitCode {
         eprintln!("cannot create {}: {e}", opts.out_dir);
         return ExitCode::from(2);
     }
+    // Warmup (arg parsing, roster, out dir) is done: flip /readyz.
+    state.set_ready();
 
     // Sampling flags are pre-drawn in job order: the OneInN stream is
     // consumed identically no matter how many workers run the jobs.
@@ -482,8 +560,7 @@ fn main() -> ExitCode {
     // Outcomes land in indexed slots, so `--jobs N` yields the same vector
     // as `--jobs 1`; per-run metrics merge into `fleet` as commutative
     // counter sums.
-    let slots: Mutex<Vec<RunSlot>> =
-        Mutex::new((0..specs.len()).map(|_| None).collect());
+    let slots: Mutex<Vec<RunSlot>> = Mutex::new((0..specs.len()).map(|_| None).collect());
     qa_par::par_batch(opts.jobs, specs, |_worker, (qi, di, sampled)| {
         let wl = &roster[qi % roster.len()];
         // Per-run seed: distinct per (query index, doc index), stable
@@ -493,15 +570,22 @@ fn main() -> ExitCode {
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
             .wrapping_add((qi as u64) << 32 | di as u64);
         let doc = generate_doc(wl.name, opts.size, doc_seed);
-        let (outcome, trace) = run_one(wl, &doc, budget, sampled, &fleet);
+        let (outcome, trace, profile) =
+            run_one(wl, &doc, budget, sampled, &fleet, shared_flight.as_ref());
+        state.merge_profile(&profile);
         let failed = outcome.error.is_some();
-        let mut slots = slots.lock().expect("slots lock");
-        slots[qi * opts.docs + di] = Some((outcome, trace));
-        if failed {
-            // A budget trip mid-batch must not strand the fleet without
-            // telemetry: flush what finished so far (overwritten with the
-            // complete exports on normal exit).
-            flush_partial(&opts, out_dir, &slots, &fleet);
+        {
+            let mut slots = slots.lock().expect("slots lock");
+            slots[qi * opts.docs + di] = Some((outcome, trace));
+            if failed {
+                // A budget trip mid-batch must not strand the fleet without
+                // telemetry: flush what finished so far (overwritten with
+                // the complete exports on normal exit).
+                flush_partial(&opts, out_dir, &slots, &state);
+            }
+        }
+        if opts.pace_ms > 0 {
+            std::thread::sleep(Duration::from_millis(opts.pace_ms));
         }
     });
 
@@ -534,7 +618,11 @@ fn main() -> ExitCode {
         }
     };
     write("summary.txt", &summary);
-    write("metrics.prom", &prometheus_text(&fleet, "qa_fleet"));
+    write("metrics.prom", &state.metrics_text());
+    write(
+        "profile.folded",
+        &state.profile_collapsed(Weight::WallNanos),
+    );
     for (i, (label, trace)) in traces.items().iter().enumerate() {
         write(&format!("trace-{i}.json"), &chrome_trace(trace));
         eprintln!("trace-{i}.json <- full trace of {label}");
@@ -549,6 +637,18 @@ fn main() -> ExitCode {
             first_failed.workload, first_failed.doc_nodes
         );
     }
+    // All exports are on disk; tell any coordinating script the endpoints
+    // now serve final data, then hold the server for the linger window (or
+    // until a GET /quit stops the accept loop).
+    if let Some(server) = server {
+        println!("pulse: run complete");
+        let deadline = Instant::now() + Duration::from_millis(opts.linger_ms);
+        while server.is_running() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        server.shutdown();
+    }
+
     if let Some(msg) = io_err {
         eprintln!("{msg}");
         return ExitCode::from(2);

@@ -30,6 +30,6 @@ pub mod recorder;
 pub mod sampler;
 pub mod watchdog;
 
-pub use recorder::{with_postmortem, FlightEvent, FlightRecorder, DEFAULT_CAPACITY};
+pub use recorder::{with_postmortem, FlightEvent, FlightRecorder, SharedFlight, DEFAULT_CAPACITY};
 pub use sampler::{OneInN, Reservoir, Sampled};
-pub use watchdog::{Budget, Watchdog, WALL_POLL_MASK};
+pub use watchdog::{Budget, Watchdog, DEFAULT_WALL_POLL};

@@ -13,6 +13,7 @@
 //! always says how much history it is missing.
 
 use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
 
 use qa_obs::{Counter, Observer, Series};
 
@@ -236,6 +237,152 @@ impl FlightRecorder {
         }
         out
     }
+
+    /// Render the recorder as JSON — the machine-readable twin of
+    /// [`dump`](FlightRecorder::dump), served by `qa-fleet --serve` at
+    /// `GET /flight`. Hand-rolled like every exporter in this workspace
+    /// (phase names are `&'static str` identifiers; the only escaping
+    /// needed is for quotes/backslashes, handled below).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"retained\":{},\"capacity\":{},\"dropped\":{}",
+            self.ring.len(),
+            self.cap,
+            self.dropped
+        );
+        let _ = write!(out, ",\"counters\":{{");
+        let mut first = true;
+        for c in Counter::ALL {
+            let v = self.counters[c.index()];
+            if v != 0 {
+                if !first {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{v}", c.name());
+                first = false;
+            }
+        }
+        out.push('}');
+        match self.repeated_config() {
+            Some((state, pos, n)) if n > 1 => {
+                let _ = write!(
+                    out,
+                    ",\"repeated_config\":{{\"state\":{state},\"pos\":{pos},\"count\":{n}}}"
+                );
+            }
+            _ => {
+                let _ = write!(out, ",\"repeated_config\":null");
+            }
+        }
+        let _ = write!(out, ",\"events\":[");
+        for (i, ev) in self.ring.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match *ev {
+                FlightEvent::Config { state, pos, dir } => {
+                    let _ = write!(
+                        out,
+                        "{{\"type\":\"config\",\"state\":{state},\"pos\":{pos},\"dir\":{dir}}}"
+                    );
+                }
+                FlightEvent::PhaseStart(name) => {
+                    let _ = write!(
+                        out,
+                        "{{\"type\":\"phase_start\",\"name\":\"{}\"}}",
+                        esc(name)
+                    );
+                }
+                FlightEvent::PhaseEnd(name) => {
+                    let _ = write!(out, "{{\"type\":\"phase_end\",\"name\":\"{}\"}}", esc(name));
+                }
+                FlightEvent::Selected { pos, state, sym } => {
+                    let _ = write!(
+                        out,
+                        "{{\"type\":\"selected\",\"pos\":{pos},\"state\":{state},\"sym\":{sym}}}"
+                    );
+                }
+                FlightEvent::StayAssign {
+                    parent,
+                    child,
+                    state,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"type\":\"stay_assign\",\"parent\":{parent},\"child\":{child},\"state\":{state}}}"
+                    );
+                }
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// A [`FlightRecorder`] behind `Arc<Mutex<…>>`, usable both as a run's
+/// observer and as a live `/flight` endpoint source at the same time.
+///
+/// The plain recorder is single-owner by design (observers are `&mut`);
+/// a live ops surface needs to *read* the ring from the serve thread while
+/// a run is still writing it. `SharedFlight` pays one uncontended mutex
+/// lock per recorded event for that — measurable but small, and only the
+/// binaries that opt into `--serve` use it; batch paths keep the lock-free
+/// recorder.
+#[derive(Clone, Debug, Default)]
+pub struct SharedFlight(Arc<Mutex<FlightRecorder>>);
+
+impl SharedFlight {
+    /// Shared recorder retaining at most `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        SharedFlight(Arc::new(Mutex::new(FlightRecorder::with_capacity(cap))))
+    }
+
+    /// Run `f` on the recorder (e.g. `|r| r.to_json()` from a serve
+    /// thread, or `|r| r.dump()` for a post-mortem).
+    pub fn with<T>(&self, f: impl FnOnce(&FlightRecorder) -> T) -> T {
+        f(&self.0.lock().expect("flight recorder lock poisoned"))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FlightRecorder> {
+        self.0.lock().expect("flight recorder lock poisoned")
+    }
+}
+
+impl Observer for SharedFlight {
+    #[inline]
+    fn count(&mut self, counter: Counter, n: u64) {
+        self.lock().count(counter, n);
+    }
+    #[inline]
+    fn record(&mut self, series: Series, value: u64) {
+        self.lock().record(series, value);
+    }
+    #[inline]
+    fn config(&mut self, state: u32, pos: u32, dir: i8) {
+        self.lock().config(state, pos, dir);
+    }
+    #[inline]
+    fn phase_start(&mut self, name: &'static str) {
+        self.lock().phase_start(name);
+    }
+    #[inline]
+    fn phase_end(&mut self, name: &'static str) {
+        self.lock().phase_end(name);
+    }
+    #[inline]
+    fn selected(&mut self, pos: u32, state: u32, sym: u32) {
+        self.lock().selected(pos, state, sym);
+    }
+    #[inline]
+    fn stay_assign(&mut self, parent: u32, child: u32, state: u32) {
+        self.lock().stay_assign(parent, child, state);
+    }
 }
 
 impl Observer for FlightRecorder {
@@ -358,6 +505,43 @@ mod tests {
             "{dump}"
         );
         assert!(dump.contains("config   q3 @ 7 ->"), "{dump}");
+    }
+
+    #[test]
+    fn json_dump_carries_drops_counters_and_loop_evidence() {
+        let mut rec = FlightRecorder::with_capacity(4);
+        for _ in 0..6 {
+            rec.count(Counter::Steps, 1);
+            rec.config(3, 7, 1);
+        }
+        rec.phase_start("selection scan");
+        let json = rec.to_json();
+        assert!(json.contains("\"dropped\":3"), "{json}");
+        assert!(json.contains("\"steps\":6"), "{json}");
+        assert!(
+            json.contains("\"repeated_config\":{\"state\":3,\"pos\":7,\"count\":3}"),
+            "{json}"
+        );
+        assert!(
+            json.contains("{\"type\":\"phase_start\",\"name\":\"selection scan\"}"),
+            "{json}"
+        );
+        // Braces balance (cheap well-formedness check for the hand-rolled
+        // writer; the pulse e2e test parses it for real).
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes, "{json}");
+    }
+
+    #[test]
+    fn shared_flight_records_through_the_observer_and_reads_concurrently() {
+        let mut shared = SharedFlight::with_capacity(8);
+        shared.count(Counter::Steps, 5);
+        shared.config(1, 2, 1);
+        let reader = shared.clone();
+        assert_eq!(reader.with(|r| r.counter(Counter::Steps)), 5);
+        assert_eq!(reader.with(|r| r.len()), 1);
+        assert!(reader.with(|r| r.to_json()).contains("\"steps\":5"));
     }
 
     #[test]

@@ -5,9 +5,10 @@
 //!
 //! - **steps** — tallied from [`Counter::Steps`] events;
 //! - **head reversals** — tallied from [`Counter::HeadReversals`];
-//! - **wall clock** — an [`Instant`] read every [`WALL_POLL_MASK`]+1
-//!   checkpoints, so the common path costs two integer compares and no
-//!   syscall.
+//! - **wall clock** — an [`Instant`] read every [`Budget::wall_poll_every`]
+//!   checkpoints (default [`DEFAULT_WALL_POLL`]), so the common path costs
+//!   two integer compares and no syscall. Latency-sensitive callers can
+//!   tighten the stride to trade a few clock reads for earlier aborts.
 //!
 //! When a budget trips, the engine receives `Err(Abort)` from its next
 //! `checkpoint()` call and converts it into `Error::RunAborted` — a
@@ -19,7 +20,7 @@ use std::time::{Duration, Instant};
 use qa_obs::{Abort, Counter, Observer, Series};
 
 /// Budgets enforced by a [`Watchdog`]. `None` disables a dimension.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct Budget {
     /// Maximum `Counter::Steps` total before aborting.
     pub max_steps: Option<u64>,
@@ -27,6 +28,22 @@ pub struct Budget {
     pub max_reversals: Option<u64>,
     /// Maximum wall-clock time for the run.
     pub max_wall: Option<Duration>,
+    /// How many checkpoints pass between wall-clock reads (the first
+    /// checkpoint always reads). Defaults to [`DEFAULT_WALL_POLL`];
+    /// smaller values detect a blown `max_wall` sooner at the cost of
+    /// more `Instant::now` calls. Clamped to at least 1.
+    pub wall_poll_every: u64,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            max_steps: None,
+            max_reversals: None,
+            max_wall: None,
+            wall_poll_every: DEFAULT_WALL_POLL,
+        }
+    }
 }
 
 impl Budget {
@@ -54,10 +71,18 @@ impl Budget {
         self.max_wall = Some(max);
         self
     }
+
+    /// Set the wall-clock polling stride (see
+    /// [`Budget::wall_poll_every`]).
+    pub fn with_wall_poll_every(mut self, every: u64) -> Self {
+        self.wall_poll_every = every.max(1);
+        self
+    }
 }
 
-/// The wall clock is read once per `WALL_POLL_MASK + 1` checkpoints.
-pub const WALL_POLL_MASK: u64 = 1023;
+/// Default wall-clock polling stride: one `Instant` read per this many
+/// checkpoints.
+pub const DEFAULT_WALL_POLL: u64 = 1024;
 
 /// Observer wrapper enforcing a [`Budget`]; all events are forwarded to the
 /// inner observer unchanged.
@@ -67,7 +92,9 @@ pub struct Watchdog<O> {
     budget: Budget,
     steps: u64,
     reversals: u64,
-    checks: u64,
+    /// Checkpoints until the next wall-clock read; starts at 1 so the
+    /// first checkpoint always polls.
+    until_wall_poll: u64,
     started: Instant,
     tripped: Option<Abort>,
 }
@@ -80,7 +107,7 @@ impl<O: Observer> Watchdog<O> {
             budget,
             steps: 0,
             reversals: 0,
-            checks: 0,
+            until_wall_poll: 1,
             started: Instant::now(),
             tripped: None,
         }
@@ -128,8 +155,11 @@ impl<O: Observer> Watchdog<O> {
             }
         }
         if let Some(max) = self.budget.max_wall {
-            // Reading the clock is the expensive part; amortize it.
-            if self.checks & WALL_POLL_MASK == 0 {
+            // Reading the clock is the expensive part; amortize it over
+            // the configured stride.
+            self.until_wall_poll -= 1;
+            if self.until_wall_poll == 0 {
+                self.until_wall_poll = self.budget.wall_poll_every.max(1);
                 let elapsed = self.started.elapsed();
                 if elapsed > max {
                     return self.trip(
@@ -140,7 +170,6 @@ impl<O: Observer> Watchdog<O> {
                 }
             }
         }
-        self.checks += 1;
         Ok(())
     }
 
@@ -260,6 +289,32 @@ mod tests {
         for _ in 0..5000 {
             assert_eq!(dog.checkpoint(), Ok(()));
         }
+    }
+
+    #[test]
+    fn tighter_wall_poll_stride_trips_sooner() {
+        // Both dogs blow the same wall budget during the sleep; the one
+        // with the tight stride notices within its stride, the default
+        // stride coasts for ~1024 checkpoints first.
+        let budget = Budget::unlimited().with_wall(Duration::from_millis(100));
+        let mut tight = Watchdog::new(NoopObserver, budget.with_wall_poll_every(3));
+        let mut loose = Watchdog::new(NoopObserver, budget);
+        assert_eq!(loose.budget.wall_poll_every, DEFAULT_WALL_POLL);
+        // First checkpoint polls the (still fresh) clock on both.
+        assert_eq!(tight.checkpoint(), Ok(()));
+        assert_eq!(loose.checkpoint(), Ok(()));
+        std::thread::sleep(Duration::from_millis(150));
+        // Tight stride: next poll lands within 3 checkpoints.
+        let tripped_after = (1..=3)
+            .find(|_| tight.checkpoint().is_err())
+            .expect("tight stride trips within its stride");
+        assert!(tripped_after <= 3);
+        // Default stride: the next 1000 checkpoints don't even look.
+        for _ in 0..1000 {
+            assert_eq!(loose.checkpoint(), Ok(()));
+        }
+        // ...but the stride boundary still catches it.
+        assert!((0..DEFAULT_WALL_POLL).any(|_| loose.checkpoint().is_err()));
     }
 
     #[test]

@@ -88,6 +88,20 @@ fn check_metric(
     }
 }
 
+/// The scenario map of a parsed bench report: the `scenarios` field of a
+/// suite-wrapped report (`{"suite": …, "scenarios": {…}}` — the unified
+/// schema shared by `BENCH_obs.json` and `BENCH_obs_par.json`), or the
+/// report itself for the legacy flat shape. Anything outside `scenarios`
+/// (e.g. a wall-clock `info` block) is thereby excluded from gating.
+pub fn scenarios(report: &Value) -> &Value {
+    report.get("scenarios").unwrap_or(report)
+}
+
+/// The `suite` tag of a unified report, if present.
+pub fn suite(report: &Value) -> Option<&str> {
+    report.get("suite").and_then(Value::as_str)
+}
+
 /// Compare two parsed bench_obs reports. Returns every counter or series
 /// total (`count` and `sum`) whose current value drifts beyond relative
 /// `tolerance` of the baseline, including metrics or whole scenarios
@@ -203,10 +217,42 @@ mod tests {
     }
 
     #[test]
-    fn gate_passes_on_the_committed_baseline_against_itself() {
-        let text = include_str!("../../../BENCH_obs.json");
-        let v = parse(text).unwrap();
-        assert!(compare_reports(&v, &v, 0.0).is_empty());
-        assert!(v.get("example_3_4_string_query").is_some());
+    fn suite_wrapped_reports_gate_their_scenarios_only() {
+        let wrapped = parse(
+            r#"{"suite":"obs_par","scenarios":{"s1":{"counters":{"steps":5}}},"info":{"seq_ns":123456}}"#,
+        )
+        .unwrap();
+        assert_eq!(suite(&wrapped), Some("obs_par"));
+        let scen = scenarios(&wrapped);
+        assert!(scen.get("s1").is_some());
+        assert!(scen.get("info").is_none(), "info is outside the gate");
+        assert!(compare_reports(scen, scen, 0.0).is_empty());
+        // Legacy flat reports pass through unchanged.
+        let flat = parse(r#"{"s1":{"counters":{"steps":5}}}"#).unwrap();
+        assert!(scenarios(&flat).get("s1").is_some());
+        assert_eq!(suite(&flat), None);
+    }
+
+    #[test]
+    fn gate_passes_on_the_committed_baselines_against_themselves() {
+        for (path, text, tag) in [
+            (
+                "BENCH_obs.json",
+                include_str!("../../../BENCH_obs.json"),
+                "obs",
+            ),
+            (
+                "BENCH_obs_par.json",
+                include_str!("../../../BENCH_obs_par.json"),
+                "obs_par",
+            ),
+        ] {
+            let v = parse(text).unwrap_or_else(|e| panic!("parse {path}: {e:?}"));
+            assert_eq!(suite(&v), Some(tag), "{path} carries its suite tag");
+            let scen = scenarios(&v);
+            assert!(compare_reports(scen, scen, 0.0).is_empty(), "{path}");
+        }
+        let obs = parse(include_str!("../../../BENCH_obs.json")).unwrap();
+        assert!(scenarios(&obs).get("example_3_4_string_query").is_some());
     }
 }

@@ -34,5 +34,5 @@ pub use diff::{counter_drift, first_divergence, Divergence};
 pub use export::{
     chrome_from_trace_json, chrome_trace, prometheus_from_metrics_json, prometheus_text,
 };
-pub use gate::{compare_reports, Drift};
+pub use gate::{compare_reports, scenarios, suite, Drift};
 pub use provenance::{Explanation, ProvenanceObserver, StayCertificate, Visit};

@@ -1,0 +1,21 @@
+//! Captures the compiler version at build time so `/metrics` can expose a
+//! `qa_build_info{version,rustc}` gauge attributing scraped fleets to the
+//! exact toolchain that produced them. No crates.io dependencies: the
+//! version string comes from running the same `rustc` cargo is using.
+
+use std::process::Command;
+
+fn main() {
+    println!("cargo:rerun-if-changed=build.rs");
+    println!("cargo:rerun-if-env-changed=RUSTC");
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_string());
+    let version = Command::new(&rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=QA_RUSTC_VERSION={version}");
+}

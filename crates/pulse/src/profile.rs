@@ -1,0 +1,413 @@
+//! [`SpanProfiler`]: aggregate the engines' `phase_start`/`phase_end`
+//! hooks into a weighted call tree and emit Brendan-Gregg collapsed-stack
+//! format.
+//!
+//! Every instrumented engine already brackets its work in named phases
+//! (`"run"`, `"selection scan"`, `"summary fixpoint"`, …) for the
+//! [`qa_obs::RunTrace`] Perfetto exports. The profiler reuses exactly
+//! those hooks: phases become stack frames, nested phases become nested
+//! frames, and each frame accumulates wall-clock self time plus (when a
+//! [`CountingAlloc`](crate::CountingAlloc) is installed) allocated-byte
+//! volume. [`SpanProfile::to_collapsed`] then renders the classic
+//! `frame;frame;frame weight` lines that `flamegraph.pl` and inferno
+//! inflate into a flamegraph.
+//!
+//! Profiles from many runs (or many worker threads) merge with
+//! [`SpanProfile::merge`] — the per-run profiler stays single-threaded and
+//! lock-free; only the merge into a fleet-wide profile takes a lock, once
+//! per run.
+
+use std::time::Instant;
+
+use qa_obs::Observer;
+
+use crate::heap;
+
+/// Which per-frame weight [`SpanProfile::to_collapsed`] emits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Weight {
+    /// Wall-clock self time, in nanoseconds.
+    WallNanos,
+    /// Bytes allocated while the frame was the innermost open phase
+    /// (all zeros unless a counting allocator is installed).
+    AllocBytes,
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    name: &'static str,
+    children: Vec<usize>,
+    /// Total wall-clock nanoseconds spent while this frame was open,
+    /// children included (self time is derived at emission).
+    total_ns: u64,
+    /// Total bytes allocated while this frame was open, children included.
+    alloc_bytes: u64,
+    /// Completed enter/leave pairs.
+    calls: u64,
+}
+
+/// A weighted call tree keyed by nested phase names.
+#[derive(Clone, Debug, Default)]
+pub struct SpanProfile {
+    nodes: Vec<Node>,
+    roots: Vec<usize>,
+}
+
+impl SpanProfile {
+    /// Empty profile.
+    pub fn new() -> Self {
+        SpanProfile::default()
+    }
+
+    /// Whether any phase has completed.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.iter().all(|n| n.calls == 0)
+    }
+
+    /// Total wall-clock nanoseconds across all root frames.
+    pub fn total_ns(&self) -> u64 {
+        self.roots.iter().map(|&r| self.nodes[r].total_ns).sum()
+    }
+
+    /// Find or create the child of `parent` (`None` = a root frame) named
+    /// `name`, returning its index.
+    fn child(&mut self, parent: Option<usize>, name: &'static str) -> usize {
+        let siblings = match parent {
+            Some(p) => &self.nodes[p].children,
+            None => &self.roots,
+        };
+        if let Some(&i) = siblings.iter().find(|&&i| self.nodes[i].name == name) {
+            return i;
+        }
+        let i = self.nodes.len();
+        self.nodes.push(Node {
+            name,
+            children: Vec::new(),
+            total_ns: 0,
+            alloc_bytes: 0,
+            calls: 0,
+        });
+        match parent {
+            Some(p) => self.nodes[p].children.push(i),
+            None => self.roots.push(i),
+        }
+        i
+    }
+
+    fn add(&mut self, node: usize, ns: u64, bytes: u64) {
+        let n = &mut self.nodes[node];
+        n.total_ns += ns;
+        n.alloc_bytes += bytes;
+        n.calls += 1;
+    }
+
+    /// Fold `other` into this profile: frames with the same name path
+    /// combine their weights, as if both profiles' phases had run under
+    /// one profiler. Associative and commutative.
+    pub fn merge(&mut self, other: &SpanProfile) {
+        fn merge_into(
+            dst: &mut SpanProfile,
+            parent: Option<usize>,
+            src: &SpanProfile,
+            src_idx: usize,
+        ) {
+            let s = &src.nodes[src_idx];
+            let d = dst.child(parent, s.name);
+            dst.nodes[d].total_ns += s.total_ns;
+            dst.nodes[d].alloc_bytes += s.alloc_bytes;
+            dst.nodes[d].calls += s.calls;
+            for &c in &src.nodes[src_idx].children {
+                merge_into(dst, Some(d), src, c);
+            }
+        }
+        for &r in &other.roots {
+            merge_into(self, None, other, r);
+        }
+    }
+
+    /// Collapsed-stack rendering: one `frame;frame;frame weight` line per
+    /// stack with positive *self* weight (total minus children — the
+    /// convention flamegraph tools expect), children sorted by name so the
+    /// output shape is deterministic. Frame names are the engines' phase
+    /// names with `' '` → `'_'` and `';'` → `':'` (the collapsed format
+    /// reserves both characters).
+    pub fn to_collapsed(&self, weight: Weight) -> String {
+        fn sanitize(name: &str) -> String {
+            name.replace(' ', "_").replace(';', ":")
+        }
+        fn walk(p: &SpanProfile, idx: usize, path: &mut String, weight: Weight, out: &mut String) {
+            let node = &p.nodes[idx];
+            let base = path.len();
+            if !path.is_empty() {
+                path.push(';');
+            }
+            path.push_str(&sanitize(node.name));
+            let pick = |n: &Node| match weight {
+                Weight::WallNanos => n.total_ns,
+                Weight::AllocBytes => n.alloc_bytes,
+            };
+            let children: u64 = node.children.iter().map(|&c| pick(&p.nodes[c])).sum();
+            let self_weight = pick(node).saturating_sub(children);
+            if self_weight > 0 {
+                out.push_str(path);
+                out.push(' ');
+                out.push_str(&self_weight.to_string());
+                out.push('\n');
+            }
+            let mut kids = node.children.clone();
+            kids.sort_by_key(|&c| p.nodes[c].name);
+            for c in kids {
+                walk(p, c, path, weight, out);
+            }
+            path.truncate(base);
+        }
+        let mut out = String::new();
+        let mut roots = self.roots.clone();
+        roots.sort_by_key(|&r| self.nodes[r].name);
+        let mut path = String::new();
+        for r in roots {
+            walk(self, r, &mut path, weight, &mut out);
+        }
+        out
+    }
+}
+
+struct Frame {
+    node: usize,
+    started: Instant,
+    alloc0: u64,
+}
+
+/// [`Observer`] that builds a [`SpanProfile`] from phase events; every
+/// other hook keeps its empty zero-cost default.
+///
+/// # Examples
+///
+/// ```
+/// use qa_obs::Observer;
+/// use qa_pulse::{SpanProfiler, Weight};
+///
+/// let mut p = SpanProfiler::new();
+/// p.phase_start("run");
+/// p.phase_start("selection scan");
+/// p.phase_end("selection scan");
+/// p.phase_end("run");
+/// let folded = p.into_profile().to_collapsed(Weight::WallNanos);
+/// assert!(folded.contains("run;selection_scan "));
+/// ```
+#[derive(Default)]
+pub struct SpanProfiler {
+    profile: SpanProfile,
+    stack: Vec<Frame>,
+}
+
+impl SpanProfiler {
+    /// Fresh profiler with an empty profile.
+    pub fn new() -> Self {
+        SpanProfiler::default()
+    }
+
+    /// The profile so far (open frames not yet attributed).
+    pub fn profile(&self) -> &SpanProfile {
+        &self.profile
+    }
+
+    /// Finish, discarding any still-open frames (their completed children
+    /// are retained — matching how [`qa_obs::RunTrace`] drops unclosed
+    /// phases).
+    pub fn into_profile(self) -> SpanProfile {
+        self.profile
+    }
+
+    fn close_top(&mut self) {
+        if let Some(f) = self.stack.pop() {
+            let ns = f.started.elapsed().as_nanos() as u64;
+            let bytes = heap::allocated_bytes().saturating_sub(f.alloc0);
+            self.profile.add(f.node, ns, bytes);
+        }
+    }
+}
+
+impl Observer for SpanProfiler {
+    fn phase_start(&mut self, name: &'static str) {
+        let parent = self.stack.last().map(|f| f.node);
+        let node = self.profile.child(parent, name);
+        self.stack.push(Frame {
+            node,
+            started: Instant::now(),
+            alloc0: heap::allocated_bytes(),
+        });
+    }
+
+    fn phase_end(&mut self, name: &'static str) {
+        // Engines nest phases properly; tolerate strays the way RunTrace
+        // does (ignore an end with no matching start) and close any frames
+        // left open above a matching outer end.
+        match self
+            .stack
+            .iter()
+            .rposition(|f| self.profile.nodes[f.node].name == name)
+        {
+            None => {}
+            Some(i) => {
+                while self.stack.len() > i {
+                    self.close_top();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fire(p: &mut SpanProfiler, script: &[(&'static str, bool)]) {
+        for &(name, start) in script {
+            if start {
+                p.phase_start(name);
+            } else {
+                p.phase_end(name);
+            }
+        }
+    }
+
+    /// Parse collapsed text back into (path, weight) pairs.
+    fn parse(folded: &str) -> Vec<(String, u64)> {
+        folded
+            .lines()
+            .map(|l| {
+                let (path, w) = l.rsplit_once(' ').expect("line is `path weight`");
+                (path.to_string(), w.parse().expect("positive integer"))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn nested_phases_become_nested_stacks() {
+        let mut p = SpanProfiler::new();
+        fire(
+            &mut p,
+            &[
+                ("run", true),
+                ("bottom-up pass", true),
+                ("bottom-up pass", false),
+                ("selection scan", true),
+                ("selection scan", false),
+                ("run", false),
+            ],
+        );
+        let lines = parse(&p.into_profile().to_collapsed(Weight::WallNanos));
+        let paths: Vec<&str> = lines.iter().map(|(p, _)| p.as_str()).collect();
+        // children sorted by name, spaces sanitized to underscores
+        assert!(paths.contains(&"run;bottom-up_pass"), "{paths:?}");
+        assert!(paths.contains(&"run;selection_scan"), "{paths:?}");
+        assert!(lines.iter().all(|&(_, w)| w > 0), "{lines:?}");
+    }
+
+    #[test]
+    fn self_time_excludes_children() {
+        // Build a profile by hand so the weights are exact.
+        let mut prof = SpanProfile::new();
+        let run = prof.child(None, "run");
+        let inner = prof.child(Some(run), "inner");
+        prof.add(inner, 30, 0);
+        prof.add(run, 100, 0);
+        let lines = parse(&prof.to_collapsed(Weight::WallNanos));
+        assert_eq!(
+            lines,
+            vec![("run".to_string(), 70), ("run;inner".to_string(), 30)]
+        );
+    }
+
+    #[test]
+    fn zero_self_weight_lines_are_omitted() {
+        let mut prof = SpanProfile::new();
+        let run = prof.child(None, "run");
+        let inner = prof.child(Some(run), "inner");
+        prof.add(inner, 50, 0);
+        prof.add(run, 50, 0); // all of run's time is inside inner
+        let lines = parse(&prof.to_collapsed(Weight::WallNanos));
+        assert_eq!(lines, vec![("run;inner".to_string(), 50)]);
+    }
+
+    #[test]
+    fn round_trip_known_tree_through_collapsed_text() {
+        // A known nested-phase tree: the collapsed output must reproduce
+        // the exact (path, self-weight) multiset.
+        let mut prof = SpanProfile::new();
+        let a = prof.child(None, "a");
+        let ab = prof.child(Some(a), "b");
+        let ac = prof.child(Some(a), "c");
+        let acb = prof.child(Some(ac), "b");
+        prof.add(ab, 5, 0);
+        prof.add(acb, 7, 0);
+        prof.add(ac, 10, 0);
+        prof.add(a, 100, 0);
+        let folded = prof.to_collapsed(Weight::WallNanos);
+        let lines = parse(&folded);
+        assert_eq!(
+            lines,
+            vec![
+                ("a".to_string(), 85),
+                ("a;b".to_string(), 5),
+                ("a;c".to_string(), 3),
+                ("a;c;b".to_string(), 7),
+            ]
+        );
+        // Re-merging the same tree doubles every weight, no new paths.
+        let mut doubled = prof.clone();
+        doubled.merge(&prof);
+        let twice = parse(&doubled.to_collapsed(Weight::WallNanos));
+        assert_eq!(
+            twice,
+            lines
+                .iter()
+                .map(|(p, w)| (p.clone(), w * 2))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn merge_combines_distinct_roots() {
+        let mut x = SpanProfile::new();
+        let r = x.child(None, "run");
+        x.add(r, 10, 2);
+        let mut y = SpanProfile::new();
+        let f = y.child(None, "fixpoint");
+        y.add(f, 20, 4);
+        x.merge(&y);
+        assert_eq!(x.total_ns(), 30);
+        let lines = parse(&x.to_collapsed(Weight::AllocBytes));
+        assert_eq!(
+            lines,
+            vec![("fixpoint".to_string(), 4), ("run".to_string(), 2)]
+        );
+    }
+
+    #[test]
+    fn unbalanced_ends_are_tolerated() {
+        let mut p = SpanProfiler::new();
+        p.phase_end("stray"); // no matching start: ignored
+        p.phase_start("outer");
+        p.phase_start("inner");
+        p.phase_end("outer"); // closes inner, then outer
+        let prof = p.into_profile();
+        assert!(!prof.is_empty());
+        let lines = parse(&prof.to_collapsed(Weight::WallNanos));
+        assert!(lines
+            .iter()
+            .any(|(p, _)| p == "outer" || p == "outer;inner"));
+    }
+
+    #[test]
+    fn repeated_phases_accumulate_calls() {
+        let mut p = SpanProfiler::new();
+        for _ in 0..3 {
+            p.phase_start("run");
+            p.phase_end("run");
+        }
+        let prof = p.into_profile();
+        assert_eq!(prof.nodes[prof.roots[0]].calls, 3);
+    }
+}

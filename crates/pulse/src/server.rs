@@ -1,0 +1,308 @@
+//! [`PulseServer`]: a hand-rolled HTTP/1.1 server over
+//! [`std::net::TcpListener`] exposing the live run state held in
+//! [`PulseState`].
+//!
+//! The server is deliberately minimal — blocking accept loop on one
+//! thread, one short-lived connection per request, `Connection: close` on
+//! every response — because its job is to answer a handful of `curl`s and
+//! Prometheus scrapes per run, not to be a web framework. Keeping it on
+//! `std::net` preserves the workspace's zero-dependency discipline.
+//!
+//! Routes:
+//!
+//! | Route      | Body                                                    |
+//! |------------|---------------------------------------------------------|
+//! | `/`        | plain-text index of the other routes                    |
+//! | `/healthz` | `ok` — liveness (the serve thread is accepting)         |
+//! | `/readyz`  | `ready`, or `503 warming up` until the binary flips it  |
+//! | `/metrics` | [`metrics_text`] over the shared [`Metrics`]            |
+//! | `/flight`  | JSON from the registered flight source (404 if none)    |
+//! | `/profile` | collapsed-stack span profile (`?weight=alloc` for bytes)|
+//! | `/quit`    | `bye`, then the accept loop exits                       |
+//!
+//! Shutdown is cooperative: [`PulseServer::shutdown`] (or a `GET /quit`)
+//! sets a flag and pokes the listener with a loopback connection so the
+//! blocking `accept` wakes up and observes it.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use qa_obs::Metrics;
+
+use crate::profile::{SpanProfile, Weight};
+use crate::render::metrics_text;
+
+/// Producer of the `/flight` JSON body — registered by the binary that
+/// owns the flight recorder, so this crate needs no dependency on
+/// `qa-flight` (which depends on us for its fleet binary).
+pub type FlightSource = Box<dyn Fn() -> String + Send>;
+
+/// Shared state behind every endpoint.
+///
+/// The owning binary creates one `Arc<PulseState>`, feeds the same
+/// [`Metrics`] registry from its run observers, merges per-run
+/// [`SpanProfile`]s in as they finish, and flips [`set_ready`] once
+/// warmup (argument parsing, corpus generation) is done.
+///
+/// [`set_ready`]: PulseState::set_ready
+pub struct PulseState {
+    metrics: Arc<Metrics>,
+    prefix: String,
+    ready: AtomicBool,
+    profile: Mutex<SpanProfile>,
+    flight: Mutex<Option<FlightSource>>,
+}
+
+impl PulseState {
+    /// State serving `metrics` with the given exposition `prefix`
+    /// (e.g. `"qa_fleet"`); not ready until [`PulseState::set_ready`].
+    pub fn new(metrics: Arc<Metrics>, prefix: &str) -> Arc<PulseState> {
+        Arc::new(PulseState {
+            metrics,
+            prefix: prefix.to_string(),
+            ready: AtomicBool::new(false),
+            profile: Mutex::new(SpanProfile::new()),
+            flight: Mutex::new(None),
+        })
+    }
+
+    /// The shared metrics registry (the binary's observers feed this).
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Flip `/readyz` to 200 — call when warmup is done and real work
+    /// has begun.
+    pub fn set_ready(&self) {
+        self.ready.store(true, Ordering::Release);
+    }
+
+    /// Current readiness.
+    pub fn ready(&self) -> bool {
+        self.ready.load(Ordering::Acquire)
+    }
+
+    /// Fold a finished run's span profile into the served aggregate.
+    pub fn merge_profile(&self, profile: &SpanProfile) {
+        self.profile
+            .lock()
+            .expect("profile lock poisoned")
+            .merge(profile);
+    }
+
+    /// Render the aggregate span profile in collapsed-stack format.
+    pub fn profile_collapsed(&self, weight: Weight) -> String {
+        self.profile
+            .lock()
+            .expect("profile lock poisoned")
+            .to_collapsed(weight)
+    }
+
+    /// Register the `/flight` JSON producer (a closure dumping the live
+    /// flight-recorder ring).
+    pub fn set_flight_source(&self, source: FlightSource) {
+        *self.flight.lock().expect("flight lock poisoned") = Some(source);
+    }
+
+    /// Render `/metrics` — also used by binaries for their post-run
+    /// `metrics.prom` so the file and a final scrape are byte-identical.
+    pub fn metrics_text(&self) -> String {
+        metrics_text(&self.metrics, &self.prefix)
+    }
+
+    fn flight_json(&self) -> Option<String> {
+        self.flight
+            .lock()
+            .expect("flight lock poisoned")
+            .as_ref()
+            .map(|f| f())
+    }
+}
+
+/// Handle to a running pulse server; join it with
+/// [`shutdown`](PulseServer::shutdown).
+pub struct PulseServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl PulseServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// the accept loop on a background thread.
+    pub fn serve(addr: impl ToSocketAddrs, state: Arc<PulseState>) -> std::io::Result<PulseServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("qa-pulse".to_string())
+            .spawn(move || accept_loop(listener, state, thread_stop))?;
+        Ok(PulseServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether the accept loop is still running (it exits after `/quit`).
+    pub fn is_running(&self) -> bool {
+        !self.stop.load(Ordering::Acquire)
+    }
+
+    /// Stop the accept loop and join the serve thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PulseServer {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<PulseState>, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(mut stream) = conn else { continue };
+        let quit = handle_connection(&mut stream, &state).unwrap_or(false);
+        if quit {
+            stop.store(true, Ordering::Release);
+            break;
+        }
+    }
+}
+
+/// Serve one request on `stream`; returns `Ok(true)` if it was `/quit`.
+fn handle_connection(stream: &mut TcpStream, state: &PulseState) -> std::io::Result<bool> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let path = match read_request_path(stream)? {
+        Some(p) => p,
+        None => {
+            respond(stream, 400, "text/plain", "bad request\n")?;
+            return Ok(false);
+        }
+    };
+    // Split off ?query before routing.
+    let (route, query) = match path.split_once('?') {
+        Some((r, q)) => (r, q),
+        None => (path.as_str(), ""),
+    };
+    match route {
+        "/" => respond(
+            stream,
+            200,
+            "text/plain",
+            "qa-pulse live ops surface\n\
+             routes: /healthz /readyz /metrics /flight /profile /quit\n",
+        )?,
+        "/healthz" => respond(stream, 200, "text/plain", "ok\n")?,
+        "/readyz" => {
+            if state.ready() {
+                respond(stream, 200, "text/plain", "ready\n")?;
+            } else {
+                respond(stream, 503, "text/plain", "warming up\n")?;
+            }
+        }
+        "/metrics" => {
+            let body = state.metrics_text();
+            respond(stream, 200, "text/plain; version=0.0.4", &body)?;
+        }
+        "/flight" => match state.flight_json() {
+            Some(body) => respond(stream, 200, "application/json", &body)?,
+            None => respond(stream, 404, "text/plain", "no flight recorder attached\n")?,
+        },
+        "/profile" => {
+            let weight = if query.split('&').any(|kv| kv == "weight=alloc") {
+                Weight::AllocBytes
+            } else {
+                Weight::WallNanos
+            };
+            let body = state.profile_collapsed(weight);
+            respond(stream, 200, "text/plain", &body)?;
+        }
+        "/quit" => {
+            respond(stream, 200, "text/plain", "bye\n")?;
+            return Ok(true);
+        }
+        _ => respond(stream, 404, "text/plain", "not found\n")?,
+    }
+    Ok(false)
+}
+
+/// Read the request head and return the path of a `GET` request
+/// (`None` for anything unparseable or non-GET).
+fn read_request_path(stream: &mut TcpStream) -> std::io::Result<Option<String>> {
+    // Read until the blank line ending the head; 8 KiB is far beyond any
+    // request a scraper sends.
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > 8192 {
+            return Ok(None);
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+    }
+    let head = String::from_utf8_lossy(&head);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    match (parts.next(), parts.next(), parts.next()) {
+        (Some("GET"), Some(path), Some(version)) if version.starts_with("HTTP/1") => {
+            Ok(Some(path.to_string()))
+        }
+        _ => Ok(None),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        503 => "Service Unavailable",
+        _ => "",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\n\
+         Content-Type: {content_type}\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

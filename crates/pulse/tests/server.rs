@@ -1,0 +1,151 @@
+//! In-process end-to-end tests for the pulse HTTP server: real sockets,
+//! real request bytes, no child processes.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use qa_obs::{Counter, Metrics, Observer};
+use qa_pulse::{validate_prometheus, PulseServer, PulseState, SpanProfiler, Weight};
+
+/// Minimal HTTP/1.1 GET; returns (status, body).
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_ascii_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn server_with_metrics() -> (PulseServer, Arc<PulseState>) {
+    let metrics = Arc::new(Metrics::new());
+    {
+        let mut obs = metrics.observer();
+        obs.count(Counter::Steps, 1234);
+        obs.count(Counter::BudgetTrips, 1);
+    }
+    let state = PulseState::new(metrics, "qa_test");
+    let server = PulseServer::serve("127.0.0.1:0", Arc::clone(&state)).expect("bind loopback");
+    (server, state)
+}
+
+#[test]
+fn health_and_readiness_endpoints() {
+    let (server, state) = server_with_metrics();
+    let addr = server.local_addr();
+
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    // Not ready until the binary says so.
+    let (status, _) = get(addr, "/readyz");
+    assert_eq!(status, 503);
+    state.set_ready();
+    let (status, body) = get(addr, "/readyz");
+    assert_eq!((status, body.as_str()), (200, "ready\n"));
+
+    server.shutdown();
+}
+
+#[test]
+fn metrics_endpoint_serves_valid_prometheus_matching_state_render() {
+    let (server, state) = server_with_metrics();
+    let (status, body) = get(server.local_addr(), "/metrics");
+    assert_eq!(status, 200);
+    validate_prometheus(&body).expect("scrape parses as Prometheus text");
+    assert!(body.contains("qa_test_steps_total 1234"), "{body}");
+    assert!(body.contains("qa_build_info{"), "{body}");
+    // No counting allocator is installed in this test binary, so the
+    // qa_heap_* gauges must be omitted (they are live process state).
+    assert!(!body.contains("qa_heap_"), "{body}");
+    // The endpoint and the post-run file render are the same bytes.
+    assert_eq!(body, state.metrics_text());
+    server.shutdown();
+}
+
+#[test]
+fn profile_endpoint_serves_collapsed_stacks() {
+    let (server, state) = server_with_metrics();
+
+    let mut profiler = SpanProfiler::new();
+    profiler.phase_start("run");
+    profiler.phase_start("selection scan");
+    profiler.phase_end("selection scan");
+    profiler.phase_end("run");
+    state.merge_profile(&profiler.into_profile());
+
+    let (status, body) = get(server.local_addr(), "/profile");
+    assert_eq!(status, 200);
+    assert!(!body.is_empty());
+    for line in body.lines() {
+        let (path, count) = line.rsplit_once(' ').expect("`stack count` shape");
+        assert!(!path.is_empty());
+        assert!(count.parse::<u64>().expect("integer weight") > 0, "{line}");
+    }
+    assert!(body.contains("run;selection_scan "), "{body}");
+    assert_eq!(body, state.profile_collapsed(Weight::WallNanos));
+
+    // ?weight=alloc selects the allocation weighting (empty here: no
+    // counting allocator installed in this test binary).
+    let (status, alloc_body) = get(server.local_addr(), "/profile?weight=alloc");
+    assert_eq!(status, 200);
+    assert_eq!(alloc_body, state.profile_collapsed(Weight::AllocBytes));
+
+    server.shutdown();
+}
+
+#[test]
+fn flight_endpoint_requires_a_registered_source() {
+    let (server, state) = server_with_metrics();
+    let addr = server.local_addr();
+
+    let (status, _) = get(addr, "/flight");
+    assert_eq!(status, 404, "no source registered yet");
+
+    state.set_flight_source(Box::new(|| "{\"events\":[]}".to_string()));
+    let (status, body) = get(addr, "/flight");
+    assert_eq!(status, 200);
+    assert_eq!(body, "{\"events\":[]}");
+
+    server.shutdown();
+}
+
+#[test]
+fn unknown_routes_get_404_and_quit_stops_the_server() {
+    let (server, _state) = server_with_metrics();
+    let addr = server.local_addr();
+
+    let (status, _) = get(addr, "/definitely-not-a-route");
+    assert_eq!(status, 404);
+
+    let (status, body) = get(addr, "/quit");
+    assert_eq!((status, body.as_str()), (200, "bye\n"));
+
+    // The accept loop exits promptly after /quit.
+    for _ in 0..50 {
+        if !server.is_running() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(!server.is_running());
+    server.shutdown();
+}

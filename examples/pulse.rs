@@ -1,0 +1,117 @@
+//! The `qa-pulse` live ops surface end to end.
+//!
+//! A loop of Theorem 6.3 non-emptiness checks runs with a `Tee` of a
+//! shared [`Metrics`] registry and a [`SpanProfiler`], while a
+//! [`PulseServer`] serves the usual operational endpoints on an ephemeral
+//! loopback port. The example then scrapes itself over plain TCP — the
+//! same thing `curl` or a Prometheus agent would do — and prints what an
+//! operator would see:
+//!
+//! 1. `/healthz` and `/readyz` — liveness vs readiness;
+//! 2. `/metrics` — Prometheus text exposition of the decision-procedure
+//!    counters plus `qa_build_info` (the `qa_heap_*` gauges would join
+//!    them in a binary that installs the counting allocator);
+//! 3. `/profile` — the span profile in Brendan Gregg collapsed-stack
+//!    format, ready for `flamegraph.pl` / `inferno-flamegraph`.
+//!
+//! Run with: `cargo run --example pulse`
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use query_automata::obs::{Metrics, Tee};
+use query_automata::prelude::*;
+use query_automata::pulse::Weight;
+
+/// Minimal HTTP/1.1 GET against the pulse server; returns the body.
+fn scrape(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to pulse server");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read full response");
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .unwrap_or(response)
+}
+
+fn main() {
+    // ── Start the ops surface before any work runs ───────────────────────
+    let metrics = Arc::new(Metrics::new());
+    let state = PulseState::new(Arc::clone(&metrics), "qa_pulse_example");
+    let server = PulseServer::serve("127.0.0.1:0", Arc::clone(&state)).expect("bind loopback");
+    let addr = server.local_addr();
+    println!("pulse server on http://{addr}");
+
+    // Liveness is immediate; readiness flips only once we are serving
+    // meaningful numbers.
+    println!("/healthz -> {}", scrape(addr, "/healthz").trim_end());
+    println!(
+        "/readyz (warming) -> {}",
+        scrape(addr, "/readyz").trim_end()
+    );
+
+    // ── The workload: repeated Theorem 6.3 non-emptiness checks ──────────
+    // Each pass saturates the summary fixpoint for the Example 4.4 boolean
+    // circuit query and materializes a witness, feeding the shared registry
+    // (scraped live) and a per-pass span profiler (merged into /profile).
+    let circuits = Alphabet::from_names(["AND", "OR", "0", "1"]);
+    let qa = example_4_4(&circuits);
+    for pass in 0..4 {
+        let mut profiler = SpanProfiler::new();
+        let witness = {
+            let mut tee = Tee(metrics.observer(), &mut profiler);
+            query_automata::decision::ranked_decisions::non_emptiness_with(
+                &qa,
+                query_automata::decision::ranked_decisions::DEFAULT_MAX_ITEMS,
+                &mut tee,
+            )
+            .unwrap()
+        };
+        state.merge_profile(profiler.profile());
+        if pass == 0 {
+            let w = witness.expect("example 4.4 is non-empty");
+            println!(
+                "witness: {} selects {:?}",
+                to_sexpr(&w.tree, &circuits),
+                w.node
+            );
+        }
+    }
+    state.set_ready();
+
+    // ── What an operator sees ────────────────────────────────────────────
+    println!("/readyz (ready) -> {}", scrape(addr, "/readyz").trim_end());
+
+    let prom = scrape(addr, "/metrics");
+    query_automata::pulse::validate_prometheus(&prom).expect("valid Prometheus exposition");
+    println!("\n=== /metrics (decision-procedure families) ===");
+    for line in prom.lines().filter(|l| {
+        l.starts_with("qa_pulse_example_fixpoint")
+            || l.starts_with("qa_pulse_example_summaries")
+            || l.starts_with("qa_build_info")
+            || l.starts_with("qa_heap_live_bytes")
+    }) {
+        println!("{line}");
+    }
+
+    println!("\n=== /profile (collapsed stacks, wall-clock weights) ===");
+    print!("{}", scrape(addr, "/profile"));
+    // The same tree weighted by allocated bytes instead of nanoseconds
+    // (all zeros unless a counting allocator is installed).
+    let by_alloc = state.profile_collapsed(Weight::AllocBytes);
+    println!(
+        "alloc-weighted profile: {} line(s) with nonzero weight",
+        by_alloc.lines().count()
+    );
+
+    server.shutdown();
+    println!("\npulse server stopped");
+}

@@ -21,6 +21,7 @@
 //! | [`probe`] | selection provenance ([`ProvenanceObserver`](probe::ProvenanceObserver)), Chrome trace-event / Prometheus exports, trace diffing, the `qa-trace` CLI | §3–5 certificates |
 //! | [`flight`] | always-on telemetry: [`FlightRecorder`](flight::FlightRecorder) ring, [`Watchdog`](flight::Watchdog) budgets, deterministic sampling, the `qa-fleet` batch runner | — |
 //! | [`par`] | parallel batch evaluation ([`par_batch`](par::par_batch) work-stealing executor) with per-worker [`BehaviorCache`](par::BehaviorCache) memoization | §3.9, §5.11, §6 at batch scale |
+//! | [`pulse`] | live ops surface: std-only HTTP [`PulseServer`](pulse::PulseServer) (`/metrics`, health, `/flight`, `/profile`), [`SpanProfiler`](pulse::SpanProfiler) flamegraphs, opt-in [`CountingAlloc`](pulse::CountingAlloc) heap accounting | — |
 //! | [`xml`] | XML subset, DTDs, validation (Figures 1–4) | §1 |
 //!
 //! ## Quickstart
@@ -49,6 +50,7 @@ pub use qa_mso as mso;
 pub use qa_obs as obs;
 pub use qa_par as par;
 pub use qa_probe as probe;
+pub use qa_pulse as pulse;
 pub use qa_strings as strings;
 pub use qa_trees as trees;
 pub use qa_twoway as twoway;
@@ -69,6 +71,7 @@ pub mod prelude {
     pub use qa_obs::{Metrics, NoopObserver, Observer, RunTrace};
     pub use qa_par::{par_batch, par_evaluate, BehaviorCache, Job, Outcome};
     pub use qa_probe::{Explanation, ProvenanceObserver};
+    pub use qa_pulse::{PulseServer, PulseState, SpanProfiler};
     pub use qa_trees::sexpr::{from_sexpr, to_sexpr};
     pub use qa_trees::{NodeId, Tree};
     pub use qa_twoway::{Bimachine, Gsqa, StringQa, TwoDfa, TwoDfaBuilder};
