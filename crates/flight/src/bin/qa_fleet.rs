@@ -42,11 +42,27 @@
 //! `summary.txt`/`metrics.prom` is flushed immediately, so a later hang or
 //! kill still leaves telemetry on disk.
 //!
+//! With `--mesh N` the binary becomes a **coordinator**: it re-spawns
+//! itself as N `--shard i/N --serve` workers on loopback (via `qa-mesh`),
+//! deals the job grid round-robin, polls worker `/healthz`/`/readyz` into
+//! liveness timelines, scrapes each worker after `pulse: run complete`,
+//! and federates the results: `metrics.prom` (merged registry —
+//! **byte-identical across shard counts**, because `Metrics::merge` is
+//! commutative), `profile.folded` (worker-prefixed collapsed stacks),
+//! `flight.json` (correlation-stamped worker dumps under one run id), and
+//! `summary.txt` (per-worker table with timelines). A worker that dies
+//! mid-batch has its shard reassigned to a fresh worker; the coordinator
+//! then exits 1 (degraded) and `postmortem.txt` names the dead worker and
+//! its exact in-flight jobs. `--chaos-kill I` makes the coordinator
+//! SIGKILL shard I's original worker mid-batch on purpose.
+//!
 //! ```text
 //! qa-fleet [--queries M] [--docs K] [--size N] [--seed S] [--jobs N]
 //!          [--sample-every N] [--reservoir K]
 //!          [--max-steps N] [--max-wall-ms MS] [--out-dir DIR] [--smoke]
 //!          [--serve ADDR] [--pace-ms MS] [--linger-ms MS]
+//!          [--mesh N] [--chaos-kill I]
+//!          [--shard I/N] [--worker-id ID] [--run-id ID]
 //! ```
 
 use std::path::Path;
@@ -80,6 +96,8 @@ const USAGE: &str = "usage:
            [--sample-every N] [--reservoir K]
            [--max-steps N] [--max-wall-ms MS] [--out-dir DIR] [--smoke]
            [--serve ADDR] [--pace-ms MS] [--linger-ms MS]
+           [--mesh N] [--chaos-kill I]
+           [--shard I/N] [--worker-id ID] [--run-id ID]
 
 queries cycle through the paper's running examples:
   example-3-4 (string), example-4-4 (ranked circuit),
@@ -88,7 +106,14 @@ queries cycle through the paper's running examples:
 --serve binds a live ops HTTP server (try ADDR 127.0.0.1:0) answering
 /healthz /readyz /metrics /flight /profile /quit during the run;
 --pace-ms sleeps between jobs (a scrape window), --linger-ms keeps the
-server up after the batch until the deadline or a GET /quit.";
+server up after the batch until the deadline or a GET /quit.
+
+--mesh N runs a coordinator that re-spawns this binary as N sharded
+--serve workers, federates their metrics/profiles/flight dumps, and
+reassigns the shard of any worker that dies mid-batch (exit 1 if so);
+--chaos-kill I SIGKILLs shard I's original worker mid-batch on purpose.
+--shard/--worker-id/--run-id are the worker-side flags the coordinator
+passes; by hand they run just that slice of the job grid.";
 
 struct Opts {
     queries: usize,
@@ -104,6 +129,13 @@ struct Opts {
     serve: Option<String>,
     pace_ms: u64,
     linger_ms: u64,
+    /// Worker mode: run only jobs `g` with `g % count == index`.
+    shard: Option<(usize, usize)>,
+    worker_id: Option<String>,
+    run_id: Option<String>,
+    /// Coordinator mode: spawn this many sharded workers and federate.
+    mesh: Option<usize>,
+    chaos_kill: Option<usize>,
 }
 
 impl Default for Opts {
@@ -122,6 +154,11 @@ impl Default for Opts {
             serve: None,
             pace_ms: 0,
             linger_ms: 0,
+            shard: None,
+            worker_id: None,
+            run_id: None,
+            mesh: None,
+            chaos_kill: None,
         }
     }
 }
@@ -158,6 +195,26 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--linger-ms" => {
                 o.linger_ms = val(&mut it, arg)?.parse().map_err(|e| format!("{e}"))?
             }
+            "--shard" => {
+                let spec = val(&mut it, arg)?;
+                let (i, n) = spec
+                    .split_once('/')
+                    .ok_or(format!("--shard wants I/N, got {spec}"))?;
+                let (i, n) = (
+                    i.parse::<usize>().map_err(|e| format!("{e}"))?,
+                    n.parse::<usize>().map_err(|e| format!("{e}"))?,
+                );
+                if n == 0 || i >= n {
+                    return Err(format!("--shard {spec}: need I < N and N >= 1"));
+                }
+                o.shard = Some((i, n));
+            }
+            "--worker-id" => o.worker_id = Some(val(&mut it, arg)?),
+            "--run-id" => o.run_id = Some(val(&mut it, arg)?),
+            "--mesh" => o.mesh = Some(val(&mut it, arg)?.parse().map_err(|e| format!("{e}"))?),
+            "--chaos-kill" => {
+                o.chaos_kill = Some(val(&mut it, arg)?.parse().map_err(|e| format!("{e}"))?)
+            }
             "--smoke" => {
                 o.queries = 4;
                 o.docs = 3;
@@ -171,6 +228,26 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     }
     if o.queries == 0 || o.docs == 0 || o.size == 0 || o.jobs == 0 {
         return Err("--queries, --docs, --size and --jobs must be >= 1".to_string());
+    }
+    if let Some(mesh) = o.mesh {
+        if mesh == 0 {
+            return Err("--mesh must be >= 1".to_string());
+        }
+        if o.shard.is_some() {
+            return Err("--mesh and --shard are mutually exclusive".to_string());
+        }
+        if o.serve.is_some() {
+            return Err(
+                "--serve is a worker-side flag; the mesh coordinator does not serve".to_string(),
+            );
+        }
+        if let Some(k) = o.chaos_kill {
+            if k >= mesh {
+                return Err(format!("--chaos-kill {k} is not a shard of --mesh {mesh}"));
+            }
+        }
+    } else if o.chaos_kill.is_some() {
+        return Err("--chaos-kill requires --mesh".to_string());
     }
     Ok(o)
 }
@@ -399,6 +476,16 @@ fn render_summary(
         opts.size,
         opts.seed
     );
+    if let Some((i, n)) = opts.shard {
+        let _ = writeln!(
+            out,
+            "shard {i}/{n} (worker {}, run {}): {} of {} grid job(s)",
+            opts.worker_id.as_deref().unwrap_or("?"),
+            opts.run_id.as_deref().unwrap_or("local"),
+            outcomes.len(),
+            opts.queries * opts.docs
+        );
+    }
     let _ = writeln!(
         out,
         "{:<14} {:>5} {:>7} {:>12} {:>10} {:>10}",
@@ -498,6 +585,283 @@ fn flush_partial(opts: &Opts, out_dir: &Path, slots: &[RunSlot], state: &PulseSt
     }
 }
 
+/// Parse a completed worker's scraped step count for the summary table
+/// (`?` when the scrape is missing or unparseable — the table is
+/// best-effort; the federated registry is the source of truth).
+fn scraped_steps(report: &qa_mesh::WorkerReport) -> String {
+    report
+        .scrape
+        .as_ref()
+        .and_then(|s| qa_pulse::parse_prometheus(&s.metrics).ok())
+        .and_then(|s| s.to_metrics("qa_fleet").ok())
+        .map(|m| m.get(Counter::Steps).to_string())
+        .unwrap_or_else(|| "?".to_string())
+}
+
+/// The coordinator's federated summary: run header, per-worker table with
+/// liveness timelines, casualty notes, and the degraded verdict.
+fn render_mesh_summary(
+    opts: &Opts,
+    run_id: &str,
+    plan: &qa_mesh::ShardPlan,
+    outcome: &qa_mesh::MeshOutcome,
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "qa-mesh run {run_id}: {} job(s) over {} shard(s), size {}, seed {}",
+        plan.jobs, plan.shards, opts.size, opts.seed
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>5} {:>5} {:>5} {:>5} {:>12}  liveness",
+        "worker", "shard", "jobs", "done", "exit", "steps"
+    );
+    let mut reports: Vec<&qa_mesh::WorkerReport> = outcome.reports.iter().collect();
+    reports.sort_by_key(|r| (r.shard, r.respawn));
+    for r in &reports {
+        let exit = match r.exit_code {
+            Some(c) => c.to_string(),
+            None => "sig".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<10} {:>5} {:>5} {:>5} {:>5} {:>12}  {}",
+            r.worker_id,
+            r.shard,
+            plan.len_for(r.shard),
+            r.jobs_done.len(),
+            exit,
+            scraped_steps(r),
+            r.timeline.render()
+        );
+    }
+    for dead in outcome.casualties() {
+        let cause = if dead.chaos_killed {
+            "chaos-killed"
+        } else {
+            "died"
+        };
+        let _ = writeln!(
+            out,
+            "worker {} {cause} mid-batch with {} job(s) in flight; shard {} reassigned",
+            dead.worker_id,
+            dead.in_flight_at_death.len(),
+            dead.shard
+        );
+    }
+    let _ = writeln!(
+        out,
+        "degraded: {}",
+        if outcome.degraded { "yes" } else { "no" }
+    );
+    out
+}
+
+/// The federated post-mortem: for every dead worker, exactly which jobs
+/// it owned, finished, had in flight, and never reached — plus where the
+/// shard went next.
+fn render_mesh_postmortem(
+    run_id: &str,
+    plan: &qa_mesh::ShardPlan,
+    outcome: &qa_mesh::MeshOutcome,
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "=== mesh postmortem: run {run_id} ===");
+    for dead in outcome.casualties() {
+        let assigned = plan.jobs_for(dead.shard);
+        let never_started: Vec<usize> = assigned
+            .iter()
+            .copied()
+            .filter(|j| !dead.jobs_done.contains(j) && !dead.in_flight_at_death.contains(j))
+            .collect();
+        let replacement = outcome
+            .reports
+            .iter()
+            .find(|r| r.shard == dead.shard && r.respawn == dead.respawn + 1)
+            .map(|r| r.worker_id.clone())
+            .unwrap_or_else(|| "nobody".to_string());
+        let _ = writeln!(
+            out,
+            "worker {} (shard {}/{}) died before completing its shard",
+            dead.worker_id, dead.shard, plan.shards
+        );
+        let _ = writeln!(
+            out,
+            "  exit: {}",
+            match dead.exit_code {
+                Some(c) => format!("code {c}"),
+                None => "killed by signal".to_string(),
+            }
+        );
+        let _ = writeln!(out, "  chaos-killed: {}", dead.chaos_killed);
+        let _ = writeln!(out, "  assigned {} job(s): {:?}", assigned.len(), assigned);
+        let _ = writeln!(
+            out,
+            "  completed before death ({}): {:?}",
+            dead.jobs_done.len(),
+            dead.jobs_done
+        );
+        let _ = writeln!(
+            out,
+            "  in flight at death ({}): {:?}",
+            dead.in_flight_at_death.len(),
+            dead.in_flight_at_death
+        );
+        let _ = writeln!(
+            out,
+            "  never started ({}): {:?}",
+            never_started.len(),
+            never_started
+        );
+        let _ = writeln!(out, "  shard reassigned to {replacement}");
+    }
+    out
+}
+
+/// `--mesh N`: spawn N sharded copies of this binary, supervise them, and
+/// federate their telemetry. Exit 0 clean, 1 degraded (any worker died or
+/// exited non-zero — even when reassignment repaired the run), 2 on
+/// coordinator-level errors.
+fn run_coordinator(opts: &Opts) -> ExitCode {
+    use qa_mesh::{federate_flight, federate_metrics, federate_profile, run_mesh, MeshOptions};
+
+    let shards = opts.mesh.expect("coordinator mode");
+    let plan = qa_mesh::ShardPlan::new(shards, opts.queries * opts.docs);
+    let run_id = opts.run_id.clone().unwrap_or_else(|| {
+        format!(
+            "mesh-s{}-q{}x{}-n{shards}",
+            opts.seed, opts.queries, opts.docs
+        )
+    });
+    let out_dir = Path::new(&opts.out_dir);
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("cannot create {}: {e}", opts.out_dir);
+        return ExitCode::from(2);
+    }
+    // Workers are this same binary re-spawned in --shard mode: no second
+    // executable to locate, and the coordinator/worker pair can never skew
+    // versions.
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cannot locate own binary: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut mesh_opts = MeshOptions::new(&run_id, plan);
+    mesh_opts.chaos_kill = opts.chaos_kill;
+    let outcome = run_mesh(&mesh_opts, |shard, worker_id| {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("--queries")
+            .arg(opts.queries.to_string())
+            .arg("--docs")
+            .arg(opts.docs.to_string())
+            .arg("--size")
+            .arg(opts.size.to_string())
+            .arg("--seed")
+            .arg(opts.seed.to_string())
+            .arg("--jobs")
+            .arg(opts.jobs.to_string())
+            .arg("--sample-every")
+            .arg(opts.sample_every.to_string())
+            .arg("--reservoir")
+            .arg(opts.reservoir.to_string())
+            .arg("--max-steps")
+            .arg(opts.max_steps.to_string())
+            .arg("--max-wall-ms")
+            .arg(opts.max_wall.as_millis().to_string())
+            .arg("--pace-ms")
+            .arg(opts.pace_ms.to_string())
+            .arg("--out-dir")
+            .arg(out_dir.join(worker_id))
+            .arg("--serve")
+            .arg("127.0.0.1:0")
+            // Long linger: the worker holds its endpoints after `run
+            // complete` until the coordinator scrapes it and GETs /quit.
+            .arg("--linger-ms")
+            .arg("600000")
+            .arg("--shard")
+            .arg(format!("{shard}/{shards}"))
+            .arg("--worker-id")
+            .arg(worker_id)
+            .arg("--run-id")
+            .arg(&run_id);
+        cmd
+    });
+    let outcome = match outcome {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("qa-mesh: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Federate the completed workers' scrapes. Merging parsed registries
+    // makes metrics.prom byte-identical across shard counts; profiles and
+    // flight dumps keep worker attribution instead.
+    let completed = outcome.completed();
+    let federated = match federate_metrics(
+        completed
+            .iter()
+            .filter_map(|r| r.scrape.as_ref())
+            .map(|s| s.metrics.as_str()),
+        "qa_fleet",
+    ) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("qa-mesh: metrics federation failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let profile_inputs: Vec<(String, String)> = completed
+        .iter()
+        .filter_map(|r| {
+            r.scrape
+                .as_ref()
+                .map(|s| (r.worker_id.clone(), s.profile.clone()))
+        })
+        .collect();
+    let flight_inputs: Vec<String> = completed
+        .iter()
+        .filter_map(|r| r.scrape.as_ref().map(|s| s.flight.clone()))
+        .collect();
+
+    let summary = render_mesh_summary(opts, &run_id, &plan, &outcome);
+    print!("{summary}");
+
+    let mut io_err = None;
+    let mut write = |name: &str, contents: &str| {
+        if let Err(e) = std::fs::write(out_dir.join(name), contents) {
+            io_err = Some(format!("cannot write {name}: {e}"));
+        }
+    };
+    write("summary.txt", &summary);
+    write(
+        "metrics.prom",
+        &qa_pulse::metrics_text(&federated, "qa_fleet"),
+    );
+    write("profile.folded", &federate_profile(&profile_inputs));
+    write("flight.json", &federate_flight(&run_id, &flight_inputs));
+    if !outcome.casualties().is_empty() {
+        let postmortem = render_mesh_postmortem(&run_id, &plan, &outcome);
+        eprint!("{postmortem}");
+        write("postmortem.txt", &postmortem);
+    }
+    if let Some(msg) = io_err {
+        eprintln!("{msg}");
+        return ExitCode::from(2);
+    }
+    if outcome.degraded {
+        eprintln!("qa-mesh: run degraded (worker death or non-zero worker exit)");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_opts(&args) {
@@ -507,6 +871,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if opts.mesh.is_some() {
+        return run_coordinator(&opts);
+    }
 
     let roster = roster();
     let budget = Budget::steps(opts.max_steps).with_wall(opts.max_wall);
@@ -515,10 +882,35 @@ fn main() -> ExitCode {
     // and aggregates the span profile either way, and serving just exposes
     // the same state over HTTP.
     let state = PulseState::new(Arc::clone(&fleet), "qa_fleet");
+    // Worker identity (present in mesh shard mode): stamped as an info
+    // gauge on /metrics and as correlation ids on the flight ring, so
+    // every federated artifact can name the process it came from. The
+    // parser keeps info gauges out of merged registries, so the federated
+    // metrics.prom stays independent of worker count.
+    let worker_identity = opts.shard.map(|(i, n)| {
+        (
+            opts.run_id.clone().unwrap_or_else(|| "local".to_string()),
+            format!("{i}/{n}"),
+            opts.worker_id.clone().unwrap_or_else(|| format!("w{i}")),
+        )
+    });
+    if let Some((run_id, shard, worker)) = &worker_identity {
+        fleet.set_info(
+            "qa_fleet_worker_info",
+            [
+                ("run_id".to_string(), run_id.clone()),
+                ("shard".to_string(), shard.clone()),
+                ("worker".to_string(), worker.clone()),
+            ],
+        );
+    }
     let mut shared_flight = None;
     let server = match &opts.serve {
         Some(addr) => {
             let shared = SharedFlight::with_capacity(1024);
+            if let Some((run_id, _, worker)) = &worker_identity {
+                shared.set_correlation(run_id, worker);
+            }
             let source = shared.clone();
             state.set_flight_source(Box::new(move || source.with(|r| r.to_json())));
             shared_flight = Some(shared);
@@ -549,19 +941,34 @@ fn main() -> ExitCode {
     // Warmup (arg parsing, roster, out dir) is done: flip /readyz.
     state.set_ready();
 
-    // Sampling flags are pre-drawn in job order: the OneInN stream is
-    // consumed identically no matter how many workers run the jobs.
+    // Sampling flags are pre-drawn in job order over the FULL grid: the
+    // OneInN stream is consumed identically no matter how many threads —
+    // or mesh shards — run the jobs, so any shard's sampled set matches
+    // what an unsharded fleet would have sampled for those jobs.
     let mut admit = OneInN::new(opts.seed, opts.sample_every);
+    let total_jobs = opts.queries * opts.docs;
     let specs: Vec<(usize, usize, bool)> = (0..opts.queries)
         .flat_map(|qi| (0..opts.docs).map(move |di| (qi, di)))
         .map(|(qi, di)| (qi, di, admit.admit()))
+        .filter(|(qi, di, _)| match opts.shard {
+            Some((index, count)) => (qi * opts.docs + di) % count == index,
+            None => true,
+        })
         .collect();
+    let shard_mode = opts.shard.is_some();
 
     // Outcomes land in indexed slots, so `--jobs N` yields the same vector
     // as `--jobs 1`; per-run metrics merge into `fleet` as commutative
-    // counter sums.
-    let slots: Mutex<Vec<RunSlot>> = Mutex::new((0..specs.len()).map(|_| None).collect());
+    // counter sums. Slots are indexed by global job id; in shard mode the
+    // other shards' slots simply stay empty.
+    let slots: Mutex<Vec<RunSlot>> = Mutex::new((0..total_jobs).map(|_| None).collect());
     qa_par::par_batch(opts.jobs, specs, |_worker, (qi, di, sampled)| {
+        let global = qi * opts.docs + di;
+        if shard_mode {
+            // Stdout job protocol: the mesh coordinator tracks these to
+            // know exactly which jobs were in flight if this process dies.
+            println!("fleet: job {global} start");
+        }
         let wl = &roster[qi % roster.len()];
         // Per-run seed: distinct per (query index, doc index), stable
         // across invocations with the same --seed.
@@ -576,7 +983,7 @@ fn main() -> ExitCode {
         let failed = outcome.error.is_some();
         {
             let mut slots = slots.lock().expect("slots lock");
-            slots[qi * opts.docs + di] = Some((outcome, trace));
+            slots[global] = Some((outcome, trace));
             if failed {
                 // A budget trip mid-batch must not strand the fleet without
                 // telemetry: flush what finished so far (overwritten with
@@ -585,21 +992,31 @@ fn main() -> ExitCode {
             }
         }
         if opts.pace_ms > 0 {
+            // The pace window sits between `start` and `done` on purpose:
+            // it is the chaos window — a coordinator kill landing here
+            // finds this job in flight.
             std::thread::sleep(Duration::from_millis(opts.pace_ms));
+        }
+        if shard_mode {
+            println!("fleet: job {global} done");
         }
     });
 
     // Reservoir offers happen in job order after the batch, so the sampled
-    // trace set is independent of worker interleaving.
+    // trace set is independent of worker interleaving. In shard mode the
+    // slots of other shards are (correctly) empty and skipped.
     let mut traces: Reservoir<(String, RunTrace)> = Reservoir::new(opts.seed, opts.reservoir);
-    let mut outcomes: Vec<RunOutcome> = Vec::with_capacity(opts.queries * opts.docs);
+    let mut outcomes: Vec<RunOutcome> = Vec::with_capacity(total_jobs);
     for (i, slot) in slots
         .into_inner()
         .expect("slots lock")
         .into_iter()
         .enumerate()
     {
-        let (outcome, trace) = slot.expect("every job ran");
+        let Some((outcome, trace)) = slot else {
+            assert!(shard_mode, "every job ran");
+            continue;
+        };
         if let Some(trace) = trace {
             traces.offer((format!("{}-doc{}", outcome.workload, i % opts.docs), trace));
         }

@@ -1,0 +1,223 @@
+//! End-to-end tests of `qa-fleet --mesh`: federated metrics byte-identity
+//! across shard counts, worker shard mode by hand, and the chaos drill —
+//! SIGKILL a worker mid-batch, assert reassignment, the post-mortem, exit
+//! code 1, and exactly-once federated metrics.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn qa_fleet(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_qa-fleet"))
+        .args(args)
+        .output()
+        .expect("spawn qa-fleet")
+}
+
+fn tmp(name: &str) -> String {
+    let mut p = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    p.push(name);
+    p.to_str().unwrap().to_string()
+}
+
+/// Drop the `qa_heap_*` gauge lines from a Prometheus export (live
+/// process state under `--features alloc-count`; absent, and this the
+/// identity, in the default build).
+fn without_heap_gauges(prom: &str) -> String {
+    prom.lines()
+        .filter(|l| !l.contains("qa_heap_"))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+fn read(dir: &str, name: &str) -> String {
+    let path = PathBuf::from(dir).join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+const CORPUS: &[&str] = &[
+    "--queries",
+    "4",
+    "--docs",
+    "4",
+    "--size",
+    "48",
+    "--seed",
+    "7",
+];
+
+#[test]
+fn federated_metrics_are_byte_identical_across_shard_counts() {
+    let mut exports = Vec::new();
+    for shards in ["1", "2", "4"] {
+        let dir = tmp(&format!("mesh-ident-{shards}"));
+        let out = qa_fleet(&[CORPUS, &["--mesh", shards, "--out-dir", &dir]].concat());
+        assert!(
+            out.status.success(),
+            "mesh {shards} failed\nstdout: {}\nstderr: {}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        exports.push((shards, without_heap_gauges(&read(&dir, "metrics.prom"))));
+    }
+    let (_, baseline) = &exports[0];
+    assert!(baseline.contains("qa_fleet_steps_total"), "{baseline}");
+    for (shards, prom) in &exports[1..] {
+        assert_eq!(
+            prom, baseline,
+            "metrics.prom for --mesh {shards} diverged from --mesh 1"
+        );
+    }
+}
+
+#[test]
+fn mesh_writes_federated_profile_flight_and_summary() {
+    let dir = tmp("mesh-artifacts");
+    let out = qa_fleet(&[CORPUS, &["--mesh", "2", "--out-dir", &dir]].concat());
+    assert!(out.status.success());
+
+    // Every profile frame is attributed to a worker.
+    let profile = read(&dir, "profile.folded");
+    assert!(!profile.is_empty());
+    for line in profile.lines() {
+        assert!(
+            line.starts_with("w0;") || line.starts_with("w1;"),
+            "unattributed frame: {line}"
+        );
+    }
+
+    // The flight document nests correlation-stamped worker dumps.
+    let flight = read(&dir, "flight.json");
+    assert!(
+        flight.starts_with("{\"run_id\":\"mesh-s7-q4x4-n2\""),
+        "{flight}"
+    );
+    assert!(flight.contains("\"worker\":\"w0\""), "{flight}");
+    assert!(flight.contains("\"worker\":\"w1\""), "{flight}");
+
+    // The summary tables both workers and reports a clean run.
+    let summary = read(&dir, "summary.txt");
+    assert!(summary.contains("qa-mesh run mesh-s7-q4x4-n2"), "{summary}");
+    assert!(summary.contains("w0"), "{summary}");
+    assert!(summary.contains("w1"), "{summary}");
+    assert!(summary.contains("degraded: no"), "{summary}");
+    assert!(
+        !PathBuf::from(&dir).join("postmortem.txt").exists(),
+        "clean mesh must not leave a post-mortem"
+    );
+
+    // Workers left their own artifacts in per-worker directories, each
+    // carrying its identity as an info gauge.
+    let w0 = read(&format!("{dir}/w0"), "metrics.prom");
+    assert!(
+        w0.contains(
+            "qa_fleet_worker_info{run_id=\"mesh-s7-q4x4-n2\",shard=\"0/2\",worker=\"w0\"} 1"
+        ),
+        "{w0}"
+    );
+}
+
+#[test]
+fn a_shard_worker_by_hand_runs_only_its_slice() {
+    let dir = tmp("mesh-hand-shard");
+    let out = qa_fleet(&[CORPUS, &["--shard", "1/4", "--out-dir", &dir]].concat());
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // 16 jobs round-robin over 4 shards → shard 1 owns jobs 1,5,9,13.
+    assert!(stdout.contains("qa-fleet: 4 run(s)"), "{stdout}");
+    for line in [
+        "fleet: job 1 ",
+        "fleet: job 5 ",
+        "fleet: job 9 ",
+        "fleet: job 13 ",
+    ] {
+        assert!(stdout.contains(line), "missing {line:?} in {stdout}");
+    }
+    assert!(!stdout.contains("fleet: job 0 "), "{stdout}");
+    let summary = read(&dir, "summary.txt");
+    assert!(summary.contains("shard 1/4"), "{summary}");
+}
+
+#[test]
+fn chaos_kill_reassigns_the_shard_and_degrades_the_run() {
+    // A clean 3-worker mesh and one whose shard-1 worker is SIGKILLed
+    // mid-batch must federate byte-identical metrics: dead workers are
+    // never scraped, and the replacement re-runs the whole shard.
+    let clean_dir = tmp("mesh-chaos-clean");
+    let clean = qa_fleet(
+        &[
+            CORPUS,
+            &["--mesh", "3", "--pace-ms", "40", "--out-dir", &clean_dir],
+        ]
+        .concat(),
+    );
+    assert!(clean.status.success());
+
+    let chaos_dir = tmp("mesh-chaos-kill");
+    let chaos = qa_fleet(
+        &[
+            CORPUS,
+            &[
+                "--mesh",
+                "3",
+                "--pace-ms",
+                "40",
+                "--chaos-kill",
+                "1",
+                "--out-dir",
+                &chaos_dir,
+            ],
+        ]
+        .concat(),
+    );
+    let stdout = String::from_utf8_lossy(&chaos.stdout);
+    let stderr = String::from_utf8_lossy(&chaos.stderr);
+
+    // Satellite guarantee: reassignment succeeded, but a worker died, so
+    // the coordinator exits non-zero (degraded).
+    assert_eq!(
+        chaos.status.code(),
+        Some(1),
+        "stdout: {stdout}\nstderr: {stderr}"
+    );
+    assert!(stdout.contains("degraded: yes"), "{stdout}");
+    assert!(
+        stdout.contains("w1r1"),
+        "no replacement in summary: {stdout}"
+    );
+    assert!(
+        stdout.contains("worker w1 chaos-killed mid-batch"),
+        "{stdout}"
+    );
+
+    // The post-mortem names the dead worker and its exact lost jobs
+    // (shard 1 of 3 over 16 jobs owns 1, 4, 7, 10, 13).
+    let postmortem = read(&chaos_dir, "postmortem.txt");
+    assert!(
+        postmortem.contains("worker w1 (shard 1/3) died before completing its shard"),
+        "{postmortem}"
+    );
+    assert!(postmortem.contains("chaos-killed: true"), "{postmortem}");
+    assert!(
+        postmortem.contains("assigned 5 job(s): [1, 4, 7, 10, 13]"),
+        "{postmortem}"
+    );
+    assert!(postmortem.contains("in flight at death"), "{postmortem}");
+    assert!(
+        postmortem.contains("shard reassigned to w1r1"),
+        "{postmortem}"
+    );
+
+    // Exactly-once federation: chaos run == clean run, byte for byte.
+    assert_eq!(
+        without_heap_gauges(&read(&chaos_dir, "metrics.prom")),
+        without_heap_gauges(&read(&clean_dir, "metrics.prom")),
+        "chaos must not change the federated metrics"
+    );
+}
+
+#[test]
+fn chaos_kill_without_mesh_is_a_usage_error() {
+    let out = qa_fleet(&["--chaos-kill", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--chaos-kill requires --mesh"),);
+}

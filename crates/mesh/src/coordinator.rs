@@ -1,0 +1,524 @@
+//! The mesh coordinator: spawn worker processes, track their job
+//! progress over the stdout protocol, poll their pulse endpoints, scrape
+//! them when they finish, and survive their deaths.
+//!
+//! The coordinator is deliberately generic over *what* it spawns: it
+//! takes a closure building a [`Command`] for `(shard, worker_id)` and
+//! only assumes the worker speaks the fleet protocol —
+//!
+//! ```text
+//! pulse: serving on <addr>     once the worker's HTTP server is up
+//! fleet: job <g> start         before running global job g
+//! fleet: job <g> done          after finishing global job g
+//! pulse: run complete          once every artifact is on disk
+//! ```
+//!
+//! — and answers `/healthz`, `/readyz`, `/metrics`, `/flight`,
+//! `/profile` and `/quit` on the announced address. (`qa-fleet --shard`
+//! is the production worker; the tests in `qa-flight` exercise the real
+//! binary.)
+//!
+//! **Chaos discipline.** A worker that exits before printing
+//! `pulse: run complete` is *dead*; the coordinator records a
+//! post-mortem-ready [`WorkerReport`] naming every job that was in
+//! flight, then respawns the whole shard under a fresh worker id. Metrics
+//! stay exactly-once under this policy because workers are only ever
+//! scraped *after* `run complete`: a dead worker contributes nothing to
+//! the federated registry, and its replacement re-runs the shard from
+//! scratch. The run is still marked *degraded* ([`MeshOutcome::degraded`])
+//! — reassignment repairs the data, not the incident.
+
+use std::collections::BTreeSet;
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use qa_pulse::{http_get, HttpTimeouts};
+
+use crate::plan::ShardPlan;
+use crate::timeline::{Health, Timeline};
+
+/// Coordinator configuration.
+#[derive(Clone, Debug)]
+pub struct MeshOptions {
+    /// Correlation id stamped on every worker (forwarded as `--run-id`).
+    pub run_id: String,
+    /// Job-to-shard assignment.
+    pub plan: ShardPlan,
+    /// Liveness poll cadence.
+    pub poll_interval: Duration,
+    /// Respawns allowed per shard before the mesh gives up.
+    pub max_respawns: usize,
+    /// SIGKILL this shard's original worker once it has a job in flight
+    /// (chaos testing; replacements are never chaos-killed).
+    pub chaos_kill: Option<usize>,
+    /// HTTP deadlines for polls and scrapes.
+    pub timeouts: HttpTimeouts,
+    /// Wall-clock budget for the whole mesh.
+    pub deadline: Duration,
+}
+
+impl MeshOptions {
+    /// Defaults for a `plan`-shaped mesh: 25 ms polls, 3 respawns per
+    /// shard, no chaos, 120 s deadline.
+    pub fn new(run_id: &str, plan: ShardPlan) -> MeshOptions {
+        MeshOptions {
+            run_id: run_id.to_string(),
+            plan,
+            poll_interval: Duration::from_millis(25),
+            max_respawns: 3,
+            chaos_kill: None,
+            timeouts: HttpTimeouts::default(),
+            deadline: Duration::from_secs(120),
+        }
+    }
+}
+
+/// The artifacts scraped from a worker after it reported `run complete`.
+#[derive(Clone, Debug)]
+pub struct WorkerScrape {
+    /// `/metrics` body (Prometheus text).
+    pub metrics: String,
+    /// `/flight` body (flight-recorder JSON with correlation ids).
+    pub flight: String,
+    /// `/profile` body (collapsed stacks).
+    pub profile: String,
+}
+
+/// One worker process's life, as the coordinator saw it.
+#[derive(Clone, Debug)]
+pub struct WorkerReport {
+    /// `w<shard>` for originals, `w<shard>r<n>` for the n-th respawn.
+    pub worker_id: String,
+    /// The shard this worker owned.
+    pub shard: usize,
+    /// 0 for the original, n for the n-th replacement.
+    pub respawn: usize,
+    /// Process exit code, if the process exited with one.
+    pub exit_code: Option<i32>,
+    /// Whether the worker died before completing its shard.
+    pub died: bool,
+    /// Whether the coordinator chaos-killed it.
+    pub chaos_killed: bool,
+    /// Global job indices the worker finished.
+    pub jobs_done: Vec<usize>,
+    /// Global job indices started but unfinished at death (empty unless
+    /// `died`).
+    pub in_flight_at_death: Vec<usize>,
+    /// Post-completion scrape (`None` for dead workers — never scraped,
+    /// which is what keeps federated metrics exactly-once).
+    pub scrape: Option<WorkerScrape>,
+    /// Liveness history from the poll loop.
+    pub timeline: Timeline,
+}
+
+/// Everything the mesh learned: one report per worker process (including
+/// dead ones and their replacements), plus the degraded verdict.
+#[derive(Debug)]
+pub struct MeshOutcome {
+    /// Reports in retirement order; sort by `(shard, respawn)` for a
+    /// stable table.
+    pub reports: Vec<WorkerReport>,
+    /// True iff any worker died or exited non-zero — even when
+    /// reassignment repaired the run.
+    pub degraded: bool,
+}
+
+impl MeshOutcome {
+    /// Reports of workers that completed their shard and were scraped,
+    /// ordered by shard.
+    pub fn completed(&self) -> Vec<&WorkerReport> {
+        let mut done: Vec<&WorkerReport> = self
+            .reports
+            .iter()
+            .filter(|r| !r.died && r.scrape.is_some())
+            .collect();
+        done.sort_by_key(|r| r.shard);
+        done
+    }
+
+    /// Reports of workers that died mid-shard, in death order.
+    pub fn casualties(&self) -> Vec<&WorkerReport> {
+        self.reports.iter().filter(|r| r.died).collect()
+    }
+}
+
+/// Job progress parsed off one worker's stdout.
+#[derive(Debug, Default)]
+struct Progress {
+    addr: Option<SocketAddr>,
+    started: BTreeSet<usize>,
+    done: BTreeSet<usize>,
+    complete: bool,
+}
+
+/// Apply one stdout line to the progress state. Returns `false` for
+/// non-protocol lines (the worker's own summary output), which the
+/// coordinator forwards to stderr instead of swallowing.
+fn apply_line(line: &str, progress: &Mutex<Progress>) -> bool {
+    let mut p = progress.lock().expect("progress lock poisoned");
+    if let Some(rest) = line.strip_prefix("pulse: serving on ") {
+        if let Ok(addr) = rest.trim().parse() {
+            p.addr = Some(addr);
+            return true;
+        }
+        return false;
+    }
+    if line == "pulse: run complete" {
+        p.complete = true;
+        return true;
+    }
+    if let Some(rest) = line.strip_prefix("fleet: job ") {
+        let mut parts = rest.split_ascii_whitespace();
+        if let (Some(idx), Some(what)) = (parts.next(), parts.next()) {
+            if let Ok(idx) = idx.parse::<usize>() {
+                match what {
+                    "start" => {
+                        p.started.insert(idx);
+                        return true;
+                    }
+                    "done" => {
+                        p.done.insert(idx);
+                        return true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        return false;
+    }
+    false
+}
+
+/// A live worker process and its trackers.
+struct ActiveWorker {
+    shard: usize,
+    respawn: usize,
+    worker_id: String,
+    child: Child,
+    progress: Arc<Mutex<Progress>>,
+    reader: Option<JoinHandle<()>>,
+    timeline: Timeline,
+    chaos_killed: bool,
+}
+
+impl ActiveWorker {
+    fn spawn(
+        make_command: &dyn Fn(usize, &str) -> Command,
+        shard: usize,
+        respawn: usize,
+    ) -> std::io::Result<ActiveWorker> {
+        let worker_id = if respawn == 0 {
+            format!("w{shard}")
+        } else {
+            format!("w{shard}r{respawn}")
+        };
+        let mut cmd = make_command(shard, &worker_id);
+        cmd.stdout(Stdio::piped()).stderr(Stdio::inherit());
+        let mut child = cmd.spawn()?;
+        let stdout = child.stdout.take().expect("stdout was piped");
+        let progress = Arc::new(Mutex::new(Progress::default()));
+        let thread_progress = Arc::clone(&progress);
+        let thread_id = worker_id.clone();
+        let reader = std::thread::Builder::new()
+            .name(format!("qa-mesh-{worker_id}"))
+            .spawn(move || {
+                for line in std::io::BufReader::new(stdout).lines() {
+                    let Ok(line) = line else { break };
+                    if !apply_line(&line, &thread_progress) {
+                        eprintln!("[{thread_id}] {line}");
+                    }
+                }
+            })?;
+        Ok(ActiveWorker {
+            shard,
+            respawn,
+            worker_id,
+            child,
+            progress,
+            reader: Some(reader),
+            timeline: Timeline::new(),
+            chaos_killed: false,
+        })
+    }
+
+    fn join_reader(&mut self) {
+        if let Some(handle) = self.reader.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Build the final report once the process is reaped.
+    fn into_report(mut self, exit_code: Option<i32>, scrape: Option<WorkerScrape>) -> WorkerReport {
+        self.join_reader();
+        let p = self.progress.lock().expect("progress lock poisoned");
+        let died = !p.complete;
+        WorkerReport {
+            worker_id: self.worker_id,
+            shard: self.shard,
+            respawn: self.respawn,
+            exit_code,
+            died,
+            chaos_killed: self.chaos_killed,
+            jobs_done: p.done.iter().copied().collect(),
+            in_flight_at_death: if died {
+                p.started.difference(&p.done).copied().collect()
+            } else {
+                Vec::new()
+            },
+            scrape,
+            timeline: self.timeline.clone(),
+        }
+    }
+}
+
+fn scrape_worker(addr: SocketAddr, timeouts: HttpTimeouts) -> std::io::Result<WorkerScrape> {
+    let fetch = |path: &str| -> std::io::Result<String> {
+        let resp = http_get(addr, path, timeouts)?;
+        if !resp.is_ok() {
+            return Err(std::io::Error::other(format!(
+                "{path} answered {}",
+                resp.status
+            )));
+        }
+        Ok(resp.body)
+    };
+    Ok(WorkerScrape {
+        metrics: fetch("/metrics")?,
+        flight: fetch("/flight")?,
+        profile: fetch("/profile")?,
+    })
+}
+
+/// Run the mesh to completion: spawn one worker per shard via
+/// `make_command`, supervise, scrape, and reassign dead shards. Returns
+/// [`MeshOutcome`] once every shard has a completed, scraped worker.
+///
+/// Errors are reserved for coordinator-level failures (spawn failure, a
+/// shard exhausting its respawns, the deadline): worker deaths and
+/// non-zero worker exits are *data*, reported in the outcome with
+/// `degraded = true`.
+pub fn run_mesh(
+    opts: &MeshOptions,
+    make_command: impl Fn(usize, &str) -> Command,
+) -> std::io::Result<MeshOutcome> {
+    let shards = opts.plan.shards;
+    let mut reports: Vec<WorkerReport> = Vec::new();
+    let mut degraded = false;
+    let mut chaos_pending = opts.chaos_kill;
+    let mut active: Vec<Option<ActiveWorker>> = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        active.push(Some(ActiveWorker::spawn(&make_command, shard, 0)?));
+    }
+    let started_at = Instant::now();
+    let mut finished = 0usize;
+    while finished < shards {
+        if started_at.elapsed() > opts.deadline {
+            for w in active.iter_mut().flatten() {
+                let _ = w.child.kill();
+                let _ = w.child.wait();
+                w.join_reader();
+            }
+            return Err(std::io::Error::other(format!(
+                "mesh deadline ({:?}) exceeded with {} of {shards} shard(s) incomplete",
+                opts.deadline,
+                shards - finished
+            )));
+        }
+        for slot in active.iter_mut() {
+            let Some(worker) = slot.as_mut() else {
+                continue;
+            };
+            // Check for process exit *before* reading progress: if the
+            // worker already exited, drain its stdout first so a
+            // `run complete` printed just before exit is not misread as a
+            // mid-batch death.
+            let exit = worker.child.try_wait()?;
+            if exit.is_some() {
+                worker.join_reader();
+            }
+            let (addr, complete, in_flight) = {
+                let p = worker.progress.lock().expect("progress lock poisoned");
+                (p.addr, p.complete, p.started.difference(&p.done).count())
+            };
+
+            if complete {
+                // Completed workers are scraped exactly once, then told to
+                // quit and reaped.
+                let scrape = match addr {
+                    Some(addr) => {
+                        let scrape = scrape_worker(addr, opts.timeouts);
+                        let _ = http_get(addr, "/quit", opts.timeouts);
+                        scrape
+                    }
+                    None => Err(std::io::Error::other("worker never announced its address")),
+                };
+                let mut worker = slot.take().expect("checked above");
+                let exit_code = match exit {
+                    Some(status) => status.code(),
+                    None => worker.child.wait()?.code(),
+                };
+                if exit_code != Some(0) {
+                    // A tripped budget inside a worker degrades the fleet
+                    // even though its telemetry arrived intact.
+                    degraded = true;
+                }
+                let scrape = match scrape {
+                    Ok(s) => Some(s),
+                    Err(e) => {
+                        eprintln!("mesh: scraping {} failed: {e}", worker.worker_id);
+                        degraded = true;
+                        None
+                    }
+                };
+                reports.push(worker.into_report(exit_code, scrape));
+                finished += 1;
+                continue;
+            }
+
+            // Death: the process exited without `run complete`. Record the
+            // post-mortem (exact in-flight jobs) and reassign the whole
+            // shard to a fresh worker — never scraped, so the federated
+            // metrics stay exactly-once.
+            if let Some(status) = exit {
+                let worker = slot.take().expect("checked above");
+                let shard = worker.shard;
+                let respawn = worker.respawn;
+                degraded = true;
+                reports.push(worker.into_report(status.code(), None));
+                if respawn >= opts.max_respawns {
+                    for w in active.iter_mut().flatten() {
+                        let _ = w.child.kill();
+                        let _ = w.child.wait();
+                        w.join_reader();
+                    }
+                    return Err(std::io::Error::other(format!(
+                        "shard {shard} died {} time(s); giving up",
+                        respawn + 1
+                    )));
+                }
+                *slot = Some(ActiveWorker::spawn(&make_command, shard, respawn + 1)?);
+                continue;
+            }
+
+            // Liveness poll (only once the worker announced its address).
+            if let Some(addr) = addr {
+                let health = match http_get(addr, "/healthz", opts.timeouts) {
+                    Err(_) => Health::Unreachable,
+                    Ok(h) if !h.is_ok() => Health::Unreachable,
+                    Ok(_) => match http_get(addr, "/readyz", opts.timeouts) {
+                        Ok(r) if r.is_ok() => Health::Ready,
+                        _ => Health::Warming,
+                    },
+                };
+                worker.timeline.record(health);
+            }
+
+            // Chaos: SIGKILL the original worker of the target shard once
+            // it has a job in flight, exactly once per mesh.
+            if chaos_pending == Some(worker.shard) && worker.respawn == 0 && in_flight > 0 {
+                let _ = worker.child.kill();
+                worker.chaos_killed = true;
+                chaos_pending = None;
+            }
+        }
+        std::thread::sleep(opts.poll_interval);
+    }
+    Ok(MeshOutcome { reports, degraded })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_lines_drive_the_progress_state() {
+        let p = Mutex::new(Progress::default());
+        assert!(apply_line("pulse: serving on 127.0.0.1:4471", &p));
+        assert!(apply_line("fleet: job 7 start", &p));
+        assert!(apply_line("fleet: job 7 done", &p));
+        assert!(apply_line("fleet: job 9 start", &p));
+        assert!(!apply_line("qa-fleet: 4 run(s) = ...", &p));
+        assert!(!apply_line("fleet: job x start", &p));
+        assert!(apply_line("pulse: run complete", &p));
+        let p = p.lock().unwrap();
+        assert_eq!(p.addr.unwrap().port(), 4471);
+        assert!(p.complete);
+        assert_eq!(
+            p.started.difference(&p.done).copied().collect::<Vec<_>>(),
+            vec![9],
+            "job 9 is in flight"
+        );
+    }
+
+    #[test]
+    fn dead_workers_report_their_in_flight_jobs() {
+        // Use a worker that prints protocol lines and exits immediately —
+        // from the coordinator's view, a mid-batch death.
+        let opts = MeshOptions {
+            max_respawns: 0,
+            ..MeshOptions::new("test-run", ShardPlan::new(1, 4))
+        };
+        let err = run_mesh(&opts, |_shard, _id| {
+            let mut cmd = Command::new("sh");
+            cmd.arg("-c")
+                .arg("echo 'fleet: job 0 start'; echo 'fleet: job 0 done'; echo 'fleet: job 2 start'; exit 9");
+            cmd
+        })
+        .expect_err("zero respawns allowed");
+        assert!(err.to_string().contains("shard 0 died"), "{err}");
+    }
+
+    #[test]
+    fn respawned_workers_can_finish_what_the_dead_started() {
+        // First spawn dies; the replacement completes and serves real
+        // endpoints via a live pulse server in this process.
+        use qa_pulse::{PulseServer, PulseState};
+        use std::sync::Arc;
+
+        let state = PulseState::new(Arc::new(qa_obs::Metrics::new()), "qa_fleet");
+        state.set_ready();
+        state.set_flight_source(Box::new(|| "{\"events\":[]}".to_string()));
+        let server = PulseServer::serve("127.0.0.1:0", Arc::clone(&state)).expect("bind");
+        let addr = server.local_addr();
+
+        let opts = MeshOptions {
+            poll_interval: Duration::from_millis(5),
+            ..MeshOptions::new("test-run", ShardPlan::new(1, 2))
+        };
+        let outcome = run_mesh(&opts, |_shard, id| {
+            let mut cmd = Command::new("sh");
+            if id == "w0" {
+                cmd.arg("-c").arg("echo 'fleet: job 0 start'; exit 9");
+            } else {
+                cmd.arg("-c").arg(format!(
+                    "echo 'pulse: serving on {addr}'; \
+                     echo 'fleet: job 0 start'; echo 'fleet: job 0 done'; \
+                     echo 'fleet: job 1 start'; echo 'fleet: job 1 done'; \
+                     echo 'pulse: run complete'"
+                ));
+            }
+            cmd
+        })
+        .expect("mesh completes via the respawn");
+
+        assert!(outcome.degraded, "a death degrades the run");
+        let casualties = outcome.casualties();
+        assert_eq!(casualties.len(), 1);
+        assert_eq!(casualties[0].worker_id, "w0");
+        assert_eq!(casualties[0].in_flight_at_death, vec![0]);
+        assert_eq!(casualties[0].exit_code, Some(9));
+
+        let completed = outcome.completed();
+        assert_eq!(completed.len(), 1);
+        assert_eq!(completed[0].worker_id, "w0r1");
+        assert_eq!(completed[0].jobs_done, vec![0, 1]);
+        let scrape = completed[0].scrape.as_ref().unwrap();
+        assert!(scrape.metrics.contains("qa_fleet_steps_total"));
+        assert_eq!(scrape.flight, "{\"events\":[]}");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,155 @@
+//! Federation: folding per-worker telemetry into one coherent surface.
+//!
+//! The mesh's central invariant is that **federation is shard-invariant**:
+//! because [`Metrics::merge`] is commutative and associative, merging the
+//! parsed `/metrics` scrapes of N workers yields the same registry — and
+//! therefore the same rendered exposition, byte for byte — no matter how
+//! the job grid was dealt out. [`federate_metrics`] is that fold;
+//! [`federate_profile`] and [`federate_flight`] are the profile/flight
+//! counterparts, which *keep* worker identity (a profile frame or flight
+//! event is only useful if you know which process it came from) and so are
+//! deterministic per shard count rather than across shard counts.
+
+use qa_obs::Metrics;
+use qa_pulse::parse_prometheus;
+
+/// Merge worker `/metrics` scrapes into one registry.
+///
+/// Each scrape is parsed ([`parse_prometheus`]) and mapped back onto the
+/// `<prefix>_*` counter/histogram families
+/// ([`Scrape::to_metrics`](qa_pulse::Scrape::to_metrics)); families
+/// outside the prefix — `qa_build_info`, `qa_heap_*`, per-worker info
+/// gauges — stay out, which is what keeps the federated render
+/// independent of worker count. Returns the merged registry or the first
+/// scrape's parse error (tagged with its index).
+pub fn federate_metrics<'a>(
+    scrapes: impl IntoIterator<Item = &'a str>,
+    prefix: &str,
+) -> Result<Metrics, String> {
+    let federated = Metrics::new();
+    for (i, text) in scrapes.into_iter().enumerate() {
+        let registry = parse_prometheus(text)
+            .and_then(|s| s.to_metrics(prefix))
+            .map_err(|e| format!("worker scrape {i}: {e}"))?;
+        federated.merge(&registry);
+    }
+    Ok(federated)
+}
+
+/// Merge collapsed-stack profiles, attributing every frame to its worker.
+///
+/// Each worker's `profile.folded` lines (`stack;frames count`) are
+/// prefixed with `<worker_id>;`, so the federated flamegraph shows one
+/// subtree per worker and every sample stays attributable. Lines are
+/// sorted for deterministic output.
+pub fn federate_profile(workers: &[(String, String)]) -> String {
+    let mut lines: Vec<String> = Vec::new();
+    for (worker_id, folded) in workers {
+        for line in folded.lines().filter(|l| !l.is_empty()) {
+            lines.push(format!("{worker_id};{line}"));
+        }
+    }
+    lines.sort_unstable();
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+/// Combine worker flight-recorder JSON dumps into one document:
+/// `{"run_id":"…","workers":[…]}`, workers in the given order. Each
+/// worker dump already carries its own `run_id`/`worker` correlation ids
+/// (see `FlightRecorder::set_correlation` in `qa-flight`), so every
+/// retained event in the federated document is attributable.
+pub fn federate_flight(run_id: &str, worker_dumps: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"run_id\":\"");
+    for c in run_id.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            c => out.push(c),
+        }
+    }
+    out.push_str("\",\"workers\":[");
+    for (i, dump) in worker_dumps.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(dump);
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qa_obs::{Counter, Observer, Series};
+    use qa_probe::export::prometheus_text;
+
+    fn worker(steps: u64, trace_lens: &[u64]) -> Metrics {
+        let m = Metrics::new();
+        let mut o = m.observer();
+        o.count(Counter::Steps, steps);
+        for &v in trace_lens {
+            o.record(Series::TraceLength, v);
+        }
+        m
+    }
+
+    #[test]
+    fn metrics_federation_is_shard_invariant() {
+        // The same three "jobs" dealt over 1 vs 3 workers.
+        let all = worker(600, &[1, 20, 300]);
+        let shards = [worker(100, &[1]), worker(200, &[20]), worker(300, &[300])];
+
+        let one = federate_metrics([prometheus_text(&all, "qa_fleet").as_str()], "qa_fleet")
+            .expect("single scrape");
+        let texts: Vec<String> = shards
+            .iter()
+            .map(|m| prometheus_text(m, "qa_fleet"))
+            .collect();
+        let three = federate_metrics(texts.iter().map(|s| s.as_str()), "qa_fleet").expect("merge");
+        assert_eq!(
+            prometheus_text(&one, "qa_fleet"),
+            prometheus_text(&three, "qa_fleet"),
+            "federated exposition must not depend on sharding"
+        );
+    }
+
+    #[test]
+    fn federation_surfaces_parse_errors_with_the_worker_index() {
+        let good = prometheus_text(&worker(1, &[]), "qa_fleet");
+        let err = federate_metrics([good.as_str(), "garbage without value"], "qa_fleet")
+            .expect_err("second scrape is garbage");
+        assert!(err.starts_with("worker scrape 1:"), "{err}");
+    }
+
+    #[test]
+    fn profile_federation_prefixes_frames_with_the_worker() {
+        let merged = federate_profile(&[
+            ("w1".to_string(), "run;scan 30\nrun 5\n".to_string()),
+            ("w0".to_string(), "run;scan 10\n".to_string()),
+        ]);
+        assert_eq!(merged, "w0;run;scan 10\nw1;run 5\nw1;run;scan 30\n");
+    }
+
+    #[test]
+    fn flight_federation_wraps_worker_dumps_under_the_run_id() {
+        let doc = federate_flight(
+            "mesh-s7",
+            &[
+                "{\"worker\":\"w0\"}".to_string(),
+                "{\"worker\":\"w1\"}".to_string(),
+            ],
+        );
+        assert_eq!(
+            doc,
+            "{\"run_id\":\"mesh-s7\",\"workers\":[{\"worker\":\"w0\"},{\"worker\":\"w1\"}]}"
+        );
+        let opens = doc.matches(['{', '[']).count();
+        assert_eq!(opens, doc.matches(['}', ']']).count());
+    }
+}

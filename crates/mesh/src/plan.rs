@@ -1,0 +1,72 @@
+//! [`ShardPlan`]: the deterministic assignment of fleet jobs to shards.
+//!
+//! A fleet's job grid is `queries × docs`, flattened to global indices
+//! `qi * docs + di` (the same indexing `qa-fleet` uses for its slots).
+//! The plan deals those indices round-robin over `shards` workers:
+//! job `j` belongs to shard `j % shards`. Round-robin (rather than
+//! contiguous ranges) keeps every shard's workload mix identical — each
+//! worker sees every query kind — so per-worker step counts are
+//! comparable and a lost shard is never "all the expensive queries".
+//!
+//! The plan is pure arithmetic shared by coordinator and tests; the
+//! worker side reimplements nothing (it filters its spec list with the
+//! same `% shards` predicate).
+
+/// Assignment of `jobs` global job indices to `shards` round-robin shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Number of shards (worker processes). At least 1.
+    pub shards: usize,
+    /// Total number of jobs in the grid.
+    pub jobs: usize,
+}
+
+impl ShardPlan {
+    /// Plan dealing `jobs` jobs over `shards` workers (`shards ≥ 1`).
+    pub fn new(shards: usize, jobs: usize) -> ShardPlan {
+        assert!(shards >= 1, "a mesh needs at least one shard");
+        ShardPlan { shards, jobs }
+    }
+
+    /// The shard that owns global job `job`.
+    pub fn shard_of(&self, job: usize) -> usize {
+        job % self.shards
+    }
+
+    /// All global job indices owned by `shard`, ascending.
+    pub fn jobs_for(&self, shard: usize) -> Vec<usize> {
+        (0..self.jobs)
+            .filter(|j| self.shard_of(*j) == shard)
+            .collect()
+    }
+
+    /// Number of jobs owned by `shard`.
+    pub fn len_for(&self, shard: usize) -> usize {
+        self.jobs_for(shard).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_partitions_the_grid() {
+        let plan = ShardPlan::new(3, 10);
+        let mut all: Vec<usize> = (0..3).flat_map(|s| plan.jobs_for(s)).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        assert_eq!(plan.jobs_for(0), vec![0, 3, 6, 9]);
+        assert_eq!(plan.jobs_for(1), vec![1, 4, 7]);
+        assert_eq!(plan.len_for(2), 3);
+        for j in 0..10 {
+            assert!(plan.jobs_for(plan.shard_of(j)).contains(&j));
+        }
+    }
+
+    #[test]
+    fn one_shard_owns_everything() {
+        let plan = ShardPlan::new(1, 5);
+        assert_eq!(plan.jobs_for(0), vec![0, 1, 2, 3, 4]);
+    }
+}

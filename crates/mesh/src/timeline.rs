@@ -1,0 +1,114 @@
+//! [`Timeline`]: one worker's liveness history as seen by the
+//! coordinator's poll loop.
+//!
+//! Each poll tick classifies the worker by its pulse endpoints:
+//! `/healthz` unreachable → [`Health::Unreachable`], reachable but
+//! `/readyz` still 503 → [`Health::Warming`], both green →
+//! [`Health::Ready`]. The rendered timeline is run-length encoded
+//! (`warming×2 ready×41 unreachable×3`), so a federated summary can show
+//! every worker's life story in one line — including the moment a
+//! chaos-killed worker stopped answering.
+
+/// One poll tick's verdict on a worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Health {
+    /// `/healthz` did not answer (dead, not yet serving, or hung).
+    Unreachable,
+    /// Alive but `/readyz` reports warming up.
+    Warming,
+    /// Alive and ready.
+    Ready,
+}
+
+impl Health {
+    fn name(self) -> &'static str {
+        match self {
+            Health::Unreachable => "unreachable",
+            Health::Warming => "warming",
+            Health::Ready => "ready",
+        }
+    }
+}
+
+/// Poll history of one worker, oldest first.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    polls: Vec<Health>,
+}
+
+impl Timeline {
+    /// Empty timeline.
+    pub fn new() -> Timeline {
+        Timeline::default()
+    }
+
+    /// Append one poll verdict.
+    pub fn record(&mut self, health: Health) {
+        self.polls.push(health);
+    }
+
+    /// Number of polls recorded.
+    pub fn len(&self) -> usize {
+        self.polls.len()
+    }
+
+    /// Whether no polls were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.polls.is_empty()
+    }
+
+    /// How many polls saw the given state.
+    pub fn count(&self, health: Health) -> usize {
+        self.polls.iter().filter(|h| **h == health).count()
+    }
+
+    /// Whether the worker was ever seen ready.
+    pub fn was_ready(&self) -> bool {
+        self.count(Health::Ready) > 0
+    }
+
+    /// Run-length encoded rendering, e.g. `warming×2 ready×40`.
+    /// Empty timelines render as `no polls`.
+    pub fn render(&self) -> String {
+        if self.polls.is_empty() {
+            return "no polls".to_string();
+        }
+        let mut out = String::new();
+        let mut run: (Health, usize) = (self.polls[0], 0);
+        for &h in &self.polls {
+            if h == run.0 {
+                run.1 += 1;
+            } else {
+                out.push_str(&format!("{}\u{d7}{} ", run.0.name(), run.1));
+                run = (h, 1);
+            }
+        }
+        out.push_str(&format!("{}\u{d7}{}", run.0.name(), run.1));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_run_length_encodes_the_history() {
+        let mut t = Timeline::new();
+        assert_eq!(t.render(), "no polls");
+        for h in [
+            Health::Warming,
+            Health::Warming,
+            Health::Ready,
+            Health::Ready,
+            Health::Ready,
+            Health::Unreachable,
+        ] {
+            t.record(h);
+        }
+        assert_eq!(t.render(), "warming×2 ready×3 unreachable×1");
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.count(Health::Ready), 3);
+        assert!(t.was_ready());
+    }
+}

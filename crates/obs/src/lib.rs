@@ -34,6 +34,6 @@ pub mod metrics;
 pub mod observer;
 pub mod trace;
 
-pub use metrics::{Histogram, HistogramSnapshot, Metrics, MetricsObserver};
+pub use metrics::{Histogram, HistogramSnapshot, InfoLabels, Metrics, MetricsObserver};
 pub use observer::{Abort, Counter, NoopObserver, Observer, Series, Tee};
 pub use trace::{PhaseSpan, RunTrace, TraceConfig};

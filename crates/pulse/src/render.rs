@@ -79,9 +79,11 @@ pub fn metrics_text(metrics: &Metrics, prefix: &str) -> String {
 
 /// Check that `text` is well-formed Prometheus text exposition format:
 /// every line is a `# TYPE`/`# HELP` comment or a `name{labels} value`
-/// sample with a valid metric name and a finite numeric value, and every
-/// `# TYPE` is followed by at least one sample of that family. Returns a
-/// description of the first violation.
+/// sample with a valid metric name and a finite numeric value, every
+/// `# TYPE` is followed by at least one sample of that family, no family
+/// is declared twice (duplicate metric names), and `# HELP`/`# TYPE`
+/// blocks are in order (`HELP` before `TYPE`, both before the family's
+/// samples). Returns a description of the first violation.
 pub fn validate_prometheus(text: &str) -> Result<(), String> {
     fn valid_name(name: &str) -> bool {
         let mut chars = name.chars();
@@ -95,6 +97,11 @@ pub fn validate_prometheus(text: &str) -> Result<(), String> {
         return Err("empty exposition".to_string());
     }
     let mut pending_type: Option<String> = None;
+    // HELP comments waiting for their TYPE/sample block.
+    let mut pending_help: Option<String> = None;
+    // Families whose comment block is finished: re-declaring one is a
+    // duplicate-name error (Prometheus drops all but the first).
+    let mut seen: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
     for (i, line) in text.lines().enumerate() {
         let lineno = i + 1;
         if line.is_empty() {
@@ -111,10 +118,37 @@ pub fn validate_prometheus(text: &str) -> Result<(), String> {
                 return Err(format!("line {lineno}: bad metric name {name:?}"));
             }
             if kind == "TYPE" {
+                if seen.contains(name) {
+                    return Err(format!("line {lineno}: duplicate metric name {name:?}"));
+                }
                 if let Some(prev) = pending_type.take() {
                     return Err(format!("line {lineno}: TYPE for {prev:?} has no samples"));
                 }
+                match pending_help.take() {
+                    Some(h) if h != name => {
+                        return Err(format!(
+                            "line {lineno}: HELP for {h:?} not followed by its TYPE/samples"
+                        ));
+                    }
+                    _ => {}
+                }
                 pending_type = Some(name.to_string());
+                seen.insert(name.to_string());
+            } else {
+                // HELP must open a family block: before its TYPE, and not
+                // after the family's samples have started.
+                if pending_type.is_some() {
+                    return Err(format!(
+                        "line {lineno}: HELP for {name:?} after its TYPE (out of order)"
+                    ));
+                }
+                if seen.contains(name) {
+                    return Err(format!("line {lineno}: duplicate metric name {name:?}"));
+                }
+                if let Some(h) = pending_help.take() {
+                    return Err(format!("line {lineno}: HELP for {h:?} has no samples"));
+                }
+                pending_help = Some(name.to_string());
             }
             continue;
         }
@@ -151,10 +185,22 @@ pub fn validate_prometheus(text: &str) -> Result<(), String> {
                     "line {lineno}: sample {name:?} does not match TYPE {family:?}"
                 ));
             }
+        } else if let Some(help) = &pending_help {
+            // A HELP-only family (no TYPE) is closed by its first sample.
+            if name == help || name.starts_with(&format!("{help}_")) {
+                seen.insert(pending_help.take().expect("checked above"));
+            } else {
+                return Err(format!(
+                    "line {lineno}: sample {name:?} does not match HELP {help:?}"
+                ));
+            }
         }
     }
     if let Some(prev) = pending_type {
         return Err(format!("trailing TYPE for {prev:?} has no samples"));
+    }
+    if let Some(prev) = pending_help {
+        return Err(format!("trailing HELP for {prev:?} has no samples"));
     }
     Ok(())
 }
@@ -237,6 +283,43 @@ mod tests {
             validate_prometheus("# TYPE a counter\nb 1\n").is_err(),
             "sample must match preceding TYPE"
         );
+    }
+
+    #[test]
+    fn validator_rejects_duplicate_metric_names() {
+        let dup_type = "# TYPE a counter\na 1\n# TYPE a counter\na 2\n";
+        let err = validate_prometheus(dup_type).unwrap_err();
+        assert!(err.contains("duplicate metric name"), "{err}");
+
+        let dup_after_other = "# TYPE a counter\na 1\n# TYPE b counter\nb 1\n# HELP a again\na 2\n";
+        let err = validate_prometheus(dup_after_other).unwrap_err();
+        assert!(err.contains("duplicate metric name \"a\""), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_out_of_order_help_and_type() {
+        // HELP must come before TYPE, never between TYPE and samples.
+        let help_after_type = "# TYPE a counter\n# HELP a docs\na 1\n";
+        let err = validate_prometheus(help_after_type).unwrap_err();
+        assert!(err.contains("after its TYPE"), "{err}");
+
+        // HELP for one family followed by another family's TYPE.
+        let interleaved = "# HELP a docs\n# TYPE b counter\nb 1\n";
+        let err = validate_prometheus(interleaved).unwrap_err();
+        assert!(err.contains("not followed by its TYPE"), "{err}");
+
+        // HELP that never gets samples.
+        assert!(validate_prometheus("# HELP a docs\n").is_err());
+        assert!(validate_prometheus("# HELP a docs\n# HELP b docs\nb 1\n").is_err());
+    }
+
+    #[test]
+    fn validator_accepts_help_type_samples_in_order() {
+        let text = "# HELP a docs\n# TYPE a counter\na 1\n# HELP h hist\n# TYPE h histogram\n\
+                    h_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n";
+        validate_prometheus(text).expect("ordered HELP/TYPE/samples");
+        // HELP-only families (no TYPE) are legal exposition too.
+        validate_prometheus("# HELP a docs\na 1\n").expect("HELP then samples");
     }
 
     #[test]

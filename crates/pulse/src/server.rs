@@ -36,6 +36,10 @@ use qa_obs::Metrics;
 use crate::profile::{SpanProfile, Weight};
 use crate::render::metrics_text;
 
+/// The Prometheus text exposition content type, as the format spec
+/// requires it on the wire: media type, exposition version *and* charset.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
 /// Producer of the `/flight` JSON body — registered by the binary that
 /// owns the flight recorder, so this crate needs no dependency on
 /// `qa-flight` (which depends on us for its fleet binary).
@@ -230,7 +234,7 @@ fn handle_connection(stream: &mut TcpStream, state: &PulseState) -> std::io::Res
         }
         "/metrics" => {
             let body = state.metrics_text();
-            respond(stream, 200, "text/plain; version=0.0.4", &body)?;
+            respond(stream, 200, PROMETHEUS_CONTENT_TYPE, &body)?;
         }
         "/flight" => match state.flight_json() {
             Some(body) => respond(stream, 200, "application/json", &body)?,

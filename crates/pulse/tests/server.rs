@@ -66,6 +66,27 @@ fn health_and_readiness_endpoints() {
 }
 
 #[test]
+fn metrics_endpoint_sends_the_prometheus_exposition_content_type() {
+    let (server, _state) = server_with_metrics();
+    let addr = server.local_addr();
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
+    write!(
+        stream,
+        "GET /metrics HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let head = response.split_once("\r\n\r\n").expect("has headers").0;
+    assert!(
+        head.lines()
+            .any(|l| l == "Content-Type: text/plain; version=0.0.4; charset=utf-8"),
+        "{head}"
+    );
+    server.shutdown();
+}
+
+#[test]
 fn metrics_endpoint_serves_valid_prometheus_matching_state_render() {
     let (server, state) = server_with_metrics();
     let (status, body) = get(server.local_addr(), "/metrics");

@@ -1,0 +1,114 @@
+//! Federated observability, pure-library edition.
+//!
+//! `qa-fleet --mesh N` does this across processes; here the same pipeline
+//! runs in one binary so every moving part is visible:
+//!
+//! 1. a [`ShardPlan`] deals a 12-job grid round-robin over N "workers",
+//!    each with its own [`Metrics`] registry and its own [`PulseServer`]
+//!    on an ephemeral loopback port;
+//! 2. every job runs the Example 5.14 strong query automaton over a tree
+//!    that grows with the job index, so shards carry genuinely different
+//!    workloads;
+//! 3. the coordinator scrapes each worker's `/metrics` over real HTTP
+//!    ([`http_get`] — the same std-only client the mesh uses), parses the
+//!    exposition back into a registry, and folds the registries with
+//!    [`federate_metrics`].
+//!
+//! Because [`Metrics::merge`] is commutative and associative, the
+//! federated exposition is **byte-identical** for 1, 2 and 4 workers —
+//! the invariant the mesh e2e tests pin, demonstrated here without
+//! spawning a single process. The example closes with the attribution
+//! side of federation: [`federate_profile`] prefixes every collapsed
+//! stack with its worker id, and [`federate_flight`] nests
+//! correlation-stamped flight dumps under one run id.
+//!
+//! Run with: `cargo run --example federation`
+
+use std::sync::Arc;
+
+use query_automata::flight::FlightRecorder;
+use query_automata::mesh::{federate_flight, federate_metrics, federate_profile, ShardPlan};
+use query_automata::obs::Metrics;
+use query_automata::prelude::*;
+use query_automata::probe::export::prometheus_text;
+use query_automata::pulse::{http_get, HttpTimeouts, PulseServer, PulseState};
+
+const JOBS: usize = 12;
+const PREFIX: &str = "qa_fed";
+
+/// Job `i`: query a flat tree of `i + 2` leaves with the Example 5.14
+/// automaton (select every 1-leaf with no 1-labeled left sibling).
+fn run_job(i: usize, sigma: &Alphabet, qa: &StrongQa, obs: &mut impl Observer) -> usize {
+    let leaves: String = (0..i + 2)
+        .map(|j| if j % 3 == 0 { " 1" } else { " 0" })
+        .collect();
+    let mut names = sigma.clone();
+    let tree = from_sexpr(&format!("(0{leaves})"), &mut names).expect("well-formed tree");
+    qa.query_with(&tree, obs).expect("query runs").len()
+}
+
+/// Run the whole grid over `n` workers and return the federated render.
+fn mesh_of(n: usize, sigma: &Alphabet, qa: &StrongQa) -> String {
+    let plan = ShardPlan::new(n, JOBS);
+    let mut scrapes = Vec::new();
+    for shard in 0..n {
+        // Each worker owns a registry and serves it, exactly like a
+        // `qa-fleet --serve` process would.
+        let metrics = Arc::new(Metrics::new());
+        let state = PulseState::new(Arc::clone(&metrics), PREFIX);
+        let server = PulseServer::serve("127.0.0.1:0", state).expect("bind loopback");
+
+        let mut obs = metrics.observer();
+        for job in plan.jobs_for(shard) {
+            run_job(job, sigma, qa, &mut obs);
+        }
+
+        let response = http_get(server.local_addr(), "/metrics", HttpTimeouts::default())
+            .expect("scrape worker");
+        assert!(response.is_ok(), "worker answered {}", response.status);
+        scrapes.push(response.body);
+        server.shutdown();
+    }
+    let federated =
+        federate_metrics(scrapes.iter().map(|s| s.as_str()), PREFIX).expect("scrapes parse");
+    prometheus_text(&federated, PREFIX)
+}
+
+fn main() {
+    let sigma = Alphabet::from_names(["0", "1"]);
+    let qa = example_5_14(&sigma);
+
+    // ── Shard invariance ─────────────────────────────────────────────────
+    let baseline = mesh_of(1, &sigma, &qa);
+    for n in [2, 4] {
+        let render = mesh_of(n, &sigma, &qa);
+        assert_eq!(render, baseline, "federation must be shard-invariant");
+        println!("{n} workers -> federated /metrics identical to 1 worker");
+    }
+    println!("\n=== federated exposition (counters only) ===");
+    for line in baseline
+        .lines()
+        .filter(|l| l.ends_with(|c: char| c.is_ascii_digit()))
+    {
+        println!("{line}");
+    }
+
+    // ── Attribution: profiles and flight dumps keep worker identity ──────
+    let profile = federate_profile(&[
+        ("w0".to_string(), "query;scan 130\n".to_string()),
+        ("w1".to_string(), "query;scan 95\nquery 12\n".to_string()),
+    ]);
+    println!("\n=== federated profile.folded ===\n{profile}");
+
+    let mut dumps = Vec::new();
+    for (shard, worker) in ["w0", "w1"].iter().enumerate() {
+        // The recorder is an Observer: run one job through it and the
+        // retained tail comes out correlation-stamped.
+        let mut recorder = FlightRecorder::with_capacity(8);
+        recorder.set_correlation("fed-demo", worker);
+        run_job(shard, &sigma, &qa, &mut recorder);
+        dumps.push(recorder.to_json());
+    }
+    let flight = federate_flight("fed-demo", &dumps);
+    println!("=== federated flight.json ===\n{flight}");
+}

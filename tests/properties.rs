@@ -233,3 +233,81 @@ fn unranked_runs_are_confluent() {
         assert_eq!(rec.assumed, reference.assumed, "case {case}");
     }
 }
+
+/// Random metrics registry: arbitrary counter bumps and series samples.
+fn random_metrics(rng: &mut StdRng) -> query_automata::obs::Metrics {
+    use query_automata::obs::{Counter, Observer, Series};
+    let m = query_automata::obs::Metrics::new();
+    {
+        let mut o = m.observer();
+        for _ in 0..rng.gen_range(0..40) {
+            let c = Counter::ALL[rng.gen_range(0..Counter::ALL.len())];
+            o.count(c, rng.gen_range(0..1000) as u64);
+        }
+        for _ in 0..rng.gen_range(0..40) {
+            let s = Series::ALL[rng.gen_range(0..Series::ALL.len())];
+            // Spread samples across the full bucket range, including 0.
+            let v = (rng.gen_range(0..1024) as u64) << rng.gen_range(0..50);
+            o.record(s, v);
+        }
+    }
+    m
+}
+
+/// `Metrics::merge` is commutative and associative — the algebraic fact
+/// the mesh's shard-invariant federation rests on: any grouping and any
+/// order of worker registries must fold to the same exposition.
+#[test]
+fn metrics_merge_is_commutative_and_associative() {
+    use query_automata::probe::export::prometheus_text;
+    let mut rng = StdRng::seed_from_u64(110);
+    for case in 0..32 {
+        let (a, b, c) = (
+            random_metrics(&mut rng),
+            random_metrics(&mut rng),
+            random_metrics(&mut rng),
+        );
+        let render = |parts: &[&query_automata::obs::Metrics]| {
+            let acc = query_automata::obs::Metrics::new();
+            for p in parts {
+                acc.merge(p);
+            }
+            prometheus_text(&acc, "qa_prop")
+        };
+        // Commutativity: a+b == b+a.
+        assert_eq!(render(&[&a, &b]), render(&[&b, &a]), "case {case}");
+        // Associativity: (a+b)+c == a+(b+c), via the flat fold and the
+        // explicitly grouped fold.
+        let ab = query_automata::obs::Metrics::new();
+        ab.merge(&a);
+        ab.merge(&b);
+        let bc = query_automata::obs::Metrics::new();
+        bc.merge(&b);
+        bc.merge(&c);
+        assert_eq!(render(&[&ab, &c]), render(&[&a, &bc]), "case {case}");
+        assert_eq!(render(&[&ab, &c]), render(&[&a, &b, &c]), "case {case}");
+    }
+}
+
+/// The exposition round-trip survives random registries: parsing a render
+/// and re-rendering is the identity at the text level, so a mesh scrape
+/// loses nothing a federated render would show.
+#[test]
+fn prometheus_round_trip_is_lossless_on_random_registries() {
+    use query_automata::probe::export::prometheus_text;
+    use query_automata::pulse::parse_prometheus;
+    let mut rng = StdRng::seed_from_u64(111);
+    for case in 0..32 {
+        let m = random_metrics(&mut rng);
+        let rendered = prometheus_text(&m, "qa_prop");
+        let rebuilt = parse_prometheus(&rendered)
+            .unwrap_or_else(|e| panic!("case {case}: own render must parse: {e}"))
+            .to_metrics("qa_prop")
+            .unwrap_or_else(|e| panic!("case {case}: scrape must map onto Metrics: {e}"));
+        assert_eq!(
+            prometheus_text(&rebuilt, "qa_prop"),
+            rendered,
+            "case {case}"
+        );
+    }
+}
