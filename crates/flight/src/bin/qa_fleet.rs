@@ -10,14 +10,22 @@
 //!   for `flamegraph.pl` / inferno;
 //! - `trace-<i>.json` — Chrome trace-event (Perfetto) exports of a
 //!   deterministic reservoir sample of full run traces;
+//! - `events.jsonl` — one wide [`JobEvent`] line per job, in global job
+//!   order, with trace/span ids minted deterministically from
+//!   `(run_id, job)` ([`qa_obs::TraceContext`]): the identity fields are
+//!   byte-identical across reruns, `--jobs N` *and* `--mesh N` (only the
+//!   trailing worker/shard/wall-clock fields vary);
+//! - `fleet-trace.json` — the job events assembled into one Chrome
+//!   trace-event timeline (`qa_mesh::federate_trace`), with
+//!   `process_name`/`thread_name` metadata so Perfetto labels tracks;
 //! - `summary.txt` — per-query table plus fleet-wide step/latency
 //!   percentiles (also printed to stdout);
 //! - `postmortem.txt` — flight-recorder dump of the first failed run, if
 //!   any run tripped its budget or errored.
 //!
 //! With `--serve ADDR` a [`PulseServer`] binds next to the batch and
-//! answers `GET /healthz`, `/readyz`, `/metrics`, `/flight` and
-//! `/profile` *while the fleet runs*: each run's registry is merged into
+//! answers `GET /healthz`, `/readyz`, `/metrics`, `/flight`, `/events`
+//! and `/profile` *while the fleet runs*: each run's registry is merged into
 //! the served fleet registry as the run finishes (run-granularity
 //! freshness at zero per-event cost), and per-run observers additionally
 //! feed a [`SharedFlight`] ring behind `/flight`. A post-run `/metrics` scrape is
@@ -57,13 +65,18 @@
 //! SIGKILL shard I's original worker mid-batch on purpose.
 //!
 //! ```text
-//! qa-fleet [--queries M] [--docs K] [--size N] [--seed S] [--jobs N]
-//!          [--sample-every N] [--reservoir K]
+//! qa-fleet [--queries M] [--docs K] [--size N] [--sweep] [--seed S]
+//!          [--jobs N] [--sample-every N] [--reservoir K]
 //!          [--max-steps N] [--max-wall-ms MS] [--out-dir DIR] [--smoke]
 //!          [--serve ADDR] [--pace-ms MS] [--linger-ms MS]
 //!          [--mesh N] [--chaos-kill I]
 //!          [--shard I/N] [--worker-id ID] [--run-id ID]
 //! ```
+//!
+//! `--sweep` scales each document's size by its doc index (doc `di` gets
+//! `size × (di + 1)` nodes), turning one fleet into a growth experiment:
+//! `qa-trace analyze growth` over the resulting `events.jsonl` fits
+//! steps-vs-size exponents per query.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -74,8 +87,11 @@ use qa_base::rng::{Rng, StdRng};
 use qa_base::{Alphabet, Error, Symbol};
 use qa_core::ranked::query::example_4_4;
 use qa_core::unranked::query::{example_5_14, example_5_9};
-use qa_flight::{Budget, FlightRecorder, OneInN, Reservoir, Sampled, SharedFlight, Watchdog};
-use qa_obs::{Counter, Metrics, NoopObserver, RunTrace, Tee};
+use qa_flight::{
+    Budget, FlightRecorder, JobEvent, OneInN, Reservoir, Sampled, SharedEvents, SharedFlight,
+    Watchdog,
+};
+use qa_obs::{Counter, Metrics, NoopObserver, RunTrace, Tee, TraceContext};
 use qa_probe::export::chrome_trace;
 use qa_pulse::{PulseServer, PulseState, SpanProfile, SpanProfiler, Weight};
 use qa_trees::Tree;
@@ -88,12 +104,13 @@ use qa_twoway::string_qa::example_3_4_qa;
 #[global_allocator]
 static ALLOC: qa_pulse::CountingAlloc = qa_pulse::CountingAlloc::new();
 
-/// One finished run's slot: the outcome plus its sampled trace, if any.
-type RunSlot = Option<(RunOutcome, Option<RunTrace>)>;
+/// One finished run's slot: the outcome, its sampled trace (if any), and
+/// its wide event.
+type RunSlot = Option<(RunOutcome, Option<RunTrace>, JobEvent)>;
 
 const USAGE: &str = "usage:
-  qa-fleet [--queries M] [--docs K] [--size N] [--seed S] [--jobs N]
-           [--sample-every N] [--reservoir K]
+  qa-fleet [--queries M] [--docs K] [--size N] [--sweep] [--seed S]
+           [--jobs N] [--sample-every N] [--reservoir K]
            [--max-steps N] [--max-wall-ms MS] [--out-dir DIR] [--smoke]
            [--serve ADDR] [--pace-ms MS] [--linger-ms MS]
            [--mesh N] [--chaos-kill I]
@@ -103,8 +120,11 @@ queries cycle through the paper's running examples:
   example-3-4 (string), example-4-4 (ranked circuit),
   example-5-9 (unranked circuit), example-5-14 (stay transitions)
 
+--sweep scales doc sizes by doc index (doc di gets size x (di+1)), the
+input shape `qa-trace analyze growth` fits step-growth exponents from.
+
 --serve binds a live ops HTTP server (try ADDR 127.0.0.1:0) answering
-/healthz /readyz /metrics /flight /profile /quit during the run;
+/healthz /readyz /metrics /flight /events /profile /quit during the run;
 --pace-ms sleeps between jobs (a scrape window), --linger-ms keeps the
 server up after the batch until the deadline or a GET /quit.
 
@@ -119,6 +139,8 @@ struct Opts {
     queries: usize,
     docs: usize,
     size: usize,
+    /// Scale doc sizes by doc index (`size * (di + 1)`), for growth fits.
+    sweep: bool,
     seed: u64,
     jobs: usize,
     sample_every: u64,
@@ -144,6 +166,7 @@ impl Default for Opts {
             queries: 4,
             docs: 25,
             size: 256,
+            sweep: false,
             seed: 1,
             jobs: 1,
             sample_every: 8,
@@ -174,6 +197,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--queries" => o.queries = val(&mut it, arg)?.parse().map_err(|e| format!("{e}"))?,
             "--docs" => o.docs = val(&mut it, arg)?.parse().map_err(|e| format!("{e}"))?,
             "--size" => o.size = val(&mut it, arg)?.parse().map_err(|e| format!("{e}"))?,
+            "--sweep" => o.sweep = true,
             "--seed" => o.seed = val(&mut it, arg)?.parse().map_err(|e| format!("{e}"))?,
             "--jobs" => o.jobs = val(&mut it, arg)?.parse().map_err(|e| format!("{e}"))?,
             "--sample-every" => {
@@ -252,6 +276,32 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     Ok(o)
 }
 
+/// The default run id — one formula for every mode (in-process batch,
+/// mesh coordinator, shard worker). Trace/span ids derive from
+/// `(run_id, job)`, so sharing the formula across modes is what makes the
+/// `events.jsonl` identity fields byte-identical across `--jobs N` and
+/// `--mesh N` on the same corpus.
+fn default_run_id(o: &Opts) -> String {
+    format!(
+        "fleet-s{}-q{}x{}-z{}{}",
+        o.seed,
+        o.queries,
+        o.docs,
+        o.size,
+        if o.sweep { "-sweep" } else { "" }
+    )
+}
+
+/// Size of document `di` in the corpus: constant without `--sweep`,
+/// scaled by the doc index with it.
+fn doc_size(o: &Opts, di: usize) -> usize {
+    if o.sweep {
+        o.size * (di + 1)
+    } else {
+        o.size
+    }
+}
+
 /// The document a query runs over.
 enum Doc {
     Word(Vec<Symbol>),
@@ -263,6 +313,14 @@ impl Doc {
         match self {
             Doc::Word(w) => w.len(),
             Doc::Tree(t) => t.num_nodes(),
+        }
+    }
+
+    /// Document height: 0 for words (flat), tree height otherwise.
+    fn depth(&self) -> usize {
+        match self {
+            Doc::Word(_) => 0,
+            Doc::Tree(t) => t.height(),
         }
     }
 }
@@ -364,6 +422,10 @@ struct RunOutcome {
     workload: &'static str,
     doc_nodes: usize,
     steps: u64,
+    reversals: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    budget_trips: u64,
     latency: Duration,
     selected: usize,
     sampled: bool,
@@ -445,6 +507,10 @@ fn run_one(
         workload: wl.name,
         doc_nodes: doc.len(),
         steps: run_metrics.get(Counter::Steps),
+        reversals: run_metrics.get(Counter::HeadReversals),
+        cache_hits: run_metrics.get(Counter::CacheHits),
+        cache_misses: run_metrics.get(Counter::CacheMisses),
+        budget_trips: run_metrics.get(Counter::BudgetTrips),
         latency,
         selected,
         sampled,
@@ -565,7 +631,7 @@ fn build_stats(outcomes: &[&RunOutcome]) -> Vec<(&'static str, QueryStats)> {
 /// later hang or kill still leaves telemetry on disk; the normal exit path
 /// overwrites both files with the complete versions.
 fn flush_partial(opts: &Opts, out_dir: &Path, slots: &[RunSlot], state: &PulseState) {
-    let done: Vec<&RunOutcome> = slots.iter().flatten().map(|(o, _)| o).collect();
+    let done: Vec<&RunOutcome> = slots.iter().flatten().map(|(o, _, _)| o).collect();
     let stats = build_stats(&done);
     let mut summary = render_summary(opts, &done, &stats, false);
     use std::fmt::Write;
@@ -726,16 +792,17 @@ fn render_mesh_postmortem(
 /// exited non-zero — even when reassignment repaired the run), 2 on
 /// coordinator-level errors.
 fn run_coordinator(opts: &Opts) -> ExitCode {
-    use qa_mesh::{federate_flight, federate_metrics, federate_profile, run_mesh, MeshOptions};
+    use qa_mesh::{
+        federate_events, federate_flight, federate_metrics, federate_profile, federate_trace,
+        run_mesh, MeshOptions,
+    };
 
     let shards = opts.mesh.expect("coordinator mode");
     let plan = qa_mesh::ShardPlan::new(shards, opts.queries * opts.docs);
-    let run_id = opts.run_id.clone().unwrap_or_else(|| {
-        format!(
-            "mesh-s{}-q{}x{}-n{shards}",
-            opts.seed, opts.queries, opts.docs
-        )
-    });
+    // The default run id deliberately omits the shard count: trace/span
+    // ids derive from (run_id, job), and the same corpus must mint the
+    // same ids whether it runs in-process or over any number of shards.
+    let run_id = opts.run_id.clone().unwrap_or_else(|| default_run_id(opts));
     let out_dir = Path::new(&opts.out_dir);
     if let Err(e) = std::fs::create_dir_all(out_dir) {
         eprintln!("cannot create {}: {e}", opts.out_dir);
@@ -756,6 +823,9 @@ fn run_coordinator(opts: &Opts) -> ExitCode {
     mesh_opts.chaos_kill = opts.chaos_kill;
     let outcome = run_mesh(&mesh_opts, |shard, worker_id| {
         let mut cmd = std::process::Command::new(&exe);
+        if opts.sweep {
+            cmd.arg("--sweep");
+        }
         cmd.arg("--queries")
             .arg(opts.queries.to_string())
             .arg("--docs")
@@ -829,6 +899,14 @@ fn run_coordinator(opts: &Opts) -> ExitCode {
         .iter()
         .filter_map(|r| r.scrape.as_ref().map(|s| s.flight.clone()))
         .collect();
+    let event_inputs: Vec<(String, String)> = completed
+        .iter()
+        .filter_map(|r| {
+            r.scrape
+                .as_ref()
+                .map(|s| (r.worker_id.clone(), s.events.clone()))
+        })
+        .collect();
 
     let summary = render_mesh_summary(opts, &run_id, &plan, &outcome);
     print!("{summary}");
@@ -846,6 +924,12 @@ fn run_coordinator(opts: &Opts) -> ExitCode {
     );
     write("profile.folded", &federate_profile(&profile_inputs));
     write("flight.json", &federate_flight(&run_id, &flight_inputs));
+    // The wide-event federation: worker /events tails merge in global job
+    // order (identity fields byte-identical to an in-process run), and
+    // the same scrapes assemble into one Perfetto-loadable fleet
+    // timeline with a named process per worker.
+    write("events.jsonl", &federate_events(&event_inputs));
+    write("fleet-trace.json", &federate_trace(&run_id, &event_inputs));
     if !outcome.casualties().is_empty() {
         let postmortem = render_mesh_postmortem(&run_id, &plan, &outcome);
         eprint!("{postmortem}");
@@ -878,6 +962,9 @@ fn main() -> ExitCode {
     let roster = roster();
     let budget = Budget::steps(opts.max_steps).with_wall(opts.max_wall);
     let fleet = Arc::new(Metrics::new());
+    // One run id across every mode (see default_run_id): it seeds the
+    // deterministic trace/span ids stamped into every wide event.
+    let run_id = opts.run_id.clone().unwrap_or_else(|| default_run_id(&opts));
     // The pulse state exists even without --serve: it renders metrics.prom
     // and aggregates the span profile either way, and serving just exposes
     // the same state over HTTP.
@@ -889,7 +976,7 @@ fn main() -> ExitCode {
     // metrics.prom stays independent of worker count.
     let worker_identity = opts.shard.map(|(i, n)| {
         (
-            opts.run_id.clone().unwrap_or_else(|| "local".to_string()),
+            run_id.clone(),
             format!("{i}/{n}"),
             opts.worker_id.clone().unwrap_or_else(|| format!("w{i}")),
         )
@@ -904,6 +991,10 @@ fn main() -> ExitCode {
             ],
         );
     }
+    // The wide-event ring exists in every mode: the batch pushes each
+    // job's event as it finishes (a live completion-order tail for
+    // /events), and the post-batch pass writes events.jsonl in job order.
+    let events_ring = SharedEvents::with_capacity((opts.queries * opts.docs).max(1));
     let mut shared_flight = None;
     let server = match &opts.serve {
         Some(addr) => {
@@ -912,7 +1003,9 @@ fn main() -> ExitCode {
                 shared.set_correlation(run_id, worker);
             }
             let source = shared.clone();
-            state.set_flight_source(Box::new(move || source.with(|r| r.to_json())));
+            state.set_flight_source(Box::new(move |tail| source.with(|r| r.to_json_tail(tail))));
+            let ev_source = events_ring.clone();
+            state.set_events_source(Box::new(move |tail| ev_source.tail_jsonl(tail)));
             shared_flight = Some(shared);
             match PulseServer::serve(addr.as_str(), Arc::clone(&state)) {
                 Ok(s) => {
@@ -956,6 +1049,13 @@ fn main() -> ExitCode {
         })
         .collect();
     let shard_mode = opts.shard.is_some();
+    // Volatile event fields: placement facts stamped on every wide event.
+    // In-process fleets are "local" worker, shard "0/1".
+    let (ev_worker, ev_shard) = match &worker_identity {
+        Some((_, shard, worker)) => (worker.clone(), shard.clone()),
+        None => ("local".to_string(), "0/1".to_string()),
+    };
+    let fleet_t0 = Instant::now();
 
     // Outcomes land in indexed slots, so `--jobs N` yields the same vector
     // as `--jobs 1`; per-run metrics merge into `fleet` as commutative
@@ -976,14 +1076,48 @@ fn main() -> ExitCode {
             .seed
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
             .wrapping_add((qi as u64) << 32 | di as u64);
-        let doc = generate_doc(wl.name, opts.size, doc_seed);
+        let doc = generate_doc(wl.name, doc_size(&opts, di), doc_seed);
+        let doc_depth = doc.depth();
+        let start_ns = fleet_t0.elapsed().as_nanos() as u64;
         let (outcome, trace, profile) =
             run_one(wl, &doc, budget, sampled, &fleet, shared_flight.as_ref());
         state.merge_profile(&profile);
+        // The wide event: identity fields derive only from (run_id, job,
+        // corpus, counters), so they match byte for byte across --jobs N
+        // and --mesh N; placement and wall-clock ride in the volatile tail.
+        let ctx = TraceContext::mint(&run_id, global);
+        let event = JobEvent {
+            run: run_id.clone(),
+            trace: ctx.trace_hex(),
+            span: ctx.span_hex(),
+            job: global,
+            query: wl.name.to_string(),
+            query_index: qi,
+            doc_index: di,
+            doc_nodes: outcome.doc_nodes,
+            doc_depth,
+            steps: outcome.steps,
+            reversals: outcome.reversals,
+            cache_hits: outcome.cache_hits,
+            cache_misses: outcome.cache_misses,
+            budget_trips: outcome.budget_trips,
+            selected: outcome.selected,
+            sampled,
+            outcome: outcome
+                .error
+                .as_ref()
+                .map(|e| format!("{e}"))
+                .unwrap_or_else(|| "ok".to_string()),
+            worker: ev_worker.clone(),
+            shard: ev_shard.clone(),
+            start_ns,
+            wall_ns: outcome.latency.as_nanos() as u64,
+        };
+        events_ring.push(event.clone());
         let failed = outcome.error.is_some();
         {
             let mut slots = slots.lock().expect("slots lock");
-            slots[global] = Some((outcome, trace));
+            slots[global] = Some((outcome, trace, event));
             if failed {
                 // A budget trip mid-batch must not strand the fleet without
                 // telemetry: flush what finished so far (overwritten with
@@ -1007,19 +1141,25 @@ fn main() -> ExitCode {
     // slots of other shards are (correctly) empty and skipped.
     let mut traces: Reservoir<(String, RunTrace)> = Reservoir::new(opts.seed, opts.reservoir);
     let mut outcomes: Vec<RunOutcome> = Vec::with_capacity(total_jobs);
+    // events.jsonl is written in global job order (the ring holds
+    // completion order, for the live /events tail only), so the file's
+    // identity projection is byte-identical across --jobs settings.
+    let mut events_jsonl = String::new();
     for (i, slot) in slots
         .into_inner()
         .expect("slots lock")
         .into_iter()
         .enumerate()
     {
-        let Some((outcome, trace)) = slot else {
+        let Some((outcome, trace, event)) = slot else {
             assert!(shard_mode, "every job ran");
             continue;
         };
         if let Some(trace) = trace {
             traces.offer((format!("{}-doc{}", outcome.workload, i % opts.docs), trace));
         }
+        events_jsonl.push_str(&event.to_json());
+        events_jsonl.push('\n');
         outcomes.push(outcome);
     }
 
@@ -1039,6 +1179,11 @@ fn main() -> ExitCode {
     write(
         "profile.folded",
         &state.profile_collapsed(Weight::WallNanos),
+    );
+    write("events.jsonl", &events_jsonl);
+    write(
+        "fleet-trace.json",
+        &qa_mesh::federate_trace(&run_id, &[(ev_worker.clone(), events_jsonl.clone())]),
     );
     for (i, (label, trace)) in traces.items().iter().enumerate() {
         write(&format!("trace-{i}.json"), &chrome_trace(trace));

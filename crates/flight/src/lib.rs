@@ -19,6 +19,9 @@
 //! - [`OneInN`] / [`Reservoir`] / [`Sampled`] — deterministic sampling
 //!   (seeded from [`qa_base::rng`], never ambient entropy): full fidelity
 //!   on a reproducible subset of runs, counters-only elsewhere.
+//! - [`JobEvent`] / [`SharedEvents`] — one wide, structured JSONL event
+//!   per job (`events.jsonl`), deterministic up to its volatile tail, plus
+//!   the bounded ring the pulse `/events` endpoint serves from.
 //! - `qa-fleet` — the batch runner binary: M queries × K generated
 //!   documents under watchdogs, merged metrics, latency/step percentiles,
 //!   Prometheus and Perfetto exports, post-mortem dumps on failure.
@@ -26,10 +29,12 @@
 //! The crate adds nothing to unobserved runs: engines still monomorphize
 //! [`qa_obs::NoopObserver`] hooks (checkpoints included) to nothing.
 
+pub mod event;
 pub mod recorder;
 pub mod sampler;
 pub mod watchdog;
 
+pub use event::{identity_projection, parse_events, JobEvent, SharedEvents, VOLATILE_FIELDS};
 pub use recorder::{with_postmortem, FlightEvent, FlightRecorder, SharedFlight, DEFAULT_CAPACITY};
 pub use sampler::{OneInN, Reservoir, Sampled};
 pub use watchdog::{Budget, Watchdog, DEFAULT_WALL_POLL};

@@ -264,6 +264,18 @@ impl FlightRecorder {
     /// (phase names are `&'static str` identifiers; the only escaping
     /// needed is for quotes/backslashes, handled below).
     pub fn to_json(&self) -> String {
+        self.render_json(None)
+    }
+
+    /// Like [`to_json`](FlightRecorder::to_json), but the `events` array
+    /// holds only the most recent `n` entries and the report carries a
+    /// `shown` field saying how many made the cut — the `/flight?n=K`
+    /// body. Tallies and drop accounting still cover the whole run.
+    pub fn to_json_tail(&self, n: usize) -> String {
+        self.render_json(Some(n))
+    }
+
+    fn render_json(&self, tail: Option<usize>) -> String {
         use std::fmt::Write;
         fn esc(s: &str) -> String {
             s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -285,6 +297,10 @@ impl FlightRecorder {
             self.cap,
             self.dropped
         );
+        let shown = tail.unwrap_or(self.ring.len()).min(self.ring.len());
+        if tail.is_some() {
+            let _ = write!(out, ",\"shown\":{shown}");
+        }
         let _ = write!(out, ",\"counters\":{{");
         let mut first = true;
         for c in Counter::ALL {
@@ -310,7 +326,8 @@ impl FlightRecorder {
             }
         }
         let _ = write!(out, ",\"events\":[");
-        for (i, ev) in self.ring.iter().enumerate() {
+        let skip = self.ring.len() - shown;
+        for (i, ev) in self.ring.iter().skip(skip).enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -566,6 +583,27 @@ mod tests {
         let opens = json.matches(['{', '[']).count();
         let closes = json.matches(['}', ']']).count();
         assert_eq!(opens, closes, "{json}");
+    }
+
+    #[test]
+    fn json_tail_limits_events_but_keeps_exact_tallies() {
+        let mut rec = FlightRecorder::with_capacity(8);
+        for i in 0..5u32 {
+            rec.count(Counter::Steps, 1);
+            rec.config(i, i, 1);
+        }
+        let tail = rec.to_json_tail(2);
+        assert!(tail.contains("\"retained\":5"), "{tail}");
+        assert!(tail.contains("\"shown\":2"), "{tail}");
+        assert!(tail.contains("\"steps\":5"), "tallies stay exact: {tail}");
+        // Only the two most recent configs survive the tail cut.
+        assert!(!tail.contains("\"state\":2"), "{tail}");
+        assert!(tail.contains("\"state\":3"), "{tail}");
+        assert!(tail.contains("\"state\":4"), "{tail}");
+        // n beyond the retained count shows everything; the untailed
+        // rendering is unchanged (no "shown" field).
+        assert!(rec.to_json_tail(100).contains("\"shown\":5"));
+        assert!(!rec.to_json().contains("\"shown\""));
     }
 
     #[test]

@@ -88,7 +88,7 @@ fn mesh_writes_federated_profile_flight_and_summary() {
     // The flight document nests correlation-stamped worker dumps.
     let flight = read(&dir, "flight.json");
     assert!(
-        flight.starts_with("{\"run_id\":\"mesh-s7-q4x4-n2\""),
+        flight.starts_with("{\"run_id\":\"fleet-s7-q4x4-z48\""),
         "{flight}"
     );
     assert!(flight.contains("\"worker\":\"w0\""), "{flight}");
@@ -96,7 +96,10 @@ fn mesh_writes_federated_profile_flight_and_summary() {
 
     // The summary tables both workers and reports a clean run.
     let summary = read(&dir, "summary.txt");
-    assert!(summary.contains("qa-mesh run mesh-s7-q4x4-n2"), "{summary}");
+    assert!(
+        summary.contains("qa-mesh run fleet-s7-q4x4-z48"),
+        "{summary}"
+    );
     assert!(summary.contains("w0"), "{summary}");
     assert!(summary.contains("w1"), "{summary}");
     assert!(summary.contains("degraded: no"), "{summary}");
@@ -110,7 +113,7 @@ fn mesh_writes_federated_profile_flight_and_summary() {
     let w0 = read(&format!("{dir}/w0"), "metrics.prom");
     assert!(
         w0.contains(
-            "qa_fleet_worker_info{run_id=\"mesh-s7-q4x4-n2\",shard=\"0/2\",worker=\"w0\"} 1"
+            "qa_fleet_worker_info{run_id=\"fleet-s7-q4x4-z48\",shard=\"0/2\",worker=\"w0\"} 1"
         ),
         "{w0}"
     );

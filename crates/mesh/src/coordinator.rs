@@ -86,6 +86,9 @@ pub struct WorkerScrape {
     pub flight: String,
     /// `/profile` body (collapsed stacks).
     pub profile: String,
+    /// `/events` body (wide-event JSONL tail). Best-effort: empty when
+    /// the worker serves no event ring, so older workers still scrape.
+    pub events: String,
 }
 
 /// One worker process's life, as the coordinator saw it.
@@ -286,10 +289,16 @@ fn scrape_worker(addr: SocketAddr, timeouts: HttpTimeouts) -> std::io::Result<Wo
         }
         Ok(resp.body)
     };
+    // The tail limits ask for the server's maximum (qa-pulse MAX_TAIL):
+    // a scrape wants everything the worker retained, not the short
+    // interactive default.
     Ok(WorkerScrape {
         metrics: fetch("/metrics")?,
-        flight: fetch("/flight")?,
+        flight: fetch("/flight?n=65536")?,
         profile: fetch("/profile")?,
+        // Best-effort: a worker without an event ring answers 404 here,
+        // which must not fail the whole scrape.
+        events: fetch("/events?n=65536").unwrap_or_default(),
     })
 }
 
@@ -481,7 +490,7 @@ mod tests {
 
         let state = PulseState::new(Arc::new(qa_obs::Metrics::new()), "qa_fleet");
         state.set_ready();
-        state.set_flight_source(Box::new(|| "{\"events\":[]}".to_string()));
+        state.set_flight_source(Box::new(|_tail| "{\"events\":[]}".to_string()));
         let server = PulseServer::serve("127.0.0.1:0", Arc::clone(&state)).expect("bind");
         let addr = server.local_addr();
 

@@ -29,11 +29,13 @@
 
 #![deny(missing_docs)]
 
+pub mod context;
 pub mod json;
 pub mod metrics;
 pub mod observer;
 pub mod trace;
 
+pub use context::{fnv1a64, TraceContext};
 pub use metrics::{Histogram, HistogramSnapshot, InfoLabels, Metrics, MetricsObserver};
 pub use observer::{Abort, Counter, NoopObserver, Observer, Series, Tee};
 pub use trace::{PhaseSpan, RunTrace, TraceConfig};

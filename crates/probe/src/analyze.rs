@@ -1,0 +1,726 @@
+//! Slow-query analysis over `events.jsonl` wide-event logs.
+//!
+//! `qa-fleet` writes one [wide event] per (query, doc) job; this module
+//! turns that log into answers: which jobs were the heavy hitters
+//! ([`top`]), which runs are percentile outliers within their query
+//! ([`slow`]), and how each query's step count grows with document size
+//! ([`growth`] — the empirical side of the polynomial-growth classes the
+//! tree-automata literature predicts per query).
+//!
+//! The module parses JSONL generically via [`qa_obs::json`], so it works
+//! on any event log with the `events.jsonl` field names — `qa-probe`
+//! deliberately does not depend on the crate that *emits* the events.
+//! Every report renders as fixed-precision text or JSON; both renderings
+//! are deterministic functions of the input log.
+//!
+//! [wide event]: https://jeremymorrell.dev/blog/a-practitioners-guide-to-wide-events/
+
+use qa_obs::json::{self, Value};
+
+/// One parsed `events.jsonl` row — the analyzer's view of a wide event.
+///
+/// Only the fields the analyses consume; unknown fields are ignored, so
+/// the parser tolerates forward-compatible extensions of the event schema.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventRow {
+    /// Global job index.
+    pub job: u64,
+    /// Trace id (16 hex digits) — the handle for cross-referencing the
+    /// fleet timeline.
+    pub trace: String,
+    /// Workload (query) name.
+    pub query: String,
+    /// Document size (word length / tree node count).
+    pub doc_nodes: u64,
+    /// Document height.
+    pub doc_depth: u64,
+    /// Engine steps consumed.
+    pub steps: u64,
+    /// Two-way head reversals.
+    pub reversals: u64,
+    /// Behavior-cache hits.
+    pub cache_hits: u64,
+    /// Behavior-cache misses.
+    pub cache_misses: u64,
+    /// Watchdog budget trips.
+    pub budget_trips: u64,
+    /// Selected positions/nodes.
+    pub selected: u64,
+    /// `"ok"` or the error rendering.
+    pub outcome: String,
+    /// Executing worker (volatile field; `local` for in-process runs).
+    pub worker: String,
+    /// Job latency in nanoseconds (volatile field; 0 in identity
+    /// projections).
+    pub wall_ns: u64,
+}
+
+/// Parse a whole `events.jsonl` document into analyzer rows.
+///
+/// Blank lines are skipped; a malformed line fails with its 1-based line
+/// number. Volatile fields may be absent (identity projections parse too).
+pub fn parse_rows(jsonl: &str) -> Result<Vec<EventRow>, String> {
+    let mut rows = Vec::new();
+    for (i, line) in jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        rows.push(parse_row(&v).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(rows)
+}
+
+fn parse_row(v: &Value) -> Result<EventRow, String> {
+    let str_field = |key: &str| -> Result<String, String> {
+        v.get(key)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("event missing string field `{key}`"))
+    };
+    let u64_field = |key: &str| -> Result<u64, String> {
+        v.get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("event missing integer field `{key}`"))
+    };
+    Ok(EventRow {
+        job: u64_field("job")?,
+        trace: str_field("trace")?,
+        query: str_field("query")?,
+        doc_nodes: u64_field("doc_nodes")?,
+        doc_depth: u64_field("doc_depth")?,
+        steps: u64_field("steps")?,
+        reversals: u64_field("reversals")?,
+        cache_hits: u64_field("cache_hits")?,
+        cache_misses: u64_field("cache_misses")?,
+        budget_trips: u64_field("budget_trips")?,
+        selected: u64_field("selected")?,
+        outcome: str_field("outcome")?,
+        worker: v
+            .get("worker")
+            .and_then(Value::as_str)
+            .unwrap_or("local")
+            .to_string(),
+        wall_ns: v.get("wall_ns").and_then(Value::as_u64).unwrap_or(0),
+    })
+}
+
+/// Nearest-rank percentile over a sorted slice (the fleet summary's rule).
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// First-seen order of query names — reports group per query in the
+/// stable order the log introduces them (= roster order for fleet logs).
+fn query_order(rows: &[EventRow]) -> Vec<String> {
+    let mut order: Vec<String> = Vec::new();
+    for r in rows {
+        if !order.contains(&r.query) {
+            order.push(r.query.clone());
+        }
+    }
+    order
+}
+
+// ---------------------------------------------------------------- top --
+
+/// One heavy hitter: a job and its share of the fleet's total steps.
+#[derive(Clone, Debug)]
+pub struct TopEntry {
+    /// Global job index.
+    pub job: u64,
+    /// Trace id, for jumping to the fleet timeline.
+    pub trace: String,
+    /// Query name.
+    pub query: String,
+    /// Document size.
+    pub doc_nodes: u64,
+    /// Steps this job consumed.
+    pub steps: u64,
+    /// Job latency (volatile; 0 in identity projections).
+    pub wall_ns: u64,
+    /// `steps / total_steps` over the whole log, in `[0, 1]`.
+    pub share: f64,
+    /// Run outcome.
+    pub outcome: String,
+}
+
+/// The `analyze top` report: jobs ranked by step count.
+#[derive(Clone, Debug)]
+pub struct TopReport {
+    /// Total steps across every job in the log.
+    pub total_steps: u64,
+    /// Number of jobs in the log.
+    pub jobs: usize,
+    /// The top entries, heaviest first (ties broken by job index).
+    pub entries: Vec<TopEntry>,
+}
+
+/// Rank the `k` heaviest jobs by steps — the fleet's heavy hitters.
+pub fn top(rows: &[EventRow], k: usize) -> TopReport {
+    let total_steps: u64 = rows.iter().map(|r| r.steps).sum();
+    let mut ranked: Vec<&EventRow> = rows.iter().collect();
+    ranked.sort_by_key(|r| (std::cmp::Reverse(r.steps), r.job));
+    let entries = ranked
+        .into_iter()
+        .take(k)
+        .map(|r| TopEntry {
+            job: r.job,
+            trace: r.trace.clone(),
+            query: r.query.clone(),
+            doc_nodes: r.doc_nodes,
+            steps: r.steps,
+            wall_ns: r.wall_ns,
+            share: if total_steps == 0 {
+                0.0
+            } else {
+                r.steps as f64 / total_steps as f64
+            },
+            outcome: r.outcome.clone(),
+        })
+        .collect();
+    TopReport {
+        total_steps,
+        jobs: rows.len(),
+        entries,
+    }
+}
+
+impl TopReport {
+    /// Fixed-width text table.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "top {} of {} job(s) by steps ({} total steps)",
+            self.entries.len(),
+            self.jobs,
+            self.total_steps
+        );
+        let _ = writeln!(
+            out,
+            "{:<5} {:<14} {:>9} {:>10} {:>6}  {:<16} outcome",
+            "job", "query", "nodes", "steps", "share", "trace"
+        );
+        for e in &self.entries {
+            let _ = writeln!(
+                out,
+                "{:<5} {:<14} {:>9} {:>10} {:>5.1}%  {:<16} {}",
+                e.job,
+                e.query,
+                e.doc_nodes,
+                e.steps,
+                e.share * 100.0,
+                e.trace,
+                e.outcome
+            );
+        }
+        out
+    }
+
+    /// JSON rendering.
+    pub fn to_json(&self) -> String {
+        json::object(|w| {
+            w.field_str("report", "top");
+            w.field_u64("total_steps", self.total_steps);
+            w.field_u64("jobs", self.jobs as u64);
+            let entries: Vec<String> = self
+                .entries
+                .iter()
+                .map(|e| {
+                    json::object(|w| {
+                        w.field_u64("job", e.job);
+                        w.field_str("trace", &e.trace);
+                        w.field_str("query", &e.query);
+                        w.field_u64("doc_nodes", e.doc_nodes);
+                        w.field_u64("steps", e.steps);
+                        w.field_u64("wall_ns", e.wall_ns);
+                        w.field_f64("share", e.share);
+                        w.field_str("outcome", &e.outcome);
+                    })
+                })
+                .collect();
+            w.field_raw("entries", &json::array(entries));
+        })
+    }
+}
+
+// --------------------------------------------------------------- slow --
+
+/// One outlier run within its query's step distribution.
+#[derive(Clone, Debug)]
+pub struct SlowEntry {
+    /// Global job index.
+    pub job: u64,
+    /// Trace id.
+    pub trace: String,
+    /// Document size.
+    pub doc_nodes: u64,
+    /// Steps this job consumed.
+    pub steps: u64,
+    /// `steps / p50(steps)` for the job's query (how many medians).
+    pub vs_median: f64,
+    /// Run outcome.
+    pub outcome: String,
+}
+
+/// Per-query step distribution plus its outliers.
+#[derive(Clone, Debug)]
+pub struct QuerySlow {
+    /// Query name.
+    pub query: String,
+    /// Runs of this query in the log.
+    pub runs: usize,
+    /// Median steps.
+    pub p50: u64,
+    /// 90th percentile steps.
+    pub p90: u64,
+    /// 99th percentile steps.
+    pub p99: u64,
+    /// Maximum steps.
+    pub max: u64,
+    /// Jobs at or above the query's p99, heaviest first.
+    pub outliers: Vec<SlowEntry>,
+}
+
+/// The `analyze slow` report: percentile outliers per query.
+#[derive(Clone, Debug)]
+pub struct SlowReport {
+    /// Per-query distributions, in the log's first-seen query order.
+    pub queries: Vec<QuerySlow>,
+}
+
+/// Find each query's percentile outliers: jobs at or above the query's
+/// p99 step count (at most `k` per query, heaviest first). A fleet where
+/// every run costs the same produces no interesting outliers — `vs_median`
+/// near 1 says so; a heavy tail shows up as `vs_median >> 1`.
+pub fn slow(rows: &[EventRow], k: usize) -> SlowReport {
+    let mut queries = Vec::new();
+    for q in query_order(rows) {
+        let runs: Vec<&EventRow> = rows.iter().filter(|r| r.query == q).collect();
+        let mut steps: Vec<u64> = runs.iter().map(|r| r.steps).collect();
+        steps.sort_unstable();
+        let (p50, p90, p99) = (
+            percentile(&steps, 0.50),
+            percentile(&steps, 0.90),
+            percentile(&steps, 0.99),
+        );
+        let max = steps.last().copied().unwrap_or(0);
+        let mut outliers: Vec<&&EventRow> = runs.iter().filter(|r| r.steps >= p99).collect();
+        outliers.sort_by_key(|r| (std::cmp::Reverse(r.steps), r.job));
+        let outliers = outliers
+            .into_iter()
+            .take(k)
+            .map(|r| SlowEntry {
+                job: r.job,
+                trace: r.trace.clone(),
+                doc_nodes: r.doc_nodes,
+                steps: r.steps,
+                vs_median: if p50 == 0 {
+                    0.0
+                } else {
+                    r.steps as f64 / p50 as f64
+                },
+                outcome: r.outcome.clone(),
+            })
+            .collect();
+        queries.push(QuerySlow {
+            query: q,
+            runs: runs.len(),
+            p50,
+            p90,
+            p99,
+            max,
+            outliers,
+        });
+    }
+    SlowReport { queries }
+}
+
+impl SlowReport {
+    /// Fixed-width text table.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<14} {:>5} {:>10} {:>10} {:>10} {:>10}",
+            "query", "runs", "p50", "p90", "p99", "max"
+        );
+        for q in &self.queries {
+            let _ = writeln!(
+                out,
+                "{:<14} {:>5} {:>10} {:>10} {:>10} {:>10}",
+                q.query, q.runs, q.p50, q.p90, q.p99, q.max
+            );
+            for o in &q.outliers {
+                let _ = writeln!(
+                    out,
+                    "  job {:<4} {:>9} nodes {:>10} steps  {:>6.2}x median  {:<16} {}",
+                    o.job, o.doc_nodes, o.steps, o.vs_median, o.trace, o.outcome
+                );
+            }
+        }
+        out
+    }
+
+    /// JSON rendering.
+    pub fn to_json(&self) -> String {
+        json::object(|w| {
+            w.field_str("report", "slow");
+            let queries: Vec<String> = self
+                .queries
+                .iter()
+                .map(|q| {
+                    json::object(|w| {
+                        w.field_str("query", &q.query);
+                        w.field_u64("runs", q.runs as u64);
+                        w.field_u64("p50", q.p50);
+                        w.field_u64("p90", q.p90);
+                        w.field_u64("p99", q.p99);
+                        w.field_u64("max", q.max);
+                        let outliers: Vec<String> = q
+                            .outliers
+                            .iter()
+                            .map(|o| {
+                                json::object(|w| {
+                                    w.field_u64("job", o.job);
+                                    w.field_str("trace", &o.trace);
+                                    w.field_u64("doc_nodes", o.doc_nodes);
+                                    w.field_u64("steps", o.steps);
+                                    w.field_f64("vs_median", o.vs_median);
+                                    w.field_str("outcome", &o.outcome);
+                                })
+                            })
+                            .collect();
+                        w.field_raw("outliers", &json::array(outliers));
+                    })
+                })
+                .collect();
+            w.field_raw("queries", &json::array(queries));
+        })
+    }
+}
+
+// ------------------------------------------------------------- growth --
+
+/// One query's fitted steps-vs-size growth law.
+#[derive(Clone, Debug)]
+pub struct GrowthFit {
+    /// Query name.
+    pub query: String,
+    /// Runs of this query in the log.
+    pub runs: usize,
+    /// Distinct document sizes observed (a fit needs at least 2).
+    pub sizes: usize,
+    /// Fitted exponent `b` of `steps ≈ c·n^b` (log-log least squares),
+    /// absent when the log has fewer than 2 distinct sizes.
+    pub exponent: Option<f64>,
+    /// Fitted coefficient `c`.
+    pub coefficient: Option<f64>,
+    /// Coefficient of determination of the log-log fit, in `[0, 1]`.
+    pub r2: Option<f64>,
+    /// Human name of the growth class the exponent lands in.
+    pub class: String,
+}
+
+/// The `analyze growth` report: one fit per query.
+#[derive(Clone, Debug)]
+pub struct GrowthReport {
+    /// Per-query fits, in the log's first-seen query order.
+    pub fits: Vec<GrowthFit>,
+}
+
+/// Bucket a fitted exponent into a growth-class name. The boundaries are
+/// deliberately coarse — the point is to tell constant from linear from
+/// quadratic, the step-count classes the query-automata results predict.
+fn growth_class(b: f64) -> String {
+    if b < 0.25 {
+        "constant".to_string()
+    } else if b < 0.75 {
+        "sublinear".to_string()
+    } else if b < 1.25 {
+        "linear".to_string()
+    } else if b < 1.75 {
+        "superlinear".to_string()
+    } else if b < 2.25 {
+        "quadratic".to_string()
+    } else {
+        format!("poly(~{b:.1})")
+    }
+}
+
+/// Fit `steps ≈ c·n^b` per query by least squares on `(ln n, ln steps)`.
+///
+/// Jobs with `steps = 0` or `doc_nodes = 0` are skipped (logs of zero);
+/// a query needs at least two distinct document sizes to fit — run
+/// `qa-fleet --sweep` to produce such a log.
+pub fn growth(rows: &[EventRow]) -> GrowthReport {
+    let mut fits = Vec::new();
+    for q in query_order(rows) {
+        let runs: Vec<&EventRow> = rows.iter().filter(|r| r.query == q).collect();
+        let pts: Vec<(f64, f64)> = runs
+            .iter()
+            .filter(|r| r.doc_nodes > 0 && r.steps > 0)
+            .map(|r| ((r.doc_nodes as f64).ln(), (r.steps as f64).ln()))
+            .collect();
+        let mut sizes: Vec<u64> = runs.iter().map(|r| r.doc_nodes).collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        let fit = if sizes.len() >= 2 && pts.len() >= 2 {
+            let n = pts.len() as f64;
+            let (sx, sy): (f64, f64) = pts.iter().fold((0.0, 0.0), |(a, b), p| (a + p.0, b + p.1));
+            let (mx, my) = (sx / n, sy / n);
+            let sxx: f64 = pts.iter().map(|p| (p.0 - mx) * (p.0 - mx)).sum();
+            let sxy: f64 = pts.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+            if sxx == 0.0 {
+                None
+            } else {
+                let b = sxy / sxx;
+                let a = my - b * mx;
+                let ss_tot: f64 = pts.iter().map(|p| (p.1 - my) * (p.1 - my)).sum();
+                let ss_res: f64 = pts
+                    .iter()
+                    .map(|p| {
+                        let e = p.1 - (a + b * p.0);
+                        e * e
+                    })
+                    .sum();
+                let r2 = if ss_tot == 0.0 {
+                    1.0
+                } else {
+                    1.0 - ss_res / ss_tot
+                };
+                Some((b, a.exp(), r2))
+            }
+        } else {
+            None
+        };
+        fits.push(match fit {
+            Some((b, c, r2)) => GrowthFit {
+                query: q,
+                runs: runs.len(),
+                sizes: sizes.len(),
+                exponent: Some(b),
+                coefficient: Some(c),
+                r2: Some(r2),
+                class: growth_class(b),
+            },
+            None => GrowthFit {
+                query: q,
+                runs: runs.len(),
+                sizes: sizes.len(),
+                exponent: None,
+                coefficient: None,
+                r2: None,
+                class: "unfit (need >= 2 distinct sizes; try --sweep)".to_string(),
+            },
+        });
+    }
+    GrowthReport { fits }
+}
+
+impl GrowthReport {
+    /// Fixed-width text table.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<14} {:>5} {:>6} {:>9} {:>11} {:>6}  class",
+            "query", "runs", "sizes", "exponent", "coeff", "r2"
+        );
+        for f in &self.fits {
+            match (f.exponent, f.coefficient, f.r2) {
+                (Some(b), Some(c), Some(r2)) => {
+                    let _ = writeln!(
+                        out,
+                        "{:<14} {:>5} {:>6} {:>9.3} {:>11.3} {:>6.3}  {}",
+                        f.query, f.runs, f.sizes, b, c, r2, f.class
+                    );
+                }
+                _ => {
+                    let _ = writeln!(
+                        out,
+                        "{:<14} {:>5} {:>6} {:>9} {:>11} {:>6}  {}",
+                        f.query, f.runs, f.sizes, "-", "-", "-", f.class
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON rendering (`exponent`/`coefficient`/`r2` omitted when unfit).
+    pub fn to_json(&self) -> String {
+        json::object(|w| {
+            w.field_str("report", "growth");
+            let fits: Vec<String> = self
+                .fits
+                .iter()
+                .map(|f| {
+                    json::object(|w| {
+                        w.field_str("query", &f.query);
+                        w.field_u64("runs", f.runs as u64);
+                        w.field_u64("sizes", f.sizes as u64);
+                        if let (Some(b), Some(c), Some(r2)) = (f.exponent, f.coefficient, f.r2) {
+                            w.field_f64("exponent", b);
+                            w.field_f64("coefficient", c);
+                            w.field_f64("r2", r2);
+                        }
+                        w.field_str("class", &f.class);
+                    })
+                })
+                .collect();
+            w.field_raw("fits", &json::array(fits));
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(job: u64, query: &str, nodes: u64, steps: u64) -> String {
+        json::object(|w| {
+            w.field_u64("v", 1);
+            w.field_str("run", "r");
+            w.field_str("trace", &format!("{:016x}", job + 1));
+            w.field_str("span", "00000000000000aa");
+            w.field_u64("job", job);
+            w.field_str("query", query);
+            w.field_u64("query_index", 0);
+            w.field_u64("doc_index", job);
+            w.field_u64("doc_nodes", nodes);
+            w.field_u64("doc_depth", 3);
+            w.field_u64("steps", steps);
+            w.field_u64("reversals", 1);
+            w.field_u64("cache_hits", 0);
+            w.field_u64("cache_misses", 0);
+            w.field_u64("budget_trips", 0);
+            w.field_u64("selected", 2);
+            w.field_bool("sampled", false);
+            w.field_str("outcome", "ok");
+            w.field_str("worker", "w0");
+            w.field_str("shard", "0/2");
+            w.field_u64("start_ns", 5);
+            w.field_u64("wall_ns", 100 + job);
+        })
+    }
+
+    fn log(rows: &[String]) -> String {
+        let mut s = rows.join("\n");
+        s.push('\n');
+        s
+    }
+
+    #[test]
+    fn parses_rows_and_tolerates_missing_volatile_fields() {
+        let rows = parse_rows(&log(&[row(0, "q", 10, 50)])).unwrap();
+        assert_eq!(rows[0].job, 0);
+        assert_eq!(rows[0].wall_ns, 100);
+        // identity projection: no worker/wall_ns
+        let stripped = row(1, "q", 10, 50)
+            .replace(",\"worker\":\"w0\"", "")
+            .replace(",\"wall_ns\":101", "");
+        let rows = parse_rows(&format!("{stripped}\n")).unwrap();
+        assert_eq!(rows[0].worker, "local");
+        assert_eq!(rows[0].wall_ns, 0);
+        // line numbers in errors
+        let err = parse_rows("{\"v\":1}\n").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+    }
+
+    #[test]
+    fn top_ranks_by_steps_with_share() {
+        let rows = parse_rows(&log(&[
+            row(0, "a", 10, 100),
+            row(1, "b", 10, 700),
+            row(2, "a", 10, 200),
+        ]))
+        .unwrap();
+        let t = top(&rows, 2);
+        assert_eq!(t.total_steps, 1000);
+        assert_eq!(t.entries.len(), 2);
+        assert_eq!(t.entries[0].job, 1);
+        assert!((t.entries[0].share - 0.7).abs() < 1e-12);
+        assert_eq!(t.entries[1].job, 2);
+        let text = t.render_text();
+        assert!(text.contains("top 2 of 3 job(s)"), "{text}");
+        let v = json::parse(&t.to_json()).unwrap();
+        assert_eq!(v.get("total_steps").and_then(Value::as_u64), Some(1000));
+    }
+
+    #[test]
+    fn slow_finds_per_query_outliers() {
+        let mut lines: Vec<String> = (0..10).map(|j| row(j, "a", 10, 100)).collect();
+        lines.push(row(10, "a", 10, 1000)); // the heavy tail
+        lines.push(row(11, "b", 10, 5));
+        let rows = parse_rows(&log(&lines)).unwrap();
+        let s = slow(&rows, 3);
+        assert_eq!(s.queries.len(), 2);
+        let a = &s.queries[0];
+        assert_eq!(a.query, "a");
+        assert_eq!(a.p50, 100);
+        assert_eq!(a.max, 1000);
+        assert_eq!(a.outliers[0].job, 10);
+        assert!((a.outliers[0].vs_median - 10.0).abs() < 1e-12);
+        let v = json::parse(&s.to_json()).unwrap();
+        let queries = v.get("queries").and_then(Value::as_arr).unwrap();
+        assert_eq!(queries.len(), 2);
+    }
+
+    #[test]
+    fn growth_fits_exact_power_laws() {
+        // steps = 3·n² exactly: exponent 2, r² 1.
+        let quad: Vec<String> = (1..=5u64)
+            .map(|i| row(i, "quad", 10 * i, 3 * (10 * i) * (10 * i)))
+            .collect();
+        // steps = 7·n exactly: exponent 1.
+        let lin: Vec<String> = (1..=5u64)
+            .map(|i| row(10 + i, "lin", 10 * i, 7 * 10 * i))
+            .collect();
+        let mut lines = quad;
+        lines.extend(lin);
+        let rows = parse_rows(&log(&lines)).unwrap();
+        let g = growth(&rows);
+        assert_eq!(g.fits.len(), 2);
+        let q = &g.fits[0];
+        assert!((q.exponent.unwrap() - 2.0).abs() < 1e-9, "{q:?}");
+        assert!((q.coefficient.unwrap() - 3.0).abs() < 1e-6, "{q:?}");
+        assert!((q.r2.unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(q.class, "quadratic");
+        let l = &g.fits[1];
+        assert!((l.exponent.unwrap() - 1.0).abs() < 1e-9, "{l:?}");
+        assert_eq!(l.class, "linear");
+    }
+
+    #[test]
+    fn growth_reports_unfittable_single_size_logs() {
+        let rows = parse_rows(&log(&[row(0, "a", 10, 50), row(1, "a", 10, 60)])).unwrap();
+        let g = growth(&rows);
+        assert_eq!(g.fits[0].exponent, None);
+        assert!(g.fits[0].class.contains("--sweep"), "{}", g.fits[0].class);
+        let text = g.render_text();
+        assert!(text.contains('-'), "{text}");
+        // JSON omits the unfit fields entirely
+        let v = json::parse(&g.to_json()).unwrap();
+        let fit = &v.get("fits").and_then(Value::as_arr).unwrap()[0];
+        assert!(fit.get("exponent").is_none());
+    }
+
+    #[test]
+    fn growth_class_boundaries() {
+        assert_eq!(growth_class(0.1), "constant");
+        assert_eq!(growth_class(0.5), "sublinear");
+        assert_eq!(growth_class(1.0), "linear");
+        assert_eq!(growth_class(1.5), "superlinear");
+        assert_eq!(growth_class(2.0), "quadratic");
+        assert_eq!(growth_class(3.2), "poly(~3.2)");
+    }
+}

@@ -7,7 +7,15 @@
 //! qa-trace diff <a.json> <b.json>
 //! qa-trace export chrome <trace.json> [--out FILE]
 //! qa-trace export prom <metrics.json> [--out FILE]
+//! qa-trace analyze top    <events.jsonl> [--k K] [--json] [--out FILE]
+//! qa-trace analyze slow   <events.jsonl> [--k K] [--json] [--out FILE]
+//! qa-trace analyze growth <events.jsonl> [--json] [--out FILE]
 //! ```
+//!
+//! `analyze` reads a `qa-fleet` wide-event log (`events.jsonl`) and
+//! reports heavy hitters (`top`), per-query percentile outliers (`slow`),
+//! or per-query steps-vs-size growth fits (`growth` — feed it a
+//! `qa-fleet --sweep` log so document sizes vary).
 //!
 //! Workloads are the paper's running examples, deterministic by
 //! construction so two invocations on the same input produce byte-identical
@@ -42,6 +50,9 @@ const USAGE: &str = "usage:
   qa-trace diff <a.json> <b.json>
   qa-trace export chrome <trace.json> [--out FILE]
   qa-trace export prom <metrics.json> [--out FILE]
+  qa-trace analyze top    <events.jsonl> [--k K] [--json] [--out FILE]
+  qa-trace analyze slow   <events.jsonl> [--k K] [--json] [--out FILE]
+  qa-trace analyze growth <events.jsonl> [--json] [--out FILE]
 
 workloads: example-3-4, example-3-4-variant, example-4-4, example-5-14, fig5";
 
@@ -326,6 +337,61 @@ fn cmd_export(mut args: Vec<String>) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Pull a bare `--flag` (no value) out of `args`, returning presence.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn cmd_analyze(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let out = take_flag(&mut args, "--out")?;
+    let json = take_switch(&mut args, "--json");
+    let k = take_flag(&mut args, "--k")?
+        .map(|k| k.parse::<usize>().map_err(|_| format!("bad --k `{k}`")))
+        .transpose()?
+        .unwrap_or(10);
+    let (report, path) = match (args.first(), args.get(1)) {
+        (Some(r), Some(p)) => (r.as_str(), p),
+        _ => return Err(USAGE.to_string()),
+    };
+    let jsonl = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let rows = qa_probe::analyze::parse_rows(&jsonl).map_err(|e| format!("{path}: {e}"))?;
+    let content = match report {
+        "top" => {
+            let r = qa_probe::analyze::top(&rows, k);
+            if json {
+                format!("{}\n", r.to_json())
+            } else {
+                r.render_text()
+            }
+        }
+        "slow" => {
+            let r = qa_probe::analyze::slow(&rows, k);
+            if json {
+                format!("{}\n", r.to_json())
+            } else {
+                r.render_text()
+            }
+        }
+        "growth" => {
+            let r = qa_probe::analyze::growth(&rows);
+            if json {
+                format!("{}\n", r.to_json())
+            } else {
+                r.render_text()
+            }
+        }
+        other => return Err(format!("unknown analyze report `{other}` — {USAGE}")),
+    };
+    emit(out.as_deref(), &content)?;
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -339,6 +405,7 @@ fn main() -> ExitCode {
         "why" => cmd_why(args),
         "diff" => cmd_diff(args),
         "export" => cmd_export(args),
+        "analyze" => cmd_analyze(args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)

@@ -10,6 +10,8 @@ use qa_obs::{Counter, Metrics, RunTrace, Series};
 /// Each completed phase becomes one complete (`"ph": "X"`) event with
 /// microsecond `ts`/`dur` on a `tid` equal to its nesting depth + 1, and
 /// the trace's counters ride along as one counter (`"ph": "C"`) event.
+/// Metadata (`"ph": "M"`) events name the process and each depth track,
+/// so Perfetto labels them instead of showing bare pids.
 /// Load the output in <https://ui.perfetto.dev> or `chrome://tracing`.
 pub fn chrome_trace(trace: &RunTrace) -> String {
     let parsed = json::parse(&trace.to_json()).expect("RunTrace emits valid JSON");
@@ -23,7 +25,24 @@ pub fn chrome_from_trace_json(trace: &Value) -> Result<String, String> {
         .get("phases")
         .and_then(Value::as_arr)
         .ok_or("trace report has no \"phases\" array")?;
-    let mut events: Vec<String> = Vec::with_capacity(phases.len() + 1);
+    let mut events: Vec<String> = Vec::with_capacity(phases.len() + 4);
+    // Metadata first: name the process and every depth track, so viewers
+    // show "qa-run" and "depth 0/1/…" instead of bare pid/tid numbers.
+    events.push(metadata_event("process_name", 1, None, "qa-run"));
+    let mut depths: Vec<u64> = phases
+        .iter()
+        .map(|p| p.get("depth").and_then(Value::as_u64).unwrap_or(0))
+        .collect();
+    depths.sort_unstable();
+    depths.dedup();
+    for d in depths {
+        events.push(metadata_event(
+            "thread_name",
+            1,
+            Some(d + 1),
+            &format!("depth {d}"),
+        ));
+    }
     for p in phases {
         let name = p
             .get("name")
@@ -66,6 +85,20 @@ pub fn chrome_from_trace_json(trace: &Value) -> Result<String, String> {
         w.field_raw("traceEvents", &json::array(events));
         w.field_str("displayTimeUnit", "ms");
     }))
+}
+
+/// One Chrome metadata (`"ph": "M"`) event: `process_name` /
+/// `thread_name` entries that make viewers label tracks.
+fn metadata_event(kind: &str, pid: u64, tid: Option<u64>, name: &str) -> String {
+    json::object(|w| {
+        w.field_str("name", kind);
+        w.field_str("ph", "M");
+        w.field_u64("pid", pid);
+        if let Some(tid) = tid {
+            w.field_u64("tid", tid);
+        }
+        w.field_raw("args", &json::object(|aw| aw.field_str("name", name)));
+    })
 }
 
 /// Upper bound (inclusive, integer-valued) of histogram bucket `i` under
@@ -205,14 +238,39 @@ mod tests {
         let out = chrome_trace(&t);
         let v = parse_json(&out).unwrap();
         let events = v.get("traceEvents").and_then(Value::as_arr).unwrap();
-        // two phases + one counter event
-        assert_eq!(events.len(), 3);
-        assert_eq!(events[0].get("name").and_then(Value::as_str), Some("inner"));
-        assert_eq!(events[0].get("ph").and_then(Value::as_str), Some("X"));
-        assert_eq!(events[0].get("tid").and_then(Value::as_u64), Some(2));
-        assert_eq!(events[1].get("name").and_then(Value::as_str), Some("run"));
+        // 1 process_name + 2 thread_names + two phases + one counter event
+        assert_eq!(events.len(), 6);
+        assert_eq!(
+            events[0].get("name").and_then(Value::as_str),
+            Some("process_name")
+        );
+        assert_eq!(events[0].get("ph").and_then(Value::as_str), Some("M"));
+        assert_eq!(
+            events[0]
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Value::as_str),
+            Some("qa-run")
+        );
+        assert_eq!(
+            events[1].get("name").and_then(Value::as_str),
+            Some("thread_name")
+        );
         assert_eq!(events[1].get("tid").and_then(Value::as_u64), Some(1));
-        let args = events[2].get("args").unwrap();
+        assert_eq!(
+            events[1]
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Value::as_str),
+            Some("depth 0")
+        );
+        assert_eq!(events[2].get("tid").and_then(Value::as_u64), Some(2));
+        assert_eq!(events[3].get("name").and_then(Value::as_str), Some("inner"));
+        assert_eq!(events[3].get("ph").and_then(Value::as_str), Some("X"));
+        assert_eq!(events[3].get("tid").and_then(Value::as_u64), Some(2));
+        assert_eq!(events[4].get("name").and_then(Value::as_str), Some("run"));
+        assert_eq!(events[4].get("tid").and_then(Value::as_u64), Some(1));
+        let args = events[5].get("args").unwrap();
         assert_eq!(args.get("steps").and_then(Value::as_u64), Some(9));
     }
 

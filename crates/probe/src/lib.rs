@@ -14,17 +14,23 @@
 //!   [`ProvenanceObserver::why_selected`], render with
 //!   [`Explanation::render_text`] / [`Explanation::to_json`].
 //! - [`export`] — serialize a [`qa_obs::RunTrace`] to Chrome trace-event
-//!   JSON (loadable in Perfetto / `chrome://tracing`) and a
+//!   JSON (loadable in Perfetto / `chrome://tracing`, with
+//!   `process_name`/`thread_name` metadata so tracks are labeled) and a
 //!   [`qa_obs::Metrics`] registry to Prometheus text exposition.
+//! - [`analyze`] — slow-query analysis over `events.jsonl` wide-event
+//!   logs: heavy hitters ([`analyze::top`]), per-query percentile
+//!   outliers ([`analyze::slow`]), and steps-vs-size growth fits
+//!   ([`analyze::growth`]).
 //! - [`diff`] — find the first diverging configuration between two recorded
 //!   traces: the debugging primitive for the Section 6 equivalence
 //!   counterexamples.
 //! - [`gate`] — compare two `BENCH_obs.json` step-count reports with a
 //!   tolerance; the `bench_obs --check` regression gate is this function.
 //!
-//! The `qa-trace` binary wires all four into a CLI: `record`, `replay`,
-//! `why`, `diff`, and `export`.
+//! The `qa-trace` binary wires all five into a CLI: `record`, `replay`,
+//! `why`, `diff`, `export`, and `analyze`.
 
+pub mod analyze;
 pub mod diff;
 pub mod export;
 pub mod gate;

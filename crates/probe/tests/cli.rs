@@ -107,6 +107,112 @@ fn replay_and_exports_work_on_recorded_files() {
 }
 
 #[test]
+fn chrome_export_names_process_and_threads() {
+    let trace = tmp("meta.json");
+    let out = qa_trace(&["record", "example-3-4", "0110", "--out", &trace]);
+    assert!(out.status.success());
+    let chrome = qa_trace(&["export", "chrome", &trace]);
+    assert!(chrome.status.success());
+    let text = String::from_utf8_lossy(&chrome.stdout);
+    let v = qa_obs::json::parse(text.trim()).expect("valid trace-event JSON");
+    let events = v
+        .get("traceEvents")
+        .and_then(qa_obs::json::Value::as_arr)
+        .unwrap();
+    let metas: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(qa_obs::json::Value::as_str) == Some("M"))
+        .filter_map(|e| e.get("name").and_then(qa_obs::json::Value::as_str))
+        .collect();
+    assert!(metas.contains(&"process_name"), "{metas:?}");
+    assert!(metas.contains(&"thread_name"), "{metas:?}");
+}
+
+/// A synthetic ten-job wide-event log: two queries, one with perfectly
+/// quadratic growth (steps = 2·n²) and one constant.
+fn write_events_log() -> String {
+    let path = tmp("events.jsonl");
+    let mut log = String::new();
+    for i in 1u64..=5 {
+        let n = 10 * i;
+        log.push_str(&format!(
+            "{{\"v\":1,\"run\":\"r\",\"trace\":\"{:016x}\",\"span\":\"{:016x}\",\
+             \"job\":{},\"query\":\"quad\",\"query_index\":0,\"doc_index\":{},\
+             \"doc_nodes\":{n},\"doc_depth\":3,\"steps\":{},\"reversals\":0,\
+             \"cache_hits\":0,\"cache_misses\":0,\"budget_trips\":0,\
+             \"selected\":1,\"sampled\":false,\"outcome\":\"ok\",\
+             \"worker\":\"local\",\"shard\":\"0/1\",\"start_ns\":1,\"wall_ns\":9}}\n",
+            i,
+            i + 100,
+            i - 1,
+            i - 1,
+            2 * n * n
+        ));
+    }
+    for i in 6u64..=10 {
+        log.push_str(&format!(
+            "{{\"v\":1,\"run\":\"r\",\"trace\":\"{:016x}\",\"span\":\"{:016x}\",\
+             \"job\":{},\"query\":\"flat\",\"query_index\":1,\"doc_index\":{},\
+             \"doc_nodes\":{},\"doc_depth\":1,\"steps\":7,\"reversals\":0,\
+             \"cache_hits\":0,\"cache_misses\":0,\"budget_trips\":0,\
+             \"selected\":0,\"sampled\":false,\"outcome\":\"ok\",\
+             \"worker\":\"local\",\"shard\":\"0/1\",\"start_ns\":1,\"wall_ns\":9}}\n",
+            i,
+            i + 100,
+            i - 1,
+            i - 6,
+            10 * (i - 5)
+        ));
+    }
+    std::fs::write(&path, log).expect("write events log");
+    path
+}
+
+#[test]
+fn analyze_reports_heavy_hitters_outliers_and_growth() {
+    let events = write_events_log();
+
+    let top = qa_trace(&["analyze", "top", &events, "--k", "2"]);
+    assert!(top.status.success());
+    let text = String::from_utf8_lossy(&top.stdout);
+    assert!(text.contains("top 2 of 10 job(s)"), "{text}");
+    // job 4 is the heaviest: 2·50² = 5000 steps
+    assert!(
+        text.lines().nth(2).unwrap().starts_with("4     quad"),
+        "{text}"
+    );
+
+    let slow = qa_trace(&["analyze", "slow", &events, "--json"]);
+    assert!(slow.status.success());
+    let text = String::from_utf8_lossy(&slow.stdout);
+    let v = qa_obs::json::parse(text.trim()).expect("valid slow JSON");
+    let queries = v
+        .get("queries")
+        .and_then(qa_obs::json::Value::as_arr)
+        .unwrap();
+    assert_eq!(queries.len(), 2);
+
+    let growth = qa_trace(&["analyze", "growth", &events, "--json"]);
+    assert!(growth.status.success());
+    let text = String::from_utf8_lossy(&growth.stdout);
+    let v = qa_obs::json::parse(text.trim()).expect("valid growth JSON");
+    let fits = v.get("fits").and_then(qa_obs::json::Value::as_arr).unwrap();
+    let quad_exp = fits[0]
+        .get("exponent")
+        .and_then(qa_obs::json::Value::as_f64)
+        .unwrap();
+    assert!((quad_exp - 2.0).abs() < 1e-6, "quad exponent: {quad_exp}");
+    assert_eq!(
+        fits[0].get("class").and_then(qa_obs::json::Value::as_str),
+        Some("quadratic")
+    );
+    assert_eq!(
+        fits[1].get("class").and_then(qa_obs::json::Value::as_str),
+        Some("constant")
+    );
+}
+
+#[test]
 fn bad_usage_exits_2() {
     assert_eq!(qa_trace(&[]).status.code(), Some(2));
     assert_eq!(
@@ -114,4 +220,10 @@ fn bad_usage_exits_2() {
         Some(2)
     );
     assert_eq!(qa_trace(&["frobnicate"]).status.code(), Some(2));
+    assert_eq!(
+        qa_trace(&["analyze", "nope", "/no/such/file"])
+            .status
+            .code(),
+        Some(2)
+    );
 }

@@ -63,4 +63,7 @@ pub use heap::{CountingAlloc, HeapStats};
 pub use parse::{parse_prometheus, Sample, Scrape};
 pub use profile::{SpanProfile, SpanProfiler, Weight};
 pub use render::{metrics_text, validate_prometheus};
-pub use server::{PulseServer, PulseState, PROMETHEUS_CONTENT_TYPE};
+pub use server::{
+    EventsSource, FlightSource, PulseServer, PulseState, DEFAULT_TAIL, MAX_TAIL,
+    PROMETHEUS_CONTENT_TYPE,
+};

@@ -16,9 +16,14 @@
 //! | `/healthz` | `ok` — liveness (the serve thread is accepting)         |
 //! | `/readyz`  | `ready`, or `503 warming up` until the binary flips it  |
 //! | `/metrics` | [`metrics_text`] over the shared [`Metrics`]            |
-//! | `/flight`  | JSON from the registered flight source (404 if none)    |
+//! | `/flight`  | JSON from the registered flight source (404 if none);   |
+//! |            | `?n=K` bounds the events tail                           |
+//! | `/events`  | JSONL tail of recent per-job wide events (`?n=K`)       |
 //! | `/profile` | collapsed-stack span profile (`?weight=alloc` for bytes)|
 //! | `/quit`    | `bye`, then the accept loop exits                       |
+//!
+//! Every route is read-only and GET-only: any other method on a known
+//! route gets `405 Method Not Allowed` with an `Allow: GET` header.
 //!
 //! Shutdown is cooperative: [`PulseServer::shutdown`] (or a `GET /quit`)
 //! sets a flag and pokes the listener with a loopback connection so the
@@ -42,8 +47,21 @@ pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=ut
 
 /// Producer of the `/flight` JSON body — registered by the binary that
 /// owns the flight recorder, so this crate needs no dependency on
-/// `qa-flight` (which depends on us for its fleet binary).
-pub type FlightSource = Box<dyn Fn() -> String + Send>;
+/// `qa-flight` (which depends on us for its fleet binary). The argument
+/// is the tail limit: render at most that many retained events.
+pub type FlightSource = Box<dyn Fn(usize) -> String + Send>;
+
+/// Producer of the `/events` JSONL body — registered by the binary that
+/// owns the wide-event ring. The argument is the tail limit: render the
+/// most recent `n` job events, oldest first.
+pub type EventsSource = Box<dyn Fn(usize) -> String + Send>;
+
+/// Tail length `/flight` and `/events` serve when no `?n=K` is given.
+pub const DEFAULT_TAIL: usize = 64;
+
+/// Upper bound on `?n=K` — requests beyond it are clamped, keeping one
+/// scrape's response bounded no matter what the client asks for.
+pub const MAX_TAIL: usize = 65_536;
 
 /// Shared state behind every endpoint.
 ///
@@ -59,6 +77,7 @@ pub struct PulseState {
     ready: AtomicBool,
     profile: Mutex<SpanProfile>,
     flight: Mutex<Option<FlightSource>>,
+    events: Mutex<Option<EventsSource>>,
 }
 
 impl PulseState {
@@ -71,6 +90,7 @@ impl PulseState {
             ready: AtomicBool::new(false),
             profile: Mutex::new(SpanProfile::new()),
             flight: Mutex::new(None),
+            events: Mutex::new(None),
         })
     }
 
@@ -107,9 +127,15 @@ impl PulseState {
     }
 
     /// Register the `/flight` JSON producer (a closure dumping the live
-    /// flight-recorder ring).
+    /// flight-recorder ring, tail-limited to its argument).
     pub fn set_flight_source(&self, source: FlightSource) {
         *self.flight.lock().expect("flight lock poisoned") = Some(source);
+    }
+
+    /// Register the `/events` JSONL producer (a closure rendering the
+    /// most recent job events from the shared wide-event ring).
+    pub fn set_events_source(&self, source: EventsSource) {
+        *self.events.lock().expect("events lock poisoned") = Some(source);
     }
 
     /// Render `/metrics` — also used by binaries for their post-run
@@ -118,12 +144,20 @@ impl PulseState {
         metrics_text(&self.metrics, &self.prefix)
     }
 
-    fn flight_json(&self) -> Option<String> {
+    fn flight_json(&self, tail: usize) -> Option<String> {
         self.flight
             .lock()
             .expect("flight lock poisoned")
             .as_ref()
-            .map(|f| f())
+            .map(|f| f(tail))
+    }
+
+    fn events_jsonl(&self, tail: usize) -> Option<String> {
+        self.events
+            .lock()
+            .expect("events lock poisoned")
+            .as_ref()
+            .map(|f| f(tail))
     }
 }
 
@@ -200,12 +234,30 @@ fn accept_loop(listener: TcpListener, state: Arc<PulseState>, stop: Arc<AtomicBo
     }
 }
 
+/// Every route the server answers — the set that earns a `405` (rather
+/// than a `404`) when asked for with the wrong method.
+const ROUTES: [&str; 8] = [
+    "/", "/healthz", "/readyz", "/metrics", "/flight", "/events", "/profile", "/quit",
+];
+
+/// The tail limit from a `?n=K` query: [`DEFAULT_TAIL`] when absent,
+/// clamped to [`MAX_TAIL`]; `Err` on an unparseable or zero `n`.
+fn parse_tail_limit(query: &str) -> Result<usize, ()> {
+    let Some(raw) = query.split('&').find_map(|kv| kv.strip_prefix("n=")) else {
+        return Ok(DEFAULT_TAIL);
+    };
+    match raw.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n.min(MAX_TAIL)),
+        _ => Err(()),
+    }
+}
+
 /// Serve one request on `stream`; returns `Ok(true)` if it was `/quit`.
 fn handle_connection(stream: &mut TcpStream, state: &PulseState) -> std::io::Result<bool> {
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     stream.set_write_timeout(Some(Duration::from_secs(5)))?;
-    let path = match read_request_path(stream)? {
-        Some(p) => p,
+    let (method, path) = match read_request_line(stream)? {
+        Some(head) => head,
         None => {
             respond(stream, 400, "text/plain", "bad request\n")?;
             return Ok(false);
@@ -216,13 +268,27 @@ fn handle_connection(stream: &mut TcpStream, state: &PulseState) -> std::io::Res
         Some((r, q)) => (r, q),
         None => (path.as_str(), ""),
     };
+    if method != "GET" {
+        if ROUTES.contains(&route) {
+            respond_with(
+                stream,
+                405,
+                "text/plain",
+                &[("Allow", "GET")],
+                "method not allowed\n",
+            )?;
+        } else {
+            respond(stream, 404, "text/plain", "not found\n")?;
+        }
+        return Ok(false);
+    }
     match route {
         "/" => respond(
             stream,
             200,
             "text/plain",
             "qa-pulse live ops surface\n\
-             routes: /healthz /readyz /metrics /flight /profile /quit\n",
+             routes: /healthz /readyz /metrics /flight /events /profile /quit\n",
         )?,
         "/healthz" => respond(stream, 200, "text/plain", "ok\n")?,
         "/readyz" => {
@@ -236,9 +302,19 @@ fn handle_connection(stream: &mut TcpStream, state: &PulseState) -> std::io::Res
             let body = state.metrics_text();
             respond(stream, 200, PROMETHEUS_CONTENT_TYPE, &body)?;
         }
-        "/flight" => match state.flight_json() {
-            Some(body) => respond(stream, 200, "application/json", &body)?,
-            None => respond(stream, 404, "text/plain", "no flight recorder attached\n")?,
+        "/flight" => match parse_tail_limit(query) {
+            Ok(tail) => match state.flight_json(tail) {
+                Some(body) => respond(stream, 200, "application/json", &body)?,
+                None => respond(stream, 404, "text/plain", "no flight recorder attached\n")?,
+            },
+            Err(()) => respond(stream, 400, "text/plain", "bad tail limit n\n")?,
+        },
+        "/events" => match parse_tail_limit(query) {
+            Ok(tail) => match state.events_jsonl(tail) {
+                Some(body) => respond(stream, 200, "application/jsonl", &body)?,
+                None => respond(stream, 404, "text/plain", "no event ring attached\n")?,
+            },
+            Err(()) => respond(stream, 400, "text/plain", "bad tail limit n\n")?,
         },
         "/profile" => {
             let weight = if query.split('&').any(|kv| kv == "weight=alloc") {
@@ -258,9 +334,9 @@ fn handle_connection(stream: &mut TcpStream, state: &PulseState) -> std::io::Res
     Ok(false)
 }
 
-/// Read the request head and return the path of a `GET` request
-/// (`None` for anything unparseable or non-GET).
-fn read_request_path(stream: &mut TcpStream) -> std::io::Result<Option<String>> {
+/// Read the request head and return `(method, path)` of the request line
+/// (`None` for anything unparseable).
+fn read_request_line(stream: &mut TcpStream) -> std::io::Result<Option<(String, String)>> {
     // Read until the blank line ending the head; 8 KiB is far beyond any
     // request a scraper sends.
     let mut head = Vec::with_capacity(512);
@@ -279,8 +355,12 @@ fn read_request_path(stream: &mut TcpStream) -> std::io::Result<Option<String>> 
     let request_line = head.lines().next().unwrap_or("");
     let mut parts = request_line.split_ascii_whitespace();
     match (parts.next(), parts.next(), parts.next()) {
-        (Some("GET"), Some(path), Some(version)) if version.starts_with("HTTP/1") => {
-            Ok(Some(path.to_string()))
+        (Some(method), Some(path), Some(version))
+            if version.starts_with("HTTP/1")
+                && !method.is_empty()
+                && method.bytes().all(|b| b.is_ascii_uppercase()) =>
+        {
+            Ok(Some((method.to_string(), path.to_string())))
         }
         _ => Ok(None),
     }
@@ -292,20 +372,35 @@ fn respond(
     content_type: &str,
     body: &str,
 ) -> std::io::Result<()> {
+    respond_with(stream, status, content_type, &[], body)
+}
+
+fn respond_with(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
+        405 => "Method Not Allowed",
         503 => "Service Unavailable",
         _ => "",
     };
-    let head = format!(
+    let mut head = format!(
         "HTTP/1.1 {status} {reason}\r\n\
          Content-Type: {content_type}\r\n\
          Content-Length: {}\r\n\
-         Connection: close\r\n\r\n",
+         Connection: close\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()

@@ -9,15 +9,16 @@ use std::time::Duration;
 use qa_obs::{Counter, Metrics, Observer};
 use qa_pulse::{validate_prometheus, PulseServer, PulseState, SpanProfiler, Weight};
 
-/// Minimal HTTP/1.1 GET; returns (status, body).
-fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+/// Minimal HTTP/1.1 request with an arbitrary method; returns
+/// (status, head, body).
+fn request(addr: SocketAddr, method: &str, path: &str) -> (u16, String, String) {
     let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(5)))
         .unwrap();
     write!(
         stream,
-        "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
     )
     .expect("send request");
     let mut response = String::new();
@@ -28,10 +29,16 @@ fn get(addr: SocketAddr, path: &str) -> (u16, String) {
         .expect("status code")
         .parse()
         .expect("numeric status");
-    let body = response
+    let (head, body) = response
         .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
+        .map(|(h, b)| (h.to_string(), b.to_string()))
         .unwrap_or_default();
+    (status, head, body)
+}
+
+/// Minimal HTTP/1.1 GET; returns (status, body).
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let (status, _, body) = request(addr, "GET", path);
     (status, body)
 }
 
@@ -141,10 +148,79 @@ fn flight_endpoint_requires_a_registered_source() {
     let (status, _) = get(addr, "/flight");
     assert_eq!(status, 404, "no source registered yet");
 
-    state.set_flight_source(Box::new(|| "{\"events\":[]}".to_string()));
+    state.set_flight_source(Box::new(|_tail| "{\"events\":[]}".to_string()));
     let (status, body) = get(addr, "/flight");
     assert_eq!(status, 200);
     assert_eq!(body, "{\"events\":[]}");
+
+    server.shutdown();
+}
+
+#[test]
+fn flight_and_events_take_a_bounds_checked_tail_limit() {
+    let (server, state) = server_with_metrics();
+    let addr = server.local_addr();
+
+    // The sources receive the parsed ?n=K (or the bounds-checked default).
+    state.set_flight_source(Box::new(|tail| format!("{{\"tail\":{tail}}}")));
+    state.set_events_source(Box::new(|tail| format!("tail={tail}\n")));
+
+    let (status, body) = get(addr, "/flight?n=7");
+    assert_eq!((status, body.as_str()), (200, "{\"tail\":7}"));
+    let (status, body) = get(addr, "/events?n=7");
+    assert_eq!((status, body.as_str()), (200, "tail=7\n"));
+
+    // No ?n → the default tail; huge ?n → clamped to the cap.
+    let (_, body) = get(addr, "/flight");
+    assert_eq!(body, format!("{{\"tail\":{}}}", qa_pulse::DEFAULT_TAIL));
+    let (_, body) = get(addr, "/events?n=999999999");
+    assert_eq!(body, format!("tail={}\n", qa_pulse::MAX_TAIL));
+
+    // Unparseable or zero n is a client error, not a silent default.
+    for bad in ["/events?n=0", "/events?n=-1", "/flight?n=ten", "/flight?n="] {
+        let (status, _) = get(addr, bad);
+        assert_eq!(status, 400, "{bad} must be rejected");
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn events_endpoint_requires_a_registered_ring() {
+    let (server, state) = server_with_metrics();
+    let addr = server.local_addr();
+
+    let (status, _) = get(addr, "/events");
+    assert_eq!(status, 404, "no ring registered yet");
+
+    state.set_events_source(Box::new(|_tail| "{\"job\":0}\n{\"job\":1}\n".to_string()));
+    let (status, body) = get(addr, "/events");
+    assert_eq!(status, 200);
+    assert_eq!(body.lines().count(), 2, "{body}");
+
+    server.shutdown();
+}
+
+#[test]
+fn non_get_methods_on_known_routes_get_405_with_allow() {
+    let (server, _state) = server_with_metrics();
+    let addr = server.local_addr();
+
+    for path in ["/", "/healthz", "/metrics", "/flight", "/events?n=3"] {
+        let (status, head, _) = request(addr, "POST", path);
+        assert_eq!(status, 405, "POST {path}");
+        assert!(
+            head.lines().any(|l| l == "Allow: GET"),
+            "POST {path}: {head}"
+        );
+    }
+    let (status, _, _) = request(addr, "DELETE", "/quit");
+    assert_eq!(status, 405, "non-GET /quit must not stop the server");
+    assert!(server.is_running(), "only GET /quit stops the accept loop");
+
+    // Unknown paths stay 404 whatever the method.
+    let (status, _, _) = request(addr, "POST", "/definitely-not-a-route");
+    assert_eq!(status, 404);
 
     server.shutdown();
 }
