@@ -21,11 +21,19 @@
 //! - `summary.txt` — per-query table plus fleet-wide step/latency
 //!   percentiles (also printed to stdout);
 //! - `postmortem.txt` — flight-recorder dump of the first failed run, if
-//!   any run tripped its budget or errored.
+//!   any run tripped its budget or errored; with `--slo`, also the names
+//!   of any alerts still firing at batch end;
+//! - `alerts.log` — with `--slo RULES`, the deterministic alert-transition
+//!   log: after the batch every job is replayed through a
+//!   `qa_sentinel::Replay` in global job order (one logical tick per job),
+//!   so the file is byte-identical across reruns, `--jobs N` and mesh
+//!   topologies. Any alert firing at the end of the replay is named in
+//!   `postmortem.txt` and makes the fleet exit 1.
 //!
 //! With `--serve ADDR` a [`PulseServer`] binds next to the batch and
-//! answers `GET /healthz`, `/readyz`, `/metrics`, `/flight`, `/events`
-//! and `/profile` *while the fleet runs*: each run's registry is merged into
+//! answers `GET /healthz`, `/readyz`, `/metrics`, `/flight`, `/events`,
+//! `/profile` — plus `/series` and `/alerts` when `--slo` attaches a live
+//! sentinel — *while the fleet runs*: each run's registry is merged into
 //! the served fleet registry as the run finishes (run-granularity
 //! freshness at zero per-event cost), and per-run observers additionally
 //! feed a [`SharedFlight`] ring behind `/flight`. A post-run `/metrics` scrape is
@@ -64,11 +72,18 @@
 //! its exact in-flight jobs. `--chaos-kill I` makes the coordinator
 //! SIGKILL shard I's original worker mid-batch on purpose.
 //!
+//! With `--scrape-every-ms MS` (and `--slo`) a background loop
+//! additionally scrapes the in-process fleet registry into the live
+//! sentinel on a wall-clock cadence — the ops-facing feed behind
+//! `/series` and `/alerts`; its transitions land in the flight ring but
+//! never decide the exit code (the post-batch replay does).
+//!
 //! ```text
 //! qa-fleet [--queries M] [--docs K] [--size N] [--sweep] [--seed S]
 //!          [--jobs N] [--sample-every N] [--reservoir K]
 //!          [--max-steps N] [--max-wall-ms MS] [--out-dir DIR] [--smoke]
 //!          [--serve ADDR] [--pace-ms MS] [--linger-ms MS]
+//!          [--slo RULES] [--scrape-every-ms MS]
 //!          [--mesh N] [--chaos-kill I]
 //!          [--shard I/N] [--worker-id ID] [--run-id ID]
 //! ```
@@ -80,6 +95,7 @@
 
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -88,12 +104,13 @@ use qa_base::{Alphabet, Error, Symbol};
 use qa_core::ranked::query::example_4_4;
 use qa_core::unranked::query::{example_5_14, example_5_9};
 use qa_flight::{
-    Budget, FlightRecorder, JobEvent, OneInN, Reservoir, Sampled, SharedEvents, SharedFlight,
-    Watchdog,
+    parse_events, Budget, FlightRecorder, JobEvent, OneInN, Reservoir, Sampled, SharedEvents,
+    SharedFlight, Watchdog,
 };
-use qa_obs::{Counter, Metrics, NoopObserver, RunTrace, Tee, TraceContext};
+use qa_obs::{percentile_sorted, Counter, Metrics, NoopObserver, RunTrace, Tee, TraceContext};
 use qa_probe::export::chrome_trace;
 use qa_pulse::{PulseServer, PulseState, SpanProfile, SpanProfiler, Weight};
+use qa_sentinel::{parse_rules, AlertRule, JobStats, Replay, SharedSentinel};
 use qa_trees::Tree;
 use qa_twoway::string_qa::example_3_4_qa;
 
@@ -113,6 +130,7 @@ const USAGE: &str = "usage:
            [--jobs N] [--sample-every N] [--reservoir K]
            [--max-steps N] [--max-wall-ms MS] [--out-dir DIR] [--smoke]
            [--serve ADDR] [--pace-ms MS] [--linger-ms MS]
+           [--slo RULES] [--scrape-every-ms MS]
            [--mesh N] [--chaos-kill I]
            [--shard I/N] [--worker-id ID] [--run-id ID]
 
@@ -127,6 +145,12 @@ input shape `qa-trace analyze growth` fits step-growth exponents from.
 /healthz /readyz /metrics /flight /events /profile /quit during the run;
 --pace-ms sleeps between jobs (a scrape window), --linger-ms keeps the
 server up after the batch until the deadline or a GET /quit.
+
+--slo RULES loads a qa-sentinel alert rules file; after the batch every
+job is replayed through the alert engine in global job order (alerts.log,
+deterministic), firing alerts are named in postmortem.txt and make the
+fleet exit 1. --scrape-every-ms MS adds a live wall-clock scrape loop
+feeding the /series and /alerts endpoints while the batch runs.
 
 --mesh N runs a coordinator that re-spawns this binary as N sharded
 --serve workers, federates their metrics/profiles/flight dumps, and
@@ -151,6 +175,10 @@ struct Opts {
     serve: Option<String>,
     pace_ms: u64,
     linger_ms: u64,
+    /// Alert rules file (`qa_sentinel::parse_rules` format).
+    slo: Option<String>,
+    /// Live scrape-loop period; 0 disables the wall-clock loop.
+    scrape_every_ms: u64,
     /// Worker mode: run only jobs `g` with `g % count == index`.
     shard: Option<(usize, usize)>,
     worker_id: Option<String>,
@@ -177,6 +205,8 @@ impl Default for Opts {
             serve: None,
             pace_ms: 0,
             linger_ms: 0,
+            slo: None,
+            scrape_every_ms: 0,
             shard: None,
             worker_id: None,
             run_id: None,
@@ -218,6 +248,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--pace-ms" => o.pace_ms = val(&mut it, arg)?.parse().map_err(|e| format!("{e}"))?,
             "--linger-ms" => {
                 o.linger_ms = val(&mut it, arg)?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--slo" => o.slo = Some(val(&mut it, arg)?),
+            "--scrape-every-ms" => {
+                o.scrape_every_ms = val(&mut it, arg)?.parse().map_err(|e| format!("{e}"))?
             }
             "--shard" => {
                 let spec = val(&mut it, arg)?;
@@ -443,14 +477,6 @@ struct QueryStats {
     selected: u64,
 }
 
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
-}
-
 fn run_one(
     wl: &Workload,
     doc: &Doc,
@@ -503,6 +529,9 @@ fn run_one(
             (0, Some(e), Some(dump))
         }
     };
+    // Every completed run is one job — the denominator burn-rate SLOs
+    // divide error counters by.
+    run_metrics.count(Counter::Jobs, 1);
     let outcome = RunOutcome {
         workload: wl.name,
         doc_nodes: doc.len(),
@@ -575,9 +604,9 @@ fn render_summary(
     let _ = writeln!(
         out,
         "steps   p50 {:>8}  p90 {:>8}  p99 {:>8}  max {:>8}",
-        percentile(&steps, 0.50),
-        percentile(&steps, 0.90),
-        percentile(&steps, 0.99),
+        percentile_sorted(&steps, 0.50),
+        percentile_sorted(&steps, 0.90),
+        percentile_sorted(&steps, 0.99),
         steps.last().copied().unwrap_or(0)
     );
     if include_latency {
@@ -589,9 +618,9 @@ fn render_summary(
         let _ = writeln!(
             out,
             "lat(ns) p50 {:>8}  p90 {:>8}  p99 {:>8}  max {:>8}",
-            percentile(&lat, 0.50),
-            percentile(&lat, 0.90),
-            percentile(&lat, 0.99),
+            percentile_sorted(&lat, 0.50),
+            percentile_sorted(&lat, 0.90),
+            percentile_sorted(&lat, 0.99),
             lat.last().copied().unwrap_or(0)
         );
     }
@@ -717,6 +746,11 @@ fn render_mesh_summary(
             dead.shard
         );
     }
+    if outcome.scrape_retries > 0 {
+        // Coordinator-local accounting: flaky scrapes are worth a line in
+        // the ops summary, but never a counter in the federated registry.
+        let _ = writeln!(out, "scrape retries: {}", outcome.scrape_retries);
+    }
     let _ = writeln!(
         out,
         "degraded: {}",
@@ -788,10 +822,14 @@ fn render_mesh_postmortem(
 }
 
 /// `--mesh N`: spawn N sharded copies of this binary, supervise them, and
-/// federate their telemetry. Exit 0 clean, 1 degraded (any worker died or
-/// exited non-zero — even when reassignment repaired the run), 2 on
+/// federate their telemetry. With `--slo`, the coordinator replays the
+/// federated `events.jsonl` through the same deterministic [`Replay`] the
+/// in-process fleet uses, so `alerts.log` is byte-identical to an
+/// unsharded run over the same corpus. Exit 0 clean, 1 degraded (any
+/// worker died or exited non-zero — even when reassignment repaired the
+/// run) or when an SLO alert is firing at batch end, 2 on
 /// coordinator-level errors.
-fn run_coordinator(opts: &Opts) -> ExitCode {
+fn run_coordinator(opts: &Opts, slo_rules: Option<Vec<AlertRule>>) -> ExitCode {
     use qa_mesh::{
         federate_events, federate_flight, federate_metrics, federate_profile, federate_trace,
         run_mesh, MeshOptions,
@@ -821,6 +859,13 @@ fn run_coordinator(opts: &Opts) -> ExitCode {
 
     let mut mesh_opts = MeshOptions::new(&run_id, plan);
     mesh_opts.chaos_kill = opts.chaos_kill;
+    // The live sentinel rides the coordinator's poll loop: mid-run worker
+    // scrapes land as per-worker series and evaluate the rules fleet-wide.
+    // Ops-only — the deterministic alert pass is the replay below.
+    if opts.scrape_every_ms > 0 {
+        mesh_opts.scrape_interval = Some(Duration::from_millis(opts.scrape_every_ms));
+        mesh_opts.sentinel = Some(SharedSentinel::new(slo_rules.clone().unwrap_or_default()));
+    }
     let outcome = run_mesh(&mesh_opts, |shard, worker_id| {
         let mut cmd = std::process::Command::new(&exe);
         if opts.sweep {
@@ -928,10 +973,59 @@ fn run_coordinator(opts: &Opts) -> ExitCode {
     // order (identity fields byte-identical to an in-process run), and
     // the same scrapes assemble into one Perfetto-loadable fleet
     // timeline with a named process per worker.
-    write("events.jsonl", &federate_events(&event_inputs));
+    let events_jsonl = federate_events(&event_inputs);
+    write("events.jsonl", &events_jsonl);
     write("fleet-trace.json", &federate_trace(&run_id, &event_inputs));
+
+    // The deterministic alert pass: the federated events.jsonl is in
+    // global job order with identity fields byte-identical to an
+    // in-process run, so replaying it through the same Replay yields the
+    // same alerts.log whatever the shard count.
+    let mut firing: Vec<String> = Vec::new();
+    if let Some(rules) = &slo_rules {
+        let events = match parse_events(&events_jsonl) {
+            Ok(ev) => ev,
+            Err(e) => {
+                eprintln!("qa-mesh: slo replay failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut replay = Replay::new(rules.clone(), "qa_fleet");
+        for ev in &events {
+            replay.observe_job(&JobStats {
+                steps: ev.steps,
+                reversals: ev.reversals,
+                cache_hits: ev.cache_hits,
+                cache_misses: ev.cache_misses,
+                budget_trips: ev.budget_trips,
+            });
+        }
+        firing = replay
+            .engine()
+            .firing()
+            .iter()
+            .map(|n| n.to_string())
+            .collect();
+        write("alerts.log", &replay.engine().render_log());
+    }
+
+    let mut postmortem = String::new();
     if !outcome.casualties().is_empty() {
-        let postmortem = render_mesh_postmortem(&run_id, &plan, &outcome);
+        postmortem.push_str(&render_mesh_postmortem(&run_id, &plan, &outcome));
+    }
+    if !firing.is_empty() {
+        if !postmortem.is_empty() {
+            postmortem.push('\n');
+        }
+        postmortem.push_str("=== slo alerts firing at batch end ===\n");
+        for rule in slo_rules.iter().flatten() {
+            if firing.contains(&rule.name) {
+                postmortem.push_str(&rule.render());
+                postmortem.push('\n');
+            }
+        }
+    }
+    if !postmortem.is_empty() {
         eprint!("{postmortem}");
         write("postmortem.txt", &postmortem);
     }
@@ -941,6 +1035,15 @@ fn run_coordinator(opts: &Opts) -> ExitCode {
     }
     if outcome.degraded {
         eprintln!("qa-mesh: run degraded (worker death or non-zero worker exit)");
+        return ExitCode::from(1);
+    }
+    if !firing.is_empty() {
+        eprintln!(
+            "slo: {} alert(s) firing at batch end ({}); see {}/postmortem.txt",
+            firing.len(),
+            firing.join(", "),
+            opts.out_dir
+        );
         return ExitCode::from(1);
     }
     ExitCode::SUCCESS
@@ -955,8 +1058,29 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // --slo rules load before the mode dispatch: a bad rules file is an
+    // operator error (exit 2) whether the fleet runs in-process or meshed.
+    let slo_rules: Option<Vec<AlertRule>> = match &opts.slo {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("--slo {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match parse_rules(&text) {
+                Ok(rules) => Some(rules),
+                Err(e) => {
+                    eprintln!("--slo {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => None,
+    };
     if opts.mesh.is_some() {
-        return run_coordinator(&opts);
+        return run_coordinator(&opts, slo_rules);
     }
 
     let roster = roster();
@@ -969,6 +1093,17 @@ fn main() -> ExitCode {
     // and aggregates the span profile either way, and serving just exposes
     // the same state over HTTP.
     let state = PulseState::new(Arc::clone(&fleet), "qa_fleet");
+    // The live sentinel exists when either flag asks for it: --slo alone
+    // still wants /alerts and the post-batch replay; --scrape-every-ms
+    // alone still records watchable /series rings.
+    let sentinel = (slo_rules.is_some() || opts.scrape_every_ms > 0)
+        .then(|| SharedSentinel::new(slo_rules.clone().unwrap_or_default()));
+    if let Some(s) = &sentinel {
+        let src = s.clone();
+        state.set_series_source(Box::new(move |name, tail| src.series_json(name, tail)));
+        let src = s.clone();
+        state.set_alerts_source(Box::new(move || src.alerts_json()));
+    }
     // Worker identity (present in mesh shard mode): stamped as an info
     // gauge on /metrics and as correlation ids on the flight ring, so
     // every federated artifact can name the process it came from. The
@@ -1057,6 +1192,34 @@ fn main() -> ExitCode {
     };
     let fleet_t0 = Instant::now();
 
+    // The live scrape loop: wall-clock cadence, ops-only. Transitions are
+    // echoed onto the flight ring (when one exists) but never counted into
+    // the fleet registry — metrics.prom must not depend on how fast the
+    // wall clock moved — and never decide the exit code (the post-batch
+    // replay does).
+    let scrape_stop = Arc::new(AtomicBool::new(false));
+    let scrape_loop = match (&sentinel, opts.scrape_every_ms) {
+        (Some(s), ms) if ms > 0 => {
+            let s = s.clone();
+            let stop = Arc::clone(&scrape_stop);
+            let metrics = Arc::clone(&fleet);
+            let flight = shared_flight.clone();
+            Some(std::thread::spawn(move || {
+                let period = Duration::from_millis(ms);
+                while !stop.load(Ordering::Relaxed) {
+                    let transitions = s.scrape(&metrics, "qa_fleet", &Vec::new());
+                    if let Some(flight) = &flight {
+                        for t in &transitions {
+                            flight.alert(t.tick, t.rule as u32, t.from, t.to);
+                        }
+                    }
+                    std::thread::sleep(period);
+                }
+            }))
+        }
+        _ => None,
+    };
+
     // Outcomes land in indexed slots, so `--jobs N` yields the same vector
     // as `--jobs 1`; per-run metrics merge into `fleet` as commutative
     // counter sums. Slots are indexed by global job id; in shard mode the
@@ -1136,6 +1299,11 @@ fn main() -> ExitCode {
         }
     });
 
+    scrape_stop.store(true, Ordering::Relaxed);
+    if let Some(handle) = scrape_loop {
+        let _ = handle.join();
+    }
+
     // Reservoir offers happen in job order after the batch, so the sampled
     // trace set is independent of worker interleaving. In shard mode the
     // slots of other shards are (correctly) empty and skipped.
@@ -1161,6 +1329,38 @@ fn main() -> ExitCode {
         events_jsonl.push_str(&event.to_json());
         events_jsonl.push('\n');
         outcomes.push(outcome);
+    }
+
+    // The authoritative alert pass: replay the batch one logical tick per
+    // job, in global job order. Same seed + rules => byte-identical
+    // alerts.log whatever --jobs ran the batch and however the wall clock
+    // moved; this — not the live loop — names firing alerts and sets the
+    // exit code. Runs before metrics.prom renders so the transition count
+    // lands in the registry deterministically.
+    let mut firing: Vec<String> = Vec::new();
+    let mut alerts_log: Option<String> = None;
+    if let Some(rules) = &slo_rules {
+        let mut replay = Replay::new(rules.clone(), "qa_fleet");
+        let mut transitions = 0u64;
+        for outcome in &outcomes {
+            transitions += replay
+                .observe_job(&JobStats {
+                    steps: outcome.steps,
+                    reversals: outcome.reversals,
+                    cache_hits: outcome.cache_hits,
+                    cache_misses: outcome.cache_misses,
+                    budget_trips: outcome.budget_trips,
+                })
+                .len() as u64;
+        }
+        fleet.count(Counter::AlertTransitions, transitions);
+        firing = replay
+            .engine()
+            .firing()
+            .iter()
+            .map(|n| n.to_string())
+            .collect();
+        alerts_log = Some(replay.engine().render_log());
     }
 
     let refs: Vec<&RunOutcome> = outcomes.iter().collect();
@@ -1189,15 +1389,34 @@ fn main() -> ExitCode {
         write(&format!("trace-{i}.json"), &chrome_trace(trace));
         eprintln!("trace-{i}.json <- full trace of {label}");
     }
+    if let Some(log) = &alerts_log {
+        write("alerts.log", log);
+    }
+    // postmortem.txt collects everything that went wrong: the first failed
+    // run's flight dump, then any SLO alerts still firing at batch end.
+    let mut postmortem = String::new();
     if let Some(first_failed) = outcomes.iter().find(|o| o.error.is_some()) {
-        write(
-            "postmortem.txt",
-            first_failed.dump.as_deref().unwrap_or("no dump recorded"),
-        );
+        postmortem.push_str(first_failed.dump.as_deref().unwrap_or("no dump recorded"));
         eprintln!(
             "postmortem.txt <- {} on a {}-node document",
             first_failed.workload, first_failed.doc_nodes
         );
+    }
+    if !firing.is_empty() {
+        if !postmortem.is_empty() {
+            postmortem.push('\n');
+        }
+        postmortem.push_str("=== slo alerts firing at batch end ===\n");
+        for rule in slo_rules.iter().flatten() {
+            if firing.contains(&rule.name) {
+                postmortem.push_str(&rule.render());
+                postmortem.push('\n');
+            }
+        }
+        eprintln!("postmortem.txt <- {} slo alert(s) firing", firing.len());
+    }
+    if !postmortem.is_empty() {
+        write("postmortem.txt", &postmortem);
     }
     // All exports are on disk; tell any coordinating script the endpoints
     // now serve final data, then hold the server for the linger window (or
@@ -1220,6 +1439,15 @@ fn main() -> ExitCode {
     if failed > 0 {
         eprintln!(
             "{failed} run(s) failed; see {}/postmortem.txt",
+            opts.out_dir
+        );
+        return ExitCode::from(1);
+    }
+    if !firing.is_empty() {
+        eprintln!(
+            "slo: {} alert(s) firing at batch end ({}); see {}/postmortem.txt",
+            firing.len(),
+            firing.join(", "),
             opts.out_dir
         );
         return ExitCode::from(1);

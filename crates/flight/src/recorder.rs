@@ -51,6 +51,17 @@ pub enum FlightEvent {
         /// Assigned state.
         state: u32,
     },
+    /// An alert rule changed state in the sentinel's engine.
+    Alert {
+        /// Logical sentinel tick of the transition.
+        tick: u64,
+        /// Index of the rule in the loaded rules file.
+        rule: u32,
+        /// State before (`"inactive"`, `"pending"`, `"firing"`).
+        from: &'static str,
+        /// State after.
+        to: &'static str,
+    },
 }
 
 impl FlightEvent {
@@ -80,6 +91,14 @@ impl FlightEvent {
                 state,
             } => {
                 let _ = write!(out, "stay     node {parent} -> child {child} := q{state}");
+            }
+            FlightEvent::Alert {
+                tick,
+                rule,
+                from,
+                to,
+            } => {
+                let _ = write!(out, "alert    rule #{rule} {from} -> {to} @ tick {tick}");
             }
         }
     }
@@ -149,6 +168,20 @@ impl FlightRecorder {
             self.dropped += 1;
         }
         self.ring.push_back(ev);
+    }
+
+    /// Record an alert-state transition (rule `rule` went `from` → `to`
+    /// at sentinel tick `tick`) into the ring, so a post-mortem shows the
+    /// alert lifecycle interleaved with the events that caused it. Not an
+    /// [`Observer`] hook: alerts come from the sentinel's engine, not from
+    /// an engine run.
+    pub fn alert(&mut self, tick: u64, rule: u32, from: &'static str, to: &'static str) {
+        self.push(FlightEvent::Alert {
+            tick,
+            rule,
+            from,
+            to,
+        });
     }
 
     /// Retained events, oldest first.
@@ -364,6 +397,17 @@ impl FlightRecorder {
                         "{{\"type\":\"stay_assign\",\"parent\":{parent},\"child\":{child},\"state\":{state}}}"
                     );
                 }
+                FlightEvent::Alert {
+                    tick,
+                    rule,
+                    from,
+                    to,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"type\":\"alert\",\"tick\":{tick},\"rule\":{rule},\"from\":\"{from}\",\"to\":\"{to}\"}}"
+                    );
+                }
             }
         }
         out.push_str("]}");
@@ -399,6 +443,11 @@ impl SharedFlight {
     /// (see [`FlightRecorder::set_correlation`]).
     pub fn set_correlation(&self, run_id: &str, worker: &str) {
         self.lock().set_correlation(run_id, worker);
+    }
+
+    /// Record an alert-state transition (see [`FlightRecorder::alert`]).
+    pub fn alert(&self, tick: u64, rule: u32, from: &'static str, to: &'static str) {
+        self.lock().alert(tick, rule, from, to);
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, FlightRecorder> {
@@ -604,6 +653,27 @@ mod tests {
         // rendering is unchanged (no "shown" field).
         assert!(rec.to_json_tail(100).contains("\"shown\":5"));
         assert!(!rec.to_json().contains("\"shown\""));
+    }
+
+    #[test]
+    fn alert_transitions_land_in_ring_dump_and_json() {
+        let mut rec = FlightRecorder::with_capacity(8);
+        rec.config(1, 2, 1);
+        rec.alert(12, 0, "pending", "firing");
+        let dump = rec.dump();
+        assert!(
+            dump.contains("alert    rule #0 pending -> firing @ tick 12"),
+            "{dump}"
+        );
+        let json = rec.to_json();
+        assert!(
+            json.contains("{\"type\":\"alert\",\"tick\":12,\"rule\":0,\"from\":\"pending\",\"to\":\"firing\"}"),
+            "{json}"
+        );
+
+        let shared = SharedFlight::with_capacity(8);
+        shared.alert(3, 1, "inactive", "pending");
+        assert!(shared.with(|r| r.to_json()).contains("\"to\":\"pending\""));
     }
 
     #[test]

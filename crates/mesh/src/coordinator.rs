@@ -1,6 +1,7 @@
 //! The mesh coordinator: spawn worker processes, track their job
 //! progress over the stdout protocol, poll their pulse endpoints, scrape
-//! them when they finish, and survive their deaths.
+//! them when they finish (and, with a sentinel attached, mid-run on a
+//! wall-clock cadence), and survive their deaths.
 //!
 //! The coordinator is deliberately generic over *what* it spawns: it
 //! takes a closure building a [`Command`] for `(shard, worker_id)` and
@@ -36,10 +37,20 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use qa_pulse::{http_get, HttpTimeouts};
+use qa_obs::{Counter, Metrics};
+use qa_pulse::{http_get, http_get_retry, parse_prometheus, HttpTimeouts, RetryPolicy};
+use qa_sentinel::SharedSentinel;
 
 use crate::plan::ShardPlan;
 use crate::timeline::{Health, Timeline};
+
+/// Retry schedule for mid-run sentinel scrapes: snappier than the
+/// completion-scrape default so one struggling worker cannot stall the
+/// poll loop past a liveness cadence.
+const MIDRUN_RETRY: RetryPolicy = RetryPolicy {
+    attempts: 2,
+    base: Duration::from_millis(10),
+};
 
 /// Coordinator configuration.
 #[derive(Clone, Debug)]
@@ -59,6 +70,18 @@ pub struct MeshOptions {
     pub timeouts: HttpTimeouts,
     /// Wall-clock budget for the whole mesh.
     pub deadline: Duration,
+    /// Mid-run `/metrics` scrape cadence; `None` disables the sentinel
+    /// pass entirely.
+    pub scrape_interval: Option<Duration>,
+    /// Where mid-run scrapes land: per-worker-labeled series plus one
+    /// fleet-wide rule evaluation per scrape tick. Ops-only — these
+    /// samples never touch the federated registry, which stays
+    /// exactly-once from the post-completion scrapes.
+    pub sentinel: Option<SharedSentinel>,
+    /// Exposition prefix of the workers' counters (`qa_fleet` for the
+    /// production worker), used to parse mid-run scrapes back into a
+    /// registry.
+    pub metric_prefix: String,
 }
 
 impl MeshOptions {
@@ -73,6 +96,9 @@ impl MeshOptions {
             chaos_kill: None,
             timeouts: HttpTimeouts::default(),
             deadline: Duration::from_secs(120),
+            scrape_interval: None,
+            sentinel: None,
+            metric_prefix: "qa_fleet".to_string(),
         }
     }
 }
@@ -128,6 +154,11 @@ pub struct MeshOutcome {
     /// True iff any worker died or exited non-zero — even when
     /// reassignment repaired the run.
     pub degraded: bool,
+    /// Scrape HTTP attempts beyond the first, summed over every mid-run
+    /// and completion scrape. Counted in a coordinator-local registry —
+    /// never merged into the federated one, whose exposition must stay
+    /// byte-identical across shard counts.
+    pub scrape_retries: u64,
 }
 
 impl MeshOutcome {
@@ -278,9 +309,16 @@ impl ActiveWorker {
     }
 }
 
-fn scrape_worker(addr: SocketAddr, timeouts: HttpTimeouts) -> std::io::Result<WorkerScrape> {
+fn scrape_worker(
+    addr: SocketAddr,
+    timeouts: HttpTimeouts,
+    retries: &Metrics,
+) -> std::io::Result<WorkerScrape> {
+    // Completion scrapes are the one chance to collect a worker's
+    // artifacts (it is /quit right after), so they get the full default
+    // retry schedule. Liveness polls stay single-shot http_get.
     let fetch = |path: &str| -> std::io::Result<String> {
-        let resp = http_get(addr, path, timeouts)?;
+        let resp = http_get_retry(addr, path, timeouts, RetryPolicy::default(), Some(retries))?;
         if !resp.is_ok() {
             return Err(std::io::Error::other(format!(
                 "{path} answered {}",
@@ -324,7 +362,14 @@ pub fn run_mesh(
     }
     let started_at = Instant::now();
     let mut finished = 0usize;
+    // Retry accounting lives in a coordinator-local registry: the
+    // federated exposition must not depend on how flaky the scrapes were.
+    let scrape_retries = Metrics::new();
+    let mut last_scrape: Option<Instant> = None;
+    let mut scrape_tick = 0u64;
+    let mut poll_tick = 0u64;
     while finished < shards {
+        poll_tick += 1;
         if started_at.elapsed() > opts.deadline {
             for w in active.iter_mut().flatten() {
                 let _ = w.child.kill();
@@ -359,7 +404,7 @@ pub fn run_mesh(
                 // quit and reaped.
                 let scrape = match addr {
                     Some(addr) => {
-                        let scrape = scrape_worker(addr, opts.timeouts);
+                        let scrape = scrape_worker(addr, opts.timeouts, &scrape_retries);
                         let _ = http_get(addr, "/quit", opts.timeouts);
                         scrape
                     }
@@ -423,7 +468,7 @@ pub fn run_mesh(
                         _ => Health::Warming,
                     },
                 };
-                worker.timeline.record(health);
+                worker.timeline.record_at(poll_tick, health);
             }
 
             // Chaos: SIGKILL the original worker of the target shard once
@@ -434,9 +479,50 @@ pub fn run_mesh(
                 chaos_pending = None;
             }
         }
+        // Mid-run sentinel pass: on its own wall-clock cadence, pull every
+        // live worker's /metrics into per-worker-labeled series, then
+        // evaluate the rules once so they see the whole fleet at one tick.
+        // Ops-only — these samples feed /series-style dashboards and never
+        // touch the federated registry (exactly-once from the completion
+        // scrapes above).
+        if let (Some(sentinel), Some(every)) = (&opts.sentinel, opts.scrape_interval) {
+            if last_scrape.is_none_or(|t| t.elapsed() >= every) {
+                last_scrape = Some(Instant::now());
+                scrape_tick += 1;
+                for worker in active.iter().flatten() {
+                    let addr = worker.progress.lock().expect("progress lock poisoned").addr;
+                    let Some(addr) = addr else { continue };
+                    let Ok(resp) = http_get_retry(
+                        addr,
+                        "/metrics",
+                        opts.timeouts,
+                        MIDRUN_RETRY,
+                        Some(&scrape_retries),
+                    ) else {
+                        continue;
+                    };
+                    if !resp.is_ok() {
+                        continue;
+                    }
+                    let Ok(parsed) = parse_prometheus(&resp.body) else {
+                        continue;
+                    };
+                    let Ok(metrics) = parsed.to_metrics(&opts.metric_prefix) else {
+                        continue;
+                    };
+                    let labels = vec![("worker".to_string(), worker.worker_id.clone())];
+                    sentinel.ingest(&metrics, &opts.metric_prefix, &labels, scrape_tick);
+                }
+                sentinel.eval(scrape_tick);
+            }
+        }
         std::thread::sleep(opts.poll_interval);
     }
-    Ok(MeshOutcome { reports, degraded })
+    Ok(MeshOutcome {
+        reports,
+        degraded,
+        scrape_retries: scrape_retries.get(Counter::ScrapeRetries),
+    })
 }
 
 #[cfg(test)]

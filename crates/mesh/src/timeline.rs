@@ -31,9 +31,15 @@ impl Health {
 }
 
 /// Poll history of one worker, oldest first.
+///
+/// The history is tick-aware: every sample carries the poll loop's
+/// logical tick, and ticks must be strictly increasing. A stale sample —
+/// a retried poll landing after a newer one already recorded — is
+/// rejected rather than silently reordering the history.
 #[derive(Clone, Debug, Default)]
 pub struct Timeline {
     polls: Vec<Health>,
+    last_tick: Option<u64>,
 }
 
 impl Timeline {
@@ -42,9 +48,28 @@ impl Timeline {
         Timeline::default()
     }
 
-    /// Append one poll verdict.
+    /// Append one poll verdict at the next tick.
     pub fn record(&mut self, health: Health) {
+        let next = self.last_tick.map_or(0, |t| t + 1);
+        self.record_at(next, health);
+    }
+
+    /// Append one poll verdict stamped with the poll loop's tick.
+    ///
+    /// Ticks must be strictly increasing: a tick at or before the last
+    /// recorded one is rejected (returns `false`, history unchanged).
+    pub fn record_at(&mut self, tick: u64, health: Health) -> bool {
+        if self.last_tick.is_some_and(|last| tick <= last) {
+            return false;
+        }
+        self.last_tick = Some(tick);
         self.polls.push(health);
+        true
+    }
+
+    /// The tick of the newest sample, if any.
+    pub fn last_tick(&self) -> Option<u64> {
+        self.last_tick
     }
 
     /// Number of polls recorded.
@@ -110,5 +135,65 @@ mod tests {
         assert_eq!(t.len(), 6);
         assert_eq!(t.count(Health::Ready), 3);
         assert!(t.was_ready());
+    }
+
+    #[test]
+    fn empty_timeline_reports_nothing() {
+        let t = Timeline::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.count(Health::Ready), 0);
+        assert!(!t.was_ready());
+        assert_eq!(t.last_tick(), None);
+        assert_eq!(t.render(), "no polls");
+    }
+
+    #[test]
+    fn single_sample_renders_one_run() {
+        let mut t = Timeline::new();
+        assert!(t.record_at(7, Health::Warming));
+        assert_eq!(t.render(), "warming×1");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.last_tick(), Some(7));
+        assert!(!t.was_ready());
+    }
+
+    #[test]
+    fn flapping_worker_never_merges_runs() {
+        // healthz up / readyz down alternating every poll: each flap is
+        // its own ×1 run — RLE must not collapse non-adjacent states.
+        let mut t = Timeline::new();
+        for i in 0..6 {
+            t.record(if i % 2 == 0 {
+                Health::Ready
+            } else {
+                Health::Warming
+            });
+        }
+        assert_eq!(
+            t.render(),
+            "ready×1 warming×1 ready×1 warming×1 ready×1 warming×1"
+        );
+        assert_eq!(t.count(Health::Ready), 3);
+        assert_eq!(t.count(Health::Warming), 3);
+    }
+
+    #[test]
+    fn out_of_order_and_duplicate_ticks_are_rejected() {
+        let mut t = Timeline::new();
+        assert!(t.record_at(5, Health::Ready));
+        // Stale (a retried poll finishing late) and duplicate ticks must
+        // not rewrite history.
+        assert!(!t.record_at(3, Health::Unreachable));
+        assert!(!t.record_at(5, Health::Unreachable));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.render(), "ready×1");
+        assert_eq!(t.last_tick(), Some(5));
+        // Monotonic progress resumes normally, and tickless record()
+        // continues from the newest tick.
+        assert!(t.record_at(6, Health::Unreachable));
+        t.record(Health::Unreachable);
+        assert_eq!(t.last_tick(), Some(7));
+        assert_eq!(t.render(), "ready×1 unreachable×2");
     }
 }

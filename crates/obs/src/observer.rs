@@ -35,11 +35,19 @@ pub enum Counter {
     CacheHits,
     /// Behavior-cache lookups that had to compute and insert a fresh entry.
     CacheMisses,
+    /// Jobs completed by a fleet batch — the error-budget denominator for
+    /// SLO rules such as `budget_trips_total / jobs_total`.
+    Jobs,
+    /// Scrape attempts that had to be retried after a transport failure.
+    ScrapeRetries,
+    /// Alert state-machine transitions (pending, firing, resolved) taken by
+    /// the sentinel engine.
+    AlertTransitions,
 }
 
 impl Counter {
     /// Every counter, in serialization order.
-    pub const ALL: [Counter; 12] = [
+    pub const ALL: [Counter; 15] = [
         Counter::Steps,
         Counter::HeadReversals,
         Counter::TableLookups,
@@ -52,6 +60,9 @@ impl Counter {
         Counter::BudgetTrips,
         Counter::CacheHits,
         Counter::CacheMisses,
+        Counter::Jobs,
+        Counter::ScrapeRetries,
+        Counter::AlertTransitions,
     ];
 
     /// Number of counters.
@@ -78,6 +89,9 @@ impl Counter {
             Counter::BudgetTrips => "budget_trips",
             Counter::CacheHits => "cache_hits",
             Counter::CacheMisses => "cache_misses",
+            Counter::Jobs => "jobs",
+            Counter::ScrapeRetries => "scrape_retries",
+            Counter::AlertTransitions => "alert_transitions",
         }
     }
 }

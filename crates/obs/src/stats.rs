@@ -1,0 +1,145 @@
+//! Shared order statistics: the workspace's one percentile rule.
+//!
+//! The fleet summary, the `qa-trace` analyzers and the sentinel window
+//! queries all report percentiles; before this module each carried its own
+//! copy of the nearest-rank rule. They now share this implementation —
+//! [`percentile_sorted`] for exact sample vectors, [`quantile_from_buckets`]
+//! for the power-of-two histogram counts where only bucket totals survive
+//! aggregation.
+
+/// Nearest-rank percentile over a sorted slice: the sample at rank
+/// `round((len - 1) · p)`, clamped into range. Empty input yields 0, so
+/// report renderers never special-case empty windows.
+///
+/// `p` is a fraction in `[0, 1]` (`0.5` = median); out-of-range values
+/// clamp to the extremes.
+pub fn percentile_sorted(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// The largest value mapped to power-of-two bucket `i` — the `le` boundary
+/// the Prometheus renderer prints: 0 for bucket 0, `2^i - 1` otherwise.
+pub fn bucket_le(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        (1u64 << i.min(63)) - 1
+    }
+}
+
+/// Index of the bucket holding the nearest-rank quantile sample, given
+/// per-bucket sample counts in ascending boundary order (any bucket
+/// ladder, not just power-of-two). `None` when the counts are all zero.
+pub fn quantile_bucket(buckets: &[u64], p: f64) -> Option<usize> {
+    let count: u64 = buckets.iter().sum();
+    if count == 0 {
+        return None;
+    }
+    let rank = ((count as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as u64;
+    let mut seen = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        seen += n;
+        if n != 0 && seen > rank {
+            return Some(i);
+        }
+    }
+    // Unreachable when the counts sum to `count`, but stay total anyway.
+    buckets.iter().rposition(|&n| n != 0)
+}
+
+/// Nearest-rank quantile over per-bucket sample counts (the de-cumulated
+/// `buckets` of a [`HistogramSnapshot`]): the power-of-two `le` upper
+/// bound of the bucket holding the rank-`round((count - 1) · p)` sample.
+/// `None` when the window holds no samples.
+///
+/// Because bucket assignment is monotone in the sample value, this is
+/// exactly [`bucket_le`]`(`[`bucket_index`]`(percentile_sorted(samples,
+/// p)))` — the property test below pins that equivalence.
+///
+/// [`HistogramSnapshot`]: crate::HistogramSnapshot
+/// [`bucket_index`]: crate::metrics::bucket_index
+pub fn quantile_from_buckets(buckets: &[u64], p: f64) -> Option<u64> {
+    quantile_bucket(buckets, p).map(bucket_le)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{bucket_index, HISTOGRAM_BUCKETS};
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert_eq!(percentile_sorted(&[], 0.5), 0);
+        assert_eq!(percentile_sorted(&[42], 0.0), 42);
+        assert_eq!(percentile_sorted(&[42], 1.0), 42);
+        let v = [1u64, 2, 3, 4, 5];
+        assert_eq!(percentile_sorted(&v, 0.0), 1);
+        assert_eq!(percentile_sorted(&v, 0.5), 3);
+        assert_eq!(percentile_sorted(&v, 1.0), 5);
+        // p beyond 1 clamps to the max instead of indexing out of range.
+        assert_eq!(percentile_sorted(&v, 2.0), 5);
+    }
+
+    #[test]
+    fn bucket_le_inverts_bucket_index() {
+        for i in 0..HISTOGRAM_BUCKETS - 1 {
+            assert_eq!(bucket_index(bucket_le(i)), i, "bucket {i}");
+            // The next value up belongs to the next bucket.
+            assert_eq!(bucket_index(bucket_le(i) + 1), i + 1);
+        }
+    }
+
+    #[test]
+    fn bucket_quantile_of_empty_window_is_none() {
+        assert_eq!(quantile_from_buckets(&[0; HISTOGRAM_BUCKETS], 0.5), None);
+        assert_eq!(quantile_from_buckets(&[], 0.5), None);
+    }
+
+    /// Property: the bucketed quantile equals the bucket boundary of the
+    /// exact nearest-rank percentile, for random sample sets and ranks.
+    #[test]
+    fn bucket_quantile_matches_sorted_slice_reference() {
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for case in 0..200 {
+            let n = (next() % 64 + 1) as usize;
+            let mut samples: Vec<u64> = (0..n).map(|_| next() % 100_000).collect();
+            samples.sort_unstable();
+            let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+            for &s in &samples {
+                buckets[bucket_index(s)] += 1;
+            }
+            for p in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+                let exact = percentile_sorted(&samples, p);
+                assert_eq!(
+                    quantile_from_buckets(&buckets, p),
+                    Some(bucket_le(bucket_index(exact))),
+                    "case {case}, p={p}, samples={samples:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_quantile_is_monotone_in_p() {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for v in [0u64, 1, 3, 3, 9, 200, 40_000] {
+            buckets[bucket_index(v)] += 1;
+        }
+        let mut last = 0;
+        for p in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let q = quantile_from_buckets(&buckets, p).unwrap();
+            assert!(q >= last, "quantile must not decrease with p");
+            last = q;
+        }
+    }
+}

@@ -16,6 +16,7 @@
 //! [wide event]: https://jeremymorrell.dev/blog/a-practitioners-guide-to-wide-events/
 
 use qa_obs::json::{self, Value};
+use qa_obs::percentile_sorted;
 
 /// One parsed `events.jsonl` row — the analyzer's view of a wide event.
 ///
@@ -103,15 +104,6 @@ fn parse_row(v: &Value) -> Result<EventRow, String> {
             .to_string(),
         wall_ns: v.get("wall_ns").and_then(Value::as_u64).unwrap_or(0),
     })
-}
-
-/// Nearest-rank percentile over a sorted slice (the fleet summary's rule).
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
 }
 
 /// First-seen order of query names — reports group per query in the
@@ -306,9 +298,9 @@ pub fn slow(rows: &[EventRow], k: usize) -> SlowReport {
         let mut steps: Vec<u64> = runs.iter().map(|r| r.steps).collect();
         steps.sort_unstable();
         let (p50, p90, p99) = (
-            percentile(&steps, 0.50),
-            percentile(&steps, 0.90),
-            percentile(&steps, 0.99),
+            percentile_sorted(&steps, 0.50),
+            percentile_sorted(&steps, 0.90),
+            percentile_sorted(&steps, 0.99),
         );
         let max = steps.last().copied().unwrap_or(0);
         let mut outliers: Vec<&&EventRow> = runs.iter().filter(|r| r.steps >= p99).collect();

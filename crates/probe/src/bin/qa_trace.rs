@@ -10,12 +10,18 @@
 //! qa-trace analyze top    <events.jsonl> [--k K] [--json] [--out FILE]
 //! qa-trace analyze slow   <events.jsonl> [--k K] [--json] [--out FILE]
 //! qa-trace analyze growth <events.jsonl> [--json] [--out FILE]
+//! qa-trace analyze slo    <events.jsonl> --rules FILE [--json] [--out FILE]
 //! ```
 //!
 //! `analyze` reads a `qa-fleet` wide-event log (`events.jsonl`) and
 //! reports heavy hitters (`top`), per-query percentile outliers (`slow`),
 //! or per-query steps-vs-size growth fits (`growth` — feed it a
-//! `qa-fleet --sweep` log so document sizes vary).
+//! `qa-fleet --sweep` log so document sizes vary). `analyze slo` replays
+//! the log through the `qa-sentinel` alert engine offline — one logical
+//! tick per job, in job order, exactly like `qa-fleet --slo` — printing
+//! the deterministic transition log; it exits 1 when any alert is still
+//! firing after the last job, so the fleet's alerting verdict can be
+//! re-derived (or a new rules file trialled) from an archived log alone.
 //!
 //! Workloads are the paper's running examples, deterministic by
 //! construction so two invocations on the same input produce byte-identical
@@ -53,6 +59,7 @@ const USAGE: &str = "usage:
   qa-trace analyze top    <events.jsonl> [--k K] [--json] [--out FILE]
   qa-trace analyze slow   <events.jsonl> [--k K] [--json] [--out FILE]
   qa-trace analyze growth <events.jsonl> [--json] [--out FILE]
+  qa-trace analyze slo    <events.jsonl> --rules FILE [--json] [--out FILE]
 
 workloads: example-3-4, example-3-4-variant, example-4-4, example-5-14, fig5";
 
@@ -355,12 +362,14 @@ fn cmd_analyze(mut args: Vec<String>) -> Result<ExitCode, String> {
         .map(|k| k.parse::<usize>().map_err(|_| format!("bad --k `{k}`")))
         .transpose()?
         .unwrap_or(10);
+    let rules_path = take_flag(&mut args, "--rules")?;
     let (report, path) = match (args.first(), args.get(1)) {
         (Some(r), Some(p)) => (r.as_str(), p),
         _ => return Err(USAGE.to_string()),
     };
     let jsonl = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let rows = qa_probe::analyze::parse_rows(&jsonl).map_err(|e| format!("{path}: {e}"))?;
+    let mut rows = qa_probe::analyze::parse_rows(&jsonl).map_err(|e| format!("{path}: {e}"))?;
+    let mut slo_firing = false;
     let content = match report {
         "top" => {
             let r = qa_probe::analyze::top(&rows, k);
@@ -386,10 +395,60 @@ fn cmd_analyze(mut args: Vec<String>) -> Result<ExitCode, String> {
                 r.render_text()
             }
         }
+        "slo" => {
+            let rules_path = rules_path.ok_or("analyze slo needs --rules FILE")?;
+            let text =
+                std::fs::read_to_string(&rules_path).map_err(|e| format!("{rules_path}: {e}"))?;
+            let rules =
+                qa_sentinel::parse_rules(&text).map_err(|e| format!("{rules_path}: {e}"))?;
+            // Replay in global job order, whatever order the log arrived
+            // in (a scraped /events tail is completion-ordered): the
+            // replay must match the fleet's own byte for byte.
+            rows.sort_by_key(|r| r.job);
+            let mut replay = qa_sentinel::Replay::new(rules, "qa_fleet");
+            for r in &rows {
+                replay.observe_job(&qa_sentinel::JobStats {
+                    steps: r.steps,
+                    reversals: r.reversals,
+                    cache_hits: r.cache_hits,
+                    cache_misses: r.cache_misses,
+                    budget_trips: r.budget_trips,
+                });
+            }
+            let firing = replay.engine().firing();
+            slo_firing = !firing.is_empty();
+            if json {
+                format!(
+                    "{}\n",
+                    qa_obs::json::object(|w| {
+                        w.field_u64("ticks", replay.tick());
+                        w.field_raw("alerts", &replay.engine().to_json());
+                    })
+                )
+            } else {
+                use std::fmt::Write;
+                let mut text = String::new();
+                let _ = writeln!(
+                    text,
+                    "slo replay: {} job(s), {} alert(s) firing at end",
+                    replay.tick(),
+                    firing.len()
+                );
+                text.push_str(&replay.engine().render_log());
+                for name in &firing {
+                    let _ = writeln!(text, "firing: {name}");
+                }
+                text
+            }
+        }
         other => return Err(format!("unknown analyze report `{other}` — {USAGE}")),
     };
     emit(out.as_deref(), &content)?;
-    Ok(ExitCode::SUCCESS)
+    Ok(if slo_firing {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn main() -> ExitCode {

@@ -213,6 +213,64 @@ fn analyze_reports_heavy_hitters_outliers_and_growth() {
 }
 
 #[test]
+fn analyze_slo_replays_rules_offline_and_signals_firing() {
+    let events = write_events_log();
+    let rules = tmp("steps.rules");
+    std::fs::write(
+        &rules,
+        "alert steps-high threshold qa_fleet_steps_total > 100 for 0\n",
+    )
+    .unwrap();
+    // Cumulative steps blow past 100 on the first job: the alert fires,
+    // stays firing through the last tick, and fails the analyzer.
+    let out = qa_trace(&["analyze", "slo", &events, "--rules", &rules]);
+    assert_eq!(out.status.code(), Some(1), "firing alert must exit 1");
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("10 job(s), 1 alert(s) firing"), "{text}");
+    assert!(text.contains("-> firing"), "{text}");
+    assert!(text.contains("firing: steps-high"), "{text}");
+
+    // The replay sorts by job index, so a completion-ordered log (e.g. a
+    // scraped /events tail) produces the identical transition log.
+    let shuffled = tmp("events-shuffled.jsonl");
+    let mut lines: Vec<String> = std::fs::read_to_string(&events)
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect();
+    lines.reverse();
+    std::fs::write(&shuffled, format!("{}\n", lines.join("\n"))).unwrap();
+    let out = qa_trace(&["analyze", "slo", &shuffled, "--rules", &rules]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(
+        text,
+        String::from_utf8_lossy(&out.stdout),
+        "order-independent"
+    );
+
+    // JSON mode serves the engine state; quiet rules exit 0.
+    let out = qa_trace(&["analyze", "slo", &events, "--rules", &rules, "--json"]);
+    let v =
+        qa_obs::json::parse(String::from_utf8_lossy(&out.stdout).trim()).expect("valid slo JSON");
+    assert_eq!(
+        v.get("ticks").and_then(qa_obs::json::Value::as_u64),
+        Some(10)
+    );
+    assert!(v.get("alerts").is_some());
+    std::fs::write(
+        &rules,
+        "alert steps-high threshold qa_fleet_steps_total > 999999999 for 0\n",
+    )
+    .unwrap();
+    let out = qa_trace(&["analyze", "slo", &events, "--rules", &rules]);
+    assert!(out.status.success(), "quiet rules exit 0");
+
+    // --rules is mandatory for this report.
+    let out = qa_trace(&["analyze", "slo", &events]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn bad_usage_exits_2() {
     assert_eq!(qa_trace(&[]).status.code(), Some(2));
     assert_eq!(

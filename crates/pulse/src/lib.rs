@@ -40,7 +40,10 @@
 //!
 //! - [`http_get`] — a std-only blocking HTTP/1.1 client with explicit
 //!   connect/io deadlines ([`HttpTimeouts`]), exactly big enough to poll
-//!   `/healthz` and scrape `/metrics` on loopback.
+//!   `/healthz` and scrape `/metrics` on loopback. [`http_get_retry`]
+//!   wraps it in a bounded, deterministic-backoff [`RetryPolicy`] for
+//!   scrapes (liveness polls stay single-shot), counting each retry as
+//!   `qa_scrape_retries_total`.
 //! - [`parse_prometheus`] — the inverse of the text renderer: a scraped
 //!   exposition parses into a [`Scrape`] of [`Sample`]s, and
 //!   [`Scrape::to_metrics`] rebuilds a live [`qa_obs::Metrics`] registry
@@ -58,12 +61,12 @@ pub mod profile;
 pub mod render;
 pub mod server;
 
-pub use client::{http_get, HttpResponse, HttpTimeouts};
+pub use client::{http_get, http_get_retry, HttpResponse, HttpTimeouts, RetryPolicy};
 pub use heap::{CountingAlloc, HeapStats};
 pub use parse::{parse_prometheus, Sample, Scrape};
 pub use profile::{SpanProfile, SpanProfiler, Weight};
 pub use render::{metrics_text, validate_prometheus};
 pub use server::{
-    EventsSource, FlightSource, PulseServer, PulseState, DEFAULT_TAIL, MAX_TAIL,
-    PROMETHEUS_CONTENT_TYPE,
+    AlertsSource, EventsSource, FlightSource, PulseServer, PulseState, SeriesSource, DEFAULT_TAIL,
+    MAX_TAIL, PROMETHEUS_CONTENT_TYPE,
 };

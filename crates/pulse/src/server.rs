@@ -20,6 +20,9 @@
 //! |            | `?n=K` bounds the events tail                           |
 //! | `/events`  | JSONL tail of recent per-job wide events (`?n=K`)       |
 //! | `/profile` | collapsed-stack span profile (`?weight=alloc` for bytes)|
+//! | `/series`  | JSON tail of sentinel time-series rings (404 if none);  |
+//! |            | `?name=M` filters to one metric, `?n=K` bounds samples  |
+//! | `/alerts`  | JSON alert states + transition log from the sentinel    |
 //! | `/quit`    | `bye`, then the accept loop exits                       |
 //!
 //! Every route is read-only and GET-only: any other method on a known
@@ -56,6 +59,16 @@ pub type FlightSource = Box<dyn Fn(usize) -> String + Send>;
 /// most recent `n` job events, oldest first.
 pub type EventsSource = Box<dyn Fn(usize) -> String + Send>;
 
+/// Producer of the `/series` JSON body — registered by the binary that
+/// owns a live sentinel, so this crate needs no dependency on
+/// `qa-sentinel`. Arguments are the optional `?name=` filter and the
+/// per-series sample tail limit.
+pub type SeriesSource = Box<dyn Fn(Option<&str>, usize) -> String + Send>;
+
+/// Producer of the `/alerts` JSON body — alert states plus the live
+/// transition log, as rendered by the owning binary's alert engine.
+pub type AlertsSource = Box<dyn Fn() -> String + Send>;
+
 /// Tail length `/flight` and `/events` serve when no `?n=K` is given.
 pub const DEFAULT_TAIL: usize = 64;
 
@@ -78,6 +91,8 @@ pub struct PulseState {
     profile: Mutex<SpanProfile>,
     flight: Mutex<Option<FlightSource>>,
     events: Mutex<Option<EventsSource>>,
+    series: Mutex<Option<SeriesSource>>,
+    alerts: Mutex<Option<AlertsSource>>,
 }
 
 impl PulseState {
@@ -91,6 +106,8 @@ impl PulseState {
             profile: Mutex::new(SpanProfile::new()),
             flight: Mutex::new(None),
             events: Mutex::new(None),
+            series: Mutex::new(None),
+            alerts: Mutex::new(None),
         })
     }
 
@@ -138,6 +155,18 @@ impl PulseState {
         *self.events.lock().expect("events lock poisoned") = Some(source);
     }
 
+    /// Register the `/series` JSON producer (a closure dumping the live
+    /// sentinel's time-series rings, filtered and tail-limited).
+    pub fn set_series_source(&self, source: SeriesSource) {
+        *self.series.lock().expect("series lock poisoned") = Some(source);
+    }
+
+    /// Register the `/alerts` JSON producer (a closure rendering the live
+    /// sentinel's alert states and transition log).
+    pub fn set_alerts_source(&self, source: AlertsSource) {
+        *self.alerts.lock().expect("alerts lock poisoned") = Some(source);
+    }
+
     /// Render `/metrics` — also used by binaries for their post-run
     /// `metrics.prom` so the file and a final scrape are byte-identical.
     pub fn metrics_text(&self) -> String {
@@ -158,6 +187,22 @@ impl PulseState {
             .expect("events lock poisoned")
             .as_ref()
             .map(|f| f(tail))
+    }
+
+    fn series_json(&self, name: Option<&str>, tail: usize) -> Option<String> {
+        self.series
+            .lock()
+            .expect("series lock poisoned")
+            .as_ref()
+            .map(|f| f(name, tail))
+    }
+
+    fn alerts_json(&self) -> Option<String> {
+        self.alerts
+            .lock()
+            .expect("alerts lock poisoned")
+            .as_ref()
+            .map(|f| f())
     }
 }
 
@@ -236,8 +281,9 @@ fn accept_loop(listener: TcpListener, state: Arc<PulseState>, stop: Arc<AtomicBo
 
 /// Every route the server answers — the set that earns a `405` (rather
 /// than a `404`) when asked for with the wrong method.
-const ROUTES: [&str; 8] = [
-    "/", "/healthz", "/readyz", "/metrics", "/flight", "/events", "/profile", "/quit",
+const ROUTES: [&str; 10] = [
+    "/", "/healthz", "/readyz", "/metrics", "/flight", "/events", "/profile", "/series", "/alerts",
+    "/quit",
 ];
 
 /// The tail limit from a `?n=K` query: [`DEFAULT_TAIL`] when absent,
@@ -288,7 +334,7 @@ fn handle_connection(stream: &mut TcpStream, state: &PulseState) -> std::io::Res
             200,
             "text/plain",
             "qa-pulse live ops surface\n\
-             routes: /healthz /readyz /metrics /flight /events /profile /quit\n",
+             routes: /healthz /readyz /metrics /flight /events /profile /series /alerts /quit\n",
         )?,
         "/healthz" => respond(stream, 200, "text/plain", "ok\n")?,
         "/readyz" => {
@@ -315,6 +361,20 @@ fn handle_connection(stream: &mut TcpStream, state: &PulseState) -> std::io::Res
                 None => respond(stream, 404, "text/plain", "no event ring attached\n")?,
             },
             Err(()) => respond(stream, 400, "text/plain", "bad tail limit n\n")?,
+        },
+        "/series" => match parse_tail_limit(query) {
+            Ok(tail) => {
+                let name = query.split('&').find_map(|kv| kv.strip_prefix("name="));
+                match state.series_json(name.filter(|n| !n.is_empty()), tail) {
+                    Some(body) => respond(stream, 200, "application/json", &body)?,
+                    None => respond(stream, 404, "text/plain", "no sentinel attached\n")?,
+                }
+            }
+            Err(()) => respond(stream, 400, "text/plain", "bad tail limit n\n")?,
+        },
+        "/alerts" => match state.alerts_json() {
+            Some(body) => respond(stream, 200, "application/json", &body)?,
+            None => respond(stream, 404, "text/plain", "no sentinel attached\n")?,
         },
         "/profile" => {
             let weight = if query.split('&').any(|kv| kv == "weight=alloc") {

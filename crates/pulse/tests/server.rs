@@ -202,6 +202,52 @@ fn events_endpoint_requires_a_registered_ring() {
 }
 
 #[test]
+fn series_endpoint_passes_filter_and_tail_to_the_source() {
+    let (server, state) = server_with_metrics();
+    let addr = server.local_addr();
+
+    let (status, _) = get(addr, "/series");
+    assert_eq!(status, 404, "no sentinel registered yet");
+
+    state.set_series_source(Box::new(|name, tail| {
+        format!("{{\"name\":{:?},\"tail\":{tail}}}", name.unwrap_or("*"))
+    }));
+    let (status, body) = get(addr, "/series?name=qa_fleet_jobs_total&n=9");
+    assert_eq!(status, 200);
+    assert_eq!(body, "{\"name\":\"qa_fleet_jobs_total\",\"tail\":9}");
+
+    // No filter (or an empty one) dumps every series at the default tail.
+    let (_, body) = get(addr, "/series");
+    assert_eq!(
+        body,
+        format!("{{\"name\":\"*\",\"tail\":{}}}", qa_pulse::DEFAULT_TAIL)
+    );
+    let (_, body) = get(addr, "/series?name=&n=2");
+    assert_eq!(body, "{\"name\":\"*\",\"tail\":2}");
+
+    let (status, _) = get(addr, "/series?n=0");
+    assert_eq!(status, 400, "zero tail is a client error");
+
+    server.shutdown();
+}
+
+#[test]
+fn alerts_endpoint_serves_the_registered_engine_state() {
+    let (server, state) = server_with_metrics();
+    let addr = server.local_addr();
+
+    let (status, _) = get(addr, "/alerts");
+    assert_eq!(status, 404, "no sentinel registered yet");
+
+    state.set_alerts_source(Box::new(|| "{\"firing\":[\"hot\"]}".to_string()));
+    let (status, body) = get(addr, "/alerts");
+    assert_eq!(status, 200);
+    assert_eq!(body, "{\"firing\":[\"hot\"]}");
+
+    server.shutdown();
+}
+
+#[test]
 fn non_get_methods_on_known_routes_get_405_with_allow() {
     let (server, _state) = server_with_metrics();
     let addr = server.local_addr();

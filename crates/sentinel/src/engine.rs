@@ -1,0 +1,454 @@
+//! The alert engine: rule evaluation and the pending→firing→resolved
+//! state machine.
+//!
+//! [`AlertEngine::eval`] is a pure function of `(rules, store, tick)` —
+//! no wall clock, no randomness — so the same sample stream produces the
+//! same transition log byte for byte, which is what the fleet's
+//! determinism gate compares across `--jobs {1,4}` and reruns.
+
+use qa_obs::json;
+
+use crate::rules::{AlertRule, RuleKind};
+use crate::store::{SeriesKey, SeriesStore};
+
+/// Lifecycle state of one alert.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlertState {
+    /// Condition not holding.
+    Inactive,
+    /// Condition holding, waiting out the `for` holdoff (since this tick).
+    Pending(u64),
+    /// Condition held for the full holdoff (firing since this tick).
+    Firing(u64),
+}
+
+impl AlertState {
+    /// Lower-case state name used in logs and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlertState::Inactive => "inactive",
+            AlertState::Pending(_) => "pending",
+            AlertState::Firing(_) => "firing",
+        }
+    }
+}
+
+/// One state-machine transition, as recorded into the log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Transition {
+    /// Logical tick the transition happened at.
+    pub tick: u64,
+    /// Index of the rule in the engine's rule list.
+    pub rule: usize,
+    /// Rule name (denormalized for rendering).
+    pub name: String,
+    /// State left.
+    pub from: &'static str,
+    /// State entered.
+    pub to: &'static str,
+}
+
+impl Transition {
+    /// One log line: `tick=7 alert=burn pending -> firing`.
+    pub fn render(&self) -> String {
+        format!(
+            "tick={} alert={} {} -> {}",
+            self.tick, self.name, self.from, self.to
+        )
+    }
+}
+
+/// Rule evaluation plus alert lifecycle over a [`SeriesStore`].
+#[derive(Debug)]
+pub struct AlertEngine {
+    rules: Vec<AlertRule>,
+    states: Vec<AlertState>,
+    log: Vec<Transition>,
+    last_tick: Option<u64>,
+}
+
+impl AlertEngine {
+    /// Engine over `rules`, all alerts inactive.
+    pub fn new(rules: Vec<AlertRule>) -> AlertEngine {
+        let states = vec![AlertState::Inactive; rules.len()];
+        AlertEngine {
+            rules,
+            states,
+            log: Vec::new(),
+            last_tick: None,
+        }
+    }
+
+    /// The rules, in evaluation order.
+    pub fn rules(&self) -> &[AlertRule] {
+        &self.rules
+    }
+
+    /// Current state of rule `i`.
+    pub fn state(&self, i: usize) -> AlertState {
+        self.states[i]
+    }
+
+    /// Every recorded transition, in order.
+    pub fn log(&self) -> &[Transition] {
+        &self.log
+    }
+
+    /// Names of the alerts currently firing, in rule order.
+    pub fn firing(&self) -> Vec<&str> {
+        self.rules
+            .iter()
+            .zip(&self.states)
+            .filter(|(_, s)| matches!(s, AlertState::Firing(_)))
+            .map(|(r, _)| r.name.as_str())
+            .collect()
+    }
+
+    /// The whole transition log as text, one line per transition — the
+    /// `alerts.log` artifact the determinism gate diffs.
+    pub fn render_log(&self) -> String {
+        let mut out = String::new();
+        for t in &self.log {
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Evaluate every rule at `tick` against `store`, advancing the state
+    /// machines. Returns the transitions taken this tick (also appended to
+    /// the engine's log). Ticks must not decrease across calls.
+    pub fn eval(&mut self, store: &SeriesStore, tick: u64) -> Vec<Transition> {
+        if let Some(last) = self.last_tick {
+            assert!(tick >= last, "alert evaluation ticks must not decrease");
+        }
+        self.last_tick = Some(tick);
+        let mut taken = Vec::new();
+        for i in 0..self.rules.len() {
+            let holds = condition_holds(&self.rules[i], store, tick);
+            let for_ticks = self.rules[i].for_ticks;
+            let mut transition = |engine: &mut Self, to: AlertState| {
+                let t = Transition {
+                    tick,
+                    rule: i,
+                    name: engine.rules[i].name.clone(),
+                    from: engine.states[i].name(),
+                    to: to.name(),
+                };
+                engine.states[i] = to;
+                engine.log.push(t.clone());
+                taken.push(t);
+            };
+            match (self.states[i], holds) {
+                (AlertState::Inactive, true) => {
+                    transition(self, AlertState::Pending(tick));
+                    // A zero holdoff fires in the same tick.
+                    if for_ticks == 0 {
+                        transition(self, AlertState::Firing(tick));
+                    }
+                }
+                (AlertState::Pending(since), true) => {
+                    if tick - since >= for_ticks {
+                        transition(self, AlertState::Firing(tick));
+                    }
+                }
+                (AlertState::Pending(_), false) => {
+                    // Condition broke before the holdoff elapsed: the alert
+                    // never fired, so it goes back to inactive (recorded,
+                    // but not as a resolve).
+                    transition(self, AlertState::Inactive);
+                }
+                (AlertState::Firing(_), false) => {
+                    transition(self, AlertState::Inactive);
+                }
+                (AlertState::Inactive, false) | (AlertState::Firing(_), true) => {}
+            }
+        }
+        taken
+    }
+
+    /// JSON dump of every alert's current state — the `/alerts` endpoint
+    /// body: `{"tick":T,"firing":N,"alerts":[{"name","state","since",
+    /// "rule"},…]}`.
+    pub fn to_json(&self) -> String {
+        json::object(|w| {
+            w.field_u64("tick", self.last_tick.unwrap_or(0));
+            w.field_u64("firing", self.firing().len() as u64);
+            let alerts = json::array(self.rules.iter().zip(&self.states).map(|(r, s)| {
+                json::object(|aw| {
+                    aw.field_str("name", &r.name);
+                    aw.field_str("state", s.name());
+                    match s {
+                        AlertState::Pending(since) | AlertState::Firing(since) => {
+                            aw.field_u64("since", *since);
+                        }
+                        AlertState::Inactive => {}
+                    }
+                    aw.field_str("rule", &r.render());
+                })
+            }));
+            w.field_raw("alerts", &alerts);
+            let transitions = json::array(self.log.iter().map(|t| {
+                json::object(|tw| {
+                    tw.field_u64("tick", t.tick);
+                    tw.field_str("alert", &t.name);
+                    tw.field_str("from", t.from);
+                    tw.field_str("to", t.to);
+                })
+            }));
+            w.field_raw("transitions", &transitions);
+        })
+    }
+}
+
+/// Whether `rule`'s condition holds at `tick` against `store`.
+///
+/// Missing data is conservative: threshold and burn-rate conditions are
+/// false until their metrics have samples (only `absent` reacts to missing
+/// series — that is its job).
+fn condition_holds(rule: &AlertRule, store: &SeriesStore, tick: u64) -> bool {
+    match &rule.kind {
+        RuleKind::Threshold {
+            metric,
+            op,
+            value,
+            window,
+        } => {
+            let key = SeriesKey::new(metric, []);
+            let observed = match window {
+                Some(w) => store.delta(&key, *w, tick),
+                None => store.latest(&key).map(|(_, v)| v),
+            };
+            match observed {
+                Some(v) => op.holds(v, *value),
+                None => false,
+            }
+        }
+        RuleKind::Absent { metric } => {
+            let key = SeriesKey::new(metric, []);
+            match store.latest(&key) {
+                Some((t, _)) => t < tick,
+                None => true,
+            }
+        }
+        RuleKind::Burnrate {
+            num,
+            den,
+            objective,
+            fast,
+            slow,
+            factor,
+        } => {
+            let burn = |window: u64| -> Option<f64> {
+                let nk = SeriesKey::new(num, []);
+                let dk = SeriesKey::new(den, []);
+                let dn = store.delta(&nk, window, tick)?;
+                let dd = store.delta(&dk, window, tick)?;
+                if dd <= 0.0 {
+                    // No traffic in the window: no budget is being burned.
+                    return Some(0.0);
+                }
+                Some((dn / dd) / objective)
+            };
+            match (burn(*fast), burn(*slow)) {
+                (Some(f), Some(s)) => f > *factor && s > *factor,
+                _ => false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::parse_rules;
+
+    fn feed(store: &mut SeriesStore, name: &str, tick: u64, value: f64) {
+        assert!(store.append(SeriesKey::new(name, []), tick, value));
+    }
+
+    #[test]
+    fn threshold_lifecycle_with_holdoff() {
+        let rules = parse_rules("alert hot threshold m > 10 for 2\n").unwrap();
+        let mut engine = AlertEngine::new(rules);
+        let mut store = SeriesStore::new(16);
+
+        feed(&mut store, "m", 1, 5.0);
+        assert!(engine.eval(&store, 1).is_empty(), "below threshold");
+
+        feed(&mut store, "m", 2, 11.0);
+        let t = engine.eval(&store, 2);
+        assert_eq!(t.len(), 1);
+        assert_eq!((t[0].from, t[0].to), ("inactive", "pending"));
+        assert_eq!(engine.state(0), AlertState::Pending(2));
+
+        feed(&mut store, "m", 3, 12.0);
+        assert!(engine.eval(&store, 3).is_empty(), "holdoff not elapsed");
+
+        feed(&mut store, "m", 4, 13.0);
+        let t = engine.eval(&store, 4);
+        assert_eq!((t[0].from, t[0].to), ("pending", "firing"));
+        assert_eq!(engine.firing(), vec!["hot"]);
+
+        feed(&mut store, "m", 5, 1.0);
+        let t = engine.eval(&store, 5);
+        assert_eq!((t[0].from, t[0].to), ("firing", "inactive"));
+        assert!(engine.firing().is_empty());
+
+        assert_eq!(
+            engine.render_log(),
+            "tick=2 alert=hot inactive -> pending\n\
+             tick=4 alert=hot pending -> firing\n\
+             tick=5 alert=hot firing -> inactive\n"
+        );
+    }
+
+    #[test]
+    fn pending_cancels_without_firing() {
+        let rules = parse_rules("alert hot threshold m > 10 for 5\n").unwrap();
+        let mut engine = AlertEngine::new(rules);
+        let mut store = SeriesStore::new(16);
+        feed(&mut store, "m", 1, 11.0);
+        engine.eval(&store, 1);
+        feed(&mut store, "m", 2, 2.0);
+        let t = engine.eval(&store, 2);
+        assert_eq!((t[0].from, t[0].to), ("pending", "inactive"));
+        assert!(engine.firing().is_empty());
+    }
+
+    #[test]
+    fn zero_holdoff_fires_immediately() {
+        let rules = parse_rules("alert hot threshold m > 10 for 0\n").unwrap();
+        let mut engine = AlertEngine::new(rules);
+        let mut store = SeriesStore::new(16);
+        feed(&mut store, "m", 1, 11.0);
+        let t = engine.eval(&store, 1);
+        assert_eq!(t.len(), 2, "pending and firing in one tick");
+        assert_eq!((t[1].from, t[1].to), ("pending", "firing"));
+    }
+
+    #[test]
+    fn windowed_threshold_uses_increase_not_level() {
+        let rules = parse_rules("alert spike threshold c > 5 window 2 for 0\n").unwrap();
+        let mut engine = AlertEngine::new(rules);
+        let mut store = SeriesStore::new(16);
+        // A counter reaching a high level by growing slowly never alerts.
+        for t in 1..=4 {
+            feed(&mut store, "c", t, t as f64);
+            assert!(engine.eval(&store, t).is_empty(), "tick {t}");
+        }
+        // A burst of +10 in one tick trips the windowed increase.
+        feed(&mut store, "c", 5, 14.0);
+        assert_eq!(engine.eval(&store, 5).len(), 2);
+    }
+
+    #[test]
+    fn absence_fires_on_stale_series_and_resolves_on_return() {
+        let rules = parse_rules("alert gone absent m for 2\n").unwrap();
+        let mut engine = AlertEngine::new(rules);
+        let mut store = SeriesStore::new(16);
+        // Never scraped: pending immediately.
+        let t = engine.eval(&store, 1);
+        assert_eq!((t[0].from, t[0].to), ("inactive", "pending"));
+        engine.eval(&store, 2);
+        let t = engine.eval(&store, 3);
+        assert_eq!((t[0].from, t[0].to), ("pending", "firing"));
+        // The metric comes back: resolves.
+        feed(&mut store, "m", 4, 1.0);
+        let t = engine.eval(&store, 4);
+        assert_eq!((t[0].from, t[0].to), ("firing", "inactive"));
+        // Goes stale again: the cycle restarts.
+        let t = engine.eval(&store, 5);
+        assert_eq!((t[0].from, t[0].to), ("inactive", "pending"));
+    }
+
+    #[test]
+    fn burnrate_needs_both_windows_over_factor() {
+        let rules =
+            parse_rules("alert burn burnrate err / total objective 0.1 fast 2 slow 6 for 0\n")
+                .unwrap();
+        let mut engine = AlertEngine::new(rules);
+        let mut store = SeriesStore::new(64);
+        // Ticks 1-6: clean traffic, 10 jobs per tick, no errors.
+        for t in 1..=6u64 {
+            feed(&mut store, "total", t, (t * 10) as f64);
+            feed(&mut store, "err", t, 0.0);
+            assert!(engine.eval(&store, t).is_empty(), "clean tick {t}");
+        }
+        // Ticks 7-8: half the jobs error. Fast window burns hot right
+        // away; the slow window dilutes tick 7 below the factor and
+        // crosses it at tick 8.
+        feed(&mut store, "total", 7, 80.0);
+        feed(&mut store, "err", 7, 5.0);
+        assert!(
+            engine.eval(&store, 7).is_empty(),
+            "slow window still under factor"
+        );
+        feed(&mut store, "total", 8, 90.0);
+        feed(&mut store, "err", 8, 10.0);
+        let t = engine.eval(&store, 8);
+        assert_eq!(t.len(), 2, "both windows over factor: fires");
+        // Recovery: errors stop, fast window clears first.
+        for t in 9..=11u64 {
+            feed(&mut store, "total", t, (90 + (t - 8) * 10) as f64);
+            feed(&mut store, "err", t, 10.0);
+        }
+        let taken = engine.eval(&store, 11);
+        assert_eq!((taken[0].from, taken[0].to), ("firing", "inactive"));
+    }
+
+    #[test]
+    fn burnrate_is_zero_without_traffic() {
+        let rules =
+            parse_rules("alert burn burnrate err / total objective 0.1 fast 1 slow 1 for 0\n")
+                .unwrap();
+        let mut engine = AlertEngine::new(rules);
+        let mut store = SeriesStore::new(16);
+        feed(&mut store, "total", 1, 0.0);
+        feed(&mut store, "err", 1, 0.0);
+        assert!(engine.eval(&store, 1).is_empty());
+    }
+
+    #[test]
+    fn alerts_json_shape() {
+        let rules = parse_rules("alert hot threshold m > 10 for 1\n").unwrap();
+        let mut engine = AlertEngine::new(rules);
+        let mut store = SeriesStore::new(16);
+        feed(&mut store, "m", 1, 99.0);
+        engine.eval(&store, 1);
+        let v = json::parse(&engine.to_json()).unwrap();
+        assert_eq!(v.get("tick").and_then(|x| x.as_u64()), Some(1));
+        assert_eq!(v.get("firing").and_then(|x| x.as_u64()), Some(0));
+        let alerts = v.get("alerts").and_then(|x| x.as_arr()).unwrap();
+        assert_eq!(
+            alerts[0].get("state").and_then(|x| x.as_str()),
+            Some("pending")
+        );
+        assert_eq!(alerts[0].get("since").and_then(|x| x.as_u64()), Some(1));
+        let transitions = v.get("transitions").and_then(|x| x.as_arr()).unwrap();
+        assert_eq!(transitions.len(), 1);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let rules_text = "alert burn burnrate err / total objective 0.05 fast 2 slow 4 for 1\n\
+                          alert gone absent other for 2\n";
+        let run = || {
+            let mut engine = AlertEngine::new(parse_rules(rules_text).unwrap());
+            let mut store = SeriesStore::new(32);
+            for t in 1..=20u64 {
+                feed(&mut store, "total", t, (t * 7) as f64);
+                feed(
+                    &mut store,
+                    "err",
+                    t,
+                    if t > 10 { (t - 10) as f64 } else { 0.0 },
+                );
+                engine.eval(&store, t);
+            }
+            engine.render_log()
+        };
+        assert_eq!(run(), run(), "same inputs, byte-identical log");
+        assert!(!run().is_empty());
+    }
+}

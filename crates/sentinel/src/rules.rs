@@ -1,0 +1,425 @@
+//! Declarative [`AlertRule`]s and their line-oriented rules file.
+//!
+//! A rules file holds one rule per line (`#` comments and blank lines are
+//! skipped). Three shapes:
+//!
+//! ```text
+//! alert <name> threshold <metric> <op> <value> [window <W>] for <D>
+//! alert <name> absent <metric> for <D>
+//! alert <name> burnrate <num> / <den> objective <O> fast <F> slow <S> [factor <K>] for <D>
+//! ```
+//!
+//! - **threshold** — with `window W`, the increase of `<metric>` over the
+//!   last `W` ticks compared against `<value>` (`op` ∈ `> < >= <=`);
+//!   without a window, the latest sample value.
+//! - **absent** — true whenever `<metric>` has no sample at the current
+//!   tick (never scraped, or stale).
+//! - **burnrate** — the two-window SLO rule: the error ratio
+//!   `Δnum / Δden` over the fast and the slow window, each divided by
+//!   `objective`; the condition holds only when *both* burn rates exceed
+//!   `factor` (default 1). `for D` on every rule is the pending→firing
+//!   holdoff in ticks.
+
+/// Comparison operator of a threshold rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cmp {
+    /// `>`
+    Gt,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `<=`
+    Le,
+}
+
+impl Cmp {
+    /// Apply the comparison.
+    pub fn holds(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            Cmp::Gt => lhs > rhs,
+            Cmp::Lt => lhs < rhs,
+            Cmp::Ge => lhs >= rhs,
+            Cmp::Le => lhs <= rhs,
+        }
+    }
+
+    /// The operator's source spelling.
+    pub fn render(self) -> &'static str {
+        match self {
+            Cmp::Gt => ">",
+            Cmp::Lt => "<",
+            Cmp::Ge => ">=",
+            Cmp::Le => "<=",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Cmp> {
+        match s {
+            ">" => Some(Cmp::Gt),
+            "<" => Some(Cmp::Lt),
+            ">=" => Some(Cmp::Ge),
+            "<=" => Some(Cmp::Le),
+            _ => None,
+        }
+    }
+}
+
+/// The condition a rule watches.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RuleKind {
+    /// Compare a metric (latest value, or windowed increase) to a constant.
+    Threshold {
+        /// Metric name.
+        metric: String,
+        /// Comparison operator.
+        op: Cmp,
+        /// Right-hand constant.
+        value: f64,
+        /// Increase window in ticks; `None` compares the latest sample.
+        window: Option<u64>,
+    },
+    /// True while the metric has no fresh sample.
+    Absent {
+        /// Metric name.
+        metric: String,
+    },
+    /// Two-window SLO burn rate over an error-budget objective.
+    Burnrate {
+        /// Numerator (error) counter.
+        num: String,
+        /// Denominator (traffic) counter.
+        den: String,
+        /// Error-budget objective, e.g. `0.001` for 0.1%.
+        objective: f64,
+        /// Fast window in ticks (reacts quickly, e.g. 5).
+        fast: u64,
+        /// Slow window in ticks (confirms the trend, e.g. 60).
+        slow: u64,
+        /// Burn-rate factor both windows must exceed (default 1).
+        factor: f64,
+    },
+}
+
+/// One declarative alert rule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AlertRule {
+    /// Rule name — the identity alerts are logged and reported under.
+    pub name: String,
+    /// What the rule watches.
+    pub kind: RuleKind,
+    /// Pending→firing holdoff: the condition must hold this many ticks.
+    pub for_ticks: u64,
+}
+
+impl AlertRule {
+    /// Every metric name the rule reads — what a replay must feed.
+    pub fn metrics(&self) -> Vec<&str> {
+        match &self.kind {
+            RuleKind::Threshold { metric, .. } | RuleKind::Absent { metric } => vec![metric],
+            RuleKind::Burnrate { num, den, .. } => vec![num, den],
+        }
+    }
+
+    /// Render the rule back to its one-line source form.
+    pub fn render(&self) -> String {
+        match &self.kind {
+            RuleKind::Threshold {
+                metric,
+                op,
+                value,
+                window,
+            } => {
+                let w = match window {
+                    Some(w) => format!(" window {w}"),
+                    None => String::new(),
+                };
+                format!(
+                    "alert {} threshold {metric} {} {value}{w} for {}",
+                    self.name,
+                    op.render(),
+                    self.for_ticks
+                )
+            }
+            RuleKind::Absent { metric } => {
+                format!("alert {} absent {metric} for {}", self.name, self.for_ticks)
+            }
+            RuleKind::Burnrate {
+                num,
+                den,
+                objective,
+                fast,
+                slow,
+                factor,
+            } => format!(
+                "alert {} burnrate {num} / {den} objective {objective} \
+                 fast {fast} slow {slow} factor {factor} for {}",
+                self.name, self.for_ticks
+            ),
+        }
+    }
+}
+
+/// Parse a rules file. Errors carry the 1-based line number.
+pub fn parse_rules(text: &str) -> Result<Vec<AlertRule>, String> {
+    let mut rules = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let rule = parse_rule(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if rules.iter().any(|r: &AlertRule| r.name == rule.name) {
+            return Err(format!(
+                "line {}: duplicate alert name {:?}",
+                i + 1,
+                rule.name
+            ));
+        }
+        rules.push(rule);
+    }
+    Ok(rules)
+}
+
+fn parse_rule(line: &str) -> Result<AlertRule, String> {
+    let mut toks = line.split_whitespace();
+    let mut next = |what: &str| {
+        toks.next()
+            .ok_or_else(|| format!("expected {what}, found end of line"))
+    };
+    if next("`alert`")? != "alert" {
+        return Err("rule must start with `alert`".to_string());
+    }
+    let name = next("alert name")?.to_string();
+    let kind_tok = next("rule kind (threshold/absent/burnrate)")?;
+    let (kind, for_ticks) = match kind_tok {
+        "threshold" => {
+            let metric = next("metric name")?.to_string();
+            let op_tok = next("comparison operator")?;
+            let op = Cmp::parse(op_tok).ok_or_else(|| format!("bad operator {op_tok:?}"))?;
+            let value = parse_f64(next("threshold value")?)?;
+            let mut window = None;
+            let for_ticks;
+            loop {
+                match next("`window` or `for`")? {
+                    "window" => window = Some(parse_u64(next("window ticks")?)?),
+                    "for" => {
+                        for_ticks = parse_u64(next("for ticks")?)?;
+                        break;
+                    }
+                    t => return Err(format!("unexpected token {t:?}")),
+                }
+            }
+            (
+                RuleKind::Threshold {
+                    metric,
+                    op,
+                    value,
+                    window,
+                },
+                for_ticks,
+            )
+        }
+        "absent" => {
+            let metric = next("metric name")?.to_string();
+            if next("`for`")? != "for" {
+                return Err("absent rule takes `for <ticks>`".to_string());
+            }
+            let for_ticks = parse_u64(next("for ticks")?)?;
+            (RuleKind::Absent { metric }, for_ticks)
+        }
+        "burnrate" => {
+            let num = next("numerator metric")?.to_string();
+            if next("`/`")? != "/" {
+                return Err("burnrate takes `<num> / <den>`".to_string());
+            }
+            let den = next("denominator metric")?.to_string();
+            let mut objective = None;
+            let mut fast = None;
+            let mut slow = None;
+            let mut factor = 1.0;
+            let for_ticks;
+            loop {
+                match next("`objective`/`fast`/`slow`/`factor`/`for`")? {
+                    "objective" => objective = Some(parse_f64(next("objective")?)?),
+                    "fast" => fast = Some(parse_u64(next("fast window")?)?),
+                    "slow" => slow = Some(parse_u64(next("slow window")?)?),
+                    "factor" => factor = parse_f64(next("factor")?)?,
+                    "for" => {
+                        for_ticks = parse_u64(next("for ticks")?)?;
+                        break;
+                    }
+                    t => return Err(format!("unexpected token {t:?}")),
+                }
+            }
+            let objective = objective.ok_or("burnrate rule needs `objective <O>`")?;
+            if objective <= 0.0 {
+                return Err("objective must be positive".to_string());
+            }
+            let fast = fast.ok_or("burnrate rule needs `fast <F>`")?;
+            let slow = slow.ok_or("burnrate rule needs `slow <S>`")?;
+            if fast == 0 || slow == 0 {
+                return Err("burnrate windows must be at least 1 tick".to_string());
+            }
+            if fast > slow {
+                return Err("fast window must not exceed the slow window".to_string());
+            }
+            (
+                RuleKind::Burnrate {
+                    num,
+                    den,
+                    objective,
+                    fast,
+                    slow,
+                    factor,
+                },
+                for_ticks,
+            )
+        }
+        t => return Err(format!("unknown rule kind {t:?}")),
+    };
+    if let Some(extra) = toks.next() {
+        return Err(format!("trailing token {extra:?}"));
+    }
+    Ok(AlertRule {
+        name,
+        kind,
+        for_ticks,
+    })
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("bad integer {s:?}"))
+}
+
+fn parse_f64(s: &str) -> Result<f64, String> {
+    let v: f64 = s.parse().map_err(|_| format!("bad number {s:?}"))?;
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(format!("non-finite number {s:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_three_rule_shapes() {
+        let text = "\
+# error budget: 0.1% of jobs may trip their budget
+alert burn burnrate qa_fleet_budget_trips_total / qa_fleet_jobs_total \
+objective 0.001 fast 5 slow 60 for 2
+
+alert hot-steps threshold qa_fleet_steps_total > 1000 window 10 for 1
+alert no-scrapes absent qa_fleet_jobs_total for 3
+alert latest-gauge threshold qa_heap_live_bytes >= 5.5 for 0
+";
+        let rules = parse_rules(text).expect("parses");
+        assert_eq!(rules.len(), 4);
+        assert_eq!(rules[0].name, "burn");
+        assert_eq!(rules[0].for_ticks, 2);
+        match &rules[0].kind {
+            RuleKind::Burnrate {
+                num,
+                den,
+                objective,
+                fast,
+                slow,
+                factor,
+            } => {
+                assert_eq!(num, "qa_fleet_budget_trips_total");
+                assert_eq!(den, "qa_fleet_jobs_total");
+                assert_eq!(*objective, 0.001);
+                assert_eq!((*fast, *slow), (5, 60));
+                assert_eq!(*factor, 1.0, "factor defaults to 1");
+            }
+            k => panic!("wrong kind: {k:?}"),
+        }
+        assert_eq!(
+            rules[1].kind,
+            RuleKind::Threshold {
+                metric: "qa_fleet_steps_total".to_string(),
+                op: Cmp::Gt,
+                value: 1000.0,
+                window: Some(10),
+            }
+        );
+        assert_eq!(
+            rules[2].kind,
+            RuleKind::Absent {
+                metric: "qa_fleet_jobs_total".to_string()
+            }
+        );
+        assert_eq!(
+            rules[3].kind,
+            RuleKind::Threshold {
+                metric: "qa_heap_live_bytes".to_string(),
+                op: Cmp::Ge,
+                value: 5.5,
+                window: None,
+            }
+        );
+        // Rules render back to one-line source form.
+        assert_eq!(
+            rules[2].render(),
+            "alert no-scrapes absent qa_fleet_jobs_total for 3"
+        );
+        assert!(rules[0].render().contains("factor 1 for 2"));
+    }
+
+    #[test]
+    fn rejects_malformed_rules_with_line_numbers() {
+        for (text, needle) in [
+            ("watch x for 3", "must start with `alert`"),
+            ("alert a sideways x for 1", "unknown rule kind"),
+            ("alert a threshold x ~ 3 for 1", "bad operator"),
+            ("alert a threshold x > y for 1", "bad number"),
+            ("alert a threshold x > 1", "end of line"),
+            ("alert a absent x", "end of line"),
+            ("alert a burnrate n / d objective 0.1 fast 5 for 1", "slow"),
+            (
+                "alert a burnrate n / d objective 0 fast 1 slow 2 for 1",
+                "positive",
+            ),
+            (
+                "alert a burnrate n / d objective 0.1 fast 9 slow 2 for 1",
+                "must not exceed",
+            ),
+            ("alert a absent x for 1 extra", "trailing token"),
+            (
+                "alert a absent x for 1\nalert a absent y for 1",
+                "line 2: duplicate",
+            ),
+        ] {
+            let err = parse_rules(text).expect_err(text);
+            assert!(err.contains(needle), "{text:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        assert_eq!(parse_rules("\n# nothing\n\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn cmp_semantics() {
+        assert!(Cmp::Gt.holds(2.0, 1.0));
+        assert!(!Cmp::Gt.holds(1.0, 1.0));
+        assert!(Cmp::Ge.holds(1.0, 1.0));
+        assert!(Cmp::Lt.holds(0.5, 1.0));
+        assert!(Cmp::Le.holds(1.0, 1.0));
+    }
+
+    #[test]
+    fn rule_metrics_lists_reads() {
+        let rules = parse_rules(
+            "alert b burnrate n / d objective 0.5 fast 1 slow 2 for 0\n\
+             alert t threshold m > 1 for 0\n",
+        )
+        .unwrap();
+        assert_eq!(rules[0].metrics(), vec!["n", "d"]);
+        assert_eq!(rules[1].metrics(), vec!["m"]);
+    }
+}
