@@ -100,9 +100,95 @@ impl PreparedUnary {
             .filter_map(|ev| map[ev.index()])
             .collect()
     }
+
+    /// Like [`eval_unranked_with`](Self::eval_unranked_with), but pairs
+    /// every selected node with its Figure 5 certificate: the state the
+    /// bottom-up run reaches on the *marked* node, whose context maps it
+    /// to an accepting root. The certificate is captured from the
+    /// [`Observer::selected`] events of the ranked run on the FCNS
+    /// encoding and mapped back to the unranked tree, so the node list
+    /// (and its order) is identical to `eval_unranked_with`. A serving
+    /// daemon uses this for `why_selected` provenance.
+    pub fn eval_unranked_explained<O: Observer>(
+        &self,
+        tree: &Tree,
+        obs: &mut O,
+    ) -> Vec<(NodeId, u32)> {
+        obs.phase_start("fcns encoding");
+        let (enc, map) = qa_trees::fcns::encode_with_map(tree, nil_symbol(self.sigma));
+        obs.phase_end("fcns encoding");
+        let mut tap = CertificateTap {
+            inner: obs,
+            picks: Vec::new(),
+        };
+        let _ = eval_total(
+            &self.total,
+            &enc,
+            encoded_alphabet_len(self.sigma),
+            &mut tap,
+        );
+        tap.picks
+            .into_iter()
+            .filter_map(|(pos, state)| map[pos as usize].map(|v| (v, state)))
+            .collect()
+    }
+}
+
+/// Forwards every event to the wrapped observer while capturing the
+/// `(node, marked_state)` pairs of [`Observer::selected`] events.
+struct CertificateTap<'a, O> {
+    inner: &'a mut O,
+    picks: Vec<(u32, u32)>,
+}
+
+impl<O: Observer> Observer for CertificateTap<'_, O> {
+    #[inline]
+    fn count(&mut self, counter: Counter, n: u64) {
+        self.inner.count(counter, n);
+    }
+    #[inline]
+    fn record(&mut self, series: Series, value: u64) {
+        self.inner.record(series, value);
+    }
+    #[inline]
+    fn config(&mut self, state: u32, pos: u32, dir: i8) {
+        self.inner.config(state, pos, dir);
+    }
+    #[inline]
+    fn phase_start(&mut self, name: &'static str) {
+        self.inner.phase_start(name);
+    }
+    #[inline]
+    fn phase_end(&mut self, name: &'static str) {
+        self.inner.phase_end(name);
+    }
+    #[inline]
+    fn selected(&mut self, pos: u32, state: u32, sym: u32) {
+        self.picks.push((pos, state));
+        self.inner.selected(pos, state, sym);
+    }
+    #[inline]
+    fn stay_assign(&mut self, parent: u32, child: u32, state: u32) {
+        self.inner.stay_assign(parent, child, state);
+    }
+    #[inline]
+    fn checkpoint(&mut self) -> Result<(), qa_obs::Abort> {
+        self.inner.checkpoint()
+    }
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        self.inner.is_enabled()
+    }
 }
 
 /// The Figure 5 two-pass algorithm on an already-total automaton.
+///
+/// Every node processed counts one `Counter::Steps` and polls
+/// [`Observer::checkpoint`]; a budget-enforcing observer (a serving
+/// daemon's per-request watchdog) can therefore abort a runaway
+/// evaluation early. An aborted evaluation returns an empty selection —
+/// the caller distinguishes "nothing selected" from "budget tripped" by
+/// inspecting its watchdog.
 fn eval_total<O: Observer>(d: &Dbta, tree: &Tree, sigma: usize, obs: &mut O) -> Vec<NodeId> {
     obs.record(Series::MachineStates, d.num_states() as u64);
     let unmarked = |s: Symbol| ext_symbol(s, 0, sigma);
@@ -112,6 +198,11 @@ fn eval_total<O: Observer>(d: &Dbta, tree: &Tree, sigma: usize, obs: &mut O) -> 
     obs.phase_start("bottom-up pass");
     let mut b: Vec<Option<StateId>> = vec![None; tree.num_nodes()];
     for v in tree.postorder() {
+        obs.count(Counter::Steps, 1);
+        if obs.checkpoint().is_err() {
+            obs.phase_end("bottom-up pass");
+            return Vec::new();
+        }
         let children: Vec<StateId> = tree
             .children(v)
             .iter()
@@ -135,6 +226,11 @@ fn eval_total<O: Observer>(d: &Dbta, tree: &Tree, sigma: usize, obs: &mut O) -> 
     let mut ctx: Vec<Option<Vec<StateId>>> = vec![None; tree.num_nodes()];
     ctx[tree.root().index()] = Some((0..nq).map(StateId::from_index).collect());
     for v in tree.preorder() {
+        obs.count(Counter::Steps, 1);
+        if obs.checkpoint().is_err() {
+            obs.phase_end("top-down pass");
+            return Vec::new();
+        }
         let table = ctx[v.index()].clone().expect("preorder");
         let kids = tree.children(v).to_vec();
         let kid_states: Vec<StateId> = kids.iter().map(|c| b[c.index()].unwrap()).collect();
@@ -156,37 +252,35 @@ fn eval_total<O: Observer>(d: &Dbta, tree: &Tree, sigma: usize, obs: &mut O) -> 
 
     // Verdicts: replace v's subtree state by its marked variant.
     obs.phase_start("verdicts");
-    let out = tree
-        .nodes()
-        .filter(|&v| {
-            let children: Vec<StateId> = tree
-                .children(v)
-                .iter()
-                .map(|c| b[c.index()].unwrap())
-                .collect();
-            obs.count(Counter::SelectionChecks, 1);
-            match d.transition(&children, marked(tree.label(v))) {
-                Some(q_marked) => {
-                    let root_state = ctx[v.index()].as_ref().unwrap()[q_marked.index()];
-                    if d.is_final(root_state) {
-                        // certificate: marking v drives the bottom-up run
-                        // into q_marked, and v's context maps that to an
-                        // accepting root state.
-                        obs.config(q_marked.index() as u32, v.index() as u32, 0);
-                        obs.selected(
-                            v.index() as u32,
-                            q_marked.index() as u32,
-                            tree.label(v).index() as u32,
-                        );
-                        true
-                    } else {
-                        false
-                    }
-                }
-                None => false,
+    let mut out = Vec::new();
+    for v in tree.nodes() {
+        obs.count(Counter::Steps, 1);
+        if obs.checkpoint().is_err() {
+            obs.phase_end("verdicts");
+            return Vec::new();
+        }
+        let children: Vec<StateId> = tree
+            .children(v)
+            .iter()
+            .map(|c| b[c.index()].unwrap())
+            .collect();
+        obs.count(Counter::SelectionChecks, 1);
+        if let Some(q_marked) = d.transition(&children, marked(tree.label(v))) {
+            let root_state = ctx[v.index()].as_ref().unwrap()[q_marked.index()];
+            if d.is_final(root_state) {
+                // certificate: marking v drives the bottom-up run
+                // into q_marked, and v's context maps that to an
+                // accepting root state.
+                obs.config(q_marked.index() as u32, v.index() as u32, 0);
+                obs.selected(
+                    v.index() as u32,
+                    q_marked.index() as u32,
+                    tree.label(v).index() as u32,
+                );
+                out.push(v);
             }
-        })
-        .collect();
+        }
+    }
     obs.phase_end("verdicts");
     out
 }

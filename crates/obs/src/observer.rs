@@ -43,11 +43,25 @@ pub enum Counter {
     /// Alert state-machine transitions (pending, firing, resolved) taken by
     /// the sentinel engine.
     AlertTransitions,
+    /// HTTP requests accepted by a serving daemon (all endpoints, all
+    /// statuses — the offered-load denominator for serving SLO rules).
+    HttpRequests,
+    /// Requests shed by admission control with `429 Retry-After` because
+    /// the executor queue exceeded its configured depth.
+    RequestsShed,
+    /// Documents ingested into a resident document store (`PUT /doc`).
+    DocIngests,
+    /// MSO formulas compiled into query automata by a serving query cache
+    /// (cache misses that paid the full compile pipeline).
+    QueryCompiles,
+    /// Compiled queries evicted from a bounded query cache to admit a
+    /// fresh compile.
+    CacheEvictions,
 }
 
 impl Counter {
     /// Every counter, in serialization order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 20] = [
         Counter::Steps,
         Counter::HeadReversals,
         Counter::TableLookups,
@@ -63,6 +77,11 @@ impl Counter {
         Counter::Jobs,
         Counter::ScrapeRetries,
         Counter::AlertTransitions,
+        Counter::HttpRequests,
+        Counter::RequestsShed,
+        Counter::DocIngests,
+        Counter::QueryCompiles,
+        Counter::CacheEvictions,
     ];
 
     /// Number of counters.
@@ -92,6 +111,11 @@ impl Counter {
             Counter::Jobs => "jobs",
             Counter::ScrapeRetries => "scrape_retries",
             Counter::AlertTransitions => "alert_transitions",
+            Counter::HttpRequests => "http_requests",
+            Counter::RequestsShed => "requests_shed",
+            Counter::DocIngests => "doc_ingests",
+            Counter::QueryCompiles => "query_compiles",
+            Counter::CacheEvictions => "cache_evictions",
         }
     }
 }
@@ -112,17 +136,24 @@ pub enum Series {
     MachineStates,
     /// Nodes of a produced witness tree / length of a witness word.
     WitnessSize,
+    /// Wall microseconds one `PUT /doc` ingest took, parse to receipt.
+    IngestMicros,
+    /// Wall microseconds one `POST /query` took, admission to response
+    /// (compile + executor dispatch + two-pass evaluation).
+    QueryMicros,
 }
 
 impl Series {
     /// Every series, in serialization order.
-    pub const ALL: [Series; 6] = [
+    pub const ALL: [Series; 8] = [
         Series::TraceLength,
         Series::RunSteps,
         Series::AssumedStates,
         Series::StaysPerNode,
         Series::MachineStates,
         Series::WitnessSize,
+        Series::IngestMicros,
+        Series::QueryMicros,
     ];
 
     /// Number of series.
@@ -143,6 +174,8 @@ impl Series {
             Series::StaysPerNode => "stays_per_node",
             Series::MachineStates => "machine_states",
             Series::WitnessSize => "witness_size",
+            Series::IngestMicros => "ingest_micros",
+            Series::QueryMicros => "query_micros",
         }
     }
 }

@@ -55,6 +55,8 @@
 
 pub mod batch;
 pub mod executor;
+pub mod pool;
 
 pub use batch::{evaluate_cached, par_evaluate, par_evaluate_with, BehaviorCache, Job, Outcome};
 pub use executor::{par_batch, par_batch_with};
+pub use pool::{PoolJob, WorkPool};

@@ -40,6 +40,9 @@ pub struct HttpResponse {
     pub status: u16,
     /// Response body (headers stripped).
     pub body: String,
+    /// Seconds from a `Retry-After` header, when the server sent one
+    /// (serving daemons attach it to `429` sheds).
+    pub retry_after: Option<u64>,
 }
 
 impl HttpResponse {
@@ -58,6 +61,22 @@ pub fn http_get(
     path: &str,
     timeouts: HttpTimeouts,
 ) -> std::io::Result<HttpResponse> {
+    http_request(addr, "GET", path, "", "", timeouts)
+}
+
+/// Blocking request with an arbitrary method and body — the serving
+/// counterpart of [`http_get`], used to drive a daemon's `PUT /doc` and
+/// `POST /query` endpoints. An empty `body` sends no `Content-Type` /
+/// `Content-Length` headers, making `http_request(addr, "GET", path, "",
+/// "", t)` exactly [`http_get`].
+pub fn http_request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    content_type: &str,
+    body: &str,
+    timeouts: HttpTimeouts,
+) -> std::io::Result<HttpResponse> {
     let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
     let addr: SocketAddr = addr
         .to_socket_addrs()?
@@ -66,10 +85,20 @@ pub fn http_get(
     let mut stream = TcpStream::connect_timeout(&addr, timeouts.connect)?;
     stream.set_read_timeout(Some(timeouts.io))?;
     stream.set_write_timeout(Some(timeouts.io))?;
-    write!(
-        stream,
-        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
-    )?;
+    if body.is_empty() {
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+        )?;
+    } else {
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\n\
+             Content-Type: {content_type}\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{body}",
+            body.len()
+        )?;
+    }
     stream.flush()?;
     let mut response = Vec::new();
     stream.read_to_end(&mut response)?;
@@ -82,9 +111,18 @@ pub fn http_get(
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| bad("response has no numeric status"))?;
+    let retry_after = head.lines().find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        if name.eq_ignore_ascii_case("retry-after") {
+            value.trim().parse().ok()
+        } else {
+            None
+        }
+    });
     Ok(HttpResponse {
         status,
         body: body.to_string(),
+        retry_after,
     })
 }
 

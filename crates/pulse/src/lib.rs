@@ -61,12 +61,12 @@ pub mod profile;
 pub mod render;
 pub mod server;
 
-pub use client::{http_get, http_get_retry, HttpResponse, HttpTimeouts, RetryPolicy};
+pub use client::{http_get, http_get_retry, http_request, HttpResponse, HttpTimeouts, RetryPolicy};
 pub use heap::{CountingAlloc, HeapStats};
 pub use parse::{parse_prometheus, Sample, Scrape};
 pub use profile::{SpanProfile, SpanProfiler, Weight};
 pub use render::{metrics_text, validate_prometheus};
 pub use server::{
-    AlertsSource, EventsSource, FlightSource, PulseServer, PulseState, SeriesSource, DEFAULT_TAIL,
-    MAX_TAIL, PROMETHEUS_CONTENT_TYPE,
+    AlertsSource, ApiHandler, ApiRequest, ApiResponse, EventsSource, FlightSource, PulseServer,
+    PulseState, SeriesSource, DEFAULT_TAIL, MAX_BODY, MAX_TAIL, PROMETHEUS_CONTENT_TYPE,
 };

@@ -25,8 +25,17 @@
 //! | `/alerts`  | JSON alert states + transition log from the sentinel    |
 //! | `/quit`    | `bye`, then the accept loop exits                       |
 //!
-//! Every route is read-only and GET-only: any other method on a known
-//! route gets `405 Method Not Allowed` with an `Allow: GET` header.
+//! Every built-in route is read-only and GET-only: any other method on a
+//! known route gets `405 Method Not Allowed` with an `Allow: GET` header.
+//!
+//! A serving binary can extend the surface beyond the built-ins by
+//! registering an [`ApiHandler`] — a closure receiving the parsed
+//! [`ApiRequest`] (method, route, query string, body) for every request
+//! the built-in routes do not answer. `qa-serve` registers its
+//! `PUT /doc` / `POST /query` / `GET /queries` / `GET /docs` endpoints
+//! this way, keeping this crate free of a dependency on the query
+//! pipelines. Request bodies are read up to `Content-Length`, capped at
+//! [`MAX_BODY`] (413 beyond it).
 //!
 //! Shutdown is cooperative: [`PulseServer::shutdown`] (or a `GET /quit`)
 //! sets a flag and pokes the listener with a loopback connection so the
@@ -35,7 +44,7 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -69,6 +78,81 @@ pub type SeriesSource = Box<dyn Fn(Option<&str>, usize) -> String + Send>;
 /// transition log, as rendered by the owning binary's alert engine.
 pub type AlertsSource = Box<dyn Fn() -> String + Send>;
 
+/// Handler for requests the built-in routes do not answer, registered by
+/// a serving binary via [`PulseState::set_api_handler`]. Returning `None`
+/// declines the request, and the server falls back to its own 404/405
+/// handling. The handler may be called from several connection threads at
+/// once (see [`PulseServer::serve_pooled`]), hence `Sync`.
+pub type ApiHandler = Arc<dyn Fn(&ApiRequest) -> Option<ApiResponse> + Send + Sync>;
+
+/// One parsed request, as an [`ApiHandler`] sees it.
+#[derive(Clone, Debug)]
+pub struct ApiRequest {
+    /// Request method (`GET`, `PUT`, `POST`, …), uppercase.
+    pub method: String,
+    /// Path with the query string stripped (e.g. `/doc`).
+    pub route: String,
+    /// Raw query string after `?` (empty when absent).
+    pub query: String,
+    /// Request body, bounded by [`MAX_BODY`].
+    pub body: String,
+}
+
+impl ApiRequest {
+    /// First value of query parameter `key` (`?key=value`), if present.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query
+            .split('&')
+            .find_map(|kv| kv.strip_prefix(key)?.strip_prefix('='))
+    }
+}
+
+/// Response produced by an [`ApiHandler`].
+#[derive(Clone, Debug)]
+pub struct ApiResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Extra response headers (e.g. `Retry-After`).
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl ApiResponse {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> ApiResponse {
+        ApiResponse {
+            status,
+            content_type: "application/json".to_string(),
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> ApiResponse {
+        ApiResponse {
+            status,
+            content_type: "text/plain".to_string(),
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Add a `Retry-After: <seconds>` header (for `429` sheds).
+    pub fn retry_after(mut self, seconds: u64) -> ApiResponse {
+        self.headers
+            .push(("Retry-After".to_string(), seconds.to_string()));
+        self
+    }
+}
+
+/// Upper bound on an accepted request body; beyond it the server answers
+/// `413 Payload Too Large` without reading further.
+pub const MAX_BODY: usize = 4 * 1024 * 1024;
+
 /// Tail length `/flight` and `/events` serve when no `?n=K` is given.
 pub const DEFAULT_TAIL: usize = 64;
 
@@ -93,6 +177,7 @@ pub struct PulseState {
     events: Mutex<Option<EventsSource>>,
     series: Mutex<Option<SeriesSource>>,
     alerts: Mutex<Option<AlertsSource>>,
+    api: Mutex<Option<ApiHandler>>,
 }
 
 impl PulseState {
@@ -108,6 +193,7 @@ impl PulseState {
             events: Mutex::new(None),
             series: Mutex::new(None),
             alerts: Mutex::new(None),
+            api: Mutex::new(None),
         })
     }
 
@@ -167,6 +253,16 @@ impl PulseState {
         *self.alerts.lock().expect("alerts lock poisoned") = Some(source);
     }
 
+    /// Register the [`ApiHandler`] answering requests beyond the built-in
+    /// routes (a serving binary's `PUT /doc`, `POST /query`, …).
+    pub fn set_api_handler(&self, handler: ApiHandler) {
+        *self.api.lock().expect("api lock poisoned") = Some(handler);
+    }
+
+    fn api_handler(&self) -> Option<ApiHandler> {
+        self.api.lock().expect("api lock poisoned").clone()
+    }
+
     /// Render `/metrics` — also used by binaries for their post-run
     /// `metrics.prom` so the file and a final scrape are byte-identical.
     pub fn metrics_text(&self) -> String {
@@ -216,15 +312,30 @@ pub struct PulseServer {
 
 impl PulseServer {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
-    /// the accept loop on a background thread.
+    /// the accept loop on a background thread. Requests are handled
+    /// serially on that thread — the right shape for a batch run's scrape
+    /// surface; serving daemons use [`serve_pooled`](Self::serve_pooled).
     pub fn serve(addr: impl ToSocketAddrs, state: Arc<PulseState>) -> std::io::Result<PulseServer> {
+        Self::serve_pooled(addr, state, 0)
+    }
+
+    /// Like [`serve`](Self::serve), but requests are handled by a pool of
+    /// `threads` connection threads (`qa-pulse-0`, …) so slow handlers —
+    /// a query evaluation behind an [`ApiHandler`] — do not serialize the
+    /// whole surface. `threads == 0` falls back to inline handling on the
+    /// accept thread.
+    pub fn serve_pooled(
+        addr: impl ToSocketAddrs,
+        state: Arc<PulseState>,
+        threads: usize,
+    ) -> std::io::Result<PulseServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let thread_stop = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name("qa-pulse".to_string())
-            .spawn(move || accept_loop(listener, state, thread_stop))?;
+            .spawn(move || accept_loop(listener, state, thread_stop, threads))?;
         Ok(PulseServer {
             addr: local,
             stop,
@@ -265,17 +376,64 @@ impl Drop for PulseServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, state: Arc<PulseState>, stop: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    state: Arc<PulseState>,
+    stop: Arc<AtomicBool>,
+    threads: usize,
+) {
+    if threads == 0 {
+        for conn in listener.incoming() {
+            if stop.load(Ordering::Acquire) {
+                break;
+            }
+            let Ok(mut stream) = conn else { continue };
+            let quit = handle_connection(&mut stream, &state).unwrap_or(false);
+            if quit {
+                stop.store(true, Ordering::Release);
+                break;
+            }
+        }
+        return;
+    }
+    // Pooled mode: the accept thread only hands sockets to connection
+    // threads; a `/quit` seen by any of them sets `stop` and pokes the
+    // listener so the blocking accept observes it.
+    let local = listener.local_addr().ok();
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let pool: Vec<JoinHandle<()>> = (0..threads)
+        .map(|i| {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name(format!("qa-pulse-{i}"))
+                .spawn(move || loop {
+                    let next = rx.lock().expect("conn queue poisoned").recv();
+                    let Ok(mut stream) = next else { break };
+                    let quit = handle_connection(&mut stream, &state).unwrap_or(false);
+                    if quit && !stop.swap(true, Ordering::AcqRel) {
+                        if let Some(addr) = local {
+                            let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+                        }
+                    }
+                })
+                .expect("spawn pulse connection thread")
+        })
+        .collect();
     for conn in listener.incoming() {
         if stop.load(Ordering::Acquire) {
             break;
         }
-        let Ok(mut stream) = conn else { continue };
-        let quit = handle_connection(&mut stream, &state).unwrap_or(false);
-        if quit {
-            stop.store(true, Ordering::Release);
+        let Ok(stream) = conn else { continue };
+        if tx.send(stream).is_err() {
             break;
         }
+    }
+    drop(tx);
+    for handle in pool {
+        let _ = handle.join();
     }
 }
 
@@ -302,10 +460,14 @@ fn parse_tail_limit(query: &str) -> Result<usize, ()> {
 fn handle_connection(stream: &mut TcpStream, state: &PulseState) -> std::io::Result<bool> {
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     stream.set_write_timeout(Some(Duration::from_secs(5)))?;
-    let (method, path) = match read_request_line(stream)? {
-        Some(head) => head,
-        None => {
+    let (method, path, body) = match read_request(stream)? {
+        Request::Parsed(method, path, body) => (method, path, body),
+        Request::Garbled => {
             respond(stream, 400, "text/plain", "bad request\n")?;
+            return Ok(false);
+        }
+        Request::BodyTooLarge => {
+            respond(stream, 413, "text/plain", "request body too large\n")?;
             return Ok(false);
         }
     };
@@ -314,19 +476,46 @@ fn handle_connection(stream: &mut TcpStream, state: &PulseState) -> std::io::Res
         Some((r, q)) => (r, q),
         None => (path.as_str(), ""),
     };
-    if method != "GET" {
-        if ROUTES.contains(&route) {
-            respond_with(
-                stream,
-                405,
-                "text/plain",
-                &[("Allow", "GET")],
-                "method not allowed\n",
-            )?;
-        } else {
-            respond(stream, 404, "text/plain", "not found\n")?;
+    if method != "GET" || !ROUTES.contains(&route) {
+        // Everything beyond the built-in GET surface belongs to the
+        // registered API handler, if any.
+        if let Some(handler) = state.api_handler() {
+            let request = ApiRequest {
+                method: method.clone(),
+                route: route.to_string(),
+                query: query.to_string(),
+                body,
+            };
+            if let Some(response) = handler(&request) {
+                let headers: Vec<(&str, &str)> = response
+                    .headers
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                respond_with(
+                    stream,
+                    response.status,
+                    &response.content_type,
+                    &headers,
+                    &response.body,
+                )?;
+                return Ok(false);
+            }
         }
-        return Ok(false);
+        if method != "GET" {
+            if ROUTES.contains(&route) {
+                respond_with(
+                    stream,
+                    405,
+                    "text/plain",
+                    &[("Allow", "GET")],
+                    "method not allowed\n",
+                )?;
+            } else {
+                respond(stream, 404, "text/plain", "not found\n")?;
+            }
+            return Ok(false);
+        }
     }
     match route {
         "/" => respond(
@@ -394,36 +583,74 @@ fn handle_connection(stream: &mut TcpStream, state: &PulseState) -> std::io::Res
     Ok(false)
 }
 
-/// Read the request head and return `(method, path)` of the request line
-/// (`None` for anything unparseable).
-fn read_request_line(stream: &mut TcpStream) -> std::io::Result<Option<(String, String)>> {
+/// Outcome of parsing one request off the wire.
+enum Request {
+    /// `(method, path, body)` — the body is empty unless the request
+    /// declared a `Content-Length`.
+    Parsed(String, String, String),
+    /// Unparseable request line or oversized head.
+    Garbled,
+    /// Declared `Content-Length` beyond [`MAX_BODY`].
+    BodyTooLarge,
+}
+
+/// Read one request — head plus `Content-Length` body, if declared.
+fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
     // Read until the blank line ending the head; 8 KiB is far beyond any
-    // request a scraper sends.
-    let mut head = Vec::with_capacity(512);
+    // request head a scraper or serving client sends.
+    let mut raw = Vec::with_capacity(512);
     let mut buf = [0u8; 512];
-    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
-        if head.len() > 8192 {
-            return Ok(None);
+    let mut head_end = loop {
+        if let Some(pos) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        if raw.len() > 8192 {
+            return Ok(Request::Garbled);
         }
         let n = stream.read(&mut buf)?;
         if n == 0 {
-            break;
+            break raw.len();
         }
-        head.extend_from_slice(&buf[..n]);
-    }
-    let head = String::from_utf8_lossy(&head);
+        raw.extend_from_slice(&buf[..n]);
+    };
+    head_end = head_end.min(raw.len());
+    let head = String::from_utf8_lossy(&raw[..head_end]).into_owned();
     let request_line = head.lines().next().unwrap_or("");
     let mut parts = request_line.split_ascii_whitespace();
-    match (parts.next(), parts.next(), parts.next()) {
+    let (method, path) = match (parts.next(), parts.next(), parts.next()) {
         (Some(method), Some(path), Some(version))
             if version.starts_with("HTTP/1")
                 && !method.is_empty()
                 && method.bytes().all(|b| b.is_ascii_uppercase()) =>
         {
-            Ok(Some((method.to_string(), path.to_string())))
+            (method.to_string(), path.to_string())
         }
-        _ => Ok(None),
+        _ => return Ok(Request::Garbled),
+    };
+    let content_length = head
+        .lines()
+        .skip(1)
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.trim().eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Ok(Request::BodyTooLarge);
     }
+    let mut body = raw[head_end..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        body.extend_from_slice(&buf[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request::Parsed(
+        method,
+        path,
+        String::from_utf8_lossy(&body).into_owned(),
+    ))
 }
 
 fn respond(
@@ -447,6 +674,11 @@ fn respond_with(
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "",
     };

@@ -1,0 +1,208 @@
+//! `qa-serve` — the resident query-serving daemon, and its soak harness.
+//!
+//! Daemon mode binds a pulse HTTP surface with the serving endpoints
+//! (`PUT /doc`, `POST /query`, `GET /docs`, `GET /queries`) on top of the
+//! usual ops routes, then blocks until `GET /quit`. Soak mode
+//! (`--soak`) runs the deterministic load harness in-process and exits
+//! non-zero when any gate fails, which is how CI smokes the daemon.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use qa_serve::{run_soak, ServeConfig, SoakConfig};
+
+const USAGE: &str = "usage:
+  qa-serve [--listen ADDR] [--workers N] [--http-threads N]
+           [--queue-depth N] [--cache-cap N]
+           [--max-steps N] [--max-wall-ms MS]
+           [--slo FILE] [--scrape-every-ms MS] [--demo]
+  qa-serve --soak [--clients N] [--requests N] [--seed S]
+           [--docs N] [--doc-nodes N]
+           [--expect-shed] [--forbid-shed] [--gate-p99-ms MS]
+           [daemon flags as above]
+
+Daemon mode serves /healthz /readyz /metrics /flight /profile /series
+/alerts /events /quit plus the query API: PUT /doc?name=D (body: XML or
+s-expression), POST /query (JSON: formula|id, doc, register, why),
+GET /docs, GET /queries. --demo preloads the paper's Figure 1
+bibliography as document `bib`. The daemon runs until GET /quit.
+
+Soak mode starts a fresh in-process daemon, ingests a seeded corpus,
+fires clients x requests concurrent queries whose expected answers were
+computed locally beforehand, prints the E17-style table, and exits 1 if
+any gate fails (mismatch, non-contract failure, shed expectation, p99).";
+
+struct Opts {
+    serve: ServeConfig,
+    demo: bool,
+    soak: bool,
+    clients: usize,
+    requests: usize,
+    seed: u64,
+    docs: usize,
+    doc_nodes: usize,
+    expect_shed: bool,
+    forbid_shed: bool,
+    gate_p99_ms: Option<u64>,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        let soak_defaults = SoakConfig::default();
+        Opts {
+            serve: ServeConfig {
+                listen: "127.0.0.1:4493".to_string(),
+                ..ServeConfig::default()
+            },
+            demo: false,
+            soak: false,
+            clients: soak_defaults.clients,
+            requests: soak_defaults.requests,
+            seed: soak_defaults.seed,
+            docs: soak_defaults.docs,
+            doc_nodes: soak_defaults.doc_nodes,
+            expect_shed: false,
+            forbid_shed: false,
+            gate_p99_ms: None,
+        }
+    }
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts::default();
+    let mut it = args.iter();
+    let value = |flag: &str, v: Option<&String>| -> Result<String, String> {
+        v.cloned()
+            .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--listen" => opts.serve.listen = value(arg, it.next())?,
+            "--workers" => opts.serve.eval_workers = num(arg, it.next())? as usize,
+            "--http-threads" => opts.serve.http_threads = num(arg, it.next())? as usize,
+            "--queue-depth" => opts.serve.queue_depth = num(arg, it.next())? as usize,
+            "--cache-cap" => opts.serve.cache_capacity = num(arg, it.next())? as usize,
+            "--max-steps" => opts.serve.max_steps = num(arg, it.next())?,
+            "--max-wall-ms" => opts.serve.max_wall_ms = num(arg, it.next())?,
+            "--scrape-every-ms" => opts.serve.scrape_every_ms = num(arg, it.next())?,
+            "--slo" => {
+                let path = value(arg, it.next())?;
+                let text =
+                    std::fs::read_to_string(&path).map_err(|e| format!("--slo {path}: {e}"))?;
+                opts.serve.slo_rules = Some(text);
+            }
+            "--demo" => opts.demo = true,
+            "--soak" => opts.soak = true,
+            "--clients" => opts.clients = num(arg, it.next())? as usize,
+            "--requests" => opts.requests = num(arg, it.next())? as usize,
+            "--seed" => opts.seed = num(arg, it.next())?,
+            "--docs" => opts.docs = num(arg, it.next())? as usize,
+            "--doc-nodes" => opts.doc_nodes = num(arg, it.next())? as usize,
+            "--expect-shed" => opts.expect_shed = true,
+            "--forbid-shed" => opts.forbid_shed = true,
+            "--gate-p99-ms" => opts.gate_p99_ms = Some(num(arg, it.next())?),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if opts.soak {
+        // Soaks always bind an ephemeral port unless one was forced.
+        if !args.iter().any(|a| a == "--listen") {
+            opts.serve.listen = "127.0.0.1:0".to_string();
+        }
+        if opts.expect_shed && opts.forbid_shed {
+            return Err(format!("--expect-shed and --forbid-shed conflict\n{USAGE}"));
+        }
+    }
+    Ok(opts)
+}
+
+fn num(flag: &str, v: Option<&String>) -> Result<u64, String> {
+    v.and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("{flag} needs a number\n{USAGE}"))
+}
+
+fn run_daemon(opts: &Opts) -> ExitCode {
+    let daemon = match qa_serve::ServeDaemon::start(opts.serve.clone()) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("qa-serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.demo {
+        // Ingest over the wire, exactly as a client would.
+        let receipt = qa_pulse::http_request(
+            daemon.addr(),
+            "PUT",
+            "/doc?name=bib",
+            "application/xml",
+            qa_xml::figures::FIGURE_1_XML,
+            qa_pulse::HttpTimeouts::default(),
+        );
+        match receipt {
+            Ok(r) if r.status == 200 => eprintln!("demo: ingested Figure 1 bibliography as `bib`"),
+            Ok(r) => eprintln!("demo: ingest answered {}: {}", r.status, r.body),
+            Err(e) => eprintln!("demo: ingest failed: {e}"),
+        }
+    }
+    // The same banner pattern the fleet prints; CI seds the port out.
+    println!("pulse: serving on {}", daemon.addr());
+    while daemon.is_running() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    daemon.shutdown();
+    ExitCode::SUCCESS
+}
+
+fn run_soak_mode(opts: &Opts) -> ExitCode {
+    let cfg = SoakConfig {
+        daemon: opts.serve.clone(),
+        clients: opts.clients,
+        requests: opts.requests,
+        seed: opts.seed,
+        docs: opts.docs,
+        doc_nodes: opts.doc_nodes,
+        expect_shed: opts.expect_shed,
+        forbid_shed: opts.forbid_shed,
+        gate_p99_ms: opts.gate_p99_ms,
+    };
+    let report = match run_soak(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("qa-serve --soak: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.table());
+    println!(
+        "shed rate {:.1}%  wall {}ms",
+        report.shed_rate() * 100.0,
+        report.wall_ms
+    );
+    let failures = report.gate_failures(&cfg);
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for reason in &failures {
+            eprintln!("soak gate failed: {reason}");
+        }
+        ExitCode::from(1)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_opts(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.soak {
+        run_soak_mode(&opts)
+    } else {
+        run_daemon(&opts)
+    }
+}

@@ -1,0 +1,493 @@
+//! [`ServeDaemon`]: the resident serving process behind `qa-serve`.
+//!
+//! One daemon owns the four moving parts and wires them behind a pulse
+//! HTTP surface:
+//!
+//! - a [`DocStore`] under an `RwLock` (many concurrent readers for
+//!   evaluation, one writer per ingest);
+//! - a [`QueryCache`] under a `Mutex` (compile-once, LRU-bounded);
+//! - a [`qa_par::WorkPool`] the evaluations dispatch onto, whose
+//!   [`queue_depth`](qa_par::WorkPool::queue_depth) drives admission
+//!   control — past [`ServeConfig::queue_depth`] a request is shed with
+//!   `429 Retry-After` instead of queueing unbounded work;
+//! - a [`qa_sentinel::SharedSentinel`] scraping the served [`Metrics`]
+//!   registry on a background loop, so `/series` and `/alerts` watch the
+//!   serving SLOs (shed ratio, budget trips) out of the box.
+//!
+//! Every evaluation runs under a per-request
+//! [`Watchdog`] budget
+//! ([`ServeConfig::max_steps`] / [`ServeConfig::max_wall_ms`]): a
+//! runaway query aborts gracefully inside its worker and the client gets
+//! `408` with the tripped budget, never a hung connection.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use qa_base::Alphabet;
+use qa_flight::{Budget, Watchdog};
+use qa_obs::json::{self, Value};
+use qa_obs::{Counter, Metrics, Series};
+use qa_par::WorkPool;
+use qa_pulse::{ApiRequest, ApiResponse, PulseServer, PulseState};
+use qa_sentinel::SharedSentinel;
+use qa_trees::Tree;
+
+use crate::cache::QueryCache;
+use crate::store::DocStore;
+
+/// Serving SLO rules the daemon loads when no rules file is given: page
+/// when admission control sheds more than 10% of offered load (two-window
+/// burn rate over the served counters), and when any per-request budget
+/// trips at all.
+pub const DEFAULT_SLO_RULES: &str = "\
+alert shed-rate burnrate qa_serve_requests_shed_total / qa_serve_http_requests_total \
+objective 0.10 fast 6 slow 36 for 2
+alert budget-trips threshold qa_serve_budget_trips_total > 0 for 0
+alert no-traffic absent qa_serve_http_requests_total for 10
+";
+
+/// Configuration for [`ServeDaemon::start`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` for an ephemeral port).
+    pub listen: String,
+    /// Evaluation workers in the work-stealing pool.
+    pub eval_workers: usize,
+    /// HTTP connection threads (requests parsed/answered concurrently).
+    pub http_threads: usize,
+    /// Admission bound: shed with `429` once this many evaluations are
+    /// queued but not yet started.
+    pub queue_depth: usize,
+    /// Compiled queries the LRU cache retains.
+    pub cache_capacity: usize,
+    /// Per-request step budget (`Counter::Steps` of the two-pass run).
+    pub max_steps: u64,
+    /// Per-request wall-clock budget in milliseconds.
+    pub max_wall_ms: u64,
+    /// Sentinel rules text; `None` loads [`DEFAULT_SLO_RULES`].
+    pub slo_rules: Option<String>,
+    /// Background scrape period for the sentinel, in milliseconds
+    /// (0 disables the scrape loop; `/series` stays empty).
+    pub scrape_every_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            listen: "127.0.0.1:0".to_string(),
+            eval_workers: 4,
+            http_threads: 8,
+            queue_depth: 64,
+            cache_capacity: 128,
+            max_steps: 50_000_000,
+            max_wall_ms: 5_000,
+            slo_rules: None,
+            scrape_every_ms: 250,
+        }
+    }
+}
+
+/// Registered query ids (`POST /query` with `"register"`).
+type Registry = Mutex<std::collections::BTreeMap<String, String>>;
+
+struct Core {
+    store: RwLock<DocStore>,
+    cache: Mutex<QueryCache>,
+    registered: Registry,
+    pool: WorkPool,
+    metrics: Arc<Metrics>,
+    cfg: ServeConfig,
+}
+
+/// Handle to a running serving daemon; see the module docs.
+pub struct ServeDaemon {
+    server: PulseServer,
+    state: Arc<PulseState>,
+    core: Arc<Core>,
+    sentinel: Option<SharedSentinel>,
+    scrape_stop: Arc<AtomicBool>,
+    scrape_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServeDaemon {
+    /// Bind and start serving. The returned daemon is already `/readyz`.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<ServeDaemon> {
+        let metrics = Arc::new(Metrics::new());
+        let rules_text = cfg
+            .slo_rules
+            .clone()
+            .unwrap_or_else(|| DEFAULT_SLO_RULES.to_string());
+        let rules = qa_sentinel::parse_rules(&rules_text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        let core = Arc::new(Core {
+            store: RwLock::new(DocStore::new()),
+            cache: Mutex::new(QueryCache::new(cfg.cache_capacity)),
+            registered: Mutex::new(std::collections::BTreeMap::new()),
+            pool: WorkPool::new(cfg.eval_workers),
+            metrics: Arc::clone(&metrics),
+            cfg: cfg.clone(),
+        });
+        let state = PulseState::new(Arc::clone(&metrics), "qa_serve");
+        let sentinel = SharedSentinel::new(rules);
+        {
+            let src = sentinel.clone();
+            state.set_series_source(Box::new(move |name, tail| src.series_json(name, tail)));
+            let src = sentinel.clone();
+            state.set_alerts_source(Box::new(move || src.alerts_json()));
+        }
+        let handler_core = Arc::clone(&core);
+        state.set_api_handler(Arc::new(move |req| handle(&handler_core, req)));
+        let server = PulseServer::serve_pooled(&cfg.listen, Arc::clone(&state), cfg.http_threads)?;
+        // Background sentinel scrape: logical ticks over the shared
+        // registry, same discipline as the fleet's in-process loop.
+        let scrape_stop = Arc::new(AtomicBool::new(false));
+        let scrape_thread = if cfg.scrape_every_ms > 0 {
+            let stop = Arc::clone(&scrape_stop);
+            let s = sentinel.clone();
+            let m = Arc::clone(&metrics);
+            let every = Duration::from_millis(cfg.scrape_every_ms);
+            Some(
+                std::thread::Builder::new()
+                    .name("qa-serve-scrape".to_string())
+                    .spawn(move || {
+                        while !stop.load(Ordering::Acquire) {
+                            s.scrape(&m, "qa_serve", &Vec::new());
+                            std::thread::sleep(every);
+                        }
+                    })?,
+            )
+        } else {
+            None
+        };
+        state.set_ready();
+        Ok(ServeDaemon {
+            server,
+            state,
+            core,
+            sentinel: Some(sentinel),
+            scrape_stop,
+            scrape_thread,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// The served metrics registry.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        self.core.metrics()
+    }
+
+    /// The pulse state behind the HTTP surface.
+    pub fn state(&self) -> &Arc<PulseState> {
+        &self.state
+    }
+
+    /// Names of the sentinel alerts currently firing.
+    pub fn firing(&self) -> Vec<String> {
+        self.sentinel
+            .as_ref()
+            .map(|s| s.firing())
+            .unwrap_or_default()
+    }
+
+    /// Whether the HTTP accept loop is still running (it exits on
+    /// `GET /quit`).
+    pub fn is_running(&self) -> bool {
+        self.server.is_running()
+    }
+
+    /// Stop the scrape loop, the HTTP server and the worker pool.
+    pub fn shutdown(mut self) {
+        self.scrape_stop.store(true, Ordering::Release);
+        if let Some(handle) = self.scrape_thread.take() {
+            let _ = handle.join();
+        }
+        self.server.shutdown();
+    }
+}
+
+impl Core {
+    fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+}
+
+/// Route one request; `None` declines to the server's own 404/405.
+fn handle(core: &Arc<Core>, req: &ApiRequest) -> Option<ApiResponse> {
+    let response = match (req.method.as_str(), req.route.as_str()) {
+        ("PUT", "/doc") => put_doc(core, req),
+        ("POST", "/query") => post_query(core, req),
+        ("GET", "/docs") => get_docs(core),
+        ("GET", "/queries") => get_queries(core),
+        _ => return None,
+    };
+    core.metrics.count(Counter::HttpRequests, 1);
+    Some(response)
+}
+
+fn error_json(status: u16, message: &str) -> ApiResponse {
+    ApiResponse::json(
+        status,
+        json::object(|w| {
+            w.field_str("error", message);
+        }),
+    )
+}
+
+fn put_doc(core: &Arc<Core>, req: &ApiRequest) -> ApiResponse {
+    let started = Instant::now();
+    let Some(name) = req.param("name").filter(|n| !n.is_empty()) else {
+        return error_json(400, "PUT /doc needs a ?name=<doc> query parameter");
+    };
+    if req.body.trim().is_empty() {
+        return error_json(400, "PUT /doc needs the document text as request body");
+    }
+    let receipt = {
+        let mut store = core.store.write().expect("store lock poisoned");
+        store.ingest(name, &req.body)
+    };
+    match receipt {
+        Ok(r) => {
+            core.metrics.count(Counter::DocIngests, 1);
+            core.metrics
+                .record(Series::IngestMicros, started.elapsed().as_micros() as u64);
+            ApiResponse::json(
+                200,
+                json::object(|w| {
+                    w.field_str("name", name);
+                    w.field_u64("id", r.id as u64);
+                    w.field_str("fingerprint", &format!("{:016x}", r.fingerprint));
+                    w.field_u64("nodes", r.nodes as u64);
+                    w.field_u64("height", r.height as u64);
+                    w.field_bool("updated", r.updated);
+                }),
+            )
+        }
+        Err(e) => error_json(422, &format!("ingest failed: {e}")),
+    }
+}
+
+/// The parsed body of one `POST /query`.
+struct QueryRequest {
+    formula: Option<String>,
+    id: Option<String>,
+    doc: Option<String>,
+    register: Option<String>,
+    why: bool,
+}
+
+fn parse_query_body(body: &str) -> Result<QueryRequest, String> {
+    let value = json::parse(body).map_err(|e| format!("request body is not JSON: {e}"))?;
+    let text = |key: &str| -> Option<String> {
+        value.get(key).and_then(Value::as_str).map(str::to_string)
+    };
+    let why = matches!(value.get("why"), Some(Value::Bool(true)));
+    Ok(QueryRequest {
+        formula: text("formula"),
+        id: text("id"),
+        doc: text("doc"),
+        register: text("register"),
+        why,
+    })
+}
+
+fn post_query(core: &Arc<Core>, req: &ApiRequest) -> ApiResponse {
+    let started = Instant::now();
+    let parsed = match parse_query_body(&req.body) {
+        Ok(p) => p,
+        Err(e) => return error_json(400, &e),
+    };
+    // Resolve the formula text: inline, or a pre-registered id.
+    let formula = match (&parsed.formula, &parsed.id) {
+        (Some(f), _) => f.clone(),
+        (None, Some(id)) => {
+            let registered = core.registered.lock().expect("registry lock poisoned");
+            match registered.get(id) {
+                Some(f) => f.clone(),
+                None => return error_json(404, &format!("no registered query `{id}`")),
+            }
+        }
+        (None, None) => return error_json(400, "POST /query needs `formula` or `id`"),
+    };
+    // Admission control: shed before compiling or queueing anything.
+    let backlog = core.pool.queue_depth();
+    if backlog >= core.cfg.queue_depth {
+        core.metrics.count(Counter::RequestsShed, 1);
+        return error_json(429, &format!("evaluation backlog {backlog} at capacity"))
+            .retry_after(1);
+    }
+    // Compile (or fetch) the query under the store's write lock so the
+    // shared alphabet and the compiled σ stay coherent.
+    let compiled = {
+        let mut store = core.store.write().expect("store lock poisoned");
+        let mut cache = core.cache.lock().expect("cache lock poisoned");
+        cache.compile(&formula, store.alphabet_mut(), Some(&core.metrics))
+    };
+    let compiled = match compiled {
+        Ok(c) => c,
+        Err(e) => return error_json(422, &format!("compile failed: {e}")),
+    };
+    if let Some(id) = &parsed.register {
+        core.registered
+            .lock()
+            .expect("registry lock poisoned")
+            .insert(id.clone(), compiled.formula.clone());
+    }
+    // Registration without a target document compiles and returns.
+    let Some(doc_name) = &parsed.doc else {
+        if parsed.register.is_none() {
+            return error_json(400, "POST /query needs a `doc` (or a `register` id)");
+        }
+        return ApiResponse::json(
+            200,
+            json::object(|w| {
+                w.field_str("registered", parsed.register.as_deref().unwrap_or(""));
+                w.field_str("query", &format!("{:016x}", compiled.hash));
+                w.field_u64("states", compiled.states as u64);
+                w.field_u64("sigma", compiled.sigma as u64);
+            }),
+        );
+    };
+    let (tree, labels): (Arc<Tree>, Alphabet) = {
+        let store = core.store.read().expect("store lock poisoned");
+        match store.get(doc_name) {
+            Some(doc) => (Arc::clone(&doc.tree), store.alphabet().clone()),
+            None => return error_json(404, &format!("no document `{doc_name}`")),
+        }
+    };
+    // Dispatch onto the work-stealing pool under a per-request budget.
+    let budget = Budget::steps(core.cfg.max_steps)
+        .with_wall(Duration::from_millis(core.cfg.max_wall_ms))
+        .with_wall_poll_every(64);
+    let (tx, rx) = mpsc::channel();
+    let job_metrics = Arc::clone(&core.metrics);
+    let job_query = Arc::clone(&compiled);
+    let job_tree = Arc::clone(&tree);
+    let why = parsed.why;
+    let submitted = core.pool.submit(Box::new(move || {
+        let mut dog = Watchdog::new(job_metrics.observer(), budget);
+        let explained = if why {
+            job_query
+                .prepared
+                .eval_unranked_explained(&job_tree, &mut dog)
+        } else {
+            job_query
+                .prepared
+                .eval_unranked_with(&job_tree, &mut dog)
+                .into_iter()
+                .map(|v| (v, 0))
+                .collect()
+        };
+        let tripped = dog.tripped();
+        if tripped.is_some() {
+            job_metrics.count(Counter::BudgetTrips, 1);
+        }
+        let _ = tx.send((explained, tripped));
+    }));
+    if !submitted {
+        return error_json(503, "daemon is shutting down");
+    }
+    // The budget bounds the evaluation; the recv deadline only guards
+    // against a lost worker, so it can be generous.
+    let deadline = Duration::from_millis(core.cfg.max_wall_ms.saturating_mul(4).max(1_000) + 5_000);
+    let (explained, tripped) = match rx.recv_timeout(deadline) {
+        Ok(result) => result,
+        Err(_) => return error_json(500, "evaluation worker lost"),
+    };
+    if let Some(abort) = tripped {
+        return error_json(
+            408,
+            &format!(
+                "budget exceeded: {} = {} over limit {}",
+                abort.what, abort.actual, abort.limit
+            ),
+        );
+    }
+    let micros = started.elapsed().as_micros() as u64;
+    core.metrics.record(Series::QueryMicros, micros);
+    ApiResponse::json(
+        200,
+        json::object(|w| {
+            w.field_str("doc", doc_name);
+            w.field_str("query", &format!("{:016x}", compiled.hash));
+            w.field_u64("sigma", compiled.sigma as u64);
+            w.field_u64("states", compiled.states as u64);
+            w.field_u64("count", explained.len() as u64);
+            w.field_u64_array("selected", explained.iter().map(|(v, _)| v.index() as u64));
+            if why {
+                w.field_raw(
+                    "why_selected",
+                    &json::array(explained.iter().map(|(v, state)| {
+                        json::object(|w| {
+                            w.field_u64("node", v.index() as u64);
+                            w.field_u64("marked_state", u64::from(*state));
+                            w.field_str("label", labels.name(tree.label(*v)));
+                        })
+                    })),
+                );
+            }
+            w.field_u64("micros", micros);
+        }),
+    )
+}
+
+fn get_docs(core: &Arc<Core>) -> ApiResponse {
+    let store = core.store.read().expect("store lock poisoned");
+    let body = json::object(|w| {
+        w.field_u64("count", store.len() as u64);
+        w.field_u64("sigma", store.alphabet().len() as u64);
+        w.field_raw(
+            "docs",
+            &json::array(store.docs().iter().map(|d| {
+                json::object(|w| {
+                    w.field_str("name", &d.name);
+                    w.field_str("fingerprint", &format!("{:016x}", d.fingerprint));
+                    w.field_u64("nodes", d.nodes as u64);
+                    w.field_u64("height", d.height as u64);
+                })
+            })),
+        );
+    });
+    ApiResponse::json(200, body)
+}
+
+fn get_queries(core: &Arc<Core>) -> ApiResponse {
+    let registered = core.registered.lock().expect("registry lock poisoned");
+    let cache = core.cache.lock().expect("cache lock poisoned");
+    let (hits, misses, evictions) = cache.stats();
+    let body = json::object(|w| {
+        w.field_raw(
+            "registered",
+            &json::array(registered.iter().map(|(id, formula)| {
+                json::object(|w| {
+                    w.field_str("id", id);
+                    w.field_str("formula", formula);
+                    w.field_str(
+                        "query",
+                        &format!("{:016x}", qa_obs::fnv1a64(formula.trim().as_bytes())),
+                    );
+                })
+            })),
+        );
+        w.field_raw(
+            "compiled",
+            &json::array(cache.entries().map(|(q, entry_hits)| {
+                json::object(|w| {
+                    w.field_str("query", &format!("{:016x}", q.hash));
+                    w.field_str("formula", &q.formula);
+                    w.field_u64("sigma", q.sigma as u64);
+                    w.field_u64("states", q.states as u64);
+                    w.field_u64("hits", entry_hits);
+                })
+            })),
+        );
+        w.field_u64("hits", hits);
+        w.field_u64("misses", misses);
+        w.field_u64("evictions", evictions);
+    });
+    ApiResponse::json(200, body)
+}

@@ -1,0 +1,342 @@
+//! The deterministic soak harness behind `qa-serve --soak`.
+//!
+//! A soak starts an in-process [`ServeDaemon`], ingests a seeded corpus
+//! of synthetic documents over `PUT /doc`, then fires `clients ×
+//! requests` concurrent `POST /query` calls at it. The request *content*
+//! is a pure function of `(seed, client, request)`, and before the burst
+//! starts the harness computes every expected node set locally through
+//! the same compile pipeline — so although thread interleaving varies,
+//! every `200` response is checked byte-for-byte against the
+//! deterministic answer, and any drift is a `mismatch`, not a flake.
+//!
+//! What the soak gates:
+//!
+//! - **correctness** — zero mismatches between served node sets and the
+//!   local batch evaluation;
+//! - **shed behavior** — with a tiny queue depth, admission control must
+//!   answer `429` with `Retry-After` (never hang, never panic), and with
+//!   a sane depth it must not shed at all;
+//! - **latency** — client-observed p99 stays under an explicit gate.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use qa_base::rng::StdRng;
+use qa_obs::json::{self, Value};
+use qa_pulse::{http_request, HttpTimeouts};
+use qa_trees::sexpr::to_sexpr;
+
+use crate::daemon::{ServeConfig, ServeDaemon};
+
+/// The query mix every soak cycles through.
+pub const SOAK_FORMULAS: [&str; 4] = [
+    "label(v, a)",
+    "label(v, b)",
+    "leaf(v) & label(v, c)",
+    "label(v, a) & (ex r. (root(r) & label(r, a)))",
+];
+
+/// Configuration of one soak run.
+#[derive(Clone, Debug)]
+pub struct SoakConfig {
+    /// Daemon configuration (listen address, workers, queue depth, …).
+    pub daemon: ServeConfig,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests each client fires.
+    pub requests: usize,
+    /// Seed for the document corpus and the request schedule.
+    pub seed: u64,
+    /// Distinct synthetic documents to ingest.
+    pub docs: usize,
+    /// Nodes per synthetic document.
+    pub doc_nodes: usize,
+    /// Fail unless at least one request was shed with `429` (for tiny
+    /// queue depths that exist to prove admission control sheds).
+    pub expect_shed: bool,
+    /// Fail if any request was shed (for generous queue depths).
+    pub forbid_shed: bool,
+    /// Fail if client-observed p99 exceeds this many milliseconds.
+    pub gate_p99_ms: Option<u64>,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        SoakConfig {
+            daemon: ServeConfig::default(),
+            clients: 8,
+            requests: 64,
+            seed: 42,
+            docs: 6,
+            doc_nodes: 200,
+            expect_shed: false,
+            forbid_shed: false,
+            gate_p99_ms: None,
+        }
+    }
+}
+
+/// Outcome of one soak run.
+#[derive(Clone, Debug)]
+pub struct SoakReport {
+    /// Requests offered (`clients × requests`).
+    pub offered: usize,
+    /// `200` responses.
+    pub ok: usize,
+    /// `429` sheds.
+    pub shed: usize,
+    /// Any other status, transport error, or missing `Retry-After` on a
+    /// shed.
+    pub failed: usize,
+    /// `200` responses whose node set differed from the local batch
+    /// evaluation.
+    pub mismatches: usize,
+    /// Client-observed latency percentiles over `200` responses, in
+    /// microseconds.
+    pub p50_us: u64,
+    /// 99th percentile latency (microseconds).
+    pub p99_us: u64,
+    /// Worst observed latency (microseconds).
+    pub max_us: u64,
+    /// Wall time of the whole burst, in milliseconds.
+    pub wall_ms: u64,
+}
+
+impl SoakReport {
+    /// Offered load in requests per second over the burst.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.wall_ms == 0 {
+            return self.offered as f64 * 1_000.0;
+        }
+        self.offered as f64 * 1_000.0 / self.wall_ms as f64
+    }
+
+    /// Shed fraction of offered load.
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.shed as f64 / self.offered as f64
+    }
+
+    /// The E17-style summary table.
+    pub fn table(&self) -> String {
+        format!(
+            "offered   ok     429    fail   mism   rps      p50us    p99us    maxus\n\
+             {:<9} {:<6} {:<6} {:<6} {:<6} {:<8.0} {:<8} {:<8} {:<8}\n",
+            self.offered,
+            self.ok,
+            self.shed,
+            self.failed,
+            self.mismatches,
+            self.throughput_rps(),
+            self.p50_us,
+            self.p99_us,
+            self.max_us
+        )
+    }
+
+    /// Every gate the run violated, as human-readable reasons (empty =
+    /// pass).
+    pub fn gate_failures(&self, cfg: &SoakConfig) -> Vec<String> {
+        let mut fails = Vec::new();
+        if self.failed > 0 {
+            fails.push(format!(
+                "{} request(s) failed outside the 200/429 contract",
+                self.failed
+            ));
+        }
+        if self.mismatches > 0 {
+            fails.push(format!(
+                "{} response(s) diverged from the batch evaluation",
+                self.mismatches
+            ));
+        }
+        if cfg.expect_shed && self.shed == 0 {
+            fails.push("expected at least one 429 shed, saw none".to_string());
+        }
+        if cfg.forbid_shed && self.shed > 0 {
+            fails.push(format!("expected zero sheds, saw {}", self.shed));
+        }
+        if let Some(gate) = cfg.gate_p99_ms {
+            let p99_ms = self.p99_us / 1_000;
+            if p99_ms > gate {
+                fails.push(format!("p99 {}ms over the {}ms gate", p99_ms, gate));
+            }
+        }
+        fails
+    }
+}
+
+/// The seeded document corpus: `(name, s-expression)` pairs over the
+/// labels `a`/`b`/`c`, shapes drawn by [`qa_trees::generate::random`].
+pub fn soak_corpus(seed: u64, docs: usize, doc_nodes: usize) -> Vec<(String, String)> {
+    let alphabet = qa_base::Alphabet::from_names(["a", "b", "c"]);
+    let labels: Vec<_> = alphabet.symbols().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..docs)
+        .map(|i| {
+            let tree = qa_trees::generate::random(&mut rng, &labels, doc_nodes.max(1), Some(4));
+            (format!("doc-{i}"), to_sexpr(&tree, &alphabet))
+        })
+        .collect()
+}
+
+/// Which `(formula, doc)` pair request `r` of client `c` targets — a pure
+/// function so the burst is reproducible and locally checkable.
+fn pick(seed: u64, client: usize, request: usize, docs: usize) -> (usize, usize) {
+    let h = qa_obs::fnv1a64(format!("{seed}/{client}/{request}").as_bytes());
+    (
+        (h % SOAK_FORMULAS.len() as u64) as usize,
+        ((h >> 16) % docs.max(1) as u64) as usize,
+    )
+}
+
+/// Run one soak against a fresh in-process daemon; see the module docs.
+pub fn run_soak(cfg: &SoakConfig) -> std::io::Result<SoakReport> {
+    let daemon = ServeDaemon::start(cfg.daemon.clone())?;
+    let addr = daemon.addr();
+    let timeouts = HttpTimeouts {
+        connect: Duration::from_secs(5),
+        io: Duration::from_secs(30),
+    };
+    let corpus = soak_corpus(cfg.seed, cfg.docs, cfg.doc_nodes);
+
+    // Ingest over the wire (PUT /doc is part of what the soak exercises).
+    for (name, text) in &corpus {
+        let resp = http_request(
+            addr,
+            "PUT",
+            &format!("/doc?name={name}"),
+            "text/plain",
+            text,
+            timeouts,
+        )?;
+        if resp.status != 200 {
+            return Err(std::io::Error::other(format!(
+                "ingest of {name} failed with {}: {}",
+                resp.status, resp.body
+            )));
+        }
+    }
+
+    // Expected node sets through the same pipeline, computed locally.
+    let expected = {
+        let mut store = crate::DocStore::new();
+        for (name, text) in &corpus {
+            store
+                .ingest(name, text)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+        }
+        let mut cache = crate::QueryCache::new(SOAK_FORMULAS.len() + 1);
+        let mut table: Vec<Vec<Vec<u64>>> = Vec::new();
+        for formula in SOAK_FORMULAS {
+            let compiled = cache
+                .compile(formula, store.alphabet_mut(), None)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            let per_doc = corpus
+                .iter()
+                .map(|(name, _)| {
+                    let doc = store.get(name).expect("just ingested");
+                    compiled
+                        .prepared
+                        .eval_unranked(&doc.tree)
+                        .into_iter()
+                        .map(|v| v.index() as u64)
+                        .collect()
+                })
+                .collect();
+            table.push(per_doc);
+        }
+        Arc::new(table)
+    };
+
+    let ok = Arc::new(AtomicUsize::new(0));
+    let shed = Arc::new(AtomicUsize::new(0));
+    let failed = Arc::new(AtomicUsize::new(0));
+    let mismatches = Arc::new(AtomicUsize::new(0));
+    let latencies = Arc::new(Mutex::new(Vec::new()));
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..cfg.clients {
+            let ok = Arc::clone(&ok);
+            let shed = Arc::clone(&shed);
+            let failed = Arc::clone(&failed);
+            let mismatches = Arc::clone(&mismatches);
+            let latencies = Arc::clone(&latencies);
+            let expected = Arc::clone(&expected);
+            let cfg = cfg.clone();
+            scope.spawn(move || {
+                let mut mine = Vec::with_capacity(cfg.requests);
+                for request in 0..cfg.requests {
+                    let (qi, di) = pick(cfg.seed, client, request, cfg.docs);
+                    let why = request % 5 == 0;
+                    let body = json::object(|w| {
+                        w.field_str("formula", SOAK_FORMULAS[qi]);
+                        w.field_str("doc", &format!("doc-{di}"));
+                        w.field_bool("why", why);
+                    });
+                    let sent = Instant::now();
+                    let resp =
+                        http_request(addr, "POST", "/query", "application/json", &body, timeouts);
+                    let micros = sent.elapsed().as_micros() as u64;
+                    match resp {
+                        Ok(r) if r.status == 200 => {
+                            mine.push(micros);
+                            let served: Option<Vec<u64>> =
+                                json::parse(&r.body).ok().and_then(|v| selected_of(&v));
+                            if served.as_deref() == Some(&expected[qi][di]) {
+                                ok.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                mismatches.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        // A shed without Retry-After breaks the contract.
+                        Ok(r) if r.status == 429 && r.retry_after.is_some() => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                latencies.lock().expect("latency lock").extend(mine);
+            });
+        }
+    });
+    let wall_ms = started.elapsed().as_millis() as u64;
+    daemon.shutdown();
+
+    let mut lat = Arc::try_unwrap(latencies)
+        .expect("clients joined")
+        .into_inner()
+        .expect("latency lock");
+    lat.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if lat.is_empty() {
+            return 0;
+        }
+        let idx = ((lat.len() as f64 - 1.0) * p).round() as usize;
+        lat[idx.min(lat.len() - 1)]
+    };
+    Ok(SoakReport {
+        offered: cfg.clients * cfg.requests,
+        ok: ok.load(Ordering::Relaxed),
+        shed: shed.load(Ordering::Relaxed),
+        failed: failed.load(Ordering::Relaxed),
+        mismatches: mismatches.load(Ordering::Relaxed),
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        max_us: lat.last().copied().unwrap_or(0),
+        wall_ms,
+    })
+}
+
+/// The `selected` array of a `POST /query` response body.
+fn selected_of(value: &Value) -> Option<Vec<u64>> {
+    value
+        .get("selected")?
+        .as_arr()
+        .map(|items| items.iter().filter_map(Value::as_u64).collect())
+}

@@ -1,0 +1,234 @@
+//! [`DocStore`]: the resident, arena-backed document store behind
+//! `PUT /doc`.
+//!
+//! Documents arrive as s-expressions or XML, parse into the workspace's
+//! arena [`Tree`] (every node a `u32` index into flat vectors — no
+//! per-node allocation), and stay resident under one *shared*
+//! [`Alphabet`]. Sharing the alphabet across every document is the
+//! store's load-bearing decision: compiled query automata are functions
+//! of the alphabet size `σ`, so a single growing alphabet gives the
+//! query cache one coherent `σ` axis to key on — ingesting a document
+//! with fresh labels bumps `σ`, and the cache recompiles affected
+//! queries instead of ever applying a stale automaton to symbols it has
+//! never seen.
+//!
+//! Every document gets a content fingerprint: FNV-1a 64 over its
+//! *canonical s-expression* rendering, so the same tree ingested as XML
+//! or as an s-expression — or re-ingested byte-differently but
+//! structurally identically — fingerprints identically, and re-ingests
+//! of unchanged content are cheap idempotent no-ops.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use qa_base::{Alphabet, Error, Result};
+use qa_trees::sexpr::{from_sexpr, to_sexpr};
+use qa_trees::Tree;
+use qa_xml::parser::{parse_with_alphabet, PCDATA};
+
+/// One resident document.
+#[derive(Clone, Debug)]
+pub struct StoredDoc {
+    /// The name it was ingested under (`PUT /doc?name=…`).
+    pub name: String,
+    /// The parsed tree, shared with in-flight evaluations.
+    pub tree: Arc<Tree>,
+    /// FNV-1a 64 over the canonical s-expression rendering.
+    pub fingerprint: u64,
+    /// Node count.
+    pub nodes: usize,
+    /// Tree height (root-to-deepest-leaf edges).
+    pub height: usize,
+}
+
+/// Receipt returned by [`DocStore::ingest`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IngestReceipt {
+    /// Dense document id (stable across re-ingests of the same name).
+    pub id: usize,
+    /// Content fingerprint of the ingested tree.
+    pub fingerprint: u64,
+    /// Node count of the ingested tree.
+    pub nodes: usize,
+    /// Height of the ingested tree.
+    pub height: usize,
+    /// Whether the store changed — `false` when re-ingesting a document
+    /// whose fingerprint matches what is already resident.
+    pub updated: bool,
+}
+
+/// The resident document store; see the module docs.
+#[derive(Debug, Default)]
+pub struct DocStore {
+    alphabet: Alphabet,
+    docs: Vec<StoredDoc>,
+    by_name: BTreeMap<String, usize>,
+}
+
+impl DocStore {
+    /// An empty store. Its shared alphabet pre-interns
+    /// [`PCDATA`] so XML and s-expression ingests
+    /// agree on symbol ids from the first document on.
+    pub fn new() -> DocStore {
+        let mut alphabet = Alphabet::new();
+        alphabet.intern(PCDATA);
+        DocStore {
+            alphabet,
+            docs: Vec::new(),
+            by_name: BTreeMap::new(),
+        }
+    }
+
+    /// Parse `text` (XML if it starts with `<`, an s-expression
+    /// otherwise) and store it under `name`, extending the shared
+    /// alphabet with any fresh labels. Re-ingesting a name with
+    /// fingerprint-identical content is an idempotent no-op; different
+    /// content replaces the document in place, keeping its id.
+    ///
+    /// ```
+    /// use qa_serve::DocStore;
+    ///
+    /// let mut store = DocStore::new();
+    /// let receipt = store.ingest("pair", "(a (b) (b))").unwrap();
+    /// assert_eq!((receipt.nodes, receipt.height), (3, 1));
+    /// assert!(receipt.updated);
+    ///
+    /// // Re-ingesting identical content changes nothing.
+    /// let again = store.ingest("pair", "(a b b)").unwrap();
+    /// assert_eq!(again.fingerprint, receipt.fingerprint);
+    /// assert!(!again.updated);
+    ///
+    /// // XML and s-expression ingests share one alphabet.
+    /// let xml = store.ingest("solo", "<a><b/></a>").unwrap();
+    /// assert_eq!(xml.nodes, 2);
+    /// ```
+    pub fn ingest(&mut self, name: &str, text: &str) -> Result<IngestReceipt> {
+        if name.is_empty() {
+            return Err(Error::parse("doc", "empty document name".to_string()));
+        }
+        let trimmed = text.trim();
+        let tree = if trimmed.starts_with('<') {
+            parse_with_alphabet(trimmed, &mut self.alphabet)?.tree
+        } else {
+            from_sexpr(trimmed, &mut self.alphabet)?
+        };
+        let canonical = to_sexpr(&tree, &self.alphabet);
+        let fingerprint = qa_obs::fnv1a64(canonical.as_bytes());
+        let nodes = tree.num_nodes();
+        let height = tree.height();
+        if let Some(&id) = self.by_name.get(name) {
+            if self.docs[id].fingerprint == fingerprint {
+                return Ok(IngestReceipt {
+                    id,
+                    fingerprint,
+                    nodes,
+                    height,
+                    updated: false,
+                });
+            }
+            self.docs[id] = StoredDoc {
+                name: name.to_string(),
+                tree: Arc::new(tree),
+                fingerprint,
+                nodes,
+                height,
+            };
+            return Ok(IngestReceipt {
+                id,
+                fingerprint,
+                nodes,
+                height,
+                updated: true,
+            });
+        }
+        let id = self.docs.len();
+        self.docs.push(StoredDoc {
+            name: name.to_string(),
+            tree: Arc::new(tree),
+            fingerprint,
+            nodes,
+            height,
+        });
+        self.by_name.insert(name.to_string(), id);
+        Ok(IngestReceipt {
+            id,
+            fingerprint,
+            nodes,
+            height,
+            updated: true,
+        })
+    }
+
+    /// Look a document up by name.
+    pub fn get(&self, name: &str) -> Option<&StoredDoc> {
+        self.by_name.get(name).map(|&id| &self.docs[id])
+    }
+
+    /// The shared alphabet (usable mutably for query compilation, which
+    /// may intern labels documents never carried).
+    pub fn alphabet_mut(&mut self) -> &mut Alphabet {
+        &mut self.alphabet
+    }
+
+    /// The shared alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Number of resident documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the store holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// All resident documents in ingest order.
+    pub fn docs(&self) -> &[StoredDoc] {
+        &self.docs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xml_and_sexpr_of_the_same_tree_fingerprint_identically() {
+        let mut store = DocStore::new();
+        let a = store
+            .ingest("s", "(bibliography (book author title))")
+            .unwrap();
+        let b = store
+            .ingest(
+                "x",
+                "<bibliography><book><author/><title/></book></bibliography>",
+            )
+            .unwrap();
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_ne!(a.id, b.id, "distinct names are distinct documents");
+    }
+
+    #[test]
+    fn replacing_content_keeps_the_id_and_reports_updated() {
+        let mut store = DocStore::new();
+        let first = store.ingest("d", "(a b)").unwrap();
+        let second = store.ingest("d", "(a b c)").unwrap();
+        assert_eq!(first.id, second.id);
+        assert!(second.updated);
+        assert_ne!(first.fingerprint, second.fingerprint);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get("d").unwrap().nodes, 3);
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        let mut store = DocStore::new();
+        assert!(store.ingest("bad", "(unclosed").is_err());
+        assert!(store.ingest("bad", "<unclosed>").is_err());
+        assert!(store.ingest("", "(a)").is_err());
+        assert!(store.is_empty());
+    }
+}

@@ -24,6 +24,7 @@
 //! | [`pulse`] | live ops surface: std-only HTTP [`PulseServer`](pulse::PulseServer) (`/metrics`, health, `/flight`, `/profile`), HTTP client + Prometheus parser for federation, [`SpanProfiler`](pulse::SpanProfiler) flamegraphs, opt-in [`CountingAlloc`](pulse::CountingAlloc) heap accounting | — |
 //! | [`mesh`] | multi-process fleets: [`run_mesh`](mesh::run_mesh) coordinator sharding jobs over spawned workers, federated metrics/profiles/flight dumps, liveness timelines, chaos-tolerant reassignment | — |
 //! | [`sentinel`] | embedded time-series rings ([`SeriesStore`](sentinel::SeriesStore)), window queries (rate/delta/quantile), declarative [`AlertRule`](sentinel::AlertRule)s with SLO burn-rate, deterministic [`Replay`](sentinel::Replay) alerting | — |
+//! | [`serve`] | resident query serving: [`DocStore`](serve::DocStore) + [`QueryCache`](serve::QueryCache) behind a `PUT /doc` / `POST /query` HTTP API ([`ServeDaemon`](serve::ServeDaemon)), admission control, soak harness | §4–5 served live |
 //! | [`xml`] | XML subset, DTDs, validation (Figures 1–4) | §1 |
 //!
 //! ## Quickstart
@@ -55,6 +56,7 @@ pub use qa_par as par;
 pub use qa_probe as probe;
 pub use qa_pulse as pulse;
 pub use qa_sentinel as sentinel;
+pub use qa_serve as serve;
 pub use qa_strings as strings;
 pub use qa_trees as trees;
 pub use qa_twoway as twoway;
