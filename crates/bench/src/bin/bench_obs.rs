@@ -42,7 +42,9 @@
 //! (an accidental allocation or syscall per event), not percent-level
 //! noise. The pulse row carries its own bound: serving plus profiling must
 //! stay within 10% of the plain full stack (or a small absolute ns/step
-//! slack on noisy runners).
+//! slack on noisy runners). The scope row (full stack plus a per-state
+//! [`qa_scope::ScopeProfiler`], the `--scope` / EXPLAIN ANALYZE
+//! configuration) is held to the same 10%-over-stack bound.
 //!
 //! `--par` runs a repetition-heavy batch (string queries over a small
 //! document pool plus repeated §6 decision calls) two ways — plain
@@ -411,6 +413,23 @@ fn overhead(gate: bool) -> usize {
     });
     pulse_server.shutdown();
 
+    // The --scope configuration: the full stack plus a per-state
+    // ScopeProfiler — what `qa-fleet --scope` and a serving-daemon
+    // `"explain": true` request add per run. Gated like pulse: EXPLAIN
+    // ANALYZE must cost at most 10% over the plain full stack (or a small
+    // absolute ns/step slack).
+    let scope_metrics = Metrics::new();
+    let mut scope_stack = Watchdog::new(
+        Tee(
+            FlightRecorder::with_capacity(256),
+            Tee(scope_metrics.observer(), qa_scope::ScopeProfiler::new()),
+        ),
+        Budget::steps(u64::MAX),
+    );
+    let ns_scope = h.bench("stack+scope(explain)", || {
+        qa.query_with(&word, &mut scope_stack).unwrap()
+    });
+
     println!();
     println!(
         "{:<24} {:>12} {:>10} {:>9}",
@@ -456,10 +475,29 @@ fn overhead(gate: bool) -> usize {
             violations += 1;
         }
     }
+    // The scope row carries the same bound as pulse: per-state profiling
+    // must stay within 10% of the plain full stack (or the absolute slack).
+    const MAX_SCOPE_RELATIVE: f64 = 1.10;
+    const MAX_SCOPE_EXTRA_NS_PER_STEP: f64 = 25.0;
+    {
+        let per_step = ns_scope / steps as f64;
+        let rel_stack = ns_scope / ns_stack.max(1e-9);
+        let extra_per_step = (ns_scope - ns_stack) / steps as f64;
+        let ok = rel_stack <= MAX_SCOPE_RELATIVE || extra_per_step <= MAX_SCOPE_EXTRA_NS_PER_STEP;
+        println!(
+            "{:<24} {ns_scope:>12.1} {per_step:>10.2} {:>7.2}x stack{}",
+            "stack+scope",
+            rel_stack,
+            if ok { "" } else { "  <-- OVER BUDGET" }
+        );
+        if gate && !ok {
+            violations += 1;
+        }
+    }
     if gate {
         if violations == 0 {
             println!(
-                "gate: OK — every observer within {MAX_EXTRA_NS_PER_STEP} extra ns/step or {MAX_RELATIVE}x of noop; pulse within {MAX_PULSE_RELATIVE}x of the full stack"
+                "gate: OK — every observer within {MAX_EXTRA_NS_PER_STEP} extra ns/step or {MAX_RELATIVE}x of noop; pulse and scope within {MAX_PULSE_RELATIVE}x of the full stack"
             );
         } else {
             println!("gate: {violations} observer(s) over budget");

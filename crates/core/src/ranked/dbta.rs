@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use qa_base::Symbol;
+use qa_obs::{Counter, Machine, NoopObserver, Observer, Series};
 use qa_strings::StateId;
 use qa_trees::Tree;
 
@@ -118,9 +119,27 @@ impl Dbta {
         Some(table[tree.root().index()])
     }
 
+    /// [`Dbta::run`] with an [`Observer`] (see [`Dbta::run_table_with`]).
+    pub fn run_with<O: Observer>(&self, tree: &Tree, obs: &mut O) -> Option<StateId> {
+        let table = self.run_table_with(tree, obs)?;
+        Some(table[tree.root().index()])
+    }
+
     /// The per-node state table `δ*(t_v)`, if the run completes.
     pub fn run_table(&self, tree: &Tree) -> Option<Vec<StateId>> {
+        self.run_table_with(tree, &mut NoopObserver)
+    }
+
+    /// [`Dbta::run_table`] with an [`Observer`]: each node fold is a
+    /// [`Counter::TableLookups`], each defined transition a
+    /// [`Counter::Steps`] plus a [`Machine::Dbtar`]
+    /// [`Observer::state_visit`] of the reached state and one
+    /// [`Observer::transition_fired`] per folded child; the total work is
+    /// recorded under [`Series::RunSteps`]. With [`NoopObserver`] this
+    /// monomorphizes to exactly `run_table`.
+    pub fn run_table_with<O: Observer>(&self, tree: &Tree, obs: &mut O) -> Option<Vec<StateId>> {
         let mut table: Vec<Option<StateId>> = vec![None; tree.num_nodes()];
+        let mut steps = 0u64;
         for v in tree.postorder() {
             let children: Vec<StateId> = tree
                 .children(v)
@@ -130,9 +149,28 @@ impl Dbta {
             if children.len() > self.max_rank {
                 return None;
             }
-            table[v.index()] = self.transition(&children, tree.label(v));
+            let label = tree.label(v);
+            obs.count(Counter::TableLookups, 1);
+            let q2 = self.transition(&children, label);
+            if let Some(q2) = q2 {
+                steps += 1;
+                obs.count(Counter::Steps, 1);
+                obs.state_visit(Machine::Dbtar, q2.index() as u32, label.index() as u32);
+                if obs.is_enabled() {
+                    for &c in &children {
+                        obs.transition_fired(
+                            Machine::Dbtar,
+                            c.index() as u32,
+                            label.index() as u32,
+                            q2.index() as u32,
+                        );
+                    }
+                }
+            }
+            table[v.index()] = q2;
             table[v.index()]?;
         }
+        obs.record(Series::RunSteps, steps);
         table.into_iter().collect()
     }
 
@@ -250,6 +288,15 @@ impl Nbta {
 
     /// `δ*(t)`: the set of states reachable at the root (sorted).
     pub fn run(&self, tree: &Tree) -> Vec<StateId> {
+        self.run_with(tree, &mut NoopObserver)
+    }
+
+    /// [`Nbta::run`] with an [`Observer`]: each children-tuple lookup is a
+    /// [`Counter::TableLookups`], each fresh state reached at a node a
+    /// [`Counter::Steps`] plus a [`Machine::Dbtar`]
+    /// [`Observer::state_visit`]. With [`NoopObserver`] this monomorphizes
+    /// to exactly `run`.
+    pub fn run_with<O: Observer>(&self, tree: &Tree, obs: &mut O) -> Vec<StateId> {
         let mut table: Vec<Vec<StateId>> = vec![Vec::new(); tree.num_nodes()];
         for v in tree.postorder() {
             let kids = tree.children(v);
@@ -274,9 +321,12 @@ impl Nbta {
                 if !ok {
                     break;
                 }
+                obs.count(Counter::TableLookups, 1);
                 for &q in self.targets(&children_states, label) {
                     if !acc.contains(&q) {
                         acc.push(q);
+                        obs.count(Counter::Steps, 1);
+                        obs.state_visit(Machine::Dbtar, q.index() as u32, label.index() as u32);
                     }
                 }
                 // next tuple

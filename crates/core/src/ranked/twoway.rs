@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 
 use qa_base::{Error, Result, Symbol};
-use qa_obs::{Counter, NoopObserver, Observer, Series};
+use qa_obs::{Counter, Machine, NoopObserver, Observer, Series};
 use qa_strings::StateId;
 use qa_trees::{NodeId, Tree};
 
@@ -361,10 +361,17 @@ impl TwoWayRanked {
                 obs.count(Counter::CutRecomputations, 1);
                 let label = tree.label(v);
                 if let Some(q) = state[v.index()] {
+                    obs.state_visit(Machine::Qar, q.index() as u32, label.index() as u32);
                     match self.polarity(q, label) {
                         Some(Polarity::Down) if tree.is_leaf(v) => {
                             if let Some(q2) = self.leaf(q, label) {
                                 obs.count(Counter::Steps, 1);
+                                obs.transition_fired(
+                                    Machine::Qar,
+                                    q.index() as u32,
+                                    label.index() as u32,
+                                    q2.index() as u32,
+                                );
                                 obs.config(q2.index() as u32, v.index() as u32, 0);
                                 state[v.index()] = Some(q2);
                                 assume(&mut assumed, v, q2);
@@ -380,6 +387,12 @@ impl TwoWayRanked {
                                 let kids_states = down.to_vec();
                                 state[v.index()] = None;
                                 for (&c, q2) in tree.children(v).iter().zip(kids_states) {
+                                    obs.transition_fired(
+                                        Machine::Qar,
+                                        q.index() as u32,
+                                        label.index() as u32,
+                                        q2.index() as u32,
+                                    );
                                     obs.config(q2.index() as u32, c.index() as u32, 1);
                                     state[c.index()] = Some(q2);
                                     assume(&mut assumed, c, q2);
@@ -394,6 +407,12 @@ impl TwoWayRanked {
                         Some(Polarity::Up) if v == root => {
                             if let Some(q2) = self.root(q, label) {
                                 obs.count(Counter::Steps, 1);
+                                obs.transition_fired(
+                                    Machine::Qar,
+                                    q.index() as u32,
+                                    label.index() as u32,
+                                    q2.index() as u32,
+                                );
                                 obs.config(q2.index() as u32, root.index() as u32, 0);
                                 state[root.index()] = Some(q2);
                                 assume(&mut assumed, root, q2);
@@ -421,6 +440,16 @@ impl TwoWayRanked {
                     if ok {
                         if let Some(q2) = self.up(&pairs) {
                             obs.count(Counter::Steps, 1);
+                            if obs.is_enabled() {
+                                for &(q, l) in &pairs {
+                                    obs.transition_fired(
+                                        Machine::Qar,
+                                        q.index() as u32,
+                                        l.index() as u32,
+                                        q2.index() as u32,
+                                    );
+                                }
+                            }
                             obs.config(q2.index() as u32, v.index() as u32, -1);
                             for &c in tree.children(v) {
                                 state[c.index()] = None;

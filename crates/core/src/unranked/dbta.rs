@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use qa_base::{Error, Result, Symbol};
+use qa_obs::{Counter, Machine, NoopObserver, Observer, Series};
 use qa_strings::{Dfa, Nfa, StateId};
 use qa_trees::Tree;
 
@@ -108,7 +109,18 @@ impl Nbtau {
     /// `δ*(t)` at every node: `table[v]` is the sorted set of states
     /// assignable to the subtree rooted at `v`.
     pub fn run_table(&self, tree: &Tree) -> Vec<Vec<StateId>> {
+        self.run_table_with(tree, &mut NoopObserver)
+    }
+
+    /// [`Nbtau::run_table`] with an [`Observer`]: each candidate-state NFA
+    /// simulation is a [`Counter::TableLookups`], each state admitted at a
+    /// node a [`Counter::Steps`] plus a [`Machine::Nbtau`]
+    /// [`Observer::state_visit`]; the total admitted-state count lands in
+    /// [`Series::RunSteps`]. With [`NoopObserver`] this monomorphizes to
+    /// exactly `run_table`.
+    pub fn run_table_with<O: Observer>(&self, tree: &Tree, obs: &mut O) -> Vec<Vec<StateId>> {
         let mut table: Vec<Vec<StateId>> = vec![Vec::new(); tree.num_nodes()];
+        let mut steps = 0u64;
         for v in tree.postorder() {
             let label = tree.label(v);
             let mut acc = Vec::new();
@@ -117,6 +129,7 @@ impl Nbtau {
                 let Some(nfa) = self.language(q, label) else {
                     continue;
                 };
+                obs.count(Counter::TableLookups, 1);
                 // Does δ(q, label) contain a word w with wᵢ ∈ table[childᵢ]?
                 // Simulate the NFA set-wise over the children's state sets.
                 let mut cur = nfa.epsilon_closure(nfa.initial_states());
@@ -138,11 +151,15 @@ impl Nbtau {
                     cur = next;
                 }
                 if !dead && cur.iter().any(|&s| nfa.is_accepting(s)) {
+                    steps += 1;
+                    obs.count(Counter::Steps, 1);
+                    obs.state_visit(Machine::Nbtau, q.index() as u32, label.index() as u32);
                     acc.push(q);
                 }
             }
             table[v.index()] = acc;
         }
+        obs.record(Series::RunSteps, steps);
         table
     }
 
@@ -299,18 +316,49 @@ impl Dbtau {
 
     /// `δ*(t_v)` for every node, if defined everywhere.
     pub fn run_table(&self, tree: &Tree) -> Option<Vec<StateId>> {
+        self.run_table_with(tree, &mut NoopObserver)
+    }
+
+    /// [`Dbtau::run_table`] with an [`Observer`]: each classifier step over
+    /// a child is a [`Counter::TableLookups`], each assigned node state a
+    /// [`Counter::Steps`] plus a [`Machine::Dbtau`]
+    /// [`Observer::state_visit`] and one [`Observer::transition_fired`] per
+    /// folded child; assigned nodes land in [`Series::RunSteps`]. With
+    /// [`NoopObserver`] this monomorphizes to exactly `run_table`.
+    pub fn run_table_with<O: Observer>(&self, tree: &Tree, obs: &mut O) -> Option<Vec<StateId>> {
         let mut table: Vec<Option<StateId>> = vec![None; tree.num_nodes()];
+        let mut steps = 0u64;
         for v in tree.postorder() {
             let label = tree.label(v);
             let dfa = self.classifiers[label.index()].as_ref()?;
             let mut cs = dfa.initial();
             for &c in tree.children(v) {
                 let q = table[c.index()]?;
+                obs.count(Counter::TableLookups, 1);
                 cs = dfa.next(cs, Symbol::from_index(q.index()))?;
             }
-            table[v.index()] = self.assign.get(&(label, cs)).copied();
+            let q2 = self.assign.get(&(label, cs)).copied();
+            if let Some(q2) = q2 {
+                steps += 1;
+                obs.count(Counter::Steps, 1);
+                obs.state_visit(Machine::Dbtau, q2.index() as u32, label.index() as u32);
+                if obs.is_enabled() {
+                    for &c in tree.children(v) {
+                        if let Some(q) = table[c.index()] {
+                            obs.transition_fired(
+                                Machine::Dbtau,
+                                q.index() as u32,
+                                label.index() as u32,
+                                q2.index() as u32,
+                            );
+                        }
+                    }
+                }
+            }
+            table[v.index()] = q2;
             table[v.index()]?;
         }
+        obs.record(Series::RunSteps, steps);
         table.into_iter().collect()
     }
 

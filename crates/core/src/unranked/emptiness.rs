@@ -8,7 +8,7 @@
 //! symbol subset — polynomial.
 
 use qa_base::Symbol;
-use qa_obs::{Counter, NoopObserver, Observer, Series};
+use qa_obs::{Counter, Machine, NoopObserver, Observer, Series};
 use qa_strings::StateId;
 use qa_trees::Tree;
 
@@ -33,6 +33,7 @@ pub fn reachable_states_with<O: Observer>(n: &Nbtau, obs: &mut O) -> Vec<bool> {
                 continue;
             }
             obs.count(Counter::TableLookups, 1);
+            obs.state_visit(Machine::Decision, q.index() as u32, _a.index() as u32);
             if !nfa.is_empty_over(Some(&reached)) {
                 reached[q.index()] = true;
                 changed = true;
@@ -81,6 +82,7 @@ pub fn witness_with<O: Observer>(n: &Nbtau, obs: &mut O) -> Option<Tree> {
                 continue;
             }
             obs.count(Counter::TableLookups, 1);
+            obs.state_visit(Machine::Decision, q.index() as u32, a.index() as u32);
             if nfa.is_empty_over(Some(&reached)) {
                 continue;
             }

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use qa_base::{Error, Result, Symbol};
-use qa_obs::{Counter, NoopObserver, Observer, Series};
+use qa_obs::{Counter, Machine, NoopObserver, Observer, Series};
 use qa_strings::{Dfa, SlenderLang, StateId};
 use qa_trees::{NodeId, Tree};
 
@@ -526,10 +526,17 @@ impl TwoWayUnranked {
                 let label = tree.label(v);
                 // moves of a cut member at v
                 if let Some(q) = state[v.index()] {
+                    obs.state_visit(Machine::Qau, q.index() as u32, label.index() as u32);
                     match self.polarity(q, label) {
                         Some(Polarity::Down) if tree.is_leaf(v) => {
                             if let Some(q2) = self.leaf(q, label) {
                                 obs.count(Counter::Steps, 1);
+                                obs.transition_fired(
+                                    Machine::Qau,
+                                    q.index() as u32,
+                                    label.index() as u32,
+                                    q2.index() as u32,
+                                );
                                 obs.config(q2.index() as u32, v.index() as u32, 0);
                                 state[v.index()] = Some(q2);
                                 assume(&mut assumed, v, q2);
@@ -548,6 +555,12 @@ impl TwoWayUnranked {
                                 state[v.index()] = None;
                                 for (&c, s) in tree.children(v).iter().zip(word) {
                                     let q2 = StateId::from_index(s.index());
+                                    obs.transition_fired(
+                                        Machine::Qau,
+                                        q.index() as u32,
+                                        label.index() as u32,
+                                        q2.index() as u32,
+                                    );
                                     obs.config(q2.index() as u32, c.index() as u32, 1);
                                     state[c.index()] = Some(q2);
                                     assume(&mut assumed, c, q2);
@@ -564,6 +577,12 @@ impl TwoWayUnranked {
                         Some(Polarity::Up) if v == root => {
                             if let Some(q2) = self.root(q, label) {
                                 obs.count(Counter::Steps, 1);
+                                obs.transition_fired(
+                                    Machine::Qau,
+                                    q.index() as u32,
+                                    label.index() as u32,
+                                    q2.index() as u32,
+                                );
                                 obs.config(q2.index() as u32, root.index() as u32, 0);
                                 state[root.index()] = Some(q2);
                                 assume(&mut assumed, root, q2);
@@ -609,6 +628,16 @@ impl TwoWayUnranked {
                         match decision {
                             UpEntry::Up(q2) => {
                                 obs.count(Counter::Steps, 1);
+                                if obs.is_enabled() {
+                                    for &(q, l) in &pairs {
+                                        obs.transition_fired(
+                                            Machine::Qau,
+                                            q.index() as u32,
+                                            l.index() as u32,
+                                            q2.index() as u32,
+                                        );
+                                    }
+                                }
                                 obs.config(q2.index() as u32, v.index() as u32, -1);
                                 for &c in tree.children(v) {
                                     state[c.index()] = None;
@@ -652,6 +681,12 @@ impl TwoWayUnranked {
                                 obs.count(Counter::Steps, 1);
                                 obs.count(Counter::StayRounds, 1);
                                 for (&c, q2) in tree.children(v).iter().zip(new_states) {
+                                    obs.transition_fired(
+                                        Machine::Qau,
+                                        state[c.index()].map_or(u32::MAX, |q| q.index() as u32),
+                                        tree.label(c).index() as u32,
+                                        q2.index() as u32,
+                                    );
                                     obs.stay_assign(
                                         v.index() as u32,
                                         c.index() as u32,

@@ -22,7 +22,7 @@ use std::collections::HashMap;
 use qa_base::{Error, Result, Symbol};
 use qa_core::ranked::twoway::Polarity;
 use qa_core::ranked::RankedQa;
-use qa_obs::{Counter, NoopObserver, Observer, Series};
+use qa_obs::{Counter, Machine, NoopObserver, Observer, Series};
 use qa_strings::StateId;
 use qa_trees::{NodeId, Tree};
 
@@ -441,6 +441,7 @@ fn explore<O: Observer>(
         item_cids.push(cid);
         obs.count(Counter::SummariesExplored, 1);
         obs.count(Counter::BudgetConsumed, 1);
+        obs.state_visit(Machine::Decision, (items.len() - 1) as u32, u32::MAX);
         true
     };
     for a in 0..sigma {

@@ -20,6 +20,13 @@
 //!   `process_name`/`thread_name` metadata so Perfetto labels tracks;
 //! - `summary.txt` — per-query table plus fleet-wide step/latency
 //!   percentiles (also printed to stdout);
+//! - `scope.json` / `scope.folded` / `explain.txt` — with `--scope`, the
+//!   merged per-state execution profile ([`qa_scope::ScopeProfiler`]):
+//!   visit histograms and transition heatmaps per machine, the
+//!   collapsed-stack rendering, and the `EXPLAIN ANALYZE` report.
+//!   Per-run profilers are deterministic and the merge is commutative, so
+//!   all three files are **byte-identical** across reruns, `--jobs N`
+//!   and `--mesh N`;
 //! - `postmortem.txt` — flight-recorder dump of the first failed run, if
 //!   any run tripped its budget or errored; with `--slo`, also the names
 //!   of any alerts still firing at batch end;
@@ -78,9 +85,13 @@
 //! `/series` and `/alerts`; its transitions land in the flight ring but
 //! never decide the exit code (the post-batch replay does).
 //!
+//! With `--scope --serve ADDR` the live surface additionally answers
+//! `GET /explain` (`?query=NAME` filters to one workload,
+//! `?format=json` switches from the text block to the report JSON).
+//!
 //! ```text
 //! qa-fleet [--queries M] [--docs K] [--size N] [--sweep] [--seed S]
-//!          [--jobs N] [--sample-every N] [--reservoir K]
+//!          [--jobs N] [--sample-every N] [--reservoir K] [--scope]
 //!          [--max-steps N] [--max-wall-ms MS] [--out-dir DIR] [--smoke]
 //!          [--serve ADDR] [--pace-ms MS] [--linger-ms MS]
 //!          [--slo RULES] [--scrape-every-ms MS]
@@ -93,6 +104,7 @@
 //! `qa-trace analyze growth` over the resulting `events.jsonl` fits
 //! steps-vs-size exponents per query.
 
+use std::collections::BTreeMap;
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -110,6 +122,7 @@ use qa_flight::{
 use qa_obs::{percentile_sorted, Counter, Metrics, NoopObserver, RunTrace, Tee, TraceContext};
 use qa_probe::export::chrome_trace;
 use qa_pulse::{PulseServer, PulseState, SpanProfile, SpanProfiler, Weight};
+use qa_scope::ScopeProfiler;
 use qa_sentinel::{parse_rules, AlertRule, JobStats, Replay, SharedSentinel};
 use qa_trees::Tree;
 use qa_twoway::string_qa::example_3_4_qa;
@@ -127,7 +140,7 @@ type RunSlot = Option<(RunOutcome, Option<RunTrace>, JobEvent)>;
 
 const USAGE: &str = "usage:
   qa-fleet [--queries M] [--docs K] [--size N] [--sweep] [--seed S]
-           [--jobs N] [--sample-every N] [--reservoir K]
+           [--jobs N] [--sample-every N] [--reservoir K] [--scope]
            [--max-steps N] [--max-wall-ms MS] [--out-dir DIR] [--smoke]
            [--serve ADDR] [--pace-ms MS] [--linger-ms MS]
            [--slo RULES] [--scrape-every-ms MS]
@@ -140,6 +153,12 @@ queries cycle through the paper's running examples:
 
 --sweep scales doc sizes by doc index (doc di gets size x (di+1)), the
 input shape `qa-trace analyze growth` fits step-growth exponents from.
+
+--scope attaches a per-state execution profiler to every run and exports
+scope.json (raw visit/transition tables), scope.folded (collapsed-stack
+state heatmap) and explain.txt (EXPLAIN ANALYZE report) — byte-identical
+across --jobs N and --mesh N; with --serve, GET /explain answers live
+(?query=NAME filters to one workload, ?format=json for the report JSON).
 
 --serve binds a live ops HTTP server (try ADDR 127.0.0.1:0) answering
 /healthz /readyz /metrics /flight /events /profile /quit during the run;
@@ -169,6 +188,10 @@ struct Opts {
     jobs: usize,
     sample_every: u64,
     reservoir: usize,
+    /// Attach a per-state [`ScopeProfiler`] to every run and export
+    /// `scope.json` / `scope.folded` / `explain.txt` (plus `/explain`
+    /// with `--serve`).
+    scope: bool,
     max_steps: u64,
     max_wall: Duration,
     out_dir: String,
@@ -199,6 +222,7 @@ impl Default for Opts {
             jobs: 1,
             sample_every: 8,
             reservoir: 4,
+            scope: false,
             max_steps: 10_000_000,
             max_wall: Duration::from_millis(10_000),
             out_dir: "fleet-out".to_string(),
@@ -236,6 +260,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--reservoir" => {
                 o.reservoir = val(&mut it, arg)?.parse().map_err(|e| format!("{e}"))?
             }
+            "--scope" => o.scope = true,
             "--max-steps" => {
                 o.max_steps = val(&mut it, arg)?.parse().map_err(|e| format!("{e}"))?
             }
@@ -482,9 +507,15 @@ fn run_one(
     doc: &Doc,
     budget: Budget,
     sampled: bool,
+    scope: bool,
     fleet: &Metrics,
     live: Option<&SharedFlight>,
-) -> (RunOutcome, Option<RunTrace>, SpanProfile) {
+) -> (
+    RunOutcome,
+    Option<RunTrace>,
+    SpanProfile,
+    Option<ScopeProfiler>,
+) {
     let run_metrics = Metrics::new();
     let trace_arm = if sampled {
         Sampled::Full(RunTrace::new())
@@ -499,12 +530,22 @@ fn run_one(
         Some(shared) => Sampled::Full(shared.clone()),
         None => Sampled::Light(NoopObserver),
     };
+    // The per-state profiler is per-run (single-threaded, deterministic);
+    // merging at run end keeps scope.json independent of job interleaving.
+    let scope_arm = if scope {
+        Sampled::Full(ScopeProfiler::new())
+    } else {
+        Sampled::Light(NoopObserver)
+    };
     let mut obs = Watchdog::new(
         Tee(
             FlightRecorder::with_capacity(256),
             Tee(
                 run_metrics.observer(),
-                Tee(trace_arm, Tee(SpanProfiler::new(), live_arm)),
+                Tee(
+                    trace_arm,
+                    Tee(SpanProfiler::new(), Tee(scope_arm, live_arm)),
+                ),
             ),
         ),
         budget,
@@ -519,8 +560,9 @@ fn run_one(
     };
     let latency = t0.elapsed();
 
-    let Tee(recorder, Tee(_, Tee(trace_arm, Tee(profiler, _)))) = obs.into_inner();
+    let Tee(recorder, Tee(_, Tee(trace_arm, Tee(profiler, Tee(scope_arm, _))))) = obs.into_inner();
     let trace = trace_arm.full();
+    let scope_profile = scope_arm.full();
     let (selected, error, dump) = match result {
         Ok(n) => (n, None, None),
         Err(e) => {
@@ -547,7 +589,7 @@ fn run_one(
         dump,
     };
     fleet.merge(&run_metrics);
-    (outcome, trace, profiler.into_profile())
+    (outcome, trace, profiler.into_profile(), scope_profile)
 }
 
 /// Render the fleet summary. With `include_latency` the wall-clock
@@ -678,6 +720,26 @@ fn flush_partial(opts: &Opts, out_dir: &Path, slots: &[RunSlot], state: &PulseSt
             eprintln!("cannot write partial {name}: {e}");
         }
     }
+}
+
+/// Merge every per-workload profiler into one fleet-wide profiler.
+/// Commutative merges over sorted tables: the result is independent of
+/// job interleaving and shard topology.
+fn merged_scope(scopes: &BTreeMap<String, ScopeProfiler>) -> ScopeProfiler {
+    let mut merged = ScopeProfiler::new();
+    for s in scopes.values() {
+        merged.merge(s);
+    }
+    merged
+}
+
+/// The three `--scope` exports rendered from one merged profiler.
+fn scope_exports(merged: &ScopeProfiler) -> [(&'static str, String); 3] {
+    [
+        ("scope.json", format!("{}\n", merged.to_json())),
+        ("scope.folded", merged.to_collapsed()),
+        ("explain.txt", merged.explain_run().render_text()),
+    ]
 }
 
 /// Parse a completed worker's scraped step count for the summary table
@@ -871,6 +933,9 @@ fn run_coordinator(opts: &Opts, slo_rules: Option<Vec<AlertRule>>) -> ExitCode {
         if opts.sweep {
             cmd.arg("--sweep");
         }
+        if opts.scope {
+            cmd.arg("--scope");
+        }
         cmd.arg("--queries")
             .arg(opts.queries.to_string())
             .arg("--docs")
@@ -976,6 +1041,27 @@ fn run_coordinator(opts: &Opts, slo_rules: Option<Vec<AlertRule>>) -> ExitCode {
     let events_jsonl = federate_events(&event_inputs);
     write("events.jsonl", &events_jsonl);
     write("fleet-trace.json", &federate_trace(&run_id, &event_inputs));
+    // Scope federation: each completed worker wrote its merged scope.json
+    // before announcing `pulse: run complete`; the coordinator merges the
+    // files. ScopeProfiler::merge is commutative and associative, so the
+    // federated tables — and all three exports — are byte-identical to an
+    // unsharded run over the same corpus.
+    if opts.scope {
+        let mut merged = ScopeProfiler::new();
+        for r in &completed {
+            let path = out_dir.join(&r.worker_id).join("scope.json");
+            match std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|t| ScopeProfiler::from_json(&t))
+            {
+                Ok(s) => merged.merge(&s),
+                Err(e) => eprintln!("qa-mesh: no scope profile from worker {}: {e}", r.worker_id),
+            }
+        }
+        for (name, contents) in scope_exports(&merged) {
+            write(name, &contents);
+        }
+    }
 
     // The deterministic alert pass: the federated events.jsonl is in
     // global job order with identity fields byte-identical to an
@@ -1130,6 +1216,10 @@ fn main() -> ExitCode {
     // job's event as it finishes (a live completion-order tail for
     // /events), and the post-batch pass writes events.jsonl in job order.
     let events_ring = SharedEvents::with_capacity((opts.queries * opts.docs).max(1));
+    // Per-workload scope profilers, merged in as runs finish. Keyed by
+    // workload name so /explain?query=NAME can answer per query; the
+    // fleet-wide profile is the (commutative) merge of all values.
+    let scopes: Arc<Mutex<BTreeMap<String, ScopeProfiler>>> = Arc::new(Mutex::new(BTreeMap::new()));
     let mut shared_flight = None;
     let server = match &opts.serve {
         Some(addr) => {
@@ -1141,6 +1231,23 @@ fn main() -> ExitCode {
             state.set_flight_source(Box::new(move |tail| source.with(|r| r.to_json_tail(tail))));
             let ev_source = events_ring.clone();
             state.set_events_source(Box::new(move |tail| ev_source.tail_jsonl(tail)));
+            if opts.scope {
+                let src = Arc::clone(&scopes);
+                state.set_explain_source(Box::new(move |query, json| {
+                    let scopes = src.lock().expect("scope lock");
+                    let render = |p: &ScopeProfiler| {
+                        if json {
+                            p.explain_run().to_json()
+                        } else {
+                            p.explain_run().render_text()
+                        }
+                    };
+                    match query {
+                        None => Some(render(&merged_scope(&scopes))),
+                        Some(name) => scopes.get(name).map(render),
+                    }
+                }));
+            }
             shared_flight = Some(shared);
             match PulseServer::serve(addr.as_str(), Arc::clone(&state)) {
                 Ok(s) => {
@@ -1242,9 +1349,24 @@ fn main() -> ExitCode {
         let doc = generate_doc(wl.name, doc_size(&opts, di), doc_seed);
         let doc_depth = doc.depth();
         let start_ns = fleet_t0.elapsed().as_nanos() as u64;
-        let (outcome, trace, profile) =
-            run_one(wl, &doc, budget, sampled, &fleet, shared_flight.as_ref());
+        let (outcome, trace, profile, scope_profile) = run_one(
+            wl,
+            &doc,
+            budget,
+            sampled,
+            opts.scope,
+            &fleet,
+            shared_flight.as_ref(),
+        );
         state.merge_profile(&profile);
+        if let Some(sp) = scope_profile {
+            scopes
+                .lock()
+                .expect("scope lock")
+                .entry(wl.name.to_string())
+                .or_default()
+                .merge(&sp);
+        }
         // The wide event: identity fields derive only from (run_id, job,
         // corpus, counters), so they match byte for byte across --jobs N
         // and --mesh N; placement and wall-clock ride in the volatile tail.
@@ -1385,6 +1507,12 @@ fn main() -> ExitCode {
         "fleet-trace.json",
         &qa_mesh::federate_trace(&run_id, &[(ev_worker.clone(), events_jsonl.clone())]),
     );
+    if opts.scope {
+        let merged = merged_scope(&scopes.lock().expect("scope lock"));
+        for (name, contents) in scope_exports(&merged) {
+            write(name, &contents);
+        }
+    }
     for (i, (label, trace)) in traces.items().iter().enumerate() {
         write(&format!("trace-{i}.json"), &chrome_trace(trace));
         eprintln!("trace-{i}.json <- full trace of {label}");

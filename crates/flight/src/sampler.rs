@@ -12,7 +12,7 @@
 //! [`qa_base::rng::StdRng`] (splitmix64), never by ambient entropy.
 
 use qa_base::rng::{Rng, StdRng};
-use qa_obs::{Abort, Counter, Observer, Series};
+use qa_obs::{Abort, Counter, Machine, Observer, Series};
 
 /// Deterministic 1-in-N admission: for each item, [`OneInN::admit`] returns
 /// `true` with probability `1/n`, from a seeded stream.
@@ -155,6 +155,14 @@ impl<A: Observer, B: Observer> Observer for Sampled<A, B> {
     #[inline]
     fn stay_assign(&mut self, parent: u32, child: u32, state: u32) {
         fan!(self, stay_assign(parent, child, state))
+    }
+    #[inline]
+    fn state_visit(&mut self, machine: Machine, state: u32, sym: u32) {
+        fan!(self, state_visit(machine, state, sym))
+    }
+    #[inline]
+    fn transition_fired(&mut self, machine: Machine, from: u32, sym: u32, to: u32) {
+        fan!(self, transition_fired(machine, from, sym, to))
     }
     #[inline]
     fn checkpoint(&mut self) -> Result<(), Abort> {

@@ -17,7 +17,7 @@
 
 use std::time::{Duration, Instant};
 
-use qa_obs::{Abort, Counter, Observer, Series};
+use qa_obs::{Abort, Counter, Machine, Observer, Series};
 
 /// Budgets enforced by a [`Watchdog`]. `None` disables a dimension.
 #[derive(Clone, Copy, Debug)]
@@ -217,6 +217,14 @@ impl<O: Observer> Observer for Watchdog<O> {
     #[inline]
     fn stay_assign(&mut self, parent: u32, child: u32, state: u32) {
         self.inner.stay_assign(parent, child, state);
+    }
+    #[inline]
+    fn state_visit(&mut self, machine: Machine, state: u32, sym: u32) {
+        self.inner.state_visit(machine, state, sym);
+    }
+    #[inline]
+    fn transition_fired(&mut self, machine: Machine, from: u32, sym: u32, to: u32) {
+        self.inner.transition_fired(machine, from, sym, to);
     }
     #[inline]
     fn checkpoint(&mut self) -> Result<(), Abort> {

@@ -11,7 +11,7 @@
 
 use qa_base::Symbol;
 use qa_core::ranked::{ops, Dbta};
-use qa_obs::{Counter, NoopObserver, Observer, Series};
+use qa_obs::{Counter, Machine, NoopObserver, Observer, Series};
 use qa_strings::StateId;
 use qa_trees::{NodeId, Tree};
 
@@ -172,6 +172,14 @@ impl<O: Observer> Observer for CertificateTap<'_, O> {
         self.inner.stay_assign(parent, child, state);
     }
     #[inline]
+    fn state_visit(&mut self, machine: Machine, state: u32, sym: u32) {
+        self.inner.state_visit(machine, state, sym);
+    }
+    #[inline]
+    fn transition_fired(&mut self, machine: Machine, from: u32, sym: u32, to: u32) {
+        self.inner.transition_fired(machine, from, sym, to);
+    }
+    #[inline]
     fn checkpoint(&mut self) -> Result<(), qa_obs::Abort> {
         self.inner.checkpoint()
     }
@@ -209,7 +217,21 @@ fn eval_total<O: Observer>(d: &Dbta, tree: &Tree, sigma: usize, obs: &mut O) -> 
             .map(|c| b[c.index()].expect("postorder"))
             .collect();
         obs.count(Counter::TableLookups, 1);
-        b[v.index()] = d.transition(&children, unmarked(tree.label(v)));
+        let ext = unmarked(tree.label(v));
+        b[v.index()] = d.transition(&children, ext);
+        if let Some(q) = b[v.index()] {
+            obs.state_visit(Machine::Dbtar, q.index() as u32, ext.index() as u32);
+            if obs.is_enabled() {
+                for &c in &children {
+                    obs.transition_fired(
+                        Machine::Dbtar,
+                        c.index() as u32,
+                        ext.index() as u32,
+                        q.index() as u32,
+                    );
+                }
+            }
+        }
         if b[v.index()].is_none() {
             // total automaton ⇒ only possible if the tree's rank exceeds
             // the automaton's; nothing is selected then.
@@ -240,9 +262,9 @@ fn eval_total<O: Observer>(d: &Dbta, tree: &Tree, sigma: usize, obs: &mut O) -> 
                 let mut children = kid_states.clone();
                 children[i] = StateId::from_index(q_idx);
                 obs.count(Counter::TableLookups, 1);
-                let here = d
-                    .transition(&children, unmarked(tree.label(v)))
-                    .expect("totalized");
+                let ext = unmarked(tree.label(v));
+                let here = d.transition(&children, ext).expect("totalized");
+                obs.state_visit(Machine::Dbtar, here.index() as u32, ext.index() as u32);
                 child_table.push(table[here.index()]);
             }
             ctx[c.index()] = Some(child_table);
@@ -265,7 +287,9 @@ fn eval_total<O: Observer>(d: &Dbta, tree: &Tree, sigma: usize, obs: &mut O) -> 
             .map(|c| b[c.index()].unwrap())
             .collect();
         obs.count(Counter::SelectionChecks, 1);
-        if let Some(q_marked) = d.transition(&children, marked(tree.label(v))) {
+        let ext = marked(tree.label(v));
+        if let Some(q_marked) = d.transition(&children, ext) {
+            obs.state_visit(Machine::Dbtar, q_marked.index() as u32, ext.index() as u32);
             let root_state = ctx[v.index()].as_ref().unwrap()[q_marked.index()];
             if d.is_final(root_state) {
                 // certificate: marking v drives the bottom-up run

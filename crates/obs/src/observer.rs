@@ -180,6 +180,88 @@ impl Series {
     }
 }
 
+/// An engine identity carried by the per-state profiling hooks
+/// ([`Observer::state_visit`], [`Observer::transition_fired`]).
+///
+/// Like [`Counter`] the set is closed and densely indexed, so a profiler
+/// can keep one fixed-size array of per-machine tables and two processes
+/// serialize the same machine under the same name — the property the
+/// fleet/mesh scope-merge determinism gates rely on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Machine {
+    /// The two-way string head (`TwoDfa::run`), including runs made on
+    /// behalf of `StringQa`, GSQA output scans and Shepherdson subjects.
+    TwoDfa,
+    /// Crossing-behavior column recurrences (Theorem 3.9 tables).
+    Crossing,
+    /// The Hopcroft–Ullman composition worklist (summary states explored).
+    HuComposition,
+    /// The ranked two-way cut engine (`TwoWayRanked`, QAr runs).
+    Qar,
+    /// Ranked bottom-up runs (`Dbta` / `Nbta` postorder folds).
+    Dbtar,
+    /// The unranked two-way cut engine (`TwoWayUnranked`, SQAu runs,
+    /// including Definition 5.11 stay rounds).
+    Qau,
+    /// Unranked deterministic bottom-up runs (`Dbtau` classifier folds).
+    Dbtau,
+    /// Unranked nondeterministic bottom-up runs (`Nbtau` NFA folds).
+    Nbtau,
+    /// Decision-procedure fixpoints (Lemma 5.2 reachability, Prop. 6.1 /
+    /// Thm. 6.3 saturation, string-decision product searches).
+    Decision,
+}
+
+impl Machine {
+    /// Every machine, in serialization order.
+    pub const ALL: [Machine; 9] = [
+        Machine::TwoDfa,
+        Machine::Crossing,
+        Machine::HuComposition,
+        Machine::Qar,
+        Machine::Dbtar,
+        Machine::Qau,
+        Machine::Dbtau,
+        Machine::Nbtau,
+        Machine::Decision,
+    ];
+
+    /// Number of machines.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Dense index (stable across the workspace; JSON order).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// `snake_case` name used in JSON reports and collapsed-stack frames.
+    pub fn name(self) -> &'static str {
+        match self {
+            Machine::TwoDfa => "twodfa",
+            Machine::Crossing => "crossing",
+            Machine::HuComposition => "hu_composition",
+            Machine::Qar => "qar",
+            Machine::Dbtar => "dbtar",
+            Machine::Qau => "qau",
+            Machine::Dbtau => "dbtau",
+            Machine::Nbtau => "nbtau",
+            Machine::Decision => "decision",
+        }
+    }
+
+    /// The machine with dense index `i`, if any (inverse of
+    /// [`Machine::index`], used by scope deserialization).
+    pub fn from_index(i: usize) -> Option<Machine> {
+        Machine::ALL.get(i).copied()
+    }
+
+    /// The machine serialized under `name`, if any.
+    pub fn from_name(name: &str) -> Option<Machine> {
+        Machine::ALL.iter().copied().find(|m| m.name() == name)
+    }
+}
+
 /// A budget violation reported by [`Observer::checkpoint`].
 ///
 /// Carried by watchdog sinks back into the run engine, which converts it
@@ -323,6 +405,30 @@ pub trait Observer {
         let _ = (parent, child, state);
     }
 
+    /// The engine `machine` resolved its current state while reading
+    /// `sym`: a 2DFA consulted `δ(state, sym)`, a bottom-up fold landed in
+    /// `state` at a `sym`-labelled node, a fixpoint examined a summary.
+    ///
+    /// Fired once per unit of state resolution on every engine hot path —
+    /// the raw feed for per-state visit histograms. `sym` is the engine's
+    /// dense symbol index ([`u32::MAX`] when no single symbol applies,
+    /// e.g. a fixpoint round over a whole summary set).
+    #[inline]
+    fn state_visit(&mut self, machine: Machine, state: u32, sym: u32) {
+        let _ = (machine, state, sym);
+    }
+
+    /// The engine `machine` fired the transition `from --sym--> to`.
+    ///
+    /// Paired with [`Observer::state_visit`]: a visit reports where the
+    /// engine *looked*, a fired transition reports where it *went*. Stuck
+    /// configurations therefore show up as visits with no matching fire —
+    /// exactly the halting positions `explain_run` highlights.
+    #[inline]
+    fn transition_fired(&mut self, machine: Machine, from: u32, sym: u32, to: u32) {
+        let _ = (machine, from, sym, to);
+    }
+
     /// A budget checkpoint, polled by run engines once per unit of work
     /// (one head move, one node examination, one fixpoint round).
     ///
@@ -389,6 +495,14 @@ impl<O: Observer + ?Sized> Observer for &mut O {
         (**self).stay_assign(parent, child, state);
     }
     #[inline]
+    fn state_visit(&mut self, machine: Machine, state: u32, sym: u32) {
+        (**self).state_visit(machine, state, sym);
+    }
+    #[inline]
+    fn transition_fired(&mut self, machine: Machine, from: u32, sym: u32, to: u32) {
+        (**self).transition_fired(machine, from, sym, to);
+    }
+    #[inline]
     fn checkpoint(&mut self) -> Result<(), Abort> {
         (**self).checkpoint()
     }
@@ -442,6 +556,16 @@ impl<A: Observer, B: Observer> Observer for Tee<A, B> {
         self.0.stay_assign(parent, child, state);
         self.1.stay_assign(parent, child, state);
     }
+    #[inline]
+    fn state_visit(&mut self, machine: Machine, state: u32, sym: u32) {
+        self.0.state_visit(machine, state, sym);
+        self.1.state_visit(machine, state, sym);
+    }
+    #[inline]
+    fn transition_fired(&mut self, machine: Machine, from: u32, sym: u32, to: u32) {
+        self.0.transition_fired(machine, from, sym, to);
+        self.1.transition_fired(machine, from, sym, to);
+    }
     /// Both sides are polled (so both watchdogs advance their clocks); the
     /// first abort wins.
     #[inline]
@@ -468,6 +592,13 @@ mod tests {
         for (i, s) in Series::ALL.iter().enumerate() {
             assert_eq!(s.index(), i);
         }
+        for (i, m) in Machine::ALL.iter().enumerate() {
+            assert_eq!(m.index(), i);
+            assert_eq!(Machine::from_index(i), Some(*m));
+            assert_eq!(Machine::from_name(m.name()), Some(*m));
+        }
+        assert_eq!(Machine::from_index(Machine::COUNT), None);
+        assert_eq!(Machine::from_name("no_such_machine"), None);
     }
 
     #[test]
@@ -509,6 +640,16 @@ mod tests {
             self.events
                 .push(format!("stay_assign {parent} {child} {state}"));
         }
+        fn state_visit(&mut self, machine: Machine, state: u32, sym: u32) {
+            self.events
+                .push(format!("state_visit {} {state} {sym}", machine.name()));
+        }
+        fn transition_fired(&mut self, machine: Machine, from: u32, sym: u32, to: u32) {
+            self.events.push(format!(
+                "transition_fired {} {from} {sym} {to}",
+                machine.name()
+            ));
+        }
     }
 
     /// Fire every hook exactly once through `obs`.
@@ -520,6 +661,8 @@ mod tests {
         obs.phase_end("p");
         obs.selected(4, 5, 6);
         obs.stay_assign(8, 9, 10);
+        obs.state_visit(Machine::TwoDfa, 1, 0);
+        obs.transition_fired(Machine::TwoDfa, 1, 0, 2);
     }
 
     #[test]
@@ -530,7 +673,7 @@ mod tests {
         let mut reference = Recorder::default();
         fire_all(&mut reference);
 
-        assert_eq!(reference.events.len(), 7, "one event per hook");
+        assert_eq!(reference.events.len(), 9, "one event per hook");
         assert_eq!(tee.0.events, reference.events);
         assert_eq!(tee.1.events, reference.events);
     }
@@ -592,6 +735,7 @@ mod tests {
     fn names_are_unique() {
         let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
         names.extend(Series::ALL.iter().map(|s| s.name()));
+        names.extend(Machine::ALL.iter().map(|m| m.name()));
         let total = names.len();
         names.sort_unstable();
         names.dedup();

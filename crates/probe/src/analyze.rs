@@ -5,7 +5,10 @@
 //! ([`top`]), which runs are percentile outliers within their query
 //! ([`slow`]), and how each query's step count grows with document size
 //! ([`growth`] — the empirical side of the polynomial-growth classes the
-//! tree-automata literature predicts per query).
+//! tree-automata literature predicts per query). [`top_states`] drops a
+//! level below jobs: it ranks individual automaton states by visit count
+//! from a `qa-scope` profile (`scope.json`), answering *where inside the
+//! machines* the step mass went.
 //!
 //! The module parses JSONL generically via [`qa_obs::json`], so it works
 //! on any event log with the `events.jsonl` field names — `qa-probe`
@@ -399,6 +402,153 @@ impl SlowReport {
     }
 }
 
+// --------------------------------------------------------- top states --
+
+/// One hot state: a `(machine, state)` pair and its visit mass.
+#[derive(Clone, Debug)]
+pub struct TopStateEntry {
+    /// Engine name ([`qa_obs::Machine::name`]).
+    pub machine: &'static str,
+    /// Dense state index within that machine.
+    pub state: u32,
+    /// Times the engine resolved this state.
+    pub visits: u64,
+    /// `visits / total_visits` of the state's machine, in `[0, 1]`.
+    pub share: f64,
+    /// Behavior-cache hits attributed to this state.
+    pub cache_hits: u64,
+    /// Behavior-cache misses attributed to this state.
+    pub cache_misses: u64,
+}
+
+/// The `analyze top --by state` report: states ranked by visit count
+/// across every machine in a `scope.json` profile.
+#[derive(Clone, Debug)]
+pub struct TopStatesReport {
+    /// Total state visits across all machines (evicted mass included).
+    pub total_visits: u64,
+    /// Machines with any profile mass.
+    pub machines: usize,
+    /// Visit mass evicted by the profiler's heavy-hitter cap — nonzero
+    /// means the ranking below is approximate beyond the retained states.
+    pub dropped_visits: u64,
+    /// The top entries, most-visited first (ties by machine, then state).
+    pub entries: Vec<TopStateEntry>,
+}
+
+/// Rank the `k` most-visited states across a [`ScopeProfiler`]'s
+/// machines — the per-state heavy hitters of `analyze top --by state`.
+/// Shares are per machine (a 2DFA state competes with its own automaton,
+/// not with an unrelated tree run's).
+///
+/// [`ScopeProfiler`]: qa_scope::ScopeProfiler
+pub fn top_states(scope: &qa_scope::ScopeProfiler, k: usize) -> TopStatesReport {
+    let mut total_visits = 0u64;
+    let mut dropped_visits = 0u64;
+    let mut machines = 0usize;
+    let mut all: Vec<TopStateEntry> = Vec::new();
+    for m in qa_obs::Machine::ALL {
+        let t = scope.machine(m);
+        if t.is_empty() {
+            continue;
+        }
+        machines += 1;
+        let machine_total = t.total_visits();
+        total_visits += machine_total;
+        dropped_visits += t.dropped_visits;
+        for (&state, &visits) in &t.visits {
+            all.push(TopStateEntry {
+                machine: m.name(),
+                state,
+                visits,
+                share: if machine_total == 0 {
+                    0.0
+                } else {
+                    visits as f64 / machine_total as f64
+                },
+                cache_hits: t.cache_hits.get(&state).copied().unwrap_or(0),
+                cache_misses: t.cache_misses.get(&state).copied().unwrap_or(0),
+            });
+        }
+    }
+    all.sort_by(|a, b| {
+        b.visits
+            .cmp(&a.visits)
+            .then_with(|| a.machine.cmp(b.machine))
+            .then_with(|| a.state.cmp(&b.state))
+    });
+    all.truncate(k);
+    TopStatesReport {
+        total_visits,
+        machines,
+        dropped_visits,
+        entries: all,
+    }
+}
+
+impl TopStatesReport {
+    /// Fixed-width text table.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "top {} state(s) across {} machine(s) ({} total visits{})",
+            self.entries.len(),
+            self.machines,
+            self.total_visits,
+            if self.dropped_visits > 0 {
+                format!(", {} visits evicted by cap", self.dropped_visits)
+            } else {
+                String::new()
+            }
+        );
+        let _ = writeln!(
+            out,
+            "{:<12} {:<7} {:>12} {:>6} {:>10} {:>10}",
+            "machine", "state", "visits", "share", "cache-hit", "cache-miss"
+        );
+        for e in &self.entries {
+            let _ = writeln!(
+                out,
+                "{:<12} q{:<6} {:>12} {:>5.1}% {:>10} {:>10}",
+                e.machine,
+                e.state,
+                e.visits,
+                e.share * 100.0,
+                e.cache_hits,
+                e.cache_misses
+            );
+        }
+        out
+    }
+
+    /// JSON rendering.
+    pub fn to_json(&self) -> String {
+        json::object(|w| {
+            w.field_str("report", "top-states");
+            w.field_u64("total_visits", self.total_visits);
+            w.field_u64("machines", self.machines as u64);
+            w.field_u64("dropped_visits", self.dropped_visits);
+            let entries: Vec<String> = self
+                .entries
+                .iter()
+                .map(|e| {
+                    json::object(|w| {
+                        w.field_str("machine", e.machine);
+                        w.field_u64("state", u64::from(e.state));
+                        w.field_u64("visits", e.visits);
+                        w.field_f64("share", e.share);
+                        w.field_u64("cache_hits", e.cache_hits);
+                        w.field_u64("cache_misses", e.cache_misses);
+                    })
+                })
+                .collect();
+            w.field_raw("entries", &json::array(entries));
+        })
+    }
+}
+
 // ------------------------------------------------------------- growth --
 
 /// One query's fitted steps-vs-size growth law.
@@ -704,6 +854,39 @@ mod tests {
         let v = json::parse(&g.to_json()).unwrap();
         let fit = &v.get("fits").and_then(Value::as_arr).unwrap()[0];
         assert!(fit.get("exponent").is_none());
+    }
+
+    #[test]
+    fn top_states_ranks_across_machines_with_per_machine_shares() {
+        use qa_obs::{Machine, Observer};
+        let mut scope = qa_scope::ScopeProfiler::new();
+        for _ in 0..30 {
+            scope.state_visit(Machine::TwoDfa, 0, 1);
+        }
+        for _ in 0..10 {
+            scope.state_visit(Machine::TwoDfa, 1, 1);
+        }
+        for _ in 0..25 {
+            scope.state_visit(Machine::Dbtar, 4, 0);
+        }
+        let r = top_states(&scope, 2);
+        assert_eq!(r.total_visits, 65);
+        assert_eq!(r.machines, 2);
+        assert_eq!(r.entries.len(), 2);
+        assert_eq!((r.entries[0].machine, r.entries[0].state), ("twodfa", 0));
+        assert!((r.entries[0].share - 0.75).abs() < 1e-12, "30 of 40");
+        assert_eq!((r.entries[1].machine, r.entries[1].state), ("dbtar", 4));
+        assert!((r.entries[1].share - 1.0).abs() < 1e-12, "25 of 25");
+        let text = r.render_text();
+        assert!(
+            text.contains("top 2 state(s) across 2 machine(s)"),
+            "{text}"
+        );
+        let v = json::parse(&r.to_json()).unwrap();
+        assert_eq!(v.get("total_visits").and_then(Value::as_u64), Some(65));
+        // The report round-trips through the profiler's own JSON.
+        let back = qa_scope::ScopeProfiler::from_json(&scope.to_json()).unwrap();
+        assert_eq!(top_states(&back, 2).total_visits, 65);
     }
 
     #[test]

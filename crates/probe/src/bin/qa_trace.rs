@@ -4,19 +4,32 @@
 //! qa-trace record <workload> [input] [--out FILE] [--metrics-out FILE]
 //! qa-trace replay <trace.json>
 //! qa-trace why <workload> [input] [--pos P] [--json]
+//! qa-trace explain <workload> [input] [--json] [--collapsed] [--scope-out FILE]
 //! qa-trace diff <a.json> <b.json>
 //! qa-trace export chrome <trace.json> [--out FILE]
 //! qa-trace export prom <metrics.json> [--out FILE]
 //! qa-trace analyze top    <events.jsonl> [--k K] [--json] [--out FILE]
+//! qa-trace analyze top    <scope.json> --by state [--k K] [--json] [--out FILE]
 //! qa-trace analyze slow   <events.jsonl> [--k K] [--json] [--out FILE]
 //! qa-trace analyze growth <events.jsonl> [--json] [--out FILE]
 //! qa-trace analyze slo    <events.jsonl> --rules FILE [--json] [--out FILE]
 //! ```
 //!
+//! `explain` is EXPLAIN ANALYZE for a workload run: it executes the
+//! workload with a `qa-scope` profiler attached and prints the per-state
+//! profile — hot/cold/dead states, the state×symbol transition heatmap,
+//! per-phase transition counts, per-state cache attribution — as text,
+//! JSON (`--json`), or a flamegraph-ready collapsed stack
+//! (`--collapsed`). `--scope-out FILE` additionally writes the raw
+//! profile in `scope.json` form, which `analyze top --by state` reads.
+//!
 //! `analyze` reads a `qa-fleet` wide-event log (`events.jsonl`) and
 //! reports heavy hitters (`top`), per-query percentile outliers (`slow`),
 //! or per-query steps-vs-size growth fits (`growth` — feed it a
-//! `qa-fleet --sweep` log so document sizes vary). `analyze slo` replays
+//! `qa-fleet --sweep` log so document sizes vary). `analyze top --by
+//! state` reads a `scope.json` (from `qa-fleet --scope`, `--scope-out`
+//! here, or a serve daemon's `/explain`) instead and ranks individual
+//! automaton states by visit count. `analyze slo` replays
 //! the log through the `qa-sentinel` alert engine offline — one logical
 //! tick per job, in job order, exactly like `qa-fleet --slo` — printing
 //! the deterministic transition log; it exits 1 when any alert is still
@@ -53,21 +66,26 @@ const USAGE: &str = "usage:
   qa-trace record <workload> [input] [--out FILE] [--metrics-out FILE]
   qa-trace replay <trace.json>
   qa-trace why <workload> [input] [--pos P] [--json]
+  qa-trace explain <workload> [input] [--json] [--collapsed] [--scope-out FILE]
   qa-trace diff <a.json> <b.json>
   qa-trace export chrome <trace.json> [--out FILE]
   qa-trace export prom <metrics.json> [--out FILE]
   qa-trace analyze top    <events.jsonl> [--k K] [--json] [--out FILE]
+  qa-trace analyze top    <scope.json> --by state [--k K] [--json] [--out FILE]
   qa-trace analyze slow   <events.jsonl> [--k K] [--json] [--out FILE]
   qa-trace analyze growth <events.jsonl> [--json] [--out FILE]
   qa-trace analyze slo    <events.jsonl> --rules FILE [--json] [--out FILE]
 
 workloads: example-3-4, example-3-4-variant, example-4-4, example-5-14, fig5";
 
-/// One recorded workload run: full trace, metrics, provenance, results.
+/// One recorded workload run: full trace, metrics, provenance, per-state
+/// profile, results.
 struct Recorded {
     trace: RunTrace,
     metrics: Metrics,
     prov: ProvenanceObserver,
+    /// Per-state execution profile (`qa-trace explain`).
+    scope: qa_scope::ScopeProfiler,
     /// Selected positions in the workload's result coordinates (word
     /// indices for strings, node indices for trees).
     selected: Vec<usize>,
@@ -102,9 +120,13 @@ fn run_workload(name: &str, input: Option<&str>) -> Result<Recorded, String> {
     let mut trace = RunTrace::new();
     let metrics = Metrics::new();
     let mut prov = ProvenanceObserver::new();
+    let mut scope = qa_scope::ScopeProfiler::new();
     let mut word_coords = false;
     let selected: Vec<usize> = {
-        let mut obs = Tee(&mut trace, Tee(metrics.observer(), &mut prov));
+        let mut obs = Tee(
+            &mut trace,
+            Tee(metrics.observer(), Tee(&mut prov, &mut scope)),
+        );
         match name {
             "example-3-4" | "example-3-4-variant" => {
                 word_coords = true;
@@ -162,6 +184,7 @@ fn run_workload(name: &str, input: Option<&str>) -> Result<Recorded, String> {
         trace,
         metrics,
         prov,
+        scope,
         selected,
         word_coords,
     })
@@ -296,6 +319,31 @@ fn cmd_why(mut args: Vec<String>) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn cmd_explain(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let scope_out = take_flag(&mut args, "--scope-out")?;
+    let json = take_switch(&mut args, "--json");
+    let collapsed = take_switch(&mut args, "--collapsed");
+    let workload = args.first().ok_or(USAGE)?;
+    let rec = run_workload(workload, args.get(1).map(String::as_str))?;
+    eprintln!(
+        "{workload}: {} steps, selected {:?}",
+        rec.metrics.get(qa_obs::Counter::Steps),
+        rec.selected
+    );
+    if let Some(path) = scope_out {
+        emit(Some(&path), &format!("{}\n", rec.scope.to_json()))?;
+    }
+    let content = if collapsed {
+        rec.scope.to_collapsed()
+    } else if json {
+        format!("{}\n", rec.scope.explain_run().to_json())
+    } else {
+        rec.scope.explain_run().render_text()
+    };
+    print!("{content}");
+    Ok(ExitCode::SUCCESS)
+}
+
 fn cmd_diff(args: Vec<String>) -> Result<ExitCode, String> {
     let (pa, pb) = match (args.first(), args.get(1)) {
         (Some(a), Some(b)) => (a, b),
@@ -363,10 +411,30 @@ fn cmd_analyze(mut args: Vec<String>) -> Result<ExitCode, String> {
         .transpose()?
         .unwrap_or(10);
     let rules_path = take_flag(&mut args, "--rules")?;
+    let by = take_flag(&mut args, "--by")?;
     let (report, path) = match (args.first(), args.get(1)) {
         (Some(r), Some(p)) => (r.as_str(), p),
         _ => return Err(USAGE.to_string()),
     };
+    match by.as_deref() {
+        Some("state") if report == "top" => {
+            // --by state reads a scope.json profile, not an event log.
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let scope =
+                qa_scope::ScopeProfiler::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+            let r = qa_probe::analyze::top_states(&scope, k);
+            let content = if json {
+                format!("{}\n", r.to_json())
+            } else {
+                r.render_text()
+            };
+            emit(out.as_deref(), &content)?;
+            return Ok(ExitCode::SUCCESS);
+        }
+        Some("state") => return Err(format!("--by state only applies to `top` — {USAGE}")),
+        Some(other) => return Err(format!("unknown --by dimension `{other}` — {USAGE}")),
+        None => {}
+    }
     let jsonl = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut rows = qa_probe::analyze::parse_rows(&jsonl).map_err(|e| format!("{path}: {e}"))?;
     let mut slo_firing = false;
@@ -462,6 +530,7 @@ fn main() -> ExitCode {
         "record" => cmd_record(args),
         "replay" => cmd_replay(args),
         "why" => cmd_why(args),
+        "explain" => cmd_explain(args),
         "diff" => cmd_diff(args),
         "export" => cmd_export(args),
         "analyze" => cmd_analyze(args),

@@ -78,6 +78,14 @@ pub type SeriesSource = Box<dyn Fn(Option<&str>, usize) -> String + Send>;
 /// transition log, as rendered by the owning binary's alert engine.
 pub type AlertsSource = Box<dyn Fn() -> String + Send>;
 
+/// Producer of the `/explain` body — registered by the binary that owns a
+/// scope profiler, so this crate needs no dependency on `qa-scope`.
+/// Arguments are the optional `?query=` filter (a workload or query name)
+/// and whether JSON was requested (`?format=json`) instead of the
+/// EXPLAIN ANALYZE text block. Returning `None` means the named query is
+/// unknown; the server answers 404.
+pub type ExplainSource = Box<dyn Fn(Option<&str>, bool) -> Option<String> + Send>;
+
 /// Handler for requests the built-in routes do not answer, registered by
 /// a serving binary via [`PulseState::set_api_handler`]. Returning `None`
 /// declines the request, and the server falls back to its own 404/405
@@ -177,6 +185,7 @@ pub struct PulseState {
     events: Mutex<Option<EventsSource>>,
     series: Mutex<Option<SeriesSource>>,
     alerts: Mutex<Option<AlertsSource>>,
+    explain: Mutex<Option<ExplainSource>>,
     api: Mutex<Option<ApiHandler>>,
 }
 
@@ -193,6 +202,7 @@ impl PulseState {
             events: Mutex::new(None),
             series: Mutex::new(None),
             alerts: Mutex::new(None),
+            explain: Mutex::new(None),
             api: Mutex::new(None),
         })
     }
@@ -253,6 +263,13 @@ impl PulseState {
         *self.alerts.lock().expect("alerts lock poisoned") = Some(source);
     }
 
+    /// Register the `/explain` producer (a closure rendering the live
+    /// scope profiler's EXPLAIN ANALYZE report, optionally filtered to
+    /// one named query).
+    pub fn set_explain_source(&self, source: ExplainSource) {
+        *self.explain.lock().expect("explain lock poisoned") = Some(source);
+    }
+
     /// Register the [`ApiHandler`] answering requests beyond the built-in
     /// routes (a serving binary's `PUT /doc`, `POST /query`, …).
     pub fn set_api_handler(&self, handler: ApiHandler) {
@@ -299,6 +316,17 @@ impl PulseState {
             .expect("alerts lock poisoned")
             .as_ref()
             .map(|f| f())
+    }
+
+    /// `Ok(None)`: no source registered. `Ok(Some(None))`: source knows no
+    /// such query. `Ok(Some(Some(body)))`: the rendered report.
+    #[allow(clippy::type_complexity)]
+    fn explain_body(&self, query: Option<&str>, json: bool) -> Option<Option<String>> {
+        self.explain
+            .lock()
+            .expect("explain lock poisoned")
+            .as_ref()
+            .map(|f| f(query, json))
     }
 }
 
@@ -439,9 +467,9 @@ fn accept_loop(
 
 /// Every route the server answers — the set that earns a `405` (rather
 /// than a `404`) when asked for with the wrong method.
-const ROUTES: [&str; 10] = [
+const ROUTES: [&str; 11] = [
     "/", "/healthz", "/readyz", "/metrics", "/flight", "/events", "/profile", "/series", "/alerts",
-    "/quit",
+    "/explain", "/quit",
 ];
 
 /// The tail limit from a `?n=K` query: [`DEFAULT_TAIL`] when absent,
@@ -523,7 +551,7 @@ fn handle_connection(stream: &mut TcpStream, state: &PulseState) -> std::io::Res
             200,
             "text/plain",
             "qa-pulse live ops surface\n\
-             routes: /healthz /readyz /metrics /flight /events /profile /series /alerts /quit\n",
+             routes: /healthz /readyz /metrics /flight /events /profile /series /alerts /explain /quit\n",
         )?,
         "/healthz" => respond(stream, 200, "text/plain", "ok\n")?,
         "/readyz" => {
@@ -565,6 +593,21 @@ fn handle_connection(stream: &mut TcpStream, state: &PulseState) -> std::io::Res
             Some(body) => respond(stream, 200, "application/json", &body)?,
             None => respond(stream, 404, "text/plain", "no sentinel attached\n")?,
         },
+        "/explain" => {
+            let name = query
+                .split('&')
+                .find_map(|kv| kv.strip_prefix("query="))
+                .filter(|n| !n.is_empty());
+            let json = query.split('&').any(|kv| kv == "format=json");
+            match state.explain_body(name, json) {
+                Some(Some(body)) => {
+                    let ct = if json { "application/json" } else { "text/plain" };
+                    respond(stream, 200, ct, &body)?;
+                }
+                Some(None) => respond(stream, 404, "text/plain", "unknown query\n")?,
+                None => respond(stream, 404, "text/plain", "no scope profiler attached\n")?,
+            }
+        }
         "/profile" => {
             let weight = if query.split('&').any(|kv| kv == "weight=alloc") {
                 Weight::AllocBytes

@@ -15,17 +15,22 @@ const USAGE: &str = "usage:
   qa-serve [--listen ADDR] [--workers N] [--http-threads N]
            [--queue-depth N] [--cache-cap N]
            [--max-steps N] [--max-wall-ms MS]
-           [--slo FILE] [--scrape-every-ms MS] [--demo]
+           [--slo FILE] [--scrape-every-ms MS] [--events FILE] [--demo]
   qa-serve --soak [--clients N] [--requests N] [--seed S]
            [--docs N] [--doc-nodes N]
            [--expect-shed] [--forbid-shed] [--gate-p99-ms MS]
            [daemon flags as above]
 
 Daemon mode serves /healthz /readyz /metrics /flight /profile /series
-/alerts /events /quit plus the query API: PUT /doc?name=D (body: XML or
-s-expression), POST /query (JSON: formula|id, doc, register, why),
-GET /docs, GET /queries. --demo preloads the paper's Figure 1
-bibliography as document `bib`. The daemon runs until GET /quit.
+/alerts /events /explain /quit plus the query API: PUT /doc?name=D
+(body: XML or s-expression), POST /query (JSON: formula|id, doc,
+register, why, explain), GET /docs, GET /queries. `\"explain\": true`
+returns the per-state profile inline and feeds GET
+/explain?query=<hash-or-id>. Every served query also emits one wide
+event into GET /events; --events FILE appends the same lines to an
+events.jsonl that `qa-trace analyze` reads. --demo preloads the paper's
+Figure 1 bibliography as document `bib`. The daemon runs until
+GET /quit.
 
 Soak mode starts a fresh in-process daemon, ingests a seeded corpus,
 fires clients x requests concurrent queries whose expected answers were
@@ -85,6 +90,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--max-steps" => opts.serve.max_steps = num(arg, it.next())?,
             "--max-wall-ms" => opts.serve.max_wall_ms = num(arg, it.next())?,
             "--scrape-every-ms" => opts.serve.scrape_every_ms = num(arg, it.next())?,
+            "--events" => opts.serve.events_path = Some(value(arg, it.next())?),
             "--slo" => {
                 let path = value(arg, it.next())?;
                 let text =

@@ -19,17 +19,33 @@
 //! ([`ServeConfig::max_steps`] / [`ServeConfig::max_wall_ms`]): a
 //! runaway query aborts gracefully inside its worker and the client gets
 //! `408` with the tripped budget, never a hung connection.
+//!
+//! Two observability surfaces ride on every served query:
+//!
+//! - **Wide events.** Each `POST /query` that reaches evaluation emits
+//!   one [`JobEvent`] line — identity, document shape, exact per-request
+//!   work counters, outcome — into the `/events` ring and (when
+//!   [`ServeConfig::events_path`] is set) an `events.jsonl` file that
+//!   `qa-trace analyze top|slow` reads exactly like a fleet's.
+//! - **EXPLAIN ANALYZE.** `"explain": true` attaches a
+//!   [`ScopeProfiler`] to the request's observer chain and returns the
+//!   per-state profile (hot/cold/dead states, transition heat map,
+//!   phase attribution) inline as the response's `"explain"` field.
+//!   Profiles also accumulate per query hash, served live by
+//!   `GET /explain?query=<hash-or-registered-id>`.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use qa_base::Alphabet;
-use qa_flight::{Budget, Watchdog};
+use qa_flight::{Budget, JobEvent, Sampled, SharedEvents, Watchdog};
 use qa_obs::json::{self, Value};
-use qa_obs::{Counter, Metrics, Series};
+use qa_obs::{Counter, Metrics, NoopObserver, Series, Tee, TraceContext};
 use qa_par::WorkPool;
 use qa_pulse::{ApiRequest, ApiResponse, PulseServer, PulseState};
+use qa_scope::ScopeProfiler;
 use qa_sentinel::SharedSentinel;
 use qa_trees::Tree;
 
@@ -70,6 +86,11 @@ pub struct ServeConfig {
     /// Background scrape period for the sentinel, in milliseconds
     /// (0 disables the scrape loop; `/series` stays empty).
     pub scrape_every_ms: u64,
+    /// When set, append one [`JobEvent`] JSON line per served query to
+    /// this file (created fresh at daemon start) — the serving
+    /// equivalent of the fleet's `events.jsonl`, readable by
+    /// `qa-trace analyze`.
+    pub events_path: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -84,9 +105,16 @@ impl Default for ServeConfig {
             max_wall_ms: 5_000,
             slo_rules: None,
             scrape_every_ms: 250,
+            events_path: None,
         }
     }
 }
+
+/// Run id stamped on every wide event the daemon emits.
+const SERVE_RUN_ID: &str = "qa-serve";
+
+/// Wide events the `/events` ring retains.
+const EVENT_RING_CAPACITY: usize = 1024;
 
 /// Registered query ids (`POST /query` with `"register"`).
 type Registry = Mutex<std::collections::BTreeMap<String, String>>;
@@ -97,6 +125,18 @@ struct Core {
     registered: Registry,
     pool: WorkPool,
     metrics: Arc<Metrics>,
+    /// Accumulated per-state profiles, keyed by query hash (`{:016x}`).
+    /// Only `"explain": true` requests deposit here, so the cost is
+    /// strictly opt-in per request.
+    scopes: Mutex<std::collections::BTreeMap<String, ScopeProfiler>>,
+    /// Live tail behind the pulse `/events` endpoint.
+    events: SharedEvents,
+    /// Optional `events.jsonl` sink ([`ServeConfig::events_path`]).
+    events_file: Option<Mutex<std::fs::File>>,
+    /// Monotonic job index for event identity (trace/span minting).
+    seq: AtomicU64,
+    /// Daemon start, the zero point for event `start_ns`.
+    started: Instant,
     cfg: ServeConfig,
 }
 
@@ -120,12 +160,21 @@ impl ServeDaemon {
             .unwrap_or_else(|| DEFAULT_SLO_RULES.to_string());
         let rules = qa_sentinel::parse_rules(&rules_text)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        let events_file = match &cfg.events_path {
+            Some(path) => Some(Mutex::new(std::fs::File::create(path)?)),
+            None => None,
+        };
         let core = Arc::new(Core {
             store: RwLock::new(DocStore::new()),
             cache: Mutex::new(QueryCache::new(cfg.cache_capacity)),
             registered: Mutex::new(std::collections::BTreeMap::new()),
             pool: WorkPool::new(cfg.eval_workers),
             metrics: Arc::clone(&metrics),
+            scopes: Mutex::new(std::collections::BTreeMap::new()),
+            events: SharedEvents::with_capacity(EVENT_RING_CAPACITY),
+            events_file,
+            seq: AtomicU64::new(0),
+            started: Instant::now(),
             cfg: cfg.clone(),
         });
         let state = PulseState::new(Arc::clone(&metrics), "qa_serve");
@@ -135,6 +184,14 @@ impl ServeDaemon {
             state.set_series_source(Box::new(move |name, tail| src.series_json(name, tail)));
             let src = sentinel.clone();
             state.set_alerts_source(Box::new(move || src.alerts_json()));
+        }
+        {
+            let ring = core.events.clone();
+            state.set_events_source(Box::new(move |n| ring.tail_jsonl(n)));
+            let explain_core = Arc::clone(&core);
+            state.set_explain_source(Box::new(move |query, json| {
+                explain_core.explain_body(query, json)
+            }));
         }
         let handler_core = Arc::clone(&core);
         state.set_api_handler(Arc::new(move |req| handle(&handler_core, req)));
@@ -186,6 +243,11 @@ impl ServeDaemon {
         &self.state
     }
 
+    /// The wide-event ring behind `GET /events`.
+    pub fn events(&self) -> &SharedEvents {
+        &self.core.events
+    }
+
     /// Names of the sentinel alerts currently firing.
     pub fn firing(&self) -> Vec<String> {
         self.sentinel
@@ -213,6 +275,51 @@ impl ServeDaemon {
 impl Core {
     fn metrics(&self) -> &Arc<Metrics> {
         &self.metrics
+    }
+
+    /// Resolve one `GET /explain` request. `query` is a 16-hex query
+    /// hash or a registered id; `None` merges every accumulated profile.
+    /// Returns `None` for an unknown query (the pulse layer answers 404).
+    fn explain_body(&self, query: Option<&str>, json: bool) -> Option<String> {
+        let render = |p: &ScopeProfiler| {
+            if json {
+                p.explain_run().to_json()
+            } else {
+                p.explain_run().render_text()
+            }
+        };
+        let scopes = self.scopes.lock().expect("scope lock poisoned");
+        match query {
+            None => {
+                let mut merged = ScopeProfiler::new();
+                for p in scopes.values() {
+                    merged.merge(p);
+                }
+                Some(render(&merged))
+            }
+            Some(name) => {
+                // A registered id resolves to its formula's hash; anything
+                // else is taken as the hash key itself.
+                let key = self
+                    .registered
+                    .lock()
+                    .expect("registry lock poisoned")
+                    .get(name)
+                    .map(|f| format!("{:016x}", qa_obs::fnv1a64(f.trim().as_bytes())))
+                    .unwrap_or_else(|| name.to_string());
+                scopes.get(&key).map(render)
+            }
+        }
+    }
+
+    /// Push one served query's wide event to the `/events` ring and the
+    /// `events.jsonl` sink when configured.
+    fn emit_event(&self, event: JobEvent) {
+        if let Some(file) = &self.events_file {
+            let mut f = file.lock().expect("events file lock poisoned");
+            let _ = writeln!(f, "{}", event.to_json());
+        }
+        self.events.push(event);
     }
 }
 
@@ -278,6 +385,7 @@ struct QueryRequest {
     doc: Option<String>,
     register: Option<String>,
     why: bool,
+    explain: bool,
 }
 
 fn parse_query_body(body: &str) -> Result<QueryRequest, String> {
@@ -285,13 +393,14 @@ fn parse_query_body(body: &str) -> Result<QueryRequest, String> {
     let text = |key: &str| -> Option<String> {
         value.get(key).and_then(Value::as_str).map(str::to_string)
     };
-    let why = matches!(value.get("why"), Some(Value::Bool(true)));
+    let flag = |key: &str| matches!(value.get(key), Some(Value::Bool(true)));
     Ok(QueryRequest {
         formula: text("formula"),
         id: text("id"),
         doc: text("doc"),
         register: text("register"),
-        why,
+        why: flag("why"),
+        explain: flag("explain"),
     })
 }
 
@@ -352,24 +461,47 @@ fn post_query(core: &Arc<Core>, req: &ApiRequest) -> ApiResponse {
             }),
         );
     };
-    let (tree, labels): (Arc<Tree>, Alphabet) = {
+    let (tree, labels, doc_id, doc_depth): (Arc<Tree>, Alphabet, usize, usize) = {
         let store = core.store.read().expect("store lock poisoned");
-        match store.get(doc_name) {
-            Some(doc) => (Arc::clone(&doc.tree), store.alphabet().clone()),
-            None => return error_json(404, &format!("no document `{doc_name}`")),
+        match (store.get(doc_name), store.id_of(doc_name)) {
+            (Some(doc), Some(id)) => (
+                Arc::clone(&doc.tree),
+                store.alphabet().clone(),
+                id,
+                doc.height,
+            ),
+            _ => return error_json(404, &format!("no document `{doc_name}`")),
         }
     };
     // Dispatch onto the work-stealing pool under a per-request budget.
+    // The chain tees the shared registry (daemon-lifetime totals), a
+    // per-request registry (the wide event's exact counters), and — for
+    // `"explain": true` — a per-state profiler; NoopObserver keeps the
+    // scope arm zero-cost for everyone else.
     let budget = Budget::steps(core.cfg.max_steps)
         .with_wall(Duration::from_millis(core.cfg.max_wall_ms))
         .with_wall_poll_every(64);
     let (tx, rx) = mpsc::channel();
     let job_metrics = Arc::clone(&core.metrics);
+    let req_metrics = Arc::new(Metrics::new());
+    let job_req_metrics = Arc::clone(&req_metrics);
     let job_query = Arc::clone(&compiled);
     let job_tree = Arc::clone(&tree);
     let why = parsed.why;
+    let explain = parsed.explain;
     let submitted = core.pool.submit(Box::new(move || {
-        let mut dog = Watchdog::new(job_metrics.observer(), budget);
+        let scope_arm = if explain {
+            Sampled::Full(ScopeProfiler::new())
+        } else {
+            Sampled::Light(NoopObserver)
+        };
+        let mut dog = Watchdog::new(
+            Tee(
+                job_metrics.observer(),
+                Tee(job_req_metrics.observer(), scope_arm),
+            ),
+            budget,
+        );
         let explained = if why {
             job_query
                 .prepared
@@ -386,7 +518,8 @@ fn post_query(core: &Arc<Core>, req: &ApiRequest) -> ApiResponse {
         if tripped.is_some() {
             job_metrics.count(Counter::BudgetTrips, 1);
         }
-        let _ = tx.send((explained, tripped));
+        let Tee(_, Tee(_, scope_arm)) = dog.into_inner();
+        let _ = tx.send((explained, tripped, scope_arm.full()));
     }));
     if !submitted {
         return error_json(503, "daemon is shutting down");
@@ -394,10 +527,54 @@ fn post_query(core: &Arc<Core>, req: &ApiRequest) -> ApiResponse {
     // The budget bounds the evaluation; the recv deadline only guards
     // against a lost worker, so it can be generous.
     let deadline = Duration::from_millis(core.cfg.max_wall_ms.saturating_mul(4).max(1_000) + 5_000);
-    let (explained, tripped) = match rx.recv_timeout(deadline) {
+    let (explained, tripped, scope) = match rx.recv_timeout(deadline) {
         Ok(result) => result,
         Err(_) => return error_json(500, "evaluation worker lost"),
     };
+    // Accumulate the profile under the query's hash (partial profiles of
+    // tripped runs included — an aborted run's heat map is exactly what
+    // EXPLAIN is for).
+    if let Some(sp) = &scope {
+        core.scopes
+            .lock()
+            .expect("scope lock poisoned")
+            .entry(format!("{:016x}", compiled.hash))
+            .or_default()
+            .merge(sp);
+    }
+    // One wide event per evaluation, aborted or not.
+    let job = core.seq.fetch_add(1, Ordering::Relaxed) as usize;
+    let ctx = TraceContext::mint(SERVE_RUN_ID, job);
+    core.emit_event(JobEvent {
+        run: SERVE_RUN_ID.to_string(),
+        trace: ctx.trace_hex(),
+        span: ctx.span_hex(),
+        job,
+        query: parsed
+            .id
+            .clone()
+            .or_else(|| parsed.register.clone())
+            .unwrap_or_else(|| format!("{:016x}", compiled.hash)),
+        query_index: 0,
+        doc_index: doc_id,
+        doc_nodes: tree.num_nodes(),
+        doc_depth,
+        steps: req_metrics.get(Counter::Steps),
+        reversals: req_metrics.get(Counter::HeadReversals),
+        cache_hits: req_metrics.get(Counter::CacheHits),
+        cache_misses: req_metrics.get(Counter::CacheMisses),
+        budget_trips: u64::from(tripped.is_some()),
+        selected: explained.len(),
+        sampled: explain,
+        outcome: match &tripped {
+            Some(abort) => format!("aborted: {abort}"),
+            None => "ok".to_string(),
+        },
+        worker: "serve".to_string(),
+        shard: "0/1".to_string(),
+        start_ns: started.duration_since(core.started).as_nanos() as u64,
+        wall_ns: started.elapsed().as_nanos() as u64,
+    });
     if let Some(abort) = tripped {
         return error_json(
             408,
@@ -430,6 +607,9 @@ fn post_query(core: &Arc<Core>, req: &ApiRequest) -> ApiResponse {
                     })),
                 );
             }
+            if let Some(sp) = &scope {
+                w.field_raw("explain", &sp.explain_run().to_json());
+            }
             w.field_u64("micros", micros);
         }),
     )
@@ -442,8 +622,9 @@ fn get_docs(core: &Arc<Core>) -> ApiResponse {
         w.field_u64("sigma", store.alphabet().len() as u64);
         w.field_raw(
             "docs",
-            &json::array(store.docs().iter().map(|d| {
+            &json::array(store.docs().iter().enumerate().map(|(id, d)| {
                 json::object(|w| {
+                    w.field_u64("id", id as u64);
                     w.field_str("name", &d.name);
                     w.field_str("fingerprint", &format!("{:016x}", d.fingerprint));
                     w.field_u64("nodes", d.nodes as u64);
@@ -456,20 +637,35 @@ fn get_docs(core: &Arc<Core>) -> ApiResponse {
 }
 
 fn get_queries(core: &Arc<Core>) -> ApiResponse {
+    let sigma = core
+        .store
+        .read()
+        .expect("store lock poisoned")
+        .alphabet()
+        .len();
     let registered = core.registered.lock().expect("registry lock poisoned");
     let cache = core.cache.lock().expect("cache lock poisoned");
     let (hits, misses, evictions) = cache.stats();
+    // Resident compiled automata by hash, so registered ids can report
+    // their state count without forcing a compile.
+    let resident: std::collections::BTreeMap<u64, (usize, usize)> = cache
+        .entries()
+        .map(|(q, _)| (q.hash, (q.states, q.sigma)))
+        .collect();
     let body = json::object(|w| {
+        w.field_u64("sigma", sigma as u64);
         w.field_raw(
             "registered",
             &json::array(registered.iter().map(|(id, formula)| {
+                let hash = qa_obs::fnv1a64(formula.trim().as_bytes());
                 json::object(|w| {
                     w.field_str("id", id);
                     w.field_str("formula", formula);
-                    w.field_str(
-                        "query",
-                        &format!("{:016x}", qa_obs::fnv1a64(formula.trim().as_bytes())),
-                    );
+                    w.field_str("query", &format!("{hash:016x}"));
+                    if let Some(&(states, sigma)) = resident.get(&hash) {
+                        w.field_u64("states", states as u64);
+                        w.field_u64("sigma", sigma as u64);
+                    }
                 })
             })),
         );

@@ -164,6 +164,14 @@ impl DocStore {
         self.by_name.get(name).map(|&id| &self.docs[id])
     }
 
+    /// The dense id a name was assigned at first ingest (stable across
+    /// content replacements; also the document's index in [`docs`]).
+    ///
+    /// [`docs`]: DocStore::docs
+    pub fn id_of(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
     /// The shared alphabet (usable mutably for query compilation, which
     /// may intern labels documents never carried).
     pub fn alphabet_mut(&mut self) -> &mut Alphabet {

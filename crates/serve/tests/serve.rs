@@ -273,6 +273,100 @@ fn registered_queries_answer_by_id_and_show_in_the_catalogs() {
 }
 
 #[test]
+fn explain_true_profiles_the_run_and_feeds_get_explain_and_the_event_log() {
+    let events_path = std::env::temp_dir().join(format!(
+        "qa-serve-events-{}-{:x}.jsonl",
+        std::process::id(),
+        qa_obs::fnv1a64(b"explain-test")
+    ));
+    let cfg = ServeConfig {
+        events_path: Some(events_path.to_string_lossy().into_owned()),
+        ..quiet_config()
+    };
+    let daemon = ServeDaemon::start(cfg).expect("daemon starts");
+    let addr = daemon.addr();
+    assert_eq!(put_doc(addr, "d", "(a (b c) (b b))").status, 200);
+
+    // explain:true returns the per-state profile inline.
+    let explained = post_query(
+        addr,
+        &json::object(|w| {
+            w.field_str("formula", "label(v, b)");
+            w.field_str("doc", "d");
+            w.field_str("register", "all-bs");
+            w.field_bool("explain", true);
+        }),
+    );
+    assert_eq!(explained.status, 200, "{}", explained.body);
+    let v = json::parse(&explained.body).expect("response is JSON");
+    assert!(v.get("explain").is_some(), "{}", explained.body);
+    let hash = v
+        .get("query")
+        .and_then(Value::as_str)
+        .expect("query hash in response")
+        .to_string();
+
+    // A plain request carries no explain payload and still profiles
+    // nothing (the scope arm is a no-op unless asked for).
+    let plain = post_query(
+        addr,
+        &json::object(|w| {
+            w.field_str("formula", "label(v, b)");
+            w.field_str("doc", "d");
+        }),
+    );
+    assert_eq!(plain.status, 200, "{}", plain.body);
+    assert!(json::parse(&plain.body).unwrap().get("explain").is_none());
+
+    // The accumulated profile answers GET /explain: merged, by hash, by
+    // registered id; unknown names 404.
+    let merged = http_get(addr, "/explain", timeouts()).expect("GET /explain");
+    assert_eq!(merged.status, 200, "{}", merged.body);
+    assert!(merged.body.contains("machine dbtau") || merged.body.contains("machine "));
+    let by_hash = http_get(addr, &format!("/explain?query={hash}"), timeouts()).expect("by hash");
+    assert_eq!(by_hash.status, 200, "{}", by_hash.body);
+    let by_id = http_get(addr, "/explain?query=all-bs", timeouts()).expect("by id");
+    assert_eq!(by_id.status, 200, "{}", by_id.body);
+    assert_eq!(by_id.body, by_hash.body, "id resolves to the same profile");
+    let as_json = http_get(
+        addr,
+        &format!("/explain?query={hash}&format=json"),
+        timeouts(),
+    )
+    .expect("json");
+    assert_eq!(as_json.status, 200);
+    assert!(json::parse(&as_json.body).is_ok(), "{}", as_json.body);
+    let unknown = http_get(addr, "/explain?query=nope", timeouts()).expect("unknown");
+    assert_eq!(unknown.status, 404);
+
+    // Both served queries emitted wide events: the live ring and the
+    // events.jsonl file agree, and the counters are real work.
+    let tail = http_get(addr, "/events?n=10", timeouts()).expect("GET /events");
+    let ring_events = qa_flight::parse_events(&tail.body).expect("ring parses");
+    assert_eq!(ring_events.len(), 2, "{}", tail.body);
+    daemon.shutdown();
+    let file_text = std::fs::read_to_string(&events_path).expect("events file written");
+    let file_events = qa_flight::parse_events(&file_text).expect("file parses");
+    assert_eq!(file_events.len(), 2);
+    for (ev, sampled) in file_events.iter().zip([true, false]) {
+        assert_eq!(ev.run, "qa-serve");
+        assert_eq!(ev.worker, "serve");
+        assert_eq!(ev.outcome, "ok");
+        assert_eq!(ev.sampled, sampled, "sampled mirrors the explain flag");
+        assert_eq!(ev.doc_index, 0);
+        assert_eq!(ev.doc_nodes, 5);
+        assert_eq!(ev.selected, 3, "three b-labelled nodes");
+        assert!(ev.steps > 0, "evaluation counted steps");
+    }
+    assert_eq!(
+        file_events[0].query, "all-bs",
+        "registered requests are named by id"
+    );
+    assert_eq!(file_events[1].query, hash, "inline requests by hash");
+    let _ = std::fs::remove_file(&events_path);
+}
+
+#[test]
 fn metrics_expose_the_serving_families_as_valid_prometheus() {
     let daemon = ServeDaemon::start(quiet_config()).expect("daemon starts");
     let addr = daemon.addr();

@@ -14,7 +14,7 @@
 use std::rc::Rc;
 
 use qa_base::{Error, Result, Symbol};
-use qa_obs::{Counter, NoopObserver, Observer, Series};
+use qa_obs::{Counter, Machine, NoopObserver, Observer, Series};
 use qa_strings::StateId;
 
 use crate::cache::CrossingCache;
@@ -96,10 +96,25 @@ pub(crate) fn compute_column<O: Observer>(
             visited[cur.index()] = true;
             seq.push(cur);
             obs.count(Counter::TableLookups, 1);
+            obs.state_visit(Machine::Crossing, cur.index() as u32, cell.encode() as u32);
             match machine.action(cur, cell) {
                 None => break Outcome::Halts(cur),
-                Some((Dir::Right, s2)) => break Outcome::Exits(s2),
+                Some((Dir::Right, s2)) => {
+                    obs.transition_fired(
+                        Machine::Crossing,
+                        cur.index() as u32,
+                        cell.encode() as u32,
+                        s2.index() as u32,
+                    );
+                    break Outcome::Exits(s2);
+                }
                 Some((Dir::Left, s1)) => {
+                    obs.transition_fired(
+                        Machine::Crossing,
+                        cur.index() as u32,
+                        cell.encode() as u32,
+                        s1.index() as u32,
+                    );
                     let prev = prev.expect("left move at ⊳ rejected by builder");
                     // Consult the already-computed summary one cell left.
                     match prev.exit[s1.index()] {

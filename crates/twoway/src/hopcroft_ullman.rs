@@ -19,7 +19,7 @@
 use std::collections::HashMap;
 
 use qa_base::{Error, Result, Symbol};
-use qa_obs::{Counter, NoopObserver, Observer, Series};
+use qa_obs::{Counter, Machine, NoopObserver, Observer, Series};
 use qa_strings::{Dfa, StateId};
 
 use crate::gsqa::Gsqa;
@@ -216,6 +216,7 @@ pub fn compose_with<O: Observer>(bim: &Bimachine, obs: &mut O) -> Result<Gsqa> {
         }
         obs.count(Counter::SummariesExplored, 1);
         let id = index[&st];
+        obs.state_visit(Machine::HuComposition, id.index() as u32, u32::MAX);
         match &st {
             CState::Fwd(p) => {
                 let p = *p;

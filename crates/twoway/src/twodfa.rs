@@ -1,7 +1,7 @@
 //! Two-way deterministic finite automata (Definition 3.1).
 
 use qa_base::{Error, Result, Symbol};
-use qa_obs::{Counter, NoopObserver, Observer, Series};
+use qa_obs::{Counter, Machine, NoopObserver, Observer, Series};
 use qa_strings::StateId;
 
 use crate::tape::Tape;
@@ -229,7 +229,9 @@ impl TwoDfa {
                 assumed[pos].push(state);
             }
             obs.count(Counter::TableLookups, 1);
-            match self.action(state, Tape::at(word, pos)) {
+            let cell = Tape::at(word, pos);
+            obs.state_visit(Machine::TwoDfa, state.index() as u32, cell.encode() as u32);
+            match self.action(state, cell) {
                 None => {
                     obs.config(state.index() as u32, pos as u32, 0);
                     obs.record(Series::TraceLength, steps);
@@ -247,6 +249,12 @@ impl TwoDfa {
                     });
                 }
                 Some((dir, next)) => {
+                    obs.transition_fired(
+                        Machine::TwoDfa,
+                        state.index() as u32,
+                        cell.encode() as u32,
+                        next.index() as u32,
+                    );
                     obs.config(
                         state.index() as u32,
                         pos as u32,
